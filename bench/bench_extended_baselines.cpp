@@ -1,0 +1,87 @@
+// Extended comparison beyond the paper's Figure-8 lineup: the classic
+// methods the paper discusses in §6 (MICE, KNN, mean/mode, and a MIDA-like
+// denoising autoencoder) against GRIMP and MissForest, on categorical
+// accuracy and normalized RMSE.
+
+#include <iostream>
+
+#include "baselines/knn.h"
+#include "baselines/mean_mode.h"
+#include "baselines/mice.h"
+#include "baselines/mida.h"
+#include "baselines/missforest.h"
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config = bench::ParseBenchArgs(
+      argc, argv, {"adult", "contraceptive", "mammogram"});
+  config.error_rates = {0.2};
+  bench::PrintRunHeader(
+      "Extended baselines (§6 related work): GRIMP vs MICE / MIDA / KNN / "
+      "mean-mode / MISF",
+      config);
+
+  const auto results = bench::RunComparisonGrid(config, [&] {
+    std::vector<std::unique_ptr<ImputationAlgorithm>> algos;
+    algos.push_back(MakeGrimp(FeatureInitKind::kNgram, config.zoo));
+    {
+      MissForestOptions mo;
+      mo.forest.num_trees = config.zoo.forest_trees;
+      mo.seed = config.zoo.seed;
+      algos.push_back(std::make_unique<MissForestImputer>(mo));
+    }
+    algos.push_back(std::make_unique<MiceImputer>());
+    algos.push_back(std::make_unique<MidaImputer>());
+    algos.push_back(std::make_unique<KnnImputer>(5));
+    algos.push_back(std::make_unique<MeanModeImputer>());
+    return algos;
+  });
+
+  const std::vector<std::string> algo_names{"GRIMP-FT", "MISF", "MICE",
+                                            "MIDA", "KNN", "MEAN-MODE"};
+  std::cout << "--- categorical accuracy @ 20% missing ---\n";
+  {
+    std::vector<std::string> header{"dataset"};
+    header.insert(header.end(), algo_names.begin(), algo_names.end());
+    TextTable table(header);
+    for (const std::string& dataset : config.datasets) {
+      std::vector<std::string> row{dataset};
+      for (const std::string& algo : algo_names) {
+        for (const auto& cell : results) {
+          if (cell.dataset == dataset && cell.algorithm == algo) {
+            row.push_back(TextTable::Num(cell.accuracy, 3));
+            break;
+          }
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n--- normalized RMSE @ 20% missing ---\n";
+  {
+    std::vector<std::string> header{"dataset"};
+    header.insert(header.end(), algo_names.begin(), algo_names.end());
+    TextTable table(header);
+    for (const std::string& dataset : config.datasets) {
+      std::vector<std::string> row{dataset};
+      for (const std::string& algo : algo_names) {
+        for (const auto& cell : results) {
+          if (cell.dataset == dataset && cell.algorithm == algo) {
+            row.push_back(TextTable::Num(cell.nrmse, 3));
+            break;
+          }
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: learned methods (GRIMP, MISF, MICE) beat "
+               "mean-mode; MIDA trails the discriminative methods on "
+               "categorical cells (numeric-output coercion, §6); mean-mode "
+               "nRMSE ~= 1 by construction.\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Figure 11: distribution of wrong imputations per domain value
+// on the Thoracic replica's binary attributes. Every method should impute
+// the dominant value ("t"/"f" style binaries) well and the rare value
+// poorly, tracking the expected error 1 - f_v.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config =
+      bench::ParseBenchArgs(argc, argv, {"thoracic"});
+  config.error_rates = {config.error_rates.size() == 3
+                            ? 0.2
+                            : config.error_rates.front()};
+  bench::PrintRunHeader(
+      "Figure 11: per-value wrong-imputation distribution (Thoracic)",
+      config);
+  return bench::RunErrorDistributionExperiment(config, "thoracic",
+                                               /*max_attributes=*/4,
+                                               /*max_domain=*/2);
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 12: distribution of wrong imputations per domain value
+// on the Contraceptive replica's four-valued attributes. Frequent values
+// are imputed better than rare ones by every method.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config =
+      bench::ParseBenchArgs(argc, argv, {"contraceptive"});
+  config.error_rates = {config.error_rates.size() == 3
+                            ? 0.2
+                            : config.error_rates.front()};
+  bench::PrintRunHeader(
+      "Figure 12: per-value wrong-imputation distribution (Contraceptive)",
+      config);
+  return bench::RunErrorDistributionExperiment(config, "contraceptive",
+                                               /*max_attributes=*/4,
+                                               /*max_domain=*/4);
+}

@@ -1,0 +1,110 @@
+// Reproduces Figure 8: imputation accuracy of the seven-algorithm lineup
+// (GRIMP-FT, GRIMP-E, HOLO/AimNet, TURL-proxy, MISF, DWIG-proxy, EMBDI-MC)
+// on every dataset at 5/20/50% MCAR missingness, plus the overall average
+// accuracy the paper quotes in §4.2 (GRIMP-E 0.684 vs HOLO 0.665, TURL
+// 0.608, MISF 0.648 at 5%).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config = bench::ParseBenchArgs(
+      argc, argv,
+      {"adult", "contraceptive", "flare", "mammogram", "tictactoe"});
+  bench::PrintRunHeader(
+      "Figure 8: imputation accuracy, all baselines x datasets x rates",
+      config);
+
+  const auto results = bench::RunComparisonGrid(
+      config, [&] { return MakeComparisonSuite(config.zoo); });
+
+  // Per-rate tables: rows = dataset, cols = algorithms.
+  std::vector<std::string> algo_names;
+  for (const auto& cell : results) {
+    if (std::find(algo_names.begin(), algo_names.end(), cell.algorithm) ==
+        algo_names.end()) {
+      algo_names.push_back(cell.algorithm);
+    }
+  }
+  for (double rate : config.error_rates) {
+    std::cout << "\n--- categorical accuracy @ " << rate * 100
+              << "% missing ---\n";
+    std::vector<std::string> header{"dataset"};
+    header.insert(header.end(), algo_names.begin(), algo_names.end());
+    TextTable table(header);
+    for (const std::string& dataset : config.datasets) {
+      std::vector<std::string> row{dataset};
+      for (const std::string& algo : algo_names) {
+        bool found = false;
+        for (const auto& cell : results) {
+          if (cell.dataset == dataset && cell.error_rate == rate &&
+              cell.algorithm == algo) {
+            row.push_back(cell.ok ? TextTable::Num(cell.accuracy, 3) : "err");
+            found = true;
+            break;
+          }
+        }
+        if (!found) row.push_back("-");
+      }
+      table.AddRow(std::move(row));
+    }
+    if (config.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+  }
+
+  // RMSE table (paper: HOLO best on numeric, GRIMP ~ MISF, TURL/DWIG worst).
+  std::cout << "\n--- numerical RMSE (normalized by column stddev), "
+               "averaged over rates ---\n";
+  {
+    std::vector<std::string> header{"dataset"};
+    header.insert(header.end(), algo_names.begin(), algo_names.end());
+    TextTable table(header);
+    for (const std::string& dataset : config.datasets) {
+      std::vector<std::string> row{dataset};
+      for (const std::string& algo : algo_names) {
+        double sum = 0;
+        int n = 0;
+        for (const auto& cell : results) {
+          if (cell.dataset == dataset && cell.algorithm == algo && cell.ok) {
+            sum += cell.nrmse;
+            ++n;
+          }
+        }
+        row.push_back(n ? TextTable::Num(sum / n, 3) : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+    if (config.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+  }
+
+  // Overall average accuracy per algorithm per rate (§4.2's headline).
+  std::cout << "\n--- overall average imputation accuracy ---\n";
+  {
+    std::vector<std::string> header{"rate"};
+    header.insert(header.end(), algo_names.begin(), algo_names.end());
+    TextTable table(header);
+    for (double rate : config.error_rates) {
+      std::vector<std::string> row{TextTable::Num(rate, 2)};
+      for (const std::string& algo : algo_names) {
+        row.push_back(
+            TextTable::Num(bench::AverageAccuracy(results, algo, rate), 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper §4.2): GRIMP variants lead on "
+               "average; EMBDI-MC worst; accuracy degrades as the rate "
+               "grows.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Systematic-missingness experiment (paper §7: "GRIMP's data-driven
+// solution can handle systematic errors (MNAR) ... we plan to evaluate
+// this scenario in follow-up work"). Compares GRIMP, MISF and HOLO under
+// MCAR vs MNAR at the same overall rate: under MNAR the blanked cells skew
+// toward rare / extreme values, so every method loses accuracy; the
+// interesting shape is how much.
+
+#include <iostream>
+
+#include "baselines/aimnet.h"
+#include "baselines/missforest.h"
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config = bench::ParseBenchArgs(
+      argc, argv, {"adult", "flare", "contraceptive"});
+  config.error_rates = {0.2};
+  bench::PrintRunHeader(
+      "MNAR vs MCAR (§7 follow-up scenario) at 20% overall missingness",
+      config);
+
+  TextTable table({"dataset", "algorithm", "acc (MCAR)", "acc (MNAR)",
+                   "delta"});
+  for (const std::string& name : config.datasets) {
+    auto clean_or = GenerateDatasetByName(name, config.seed, config.rows);
+    if (!clean_or.ok()) continue;
+    const Table& clean = *clean_or;
+    const CorruptedTable mcar = InjectMcar(clean, 0.2, config.seed + 1);
+    const CorruptedTable mnar =
+        InjectMnar(clean, 0.2, /*bias=*/0.9, config.seed + 1);
+
+    auto run_both = [&](ImputationAlgorithm* algo) {
+      const RunResult a = RunAlgorithm(clean, mcar, algo);
+      const RunResult b = RunAlgorithm(clean, mnar, algo);
+      std::cerr << "[mnar] " << name << " " << algo->name() << " mcar="
+                << a.score.Accuracy() << " mnar=" << b.score.Accuracy()
+                << "\n";
+      table.AddRow({name, algo->name(),
+                    TextTable::Num(a.score.Accuracy(), 3),
+                    TextTable::Num(b.score.Accuracy(), 3),
+                    TextTable::Num(b.score.Accuracy() - a.score.Accuracy(),
+                                   3)});
+    };
+    auto grimp = MakeGrimp(FeatureInitKind::kNgram, config.zoo);
+    run_both(grimp.get());
+    MissForestOptions mo;
+    mo.forest.num_trees = config.zoo.forest_trees;
+    mo.seed = config.zoo.seed;
+    MissForestImputer misf(mo);
+    run_both(&misf);
+    AimNetOptions ao;
+    ao.epochs = config.zoo.aimnet_epochs;
+    ao.seed = config.zoo.seed;
+    AimNetImputer holo(ao);
+    run_both(&holo);
+  }
+  if (config.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: every method loses accuracy under MNAR "
+               "(the test cells are exactly the hard, rare values, §5); "
+               "the self-supervised methods degrade gracefully rather than "
+               "collapsing.\n";
+  return 0;
+}

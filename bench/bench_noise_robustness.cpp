@@ -1,0 +1,62 @@
+// Reproduces the §4.2 "Impact of Noise" experiment: inject 10% typos into
+// the dataset, then 5% MCAR missing values, impute with GRIMP and compare
+// accuracy against the typo-free run. Paper: GRIMP's inductive (subword)
+// features limit the damage to a ~0.06 absolute accuracy drop.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config = bench::ParseBenchArgs(
+      argc, argv, {"adult", "contraceptive", "flare"});
+  config.error_rates = {0.05};
+  bench::PrintRunHeader(
+      "Noise robustness (§4.2): 10% typos + 5% MCAR, GRIMP accuracy delta",
+      config);
+
+  TextTable table({"dataset", "acc (clean)", "acc (10% typos)", "delta"});
+  double sum_clean = 0, sum_noisy = 0;
+  int n = 0;
+  for (const std::string& name : config.datasets) {
+    auto clean_or = GenerateDatasetByName(name, config.seed, config.rows);
+    if (!clean_or.ok()) continue;
+    const Table& clean = *clean_or;
+    const Table noisy = InjectTypos(clean, 0.10, config.seed + 7);
+
+    auto run = [&](const Table& base) {
+      const CorruptedTable corrupted =
+          InjectMcar(base, 0.05, config.seed + 1);
+      auto grimp = MakeGrimp(FeatureInitKind::kNgram, config.zoo);
+      // Score against the (possibly noisy) base: the model must restore
+      // what was blanked.
+      return RunAlgorithm(base, corrupted, grimp.get()).score.Accuracy();
+    };
+    const double acc_clean = run(clean);
+    const double acc_noisy = run(noisy);
+    std::cerr << "[noise] " << name << " clean=" << acc_clean
+              << " noisy=" << acc_noisy << "\n";
+    table.AddRow({name, TextTable::Num(acc_clean, 3),
+                  TextTable::Num(acc_noisy, 3),
+                  TextTable::Num(acc_noisy - acc_clean, 3)});
+    sum_clean += acc_clean;
+    sum_noisy += acc_noisy;
+    ++n;
+  }
+  if (n > 0) {
+    table.AddRow({"AVERAGE", TextTable::Num(sum_clean / n, 3),
+                  TextTable::Num(sum_noisy / n, 3),
+                  TextTable::Num((sum_noisy - sum_clean) / n, 3)});
+  }
+  if (config.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper §4.2): small absolute decrease "
+               "(paper reports ~0.06) — typos fragment value nodes but the "
+               "subword features keep them close.\n";
+  return 0;
+}

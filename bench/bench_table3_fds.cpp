@@ -1,0 +1,84 @@
+// Reproduces Table 3: imputation with input FDs on Adult (2 FDs) and Tax
+// (6 FDs). Algorithms: FD-REPAIR (minimality repair), MISF (plain
+// MissForest), FUNFOREST (FD-focused trees), GRIMP-A (attention with
+// weak-diagonal+FD K). Reports training time and accuracy at 5/20/50%.
+
+#include <iostream>
+
+#include "baselines/fd_repair.h"
+#include "baselines/missforest.h"
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  bench::BenchConfig config =
+      bench::ParseBenchArgs(argc, argv, {"adult", "tax"});
+  bench::PrintRunHeader(
+      "Table 3: FD-REPAIR / MISF / FUNFOREST / GRIMP-A with input FDs",
+      config);
+
+  TextTable table({"Data", "Error", "t_MISF", "t_FUNF", "t_GRI-A", "acc_FD",
+                   "acc_MISF", "acc_FUNF", "acc_GRI-A"});
+  for (const std::string& name : config.datasets) {
+    auto spec_or = GetDatasetSpec(name);
+    if (!spec_or.ok()) continue;
+    auto clean_or = GenerateDataset(*spec_or, config.seed, config.rows);
+    if (!clean_or.ok()) continue;
+    const Table& clean = *clean_or;
+    auto fds_or = ResolveFds(*spec_or, clean.schema());
+    if (!fds_or.ok()) {
+      std::cerr << fds_or.status().ToString() << "\n";
+      continue;
+    }
+    const auto& fds = *fds_or;
+    std::cout << name << ": " << fds.size() << " input FDs\n";
+
+    for (double rate : config.error_rates) {
+      const CorruptedTable corrupted =
+          InjectMcar(clean, rate, config.seed + 1);
+
+      FdRepairImputer fd_repair(fds);
+      MissForestOptions misf_opts;
+      misf_opts.forest.num_trees = config.zoo.forest_trees;
+      misf_opts.seed = config.seed;
+      MissForestImputer misf(misf_opts);
+      MissForestOptions funf_opts = misf_opts;
+      funf_opts.fds = fds;
+      funf_opts.fd_tree_budget = 0.5;  // paper: 50% of the budget is best
+      MissForestImputer funf(funf_opts);
+      GrimpOptions go;
+      go.k_strategy = KStrategy::kWeakDiagonalFd;
+      go.fds = fds;
+      go.dim = config.zoo.grimp_dim;
+      go.max_epochs = config.zoo.grimp_epochs;
+      go.seed = config.zoo.seed;
+      GrimpImputer grimp_a(go);
+
+      const RunResult r_fd = RunAlgorithm(clean, corrupted, &fd_repair);
+      const RunResult r_misf = RunAlgorithm(clean, corrupted, &misf);
+      const RunResult r_funf = RunAlgorithm(clean, corrupted, &funf);
+      const RunResult r_grimp = RunAlgorithm(clean, corrupted, &grimp_a);
+      std::cerr << "[table3] " << name << " rate=" << rate << " done\n";
+
+      table.AddRow({name, TextTable::Num(rate * 100, 0),
+                    TextTable::Num(r_misf.seconds, 2),
+                    TextTable::Num(r_funf.seconds, 2),
+                    TextTable::Num(r_grimp.seconds, 2),
+                    TextTable::Num(r_fd.score.Accuracy(), 3),
+                    TextTable::Num(r_misf.score.Accuracy(), 3),
+                    TextTable::Num(r_funf.score.Accuracy(), 3),
+                    TextTable::Num(r_grimp.score.Accuracy(), 3)});
+    }
+  }
+  if (config.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper Table 3): FD-REPAIR lowest "
+               "(high precision, no recall outside FD conclusions); "
+               "FUNFOREST improves on MISF and converges faster; GRIMP-A "
+               "competitive, best on Adult at low rates.\n";
+  return 0;
+}

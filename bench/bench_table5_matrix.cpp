@@ -1,0 +1,40 @@
+// Reproduces Table 5: the qualitative capability matrix comparing GRIMP
+// with representative baselines. Asserted from this repository's actual
+// implementations (each row corresponds to a concrete code path).
+
+#include <iostream>
+
+#include "eval/report.h"
+
+int main() {
+  using grimp::TextTable;
+  std::cout << "Table 5: capability matrix of GRIMP and representative "
+               "baselines\n\n";
+  TextTable table({"Capability", "GRIMP", "EmbDI", "DataWig", "AimNet",
+                   "Grape", "TURL"});
+  table.AddRow({"Mixed data", "Y", "N", "Y", "Y", "N", "Partial"});
+  table.AddRow({"Graph rep. learn", "Y", "Y", "N", "N", "Y", "N"});
+  table.AddRow({"Attention", "Y", "N", "N", "Y", "N", "Y"});
+  table.AddRow({"Multi task learn", "Y", "N", "N", "Partial", "N",
+                "Partial"});
+  table.Print(std::cout);
+  std::cout
+      << "\nWhere each 'Y' lives in this repository:\n"
+         "  GRIMP mixed data     src/core/grimp.cc (per-type task heads, "
+         "dual loss)\n"
+         "  GRIMP graph learning src/gnn/hetero_sage.cc over "
+         "src/graph/builder.cc\n"
+         "  GRIMP attention      src/core/tasks.cc (AttentionTaskHead, "
+         "K strategies)\n"
+         "  GRIMP multi-task     src/core/grimp.cc (shared layer + "
+         "per-attribute tasks)\n"
+         "  EmbDI                src/embedding/embdi.cc (walks + "
+         "skip-gram)\n"
+         "  DataWig proxy        src/baselines/datawig.cc (independent "
+         "per-column models)\n"
+         "  AimNet               src/baselines/aimnet.cc (attention over "
+         "attribute embeddings)\n"
+         "  TURL proxy           src/baselines/turl_proxy.cc "
+         "(co-occurrence entity model)\n";
+  return 0;
+}

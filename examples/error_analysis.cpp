@@ -1,0 +1,81 @@
+// Per-value error analysis (paper §5): shows, for a heavily skewed
+// dataset, that imputation errors concentrate on rare values — for GRIMP
+// and for a tree ensemble alike — and compares against the frequency-based
+// expectation 1 - f_v.
+//
+//   ./examples/error_analysis [dataset] [rows]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/missforest.h"
+#include "core/grimp.h"
+#include "data/datasets.h"
+#include "eval/error_analysis.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "table/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  const std::string dataset = argc > 1 ? argv[1] : "thoracic";
+  const int64_t rows = argc > 2 ? std::atoll(argv[2]) : 300;
+
+  auto clean_or = GenerateDatasetByName(dataset, /*seed=*/5, rows);
+  if (!clean_or.ok()) {
+    std::cerr << clean_or.status().ToString() << "\n";
+    return 1;
+  }
+  const Table& clean = *clean_or;
+  const TableStats stats = ComputeTableStats(clean);
+  std::cout << "dataset " << dataset << ": S_avg="
+            << TextTable::Num(stats.skew_avg, 2)
+            << " K_avg=" << TextTable::Num(stats.kurtosis_avg, 2)
+            << " F+_avg=" << TextTable::Num(stats.frequent_frac_avg, 2)
+            << " N+_avg=" << TextTable::Num(stats.num_frequent_avg, 2)
+            << "\n";
+
+  const CorruptedTable corrupted = InjectMcar(clean, 0.3, 9);
+  GrimpOptions go;
+  go.max_epochs = 80;
+  GrimpImputer grimp(go);
+  MissForestImputer misf;
+  Table grimp_out, misf_out;
+  const RunResult g = RunAlgorithm(clean, corrupted, &grimp, &grimp_out);
+  const RunResult f = RunAlgorithm(clean, corrupted, &misf, &misf_out);
+  if (!g.status.ok() || !f.status.ok()) {
+    std::cerr << "imputation failed\n";
+    return 1;
+  }
+  std::cout << "overall accuracy: GRIMP " << TextTable::Num(
+                   g.score.Accuracy(), 3)
+            << ", MISF " << TextTable::Num(f.score.Accuracy(), 3) << "\n";
+
+  int shown = 0;
+  for (int c = 0; c < clean.num_cols() && shown < 3; ++c) {
+    if (!clean.column(c).is_categorical()) continue;
+    const auto grimp_rows = AnalyzeValueErrors(clean, corrupted, grimp_out, c);
+    if (grimp_rows.size() < 2 || grimp_rows.size() > 6) continue;
+    const auto misf_rows = AnalyzeValueErrors(clean, corrupted, misf_out, c);
+    ++shown;
+    std::cout << "\nattribute '" << clean.column(c).name()
+              << "' (values sorted by frequency; error fraction per value)\n";
+    TextTable table({"value", "freq", "expected", "GRIMP", "MISF"});
+    for (size_t i = 0; i < grimp_rows.size(); ++i) {
+      table.AddRow({grimp_rows[i].value,
+                    std::to_string(grimp_rows[i].frequency),
+                    TextTable::Num(grimp_rows[i].expected_error, 2),
+                    grimp_rows[i].test_cells > 0
+                        ? TextTable::Num(grimp_rows[i].ErrorFraction(), 2)
+                        : "n/a",
+                    misf_rows[i].test_cells > 0
+                        ? TextTable::Num(misf_rows[i].ErrorFraction(), 2)
+                        : "n/a"});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nNote the common pattern (paper §5): the top (frequent) "
+               "value is imputed almost perfectly, the bottom (rare) values "
+               "fail most of the time for every method.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// FD-aware imputation (paper §4.3): impute a Tax-like dataset whose
+// attributes obey functional dependencies, comparing FD-REPAIR, plain
+// MissForest, FUNFOREST, and GRIMP-A (attention tasks with the
+// weak-diagonal+FD selection matrix). Also demonstrates FD discovery.
+//
+//   ./examples/fd_imputation [rows]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/fd_repair.h"
+#include "baselines/missforest.h"
+#include "core/grimp.h"
+#include "data/datasets.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "table/fd.h"
+
+int main(int argc, char** argv) {
+  using namespace grimp;
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 400;
+
+  auto spec = GetDatasetSpec("tax");
+  auto clean_or = GenerateDataset(*spec, /*seed=*/3, rows);
+  if (!clean_or.ok()) {
+    std::cerr << clean_or.status().ToString() << "\n";
+    return 1;
+  }
+  const Table& clean = *clean_or;
+
+  // The declared FDs hold exactly on the generated data...
+  auto fds_or = ResolveFds(*spec, clean.schema());
+  if (!fds_or.ok()) {
+    std::cerr << fds_or.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& fds = *fds_or;
+  std::cout << "declared FDs:\n";
+  for (const auto& fd : fds) {
+    std::cout << "  " << fd.ToString(clean.schema())
+              << "  (violation rate " << FdViolationRate(clean, fd) << ")\n";
+  }
+  // ...and FD discovery finds them back from the data alone.
+  const auto discovered = DiscoverUnaryFds(clean, /*min_lhs_distinct=*/3);
+  std::cout << "discovered " << discovered.size()
+            << " unary FDs from the data, e.g.";
+  for (size_t i = 0; i < std::min<size_t>(3, discovered.size()); ++i) {
+    std::cout << " " << discovered[i].ToString(clean.schema());
+  }
+  std::cout << "\n\n";
+
+  const CorruptedTable corrupted = InjectMcar(clean, 0.2, 11);
+  std::cout << "injected " << corrupted.missing_cells.size()
+            << " missing cells (20% MCAR)\n\n";
+
+  FdRepairImputer fd_repair(fds);
+  MissForestImputer misf;
+  MissForestOptions funf_opts;
+  funf_opts.fds = fds;
+  funf_opts.fd_tree_budget = 0.5;
+  MissForestImputer funf(funf_opts);
+  GrimpOptions go;
+  go.k_strategy = KStrategy::kWeakDiagonalFd;
+  go.fds = fds;
+  go.max_epochs = 80;
+  GrimpImputer grimp_a(go);
+
+  TextTable table({"algorithm", "accuracy", "rmse", "seconds"});
+  for (ImputationAlgorithm* algo :
+       std::initializer_list<ImputationAlgorithm*>{&fd_repair, &misf, &funf,
+                                                   &grimp_a}) {
+    const RunResult rr = RunAlgorithm(clean, corrupted, algo);
+    if (!rr.status.ok()) {
+      std::cerr << algo->name() << ": " << rr.status.ToString() << "\n";
+      continue;
+    }
+    table.AddRow({rr.algorithm, TextTable::Num(rr.score.Accuracy(), 3),
+                  TextTable::Num(rr.score.Rmse(), 3),
+                  TextTable::Num(rr.seconds, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nFD-REPAIR only fills FD conclusions (high precision, low "
+               "recall); FUNFOREST and GRIMP-A exploit the FDs while "
+               "covering every cell.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate a small mixed-type dataset, blank 20% of its cells
+// at random, impute them with GRIMP, and report accuracy/RMSE.
+//
+//   ./examples/quickstart [rows]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/grimp.h"
+#include "data/datasets.h"
+#include "eval/metrics.h"
+#include "table/corruption.h"
+
+int main(int argc, char** argv) {
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 300;
+
+  // 1. A clean relational dataset (synthetic replica of UCI "Adult").
+  auto clean_or = grimp::GenerateDatasetByName("adult", /*seed=*/7, rows);
+  if (!clean_or.ok()) {
+    std::cerr << clean_or.status().ToString() << "\n";
+    return 1;
+  }
+  const grimp::Table& clean = *clean_or;
+  std::cout << "dataset: adult-replica, " << clean.num_rows() << " rows, "
+            << clean.num_cols() << " columns ("
+            << clean.schema().NumCategorical() << " categorical, "
+            << clean.schema().NumNumerical() << " numerical)\n";
+
+  // 2. Inject 20% MCAR missing values; keep the ground truth for scoring.
+  const grimp::CorruptedTable corrupted =
+      grimp::InjectMcar(clean, /*missing_fraction=*/0.2, /*seed=*/13);
+  std::cout << "injected " << corrupted.missing_cells.size()
+            << " missing cells ("
+            << 100.0 * corrupted.dirty.MissingFraction() << "% of table)\n";
+
+  // 3. Impute with GRIMP (default config: n-gram features, attention
+  //    tasks, weak-diagonal K).
+  grimp::GrimpOptions options;
+  options.max_epochs = 60;
+  options.verbose = true;
+  grimp::GrimpImputer imputer(options);
+  auto imputed_or = imputer.Impute(corrupted.dirty);
+  if (!imputed_or.ok()) {
+    std::cerr << imputed_or.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 4. Score against the ground truth.
+  const grimp::ImputationScore score =
+      grimp::ScoreImputation(*imputed_or, corrupted, clean);
+  std::cout << "\n--- " << imputer.name() << " ---\n"
+            << "categorical accuracy: " << score.Accuracy() << " ("
+            << score.categorical_correct << "/" << score.categorical_cells
+            << ")\n"
+            << "numerical RMSE:       " << score.Rmse() << "\n"
+            << "epochs run:           " << imputer.report().epochs_run << "\n"
+            << "parameters:           " << imputer.report().num_parameters
+            << "\n"
+            << "train time:           " << imputer.report().train_seconds
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,263 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grimp {
+
+struct DecisionTree::FitContext {
+  const FeatureMatrix* x = nullptr;
+  const std::vector<int32_t>* y_class = nullptr;
+  const std::vector<double>* y_reg = nullptr;
+  int num_classes = 0;
+  std::vector<int> features;
+  TreeOptions options;
+  Rng* rng = nullptr;
+  // Scratch buffers reused across nodes.
+  std::vector<int64_t> class_counts;
+};
+
+namespace {
+
+double GiniFromCounts(const std::vector<int64_t>& counts, int64_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int64_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::FitClassification(const FeatureMatrix& x,
+                                     const std::vector<int32_t>& y,
+                                     int num_classes,
+                                     const std::vector<int64_t>& rows,
+                                     const std::vector<int>& features,
+                                     const TreeOptions& options, Rng* rng) {
+  GRIMP_CHECK_EQ(static_cast<int64_t>(y.size()), x.num_rows);
+  GRIMP_CHECK_GT(num_classes, 0);
+  classification_ = true;
+  num_classes_ = num_classes;
+  nodes_.clear();
+  FitContext ctx;
+  ctx.x = &x;
+  ctx.y_class = &y;
+  ctx.num_classes = num_classes;
+  ctx.features = features;
+  ctx.options = options;
+  ctx.rng = rng;
+  ctx.class_counts.assign(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> mutable_rows = rows;
+  Build(&ctx, &mutable_rows, 0);
+}
+
+void DecisionTree::FitRegression(const FeatureMatrix& x,
+                                 const std::vector<double>& y,
+                                 const std::vector<int64_t>& rows,
+                                 const std::vector<int>& features,
+                                 const TreeOptions& options, Rng* rng) {
+  GRIMP_CHECK_EQ(static_cast<int64_t>(y.size()), x.num_rows);
+  classification_ = false;
+  num_classes_ = 0;
+  nodes_.clear();
+  FitContext ctx;
+  ctx.x = &x;
+  ctx.y_reg = &y;
+  ctx.features = features;
+  ctx.options = options;
+  ctx.rng = rng;
+  std::vector<int64_t> mutable_rows = rows;
+  Build(&ctx, &mutable_rows, 0);
+}
+
+int32_t DecisionTree::Build(FitContext* ctx, std::vector<int64_t>* rows,
+                            int depth) {
+  const FeatureMatrix& x = *ctx->x;
+  const TreeOptions& opt = ctx->options;
+  const int64_t n = static_cast<int64_t>(rows->size());
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Leaf prediction and node impurity.
+  double node_impurity;
+  double prediction;
+  bool pure;
+  if (classification_) {
+    std::fill(ctx->class_counts.begin(), ctx->class_counts.end(), 0);
+    for (int64_t r : *rows) {
+      ++ctx->class_counts[static_cast<size_t>((*ctx->y_class)[
+          static_cast<size_t>(r)])];
+    }
+    int32_t best_class = 0;
+    int64_t best_count = -1;
+    for (int c = 0; c < ctx->num_classes; ++c) {
+      if (ctx->class_counts[static_cast<size_t>(c)] > best_count) {
+        best_count = ctx->class_counts[static_cast<size_t>(c)];
+        best_class = c;
+      }
+    }
+    prediction = static_cast<double>(best_class);
+    node_impurity = GiniFromCounts(ctx->class_counts, n);
+    pure = best_count == n;
+  } else {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t r : *rows) {
+      const double v = (*ctx->y_reg)[static_cast<size_t>(r)];
+      sum += v;
+      sq += v * v;
+    }
+    prediction = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    node_impurity =
+        n > 0 ? sq / static_cast<double>(n) - prediction * prediction : 0.0;
+    pure = node_impurity < 1e-12;
+  }
+  nodes_[static_cast<size_t>(node_id)].prediction = prediction;
+
+  if (depth >= opt.max_depth || n < opt.min_samples_split || pure) {
+    return node_id;
+  }
+
+  // Feature subsampling (random forest style).
+  std::vector<int> candidates = ctx->features;
+  int mtry = opt.max_features;
+  if (mtry <= 0) {
+    mtry = std::max(1, static_cast<int>(std::sqrt(
+                           static_cast<double>(candidates.size()))));
+  }
+  ctx->rng->Shuffle(&candidates);
+  if (static_cast<int>(candidates.size()) > mtry) {
+    candidates.resize(static_cast<size_t>(mtry));
+  }
+
+  // Search the best split across sampled candidates.
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  bool best_equality = false;
+  double best_threshold = 0.0;
+
+  auto eval_split = [&](int f, bool equality, double threshold) {
+    int64_t n_left = 0;
+    if (classification_) {
+      std::vector<int64_t> left_counts(static_cast<size_t>(ctx->num_classes),
+                                       0);
+      std::vector<int64_t> right_counts(ctx->class_counts);
+      for (int64_t r : *rows) {
+        const double v = x.At(r, f);
+        const bool go_left = equality ? v == threshold : v <= threshold;
+        if (go_left) {
+          ++n_left;
+          const int32_t cls = (*ctx->y_class)[static_cast<size_t>(r)];
+          ++left_counts[static_cast<size_t>(cls)];
+          --right_counts[static_cast<size_t>(cls)];
+        }
+      }
+      const int64_t n_right = n - n_left;
+      if (n_left < opt.min_samples_leaf || n_right < opt.min_samples_leaf) {
+        return;
+      }
+      const double gain =
+          node_impurity -
+          (static_cast<double>(n_left) / n) * GiniFromCounts(left_counts,
+                                                             n_left) -
+          (static_cast<double>(n_right) / n) *
+              GiniFromCounts(right_counts, n_right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_equality = equality;
+        best_threshold = threshold;
+      }
+    } else {
+      double sum_l = 0.0, sq_l = 0.0, sum_r = 0.0, sq_r = 0.0;
+      for (int64_t r : *rows) {
+        const double v = x.At(r, f);
+        const double t = (*ctx->y_reg)[static_cast<size_t>(r)];
+        const bool go_left = equality ? v == threshold : v <= threshold;
+        if (go_left) {
+          ++n_left;
+          sum_l += t;
+          sq_l += t * t;
+        } else {
+          sum_r += t;
+          sq_r += t * t;
+        }
+      }
+      const int64_t n_right = n - n_left;
+      if (n_left < opt.min_samples_leaf || n_right < opt.min_samples_leaf) {
+        return;
+      }
+      const double var_l =
+          sq_l / n_left - (sum_l / n_left) * (sum_l / n_left);
+      const double var_r =
+          sq_r / n_right - (sum_r / n_right) * (sum_r / n_right);
+      const double gain = node_impurity -
+                          (static_cast<double>(n_left) / n) * var_l -
+                          (static_cast<double>(n_right) / n) * var_r;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_equality = equality;
+        best_threshold = threshold;
+      }
+    }
+  };
+
+  for (int f : candidates) {
+    const bool categorical = x.feature_categorical[static_cast<size_t>(f)];
+    for (int k = 0; k < opt.max_split_candidates; ++k) {
+      const int64_t r = (*rows)[ctx->rng->Uniform(rows->size())];
+      const double v = x.At(r, f);
+      if (categorical) {
+        eval_split(f, /*equality=*/true, v);
+      } else {
+        eval_split(f, /*equality=*/false, v);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition rows in place.
+  std::vector<int64_t> left_rows, right_rows;
+  left_rows.reserve(rows->size());
+  right_rows.reserve(rows->size());
+  for (int64_t r : *rows) {
+    const double v = x.At(r, best_feature);
+    const bool go_left =
+        best_equality ? v == best_threshold : v <= best_threshold;
+    (go_left ? left_rows : right_rows).push_back(r);
+  }
+  rows->clear();
+  rows->shrink_to_fit();
+
+  const int32_t left = Build(ctx, &left_rows, depth + 1);
+  const int32_t right = Build(ctx, &right_rows, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.equality_split = best_equality;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const FeatureMatrix& x, int64_t row) const {
+  GRIMP_CHECK(!nodes_.empty());
+  int32_t cur = 0;
+  while (!nodes_[static_cast<size_t>(cur)].leaf) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    const double v = x.At(row, node.feature);
+    const bool go_left =
+        node.equality_split ? v == node.threshold : v <= node.threshold;
+    cur = go_left ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].prediction;
+}
+
+}  // namespace grimp

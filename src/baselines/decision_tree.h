@@ -1,0 +1,91 @@
+#ifndef GRIMP_BASELINES_DECISION_TREE_H_
+#define GRIMP_BASELINES_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace grimp {
+
+// Dense mixed-type feature matrix for the tree ensemble substrate.
+// Categorical features store dictionary codes as doubles and are split by
+// equality; numerical features are split by threshold.
+struct FeatureMatrix {
+  int64_t num_rows = 0;
+  int num_features = 0;
+  std::vector<double> data;               // row-major
+  std::vector<bool> feature_categorical;  // per feature
+
+  static FeatureMatrix Create(int64_t rows, int features) {
+    FeatureMatrix fm;
+    fm.num_rows = rows;
+    fm.num_features = features;
+    fm.data.assign(static_cast<size_t>(rows) * features, 0.0);
+    fm.feature_categorical.assign(static_cast<size_t>(features), false);
+    return fm;
+  }
+  double At(int64_t r, int f) const {
+    GRIMP_DCHECK(r >= 0 && r < num_rows && f >= 0 && f < num_features);
+    return data[static_cast<size_t>(r) * num_features + f];
+  }
+  void Set(int64_t r, int f, double v) {
+    GRIMP_DCHECK(r >= 0 && r < num_rows && f >= 0 && f < num_features);
+    data[static_cast<size_t>(r) * num_features + f] = v;
+  }
+};
+
+struct TreeOptions {
+  int max_depth = 10;
+  int min_samples_leaf = 2;
+  int min_samples_split = 6;
+  // Features tried per split; <= 0 means sqrt(num_available_features).
+  int max_features = -1;
+  // Split candidates sampled per feature.
+  int max_split_candidates = 16;
+};
+
+// CART decision tree supporting classification (Gini) and regression
+// (variance reduction) over mixed features. Used by MissForest/FUNFOREST.
+class DecisionTree {
+ public:
+  // `rows` selects the training subset (bootstrap sample); `features`
+  // lists the feature indices this tree may split on.
+  void FitClassification(const FeatureMatrix& x,
+                         const std::vector<int32_t>& y, int num_classes,
+                         const std::vector<int64_t>& rows,
+                         const std::vector<int>& features,
+                         const TreeOptions& options, Rng* rng);
+  void FitRegression(const FeatureMatrix& x, const std::vector<double>& y,
+                     const std::vector<int64_t>& rows,
+                     const std::vector<int>& features,
+                     const TreeOptions& options, Rng* rng);
+
+  // Class code (classification) or mean value (regression).
+  double Predict(const FeatureMatrix& x, int64_t row) const;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    bool equality_split = false;  // categorical: go left iff x == threshold
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double prediction = 0.0;
+  };
+
+  struct FitContext;
+  int32_t Build(FitContext* ctx, std::vector<int64_t>* rows, int depth);
+
+  std::vector<Node> nodes_;
+  bool classification_ = true;
+  int num_classes_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_DECISION_TREE_H_

@@ -1,0 +1,54 @@
+#include "baselines/fd_repair.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace grimp {
+
+Result<Table> FdRepairImputer::Impute(const Table& dirty) {
+  Table imputed = dirty;
+  for (const FunctionalDependency& fd : fds_) {
+    if (fd.rhs < 0 || fd.rhs >= dirty.num_cols()) {
+      return Status::InvalidArgument("FD rhs out of range");
+    }
+    const Column& rhs_col = dirty.column(fd.rhs);
+    // lhs-key -> rhs code histogram over tuples with both sides present.
+    std::unordered_map<std::string, std::unordered_map<int32_t, int64_t>>
+        groups;
+    auto lhs_key = [&](int64_t row, std::string* key) {
+      key->clear();
+      for (int col : fd.lhs) {
+        if (dirty.IsMissing(row, col)) return false;
+        *key += std::to_string(dirty.column(col).CodeAt(row));
+        *key += '|';
+      }
+      return true;
+    };
+    std::string key;
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      if (rhs_col.IsMissing(r)) continue;
+      if (!lhs_key(r, &key)) continue;
+      groups[key][rhs_col.CodeAt(r)]++;
+    }
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      // Only fill cells still missing (an earlier FD may have repaired
+      // them already).
+      if (!imputed.IsMissing(r, fd.rhs)) continue;
+      if (!lhs_key(r, &key)) continue;
+      auto it = groups.find(key);
+      if (it == groups.end()) continue;
+      int32_t best = -1;
+      int64_t best_count = -1;
+      for (const auto& [code, count] : it->second) {
+        if (count > best_count || (count == best_count && code < best)) {
+          best_count = count;
+          best = code;
+        }
+      }
+      if (best >= 0) imputed.mutable_column(fd.rhs).SetFromCode(r, best);
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

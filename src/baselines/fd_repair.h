@@ -1,0 +1,30 @@
+#ifndef GRIMP_BASELINES_FD_REPAIR_H_
+#define GRIMP_BASELINES_FD_REPAIR_H_
+
+#include <vector>
+
+#include "eval/imputer.h"
+#include "table/fd.h"
+
+namespace grimp {
+
+// FD-REPAIR baseline (paper §4.3): for a missing cell in the conclusion
+// (rhs) of an input FD, impute the most common rhs value among tuples that
+// share the premise (lhs) values, following the minimality principle of
+// data repairing. Cells not covered by any FD are left missing — the
+// paper's "high precision, poor recall" behaviour.
+class FdRepairImputer : public ImputationAlgorithm {
+ public:
+  explicit FdRepairImputer(std::vector<FunctionalDependency> fds)
+      : fds_(std::move(fds)) {}
+
+  std::string name() const override { return "FD-REPAIR"; }
+  Result<Table> Impute(const Table& dirty) override;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_FD_REPAIR_H_

@@ -1,0 +1,43 @@
+#include "baselines/featurize.h"
+
+#include <algorithm>
+
+namespace grimp {
+
+OneHotPlan PlanOneHot(const Column& col, int max_onehot) {
+  OneHotPlan plan;
+  const Dictionary& dict = col.dict();
+  std::vector<int32_t> codes;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    if (dict.CountOf(code) > 0) codes.push_back(code);
+  }
+  std::sort(codes.begin(), codes.end(), [&dict](int32_t a, int32_t b) {
+    if (dict.CountOf(a) != dict.CountOf(b)) {
+      return dict.CountOf(a) > dict.CountOf(b);
+    }
+    return a < b;
+  });
+  plan.slot_of_code.assign(static_cast<size_t>(dict.size()), -1);
+  const int direct =
+      std::min<int>(static_cast<int>(codes.size()), max_onehot - 1);
+  for (int i = 0; i < direct; ++i) {
+    plan.slot_of_code[static_cast<size_t>(codes[static_cast<size_t>(i)])] = i;
+    plan.code_of_slot.push_back(codes[static_cast<size_t>(i)]);
+  }
+  const bool has_other = static_cast<int>(codes.size()) > direct;
+  if (has_other) {
+    for (size_t i = static_cast<size_t>(direct); i < codes.size(); ++i) {
+      plan.slot_of_code[static_cast<size_t>(codes[i])] = direct;
+    }
+    // The "other" slot decodes to its most frequent member.
+    plan.code_of_slot.push_back(codes[static_cast<size_t>(direct)]);
+  }
+  plan.width = direct + (has_other ? 1 : 0);
+  if (plan.width == 0) {
+    plan.width = 1;
+    plan.code_of_slot.push_back(-1);
+  }
+  return plan;
+}
+
+}  // namespace grimp

@@ -1,0 +1,26 @@
+#ifndef GRIMP_BASELINES_FEATURIZE_H_
+#define GRIMP_BASELINES_FEATURIZE_H_
+
+#include <vector>
+
+#include "table/column.h"
+
+namespace grimp {
+
+// Dummy-coding plan for one categorical column: dictionary code -> one-hot
+// slot. The most frequent values get private slots; the tail shares one
+// "other" slot so the design-matrix width stays bounded.
+struct OneHotPlan {
+  std::vector<int> slot_of_code;  // per dictionary code; -1 == dead code
+  int width = 0;
+  // Inverse map: slot -> representative dictionary code (the most frequent
+  // code mapped to that slot). Used to decode argmax slots back to values.
+  std::vector<int32_t> code_of_slot;
+};
+
+// Builds a plan with at most `max_onehot` slots.
+OneHotPlan PlanOneHot(const Column& col, int max_onehot);
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_FEATURIZE_H_

@@ -1,0 +1,110 @@
+#include "baselines/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace grimp {
+
+Result<Table> KnnImputer::Impute(const Table& dirty) {
+  if (k_ <= 0) return Status::InvalidArgument("k must be positive");
+  const int64_t n = dirty.num_rows();
+  const int m = dirty.num_cols();
+
+  // Precompute numeric ranges for Gower normalization.
+  std::vector<double> inv_range(static_cast<size_t>(m), 0.0);
+  for (int c = 0; c < m; ++c) {
+    const Column& col = dirty.column(c);
+    if (col.is_categorical()) continue;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (int64_t r = 0; r < n; ++r) {
+      if (col.IsMissing(r)) continue;
+      lo = std::min(lo, col.NumAt(r));
+      hi = std::max(hi, col.NumAt(r));
+    }
+    if (hi > lo) inv_range[static_cast<size_t>(c)] = 1.0 / (hi - lo);
+  }
+
+  auto gower = [&](int64_t a, int64_t b) {
+    double sum = 0.0;
+    int dims = 0;
+    for (int c = 0; c < m; ++c) {
+      const Column& col = dirty.column(c);
+      if (col.IsMissing(a) || col.IsMissing(b)) continue;
+      if (col.is_categorical()) {
+        sum += col.CodeAt(a) == col.CodeAt(b) ? 0.0 : 1.0;
+      } else {
+        sum += std::fabs(col.NumAt(a) - col.NumAt(b)) *
+               inv_range[static_cast<size_t>(c)];
+      }
+      ++dims;
+    }
+    // Tuples with no comparable dimension are maximally distant.
+    return dims > 0 ? sum / dims : 1.0;
+  };
+
+  Table imputed = dirty;
+  std::vector<std::pair<double, int64_t>> dists;
+  for (int64_t r = 0; r < n; ++r) {
+    bool has_missing = false;
+    for (int c = 0; c < m; ++c) has_missing |= dirty.IsMissing(r, c);
+    if (!has_missing) continue;
+
+    dists.clear();
+    for (int64_t other = 0; other < n; ++other) {
+      if (other == r) continue;
+      dists.emplace_back(gower(r, other), other);
+    }
+    const size_t k = std::min<size_t>(static_cast<size_t>(k_), dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<ptrdiff_t>(k),
+                      dists.end());
+
+    for (int c = 0; c < m; ++c) {
+      if (!dirty.IsMissing(r, c)) continue;
+      const Column& src = dirty.column(c);
+      Column& dst = imputed.mutable_column(c);
+      if (src.is_categorical()) {
+        std::unordered_map<int32_t, double> votes;
+        for (size_t i = 0; i < k; ++i) {
+          const int64_t nb = dists[i].second;
+          if (src.IsMissing(nb)) continue;
+          votes[src.CodeAt(nb)] += 1.0 / (1e-6 + dists[i].first);
+        }
+        int32_t best = -1;
+        double best_w = -1.0;
+        for (const auto& [code, w] : votes) {
+          if (w > best_w) {
+            best_w = w;
+            best = code;
+          }
+        }
+        if (best < 0) best = src.dict().MostFrequent();
+        if (best >= 0 && src.dict().CountOf(best) > 0) {
+          dst.SetFromCode(r, best);
+        }
+      } else {
+        double wsum = 0.0, acc = 0.0;
+        for (size_t i = 0; i < k; ++i) {
+          const int64_t nb = dists[i].second;
+          if (src.IsMissing(nb)) continue;
+          const double w = 1.0 / (1e-6 + dists[i].first);
+          acc += w * src.NumAt(nb);
+          wsum += w;
+        }
+        if (wsum > 0.0) {
+          dst.SetNumerical(r, acc / wsum);
+        } else if (src.NumPresent() > 0) {
+          double mean = 0.0, std = 1.0;
+          src.NumericMoments(&mean, &std);
+          dst.SetNumerical(r, mean);
+        }
+      }
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

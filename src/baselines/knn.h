@@ -1,0 +1,27 @@
+#ifndef GRIMP_BASELINES_KNN_H_
+#define GRIMP_BASELINES_KNN_H_
+
+#include "eval/imputer.h"
+
+namespace grimp {
+
+// K-nearest-neighbor imputation (paper §6, [47]) with Gower distance over
+// mixed attributes: categorical dimensions contribute 0/1 mismatch,
+// numerical dimensions |a-b| / range; dimensions missing in either tuple
+// are skipped and the distance renormalized. Missing categorical cells get
+// the (distance-weighted) mode of the k neighbors, numerical cells the
+// weighted mean.
+class KnnImputer : public ImputationAlgorithm {
+ public:
+  explicit KnnImputer(int k = 5) : k_(k) {}
+
+  std::string name() const override { return "KNN"; }
+  Result<Table> Impute(const Table& dirty) override;
+
+ private:
+  int k_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_KNN_H_

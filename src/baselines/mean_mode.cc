@@ -1,0 +1,28 @@
+#include "baselines/mean_mode.h"
+
+namespace grimp {
+
+Result<Table> MeanModeImputer::Impute(const Table& dirty) {
+  Table imputed = dirty;
+  for (int c = 0; c < dirty.num_cols(); ++c) {
+    Column& col = imputed.mutable_column(c);
+    if (col.is_categorical()) {
+      const int32_t mode = col.dict().MostFrequent();
+      if (mode < 0 || col.dict().CountOf(mode) <= 0) continue;
+      const std::string mode_value = col.dict().ValueOf(mode);
+      for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+        if (col.IsMissing(r)) col.SetCategorical(r, mode_value);
+      }
+    } else {
+      if (col.NumPresent() == 0) continue;
+      double mean = 0.0, std = 1.0;
+      col.NumericMoments(&mean, &std);
+      for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+        if (col.IsMissing(r)) col.SetNumerical(r, mean);
+      }
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

@@ -1,0 +1,19 @@
+#ifndef GRIMP_BASELINES_MEAN_MODE_H_
+#define GRIMP_BASELINES_MEAN_MODE_H_
+
+#include "eval/imputer.h"
+
+namespace grimp {
+
+// The simplest baseline (paper §6, [26]): impute every missing categorical
+// cell with the column's most frequent value and every missing numerical
+// cell with the column mean. Also used as MissForest's initial guess.
+class MeanModeImputer : public ImputationAlgorithm {
+ public:
+  std::string name() const override { return "MEAN-MODE"; }
+  Result<Table> Impute(const Table& dirty) override;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_MEAN_MODE_H_

@@ -1,0 +1,42 @@
+#ifndef GRIMP_BASELINES_MIDA_H_
+#define GRIMP_BASELINES_MIDA_H_
+
+#include "eval/imputer.h"
+
+namespace grimp {
+
+struct MidaOptions {
+  int hidden = 64;
+  int code_dim = 32;
+  int epochs = 80;
+  float learning_rate = 5e-3f;
+  // Extra input corruption per epoch (denoising objective): this fraction
+  // of the *observed* cells is zeroed at the input while still being
+  // reconstruction targets.
+  double dropout = 0.25;
+  int max_onehot = 32;
+  uint64_t seed = 404;
+};
+
+// MIDA-style denoising autoencoder imputation (Gondara & Wang 2018; paper
+// §6's generative-model class). Rows are encoded as one-hot/normalized
+// feature vectors; an overcomplete autoencoder is trained to reconstruct
+// the observed cells from randomly over-corrupted inputs (missing cells
+// are zeroed and excluded from the loss). Imputation decodes the
+// reconstruction: argmax per categorical block, raw output per numeric
+// slot. Exhibits the class's documented weakness: categorical outputs must
+// be coerced back into the active domain.
+class MidaImputer : public ImputationAlgorithm {
+ public:
+  explicit MidaImputer(MidaOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "MIDA"; }
+  Result<Table> Impute(const Table& dirty) override;
+
+ private:
+  MidaOptions options_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_MIDA_H_

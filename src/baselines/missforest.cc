@@ -1,0 +1,168 @@
+#include "baselines/missforest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grimp {
+
+namespace {
+
+// Mean/mode initial guesses, encoded into the feature matrix.
+void InitialFill(const Table& dirty, FeatureMatrix* x) {
+  for (int c = 0; c < dirty.num_cols(); ++c) {
+    const Column& col = dirty.column(c);
+    x->feature_categorical[static_cast<size_t>(c)] = col.is_categorical();
+    double fallback = 0.0;
+    if (col.is_categorical()) {
+      const int32_t mode = col.dict().MostFrequent();
+      fallback = mode >= 0 ? static_cast<double>(mode) : 0.0;
+    } else if (col.NumPresent() > 0) {
+      double std = 1.0;
+      col.NumericMoments(&fallback, &std);
+    }
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      if (col.IsMissing(r)) {
+        x->Set(r, c, fallback);
+      } else {
+        x->Set(r, c,
+               col.is_categorical() ? static_cast<double>(col.CodeAt(r))
+                                    : col.NumAt(r));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Table> MissForestImputer::Impute(const Table& dirty) {
+  const int64_t n = dirty.num_rows();
+  const int m = dirty.num_cols();
+  if (n == 0 || m == 0) return Status::InvalidArgument("empty table");
+  Rng rng(options_.seed);
+  iterations_run_ = 0;
+
+  FeatureMatrix x = FeatureMatrix::Create(n, m);
+  InitialFill(dirty, &x);
+
+  // Columns with missing cells, ascending by missingness (MissForest's
+  // processing order).
+  struct ColWork {
+    int col;
+    std::vector<int64_t> observed;
+    std::vector<int64_t> missing;
+  };
+  std::vector<ColWork> work;
+  for (int c = 0; c < m; ++c) {
+    ColWork w;
+    w.col = c;
+    for (int64_t r = 0; r < n; ++r) {
+      (dirty.IsMissing(r, c) ? w.missing : w.observed).push_back(r);
+    }
+    if (!w.missing.empty() && !w.observed.empty()) work.push_back(std::move(w));
+  }
+  std::sort(work.begin(), work.end(), [](const ColWork& a, const ColWork& b) {
+    return a.missing.size() < b.missing.size();
+  });
+
+  // Per-target FUNFOREST focus features: the premise attributes of FDs
+  // whose conclusion is the target. FDs merely mentioning the target on
+  // their premise side carry no predictive direction for it and are
+  // ignored.
+  auto focus_for = [&](int target) {
+    std::vector<int> focus;
+    if (options_.fd_tree_budget <= 0.0) return focus;
+    for (const FunctionalDependency& fd : options_.fds) {
+      if (fd.rhs != target) continue;
+      for (int l : fd.lhs) {
+        if (l != target) focus.push_back(l);
+      }
+    }
+    std::sort(focus.begin(), focus.end());
+    focus.erase(std::unique(focus.begin(), focus.end()), focus.end());
+    return focus;
+  };
+
+  double prev_change = std::numeric_limits<double>::infinity();
+  std::vector<double> previous(x.data);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++iterations_run_;
+    for (const ColWork& w : work) {
+      const Column& col = dirty.column(w.col);
+      std::vector<int> features;
+      for (int f = 0; f < m; ++f) {
+        if (f != w.col) features.push_back(f);
+      }
+      ForestOptions forest_opts = options_.forest;
+      const std::vector<int> focus = focus_for(w.col);
+      if (!focus.empty()) {
+        forest_opts.focus_fraction = options_.fd_tree_budget;
+        forest_opts.focus_features = focus;
+      }
+      RandomForest forest;
+      if (col.is_categorical()) {
+        std::vector<int32_t> y(static_cast<size_t>(n), 0);
+        for (int64_t r : w.observed) {
+          y[static_cast<size_t>(r)] = col.CodeAt(r);
+        }
+        forest.FitClassification(x, y, col.dict().size(), w.observed,
+                                 features, forest_opts, &rng);
+        for (int64_t r : w.missing) {
+          x.Set(r, w.col, static_cast<double>(forest.PredictClass(x, r)));
+        }
+      } else {
+        std::vector<double> y(static_cast<size_t>(n), 0.0);
+        for (int64_t r : w.observed) y[static_cast<size_t>(r)] = col.NumAt(r);
+        forest.FitRegression(x, y, w.observed, features, forest_opts, &rng);
+        for (int64_t r : w.missing) {
+          x.Set(r, w.col, forest.PredictValue(x, r));
+        }
+      }
+    }
+    // Stopping criterion: normalized change of the imputed cells rises.
+    double change_num = 0.0, change_den = 0.0, cat_changed = 0.0,
+           cat_total = 0.0;
+    for (const ColWork& w : work) {
+      for (int64_t r : w.missing) {
+        const double now = x.At(r, w.col);
+        const double before =
+            previous[static_cast<size_t>(r) * m + w.col];
+        if (x.feature_categorical[static_cast<size_t>(w.col)]) {
+          cat_changed += now != before ? 1.0 : 0.0;
+          cat_total += 1.0;
+        } else {
+          change_num += (now - before) * (now - before);
+          change_den += now * now;
+        }
+      }
+    }
+    const double change =
+        (change_den > 0 ? change_num / change_den : 0.0) +
+        (cat_total > 0 ? cat_changed / cat_total : 0.0);
+    previous = x.data;
+    if (change >= prev_change) break;
+    prev_change = change;
+  }
+
+  // Materialize the imputed table.
+  Table imputed = dirty;
+  for (int c = 0; c < m; ++c) {
+    const Column& src = dirty.column(c);
+    Column& dst = imputed.mutable_column(c);
+    for (int64_t r = 0; r < n; ++r) {
+      if (!src.IsMissing(r)) continue;
+      if (src.is_categorical()) {
+        const int32_t code = static_cast<int32_t>(x.At(r, c));
+        if (code >= 0 && code < src.dict().size() &&
+            src.dict().CountOf(code) > 0) {
+          dst.SetFromCode(r, code);
+        }
+      } else {
+        dst.SetNumerical(r, x.At(r, c));
+      }
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

@@ -1,0 +1,74 @@
+#include "baselines/random_forest.h"
+
+#include <algorithm>
+
+namespace grimp {
+
+template <typename FitFn>
+void RandomForest::FitImpl(const std::vector<int64_t>& rows,
+                           const std::vector<int>& features,
+                           const ForestOptions& options, Rng* rng,
+                           FitFn fit_one) {
+  GRIMP_CHECK(!rows.empty());
+  GRIMP_CHECK(!features.empty());
+  trees_.assign(static_cast<size_t>(options.num_trees), DecisionTree());
+  const int num_focus = static_cast<int>(options.focus_fraction *
+                                         options.num_trees);
+  std::vector<int64_t> bootstrap(rows.size());
+  for (int t = 0; t < options.num_trees; ++t) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      bootstrap[i] = rows[rng->Uniform(rows.size())];
+    }
+    const bool focused = t < num_focus && !options.focus_features.empty();
+    fit_one(&trees_[static_cast<size_t>(t)], bootstrap,
+            focused ? options.focus_features : features);
+  }
+}
+
+void RandomForest::FitClassification(const FeatureMatrix& x,
+                                     const std::vector<int32_t>& y,
+                                     int num_classes,
+                                     const std::vector<int64_t>& rows,
+                                     const std::vector<int>& features,
+                                     const ForestOptions& options, Rng* rng) {
+  num_classes_ = num_classes;
+  FitImpl(rows, features, options, rng,
+          [&](DecisionTree* tree, const std::vector<int64_t>& sample,
+              const std::vector<int>& feats) {
+            tree->FitClassification(x, y, num_classes, sample, feats,
+                                    options.tree, rng);
+          });
+}
+
+void RandomForest::FitRegression(const FeatureMatrix& x,
+                                 const std::vector<double>& y,
+                                 const std::vector<int64_t>& rows,
+                                 const std::vector<int>& features,
+                                 const ForestOptions& options, Rng* rng) {
+  num_classes_ = 0;
+  FitImpl(rows, features, options, rng,
+          [&](DecisionTree* tree, const std::vector<int64_t>& sample,
+              const std::vector<int>& feats) {
+            tree->FitRegression(x, y, sample, feats, options.tree, rng);
+          });
+}
+
+int32_t RandomForest::PredictClass(const FeatureMatrix& x, int64_t row) const {
+  GRIMP_CHECK_GT(num_classes_, 0);
+  std::vector<int> votes(static_cast<size_t>(num_classes_), 0);
+  for (const DecisionTree& tree : trees_) {
+    const int32_t cls = static_cast<int32_t>(tree.Predict(x, row));
+    if (cls >= 0 && cls < num_classes_) ++votes[static_cast<size_t>(cls)];
+  }
+  return static_cast<int32_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double RandomForest::PredictValue(const FeatureMatrix& x, int64_t row) const {
+  GRIMP_CHECK(!trees_.empty());
+  double acc = 0.0;
+  for (const DecisionTree& tree : trees_) acc += tree.Predict(x, row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace grimp

@@ -1,0 +1,53 @@
+#ifndef GRIMP_BASELINES_RANDOM_FOREST_H_
+#define GRIMP_BASELINES_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "baselines/decision_tree.h"
+
+namespace grimp {
+
+struct ForestOptions {
+  int num_trees = 20;
+  TreeOptions tree;
+  // FUNFOREST (paper §4.3): this fraction of the trees is trained
+  // exclusively on `focus_features` (the FD attributes of the target);
+  // the rest see all features. 0 == plain random forest.
+  double focus_fraction = 0.0;
+  std::vector<int> focus_features;
+};
+
+// Bagged CART ensemble: bootstrap per tree, sqrt-feature subsampling per
+// split, majority vote (classification) / mean (regression).
+class RandomForest {
+ public:
+  void FitClassification(const FeatureMatrix& x,
+                         const std::vector<int32_t>& y, int num_classes,
+                         const std::vector<int64_t>& rows,
+                         const std::vector<int>& features,
+                         const ForestOptions& options, Rng* rng);
+  void FitRegression(const FeatureMatrix& x, const std::vector<double>& y,
+                     const std::vector<int64_t>& rows,
+                     const std::vector<int>& features,
+                     const ForestOptions& options, Rng* rng);
+
+  // Majority class code.
+  int32_t PredictClass(const FeatureMatrix& x, int64_t row) const;
+  // Ensemble mean.
+  double PredictValue(const FeatureMatrix& x, int64_t row) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  template <typename FitFn>
+  void FitImpl(const std::vector<int64_t>& rows,
+               const std::vector<int>& features, const ForestOptions& options,
+               Rng* rng, FitFn fit_one);
+
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_RANDOM_FOREST_H_

@@ -1,0 +1,103 @@
+#include "baselines/turl_proxy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "embedding/skipgram.h"
+
+namespace grimp {
+
+Result<Table> TurlProxyImputer::Impute(const Table& dirty) {
+  const int64_t n = dirty.num_rows();
+  const int m = dirty.num_cols();
+  if (n == 0 || m == 0) return Status::InvalidArgument("empty table");
+
+  // Global token space: (column, code) pairs, columns offset-packed.
+  std::vector<int32_t> offsets(static_cast<size_t>(m) + 1, 0);
+  for (int c = 0; c < m; ++c) {
+    offsets[static_cast<size_t>(c) + 1] =
+        offsets[static_cast<size_t>(c)] + dirty.column(c).dict().size();
+  }
+  const int32_t vocab = std::max(1, offsets[static_cast<size_t>(m)]);
+
+  // "Pre-training" corpus: one sentence per tuple.
+  std::vector<std::vector<int32_t>> corpus;
+  corpus.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<int32_t> sentence;
+    for (int c = 0; c < m; ++c) {
+      const int32_t code = dirty.column(c).CodeAt(r);
+      if (code >= 0) {
+        sentence.push_back(offsets[static_cast<size_t>(c)] + code);
+      }
+    }
+    if (sentence.size() >= 2) corpus.push_back(std::move(sentence));
+  }
+
+  SkipGramOptions sg;
+  sg.dim = options_.dim;
+  sg.window = m;  // whole-row context: every pair of cells co-trains
+  sg.epochs = options_.epochs;
+  SkipGramModel model(vocab, sg, options_.seed);
+  model.Train(corpus);
+  const Tensor& in = model.embeddings();
+  const Tensor& out = model.output_embeddings();
+
+  Table imputed = dirty;
+  for (int64_t r = 0; r < n; ++r) {
+    // Context tokens of this tuple (present cells only); their summed
+    // input embedding scores candidates in one dot product.
+    std::vector<int32_t> context;
+    std::vector<double> ctx_sum(static_cast<size_t>(options_.dim), 0.0);
+    for (int c = 0; c < m; ++c) {
+      const int32_t code = dirty.column(c).CodeAt(r);
+      if (code >= 0) {
+        const int32_t tok = offsets[static_cast<size_t>(c)] + code;
+        context.push_back(tok);
+        for (int k = 0; k < options_.dim; ++k) {
+          ctx_sum[static_cast<size_t>(k)] += in.at(tok, k);
+        }
+      }
+    }
+    for (int c = 0; c < m; ++c) {
+      if (!dirty.IsMissing(r, c)) continue;
+      Column& dst = imputed.mutable_column(c);
+      if (!dst.is_categorical()) {
+        // No numeric support in the original design: column mean.
+        if (dst.NumPresent() > 0) {
+          double mean = 0.0, std = 1.0;
+          dst.NumericMoments(&mean, &std);
+          dst.SetNumerical(r, mean);
+        }
+        continue;
+      }
+      if (context.empty()) {
+        const int32_t mode = dst.dict().MostFrequent();
+        if (mode >= 0 && dst.dict().CountOf(mode) > 0) {
+          dst.SetFromCode(r, mode);
+        }
+        continue;
+      }
+      // Score every live candidate: <sum of context in-embeddings,
+      // out-embedding of the candidate>.
+      int32_t best = -1;
+      double best_score = 0.0;
+      for (int32_t code = 0; code < dst.dict().size(); ++code) {
+        if (dst.dict().CountOf(code) <= 0) continue;
+        const int32_t cand = offsets[static_cast<size_t>(c)] + code;
+        double score = 0.0;
+        for (int k = 0; k < options_.dim; ++k) {
+          score += ctx_sum[static_cast<size_t>(k)] * out.at(cand, k);
+        }
+        if (best < 0 || score > best_score) {
+          best = code;
+          best_score = score;
+        }
+      }
+      if (best >= 0) dst.SetFromCode(r, best);
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

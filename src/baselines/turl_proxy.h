@@ -1,0 +1,39 @@
+#ifndef GRIMP_BASELINES_TURL_PROXY_H_
+#define GRIMP_BASELINES_TURL_PROXY_H_
+
+#include "eval/imputer.h"
+
+namespace grimp {
+
+struct TurlProxyOptions {
+  int dim = 48;
+  int epochs = 4;
+  uint64_t seed = 55;
+};
+
+// TURL stand-in (Deng et al. 2020; paper baseline TURL). The real system
+// is a table language model pre-trained on Wikipedia tables, unavailable
+// offline; this proxy keeps the property the paper analyses: an
+// entity/co-occurrence model that is competitive on categorical cells and
+// has no numeric support. It pre-trains value embeddings with skip-gram
+// over "row sentences" (each tuple's cell tokens) and imputes a
+// categorical cell by scoring every candidate value of the attribute
+// against the tuple's context embeddings (word2vec in/out scoring).
+// Numerical cells fall back to the column mean, mirroring "TURL does worse
+// for numerical attributes, as those are not considered in the original
+// design".
+class TurlProxyImputer : public ImputationAlgorithm {
+ public:
+  explicit TurlProxyImputer(TurlProxyOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "TURL"; }
+  Result<Table> Impute(const Table& dirty) override;
+
+ private:
+  TurlProxyOptions options_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_TURL_PROXY_H_

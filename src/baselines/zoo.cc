@@ -1,0 +1,66 @@
+#include "baselines/zoo.h"
+
+#include "baselines/aimnet.h"
+#include "baselines/datawig.h"
+#include "baselines/missforest.h"
+#include "baselines/turl_proxy.h"
+
+namespace grimp {
+
+std::unique_ptr<GrimpImputer> MakeGrimp(FeatureInitKind features,
+                                        const ZooOptions& options) {
+  GrimpOptions go;
+  go.features = features;
+  go.dim = options.grimp_dim;
+  go.max_epochs = options.grimp_epochs;
+  go.seed = options.seed;
+  return std::make_unique<GrimpImputer>(go);
+}
+
+std::unique_ptr<GrimpImputer> MakeGrimpAblation(bool use_gnn, bool multi_task,
+                                                const ZooOptions& options) {
+  GrimpOptions go;
+  go.features = FeatureInitKind::kEmbdi;
+  go.dim = options.grimp_dim;
+  go.max_epochs = options.grimp_epochs;
+  go.seed = options.seed;
+  go.use_gnn = use_gnn;
+  go.multi_task = multi_task;
+  return std::make_unique<GrimpImputer>(go);
+}
+
+std::vector<std::unique_ptr<ImputationAlgorithm>> MakeComparisonSuite(
+    const ZooOptions& options) {
+  std::vector<std::unique_ptr<ImputationAlgorithm>> algos;
+  algos.push_back(MakeGrimp(FeatureInitKind::kNgram, options));   // GRIMP-FT
+  algos.push_back(MakeGrimp(FeatureInitKind::kEmbdi, options));   // GRIMP-E
+  {
+    AimNetOptions ao;
+    ao.epochs = options.aimnet_epochs;
+    ao.seed = options.seed;
+    algos.push_back(std::make_unique<AimNetImputer>(ao));         // HOLO
+  }
+  {
+    TurlProxyOptions to;
+    to.seed = options.seed;
+    algos.push_back(std::make_unique<TurlProxyImputer>(to));      // TURL
+  }
+  {
+    MissForestOptions mo;
+    mo.forest.num_trees = options.forest_trees;
+    mo.seed = options.seed;
+    algos.push_back(std::make_unique<MissForestImputer>(mo));     // MISF
+  }
+  {
+    DataWigOptions dw;
+    dw.epochs = options.datawig_epochs;
+    dw.seed = options.seed;
+    algos.push_back(std::make_unique<DataWigImputer>(dw));        // DWIG
+  }
+  algos.push_back(
+      MakeGrimpAblation(/*use_gnn=*/false, /*multi_task=*/false,
+                        options));                                // EMBDI-MC
+  return algos;
+}
+
+}  // namespace grimp

@@ -1,0 +1,37 @@
+#ifndef GRIMP_BASELINES_ZOO_H_
+#define GRIMP_BASELINES_ZOO_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/grimp.h"
+#include "eval/imputer.h"
+
+namespace grimp {
+
+// Knobs shared by the whole comparison suite so a benchmark can scale
+// every learner's budget coherently.
+struct ZooOptions {
+  int grimp_epochs = 150;
+  int grimp_dim = 32;
+  int aimnet_epochs = 60;
+  int datawig_epochs = 40;
+  int forest_trees = 10;
+  uint64_t seed = 42;
+};
+
+// The seven-algorithm lineup of the paper's Figure 8/9 comparison:
+// GRIMP-FT, GRIMP-E, HOLO (AimNet), TURL (proxy), MISF, DWIG (proxy),
+// EMBDI-MC.
+std::vector<std::unique_ptr<ImputationAlgorithm>> MakeComparisonSuite(
+    const ZooOptions& options);
+
+// Individual factories (used by the ablation and FD benches).
+std::unique_ptr<GrimpImputer> MakeGrimp(FeatureInitKind features,
+                                        const ZooOptions& options);
+std::unique_ptr<GrimpImputer> MakeGrimpAblation(bool use_gnn, bool multi_task,
+                                                const ZooOptions& options);
+
+}  // namespace grimp
+
+#endif  // GRIMP_BASELINES_ZOO_H_

@@ -1,0 +1,140 @@
+#include "common/binary_io.h"
+
+namespace grimp {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {}
+
+Status BinaryWriter::status() const {
+  return out_.good() ? Status::OK() : Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteF32Vector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteF64Vector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(int64_t));
+}
+
+void BinaryWriter::WriteStringVector(const std::vector<std::string>& v) {
+  WriteU64(v.size());
+  for (const std::string& s : v) WriteString(s);
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  const Status st = status();
+  out_.close();
+  return st;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) status_ = Status::IoError("cannot open " + path);
+}
+
+Status BinaryReader::status() const {
+  if (!status_.ok()) return status_;
+  return in_.good() ? Status::OK() : Status::IoError("read failed");
+}
+
+Status BinaryReader::ReadRaw(void* data, size_t bytes) {
+  if (!status_.ok()) return status_;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in_.good() || static_cast<size_t>(in_.gcount()) != bytes) {
+    status_ = Status::IoError("truncated input");
+  }
+  return status_;
+}
+
+#define GRIMP_READER_POD_IMPL(name, type)       \
+  Result<type> BinaryReader::name() {           \
+    type v{};                                   \
+    GRIMP_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v))); \
+    return v;                                   \
+  }
+
+GRIMP_READER_POD_IMPL(ReadU32, uint32_t)
+GRIMP_READER_POD_IMPL(ReadI32, int32_t)
+GRIMP_READER_POD_IMPL(ReadI64, int64_t)
+GRIMP_READER_POD_IMPL(ReadU64, uint64_t)
+GRIMP_READER_POD_IMPL(ReadF32, float)
+GRIMP_READER_POD_IMPL(ReadF64, double)
+#undef GRIMP_READER_POD_IMPL
+
+Result<bool> BinaryReader::ReadBool() {
+  GRIMP_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  if (v > 1) return Status::InvalidArgument("corrupt bool");
+  return v == 1;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt string size");
+  std::string s(static_cast<size_t>(len), '\0');
+  GRIMP_RETURN_IF_ERROR(ReadRaw(s.data(), s.size()));
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadF32Vector() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
+  std::vector<float> v(static_cast<size_t>(len));
+  GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(float)));
+  return v;
+}
+
+Result<std::vector<double>> BinaryReader::ReadF64Vector() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
+  std::vector<double> v(static_cast<size_t>(len));
+  GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(double)));
+  return v;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
+  std::vector<int64_t> v(static_cast<size_t>(len));
+  GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(int64_t)));
+  return v;
+}
+
+Result<std::vector<std::string>> BinaryReader::ReadStringVector() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
+  std::vector<std::string> v;
+  v.reserve(static_cast<size_t>(len));
+  for (uint64_t i = 0; i < len; ++i) {
+    GRIMP_ASSIGN_OR_RETURN(std::string s, ReadString());
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+}  // namespace grimp

@@ -1,0 +1,78 @@
+#ifndef GRIMP_COMMON_BINARY_IO_H_
+#define GRIMP_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace grimp {
+
+// Little binary serialization layer for model persistence. Fixed-width
+// little-endian primitives (this library targets x86-64/AArch64 Linux),
+// length-prefixed strings and vectors. Writers/readers fail fast with
+// Status on I/O errors; readers validate length prefixes against a sanity
+// cap so a truncated or corrupt file cannot trigger huge allocations.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+  Status status() const;
+
+  void WriteU32(uint32_t v);
+  void WriteI32(int32_t v);
+  void WriteI64(int64_t v);
+  void WriteU64(uint64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteBool(bool v) { WriteU32(v ? 1 : 0); }
+  void WriteString(const std::string& s);
+  void WriteF32Vector(const std::vector<float>& v);
+  void WriteF64Vector(const std::vector<double>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+  void WriteStringVector(const std::vector<std::string>& v);
+
+  // Flushes and reports the final status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  // Caps any single length prefix (elements), guarding corrupt files.
+  static constexpr uint64_t kMaxLength = 1ull << 31;
+
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return in_.good() && status_.ok(); }
+  Status status() const;
+
+  Result<uint32_t> ReadU32();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<uint64_t> ReadU64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadF32Vector();
+  Result<std::vector<double>> ReadF64Vector();
+  Result<std::vector<int64_t>> ReadI64Vector();
+  Result<std::vector<std::string>> ReadStringVector();
+
+ private:
+  Status ReadRaw(void* data, size_t bytes);
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_BINARY_IO_H_

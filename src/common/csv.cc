@@ -1,0 +1,122 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace grimp {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument("quote in unquoted CSV field: " +
+                                         line);
+        }
+        in_quotes = true;
+      } else if (c == sep) {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else if (c == '\r' && i + 1 == line.size()) {
+        // Tolerate CRLF line endings.
+      } else {
+        cur += c;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+Result<CsvData> ParseStream(std::istream& in) {
+  CsvData data;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() && in.peek() == EOF) break;
+    GRIMP_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line));
+    if (first) {
+      data.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != data.header.size()) {
+        return Status::InvalidArgument(
+            "CSV row has " + std::to_string(fields.size()) +
+            " fields, header has " + std::to_string(data.header.size()));
+      }
+      data.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::InvalidArgument("empty CSV input");
+  return data;
+}
+}  // namespace
+
+Result<CsvData> ReadCsvFile(const std::string& path, char sep) {
+  (void)sep;
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ParseStream(in);
+}
+
+Result<CsvData> ParseCsvString(const std::string& text, char sep) {
+  (void)sep;
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+std::string EscapeCsvField(const std::string& field, char sep) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvData& data, char sep) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << sep;
+      out << EscapeCsvField(row[i], sep);
+    }
+    out << '\n';
+  };
+  write_row(data.header);
+  for (const auto& row : data.rows) write_row(row);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace grimp

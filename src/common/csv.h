@@ -1,0 +1,40 @@
+#ifndef GRIMP_COMMON_CSV_H_
+#define GRIMP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace grimp {
+
+// Minimal RFC-4180-ish CSV support: quoted fields, embedded separators,
+// doubled quotes. Newlines inside quoted fields are not supported (none of
+// the evaluation datasets need them).
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Parses one CSV line into fields.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char sep = ',');
+
+// Reads a whole file; first line is the header. Rows whose field count
+// does not match the header are an error.
+Result<CsvData> ReadCsvFile(const std::string& path, char sep = ',');
+
+// Parses CSV from an in-memory string (same contract as ReadCsvFile).
+Result<CsvData> ParseCsvString(const std::string& text, char sep = ',');
+
+// Escapes a field if it contains separators/quotes.
+std::string EscapeCsvField(const std::string& field, char sep = ',');
+
+// Writes CSV to a file.
+Status WriteCsvFile(const std::string& path, const CsvData& data,
+                    char sep = ',');
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_CSV_H_

@@ -1,0 +1,88 @@
+#ifndef GRIMP_COMMON_LOGGING_H_
+#define GRIMP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace grimp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style log sink; flushes a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process after flushing. Used by
+// GRIMP_CHECK for unrecoverable programmer errors.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GRIMP_LOG(level)                                              \
+  ::grimp::internal::LogMessage(::grimp::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+// Invariant checks: always on (they guard memory safety of kernels); the
+// cost is negligible relative to the numeric work they protect.
+#define GRIMP_CHECK(cond)                                             \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::grimp::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define GRIMP_CHECK_EQ(a, b) GRIMP_CHECK((a) == (b))
+#define GRIMP_CHECK_NE(a, b) GRIMP_CHECK((a) != (b))
+#define GRIMP_CHECK_LT(a, b) GRIMP_CHECK((a) < (b))
+#define GRIMP_CHECK_LE(a, b) GRIMP_CHECK((a) <= (b))
+#define GRIMP_CHECK_GT(a, b) GRIMP_CHECK((a) > (b))
+#define GRIMP_CHECK_GE(a, b) GRIMP_CHECK((a) >= (b))
+
+// Debug-only bounds checks on per-element hot paths.
+#ifdef NDEBUG
+#define GRIMP_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::grimp::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#else
+#define GRIMP_DCHECK(cond) GRIMP_CHECK(cond)
+#endif
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef GRIMP_COMMON_RESULT_H_
+#define GRIMP_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace grimp {
+
+// Value-or-Status carrier (Arrow's arrow::Result idiom). A Result either
+// holds a T or a non-OK Status; constructing one from an OK status aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from T and Status keep call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument(...);
+  //                     return 42; }
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    GRIMP_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    GRIMP_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    GRIMP_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    GRIMP_CHECK(ok()) << "ValueOrDie on error Result: "
+                      << std::get<Status>(repr_).ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Assigns the value of a Result-returning expression to `lhs`, or
+// propagates the error. `lhs` may include a declaration:
+//   GRIMP_ASSIGN_OR_RETURN(auto table, Table::FromCsv(path));
+#define GRIMP_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  GRIMP_ASSIGN_OR_RETURN_IMPL_(                               \
+      GRIMP_RESULT_CONCAT_(_grimp_result_, __LINE__), lhs, rexpr)
+
+#define GRIMP_RESULT_CONCAT_INNER_(a, b) a##b
+#define GRIMP_RESULT_CONCAT_(a, b) GRIMP_RESULT_CONCAT_INNER_(a, b)
+
+#define GRIMP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_RESULT_H_

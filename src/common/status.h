@@ -1,0 +1,104 @@
+#ifndef GRIMP_COMMON_STATUS_H_
+#define GRIMP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace grimp {
+
+// Error taxonomy used across the library. Mirrors the Arrow/RocksDB
+// convention: functions that can fail return Status (or Result<T>) instead
+// of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, movable success/error carrier. The OK state is represented by a
+// null state pointer so that returning Status::OK() never allocates.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  // Message without the code prefix; empty for OK.
+  const std::string& message() const;
+  // "Invalid argument: <message>" or "OK".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+// Propagates a non-OK status to the caller.
+#define GRIMP_RETURN_IF_ERROR(expr)               \
+  do {                                            \
+    ::grimp::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_STATUS_H_

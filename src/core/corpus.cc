@@ -1,0 +1,28 @@
+#include "core/corpus.h"
+
+#include <algorithm>
+
+namespace grimp {
+
+TrainingCorpus BuildTrainingCorpus(const Table& dirty,
+                                   double validation_fraction, Rng* rng) {
+  GRIMP_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0);
+  std::vector<TrainingSample> samples;
+  for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < dirty.num_cols(); ++c) {
+      if (!dirty.IsMissing(r, c)) samples.push_back(TrainingSample{r, c});
+    }
+  }
+  rng->Shuffle(&samples);
+  TrainingCorpus corpus;
+  const size_t num_val =
+      static_cast<size_t>(validation_fraction *
+                          static_cast<double>(samples.size()));
+  corpus.validation.assign(samples.begin(),
+                           samples.begin() + static_cast<ptrdiff_t>(num_val));
+  corpus.train.assign(samples.begin() + static_cast<ptrdiff_t>(num_val),
+                      samples.end());
+  return corpus;
+}
+
+}  // namespace grimp

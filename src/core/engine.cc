@@ -1,0 +1,562 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/binary_io.h"
+#include "core/corpus.h"
+#include "graph/builder.h"
+#include "tensor/optimizer.h"
+
+namespace grimp {
+
+namespace {
+
+// Gather indices of one tuple's training/imputation vector: cell nodes of
+// the row with `masked_col` (and missing cells) mapped to -1.
+void AppendRowIndices(const Table& table, const TableGraph& tg, int64_t row,
+                      int masked_col, std::vector<int32_t>* idx) {
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (c == masked_col) {
+      idx->push_back(-1);
+      continue;
+    }
+    const int32_t code = table.column(c).CodeAt(row);
+    const int64_t node = code < 0 ? -1 : tg.CellNode(c, code);
+    idx->push_back(node < 0 ? -1 : static_cast<int32_t>(node));
+  }
+}
+
+
+// Log class priors for a categorical column's classifier head: rare values
+// start correctly downweighted, which matters most when noise fragments
+// the domain into many singletons (§4.2 noise experiment).
+std::vector<float> LogPriorBias(const Dictionary& dict) {
+  std::vector<float> bias(static_cast<size_t>(std::max(1, dict.size())),
+                          0.0f);
+  double total = 0.0;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    total += static_cast<double>(dict.CountOf(code));
+  }
+  if (total <= 0.0) return bias;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    const double p =
+        (static_cast<double>(dict.CountOf(code)) + 0.5) / (total + 0.5);
+    bias[static_cast<size_t>(code)] = static_cast<float>(std::log(p));
+  }
+  return bias;
+}
+
+}  // namespace
+
+GrimpEngine::GrimpEngine(GrimpOptions options)
+    : options_(std::move(options)) {}
+
+Status GrimpEngine::CheckSchema(const Table& table) const {
+  if (table.num_cols() != schema_.num_fields()) {
+    return Status::FailedPrecondition(
+        "column count mismatch: fitted on " +
+        std::to_string(schema_.num_fields()) + ", got " +
+        std::to_string(table.num_cols()));
+  }
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Field& fitted = schema_.field(c);
+    const Field& given = table.schema().field(c);
+    if (fitted.name != given.name || fitted.type != given.type) {
+      return Status::FailedPrecondition("schema mismatch at column " +
+                                        std::to_string(c) + " (" +
+                                        fitted.name + " vs " + given.name +
+                                        ")");
+    }
+  }
+  return Status::OK();
+}
+
+
+void GrimpEngine::ConstructModel(const Tensor& column_features,
+                                 Rng* model_rng) {
+  const int num_cols = schema_.num_fields();
+  const int dim = options_.dim;
+  if (options_.use_gnn) {
+    gnn_ = HeteroGnn(num_cols, dim, dim, dim, options_.gnn_layers,
+                     model_rng);
+  }
+  shared_ = Mlp("shared", {dim, options_.shared_hidden, dim}, model_rng);
+  tasks_.clear();
+  for (int c = 0; c < num_cols; ++c) {
+    const Dictionary& dict = source_dicts_[static_cast<size_t>(c)];
+    TaskState task;
+    task.col = c;
+    task.categorical = schema_.field(c).type == AttrType::kCategorical;
+    const int out_dim = task.categorical ? std::max(1, dict.size()) : 1;
+    const std::string task_name = "task." + schema_.field(c).name;
+    if (options_.task_kind == TaskKind::kAttention) {
+      task.head = std::make_unique<AttentionTaskHead>(
+          task_name, column_features,
+          BuildKDiagonal(options_.k_strategy, c, num_cols, options_.fds),
+          dim, out_dim, model_rng, options_.task_hidden);
+    } else {
+      task.head = std::make_unique<LinearTaskHead>(
+          task_name, num_cols, dim, options_.task_hidden, out_dim,
+          model_rng);
+    }
+    if (task.categorical) {
+      task.head->SetOutputBias(LogPriorBias(dict));
+    }
+    tasks_.push_back(std::move(task));
+  }
+}
+
+void GrimpEngine::CollectParams(std::vector<Parameter*>* out) {
+  if (options_.use_gnn) gnn_.CollectParameters(out);
+  shared_.CollectParameters(out);
+  for (TaskState& task : tasks_) task.head->CollectParameters(out);
+}
+
+Status GrimpEngine::Fit(const Table& source) {
+  if (source.num_rows() == 0 || source.num_cols() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  if (options_.features != FeatureInitKind::kNgram) {
+    return Status::FailedPrecondition(
+        "GrimpEngine requires kNgram features: only deterministic "
+        "string-hash features align across tables (see engine.h)");
+  }
+  if (!options_.multi_task) {
+    return Status::FailedPrecondition(
+        "GrimpEngine supports multi-task mode only");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const int num_cols = source.num_cols();
+  const int dim = options_.dim;
+  Rng rng(options_.seed);
+  report_ = TrainReport{};
+
+  schema_ = source.schema();
+  source_dicts_.clear();
+  for (int c = 0; c < num_cols; ++c) {
+    source_dicts_.push_back(source.column(c).dict());
+  }
+  normalizer_ = Normalizer::Fit(source);
+
+  Rng corpus_rng = rng.Fork();
+  const TrainingCorpus corpus =
+      BuildTrainingCorpus(source, options_.validation_fraction, &corpus_rng);
+  GraphBuildOptions graph_options;
+  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.seed = options_.seed;
+  const TableGraph tg =
+      BuildTableGraph(source, corpus.ValidationCells(), graph_options);
+  auto initializer = MakeFeatureInitializer(options_.features);
+  GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
+                         initializer->Init(source, tg, dim, rng.Next()));
+
+  Rng model_rng = rng.Fork();
+  ConstructModel(features.column_features, &model_rng);
+
+  struct TaskBatch {
+    std::vector<int32_t> train_idx, val_idx;
+    std::vector<int32_t> train_labels, val_labels;
+    std::vector<float> train_targets, val_targets;
+  };
+  std::vector<TaskBatch> batches(static_cast<size_t>(num_cols));
+
+  auto add_sample = [&](const TrainingSample& s, bool is_val) {
+    TaskBatch& batch = batches[static_cast<size_t>(s.target_col)];
+    if (!is_val && options_.max_samples_per_task > 0) {
+      const int64_t kept = static_cast<int64_t>(batch.train_labels.size() +
+                                                batch.train_targets.size());
+      if (kept >= options_.max_samples_per_task) return;
+    }
+    AppendRowIndices(source, tg, s.row, s.target_col,
+                     is_val ? &batch.val_idx : &batch.train_idx);
+    const Column& col = source.column(s.target_col);
+    if (col.is_categorical()) {
+      (is_val ? batch.val_labels : batch.train_labels)
+          .push_back(col.CodeAt(s.row));
+    } else {
+      (is_val ? batch.val_targets : batch.train_targets)
+          .push_back(static_cast<float>(
+              normalizer_.Normalize(s.target_col, col.NumAt(s.row))));
+    }
+  };
+  for (const TrainingSample& s : corpus.train) add_sample(s, false);
+  for (const TrainingSample& s : corpus.validation) add_sample(s, true);
+
+  std::vector<Parameter*> params;
+  CollectParams(&params);
+  for (Parameter* p : params) report_.num_parameters += p->value.size();
+  report_.num_train_samples = static_cast<int64_t>(corpus.train.size());
+  report_.num_val_samples = static_cast<int64_t>(corpus.validation.size());
+
+  Adam opt(params, options_.learning_rate);
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_params;
+  int epochs_since_best = 0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    Tape tape;
+    Tape::VarId feats = tape.Constant(features.node_features);
+    Tape::VarId h =
+        options_.use_gnn ? gnn_.Forward(&tape, feats, tg.graph) : feats;
+    Tape::VarId h_shared = shared_.Forward(&tape, h);
+
+    Tape::VarId total_loss = -1;
+    double val_loss_sum = 0.0;
+    bool has_val = false;
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+      const TaskState& task = tasks_[t];
+      TaskBatch& batch = batches[t];
+      auto forward = [&](const std::vector<int32_t>& idx) {
+        const int64_t n = static_cast<int64_t>(idx.size()) / num_cols;
+        Tape::VarId flat = tape.GatherRows(h_shared, idx);
+        return task.head->Forward(
+            &tape,
+            tape.Reshape(flat, n, static_cast<int64_t>(num_cols) * dim));
+      };
+      auto loss_of = [&](Tape::VarId out, const std::vector<int32_t>& labels,
+                         const std::vector<float>& targets) {
+        if (task.categorical) {
+          return options_.focal_gamma > 0.0f
+                     ? tape.FocalLoss(out, labels, options_.focal_gamma)
+                     : tape.SoftmaxCrossEntropy(out, labels);
+        }
+        return tape.MseLoss(out, targets);
+      };
+      if (!batch.train_idx.empty()) {
+        Tape::VarId loss = loss_of(forward(batch.train_idx),
+                                   batch.train_labels, batch.train_targets);
+        total_loss = total_loss < 0 ? loss : tape.Add(total_loss, loss);
+      }
+      if (!batch.val_idx.empty()) {
+        Tape::VarId loss = loss_of(forward(batch.val_idx), batch.val_labels,
+                                   batch.val_targets);
+        val_loss_sum += tape.value(loss).scalar();
+        has_val = true;
+      }
+    }
+    if (total_loss < 0) break;
+    report_.final_train_loss = tape.value(total_loss).scalar();
+    tape.Backward(total_loss);
+    opt.ClipGradNorm(options_.grad_clip);
+    opt.Step();
+    opt.ZeroGrad();
+    report_.epochs_run = epoch + 1;
+
+    if (has_val) {
+      if (val_loss_sum < best_val - 1e-6) {
+        best_val = val_loss_sum;
+        epochs_since_best = 0;
+        best_params.clear();
+        for (Parameter* p : params) best_params.push_back(p->value);
+      } else if (++epochs_since_best >= options_.patience) {
+        break;
+      }
+    }
+  }
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
+    }
+    report_.best_val_loss = best_val;
+  }
+  report_.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  fitted_ = true;
+  return Status::OK();
+}
+
+
+namespace {
+constexpr uint64_t kModelMagic = 0x4752494d504d444cULL;  // "GRIMPMDL"
+constexpr uint32_t kModelVersion = 1;
+}  // namespace
+
+
+Result<Tensor> GrimpEngine::AttentionSummary(const Table& table) const {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  if (options_.task_kind != TaskKind::kAttention) {
+    return Status::FailedPrecondition("attention tasks required");
+  }
+  GRIMP_RETURN_IF_ERROR(CheckSchema(table));
+  const int num_cols = table.num_cols();
+  const int dim = options_.dim;
+
+  GraphBuildOptions graph_options;
+  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.seed = options_.seed;
+  const TableGraph tg = BuildTableGraph(table, {}, graph_options);
+  auto initializer = MakeFeatureInitializer(options_.features);
+  Rng rng(options_.seed);
+  rng.Fork();
+  GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
+                         initializer->Init(table, tg, dim, rng.Next()));
+
+  Tape tape;
+  Tape::VarId feats = tape.Constant(features.node_features);
+  Tape::VarId h =
+      options_.use_gnn ? gnn_.Forward(&tape, feats, tg.graph) : feats;
+  Tape::VarId h_shared = shared_.Forward(&tape, h);
+
+  Tensor summary(num_cols, num_cols);
+  for (const TaskState& task : tasks_) {
+    auto* attention_head =
+        dynamic_cast<const AttentionTaskHead*>(task.head.get());
+    if (attention_head == nullptr) continue;
+    std::vector<int32_t> idx;
+    int64_t n = 0;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (!table.IsMissing(r, task.col)) continue;
+      AppendRowIndices(table, tg, r, task.col, &idx);
+      ++n;
+    }
+    if (n == 0) continue;
+    Tape::VarId flat = tape.GatherRows(h_shared, idx);
+    (void)task.head->Forward(
+        &tape, tape.Reshape(flat, n, static_cast<int64_t>(num_cols) * dim));
+    const Tensor& att = attention_head->last_attention();
+    for (int64_t r = 0; r < att.rows(); ++r) {
+      for (int c = 0; c < num_cols; ++c) {
+        summary.at(task.col, c) +=
+            att.at(r, c) / static_cast<float>(att.rows());
+      }
+    }
+  }
+  return summary;
+}
+
+Status GrimpEngine::Save(const std::string& path) {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  writer.WriteU64(kModelMagic);
+  writer.WriteU32(kModelVersion);
+
+  // Configuration (only the fields that shape the model / inference).
+  writer.WriteI32(static_cast<int32_t>(options_.features));
+  writer.WriteI32(static_cast<int32_t>(options_.task_kind));
+  writer.WriteI32(static_cast<int32_t>(options_.k_strategy));
+  writer.WriteI32(options_.dim);
+  writer.WriteI32(options_.shared_hidden);
+  writer.WriteI32(options_.task_hidden);
+  writer.WriteI32(options_.gnn_layers);
+  writer.WriteBool(options_.use_gnn);
+  writer.WriteI32(options_.neighbor_cap);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(options_.fds.size());
+  for (const FunctionalDependency& fd : options_.fds) {
+    writer.WriteU64(fd.lhs.size());
+    for (int col : fd.lhs) writer.WriteI32(col);
+    writer.WriteI32(fd.rhs);
+  }
+
+  // Source schema, domains and normalizer.
+  writer.WriteU64(static_cast<uint64_t>(schema_.num_fields()));
+  for (const Field& field : schema_.fields()) {
+    writer.WriteString(field.name);
+    writer.WriteI32(static_cast<int32_t>(field.type));
+  }
+  for (const Dictionary& dict : source_dicts_) {
+    writer.WriteStringVector(dict.values());
+    writer.WriteI64Vector(dict.counts());
+  }
+  writer.WriteF64Vector(normalizer_.means());
+  writer.WriteF64Vector(normalizer_.stds());
+
+  // Trained weights, in CollectParams order.
+  std::vector<Parameter*> params;
+  CollectParams(&params);
+  writer.WriteU64(params.size());
+  for (const Parameter* p : params) {
+    writer.WriteString(p->name);
+    writer.WriteI64(p->value.rows());
+    writer.WriteI64(p->value.cols());
+    std::vector<float> data(p->value.data(),
+                            p->value.data() + p->value.size());
+    writer.WriteF32Vector(data);
+  }
+  return writer.Close();
+}
+
+Result<std::unique_ptr<GrimpEngine>> GrimpEngine::Load(
+    const std::string& path) {
+  BinaryReader reader(path);
+  GRIMP_RETURN_IF_ERROR(reader.status());
+  GRIMP_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kModelMagic) {
+    return Status::InvalidArgument("not a GRIMP model file: " + path);
+  }
+  GRIMP_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kModelVersion) {
+    return Status::InvalidArgument("unsupported model version " +
+                                   std::to_string(version));
+  }
+
+  GrimpOptions options;
+  GRIMP_ASSIGN_OR_RETURN(int32_t features, reader.ReadI32());
+  options.features = static_cast<FeatureInitKind>(features);
+  GRIMP_ASSIGN_OR_RETURN(int32_t task_kind, reader.ReadI32());
+  options.task_kind = static_cast<TaskKind>(task_kind);
+  GRIMP_ASSIGN_OR_RETURN(int32_t k_strategy, reader.ReadI32());
+  options.k_strategy = static_cast<KStrategy>(k_strategy);
+  GRIMP_ASSIGN_OR_RETURN(options.dim, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.shared_hidden, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.task_hidden, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.gnn_layers, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.use_gnn, reader.ReadBool());
+  GRIMP_ASSIGN_OR_RETURN(options.neighbor_cap, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.seed, reader.ReadU64());
+  GRIMP_ASSIGN_OR_RETURN(uint64_t num_fds, reader.ReadU64());
+  if (num_fds > BinaryReader::kMaxLength) {
+    return Status::InvalidArgument("corrupt FD count");
+  }
+  for (uint64_t i = 0; i < num_fds; ++i) {
+    FunctionalDependency fd;
+    GRIMP_ASSIGN_OR_RETURN(uint64_t lhs_size, reader.ReadU64());
+    if (lhs_size > BinaryReader::kMaxLength) {
+      return Status::InvalidArgument("corrupt FD");
+    }
+    for (uint64_t k = 0; k < lhs_size; ++k) {
+      GRIMP_ASSIGN_OR_RETURN(int32_t col, reader.ReadI32());
+      fd.lhs.push_back(col);
+    }
+    GRIMP_ASSIGN_OR_RETURN(fd.rhs, reader.ReadI32());
+    options.fds.push_back(std::move(fd));
+  }
+
+  auto engine = std::make_unique<GrimpEngine>(options);
+  GRIMP_ASSIGN_OR_RETURN(uint64_t num_fields, reader.ReadU64());
+  if (num_fields == 0 || num_fields > 4096) {
+    return Status::InvalidArgument("corrupt field count");
+  }
+  std::vector<Field> fields;
+  for (uint64_t c = 0; c < num_fields; ++c) {
+    Field field;
+    GRIMP_ASSIGN_OR_RETURN(field.name, reader.ReadString());
+    GRIMP_ASSIGN_OR_RETURN(int32_t type, reader.ReadI32());
+    field.type = static_cast<AttrType>(type);
+    fields.push_back(std::move(field));
+  }
+  engine->schema_ = Schema(std::move(fields));
+  for (uint64_t c = 0; c < num_fields; ++c) {
+    GRIMP_ASSIGN_OR_RETURN(auto values, reader.ReadStringVector());
+    GRIMP_ASSIGN_OR_RETURN(auto counts, reader.ReadI64Vector());
+    if (values.size() != counts.size()) {
+      return Status::InvalidArgument("corrupt dictionary");
+    }
+    Dictionary dict;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const int32_t code = dict.GetOrAdd(values[i]);
+      dict.AddOccurrence(code, counts[i]);
+    }
+    engine->source_dicts_.push_back(std::move(dict));
+  }
+  GRIMP_ASSIGN_OR_RETURN(auto means, reader.ReadF64Vector());
+  GRIMP_ASSIGN_OR_RETURN(auto stds, reader.ReadF64Vector());
+  if (means.size() != num_fields || stds.size() != num_fields) {
+    return Status::InvalidArgument("corrupt normalizer");
+  }
+  engine->normalizer_ =
+      Normalizer::FromMoments(std::move(means), std::move(stds));
+
+  // Rebuild the architecture, then overwrite every weight.
+  Rng model_rng(options.seed);
+  engine->ConstructModel(
+      Tensor::Zeros(static_cast<int64_t>(num_fields), options.dim),
+      &model_rng);
+  std::vector<Parameter*> params;
+  engine->CollectParams(&params);
+  GRIMP_ASSIGN_OR_RETURN(uint64_t num_params, reader.ReadU64());
+  if (num_params != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(num_params) +
+        ", architecture has " + std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    GRIMP_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    GRIMP_ASSIGN_OR_RETURN(int64_t rows, reader.ReadI64());
+    GRIMP_ASSIGN_OR_RETURN(int64_t cols, reader.ReadI64());
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("tensor shape mismatch for " + name);
+    }
+    GRIMP_ASSIGN_OR_RETURN(auto data, reader.ReadF32Vector());
+    if (static_cast<int64_t>(data.size()) != p->value.size()) {
+      return Status::InvalidArgument("tensor size mismatch for " + name);
+    }
+    p->value = Tensor::FromVector(rows, cols, std::move(data));
+  }
+  engine->fitted_ = true;
+  return engine;
+}
+
+Result<Table> GrimpEngine::Transform(const Table& table) const {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  GRIMP_RETURN_IF_ERROR(CheckSchema(table));
+  const int num_cols = table.num_cols();
+  const int dim = options_.dim;
+
+  // Fresh graph and deterministic n-gram features for the target table;
+  // the trained weights run message passing over them unchanged.
+  GraphBuildOptions graph_options;
+  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.seed = options_.seed;
+  const TableGraph tg = BuildTableGraph(table, {}, graph_options);
+  auto initializer = MakeFeatureInitializer(options_.features);
+  // The n-gram seed must match Fit's: GrimpImputer/Fit derive it as the
+  // second draw of Rng(options.seed) after the corpus fork.
+  Rng rng(options_.seed);
+  rng.Fork();
+  GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
+                         initializer->Init(table, tg, dim, rng.Next()));
+
+  Tape tape;
+  Tape::VarId feats = tape.Constant(features.node_features);
+  Tape::VarId h =
+      options_.use_gnn ? gnn_.Forward(&tape, feats, tg.graph) : feats;
+  Tape::VarId h_shared = shared_.Forward(&tape, h);
+
+  Table imputed = table;
+  for (const TaskState& task : tasks_) {
+    std::vector<int32_t> idx;
+    std::vector<int64_t> rows;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (!table.IsMissing(r, task.col)) continue;
+      AppendRowIndices(table, tg, r, task.col, &idx);
+      rows.push_back(r);
+    }
+    if (rows.empty()) continue;
+    Tape::VarId flat = tape.GatherRows(h_shared, idx);
+    Tape::VarId out = task.head->Forward(
+        &tape, tape.Reshape(flat, static_cast<int64_t>(rows.size()),
+                            static_cast<int64_t>(num_cols) * dim));
+    const Tensor& scores = tape.value(out);
+    const Dictionary& dict = source_dicts_[static_cast<size_t>(task.col)];
+    Column& dst = imputed.mutable_column(task.col);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (task.categorical) {
+        // Argmax over the *source* domain; decode to the value string.
+        int32_t best = -1;
+        float best_score = 0.0f;
+        for (int32_t code = 0; code < dict.size(); ++code) {
+          if (dict.CountOf(code) <= 0) continue;
+          const float s = scores.at(static_cast<int64_t>(i), code);
+          if (best < 0 || s > best_score) {
+            best = code;
+            best_score = s;
+          }
+        }
+        if (best >= 0) dst.SetCategorical(rows[i], dict.ValueOf(best));
+      } else {
+        dst.SetNumerical(rows[i],
+                         normalizer_.Denormalize(
+                             task.col, scores.at(static_cast<int64_t>(i), 0)));
+      }
+    }
+  }
+  return imputed;
+}
+
+}  // namespace grimp

@@ -1,0 +1,97 @@
+#ifndef GRIMP_CORE_ENGINE_H_
+#define GRIMP_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/grimp.h"
+#include "core/tasks.h"
+#include "gnn/hetero_sage.h"
+#include "table/dictionary.h"
+#include "table/normalizer.h"
+#include "tensor/nn.h"
+
+namespace grimp {
+
+// Inductive GRIMP (paper §3.4 "GNN based representations are inductive...
+// which allows them to be used for imputing tuples that were unseen during
+// training", and §7 future work: "once it is trained on one dataset, it
+// can be reused on other datasets").
+//
+// GrimpEngine separates training from application: Fit() trains the GNN,
+// shared layer and task heads on a source table; Transform() rebuilds the
+// graph and node features for *any* schema-compatible table (same column
+// names and types) and imputes it with the trained weights. Because the
+// GraphSAGE submodules are keyed by attribute and the node features come
+// from deterministic hashed n-grams (value string -> same vector on every
+// table), the learned message passing carries over to unseen tuples and
+// tables.
+//
+// Restrictions: features must be FeatureInitKind::kNgram (EmbDI/random
+// features live in per-run bases that do not align across tables) and
+// multi_task must stay enabled. Categorical predictions decode through the
+// source table's domain.
+class GrimpEngine {
+ public:
+  explicit GrimpEngine(GrimpOptions options);
+
+  GrimpEngine(const GrimpEngine&) = delete;
+  GrimpEngine& operator=(const GrimpEngine&) = delete;
+
+  // Self-supervised training on `source` (which may itself contain
+  // missing values).
+  Status Fit(const Table& source);
+
+  // Imputes every missing cell of `table` using the fitted model. `table`
+  // must have the source's schema (column names and types, in order).
+  Result<Table> Transform(const Table& table) const;
+
+  // Model persistence: writes the fitted model (configuration, source
+  // schema/domains/normalizer, and every trained weight) to a binary
+  // file; Load restores an engine ready for Transform without retraining.
+  Status Save(const std::string& path);
+  static Result<std::unique_ptr<GrimpEngine>> Load(const std::string& path);
+
+  // Attention introspection (§3.5's intuition that tasks learn attribute
+  // relationships such as FDs): returns a C x C matrix whose row t is task
+  // t's mean attention over the columns, averaged over every tuple of
+  // `table` that has a missing cell in column t (zero rows for tasks with
+  // nothing to impute or linear heads). Requires a fitted attention model.
+  Result<Tensor> AttentionSummary(const Table& table) const;
+
+  bool fitted() const { return fitted_; }
+  const TrainReport& report() const { return report_; }
+  const GrimpOptions& options() const { return options_; }
+
+ private:
+  struct TaskState {
+    int col = -1;
+    bool categorical = true;
+    std::unique_ptr<TaskHead> head;
+  };
+
+  Status CheckSchema(const Table& table) const;
+  // Builds gnn_/shared_/tasks_ from schema_, source_dicts_ and options_.
+  // `column_features` seeds the attention Q matrices (zeros when loading:
+  // the stored weights overwrite them).
+  void ConstructModel(const Tensor& column_features, Rng* model_rng);
+  void CollectParams(std::vector<Parameter*>* out);
+
+  GrimpOptions options_;
+  TrainReport report_;
+  bool fitted_ = false;
+
+  // Source-table context captured at Fit time.
+  Schema schema_;
+  std::vector<Dictionary> source_dicts_;
+  Normalizer normalizer_;
+
+  // Trained components.
+  HeteroGnn gnn_;
+  Mlp shared_;
+  std::vector<TaskState> tasks_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_ENGINE_H_

@@ -1,0 +1,394 @@
+#include "core/grimp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/tasks.h"
+#include "gnn/hetero_sage.h"
+#include "graph/builder.h"
+#include "table/normalizer.h"
+#include "tensor/optimizer.h"
+
+namespace grimp {
+
+namespace {
+
+// Everything one imputation task needs, precomputed once before training:
+// gather indices into the shared representation, labels/targets, and the
+// indices of the cells to impute at the end.
+struct TaskData {
+  int col = -1;
+  bool categorical = true;
+  int out_dim = 0;
+
+  std::vector<int32_t> train_idx;    // |train| * C node ids (-1 == masked)
+  std::vector<int32_t> train_labels;
+  std::vector<float> train_targets;  // normalized, numerical tasks
+  std::vector<int32_t> val_idx;
+  std::vector<int32_t> val_labels;
+  std::vector<float> val_targets;
+  std::vector<int32_t> impute_idx;
+  std::vector<CellRef> impute_cells;
+
+  std::unique_ptr<TaskHead> head;
+
+  int64_t NumTrain() const {
+    return train_idx.empty() ? 0
+                             : static_cast<int64_t>(train_labels.size() +
+                                                    train_targets.size());
+  }
+};
+
+// Gather indices of one training vector: the tuple's cell nodes with the
+// target column (and originally-missing cells) masked to -1.
+void AppendSampleIndices(const Table& table, const TableGraph& tg,
+                         int64_t row, int masked_col,
+                         std::vector<int32_t>* idx) {
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (c == masked_col) {
+      idx->push_back(-1);
+      continue;
+    }
+    const int32_t code = table.column(c).CodeAt(row);
+    const int64_t node = code < 0 ? -1 : tg.CellNode(c, code);
+    idx->push_back(node < 0 ? -1 : static_cast<int32_t>(node));
+  }
+}
+
+
+// Log class priors for a categorical column's classifier head: rare values
+// start correctly downweighted, which matters most when noise fragments
+// the domain into many singletons (§4.2 noise experiment).
+std::vector<float> LogPriorBias(const Dictionary& dict) {
+  std::vector<float> bias(static_cast<size_t>(std::max(1, dict.size())),
+                          0.0f);
+  double total = 0.0;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    total += static_cast<double>(dict.CountOf(code));
+  }
+  if (total <= 0.0) return bias;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    const double p =
+        (static_cast<double>(dict.CountOf(code)) + 0.5) / (total + 0.5);
+    bias[static_cast<size_t>(code)] = static_cast<float>(std::log(p));
+  }
+  return bias;
+}
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(Now() - t0).count();
+}
+
+}  // namespace
+
+GrimpImputer::GrimpImputer(GrimpOptions options)
+    : options_(std::move(options)) {}
+
+std::string GrimpImputer::name() const {
+  std::string n = "GRIMP";
+  switch (options_.features) {
+    case FeatureInitKind::kNgram:
+      n += "-FT";
+      break;
+    case FeatureInitKind::kEmbdi:
+      n += "-E";
+      break;
+    case FeatureInitKind::kRandom:
+      n += "-R";
+      break;
+  }
+  if (!options_.multi_task) {
+    return options_.use_gnn ? "GNN-MC" : "EmbDI-MC";
+  }
+  if (options_.task_kind == TaskKind::kLinear) n += "-Lin";
+  if (options_.k_strategy == KStrategy::kWeakDiagonalFd) n += "-A(FD)";
+  return n;
+}
+
+Result<Table> GrimpImputer::Impute(const Table& dirty) {
+  if (dirty.num_rows() == 0 || dirty.num_cols() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  const auto t0 = Now();
+  const int num_cols = dirty.num_cols();
+  const int dim = options_.dim;
+  Rng rng(options_.seed);
+  report_ = TrainReport{};
+
+  // 1. Preprocessing: normalization, corpus, graph (validation target
+  //    edges removed), pre-trained features (paper Alg. 1 first phase).
+  const Normalizer normalizer = Normalizer::Fit(dirty);
+  Rng corpus_rng = rng.Fork();
+  const TrainingCorpus corpus =
+      BuildTrainingCorpus(dirty, options_.validation_fraction, &corpus_rng);
+  GraphBuildOptions graph_options;
+  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.seed = options_.seed;
+  const TableGraph tg =
+      BuildTableGraph(dirty, corpus.ValidationCells(), graph_options);
+  auto initializer = MakeFeatureInitializer(options_.features);
+  GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
+                         initializer->Init(dirty, tg, dim, rng.Next()));
+
+  // 2. Model construction.
+  Rng model_rng = rng.Fork();
+  HeteroGnn gnn;
+  if (options_.use_gnn) {
+    gnn = HeteroGnn(num_cols, dim, dim, dim, options_.gnn_layers,
+                    &model_rng);
+  }
+  Mlp shared("shared", {dim, options_.shared_hidden, dim}, &model_rng);
+
+  // Per-column class offsets for the single-classifier ablation.
+  std::vector<int32_t> mc_offsets(static_cast<size_t>(num_cols) + 1, 0);
+  for (int c = 0; c < num_cols; ++c) {
+    mc_offsets[static_cast<size_t>(c) + 1] =
+        mc_offsets[static_cast<size_t>(c)] + dirty.column(c).dict().size();
+  }
+  const int32_t mc_total_classes = mc_offsets[static_cast<size_t>(num_cols)];
+
+  std::vector<TaskData> tasks;
+  if (options_.multi_task) {
+    for (int c = 0; c < num_cols; ++c) {
+      TaskData task;
+      task.col = c;
+      task.categorical = dirty.column(c).is_categorical();
+      task.out_dim =
+          task.categorical ? std::max(1, dirty.column(c).dict().size()) : 1;
+      const std::string task_name = "task." + dirty.column(c).name();
+      if (options_.task_kind == TaskKind::kAttention) {
+        task.head = std::make_unique<AttentionTaskHead>(
+            task_name, features.column_features,
+            BuildKDiagonal(options_.k_strategy, c, num_cols, options_.fds),
+            dim, task.out_dim, &model_rng, options_.task_hidden);
+      } else {
+        task.head = std::make_unique<LinearTaskHead>(
+            task_name, num_cols, dim, options_.task_hidden, task.out_dim,
+            &model_rng);
+      }
+      if (task.categorical && dirty.column(c).is_categorical()) {
+        task.head->SetOutputBias(LogPriorBias(dirty.column(c).dict()));
+      }
+      tasks.push_back(std::move(task));
+    }
+  } else {
+    // Ablation: one multiclass head over the union of all domains
+    // (GNN-MC / EmbDI-MC in Fig. 10). Numerical attributes are classified
+    // over their distinct (rounded) values.
+    TaskData task;
+    task.col = -1;
+    task.categorical = true;
+    task.out_dim = std::max(1, mc_total_classes);
+    task.head = std::make_unique<LinearTaskHead>(
+        "task.mc", num_cols, dim, options_.task_hidden, task.out_dim,
+        &model_rng);
+    tasks.push_back(std::move(task));
+  }
+
+  // 3. Precompute gather indices / labels / targets per task.
+  auto add_sample = [&](const TrainingSample& s, bool is_val) {
+    TaskData& task =
+        options_.multi_task ? tasks[static_cast<size_t>(s.target_col)]
+                            : tasks[0];
+    if (!is_val && options_.max_samples_per_task > 0) {
+      // Training-data reduction (§7): corpus order is random, so the cap
+      // keeps a uniform subsample per task.
+      const int64_t kept = static_cast<int64_t>(task.train_labels.size() +
+                                                task.train_targets.size());
+      if (kept >= options_.max_samples_per_task) return;
+    }
+    auto& idx = is_val ? task.val_idx : task.train_idx;
+    AppendSampleIndices(dirty, tg, s.row, s.target_col, &idx);
+    const Column& col = dirty.column(s.target_col);
+    const int32_t code = col.CodeAt(s.row);
+    GRIMP_CHECK_GE(code, 0);
+    if (task.categorical) {
+      int32_t label = code;
+      if (!options_.multi_task) {
+        label += mc_offsets[static_cast<size_t>(s.target_col)];
+      } else if (!col.is_categorical()) {
+        // Numerical column in multi-task mode trains a regressor.
+        auto& targets = is_val ? task.val_targets : task.train_targets;
+        targets.push_back(static_cast<float>(
+            normalizer.Normalize(s.target_col, col.NumAt(s.row))));
+        return;
+      }
+      auto& labels = is_val ? task.val_labels : task.train_labels;
+      labels.push_back(label);
+    } else {
+      auto& targets = is_val ? task.val_targets : task.train_targets;
+      targets.push_back(static_cast<float>(
+          normalizer.Normalize(s.target_col, col.NumAt(s.row))));
+    }
+  };
+  // In multi-task mode a numerical column's task is a regressor, so the
+  // `categorical` flag must be set before adding samples.
+  for (const TrainingSample& s : corpus.train) add_sample(s, false);
+  for (const TrainingSample& s : corpus.validation) add_sample(s, true);
+
+  // Cells to impute: every truly-missing cell of the dirty table.
+  for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < num_cols; ++c) {
+      if (!dirty.IsMissing(r, c)) continue;
+      TaskData& task =
+          options_.multi_task ? tasks[static_cast<size_t>(c)] : tasks[0];
+      AppendSampleIndices(dirty, tg, r, c, &task.impute_idx);
+      task.impute_cells.push_back(CellRef{r, c});
+    }
+  }
+
+  // 4. Training loop (paper Alg. 1). Train and validation losses share one
+  //    tape per epoch; Backward runs only from the training loss.
+  std::vector<Parameter*> params;
+  if (options_.use_gnn) gnn.CollectParameters(&params);
+  shared.CollectParameters(&params);
+  for (TaskData& task : tasks) task.head->CollectParameters(&params);
+  for (Parameter* p : params) report_.num_parameters += p->value.size();
+  report_.num_train_samples = static_cast<int64_t>(corpus.train.size());
+  report_.num_val_samples = static_cast<int64_t>(corpus.validation.size());
+
+  Adam opt(params, options_.learning_rate);
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_params;
+  int epochs_since_best = 0;
+
+  const int num_blocks_gathered = num_cols;
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    Tape tape;
+    Tape::VarId feats = tape.Constant(features.node_features);
+    Tape::VarId h =
+        options_.use_gnn ? gnn.Forward(&tape, feats, tg.graph) : feats;
+    Tape::VarId h_shared = shared.Forward(&tape, h);
+
+    Tape::VarId total_loss = -1;
+    double val_loss_sum = 0.0;
+    bool has_val = false;
+    for (TaskData& task : tasks) {
+      auto task_forward = [&](const std::vector<int32_t>& idx) {
+        const int64_t n =
+            static_cast<int64_t>(idx.size()) / num_blocks_gathered;
+        Tape::VarId flat = tape.GatherRows(h_shared, idx);
+        Tape::VarId vecs = tape.Reshape(
+            flat, n, static_cast<int64_t>(num_blocks_gathered) * dim);
+        return task.head->Forward(&tape, vecs);
+      };
+      auto task_loss = [&](Tape::VarId out, const std::vector<int32_t>& labels,
+                           const std::vector<float>& targets) {
+        if (task.categorical) {
+          return options_.focal_gamma > 0.0f
+                     ? tape.FocalLoss(out, labels, options_.focal_gamma)
+                     : tape.SoftmaxCrossEntropy(out, labels);
+        }
+        return tape.MseLoss(out, targets);
+      };
+      if (!task.train_idx.empty()) {
+        Tape::VarId out = task_forward(task.train_idx);
+        Tape::VarId loss = task_loss(out, task.train_labels,
+                                     task.train_targets);
+        total_loss = total_loss < 0 ? loss : tape.Add(total_loss, loss);
+      }
+      if (!task.val_idx.empty()) {
+        Tape::VarId out = task_forward(task.val_idx);
+        Tape::VarId loss = task_loss(out, task.val_labels, task.val_targets);
+        val_loss_sum += tape.value(loss).scalar();
+        has_val = true;
+      }
+    }
+    if (total_loss < 0) break;  // nothing to train on
+    report_.final_train_loss = tape.value(total_loss).scalar();
+    tape.Backward(total_loss);
+    opt.ClipGradNorm(options_.grad_clip);
+    opt.Step();
+    opt.ZeroGrad();
+    report_.epochs_run = epoch + 1;
+
+    if (options_.verbose && epoch % 10 == 0) {
+      GRIMP_LOG(Info) << name() << " epoch " << epoch << " train_loss "
+                      << report_.final_train_loss << " val_loss "
+                      << val_loss_sum;
+    }
+    // Early stopping on the summed validation loss.
+    if (has_val) {
+      if (val_loss_sum < best_val - 1e-6) {
+        best_val = val_loss_sum;
+        epochs_since_best = 0;
+        best_params.clear();
+        best_params.reserve(params.size());
+        for (Parameter* p : params) best_params.push_back(p->value);
+      } else if (++epochs_since_best >= options_.patience) {
+        break;
+      }
+    }
+  }
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
+    }
+    report_.best_val_loss = best_val;
+  }
+
+  // 5. Imputation (paper §3.7): forward once with the best weights, then
+  //    fill every missing cell from its task's prediction.
+  Table imputed = dirty;
+  {
+    Tape tape;
+    Tape::VarId feats = tape.Constant(features.node_features);
+    Tape::VarId h =
+        options_.use_gnn ? gnn.Forward(&tape, feats, tg.graph) : feats;
+    Tape::VarId h_shared = shared.Forward(&tape, h);
+    for (TaskData& task : tasks) {
+      if (task.impute_idx.empty()) continue;
+      const int64_t n = static_cast<int64_t>(task.impute_cells.size());
+      Tape::VarId flat = tape.GatherRows(h_shared, task.impute_idx);
+      Tape::VarId vecs = tape.Reshape(
+          flat, n, static_cast<int64_t>(num_blocks_gathered) * dim);
+      Tape::VarId out = task.head->Forward(&tape, vecs);
+      const Tensor& scores = tape.value(out);
+      for (int64_t i = 0; i < n; ++i) {
+        const CellRef cell = task.impute_cells[static_cast<size_t>(i)];
+        Column& col = imputed.mutable_column(cell.col);
+        if (task.categorical && (options_.multi_task
+                                     ? col.is_categorical()
+                                     : true)) {
+          // Argmax over the column's live domain (paper: candidates come
+          // from Dom(A_i) only).
+          const int32_t lo = options_.multi_task
+                                 ? 0
+                                 : mc_offsets[static_cast<size_t>(cell.col)];
+          const int32_t hi =
+              options_.multi_task
+                  ? col.dict().size()
+                  : mc_offsets[static_cast<size_t>(cell.col) + 1];
+          int32_t best_code = -1;
+          float best_score = -std::numeric_limits<float>::infinity();
+          for (int32_t k = lo; k < hi; ++k) {
+            const int32_t code = k - lo;
+            if (col.dict().CountOf(code) <= 0) continue;
+            if (scores.at(i, k) > best_score) {
+              best_score = scores.at(i, k);
+              best_code = code;
+            }
+          }
+          if (best_code >= 0) col.SetFromCode(cell.row, best_code);
+        } else {
+          const double value =
+              normalizer.Denormalize(cell.col, scores.at(i, 0));
+          col.SetNumerical(cell.row, value);
+        }
+      }
+    }
+  }
+  report_.train_seconds = SecondsSince(t0);
+  return imputed;
+}
+
+}  // namespace grimp

@@ -1,0 +1,50 @@
+#ifndef GRIMP_CORE_GRIMP_H_
+#define GRIMP_CORE_GRIMP_H_
+
+#include <string>
+
+#include "core/options.h"
+#include "eval/imputer.h"
+
+namespace grimp {
+
+// Summary of one GRIMP training run (reported by the benchmarks).
+struct TrainReport {
+  int epochs_run = 0;
+  double best_val_loss = 0.0;
+  double final_train_loss = 0.0;
+  double train_seconds = 0.0;
+  int64_t num_parameters = 0;
+  int64_t num_train_samples = 0;
+  int64_t num_val_samples = 0;
+};
+
+// The GRIMP imputation system (paper §3): heterogeneous table graph +
+// GraphSAGE-based heterogeneous GNN + self-supervised multi-task heads.
+// Configure via GrimpOptions; see options.h for the paper defaults and the
+// ablation switches.
+//
+// Usage:
+//   GrimpOptions opts;
+//   opts.features = FeatureInitKind::kEmbdi;   // GRIMP-E
+//   GrimpImputer grimp(opts);
+//   GRIMP_ASSIGN_OR_RETURN(Table imputed, grimp.Impute(dirty));
+class GrimpImputer : public ImputationAlgorithm {
+ public:
+  explicit GrimpImputer(GrimpOptions options);
+
+  std::string name() const override;
+  Result<Table> Impute(const Table& dirty) override;
+
+  const GrimpOptions& options() const { return options_; }
+  // Valid after a successful Impute().
+  const TrainReport& report() const { return report_; }
+
+ private:
+  GrimpOptions options_;
+  TrainReport report_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_GRIMP_H_

@@ -1,0 +1,81 @@
+#ifndef GRIMP_CORE_OPTIONS_H_
+#define GRIMP_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/feature_init.h"
+#include "table/fd.h"
+
+namespace grimp {
+
+// Task-head flavor (paper §3.5 / Table 2).
+enum class TaskKind { kLinear, kAttention };
+
+// Strategies for the attention selection matrix K (paper Fig. 7).
+enum class KStrategy {
+  kDiagonal,        // all columns weighted equally
+  kTargetColumn,    // only the task's own column
+  kWeakDiagonal,    // target column strongest, others weak (paper default)
+  kWeakDiagonalFd,  // weak diagonal + boost for FD-related columns
+};
+
+const char* TaskKindName(TaskKind kind);
+const char* KStrategyName(KStrategy strategy);
+
+// Configuration of a GRIMP run. Defaults follow the paper's fixed setting
+// (§4.1): attention tasks with weak-diagonal K, 300 epochs with early
+// stopping, 2 GNN layers, 2 shared merge layers, 2 task linear layers.
+// Dimensions default to a laptop-friendly scale; the paper's 64/128 can be
+// requested explicitly.
+struct GrimpOptions {
+  FeatureInitKind features = FeatureInitKind::kNgram;
+  TaskKind task_kind = TaskKind::kAttention;
+  KStrategy k_strategy = KStrategy::kWeakDiagonal;
+
+  // D: feature / GNN-output / shared-output dimension (one space, so the
+  // pre-trained column vectors in Q live in the same space as the training
+  // vector blocks, §3.5).
+  int dim = 32;
+  // Hidden width of the shared merging MLP (#P_Lin in the paper).
+  int shared_hidden = 64;
+  // Hidden width of linear task heads.
+  int task_hidden = 64;
+  int gnn_layers = 2;
+
+  int max_epochs = 300;
+  // Early stopping: stop after this many epochs without validation
+  // improvement (paper: terminate when validation error increases).
+  int patience = 12;
+  double validation_fraction = 0.2;
+  float learning_rate = 5e-3f;
+  float grad_clip = 5.0f;
+  // If > 0 use focal loss with this gamma for categorical tasks instead of
+  // plain cross entropy (§3.6 mentions both).
+  float focal_gamma = 0.0f;
+
+  // Ablation switches (Fig. 10): with use_gnn=false the pre-trained
+  // features bypass message passing; with multi_task=false a single
+  // classifier over the whole table domain replaces the per-attribute
+  // tasks (the GNN-MC / EmbDI-MC configurations).
+  bool use_gnn = true;
+  bool multi_task = true;
+
+  // Efficiency knobs (paper §7 future work): graph pruning via
+  // GraphSAGE-style neighbor subsampling (0 == off), and a cap on the
+  // number of self-supervised training samples each task keeps
+  // (0 == keep all; the corpus is shuffled, so the cap keeps a random
+  // subset).
+  int neighbor_cap = 0;
+  int64_t max_samples_per_task = 0;
+
+  // Input FDs consumed by the kWeakDiagonalFd strategy (§4.3).
+  std::vector<FunctionalDependency> fds;
+
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_OPTIONS_H_

@@ -1,0 +1,115 @@
+#include "core/tasks.h"
+
+namespace grimp {
+
+const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kLinear ? "linear" : "attention";
+}
+
+const char* KStrategyName(KStrategy strategy) {
+  switch (strategy) {
+    case KStrategy::kDiagonal:
+      return "diagonal";
+    case KStrategy::kTargetColumn:
+      return "target_column";
+    case KStrategy::kWeakDiagonal:
+      return "weak_diagonal";
+    case KStrategy::kWeakDiagonalFd:
+      return "weak_diagonal_fd";
+  }
+  return "?";
+}
+
+LinearTaskHead::LinearTaskHead(std::string name, int num_cols, int dim,
+                               int hidden, int out_dim, Rng* rng)
+    : mlp_(std::move(name),
+           {static_cast<int64_t>(num_cols) * dim, hidden, out_dim}, rng) {}
+
+Tape::VarId LinearTaskHead::Forward(Tape* tape, Tape::VarId v) const {
+  return mlp_.Forward(tape, v);
+}
+
+void LinearTaskHead::CollectParameters(std::vector<Parameter*>* out) {
+  mlp_.CollectParameters(out);
+}
+
+std::vector<float> BuildKDiagonal(
+    KStrategy strategy, int target_col, int num_cols,
+    const std::vector<FunctionalDependency>& fds) {
+  constexpr float kWeak = 0.3f;
+  constexpr float kFdBoost = 0.6f;
+  std::vector<float> diag(static_cast<size_t>(num_cols), 0.0f);
+  switch (strategy) {
+    case KStrategy::kDiagonal:
+      for (float& w : diag) w = 1.0f;
+      break;
+    case KStrategy::kTargetColumn:
+      diag[static_cast<size_t>(target_col)] = 1.0f;
+      break;
+    case KStrategy::kWeakDiagonal:
+      for (float& w : diag) w = kWeak;
+      diag[static_cast<size_t>(target_col)] = 1.0f;
+      break;
+    case KStrategy::kWeakDiagonalFd: {
+      for (float& w : diag) w = kWeak;
+      // Columns related to the target through any FD (the FD's other
+      // attributes determine or are determined by the target).
+      for (const FunctionalDependency& fd : fds) {
+        bool involves_target = fd.rhs == target_col;
+        for (int col : fd.lhs) involves_target |= col == target_col;
+        if (!involves_target) continue;
+        for (int col : fd.lhs) {
+          if (col != target_col) diag[static_cast<size_t>(col)] = kFdBoost;
+        }
+        if (fd.rhs != target_col) {
+          diag[static_cast<size_t>(fd.rhs)] = kFdBoost;
+        }
+      }
+      diag[static_cast<size_t>(target_col)] = 1.0f;
+      break;
+    }
+  }
+  return diag;
+}
+
+AttentionTaskHead::AttentionTaskHead(std::string name,
+                                     const Tensor& column_features,
+                                     std::vector<float> k_diagonal, int dim,
+                                     int out_dim, Rng* rng, int head_hidden)
+    : num_cols_(static_cast<int>(column_features.rows())), dim_(dim),
+      q_(name + ".Q", column_features),
+      k_(Tensor::Zeros(num_cols_, num_cols_)),
+      m_(Tensor::Full(1, num_cols_, 1.0f)),
+      head_(name + ".head",
+            head_hidden > 0
+                ? std::vector<int64_t>{dim, head_hidden, out_dim}
+                : std::vector<int64_t>{dim, out_dim},
+            rng) {
+  GRIMP_CHECK_EQ(column_features.cols(), dim);
+  GRIMP_CHECK_EQ(k_diagonal.size(), static_cast<size_t>(num_cols_));
+  for (int c = 0; c < num_cols_; ++c) {
+    k_.at(c, c) = k_diagonal[static_cast<size_t>(c)];
+  }
+}
+
+Tape::VarId AttentionTaskHead::Forward(Tape* tape, Tape::VarId v) const {
+  Tape::VarId q = tape->Leaf(&q_);
+  Tape::VarId kq = tape->MatMul(tape->Constant(k_), q);     // C x D
+  Tape::VarId a = tape->MatMul(tape->Constant(m_), kq);     // 1 x D
+  Tape::VarId scores = tape->ColBlockDot(v, a, num_cols_);  // N x C
+  Tape::VarId alpha = tape->RowSoftmax(scores);
+  last_attention_ = tape->value(alpha);
+  Tape::VarId ctx = tape->ColBlockWeightedSum(v, alpha, num_cols_);  // N x D
+  return head_.Forward(tape, ctx);
+}
+
+void AttentionTaskHead::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&q_);
+  head_.CollectParameters(out);
+}
+
+int64_t AttentionTaskHead::NumParameters() const {
+  return q_.value.size() + head_.NumParameters();
+}
+
+}  // namespace grimp

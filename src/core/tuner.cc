@@ -1,0 +1,114 @@
+#include "core/tuner.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "table/corruption.h"
+
+namespace grimp {
+
+std::string DescribeOptions(const GrimpOptions& options) {
+  std::string out = "features=";
+  out += FeatureInitKindName(options.features);
+  out += " tasks=";
+  out += TaskKindName(options.task_kind);
+  out += " dim=" + std::to_string(options.dim);
+  out += " lr=" + std::to_string(options.learning_rate);
+  return out;
+}
+
+namespace {
+
+// Holdout score: accuracy on blanked categorical cells plus, for numeric
+// cells, 1 / (1 + normalized absolute error), averaged together. Higher is
+// better; measured purely against the pre-blanking dirty table.
+double HoldoutScore(const Table& before, const CorruptedTable& holdout,
+                    const Table& imputed) {
+  double score = 0.0;
+  int64_t cells = 0;
+  // Column stddevs for numeric normalization.
+  std::vector<double> stds(static_cast<size_t>(before.num_cols()), 1.0);
+  for (int c = 0; c < before.num_cols(); ++c) {
+    if (!before.column(c).is_categorical()) {
+      double mean = 0.0;
+      before.column(c).NumericMoments(&mean, &stds[static_cast<size_t>(c)]);
+    }
+  }
+  for (size_t i = 0; i < holdout.missing_cells.size(); ++i) {
+    const CellRef cell = holdout.missing_cells[i];
+    const Column& truth_col = before.column(cell.col);
+    const Column& imp_col = imputed.column(cell.col);
+    ++cells;
+    if (imp_col.IsMissing(cell.row)) continue;
+    if (truth_col.is_categorical()) {
+      score += imp_col.StringAt(cell.row) == truth_col.StringAt(cell.row);
+    } else {
+      const double err = std::fabs(imp_col.NumAt(cell.row) -
+                                   truth_col.NumAt(cell.row)) /
+                         stds[static_cast<size_t>(cell.col)];
+      score += 1.0 / (1.0 + err);
+    }
+  }
+  return cells > 0 ? score / static_cast<double>(cells) : 0.0;
+}
+
+}  // namespace
+
+Result<TunerReport> TuneGrimp(const Table& dirty, const TunerOptions& tuner) {
+  if (dirty.num_rows() == 0) return Status::InvalidArgument("empty table");
+  if (tuner.holdout_fraction <= 0.0 || tuner.holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  if (tuner.dims.empty() || tuner.task_kinds.empty() ||
+      tuner.features.empty() || tuner.learning_rates.empty()) {
+    return Status::InvalidArgument("empty tuner axis");
+  }
+  // Blank extra holdout cells from the dirty table.
+  const CorruptedTable holdout =
+      InjectMcar(dirty, tuner.holdout_fraction, tuner.seed * 31 + 5);
+
+  TunerReport report;
+  report.best_score = -1.0;
+  for (FeatureInitKind features : tuner.features) {
+    for (TaskKind task_kind : tuner.task_kinds) {
+      for (int dim : tuner.dims) {
+        for (float lr : tuner.learning_rates) {
+          GrimpOptions options;
+          options.features = features;
+          options.task_kind = task_kind;
+          options.dim = dim;
+          options.learning_rate = lr;
+          options.max_epochs = tuner.max_epochs;
+          options.seed = tuner.seed;
+
+          const auto t0 = std::chrono::steady_clock::now();
+          GrimpImputer imputer(options);
+          auto imputed = imputer.Impute(holdout.dirty);
+          TunerTrial trial;
+          trial.options = options;
+          trial.seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+          if (imputed.ok()) {
+            trial.score = HoldoutScore(dirty, holdout, *imputed);
+          }
+          if (tuner.verbose) {
+            GRIMP_LOG(Info) << "trial " << DescribeOptions(options)
+                            << " score " << trial.score << " ("
+                            << trial.seconds << "s)";
+          }
+          if (trial.score > report.best_score) {
+            report.best_score = trial.score;
+            report.best = options;
+          }
+          report.trials.push_back(std::move(trial));
+        }
+      }
+    }
+  }
+  // The winning configuration gets the full training budget back.
+  report.best.max_epochs = GrimpOptions().max_epochs;
+  return report;
+}
+
+}  // namespace grimp

@@ -1,0 +1,56 @@
+#ifndef GRIMP_CORE_TUNER_H_
+#define GRIMP_CORE_TUNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/grimp.h"
+
+namespace grimp {
+
+// Hyperparameter search (paper §7, first future-work item: "introduce
+// hyperparameter tuning in the pipeline, so that GRIMP gets the optimal
+// configuration for each dataset").
+//
+// Model selection is self-supervised, consistent with GRIMP's no-ground-
+// truth contract: extra holdout cells are blanked from the (already dirty)
+// input, each candidate configuration imputes them, and the configuration
+// with the best holdout score wins (categorical accuracy + numerical
+// closeness, both measured against the pre-blanking values).
+struct TunerOptions {
+  std::vector<int> dims{16, 32};
+  std::vector<TaskKind> task_kinds{TaskKind::kAttention, TaskKind::kLinear};
+  std::vector<FeatureInitKind> features{FeatureInitKind::kNgram,
+                                        FeatureInitKind::kEmbdi};
+  std::vector<float> learning_rates{5e-3f};
+  // Fraction of present cells blanked for holdout scoring.
+  double holdout_fraction = 0.15;
+  // Epoch cap per trial (trials still early-stop).
+  int max_epochs = 60;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TunerTrial {
+  GrimpOptions options;
+  double score = 0.0;  // higher is better
+  double seconds = 0.0;
+};
+
+struct TunerReport {
+  GrimpOptions best;
+  double best_score = 0.0;
+  std::vector<TunerTrial> trials;
+};
+
+// Grid-searches the cartesian product of TunerOptions' axes and returns
+// the best configuration (its epoch budget reset to the paper default so
+// the final fit is not capped by the trial budget).
+Result<TunerReport> TuneGrimp(const Table& dirty, const TunerOptions& tuner);
+
+// Human-readable one-line description of a configuration.
+std::string DescribeOptions(const GrimpOptions& options);
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_TUNER_H_

@@ -1,0 +1,408 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace grimp {
+
+namespace {
+
+// Zipf weights w_v proportional to 1/(v+1)^s over `n` values.
+std::vector<double> ZipfWeights(int n, double s) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    w[static_cast<size_t>(v)] = 1.0 / std::pow(static_cast<double>(v + 1), s);
+  }
+  return w;
+}
+
+// Pseudo-word generator for high-cardinality text columns (IMDB titles /
+// director names).
+std::string RandomName(Rng* rng) {
+  static constexpr const char* kOnsets[] = {"b",  "br", "c",  "ch", "d",
+                                            "dr", "f",  "g",  "gr", "h",
+                                            "k",  "l",  "m",  "n",  "p",
+                                            "r",  "s",  "st", "t",  "v"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai",
+                                            "ea", "ou"};
+  static constexpr const char* kCodas[] = {"",  "n", "r", "s", "t",
+                                           "l", "m", "x", "ck"};
+  std::string name;
+  const int syllables = 2 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < syllables; ++i) {
+    name += kOnsets[rng->Uniform(20)];
+    name += kVowels[rng->Uniform(8)];
+    name += kCodas[rng->Uniform(9)];
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<std::vector<FunctionalDependency>> ResolveFds(const DatasetSpec& spec,
+                                                     const Schema& schema) {
+  std::vector<FunctionalDependency> fds;
+  for (const std::string& fd_spec : spec.fd_specs) {
+    GRIMP_ASSIGN_OR_RETURN(auto fd, ParseFd(fd_spec, schema));
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+Result<Table> GenerateDataset(const DatasetSpec& spec, uint64_t seed,
+                              int64_t rows_override) {
+  const int64_t rows = rows_override > 0 ? rows_override : spec.rows;
+  if (rows <= 0) return Status::InvalidArgument("rows must be positive");
+  if (spec.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  Rng rng(seed ^ Fnv1a(spec.name));
+
+  // Schema: categorical columns first, then numerical (matching the
+  // paper's table layouts is irrelevant; column order is arbitrary).
+  std::vector<Field> fields;
+  for (const auto& cat : spec.categorical) {
+    fields.push_back(Field{cat.name, AttrType::kCategorical});
+  }
+  for (const auto& num : spec.numerical) {
+    fields.push_back(Field{num.name, AttrType::kNumerical});
+  }
+  Table table{Schema(std::move(fields))};
+
+  // Cluster assignment per row, mildly skewed.
+  const std::vector<double> cluster_w = ZipfWeights(spec.num_clusters, 0.7);
+  std::vector<int> cluster(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    cluster[static_cast<size_t>(r)] =
+        static_cast<int>(rng.Categorical(cluster_w));
+  }
+
+  // Per-cluster Gaussian means for numerical columns.
+  std::vector<std::vector<double>> num_means(spec.numerical.size());
+  for (size_t j = 0; j < spec.numerical.size(); ++j) {
+    num_means[j].resize(static_cast<size_t>(spec.num_clusters));
+    for (int k = 0; k < spec.num_clusters; ++k) {
+      num_means[j][static_cast<size_t>(k)] =
+          rng.NextGaussian() * spec.numerical[j].cluster_spread;
+    }
+  }
+
+  // High-cardinality text pools: mostly-unique names with light reuse.
+  std::vector<std::vector<std::string>> text_pools(spec.categorical.size());
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    if (!spec.categorical[j].high_cardinality_text) continue;
+    const int64_t pool = std::max<int64_t>(2, (rows * 9) / 10);
+    text_pools[j].reserve(static_cast<size_t>(pool));
+    for (int64_t i = 0; i < pool; ++i) {
+      text_pools[j].push_back(RandomName(&rng));
+    }
+  }
+
+  // Draw categorical codes column-by-column (FD children resolved after
+  // their parent within the same row loop because parents precede children
+  // in the spec by construction; enforced below).
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    const auto& cat = spec.categorical[j];
+    if (cat.fd_parent >= 0 &&
+        static_cast<size_t>(cat.fd_parent) >= j) {
+      return Status::InvalidArgument(
+          "FD parent must precede child column: " + cat.name);
+    }
+  }
+  std::vector<std::vector<int>> cat_codes(
+      spec.categorical.size(), std::vector<int>(static_cast<size_t>(rows)));
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    const auto& cat = spec.categorical[j];
+    if (cat.high_cardinality_text) {
+      const auto& pool = text_pools[j];
+      for (int64_t r = 0; r < rows; ++r) {
+        cat_codes[j][static_cast<size_t>(r)] =
+            static_cast<int>(rng.Uniform(pool.size()));
+      }
+      continue;
+    }
+    if (cat.fd_parent >= 0) {
+      // Deterministic map of the parent value: child = parent % |child|.
+      const auto& parent = cat_codes[static_cast<size_t>(cat.fd_parent)];
+      for (int64_t r = 0; r < rows; ++r) {
+        cat_codes[j][static_cast<size_t>(r)] =
+            parent[static_cast<size_t>(r)] % cat.cardinality;
+      }
+      continue;
+    }
+    const std::vector<double> marginal = ZipfWeights(cat.cardinality,
+                                                     cat.zipf_s);
+    double marg_total = 0.0;
+    for (double w : marginal) marg_total += w;
+    // Per-cluster distributions: a delta mixture. Each cluster prefers one
+    // value (drawn from the column's Zipf marginal, so the marginal skew
+    // is preserved) with probability `concentration`; the remaining mass
+    // follows the marginal. This is what makes attributes mutually
+    // predictive: knowing any column's value tilts the cluster posterior,
+    // which tilts every other column.
+    std::vector<std::vector<double>> cluster_dists(
+        static_cast<size_t>(spec.num_clusters));
+    const uint64_t col_seed = Fnv1a(cat.name, seed);
+    for (int k = 0; k < spec.num_clusters; ++k) {
+      Rng pref_rng(col_seed * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(k) + 1);
+      const size_t preferred = pref_rng.Categorical(marginal);
+      std::vector<double> dist(static_cast<size_t>(cat.cardinality));
+      for (int v = 0; v < cat.cardinality; ++v) {
+        dist[static_cast<size_t>(v)] = (1.0 - cat.concentration) *
+                                       marginal[static_cast<size_t>(v)] /
+                                       marg_total;
+      }
+      dist[preferred] += cat.concentration;
+      cluster_dists[static_cast<size_t>(k)] = std::move(dist);
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      const auto& dist =
+          cluster_dists[static_cast<size_t>(cluster[static_cast<size_t>(r)])];
+      cat_codes[j][static_cast<size_t>(r)] =
+          static_cast<int>(rng.Categorical(dist));
+    }
+  }
+
+  // Distinct pseudo-word value names per (column, code). Real categorical
+  // values ("France", "Germany") are lexically distinct; near-identical
+  // names like "col_v0"/"col_v1" would make every string featurizer
+  // (n-gram hashing, DataWig) artificially blind.
+  std::vector<std::vector<std::string>> value_names(spec.categorical.size());
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    const auto& cat = spec.categorical[j];
+    if (cat.high_cardinality_text) continue;
+    Rng name_rng(Fnv1a(cat.name, seed) ^ 0xabcdef1234567ULL);
+    auto& names = value_names[j];
+    names.reserve(static_cast<size_t>(cat.cardinality));
+    for (int v = 0; v < cat.cardinality; ++v) {
+      names.push_back(RandomName(&name_rng) + "_" + std::to_string(v));
+    }
+  }
+
+  // Materialize rows.
+  std::vector<std::string> row(spec.categorical.size() +
+                               spec.numerical.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t j = 0; j < spec.categorical.size(); ++j) {
+      const auto& cat = spec.categorical[j];
+      const int code = cat_codes[j][static_cast<size_t>(r)];
+      row[j] = cat.high_cardinality_text
+                   ? text_pools[j][static_cast<size_t>(code)]
+                   : value_names[j][static_cast<size_t>(code)];
+    }
+    for (size_t j = 0; j < spec.numerical.size(); ++j) {
+      const auto& num = spec.numerical[j];
+      const double mean =
+          num_means[j][static_cast<size_t>(cluster[static_cast<size_t>(r)])];
+      const double value = mean + rng.NextGaussian() * num.noise;
+      row[spec.categorical.size() + j] = FormatDouble(value, num.decimals);
+    }
+    GRIMP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> GenerateDatasetByName(const std::string& name, uint64_t seed,
+                                    int64_t rows_override) {
+  GRIMP_ASSIGN_OR_RETURN(auto spec, GetDatasetSpec(name));
+  return GenerateDataset(spec, seed, rows_override);
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"adult",     "australian", "contraceptive", "credit",
+          "flare",     "imdb",       "mammogram",     "tax",
+          "thoracic",  "tictactoe"};
+}
+
+Result<DatasetSpec> GetDatasetSpec(const std::string& name) {
+  DatasetSpec s;
+  s.name = name;
+  if (name == "adult") {
+    // 3016 rows, 9 categorical + 5 numerical, 2 FDs (Table 1).
+    s.abbreviation = "AD";
+    s.rows = 3016;
+    s.num_clusters = 8;
+    s.categorical = {
+        {"workclass", 7, 1.2, 0.75, -1, false},
+        {"education", 16, 1.0, 0.85, -1, false},
+        {"edu_level", 8, 0.0, 0.0, 1, false},      // FD: education->edu_level
+        {"marital", 7, 1.0, 0.8, -1, false},
+        {"occupation", 14, 0.8, 0.8, -1, false},
+        {"relationship", 6, 1.0, 0.8, -1, false},
+        {"race", 5, 1.8, 0.7, -1, false},
+        {"sex", 2, 0.8, 0.7, -1, false},
+        {"country", 20, 2.2, 0.6, 1, false},       // FD: education->country?
+    };
+    // The second FD mirrors the paper's two FDs over two attribute pairs.
+    s.categorical[8].fd_parent = 3;  // marital -> country stand-in
+    s.numerical = {{"age", 2.0, 0.8, 0},
+                   {"fnlwgt", 3.0, 1.0, 0},
+                   {"capital_gain", 2.5, 0.9, 0},
+                   {"hours", 1.5, 0.7, 0},
+                   {"salary", 2.5, 0.8, 0}};
+    s.fd_specs = {"education->edu_level", "marital->country"};
+  } else if (name == "australian") {
+    // 690 rows, 9 categorical + 6 numerical, no FDs.
+    s.abbreviation = "AU";
+    s.rows = 690;
+    s.num_clusters = 6;
+    s.categorical = {
+        {"a1", 2, 0.6, 0.7, -1, false},  {"a4", 3, 1.0, 0.75, -1, false},
+        {"a5", 14, 0.9, 0.8, -1, false}, {"a6", 8, 1.1, 0.75, -1, false},
+        {"a8", 2, 0.5, 0.7, -1, false},  {"a9", 2, 0.6, 0.7, -1, false},
+        {"a11", 2, 0.7, 0.7, -1, false}, {"a12", 3, 1.2, 0.7, -1, false},
+        {"a15", 2, 0.9, 0.7, -1, false},
+    };
+    s.numerical = {{"b1", 2.0, 0.8, 2}, {"b2", 2.5, 1.0, 2},
+                   {"b3", 2.0, 0.9, 2}, {"b4", 1.5, 0.7, 1},
+                   {"b5", 2.0, 0.8, 0}, {"b6", 3.0, 1.2, 2}};
+  } else if (name == "contraceptive") {
+    // 1473 rows, 8 categorical + 2 numerical, tiny domains (65 distinct).
+    s.abbreviation = "CO";
+    s.rows = 1473;
+    s.num_clusters = 5;
+    s.categorical = {
+        {"wife_edu", 4, 0.4, 0.7, -1, false},
+        {"husb_edu", 4, 0.4, 0.7, -1, false},
+        {"wife_religion", 2, 0.9, 0.65, -1, false},
+        {"wife_working", 2, 0.7, 0.65, -1, false},
+        {"husb_occupation", 4, 0.3, 0.7, -1, false},
+        {"living_index", 4, 0.3, 0.7, -1, false},
+        {"media", 2, 1.2, 0.65, -1, false},
+        {"method", 3, 0.3, 0.75, -1, false},
+    };
+    s.numerical = {{"wife_age", 1.5, 0.8, 0}, {"children", 1.2, 0.6, 0}};
+  } else if (name == "credit") {
+    // 653 rows, 10 categorical + 6 numerical.
+    s.abbreviation = "CR";
+    s.rows = 653;
+    s.num_clusters = 6;
+    s.categorical = {
+        {"c1", 2, 0.6, 0.7, -1, false},  {"c4", 3, 1.0, 0.75, -1, false},
+        {"c5", 3, 1.0, 0.7, -1, false},  {"c6", 14, 0.9, 0.8, -1, false},
+        {"c7", 9, 1.1, 0.75, -1, false}, {"c9", 2, 0.5, 0.7, -1, false},
+        {"c10", 2, 0.6, 0.7, -1, false}, {"c12", 2, 0.7, 0.65, -1, false},
+        {"c13", 3, 1.4, 0.65, -1, false}, {"c16", 2, 0.8, 0.7, -1, false},
+    };
+    s.numerical = {{"d1", 2.0, 0.9, 2}, {"d2", 2.5, 1.0, 2},
+                   {"d3", 2.0, 0.8, 2}, {"d4", 1.5, 0.7, 0},
+                   {"d5", 2.5, 1.0, 0}, {"d6", 3.0, 1.2, 0}};
+  } else if (name == "flare") {
+    // 1066 rows, 10 categorical + 3 numerical, 34 distinct, heavy skew.
+    s.abbreviation = "FL";
+    s.rows = 1066;
+    s.num_clusters = 4;
+    s.categorical = {
+        {"class", 6, 1.6, 0.7, -1, false},
+        {"size", 6, 1.8, 0.7, -1, false},
+        {"distribution", 4, 1.8, 0.7, -1, false},
+        {"activity", 2, 2.2, 0.6, -1, false},
+        {"evolution", 3, 1.5, 0.65, -1, false},
+        {"prev_activity", 3, 2.4, 0.6, -1, false},
+        {"complex", 2, 2.0, 0.6, -1, false},
+        {"complex_pass", 2, 2.4, 0.6, -1, false},
+        {"area", 2, 2.6, 0.6, -1, false},
+        {"area_largest", 2, 2.6, 0.6, -1, false},
+    };
+    s.numerical = {{"c_flares", 0.8, 0.4, 0},
+                   {"m_flares", 0.6, 0.3, 0},
+                   {"x_flares", 0.5, 0.25, 0}};
+  } else if (name == "imdb") {
+    // 4529 rows, 9 categorical + 2 numerical, 9829 distinct: dominated by
+    // near-unique titles / people names.
+    s.abbreviation = "IM";
+    s.rows = 4529;
+    s.num_clusters = 12;
+    s.categorical = {
+        {"title", 0, 0.0, 0.0, -1, true},
+        {"director", 0, 0.0, 0.0, -1, true},
+        {"actor", 0, 0.0, 0.0, -1, true},
+        {"genre", 18, 1.1, 0.8, -1, false},
+        {"country", 30, 1.8, 0.7, -1, false},
+        {"language", 25, 2.0, 0.65, -1, false},
+        {"color", 2, 2.2, 0.6, -1, false},
+        {"certificate", 10, 1.2, 0.7, -1, false},
+        {"production", 40, 1.3, 0.7, -1, false},
+    };
+    s.numerical = {{"year", 2.0, 0.8, 0}, {"rating", 1.0, 0.5, 1}};
+  } else if (name == "mammogram") {
+    // 830 rows, 5 categorical + 1 numerical, 93 distinct.
+    s.abbreviation = "MM";
+    s.rows = 830;
+    s.num_clusters = 4;
+    s.categorical = {
+        {"birads", 6, 1.0, 0.75, -1, false},
+        {"shape", 4, 0.6, 0.75, -1, false},
+        {"margin", 5, 0.7, 0.75, -1, false},
+        {"density", 4, 2.0, 0.65, -1, false},
+        {"severity", 2, 0.3, 0.8, -1, false},
+    };
+    s.numerical = {{"age", 1.8, 0.8, 0}};
+  } else if (name == "tax") {
+    // 5000 rows, 5 categorical + 7 numerical, 6 FDs (synthetic in the
+    // paper as well).
+    s.abbreviation = "TA";
+    s.rows = 5000;
+    s.num_clusters = 10;
+    s.categorical = {
+        {"zip", 120, 0.8, 0.8, -1, false},
+        {"city", 60, 0.0, 0.0, 0, false},      // zip -> city
+        {"state", 30, 0.0, 0.0, 1, false},     // city -> state
+        {"area_code", 20, 0.0, 0.0, 2, false}, // state -> area_code
+        {"marital", 4, 0.8, 0.75, -1, false},
+    };
+    s.numerical = {{"salary", 3.0, 1.0, 0},   {"rate", 1.5, 0.6, 2},
+                   {"single_exemp", 1.0, 0.5, 0}, {"married_exemp", 1.0, 0.5, 0},
+                   {"child_exemp", 0.8, 0.4, 0},  {"gross", 3.0, 1.2, 0},
+                   {"net", 2.5, 1.0, 0}};
+    // zip->city, city->state, state->area_code hold directly; the
+    // transitive closures hold as well, giving the paper's six FDs.
+    s.fd_specs = {"zip->city",        "city->state",  "state->area_code",
+                  "zip->state",       "zip->area_code", "city->area_code"};
+  } else if (name == "thoracic") {
+    // 470 rows, 14 categorical (mostly heavily-skewed binaries) + 3
+    // numerical: the high-F+/low-N+ regime.
+    s.abbreviation = "TH";
+    s.rows = 470;
+    s.num_clusters = 4;
+    s.categorical = {
+        {"dgn", 7, 1.4, 0.7, -1, false},
+        {"pre6", 3, 1.8, 0.65, -1, false},
+        {"pre7", 2, 2.6, 0.6, -1, false},
+        {"pre8", 2, 2.4, 0.6, -1, false},
+        {"pre9", 2, 2.8, 0.6, -1, false},
+        {"pre10", 2, 1.8, 0.6, -1, false},
+        {"pre11", 2, 2.2, 0.6, -1, false},
+        {"pre14", 4, 1.6, 0.65, -1, false},
+        {"pre17", 2, 2.6, 0.6, -1, false},
+        {"pre19", 2, 3.0, 0.6, -1, false},
+        {"pre25", 2, 2.8, 0.6, -1, false},
+        {"pre30", 2, 1.2, 0.6, -1, false},
+        {"pre32", 2, 3.0, 0.6, -1, false},
+        {"risk1y", 2, 2.0, 0.6, -1, false},
+    };
+    s.numerical = {{"fvc", 2.0, 0.8, 1}, {"fev1", 2.0, 0.8, 1},
+                   {"age", 1.5, 0.7, 0}};
+  } else if (name == "tictactoe") {
+    // 958 rows, 9 categorical with 3 near-uniform values, no numerical:
+    // the low-skew / negative-kurtosis regime.
+    s.abbreviation = "TT";
+    s.rows = 958;
+    s.num_clusters = 8;
+    s.categorical.reserve(9);
+    for (int i = 0; i < 9; ++i) {
+      s.categorical.push_back(
+          {"cell" + std::to_string(i), 3, 0.15, 0.7, -1, false});
+    }
+  } else {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  return s;
+}
+
+}  // namespace grimp

@@ -1,0 +1,82 @@
+#include "embedding/embdi.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "embedding/random_init.h"
+#include "embedding/walks.h"
+
+namespace grimp {
+
+Result<PretrainedFeatures> EmbdiFeatureInit::Init(const Table& table,
+                                                  const TableGraph& tg,
+                                                  int dim,
+                                                  uint64_t seed) const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  Rng rng(seed);
+  WalkGraph wg(tg.graph.num_nodes());
+
+  // Regular table edges (weight 1), taken from the typed adjacency. Only
+  // the RID -> cell direction is added; WalkGraph edges are undirected.
+  for (int t = 0; t < tg.graph.num_edge_types(); ++t) {
+    const CsrAdjacency& adj = tg.graph.adjacency(t);
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      const int64_t rid = tg.rid_nodes[static_cast<size_t>(r)];
+      auto [b, e] = adj.NeighborRange(rid);
+      for (int32_t k = b; k < e; ++k) {
+        wg.AddEdge(rid, adj.indices()[static_cast<size_t>(k)], 1.0);
+      }
+    }
+  }
+
+  // "Possible imputation" edges for missing cells, weighted by frequency.
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Column& col = table.column(c);
+    const Dictionary& dict = col.dict();
+    // Candidate codes sorted by frequency (descending), capped.
+    std::vector<int32_t> candidates;
+    for (int32_t code = 0; code < dict.size(); ++code) {
+      if (dict.CountOf(code) > 0 && tg.CellNode(c, code) >= 0) {
+        candidates.push_back(code);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&dict](int32_t a, int32_t b) {
+                if (dict.CountOf(a) != dict.CountOf(b)) {
+                  return dict.CountOf(a) > dict.CountOf(b);
+                }
+                return a < b;
+              });
+    if (static_cast<int>(candidates.size()) > options_.max_possible_values) {
+      candidates.resize(static_cast<size_t>(options_.max_possible_values));
+    }
+    if (candidates.empty()) continue;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (!col.IsMissing(r)) continue;
+      const int64_t rid = tg.rid_nodes[static_cast<size_t>(r)];
+      for (int32_t code : candidates) {
+        wg.AddEdge(rid, tg.CellNode(c, code),
+                   static_cast<double>(dict.CountOf(code)));
+      }
+    }
+  }
+  wg.Finalize();
+
+  Rng walk_rng = rng.Fork();
+  const auto corpus = GenerateWalks(wg, options_.walks_per_node,
+                                    options_.walk_length, &walk_rng);
+
+  SkipGramOptions sg = options_.skipgram;
+  sg.dim = dim;
+  SkipGramModel model(tg.graph.num_nodes(), sg, rng.Next());
+  model.Train(corpus);
+
+  PretrainedFeatures out;
+  out.node_features = model.embeddings();
+  out.column_features = Tensor::Zeros(table.num_cols(), dim);
+  FillColumnFeaturesFromCells(table, tg, out.node_features,
+                              &out.column_features);
+  return out;
+}
+
+}  // namespace grimp

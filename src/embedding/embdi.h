@@ -1,0 +1,39 @@
+#ifndef GRIMP_EMBEDDING_EMBDI_H_
+#define GRIMP_EMBEDDING_EMBDI_H_
+
+#include "embedding/feature_init.h"
+#include "embedding/skipgram.h"
+
+namespace grimp {
+
+// EmbDI-style local relational embeddings (paper §3.4 and [11]),
+// reimplemented from scratch: weighted random walks over the table graph
+// followed by skip-gram with negative sampling. GRIMP's extension is also
+// implemented: for every missing cell t_i[A_j], "possible imputation"
+// edges connect t_i's RID node to the values of Dom(A_j), weighted by each
+// value's frequency in A_j. For very wide domains only the
+// `max_possible_values` most frequent candidates receive an edge (cost
+// guard; documented substitution).
+struct EmbdiOptions {
+  int walks_per_node = 5;
+  int walk_length = 20;
+  int max_possible_values = 64;
+  SkipGramOptions skipgram;
+};
+
+class EmbdiFeatureInit : public FeatureInitializer {
+ public:
+  explicit EmbdiFeatureInit(EmbdiOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "embdi"; }
+  Result<PretrainedFeatures> Init(const Table& table, const TableGraph& tg,
+                                  int dim, uint64_t seed) const override;
+
+ private:
+  EmbdiOptions options_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_EMBEDDING_EMBDI_H_

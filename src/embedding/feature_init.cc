@@ -1,0 +1,34 @@
+#include "embedding/feature_init.h"
+
+#include "embedding/embdi.h"
+#include "embedding/ngram_init.h"
+#include "embedding/random_init.h"
+
+namespace grimp {
+
+const char* FeatureInitKindName(FeatureInitKind kind) {
+  switch (kind) {
+    case FeatureInitKind::kRandom:
+      return "random";
+    case FeatureInitKind::kNgram:
+      return "ngram";
+    case FeatureInitKind::kEmbdi:
+      return "embdi";
+  }
+  return "?";
+}
+
+std::unique_ptr<FeatureInitializer> MakeFeatureInitializer(
+    FeatureInitKind kind) {
+  switch (kind) {
+    case FeatureInitKind::kRandom:
+      return std::make_unique<RandomFeatureInit>();
+    case FeatureInitKind::kNgram:
+      return std::make_unique<NgramFeatureInit>();
+    case FeatureInitKind::kEmbdi:
+      return std::make_unique<EmbdiFeatureInit>();
+  }
+  return nullptr;
+}
+
+}  // namespace grimp

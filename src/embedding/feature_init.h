@@ -1,0 +1,47 @@
+#ifndef GRIMP_EMBEDDING_FEATURE_INIT_H_
+#define GRIMP_EMBEDDING_FEATURE_INIT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/builder.h"
+#include "table/table.h"
+#include "tensor/tensor.h"
+
+namespace grimp {
+
+// Pre-trained features consumed by the GNN and the attention tasks
+// (paper §3.4): one vector per graph node, plus one vector per column
+// (the rows of matrix Q, built by averaging the attribute's value vectors).
+struct PretrainedFeatures {
+  Tensor node_features;    // num_nodes x dim
+  Tensor column_features;  // num_cols x dim
+};
+
+// Strategy interface for initializing node features. Implementations:
+//   RandomFeatureInit  - Gaussian noise (the paper's random baseline)
+//   NgramFeatureInit   - hashed character n-grams (FastText substitute)
+//   EmbdiFeatureInit   - random-walk + skip-gram local embeddings (EmbDI)
+class FeatureInitializer {
+ public:
+  virtual ~FeatureInitializer() = default;
+
+  virtual std::string name() const = 0;
+  virtual Result<PretrainedFeatures> Init(const Table& table,
+                                          const TableGraph& tg, int dim,
+                                          uint64_t seed) const = 0;
+};
+
+// Which initializer a GRIMP configuration uses (GRIMP-FT / GRIMP-E in the
+// paper's experiments).
+enum class FeatureInitKind { kRandom, kNgram, kEmbdi };
+
+const char* FeatureInitKindName(FeatureInitKind kind);
+
+std::unique_ptr<FeatureInitializer> MakeFeatureInitializer(
+    FeatureInitKind kind);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EMBEDDING_FEATURE_INIT_H_

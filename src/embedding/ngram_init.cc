@@ -1,0 +1,109 @@
+#include "embedding/ngram_init.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "embedding/random_init.h"
+
+namespace grimp {
+
+namespace {
+// Deterministic pseudo-random unit-scale component for (bucket, dim d).
+float BucketComponent(uint64_t bucket, int d, uint64_t seed) {
+  uint64_t h = bucket * 0x9e3779b97f4a7c15ULL + seed;
+  h ^= static_cast<uint64_t>(d) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  // Map to roughly N(0,1) via sum of two uniforms minus 1 (triangular, good
+  // enough for feature hashing).
+  const double u1 = static_cast<double>(h >> 32) / 4294967296.0;
+  const double u2 = static_cast<double>(h & 0xffffffffULL) / 4294967296.0;
+  return static_cast<float>(u1 + u2 - 1.0) * 2.0f;
+}
+}  // namespace
+
+std::vector<float> NgramFeatureInit::EmbedString(const std::string& value,
+                                                 int dim,
+                                                 uint64_t seed) const {
+  std::vector<float> vec(static_cast<size_t>(dim), 0.0f);
+  if (value.empty()) return vec;
+  const std::string padded = "<" + value + ">";
+  int num_ngrams = 0;
+  for (int n = min_n_; n <= max_n_; ++n) {
+    if (static_cast<size_t>(n) > padded.size()) break;
+    for (size_t i = 0; i + static_cast<size_t>(n) <= padded.size(); ++i) {
+      const uint64_t h =
+          Fnv1a(std::string_view(padded).substr(i, static_cast<size_t>(n)),
+                seed) %
+          static_cast<uint64_t>(num_buckets_);
+      for (int d = 0; d < dim; ++d) {
+        vec[static_cast<size_t>(d)] += BucketComponent(h, d, seed);
+      }
+      ++num_ngrams;
+    }
+  }
+  if (num_ngrams == 0) {
+    // Very short value: hash the whole padded token once.
+    const uint64_t h =
+        Fnv1a(padded, seed) % static_cast<uint64_t>(num_buckets_);
+    for (int d = 0; d < dim; ++d) {
+      vec[static_cast<size_t>(d)] = BucketComponent(h, d, seed);
+    }
+    num_ngrams = 1;
+  }
+  double norm_sq = 0.0;
+  for (float v : vec) norm_sq += static_cast<double>(v) * v;
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : vec) v *= inv;
+  }
+  return vec;
+}
+
+Result<PretrainedFeatures> NgramFeatureInit::Init(const Table& table,
+                                                  const TableGraph& tg,
+                                                  int dim,
+                                                  uint64_t seed) const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  PretrainedFeatures out;
+  out.node_features = Tensor::Zeros(tg.graph.num_nodes(), dim);
+  // Cell nodes: embed the value string.
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Dictionary& dict = table.column(c).dict();
+    for (int32_t code = 0; code < dict.size(); ++code) {
+      const int64_t node = tg.CellNode(c, code);
+      if (node < 0) continue;
+      const std::vector<float> vec =
+          EmbedString(dict.ValueOf(code), dim, seed);
+      for (int d = 0; d < dim; ++d) {
+        out.node_features.at(node, d) = vec[static_cast<size_t>(d)];
+      }
+    }
+  }
+  // RID nodes: mean of the tuple's present cell vectors.
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const int64_t rid = tg.rid_nodes[static_cast<size_t>(r)];
+    int present = 0;
+    for (int c = 0; c < table.num_cols(); ++c) {
+      const int32_t code = table.column(c).CodeAt(r);
+      if (code < 0) continue;
+      const int64_t cell = tg.CellNode(c, code);
+      if (cell < 0) continue;
+      for (int d = 0; d < dim; ++d) {
+        out.node_features.at(rid, d) += out.node_features.at(cell, d);
+      }
+      ++present;
+    }
+    if (present > 0) {
+      const float inv = 1.0f / static_cast<float>(present);
+      for (int d = 0; d < dim; ++d) out.node_features.at(rid, d) *= inv;
+    }
+  }
+  out.column_features = Tensor::Zeros(table.num_cols(), dim);
+  FillColumnFeaturesFromCells(table, tg, out.node_features,
+                              &out.column_features);
+  return out;
+}
+
+}  // namespace grimp

@@ -1,0 +1,52 @@
+#include "embedding/random_init.h"
+
+#include <cmath>
+
+namespace grimp {
+
+void FillColumnFeaturesFromCells(const Table& table, const TableGraph& tg,
+                                 const Tensor& node_features,
+                                 Tensor* column_features) {
+  const int dim = static_cast<int>(node_features.cols());
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Dictionary& dict = table.column(c).dict();
+    double weight_total = 0.0;
+    std::vector<double> acc(static_cast<size_t>(dim), 0.0);
+    for (int32_t code = 0; code < dict.size(); ++code) {
+      const int64_t count = dict.CountOf(code);
+      if (count <= 0) continue;
+      const int64_t node = tg.CellNode(c, code);
+      if (node < 0) continue;
+      const double w = static_cast<double>(count);
+      for (int d = 0; d < dim; ++d) {
+        acc[static_cast<size_t>(d)] +=
+            w * node_features.at(node, d);
+      }
+      weight_total += w;
+    }
+    if (weight_total > 0.0) {
+      for (int d = 0; d < dim; ++d) {
+        column_features->at(c, d) =
+            static_cast<float>(acc[static_cast<size_t>(d)] / weight_total);
+      }
+    }
+  }
+}
+
+Result<PretrainedFeatures> RandomFeatureInit::Init(const Table& table,
+                                                   const TableGraph& tg,
+                                                   int dim,
+                                                   uint64_t seed) const {
+  if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  Rng rng(seed);
+  PretrainedFeatures out;
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  out.node_features =
+      Tensor::RandomNormal(tg.graph.num_nodes(), dim, stddev, &rng);
+  out.column_features = Tensor::Zeros(table.num_cols(), dim);
+  FillColumnFeaturesFromCells(table, tg, out.node_features,
+                              &out.column_features);
+  return out;
+}
+
+}  // namespace grimp

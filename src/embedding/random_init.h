@@ -1,0 +1,25 @@
+#ifndef GRIMP_EMBEDDING_RANDOM_INIT_H_
+#define GRIMP_EMBEDDING_RANDOM_INIT_H_
+
+#include "embedding/feature_init.h"
+
+namespace grimp {
+
+// Gaussian random node features (stddev 1/sqrt(dim)); column features are
+// the mean of the column's cell-node vectors.
+class RandomFeatureInit : public FeatureInitializer {
+ public:
+  std::string name() const override { return "random"; }
+  Result<PretrainedFeatures> Init(const Table& table, const TableGraph& tg,
+                                  int dim, uint64_t seed) const override;
+};
+
+// Shared helper: fills `column_features` as the count-weighted mean of each
+// column's cell-node vectors.
+void FillColumnFeaturesFromCells(const Table& table, const TableGraph& tg,
+                                 const Tensor& node_features,
+                                 Tensor* column_features);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EMBEDDING_RANDOM_INIT_H_

@@ -1,0 +1,123 @@
+#include "embedding/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace grimp {
+
+namespace {
+constexpr int kNegativeTableSize = 1 << 16;
+
+inline float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+SkipGramModel::SkipGramModel(int64_t vocab_size,
+                             const SkipGramOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  GRIMP_CHECK_GT(vocab_size, 0);
+  const float bound = 0.5f / static_cast<float>(options_.dim);
+  in_ = Tensor(vocab_size, options_.dim);
+  for (int64_t i = 0; i < in_.size(); ++i) {
+    in_[i] = rng_.UniformReal(-bound, bound);
+  }
+  out_ = Tensor::Zeros(vocab_size, options_.dim);
+}
+
+void SkipGramModel::BuildNegativeTable(
+    const std::vector<std::vector<int32_t>>& corpus) {
+  std::vector<double> freq(static_cast<size_t>(in_.rows()), 0.0);
+  for (const auto& walk : corpus) {
+    for (int32_t tok : walk) freq[static_cast<size_t>(tok)] += 1.0;
+  }
+  double total = 0.0;
+  for (double& f : freq) {
+    f = std::pow(f, options_.ns_exponent);
+    total += f;
+  }
+  negative_table_.resize(kNegativeTableSize);
+  if (total <= 0.0) {
+    for (int i = 0; i < kNegativeTableSize; ++i) {
+      negative_table_[static_cast<size_t>(i)] =
+          static_cast<int32_t>(rng_.Uniform(static_cast<uint64_t>(in_.rows())));
+    }
+    return;
+  }
+  size_t tok = 0;
+  double acc = freq[0] / total;
+  for (int i = 0; i < kNegativeTableSize; ++i) {
+    const double target = (i + 0.5) / kNegativeTableSize;
+    while (acc < target && tok + 1 < freq.size()) {
+      ++tok;
+      acc += freq[tok] / total;
+    }
+    negative_table_[static_cast<size_t>(i)] = static_cast<int32_t>(tok);
+  }
+}
+
+void SkipGramModel::UpdatePair(int32_t center, int32_t context, float lr) {
+  const int dim = options_.dim;
+  float* v_in = in_.data() + static_cast<int64_t>(center) * dim;
+  std::vector<float> grad_in(static_cast<size_t>(dim), 0.0f);
+  // One positive target plus `negatives` sampled negatives.
+  for (int k = 0; k <= options_.negatives; ++k) {
+    int32_t target;
+    float label;
+    if (k == 0) {
+      target = context;
+      label = 1.0f;
+    } else {
+      target = negative_table_[rng_.Uniform(negative_table_.size())];
+      if (target == context) continue;
+      label = 0.0f;
+    }
+    float* v_out = out_.data() + static_cast<int64_t>(target) * dim;
+    float dot = 0.0f;
+    for (int d = 0; d < dim; ++d) dot += v_in[d] * v_out[d];
+    const float g = (label - FastSigmoid(dot)) * lr;
+    for (int d = 0; d < dim; ++d) {
+      grad_in[static_cast<size_t>(d)] += g * v_out[d];
+      v_out[d] += g * v_in[d];
+    }
+  }
+  for (int d = 0; d < dim; ++d) v_in[d] += grad_in[static_cast<size_t>(d)];
+}
+
+void SkipGramModel::Train(const std::vector<std::vector<int32_t>>& corpus) {
+  BuildNegativeTable(corpus);
+  int64_t total_tokens = 0;
+  for (const auto& walk : corpus) {
+    total_tokens += static_cast<int64_t>(walk.size());
+  }
+  const int64_t total_steps =
+      std::max<int64_t>(1, total_tokens * options_.epochs);
+  int64_t step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& walk : corpus) {
+      const int len = static_cast<int>(walk.size());
+      for (int i = 0; i < len; ++i) {
+        const float progress =
+            static_cast<float>(step) / static_cast<float>(total_steps);
+        const float lr = std::max(options_.min_lr,
+                                  options_.lr * (1.0f - progress));
+        // Dynamic window as in word2vec: uniform in [1, window].
+        const int w =
+            1 + static_cast<int>(rng_.Uniform(
+                    static_cast<uint64_t>(options_.window)));
+        for (int j = std::max(0, i - w); j <= std::min(len - 1, i + w); ++j) {
+          if (j == i) continue;
+          UpdatePair(walk[static_cast<size_t>(i)],
+                     walk[static_cast<size_t>(j)], lr);
+        }
+        ++step;
+      }
+    }
+  }
+}
+
+}  // namespace grimp

@@ -1,0 +1,53 @@
+#ifndef GRIMP_EMBEDDING_SKIPGRAM_H_
+#define GRIMP_EMBEDDING_SKIPGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace grimp {
+
+// Skip-gram with negative sampling (word2vec SGD, no autograd — this is a
+// purpose-built kernel). Vocabulary entries are graph node ids.
+struct SkipGramOptions {
+  int dim = 64;
+  int window = 3;
+  int negatives = 5;
+  int epochs = 3;
+  float lr = 0.05f;
+  float min_lr = 1e-4f;
+  // Unigram distribution exponent for negative sampling (word2vec's 0.75).
+  double ns_exponent = 0.75;
+};
+
+class SkipGramModel {
+ public:
+  SkipGramModel(int64_t vocab_size, const SkipGramOptions& options,
+                uint64_t seed);
+
+  // Trains on a corpus of token sequences (random walks).
+  void Train(const std::vector<std::vector<int32_t>>& corpus);
+
+  // Input embeddings (vocab_size x dim).
+  const Tensor& embeddings() const { return in_; }
+  // Output (context) embeddings; scoring candidates against a context uses
+  // in . out as in word2vec.
+  const Tensor& output_embeddings() const { return out_; }
+
+ private:
+  void BuildNegativeTable(const std::vector<std::vector<int32_t>>& corpus);
+  // One (center, context) positive update plus `negatives` negative ones.
+  void UpdatePair(int32_t center, int32_t context, float lr);
+
+  SkipGramOptions options_;
+  Rng rng_;
+  Tensor in_;
+  Tensor out_;
+  std::vector<int32_t> negative_table_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_EMBEDDING_SKIPGRAM_H_

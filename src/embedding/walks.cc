@@ -1,0 +1,92 @@
+#include "embedding/walks.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace grimp {
+
+WalkGraph::WalkGraph(int64_t num_nodes)
+    : degree_(static_cast<size_t>(num_nodes), 0),
+      adj_(static_cast<size_t>(num_nodes)),
+      weights_(static_cast<size_t>(num_nodes)) {}
+
+void WalkGraph::AddEdge(int64_t u, int64_t v, double weight) {
+  GRIMP_CHECK(!finalized_);
+  GRIMP_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  GRIMP_CHECK(weight > 0.0);
+  adj_[static_cast<size_t>(u)].push_back(static_cast<int32_t>(v));
+  weights_[static_cast<size_t>(u)].push_back(weight);
+  adj_[static_cast<size_t>(v)].push_back(static_cast<int32_t>(u));
+  weights_[static_cast<size_t>(v)].push_back(weight);
+}
+
+void WalkGraph::Finalize() {
+  GRIMP_CHECK(!finalized_);
+  const int64_t n = num_nodes();
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    degree_[static_cast<size_t>(i)] =
+        static_cast<int64_t>(adj_[static_cast<size_t>(i)].size());
+    total += degree_[static_cast<size_t>(i)];
+    offsets_[static_cast<size_t>(i) + 1] = total;
+  }
+  neighbors_.resize(static_cast<size_t>(total));
+  cumweights_.resize(static_cast<size_t>(total));
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& nbrs = adj_[static_cast<size_t>(i)];
+    const auto& ws = weights_[static_cast<size_t>(i)];
+    double acc = 0.0;
+    const int64_t base = offsets_[static_cast<size_t>(i)];
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      acc += ws[k];
+      neighbors_[static_cast<size_t>(base) + k] = nbrs[k];
+      cumweights_[static_cast<size_t>(base) + k] = acc;
+    }
+  }
+  adj_.clear();
+  adj_.shrink_to_fit();
+  weights_.clear();
+  weights_.shrink_to_fit();
+  finalized_ = true;
+}
+
+int64_t WalkGraph::SampleNeighbor(int64_t node, Rng* rng) const {
+  GRIMP_CHECK(finalized_);
+  const int64_t begin = offsets_[static_cast<size_t>(node)];
+  const int64_t end = offsets_[static_cast<size_t>(node) + 1];
+  if (begin == end) return -1;
+  const double total = cumweights_[static_cast<size_t>(end) - 1];
+  const double r = rng->NextDouble() * total;
+  const auto it = std::upper_bound(cumweights_.begin() + begin,
+                                   cumweights_.begin() + end, r);
+  const int64_t idx = std::min<int64_t>(it - cumweights_.begin(), end - 1);
+  return neighbors_[static_cast<size_t>(idx)];
+}
+
+std::vector<std::vector<int32_t>> GenerateWalks(const WalkGraph& graph,
+                                                int walks_per_node,
+                                                int walk_length, Rng* rng) {
+  std::vector<std::vector<int32_t>> walks;
+  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
+                static_cast<size_t>(walks_per_node));
+  for (int64_t start = 0; start < graph.num_nodes(); ++start) {
+    for (int w = 0; w < walks_per_node; ++w) {
+      std::vector<int32_t> walk;
+      walk.reserve(static_cast<size_t>(walk_length));
+      int64_t cur = start;
+      walk.push_back(static_cast<int32_t>(cur));
+      for (int step = 1; step < walk_length; ++step) {
+        const int64_t next = graph.SampleNeighbor(cur, rng);
+        if (next < 0) break;
+        walk.push_back(static_cast<int32_t>(next));
+        cur = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace grimp

@@ -1,0 +1,49 @@
+#ifndef GRIMP_EMBEDDING_WALKS_H_
+#define GRIMP_EMBEDDING_WALKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace grimp {
+
+// A weighted undirected multigraph used for EmbDI-style random walks.
+// Stored as per-node neighbor/weight lists with prefix sums for O(log d)
+// weighted sampling.
+class WalkGraph {
+ public:
+  explicit WalkGraph(int64_t num_nodes);
+
+  void AddEdge(int64_t u, int64_t v, double weight);
+  // Must be called once after all AddEdge calls, before sampling.
+  void Finalize();
+
+  int64_t num_nodes() const { return static_cast<int64_t>(degree_.size()); }
+  int64_t Degree(int64_t node) const {
+    return degree_[static_cast<size_t>(node)];
+  }
+
+  // Samples a neighbor of `node` proportionally to edge weight; -1 if the
+  // node is isolated.
+  int64_t SampleNeighbor(int64_t node, Rng* rng) const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<int64_t> degree_;
+  std::vector<std::vector<int32_t>> adj_;       // pre-finalize buffers
+  std::vector<std::vector<double>> weights_;
+  std::vector<int64_t> offsets_;                // post-finalize CSR
+  std::vector<int32_t> neighbors_;
+  std::vector<double> cumweights_;              // per-node prefix sums
+};
+
+// Generates `walks_per_node` random walks of length `walk_length` starting
+// from every node; isolated nodes yield single-token walks.
+std::vector<std::vector<int32_t>> GenerateWalks(const WalkGraph& graph,
+                                                int walks_per_node,
+                                                int walk_length, Rng* rng);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EMBEDDING_WALKS_H_

@@ -1,0 +1,55 @@
+#include "eval/error_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace grimp {
+
+std::vector<ValueErrorRow> AnalyzeValueErrors(const Table& clean,
+                                              const CorruptedTable& corrupted,
+                                              const Table& imputed, int col) {
+  GRIMP_CHECK(clean.column(col).is_categorical());
+  const Column& clean_col = clean.column(col);
+  const Dictionary& dict = clean_col.dict();
+
+  int64_t total = 0;
+  std::vector<ValueErrorRow> rows;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    if (dict.CountOf(code) <= 0) continue;
+    ValueErrorRow row;
+    row.value = dict.ValueOf(code);
+    row.frequency = dict.CountOf(code);
+    total += row.frequency;
+    rows.push_back(std::move(row));
+  }
+  std::unordered_map<std::string, size_t> by_value;
+  for (size_t i = 0; i < rows.size(); ++i) by_value[rows[i].value] = i;
+  for (ValueErrorRow& row : rows) {
+    row.relative_frequency =
+        total > 0 ? static_cast<double>(row.frequency) /
+                        static_cast<double>(total)
+                  : 0.0;
+    row.expected_error = 1.0 - row.relative_frequency;
+  }
+
+  for (const CellRef cell : corrupted.missing_cells) {
+    if (cell.col != col) continue;
+    const std::string& truth = clean_col.StringAt(cell.row);
+    auto it = by_value.find(truth);
+    if (it == by_value.end()) continue;
+    ValueErrorRow& row = rows[it->second];
+    ++row.test_cells;
+    const Column& imp_col = imputed.column(col);
+    if (imp_col.IsMissing(cell.row) || imp_col.StringAt(cell.row) != truth) {
+      ++row.wrong;
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ValueErrorRow& a, const ValueErrorRow& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.value < b.value;
+            });
+  return rows;
+}
+
+}  // namespace grimp

@@ -1,0 +1,39 @@
+#ifndef GRIMP_EVAL_ERROR_ANALYSIS_H_
+#define GRIMP_EVAL_ERROR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "table/corruption.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Per-value error breakdown for one categorical attribute (paper §5,
+// Figs. 11-12): for every domain value v, the fraction of test cells with
+// ground truth v that an algorithm imputed incorrectly, next to the
+// "expected" error 1 - f_v derived from v's relative frequency.
+struct ValueErrorRow {
+  std::string value;
+  int64_t frequency = 0;       // occurrences in the clean column
+  double relative_frequency = 0.0;
+  double expected_error = 0.0;  // 1 - f_v
+  int64_t test_cells = 0;       // injected-missing cells with truth == v
+  int64_t wrong = 0;
+
+  double ErrorFraction() const {
+    return test_cells > 0
+               ? static_cast<double>(wrong) / static_cast<double>(test_cells)
+               : 0.0;
+  }
+};
+
+// Rows sorted by frequency descending (rare values on the right, as in the
+// paper's plots).
+std::vector<ValueErrorRow> AnalyzeValueErrors(const Table& clean,
+                                              const CorruptedTable& corrupted,
+                                              const Table& imputed, int col);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EVAL_ERROR_ANALYSIS_H_

@@ -1,0 +1,26 @@
+#ifndef GRIMP_EVAL_IMPUTER_H_
+#define GRIMP_EVAL_IMPUTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Common interface for every imputation algorithm in the study (GRIMP and
+// all baselines). Impute() receives the dirty table and returns a copy
+// where every missing cell has been filled from the attribute's domain
+// (categorical) or with a predicted number (numerical). Implementations
+// must not peek at any ground truth.
+class ImputationAlgorithm {
+ public:
+  virtual ~ImputationAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual Result<Table> Impute(const Table& dirty) = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_EVAL_IMPUTER_H_

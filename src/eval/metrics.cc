@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace grimp {
+
+double ImputationScore::Rmse() const {
+  return numerical_cells > 0
+             ? std::sqrt(sum_squared_error /
+                         static_cast<double>(numerical_cells))
+             : 0.0;
+}
+
+double ImputationScore::NormalizedRmse() const {
+  return numerical_cells > 0
+             ? std::sqrt(sum_squared_error_norm /
+                         static_cast<double>(numerical_cells))
+             : 0.0;
+}
+
+ImputationScore ScoreImputation(const Table& imputed,
+                                const CorruptedTable& corrupted,
+                                const Table& clean) {
+  ImputationScore score;
+  // Clean per-column stddevs for the normalized RMSE.
+  std::vector<double> stds(static_cast<size_t>(clean.num_cols()), 1.0);
+  for (int c = 0; c < clean.num_cols(); ++c) {
+    if (!clean.column(c).is_categorical()) {
+      double mean = 0.0;
+      clean.column(c).NumericMoments(&mean, &stds[static_cast<size_t>(c)]);
+    }
+  }
+  for (size_t i = 0; i < corrupted.missing_cells.size(); ++i) {
+    const CellRef cell = corrupted.missing_cells[i];
+    const Column& clean_col = clean.column(cell.col);
+    const Column& imp_col = imputed.column(cell.col);
+    if (clean_col.is_categorical()) {
+      ++score.categorical_cells;
+      if (imp_col.IsMissing(cell.row)) {
+        ++score.cells_left_missing;
+        continue;
+      }
+      if (imp_col.StringAt(cell.row) == clean_col.StringAt(cell.row)) {
+        ++score.categorical_correct;
+      }
+    } else {
+      ++score.numerical_cells;
+      const double truth = clean_col.NumAt(cell.row);
+      double pred;
+      if (imp_col.IsMissing(cell.row)) {
+        ++score.cells_left_missing;
+        // A cell left empty scores as if imputed with the column mean.
+        double mean = 0.0, std = 1.0;
+        clean_col.NumericMoments(&mean, &std);
+        pred = mean;
+      } else {
+        pred = imp_col.NumAt(cell.row);
+      }
+      const double err = pred - truth;
+      score.sum_squared_error += err * err;
+      const double std = stds[static_cast<size_t>(cell.col)];
+      score.sum_squared_error_norm += (err / std) * (err / std);
+    }
+  }
+  return score;
+}
+
+}  // namespace grimp

@@ -1,0 +1,42 @@
+#ifndef GRIMP_EVAL_METRICS_H_
+#define GRIMP_EVAL_METRICS_H_
+
+#include <cstdint>
+
+#include "table/corruption.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Accuracy/RMSE of one imputed table against the ground truth (paper §2:
+// categorical cells score exact-match accuracy; numerical cells score
+// RMSE, measured after de-normalization, i.e. in raw value space).
+struct ImputationScore {
+  int64_t categorical_cells = 0;
+  int64_t categorical_correct = 0;
+  int64_t numerical_cells = 0;
+  double sum_squared_error = 0.0;       // raw value space
+  double sum_squared_error_norm = 0.0;  // normalized by clean column stddev
+  int64_t cells_left_missing = 0;
+
+  double Accuracy() const {
+    return categorical_cells > 0
+               ? static_cast<double>(categorical_correct) /
+                     static_cast<double>(categorical_cells)
+               : 0.0;
+  }
+  double Rmse() const;
+  // RMSE in units of each column's clean stddev; comparable across
+  // datasets.
+  double NormalizedRmse() const;
+};
+
+// Scores `imputed` on exactly the cells that InjectMcar blanked
+// ("every injected missing value is used as test data", §4.2).
+ImputationScore ScoreImputation(const Table& imputed,
+                                const CorruptedTable& corrupted,
+                                const Table& clean);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EVAL_METRICS_H_

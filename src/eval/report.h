@@ -1,0 +1,33 @@
+#ifndef GRIMP_EVAL_REPORT_H_
+#define GRIMP_EVAL_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace grimp {
+
+// Fixed-width text table for the experiment binaries' stdout reports.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  void Print(std::ostream& os) const;
+  // Same content as comma-separated values (machine-readable companion).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by every bench binary.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EVAL_REPORT_H_

@@ -1,0 +1,30 @@
+#include "eval/runner.h"
+
+#include <chrono>
+
+namespace grimp {
+
+RunResult RunAlgorithm(const Table& clean, const CorruptedTable& corrupted,
+                       ImputationAlgorithm* algorithm, Table* imputed_out) {
+  RunResult result;
+  result.algorithm = algorithm->name();
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<Table> imputed = algorithm->Impute(corrupted.dirty);
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!imputed.ok()) {
+    result.status = imputed.status();
+    return result;
+  }
+  result.score = ScoreImputation(*imputed, corrupted, clean);
+  if (imputed_out != nullptr) *imputed_out = std::move(*imputed);
+  return result;
+}
+
+RunResult RunAlgorithm(const Table& clean, const CorruptedTable& corrupted,
+                       ImputationAlgorithm* algorithm) {
+  return RunAlgorithm(clean, corrupted, algorithm, nullptr);
+}
+
+}  // namespace grimp

@@ -1,0 +1,34 @@
+#ifndef GRIMP_EVAL_RUNNER_H_
+#define GRIMP_EVAL_RUNNER_H_
+
+#include <string>
+
+#include "eval/imputer.h"
+#include "eval/metrics.h"
+#include "table/corruption.h"
+
+namespace grimp {
+
+// Outcome of one (algorithm, dirty dataset) run.
+struct RunResult {
+  std::string algorithm;
+  ImputationScore score;
+  double seconds = 0.0;
+  Status status;  // non-OK if the algorithm failed; score is then empty
+};
+
+// Runs one algorithm on one corrupted dataset and scores it against the
+// clean ground truth. The same CorruptedTable must be passed to every
+// algorithm under comparison (paper §4.2: "the same dirty datasets are
+// presented to every algorithm").
+RunResult RunAlgorithm(const Table& clean, const CorruptedTable& corrupted,
+                       ImputationAlgorithm* algorithm);
+
+// Convenience wrapper that also returns the imputed table (error-analysis
+// experiments need it).
+RunResult RunAlgorithm(const Table& clean, const CorruptedTable& corrupted,
+                       ImputationAlgorithm* algorithm, Table* imputed_out);
+
+}  // namespace grimp
+
+#endif  // GRIMP_EVAL_RUNNER_H_

@@ -1,0 +1,113 @@
+#include "gnn/hetero_sage.h"
+
+namespace grimp {
+
+SageSubmodule::SageSubmodule(std::string name, int64_t in_dim,
+                             int64_t out_dim, Rng* rng)
+    : linear_(std::move(name), 2 * in_dim, out_dim, rng) {}
+
+Tape::VarId SageSubmodule::Forward(Tape* tape, Tape::VarId h,
+                                   const CsrAdjacency& adj) const {
+  Tape::VarId neigh_mean =
+      tape->SegmentMean(h, adj.offsets(), adj.indices());
+  Tape::VarId concat = tape->ConcatCols({h, neigh_mean});
+  return linear_.Forward(tape, concat);
+}
+
+void SageSubmodule::CollectParameters(std::vector<Parameter*>* out) {
+  linear_.CollectParameters(out);
+}
+
+HeteroSageLayer::HeteroSageLayer(std::string name, int num_edge_types,
+                                 int64_t in_dim, int64_t out_dim, Rng* rng) {
+  GRIMP_CHECK_GT(num_edge_types, 0);
+  submodules_.reserve(static_cast<size_t>(num_edge_types));
+  for (int t = 0; t < num_edge_types; ++t) {
+    submodules_.emplace_back(name + ".t" + std::to_string(t), in_dim,
+                             out_dim, rng);
+  }
+}
+
+Tape::VarId HeteroSageLayer::Forward(Tape* tape, Tape::VarId h,
+                                     const HeteroGraph& graph) const {
+  GRIMP_CHECK_EQ(static_cast<size_t>(graph.num_edge_types()),
+                 submodules_.size());
+  const int64_t n = graph.num_nodes();
+  // Per-type participation masks and the per-node 1/#incident-types
+  // normalizer, derived from the graph at hand (cheap relative to the
+  // matmuls; recomputed so the layer stays graph-agnostic).
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  std::vector<std::vector<float>> masks(submodules_.size());
+  for (size_t t = 0; t < submodules_.size(); ++t) {
+    auto& mask = masks[t];
+    mask.assign(static_cast<size_t>(n), 0.0f);
+    const CsrAdjacency& adj = graph.adjacency(static_cast<int>(t));
+    for (int64_t v = 0; v < n; ++v) {
+      if (adj.Degree(v) > 0) {
+        mask[static_cast<size_t>(v)] = 1.0f;
+        ++counts[static_cast<size_t>(v)];
+      }
+    }
+  }
+  std::vector<float> inv_counts(static_cast<size_t>(n), 0.0f);
+  for (int64_t v = 0; v < n; ++v) {
+    if (counts[static_cast<size_t>(v)] > 0) {
+      inv_counts[static_cast<size_t>(v)] =
+          1.0f / static_cast<float>(counts[static_cast<size_t>(v)]);
+    }
+  }
+
+  Tape::VarId acc = -1;
+  for (size_t t = 0; t < submodules_.size(); ++t) {
+    Tape::VarId out = submodules_[t].Forward(
+        tape, h, graph.adjacency(static_cast<int>(t)));
+    Tape::VarId masked = tape->RowScale(out, std::move(masks[t]));
+    acc = (acc < 0) ? masked : tape->Add(acc, masked);
+  }
+  GRIMP_CHECK_GE(acc, 0);
+  return tape->RowScale(acc, std::move(inv_counts));
+}
+
+void HeteroSageLayer::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& sub : submodules_) sub.CollectParameters(out);
+}
+
+int64_t HeteroSageLayer::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& sub : submodules_) total += sub.NumParameters();
+  return total;
+}
+
+HeteroGnn::HeteroGnn(int num_edge_types, int64_t in_dim, int64_t hidden_dim,
+                     int64_t out_dim, int num_layers, Rng* rng) {
+  GRIMP_CHECK_GE(num_layers, 1);
+  layers_.reserve(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    const int64_t in = (l == 0) ? in_dim : hidden_dim;
+    const int64_t out = (l == num_layers - 1) ? out_dim : hidden_dim;
+    layers_.emplace_back("gnn.l" + std::to_string(l), num_edge_types, in,
+                         out, rng);
+  }
+}
+
+Tape::VarId HeteroGnn::Forward(Tape* tape, Tape::VarId features,
+                               const HeteroGraph& graph) const {
+  Tape::VarId h = features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].Forward(tape, h, graph);
+    if (l + 1 < layers_.size()) h = tape->Relu(h);
+  }
+  return h;
+}
+
+void HeteroGnn::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer.CollectParameters(out);
+}
+
+int64_t HeteroGnn::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) total += layer.NumParameters();
+  return total;
+}
+
+}  // namespace grimp

@@ -1,0 +1,81 @@
+#ifndef GRIMP_GNN_HETERO_SAGE_H_
+#define GRIMP_GNN_HETERO_SAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "tensor/nn.h"
+#include "tensor/tape.h"
+
+namespace grimp {
+
+// One edge type's GraphSAGE-mean submodule (paper §3.5, Eq. 1):
+//   out_v = W_r * [ h_v || mean_{u in N_r(v)} h_u ]
+// The concatenated self term realizes the self-loop the paper adds to the
+// graph, following the GraphSAGE formulation.
+class SageSubmodule {
+ public:
+  SageSubmodule() = default;
+  SageSubmodule(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  Tape::VarId Forward(Tape* tape, Tape::VarId h,
+                      const CsrAdjacency& adj) const;
+
+  void CollectParameters(std::vector<Parameter*>* out);
+  int64_t NumParameters() const { return linear_.NumParameters(); }
+
+ private:
+  Linear linear_;  // (2 * in_dim) -> out_dim
+};
+
+// One heterogeneous layer: N submodules (one per attribute / edge type),
+// combined by gamma = masked mean over the edge types incident to each
+// node. Nodes untouched by a type contribute nothing to (and receive
+// nothing from) that type's submodule, matching "each sub-module performs
+// its convolution exclusively on nodes connected by edges of the type it
+// pertains to".
+//
+// The layer owns only weights; the graph is passed to Forward. This keeps
+// GRIMP inductive (paper §3.4): weights trained on one table's graph can
+// run message passing over another table with the same schema.
+class HeteroSageLayer {
+ public:
+  HeteroSageLayer() = default;
+  HeteroSageLayer(std::string name, int num_edge_types, int64_t in_dim,
+                  int64_t out_dim, Rng* rng);
+
+  // `graph.num_edge_types()` must equal the layer's submodule count.
+  Tape::VarId Forward(Tape* tape, Tape::VarId h,
+                      const HeteroGraph& graph) const;
+
+  void CollectParameters(std::vector<Parameter*>* out);
+  int64_t NumParameters() const;
+
+ private:
+  std::vector<SageSubmodule> submodules_;
+};
+
+// The paper's default GNN: a 2-layer heterogeneous GraphSAGE stack with
+// ReLU after the first layer and a linear final layer.
+class HeteroGnn {
+ public:
+  HeteroGnn() = default;
+  HeteroGnn(int num_edge_types, int64_t in_dim, int64_t hidden_dim,
+            int64_t out_dim, int num_layers, Rng* rng);
+
+  // `features` is a Constant/Leaf var of shape num_nodes x in_dim.
+  Tape::VarId Forward(Tape* tape, Tape::VarId features,
+                      const HeteroGraph& graph) const;
+
+  void CollectParameters(std::vector<Parameter*>* out);
+  int64_t NumParameters() const;
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<HeteroSageLayer> layers_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_GNN_HETERO_SAGE_H_

@@ -1,0 +1,104 @@
+#include "graph/builder.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace grimp {
+
+namespace {
+// GraphSAGE-style neighbor subsampling: keeps at most `cap` random
+// neighbors per node (directed; the reverse direction is capped
+// independently, which is all mean aggregation needs).
+CsrAdjacency CapNeighbors(const CsrAdjacency& adj, int cap, Rng* rng) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  edges.reserve(static_cast<size_t>(adj.num_edges()));
+  std::vector<int32_t> scratch;
+  for (int64_t v = 0; v < adj.num_nodes(); ++v) {
+    auto [b, e] = adj.NeighborRange(v);
+    const int degree = e - b;
+    if (degree <= cap) {
+      for (int32_t k = b; k < e; ++k) {
+        edges.emplace_back(static_cast<int32_t>(v),
+                           adj.indices()[static_cast<size_t>(k)]);
+      }
+      continue;
+    }
+    scratch.assign(adj.indices().begin() + b, adj.indices().begin() + e);
+    rng->Shuffle(&scratch);
+    for (int k = 0; k < cap; ++k) {
+      edges.emplace_back(static_cast<int32_t>(v),
+                         scratch[static_cast<size_t>(k)]);
+    }
+  }
+  return CsrAdjacency::FromEdges(adj.num_nodes(), edges);
+}
+}  // namespace
+
+TableGraph BuildTableGraph(const Table& table,
+                           const std::vector<CellRef>& excluded_cells,
+                           const GraphBuildOptions& options) {
+  TableGraph tg;
+  const int64_t n = table.num_rows();
+  const int m = table.num_cols();
+
+  // Fast exclusion lookup keyed by row * m + col.
+  std::unordered_set<int64_t> excluded;
+  excluded.reserve(excluded_cells.size() * 2);
+  for (const CellRef& cell : excluded_cells) {
+    excluded.insert(cell.row * m + cell.col);
+  }
+
+  // RID nodes first: node id == row index.
+  tg.rid_nodes.resize(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    tg.rid_nodes[static_cast<size_t>(r)] =
+        tg.graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
+  }
+
+  // Cell nodes: one per (attribute, live dictionary code). Keying by
+  // attribute disambiguates values shared across attributes (§3.2).
+  tg.cell_nodes.resize(static_cast<size_t>(m));
+  for (int c = 0; c < m; ++c) {
+    const Dictionary& dict = table.column(c).dict();
+    auto& per_col = tg.cell_nodes[static_cast<size_t>(c)];
+    per_col.assign(static_cast<size_t>(dict.size()), -1);
+    for (int32_t code = 0; code < dict.size(); ++code) {
+      if (dict.CountOf(code) <= 0) continue;
+      per_col[static_cast<size_t>(code)] = tg.graph.AddNode(
+          NodeInfo{NodeKind::kCell, code, static_cast<int32_t>(c)});
+    }
+  }
+
+  // One undirected typed edge per present, non-excluded cell.
+  std::vector<CsrAdjacency> adjacency;
+  adjacency.reserve(static_cast<size_t>(m));
+  const int64_t num_nodes = tg.graph.num_nodes();
+  for (int c = 0; c < m; ++c) {
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    const Column& col = table.column(c);
+    for (int64_t r = 0; r < n; ++r) {
+      const int32_t code = col.CodeAt(r);
+      if (code < 0) continue;
+      if (excluded.count(r * m + c)) continue;
+      const int64_t cell_node = tg.CellNode(c, code);
+      GRIMP_CHECK_GE(cell_node, 0);
+      const int32_t rid = static_cast<int32_t>(tg.rid_nodes[
+          static_cast<size_t>(r)]);
+      const int32_t cell = static_cast<int32_t>(cell_node);
+      edges.emplace_back(rid, cell);
+      edges.emplace_back(cell, rid);
+    }
+    adjacency.push_back(CsrAdjacency::FromEdges(num_nodes, edges));
+  }
+  if (options.max_neighbors_per_node > 0) {
+    Rng rng(options.seed ^ 0x5eedc0ffeeULL);
+    for (auto& adj : adjacency) {
+      adj = CapNeighbors(adj, options.max_neighbors_per_node, &rng);
+    }
+  }
+  tg.graph.SetAdjacency(std::move(adjacency));
+  return tg;
+}
+
+}  // namespace grimp

@@ -1,0 +1,51 @@
+#ifndef GRIMP_GRAPH_BUILDER_H_
+#define GRIMP_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "table/corruption.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// The graph for a table plus the table<->node mappings GRIMP needs.
+struct TableGraph {
+  HeteroGraph graph;
+  // row index -> RID node id.
+  std::vector<int64_t> rid_nodes;
+  // col -> dictionary code -> cell node id (-1 if the value has no live
+  // occurrence and therefore no node).
+  std::vector<std::vector<int64_t>> cell_nodes;
+
+  int64_t CellNode(int col, int32_t code) const {
+    if (code < 0) return -1;
+    const auto& per_col = cell_nodes[static_cast<size_t>(col)];
+    if (code >= static_cast<int32_t>(per_col.size())) return -1;
+    return per_col[static_cast<size_t>(code)];
+  }
+};
+
+// Graph construction knobs. `max_neighbors_per_node` > 0 implements the
+// paper's §7 graph-pruning direction (GraphSAGE-style neighborhood
+// sampling): any node whose per-type neighbor list exceeds the cap keeps a
+// random subsample, bounding message-passing cost on hub values (e.g. a
+// dominant categorical value adjacent to thousands of rows).
+struct GraphBuildOptions {
+  int max_neighbors_per_node = 0;  // 0 == unlimited
+  uint64_t seed = 0;
+};
+
+// Builds GRIMP's heterogeneous graph from a (dirty) table (paper §3.2):
+// one RID node per tuple, one cell node per (attribute, distinct value),
+// one undirected typed edge per present cell, edge type == attribute.
+// Missing cells contribute no edges. Cells listed in `excluded_cells`
+// (e.g. validation targets, §3.6) contribute no edges either, though their
+// value node still exists if other rows share the value.
+TableGraph BuildTableGraph(const Table& table,
+                           const std::vector<CellRef>& excluded_cells = {},
+                           const GraphBuildOptions& options = {});
+
+}  // namespace grimp
+
+#endif  // GRIMP_GRAPH_BUILDER_H_

@@ -1,0 +1,103 @@
+#include "table/corruption.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grimp {
+
+CorruptedTable InjectMcar(const Table& clean, double missing_fraction,
+                          uint64_t seed) {
+  GRIMP_CHECK(missing_fraction >= 0.0 && missing_fraction < 1.0);
+  CorruptedTable out;
+  out.dirty = clean;
+  Rng rng(seed);
+  for (int64_t r = 0; r < clean.num_rows(); ++r) {
+    for (int c = 0; c < clean.num_cols(); ++c) {
+      if (clean.IsMissing(r, c)) continue;
+      if (!rng.Bernoulli(missing_fraction)) continue;
+      const Column& col = clean.column(c);
+      out.missing_cells.push_back(CellRef{r, c});
+      out.original_codes.push_back(col.CodeAt(r));
+      out.original_nums.push_back(
+          col.is_categorical() ? std::numeric_limits<double>::quiet_NaN()
+                               : col.NumAt(r));
+      out.dirty.mutable_column(c).SetMissing(r);
+    }
+  }
+  return out;
+}
+
+CorruptedTable InjectMnar(const Table& clean, double missing_fraction,
+                          double bias, uint64_t seed) {
+  GRIMP_CHECK(missing_fraction >= 0.0 && missing_fraction < 1.0);
+  GRIMP_CHECK(bias > 0.0 && bias <= 1.0);
+  CorruptedTable out;
+  out.dirty = clean;
+  Rng rng(seed);
+  for (int c = 0; c < clean.num_cols(); ++c) {
+    const Column& col = clean.column(c);
+    // Per-row raw missingness weights, value-dependent.
+    std::vector<double> weight(static_cast<size_t>(clean.num_rows()), 0.0);
+    double total = 0.0;
+    int64_t present = 0;
+    double mean = 0.0, std = 1.0;
+    if (!col.is_categorical()) col.NumericMoments(&mean, &std);
+    for (int64_t r = 0; r < clean.num_rows(); ++r) {
+      if (col.IsMissing(r)) continue;
+      double w;
+      if (col.is_categorical()) {
+        w = 1.0 / static_cast<double>(col.dict().CountOf(col.CodeAt(r)));
+      } else {
+        w = std::fabs(col.NumAt(r) - mean) / std + 0.1;
+      }
+      weight[static_cast<size_t>(r)] = w;
+      total += w;
+      ++present;
+    }
+    if (present == 0) continue;
+    const double mean_w = total / static_cast<double>(present);
+    for (int64_t r = 0; r < clean.num_rows(); ++r) {
+      if (col.IsMissing(r)) continue;
+      const double relative = weight[static_cast<size_t>(r)] / mean_w;
+      const double p = std::min(
+          0.95, missing_fraction * (bias * relative + (1.0 - bias)));
+      if (!rng.Bernoulli(p)) continue;
+      out.missing_cells.push_back(CellRef{r, c});
+      out.original_codes.push_back(col.CodeAt(r));
+      out.original_nums.push_back(
+          col.is_categorical() ? std::numeric_limits<double>::quiet_NaN()
+                               : col.NumAt(r));
+      out.dirty.mutable_column(c).SetMissing(r);
+    }
+  }
+  return out;
+}
+
+Table InjectTypos(const Table& clean, double typo_fraction, uint64_t seed) {
+  GRIMP_CHECK(typo_fraction >= 0.0 && typo_fraction <= 1.0);
+  Table noisy = clean;
+  Rng rng(seed);
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const size_t alphabet_size = sizeof(kAlphabet) - 1;
+  for (int64_t r = 0; r < clean.num_rows(); ++r) {
+    for (int c = 0; c < clean.num_cols(); ++c) {
+      const Column& col = clean.column(c);
+      if (!col.is_categorical()) continue;
+      if (col.IsMissing(r)) continue;
+      if (!rng.Bernoulli(typo_fraction)) continue;
+      std::string v = col.StringAt(r);
+      const int num_inserts = 1 + static_cast<int>(rng.Uniform(2));
+      for (int k = 0; k < num_inserts; ++k) {
+        const size_t pos = static_cast<size_t>(rng.Uniform(v.size() + 1));
+        v.insert(v.begin() + static_cast<ptrdiff_t>(pos),
+                 kAlphabet[rng.Uniform(alphabet_size)]);
+      }
+      noisy.mutable_column(c).SetCategorical(r, v);
+    }
+  }
+  return noisy;
+}
+
+}  // namespace grimp

@@ -1,0 +1,58 @@
+#ifndef GRIMP_TABLE_CORRUPTION_H_
+#define GRIMP_TABLE_CORRUPTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Identifies one cell.
+struct CellRef {
+  int64_t row = 0;
+  int col = 0;
+
+  bool operator==(const CellRef& other) const {
+    return row == other.row && col == other.col;
+  }
+};
+
+// A dirty copy of a clean table plus the ground truth needed for scoring:
+// which cells were blanked and what their original values were.
+struct CorruptedTable {
+  Table dirty;
+  std::vector<CellRef> missing_cells;
+  // Parallel to missing_cells: original dictionary code (in the *clean*
+  // column's dictionary, which the dirty column shares by construction) and
+  // original numeric value (NaN for categorical).
+  std::vector<int32_t> original_codes;
+  std::vector<double> original_nums;
+};
+
+// Injects missing values completely at random (MCAR) over the whole table
+// (paper §4.2): each cell is independently blanked with probability
+// `missing_fraction`. Already-missing cells are not counted.
+CorruptedTable InjectMcar(const Table& clean, double missing_fraction,
+                          uint64_t seed);
+
+// Injects typos (paper §4.2, "Impact of Noise"): every categorical cell
+// independently mutates with probability `typo_fraction` by inserting 1-2
+// random characters into its string value. Returns the noisy table.
+Table InjectTypos(const Table& clean, double typo_fraction, uint64_t seed);
+
+// Injects systematically missing values (MNAR; the paper's §7 planned
+// evaluation). The probability of blanking a cell depends on its value:
+// categorical cells are blanked proportionally to their value's rarity,
+// numerical cells proportionally to their distance from the column mean
+// (extreme values go missing more often). `missing_fraction` is the target
+// overall rate; the skew knob `bias` in (0, 1] controls how unequal the
+// per-value probabilities are (1 == maximally value-dependent, ->0
+// degenerates to MCAR).
+CorruptedTable InjectMnar(const Table& clean, double missing_fraction,
+                          double bias, uint64_t seed);
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_CORRUPTION_H_

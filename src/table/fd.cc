@@ -1,0 +1,113 @@
+#include "table/fd.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace grimp {
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.field(lhs[i]).name;
+  }
+  out += "->";
+  out += schema.field(rhs).name;
+  return out;
+}
+
+Result<FunctionalDependency> ParseFd(const std::string& spec,
+                                     const Schema& schema) {
+  const size_t arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("FD spec missing '->': " + spec);
+  }
+  FunctionalDependency fd;
+  for (const std::string& name : Split(spec.substr(0, arrow), ',')) {
+    const int idx = schema.FieldIndex(std::string(Trim(name)));
+    if (idx < 0) {
+      return Status::NotFound("unknown FD lhs attribute: " + name);
+    }
+    fd.lhs.push_back(idx);
+  }
+  if (fd.lhs.empty()) return Status::InvalidArgument("FD has empty lhs");
+  const std::string rhs_name{Trim(spec.substr(arrow + 2))};
+  fd.rhs = schema.FieldIndex(rhs_name);
+  if (fd.rhs < 0) {
+    return Status::NotFound("unknown FD rhs attribute: " + rhs_name);
+  }
+  return fd;
+}
+
+namespace {
+// Key of a row's lhs values; empty if any lhs cell is missing.
+bool LhsKey(const Table& table, const FunctionalDependency& fd, int64_t row,
+            std::string* key) {
+  key->clear();
+  for (int col : fd.lhs) {
+    if (table.IsMissing(row, col)) return false;
+    *key += std::to_string(table.column(col).CodeAt(row));
+    *key += '|';
+  }
+  return true;
+}
+}  // namespace
+
+double FdViolationRate(const Table& table, const FunctionalDependency& fd) {
+  // Group rows by lhs key; within a group, count rows disagreeing with the
+  // group's modal rhs value.
+  std::unordered_map<std::string, std::unordered_map<int32_t, int64_t>> groups;
+  std::string key;
+  int64_t considered = 0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (table.IsMissing(r, fd.rhs)) continue;
+    if (!LhsKey(table, fd, r, &key)) continue;
+    groups[key][table.column(fd.rhs).CodeAt(r)]++;
+    ++considered;
+  }
+  if (considered == 0) return 0.0;
+  int64_t violations = 0;
+  for (const auto& [k, dist] : groups) {
+    int64_t total = 0, mx = 0;
+    for (const auto& [code, count] : dist) {
+      total += count;
+      mx = std::max(mx, count);
+    }
+    violations += total - mx;
+  }
+  return static_cast<double>(violations) / static_cast<double>(considered);
+}
+
+std::vector<FunctionalDependency> DiscoverUnaryFds(const Table& table,
+                                                   int min_lhs_distinct) {
+  std::vector<FunctionalDependency> fds;
+  for (int a = 0; a < table.num_cols(); ++a) {
+    // Count live distinct values on the lhs.
+    int distinct = 0;
+    for (int64_t cnt : table.column(a).dict().counts()) distinct += cnt > 0;
+    if (distinct < min_lhs_distinct) continue;
+    for (int b = 0; b < table.num_cols(); ++b) {
+      if (a == b) continue;
+      FunctionalDependency fd{{a}, b};
+      if (FdViolationRate(table, fd) == 0.0) fds.push_back(std::move(fd));
+    }
+  }
+  return fds;
+}
+
+std::vector<int> FdAttributeSet(const std::vector<FunctionalDependency>& fds,
+                                int num_cols) {
+  std::vector<bool> in_set(static_cast<size_t>(num_cols), false);
+  for (const auto& fd : fds) {
+    for (int col : fd.lhs) in_set[static_cast<size_t>(col)] = true;
+    in_set[static_cast<size_t>(fd.rhs)] = true;
+  }
+  std::vector<int> out;
+  for (int c = 0; c < num_cols; ++c) {
+    if (in_set[static_cast<size_t>(c)]) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace grimp

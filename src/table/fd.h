@@ -1,0 +1,42 @@
+#ifndef GRIMP_TABLE_FD_H_
+#define GRIMP_TABLE_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// A functional dependency lhs -> rhs over column indices (paper §4.3:
+// external information consumed by GRIMP-A, FUNFOREST and FD-REPAIR).
+struct FunctionalDependency {
+  std::vector<int> lhs;
+  int rhs = -1;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+// Parses "A,B->C" style FD specs against a schema.
+Result<FunctionalDependency> ParseFd(const std::string& spec,
+                                     const Schema& schema);
+
+// Fraction of comparable tuple pairs that violate the FD. Rows with missing
+// values in lhs or rhs are skipped. 0.0 == FD holds exactly.
+double FdViolationRate(const Table& table, const FunctionalDependency& fd);
+
+// Exhaustive discovery of single-attribute-LHS FDs (A -> B) that hold on
+// all rows where both cells are present and the LHS has at least
+// `min_lhs_distinct` distinct values (filters out trivial key-like FDs is
+// the caller's job). Quadratic in columns, linear in rows.
+std::vector<FunctionalDependency> DiscoverUnaryFds(const Table& table,
+                                                   int min_lhs_distinct = 2);
+
+// Set of all column indices mentioned by any FD (lhs or rhs).
+std::vector<int> FdAttributeSet(const std::vector<FunctionalDependency>& fds,
+                                int num_cols);
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_FD_H_

@@ -1,0 +1,42 @@
+#include "table/normalizer.h"
+
+namespace grimp {
+
+Normalizer Normalizer::Fit(const Table& table) {
+  Normalizer norm;
+  norm.means_.resize(static_cast<size_t>(table.num_cols()), 0.0);
+  norm.stds_.resize(static_cast<size_t>(table.num_cols()), 1.0);
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const Column& col = table.column(c);
+    if (col.is_categorical()) continue;
+    double mean = 0.0, std = 1.0;
+    col.NumericMoments(&mean, &std);
+    norm.means_[static_cast<size_t>(c)] = mean;
+    norm.stds_[static_cast<size_t>(c)] = std;
+  }
+  return norm;
+}
+
+Normalizer Normalizer::FromMoments(std::vector<double> means,
+                                   std::vector<double> stds) {
+  GRIMP_CHECK_EQ(means.size(), stds.size());
+  Normalizer norm;
+  norm.means_ = std::move(means);
+  norm.stds_ = std::move(stds);
+  for (double s : norm.stds_) GRIMP_CHECK(s > 0.0);
+  return norm;
+}
+
+double Normalizer::Normalize(int col, double value) const {
+  const size_t i = static_cast<size_t>(col);
+  GRIMP_CHECK(i < means_.size());
+  return (value - means_[i]) / stds_[i];
+}
+
+double Normalizer::Denormalize(int col, double value) const {
+  const size_t i = static_cast<size_t>(col);
+  GRIMP_CHECK(i < means_.size());
+  return value * stds_[i] + means_[i];
+}
+
+}  // namespace grimp

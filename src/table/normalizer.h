@@ -1,0 +1,43 @@
+#ifndef GRIMP_TABLE_NORMALIZER_H_
+#define GRIMP_TABLE_NORMALIZER_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace grimp {
+
+// Z-score normalization of numeric attributes (paper §3.2: "numerical
+// values are normalized before training the model, and then de-normalized
+// before measuring the imputation accuracy"). Fit on the dirty table's
+// present cells; Normalize/Denormalize map individual values so model
+// outputs can be inverted.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  // Computes per-numeric-column mean/std from the table's present cells.
+  static Normalizer Fit(const Table& table);
+
+  // value -> (value - mean) / std for column `col`; identity for
+  // categorical columns.
+  double Normalize(int col, double value) const;
+  double Denormalize(int col, double value) const;
+
+  double mean(int col) const { return means_[static_cast<size_t>(col)]; }
+  double stddev(int col) const { return stds_[static_cast<size_t>(col)]; }
+
+  // Serialization support (model persistence).
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+  static Normalizer FromMoments(std::vector<double> means,
+                                std::vector<double> stds);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_NORMALIZER_H_

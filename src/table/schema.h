@@ -1,0 +1,53 @@
+#ifndef GRIMP_TABLE_SCHEMA_H_
+#define GRIMP_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace grimp {
+
+// Attribute type per the paper's §2: each attribute is categorical or
+// numerical; the loss and the task head depend on it.
+enum class AttrType { kCategorical, kNumerical };
+
+inline const char* AttrTypeName(AttrType t) {
+  return t == AttrType::kCategorical ? "categorical" : "numerical";
+}
+
+struct Field {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+};
+
+// Ordered attribute list of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Index of the field named `name`, or -1.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int NumCategorical() const {
+    int n = 0;
+    for (const auto& f : fields_) n += f.type == AttrType::kCategorical;
+    return n;
+  }
+  int NumNumerical() const { return num_fields() - NumCategorical(); }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_SCHEMA_H_

@@ -1,0 +1,157 @@
+#include "table/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grimp {
+
+double Skewness(const std::vector<double>& sample) {
+  const size_t n = sample.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : sample) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : sample) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 < 1e-18) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double ExcessKurtosis(const std::vector<double>& sample) {
+  const size_t n = sample.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : sample) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : sample) {
+    const double d = v - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 < 1e-18) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  GRIMP_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-18 || syy < 1e-18) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ColumnStats ComputeColumnStats(const Table& table, int col) {
+  ColumnStats stats;
+  const Column& column = table.column(col);
+  // Occurrence counts of live values (count > 0).
+  std::vector<double> freqs;
+  for (int64_t c : column.dict().counts()) {
+    if (c > 0) freqs.push_back(static_cast<double>(c));
+  }
+  stats.num_distinct = static_cast<int64_t>(freqs.size());
+  if (freqs.empty()) return stats;
+  stats.skewness = Skewness(freqs);
+  stats.kurtosis = ExcessKurtosis(freqs);
+  // 90% quantile of the occurrence-frequency multiset (nearest-rank on the
+  // sorted counts).
+  std::vector<double> sorted = freqs;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t q_idx =
+      static_cast<size_t>(0.9 * static_cast<double>(sorted.size() - 1));
+  const double q90 = sorted[q_idx];
+  int64_t frequent_rows = 0;
+  int64_t present_rows = 0;
+  for (double f : freqs) {
+    present_rows += static_cast<int64_t>(f);
+    if (f > q90) {
+      ++stats.num_frequent;
+      frequent_rows += static_cast<int64_t>(f);
+    }
+  }
+  // Degenerate columns (all values equally frequent, e.g. a key column)
+  // have no value strictly above the quantile; treat the modal value(s) as
+  // frequent so that F+/N+ stay meaningful.
+  if (stats.num_frequent == 0) {
+    const double mx = sorted.back();
+    for (double f : freqs) {
+      if (f == mx) {
+        ++stats.num_frequent;
+        frequent_rows += static_cast<int64_t>(f);
+      }
+    }
+  }
+  stats.frequent_fraction = present_rows > 0
+                                ? static_cast<double>(frequent_rows) /
+                                      static_cast<double>(present_rows)
+                                : 0.0;
+  return stats;
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  stats.num_cols = table.num_cols();
+  stats.num_categorical = table.schema().NumCategorical();
+  stats.num_numerical = table.schema().NumNumerical();
+  stats.num_distinct = table.NumDistinctValues();
+  for (int c = 0; c < table.num_cols(); ++c) {
+    stats.columns.push_back(ComputeColumnStats(table, c));
+  }
+  if (!stats.columns.empty()) {
+    for (const ColumnStats& cs : stats.columns) {
+      stats.skew_avg += cs.skewness;
+      stats.kurtosis_avg += cs.kurtosis;
+      stats.frequent_frac_avg += cs.frequent_fraction;
+      stats.num_frequent_avg += static_cast<double>(cs.num_frequent);
+    }
+    const double n = static_cast<double>(stats.columns.size());
+    stats.skew_avg /= n;
+    stats.kurtosis_avg /= n;
+    stats.frequent_frac_avg /= n;
+    stats.num_frequent_avg /= n;
+  }
+  return stats;
+}
+
+ParameterCounts ComputeParameterCounts(int num_cols, int layers_gnn,
+                                       int layers_shared, int layers_lin,
+                                       int p_gnn, int p_lin) {
+  ParameterCounts pc;
+  const int64_t c = num_cols;
+  // #Ps = L_GNN * |C| * #P_GNN + L_Shared * #P_Lin      (paper §4.1)
+  pc.shared = static_cast<int64_t>(layers_gnn) * c * p_gnn +
+              static_cast<int64_t>(layers_shared) * p_lin;
+  // ΣPl = #Ps + |C| * #P_Lin * L_Lin
+  pc.linear = pc.shared + c * static_cast<int64_t>(p_lin) * layers_lin;
+  // ΣPa = #Ps + |C|^3 + |C|^2 + 2 * #P_W,  #P_W = #P_Lin * |C|
+  pc.attention = pc.shared + c * c * c + c * c +
+                 2 * static_cast<int64_t>(p_lin) * c;
+  return pc;
+}
+
+}  // namespace grimp

@@ -1,0 +1,68 @@
+#ifndef GRIMP_TABLE_STATS_H_
+#define GRIMP_TABLE_STATS_H_
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace grimp {
+
+// Per-column frequency-distribution statistics (paper §5): every metric is
+// computed over the distribution of value frequencies within a column.
+struct ColumnStats {
+  int64_t num_distinct = 0;
+  // Fisher-Pearson coefficient of skewness of the frequency distribution.
+  double skewness = 0.0;
+  // Excess kurtosis (Fisher definition) of the frequency distribution.
+  double kurtosis = 0.0;
+  // F+: fraction of rows whose value is "frequent" (count > 90% quantile of
+  // the column's occurrence counts).
+  double frequent_fraction = 0.0;
+  // N+: number of distinct frequent values.
+  int64_t num_frequent = 0;
+};
+
+// Table-level aggregates reported in Table 1.
+struct TableStats {
+  int64_t num_rows = 0;
+  int num_cols = 0;
+  int num_categorical = 0;
+  int num_numerical = 0;
+  int64_t num_distinct = 0;
+  double skew_avg = 0.0;       // S_avg
+  double kurtosis_avg = 0.0;   // K_avg
+  double frequent_frac_avg = 0.0;  // F+_avg
+  double num_frequent_avg = 0.0;   // N+_avg
+  std::vector<ColumnStats> columns;
+};
+
+// Computes the §5 metrics for one column of `table`.
+ColumnStats ComputeColumnStats(const Table& table, int col);
+
+// Computes Table-1 statistics for the whole table.
+TableStats ComputeTableStats(const Table& table);
+
+// GRIMP parameter-count formulas from §4.1 (Table 1 columns #Ps, ΣPl, ΣPa).
+struct ParameterCounts {
+  int64_t shared = 0;      // #Ps
+  int64_t linear = 0;      // ΣPl
+  int64_t attention = 0;   // ΣPa
+};
+// |C| = number of columns; defaults match the paper: L_GNN = L_Shared =
+// L_Lin = 2, #P_GNN = 64, #P_Lin = 128.
+ParameterCounts ComputeParameterCounts(int num_cols, int layers_gnn = 2,
+                                       int layers_shared = 2,
+                                       int layers_lin = 2, int p_gnn = 64,
+                                       int p_lin = 128);
+
+// Sample skewness / excess kurtosis of an arbitrary sample (exposed for
+// tests and the correlation study).
+double Skewness(const std::vector<double>& sample);
+double ExcessKurtosis(const std::vector<double>& sample);
+// Pearson correlation coefficient of two equal-length samples.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_STATS_H_

@@ -1,0 +1,66 @@
+#ifndef GRIMP_TABLE_TABLE_H_
+#define GRIMP_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace grimp {
+
+// A relational dataset D with n tuples and m attributes (paper §2).
+// Columnar storage; cells can be missing (the sentinel token).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  // Builds a table from parsed CSV. Column types are inferred: a column is
+  // numerical iff every non-missing cell parses as a double. Cells matching
+  // one of `missing_tokens` become missing.
+  static Result<Table> FromCsv(
+      const CsvData& csv,
+      const std::vector<std::string>& missing_tokens = {"", "?", "NULL",
+                                                        "NA"});
+  static Result<Table> FromCsvFile(const std::string& path);
+
+  const Schema& schema() const { return schema_; }
+  int num_cols() const { return schema_.num_fields(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  // Appends a row of string cells; empty string == missing. Numeric columns
+  // parse their cells.
+  Status AppendRow(const std::vector<std::string>& cells);
+
+  bool IsMissing(int64_t row, int col) const {
+    return column(col).IsMissing(row);
+  }
+  // Total missing cells / total cells.
+  double MissingFraction() const;
+  // Number of distinct non-missing values over the whole table.
+  int64_t NumDistinctValues() const;
+  // Rows containing at least one missing value.
+  int64_t NumDirtyRows() const;
+
+  CsvData ToCsv() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TABLE_TABLE_H_

@@ -1,0 +1,79 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace grimp {
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (Parameter* p : params_) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params_) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    if (momentum_ != 0.0f) {
+      Tensor& vel = velocity_[k];
+      for (int64_t i = 0; i < p->value.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + p->grad[i];
+        p->value[i] -= lr_ * vel[i];
+      }
+    } else {
+      p->value.Axpy(-lr_, p->grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * p->value[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace grimp

@@ -1,0 +1,62 @@
+#ifndef GRIMP_TENSOR_OPTIMIZER_H_
+#define GRIMP_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tape.h"
+
+namespace grimp {
+
+// Optimizer interface over a fixed set of registered parameters. Step()
+// consumes each Parameter's accumulated grad; ZeroGrad() clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  // Clips the global gradient norm to `max_norm` (no-op if under).
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,535 @@
+#include "tensor/tape.h"
+
+#include <cmath>
+#include <utility>
+
+namespace grimp {
+
+Tape::VarId Tape::PushNode(Tensor value, std::function<void()> backward) {
+  Node node;
+  node.grad = Tensor::Zeros(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+Tape::VarId Tape::Constant(Tensor v) { return PushNode(std::move(v)); }
+
+Tape::VarId Tape::Leaf(Parameter* p) {
+  GRIMP_CHECK(p != nullptr);
+  Tensor copy = p->value;
+  VarId id = PushNode(std::move(copy));
+  nodes_[id].backward = [this, id, p]() {
+    p->grad.Axpy(1.0f, nodes_[id].grad);
+  };
+  return id;
+}
+
+Tape::VarId Tape::MatMul(VarId a, VarId b) {
+  const Tensor& av = nodes_[a].value;
+  const Tensor& bv = nodes_[b].value;
+  Tensor out = grimp::MatMul(av, bv);
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, a, b]() {
+    const Tensor& g = nodes_[id].grad;
+    // dA = g * B^T ; dB = A^T * g.
+    nodes_[a].grad.Axpy(1.0f, MatMulTransB(g, nodes_[b].value));
+    nodes_[b].grad.Axpy(1.0f, MatMulTransA(nodes_[a].value, g));
+  };
+  return id;
+}
+
+Tape::VarId Tape::AddBias(VarId x, VarId bias) {
+  const Tensor& xv = nodes_[x].value;
+  const Tensor& bv = nodes_[bias].value;
+  GRIMP_CHECK_EQ(bv.rows(), 1);
+  GRIMP_CHECK_EQ(bv.cols(), xv.cols());
+  Tensor out = xv;
+  const int64_t n = xv.rows();
+  const int64_t d = xv.cols();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < d; ++c) out.at(r, c) += bv.at(0, c);
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x, bias]() {
+    const Tensor& g = nodes_[id].grad;
+    nodes_[x].grad.Axpy(1.0f, g);
+    Tensor& bg = nodes_[bias].grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < g.cols(); ++c) bg.at(0, c) += g.at(r, c);
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::Add(VarId a, VarId b) {
+  const Tensor& av = nodes_[a].value;
+  const Tensor& bv = nodes_[b].value;
+  GRIMP_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  out.Axpy(1.0f, bv);
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, a, b]() {
+    nodes_[a].grad.Axpy(1.0f, nodes_[id].grad);
+    nodes_[b].grad.Axpy(1.0f, nodes_[id].grad);
+  };
+  return id;
+}
+
+Tape::VarId Tape::Mul(VarId a, VarId b) {
+  const Tensor& av = nodes_[a].value;
+  const Tensor& bv = nodes_[b].value;
+  GRIMP_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] *= bv[i];
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, a, b]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& ag = nodes_[a].grad;
+    Tensor& bg = nodes_[b].grad;
+    const Tensor& av = nodes_[a].value;
+    const Tensor& bv = nodes_[b].value;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      ag[i] += g[i] * bv[i];
+      bg[i] += g[i] * av[i];
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::Scale(VarId x, float alpha) {
+  Tensor out = nodes_[x].value;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] *= alpha;
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x, alpha]() {
+    nodes_[x].grad.Axpy(alpha, nodes_[id].grad);
+  };
+  return id;
+}
+
+Tape::VarId Tape::RowScale(VarId x, std::vector<float> s) {
+  const Tensor& xv = nodes_[x].value;
+  GRIMP_CHECK_EQ(static_cast<int64_t>(s.size()), xv.rows());
+  Tensor out = xv;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    for (int64_t c = 0; c < out.cols(); ++c) out.at(r, c) *= s[r];
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x, s = std::move(s)]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t c = 0; c < g.cols(); ++c) xg.at(r, c) += g.at(r, c) * s[r];
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::Relu(VarId x) {
+  Tensor out = nodes_[x].value;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = out[i] > 0 ? out[i] : 0;
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& v = nodes_[id].value;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (v[i] > 0) xg[i] += g[i];
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::Tanh(VarId x) {
+  Tensor out = nodes_[x].value;
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& v = nodes_[id].value;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t i = 0; i < g.size(); ++i) xg[i] += g[i] * (1.0f - v[i] * v[i]);
+  };
+  return id;
+}
+
+Tape::VarId Tape::Sigmoid(VarId x) {
+  Tensor out = nodes_[x].value;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& v = nodes_[id].value;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t i = 0; i < g.size(); ++i) xg[i] += g[i] * v[i] * (1.0f - v[i]);
+  };
+  return id;
+}
+
+Tape::VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
+  GRIMP_CHECK(!xs.empty());
+  const int64_t n = nodes_[xs[0]].value.rows();
+  int64_t total_cols = 0;
+  for (VarId x : xs) {
+    GRIMP_CHECK_EQ(nodes_[x].value.rows(), n);
+    total_cols += nodes_[x].value.cols();
+  }
+  Tensor out(n, total_cols);
+  int64_t col_off = 0;
+  for (VarId x : xs) {
+    const Tensor& v = nodes_[x].value;
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < v.cols(); ++c) {
+        out.at(r, col_off + c) = v.at(r, c);
+      }
+    }
+    col_off += v.cols();
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, xs]() {
+    const Tensor& g = nodes_[id].grad;
+    int64_t off = 0;
+    for (VarId x : xs) {
+      Tensor& xg = nodes_[x].grad;
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        for (int64_t c = 0; c < xg.cols(); ++c) {
+          xg.at(r, c) += g.at(r, off + c);
+        }
+      }
+      off += xg.cols();
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::GatherRows(VarId table, std::vector<int32_t> rows) {
+  const Tensor& tv = nodes_[table].value;
+  const int64_t d = tv.cols();
+  Tensor out(static_cast<int64_t>(rows.size()), d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int32_t r = rows[i];
+    if (r < 0) continue;  // missing-value sentinel -> zero row
+    GRIMP_DCHECK(r < tv.rows());
+    for (int64_t c = 0; c < d; ++c) {
+      out.at(static_cast<int64_t>(i), c) = tv.at(r, c);
+    }
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, table, rows = std::move(rows)]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& tg = nodes_[table].grad;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      int32_t r = rows[i];
+      if (r < 0) continue;
+      for (int64_t c = 0; c < g.cols(); ++c) {
+        tg.at(r, c) += g.at(static_cast<int64_t>(i), c);
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::SegmentMean(VarId x, std::vector<int32_t> offsets,
+                              std::vector<int32_t> indices) {
+  GRIMP_CHECK_GE(offsets.size(), 1u);
+  const Tensor& xv = nodes_[x].value;
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t d = xv.cols();
+  Tensor out(num_segments, d);
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const int32_t begin = offsets[s];
+    const int32_t end = offsets[s + 1];
+    GRIMP_DCHECK(begin <= end);
+    if (begin == end) continue;
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (int32_t e = begin; e < end; ++e) {
+      const int32_t j = indices[e];
+      GRIMP_DCHECK(j >= 0 && j < xv.rows());
+      for (int64_t c = 0; c < d; ++c) out.at(s, c) += xv.at(j, c) * inv;
+    }
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x, offsets = std::move(offsets),
+                         indices = std::move(indices)]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& xg = nodes_[x].grad;
+    const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+    for (int64_t s = 0; s < num_segments; ++s) {
+      const int32_t begin = offsets[s];
+      const int32_t end = offsets[s + 1];
+      if (begin == end) continue;
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      for (int32_t e = begin; e < end; ++e) {
+        const int32_t j = indices[e];
+        for (int64_t c = 0; c < g.cols(); ++c) {
+          xg.at(j, c) += g.at(s, c) * inv;
+        }
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::Reshape(VarId x, int64_t rows, int64_t cols) {
+  const Tensor& xv = nodes_[x].value;
+  GRIMP_CHECK_EQ(xv.size(), rows * cols);
+  std::vector<float> data(xv.data(), xv.data() + xv.size());
+  Tensor out = Tensor::FromVector(rows, cols, std::move(data));
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      xg[i] += g[i];  // identical row-major layout
+    }
+  };
+  return id;
+}
+
+namespace {
+// Writes row-wise softmax of `in` into `out` (may alias).
+void RowSoftmaxInto(const Tensor& in, Tensor* out) {
+  for (int64_t r = 0; r < in.rows(); ++r) {
+    float mx = in.at(r, 0);
+    for (int64_t c = 1; c < in.cols(); ++c) mx = std::max(mx, in.at(r, c));
+    float sum = 0.0f;
+    for (int64_t c = 0; c < in.cols(); ++c) {
+      float e = std::exp(in.at(r, c) - mx);
+      out->at(r, c) = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t c = 0; c < in.cols(); ++c) out->at(r, c) *= inv;
+  }
+}
+}  // namespace
+
+Tape::VarId Tape::RowSoftmax(VarId x) {
+  const Tensor& xv = nodes_[x].value;
+  Tensor out(xv.rows(), xv.cols());
+  RowSoftmaxInto(xv, &out);
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& y = nodes_[id].value;
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      float dot = 0.0f;
+      for (int64_t c = 0; c < g.cols(); ++c) dot += g.at(r, c) * y.at(r, c);
+      for (int64_t c = 0; c < g.cols(); ++c) {
+        xg.at(r, c) += y.at(r, c) * (g.at(r, c) - dot);
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::ColBlockDot(VarId v, VarId a, int64_t num_blocks) {
+  const Tensor& vv = nodes_[v].value;
+  const Tensor& av = nodes_[a].value;
+  GRIMP_CHECK_EQ(av.rows(), 1);
+  GRIMP_CHECK_EQ(vv.cols() % num_blocks, 0);
+  const int64_t d = vv.cols() / num_blocks;
+  GRIMP_CHECK_EQ(av.cols(), d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const int64_t n = vv.rows();
+  Tensor out(n, num_blocks);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      float acc = 0.0f;
+      for (int64_t c = 0; c < d; ++c) acc += vv.at(r, b * d + c) * av.at(0, c);
+      out.at(r, b) = acc * scale;
+    }
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, v, a, num_blocks, d, scale]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& vv = nodes_[v].value;
+    const Tensor& av = nodes_[a].value;
+    Tensor& vg = nodes_[v].grad;
+    Tensor& ag = nodes_[a].grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        const float gb = g.at(r, b) * scale;
+        if (gb == 0.0f) continue;
+        for (int64_t c = 0; c < d; ++c) {
+          vg.at(r, b * d + c) += gb * av.at(0, c);
+          ag.at(0, c) += gb * vv.at(r, b * d + c);
+        }
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::ColBlockWeightedSum(VarId v, VarId alpha,
+                                      int64_t num_blocks) {
+  const Tensor& vv = nodes_[v].value;
+  const Tensor& aw = nodes_[alpha].value;
+  GRIMP_CHECK_EQ(vv.cols() % num_blocks, 0);
+  const int64_t d = vv.cols() / num_blocks;
+  GRIMP_CHECK_EQ(aw.rows(), vv.rows());
+  GRIMP_CHECK_EQ(aw.cols(), num_blocks);
+  const int64_t n = vv.rows();
+  Tensor out(n, d);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      const float w = aw.at(r, b);
+      if (w == 0.0f) continue;
+      for (int64_t c = 0; c < d; ++c) out.at(r, c) += w * vv.at(r, b * d + c);
+    }
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, v, alpha, num_blocks, d]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& vv = nodes_[v].value;
+    const Tensor& aw = nodes_[alpha].value;
+    Tensor& vg = nodes_[v].grad;
+    Tensor& ag = nodes_[alpha].grad;
+    for (int64_t r = 0; r < g.rows(); ++r) {
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        float dot = 0.0f;
+        const float w = aw.at(r, b);
+        for (int64_t c = 0; c < d; ++c) {
+          dot += g.at(r, c) * vv.at(r, b * d + c);
+          vg.at(r, b * d + c) += w * g.at(r, c);
+        }
+        ag.at(r, b) += dot;
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::SumAll(VarId x) {
+  VarId id = PushNode(Tensor::Scalar(nodes_[x].value.Sum()));
+  nodes_[id].backward = [this, id, x]() {
+    const float g = nodes_[id].grad.scalar();
+    Tensor& xg = nodes_[x].grad;
+    for (int64_t i = 0; i < xg.size(); ++i) xg[i] += g;
+  };
+  return id;
+}
+
+Tape::VarId Tape::SoftmaxCrossEntropy(VarId logits,
+                                      std::vector<int32_t> labels,
+                                      std::vector<float> class_weights) {
+  const Tensor& lv = nodes_[logits].value;
+  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels.size()));
+  Tensor probs(lv.rows(), lv.cols());
+  RowSoftmaxInto(lv, &probs);
+  int64_t n_valid = 0;
+  double loss = 0.0;
+  for (int64_t r = 0; r < lv.rows(); ++r) {
+    const int32_t y = labels[r];
+    if (y < 0) continue;
+    GRIMP_DCHECK(y < lv.cols());
+    const float w =
+        class_weights.empty() ? 1.0f : class_weights[static_cast<size_t>(y)];
+    loss -= w * std::log(std::max(probs.at(r, y), 1e-12f));
+    ++n_valid;
+  }
+  const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
+  VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
+  nodes_[id].backward = [this, id, logits, labels = std::move(labels),
+                         class_weights = std::move(class_weights),
+                         probs = std::move(probs), inv_n]() {
+    const float g = nodes_[id].grad.scalar() * inv_n;
+    Tensor& lg = nodes_[logits].grad;
+    for (int64_t r = 0; r < lg.rows(); ++r) {
+      const int32_t y = labels[r];
+      if (y < 0) continue;
+      const float w =
+          class_weights.empty() ? 1.0f : class_weights[static_cast<size_t>(y)];
+      for (int64_t c = 0; c < lg.cols(); ++c) {
+        const float p = probs.at(r, c);
+        lg.at(r, c) += g * w * (p - (c == y ? 1.0f : 0.0f));
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::FocalLoss(VarId logits, std::vector<int32_t> labels,
+                            float gamma) {
+  const Tensor& lv = nodes_[logits].value;
+  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels.size()));
+  Tensor probs(lv.rows(), lv.cols());
+  RowSoftmaxInto(lv, &probs);
+  int64_t n_valid = 0;
+  double loss = 0.0;
+  for (int64_t r = 0; r < lv.rows(); ++r) {
+    const int32_t y = labels[r];
+    if (y < 0) continue;
+    const float pt = std::max(probs.at(r, y), 1e-12f);
+    loss -= std::pow(1.0f - pt, gamma) * std::log(pt);
+    ++n_valid;
+  }
+  const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
+  VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
+  nodes_[id].backward = [this, id, logits, labels = std::move(labels), gamma,
+                         probs = std::move(probs), inv_n]() {
+    const float g = nodes_[id].grad.scalar() * inv_n;
+    Tensor& lg = nodes_[logits].grad;
+    for (int64_t r = 0; r < lg.rows(); ++r) {
+      const int32_t y = labels[r];
+      if (y < 0) continue;
+      const float pt = std::max(probs.at(r, y), 1e-12f);
+      const float one_m = 1.0f - pt;
+      // dL/dp_t for L = -(1-p)^g log p.
+      const float dl_dpt =
+          gamma * std::pow(one_m, gamma - 1.0f) * std::log(pt) -
+          std::pow(one_m, gamma) / pt;
+      for (int64_t c = 0; c < lg.cols(); ++c) {
+        const float dpt_dz =
+            probs.at(r, y) * ((c == y ? 1.0f : 0.0f) - probs.at(r, c));
+        lg.at(r, c) += g * dl_dpt * dpt_dz;
+      }
+    }
+  };
+  return id;
+}
+
+Tape::VarId Tape::MseLoss(VarId pred, std::vector<float> targets,
+                          std::vector<float> mask) {
+  const Tensor& pv = nodes_[pred].value;
+  GRIMP_CHECK_EQ(pv.cols(), 1);
+  GRIMP_CHECK_EQ(pv.rows(), static_cast<int64_t>(targets.size()));
+  int64_t n_valid = 0;
+  double loss = 0.0;
+  for (int64_t r = 0; r < pv.rows(); ++r) {
+    const float m = mask.empty() ? 1.0f : mask[static_cast<size_t>(r)];
+    if (m == 0.0f) continue;
+    const float d = pv.at(r, 0) - targets[static_cast<size_t>(r)];
+    loss += static_cast<double>(d) * d;
+    ++n_valid;
+  }
+  const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
+  VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
+  nodes_[id].backward = [this, id, pred, targets = std::move(targets),
+                         mask = std::move(mask), inv_n]() {
+    const float g = nodes_[id].grad.scalar() * inv_n;
+    const Tensor& pv = nodes_[pred].value;
+    Tensor& pg = nodes_[pred].grad;
+    for (int64_t r = 0; r < pv.rows(); ++r) {
+      const float m = mask.empty() ? 1.0f : mask[static_cast<size_t>(r)];
+      if (m == 0.0f) continue;
+      pg.at(r, 0) += g * 2.0f * (pv.at(r, 0) - targets[static_cast<size_t>(r)]);
+    }
+  };
+  return id;
+}
+
+void Tape::Backward(VarId root) {
+  GRIMP_CHECK(root >= 0 && root < static_cast<VarId>(nodes_.size()));
+  GRIMP_CHECK_EQ(nodes_[root].value.size(), 1);
+  nodes_[root].grad[0] = 1.0f;
+  for (VarId id = root; id >= 0; --id) {
+    if (nodes_[id].backward) nodes_[id].backward();
+  }
+}
+
+}  // namespace grimp

@@ -1,0 +1,126 @@
+#ifndef GRIMP_TENSOR_TAPE_H_
+#define GRIMP_TENSOR_TAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace grimp {
+
+// A trainable tensor. Lives outside the Tape so gradients persist across
+// steps; optimizers consume `grad` and the trainer zeroes it each step.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(Tensor::Zeros(value.rows(), value.cols())) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+// Reverse-mode autodiff over a linear tape. A fresh Tape is built for every
+// forward pass; Backward replays the recorded closures in reverse order and
+// accumulates leaf gradients into their Parameters.
+//
+// All ops GRIMP needs are first-class tape methods (no generic broadcasting
+// engine): matrix product, bias, activations, column concat, row gather
+// (embedding lookup), segment mean (neighborhood aggregation), row softmax,
+// block attention ops, and the fused losses.
+class Tape {
+ public:
+  using VarId = int32_t;
+
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- Tape inputs -------------------------------------------------------
+  // A value the tape does not differentiate.
+  VarId Constant(Tensor v);
+  // A trainable parameter; Backward accumulates into p->grad. `p` must
+  // outlive the tape.
+  VarId Leaf(Parameter* p);
+
+  const Tensor& value(VarId id) const { return nodes_[id].value; }
+  const Tensor& grad(VarId id) const { return nodes_[id].grad; }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  // --- Differentiable ops ------------------------------------------------
+  // (M x K) * (K x N) -> (M x N).
+  VarId MatMul(VarId a, VarId b);
+  // (N x D) + broadcast (1 x D).
+  VarId AddBias(VarId x, VarId bias);
+  // Same-shape elementwise sum.
+  VarId Add(VarId a, VarId b);
+  // Elementwise product (same shape).
+  VarId Mul(VarId a, VarId b);
+  // alpha * x.
+  VarId Scale(VarId x, float alpha);
+  // out[r, c] = x[r, c] * s[r]; `s` is a fixed per-row scale (masking /
+  // normalization by neighbor-type counts).
+  VarId RowScale(VarId x, std::vector<float> s);
+  VarId Relu(VarId x);
+  VarId Tanh(VarId x);
+  VarId Sigmoid(VarId x);
+  // Horizontal concatenation; all inputs share the row count.
+  VarId ConcatCols(const std::vector<VarId>& xs);
+  // out.row(i) = table.row(rows[i]). Gradient scatter-adds (embedding
+  // lookup). Negative index -> zero row (the missing-value sentinel).
+  VarId GatherRows(VarId table, std::vector<int32_t> rows);
+  // CSR segment mean: out.row(i) = mean_{j in indices[offsets[i] ..
+  // offsets[i+1])} x.row(j); empty segments produce zero rows.
+  // offsets.size() == num_segments + 1.
+  VarId SegmentMean(VarId x, std::vector<int32_t> offsets,
+                    std::vector<int32_t> indices);
+  // Reinterprets the (row-major) buffer with a new shape of equal size.
+  VarId Reshape(VarId x, int64_t rows, int64_t cols);
+  // Row-wise softmax.
+  VarId RowSoftmax(VarId x);
+  // Block ops for the attention task head. `v` is N x (C*D) (C column
+  // blocks of width D), `a` is 1 x D.
+  //   ColBlockDot:        out[n, c] = <v[n, block c], a> / sqrt(D)
+  //   ColBlockWeightedSum: out[n, :] = sum_c alpha[n, c] * v[n, block c]
+  VarId ColBlockDot(VarId v, VarId a, int64_t num_blocks);
+  VarId ColBlockWeightedSum(VarId v, VarId alpha, int64_t num_blocks);
+
+  // Sum of all entries (1x1).
+  VarId SumAll(VarId x);
+
+  // --- Losses (fused; return 1x1 scalars) --------------------------------
+  // Mean softmax cross entropy; labels[i] == -1 is ignored. If
+  // class_weights is non-empty it rescales each class's loss term.
+  VarId SoftmaxCrossEntropy(VarId logits, std::vector<int32_t> labels,
+                            std::vector<float> class_weights = {});
+  // Focal loss (Lin et al.): mean over rows of -(1-p_t)^gamma * log(p_t).
+  VarId FocalLoss(VarId logits, std::vector<int32_t> labels, float gamma);
+  // Mean squared error of pred (N x 1) against targets (size N). A mask
+  // entry of 0 drops that row from the mean.
+  VarId MseLoss(VarId pred, std::vector<float> targets,
+                std::vector<float> mask = {});
+
+  // Runs reverse-mode accumulation from `root` (must be scalar).
+  void Backward(VarId root);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // same shape as value; allocated eagerly
+    std::function<void()> backward;  // may be empty (constants)
+  };
+
+  VarId PushNode(Tensor value, std::function<void()> backward = nullptr);
+  Tensor& mutable_grad(VarId id) { return nodes_[id].grad; }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TENSOR_TAPE_H_

@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace grimp {
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t(1, 1);
+  t[0] = value;
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t rows, int64_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng->UniformReal(-limit, limit);
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, float stddev,
+                            Rng* rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  GRIMP_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Axpy(float alpha, const Tensor& x) {
+  GRIMP_CHECK(SameShape(x));
+  const float* xs = x.data();
+  float* ys = data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+float Tensor::SumAbs() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += std::fabs(v);
+  return acc;
+}
+
+float Tensor::Sum() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+float Tensor::MaxAbs() const {
+  float acc = 0.0f;
+  for (float v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+std::string Tensor::ShapeString() const {
+  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+}
+
+std::string Tensor::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << ShapeString() << "\n";
+  for (int64_t r = 0; r < std::min<int64_t>(rows_, max_rows); ++r) {
+    for (int64_t c = 0; c < std::min<int64_t>(cols_, max_cols); ++c) {
+      os << at(r, c) << (c + 1 == cols_ ? "" : " ");
+    }
+    if (cols_ > max_cols) os << "...";
+    os << "\n";
+  }
+  if (rows_ > max_rows) os << "...\n";
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  Tensor out(m, n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // ikj loop order for cache-friendly access to b and out.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ad[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bd + p * n;
+      float* orow = od + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.rows(), b.rows());
+  const int64_t k = a.rows();
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  Tensor out(m, n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = ad + p * m;
+    const float* brow = bd + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = od + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  Tensor out(m, n);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* orow = od + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace grimp

@@ -1,0 +1,103 @@
+#ifndef GRIMP_TENSOR_TENSOR_H_
+#define GRIMP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace grimp {
+
+// A dense, row-major, rank-2 float tensor (scalars are 1x1, vectors 1xN or
+// Nx1). Rank 2 covers everything GRIMP needs: batched training vectors are
+// laid out as N x (C*D) with explicit block ops (see tape.h).
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    GRIMP_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Scalar(float value);
+  // Glorot/Xavier uniform initialization in [-limit, limit],
+  // limit = sqrt(6 / (fan_in + fan_out)).
+  static Tensor GlorotUniform(int64_t rows, int64_t cols, Rng* rng);
+  static Tensor RandomNormal(int64_t rows, int64_t cols, float stddev,
+                             Rng* rng);
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    GRIMP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    GRIMP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float& operator[](int64_t i) {
+    GRIMP_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    GRIMP_DCHECK(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // Scalar access; requires size() == 1.
+  float scalar() const {
+    GRIMP_CHECK_EQ(size(), 1);
+    return data_[0];
+  }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // In-place y += alpha * x (shapes must match).
+  void Axpy(float alpha, const Tensor& x);
+
+  // Frobenius-norm helpers.
+  float SumAbs() const;
+  float Sum() const;
+  float MaxAbs() const;
+
+  std::string ShapeString() const;
+  // Debug dump (small tensors only).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+// result = a * b (matrix product). Shapes: (M x K) * (K x N) -> (M x N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// result = a^T * b. Shapes: (K x M)^T * (K x N) -> (M x N).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// result = a * b^T. Shapes: (M x K) * (N x K)^T -> (M x N).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace grimp
+
+#endif  // GRIMP_TENSOR_TENSOR_H_

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aimnet.h"
+#include "baselines/datawig.h"
+#include "baselines/fd_repair.h"
+#include "baselines/knn.h"
+#include "baselines/mean_mode.h"
+#include "baselines/missforest.h"
+#include "baselines/turl_proxy.h"
+#include "baselines/zoo.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace grimp {
+namespace {
+
+// Deterministic structure: b = f(a), num = g(a); any context-aware
+// imputer should recover masked cells almost perfectly.
+Table StructuredTable(int64_t rows) {
+  Schema schema({{"a", AttrType::kCategorical},
+                 {"b", AttrType::kCategorical},
+                 {"num", AttrType::kNumerical}});
+  Table t(schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int a = static_cast<int>(i % 4);
+    EXPECT_TRUE(t.AppendRow({"a" + std::to_string(a),
+                             "b" + std::to_string(a % 2),
+                             std::to_string(10 * a)})
+                    .ok());
+  }
+  return t;
+}
+
+double CategoricalAccuracy(ImputationAlgorithm* algo, const Table& clean,
+                           double missing_fraction, uint64_t seed) {
+  const CorruptedTable corrupted = InjectMcar(clean, missing_fraction, seed);
+  const RunResult rr =
+      RunAlgorithm(clean, corrupted, algo);
+  EXPECT_TRUE(rr.status.ok()) << rr.status.ToString();
+  return rr.score.Accuracy();
+}
+
+TEST(MeanModeTest, FillsEveryMissingCellWithModeAndMean) {
+  Table clean = StructuredTable(40);
+  CorruptedTable corrupted = InjectMcar(clean, 0.3, 1);
+  MeanModeImputer imputer;
+  auto imputed = imputer.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+  // Numeric cells are the column mean of present cells.
+  double mean = 0, std = 1;
+  corrupted.dirty.column(2).NumericMoments(&mean, &std);
+  for (const CellRef& cell : corrupted.missing_cells) {
+    if (cell.col == 2) {
+      EXPECT_NEAR(imputed->column(2).NumAt(cell.row), mean, 1e-9);
+    }
+  }
+}
+
+TEST(KnnTest, RecoversStructuredCells) {
+  Table clean = StructuredTable(120);
+  KnnImputer knn(5);
+  EXPECT_GT(CategoricalAccuracy(&knn, clean, 0.2, 2), 0.9);
+}
+
+TEST(KnnTest, RejectsBadK) {
+  KnnImputer knn(0);
+  Table clean = StructuredTable(10);
+  EXPECT_FALSE(knn.Impute(clean).ok());
+}
+
+TEST(DecisionTreeTest, LearnsCategoricalRule) {
+  // y = (f0 == 2), categorical feature.
+  FeatureMatrix x = FeatureMatrix::Create(200, 1);
+  x.feature_categorical[0] = true;
+  std::vector<int32_t> y(200);
+  Rng rng(3);
+  for (int64_t i = 0; i < 200; ++i) {
+    const double f = static_cast<double>(rng.Uniform(4));
+    x.Set(i, 0, f);
+    y[static_cast<size_t>(i)] = f == 2.0 ? 1 : 0;
+  }
+  std::vector<int64_t> rows(200);
+  for (int64_t i = 0; i < 200; ++i) rows[static_cast<size_t>(i)] = i;
+  DecisionTree tree;
+  tree.FitClassification(x, y, 2, rows, {0}, TreeOptions{}, &rng);
+  int correct = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    correct += static_cast<int32_t>(tree.Predict(x, i)) ==
+               y[static_cast<size_t>(i)];
+  }
+  EXPECT_GT(correct, 195);
+}
+
+TEST(DecisionTreeTest, LearnsNumericThresholdRegression) {
+  FeatureMatrix x = FeatureMatrix::Create(300, 1);
+  std::vector<double> y(300);
+  Rng rng(4);
+  for (int64_t i = 0; i < 300; ++i) {
+    const double f = rng.NextDouble();
+    x.Set(i, 0, f);
+    y[static_cast<size_t>(i)] = f < 0.5 ? 1.0 : 5.0;
+  }
+  std::vector<int64_t> rows(300);
+  for (int64_t i = 0; i < 300; ++i) rows[static_cast<size_t>(i)] = i;
+  DecisionTree tree;
+  tree.FitRegression(x, y, rows, {0}, TreeOptions{}, &rng);
+  double err = 0;
+  for (int64_t i = 0; i < 300; ++i) {
+    err += std::fabs(tree.Predict(x, i) - y[static_cast<size_t>(i)]);
+  }
+  EXPECT_LT(err / 300.0, 0.2);
+}
+
+TEST(RandomForestTest, MajorityVoteBeatsSingleNoisyTree) {
+  FeatureMatrix x = FeatureMatrix::Create(400, 3);
+  std::vector<int32_t> y(400);
+  Rng rng(5);
+  for (int64_t i = 0; i < 400; ++i) {
+    for (int f = 0; f < 3; ++f) x.Set(i, f, rng.NextDouble());
+    y[static_cast<size_t>(i)] =
+        (x.At(i, 0) + x.At(i, 1) > 1.0) ? 1 : 0;
+  }
+  std::vector<int64_t> rows(400);
+  for (int64_t i = 0; i < 400; ++i) rows[static_cast<size_t>(i)] = i;
+  RandomForest forest;
+  ForestOptions options;
+  options.num_trees = 15;
+  forest.FitClassification(x, y, 2, rows, {0, 1, 2}, options, &rng);
+  EXPECT_EQ(forest.num_trees(), 15);
+  int correct = 0;
+  for (int64_t i = 0; i < 400; ++i) {
+    correct += forest.PredictClass(x, i) == y[static_cast<size_t>(i)];
+  }
+  EXPECT_GT(correct / 400.0, 0.9);
+}
+
+TEST(MissForestTest, FillsAllCellsAndRecoversStructure) {
+  Table clean = StructuredTable(150);
+  CorruptedTable corrupted = InjectMcar(clean, 0.25, 6);
+  MissForestImputer misf;
+  auto imputed = misf.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+  EXPECT_GT(misf.iterations_run(), 0);
+  const ImputationScore score = ScoreImputation(*imputed, corrupted, clean);
+  EXPECT_GT(score.Accuracy(), 0.85);
+  EXPECT_LT(score.Rmse(), 9.0);  // residual error from multi-missing rows
+}
+
+TEST(FunForestTest, FdBudgetImprovesOnFdData) {
+  Table clean = StructuredTable(150);
+  std::vector<FunctionalDependency> fds{{{0}, 1}};  // a -> b holds
+  const CorruptedTable corrupted = InjectMcar(clean, 0.3, 7);
+  MissForestOptions funf_opts;
+  funf_opts.fds = fds;
+  funf_opts.fd_tree_budget = 0.5;
+  MissForestImputer funf(funf_opts);
+  EXPECT_EQ(funf.name(), "FUNF");
+  auto imputed = funf.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  const ImputationScore score = ScoreImputation(*imputed, corrupted, clean);
+  EXPECT_GT(score.Accuracy(), 0.75);
+}
+
+TEST(FdRepairTest, ExactOnCoveredCellsSilentOnOthers) {
+  Table clean = StructuredTable(100);
+  CorruptedTable corrupted = InjectMcar(clean, 0.3, 8);
+  FdRepairImputer repair({{{0}, 1}});  // only b is covered
+  auto imputed = repair.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  for (const CellRef& cell : corrupted.missing_cells) {
+    if (cell.col == 1 && !corrupted.dirty.IsMissing(cell.row, 0)) {
+      // Covered by the FD with present premise: must be exact.
+      EXPECT_EQ(imputed->column(1).StringAt(cell.row),
+                clean.column(1).StringAt(cell.row));
+    }
+    if (cell.col == 0 || cell.col == 2) {
+      // Not covered: left missing (poor recall by design).
+      EXPECT_TRUE(imputed->IsMissing(cell.row, cell.col));
+    }
+  }
+}
+
+TEST(AimNetTest, BeatsModeOnStructuredData) {
+  Table clean = StructuredTable(150);
+  AimNetOptions options;
+  options.epochs = 80;
+  AimNetImputer holo(options);
+  MeanModeImputer mode;
+  const double holo_acc = CategoricalAccuracy(&holo, clean, 0.2, 9);
+  const double mode_acc = CategoricalAccuracy(&mode, clean, 0.2, 9);
+  EXPECT_GT(holo_acc, mode_acc);
+  EXPECT_GT(holo_acc, 0.8);
+}
+
+TEST(DataWigTest, FillsAllAndLearnsStructure) {
+  Table clean = StructuredTable(150);
+  DataWigImputer dwig;
+  const CorruptedTable corrupted = InjectMcar(clean, 0.2, 10);
+  auto imputed = dwig.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+  const ImputationScore score = ScoreImputation(*imputed, corrupted, clean);
+  EXPECT_GT(score.Accuracy(), 0.7);
+}
+
+TEST(TurlProxyTest, StrongOnCategoricalWeakOnNumeric) {
+  Table clean = StructuredTable(200);
+  TurlProxyImputer turl;
+  const CorruptedTable corrupted = InjectMcar(clean, 0.2, 11);
+  Table imputed;
+  const RunResult rr = RunAlgorithm(clean, corrupted, &turl, &imputed);
+  ASSERT_TRUE(rr.status.ok());
+  EXPECT_GT(rr.score.Accuracy(), 0.7);
+  // Numeric cells are the column mean: nonzero RMSE on this data.
+  if (rr.score.numerical_cells > 0) {
+    EXPECT_GT(rr.score.Rmse(), 0.0);
+  }
+}
+
+TEST(ZooTest, ComparisonSuiteHasSevenPaperBaselines) {
+  ZooOptions options;
+  options.grimp_epochs = 2;  // construction only
+  const auto suite = MakeComparisonSuite(options);
+  ASSERT_EQ(suite.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& algo : suite) names.push_back(algo->name());
+  EXPECT_EQ(names[0], "GRIMP-FT");
+  EXPECT_EQ(names[1], "GRIMP-E");
+  EXPECT_EQ(names[2], "HOLO");
+  EXPECT_EQ(names[3], "TURL");
+  EXPECT_EQ(names[4], "MISF");
+  EXPECT_EQ(names[5], "DWIG");
+  EXPECT_EQ(names[6], "EmbDI-MC");
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace grimp {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad dim");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad dim");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("x");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "x");
+  Status moved = std::move(copy);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kIoError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoubleIfPositive(int v) {
+  GRIMP_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 3);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoubleIfPositive(4), 8);
+  EXPECT_FALSE(DoubleIfPositive(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+// --- String utilities --------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, '|'), '|'), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble(" -1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringUtilTest, Fnv1aIsStableAndSeedSensitive) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a("abc", 1), Fnv1a("abc", 2));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(-0.5, 0), "-0");  // fixed notation rounding
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 4000; ++i) ones += rng.Categorical(w) == 1;
+  EXPECT_NEAR(ones / 4000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, CategoricalDegenerateInput) {
+  Rng rng(13);
+  std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(zeros), 2u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(19);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  auto fields = ParseCsvLine(R"("a,b",c,"he said ""hi""")");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a,b", "c", "he said \"hi\""}));
+}
+
+TEST(CsvTest, RejectsMalformedQuotes) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").ok());
+}
+
+TEST(CsvTest, ParseStringWithHeader) {
+  auto data = ParseCsvString("h1,h2\n1,x\n2,y\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->header, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_EQ(data->rows.size(), 2u);
+  EXPECT_EQ(data->rows[1][1], "y");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsvString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsvString("").ok());
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  const std::string tricky = "a,\"b\"\nc";
+  const std::string escaped = EscapeCsvField("v,1", ',');
+  EXPECT_EQ(escaped, "\"v,1\"");
+  (void)tricky;
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvData data;
+  data.header = {"name", "value"};
+  data.rows = {{"x,y", "1"}, {"plain", "2"}};
+  const std::string path = ::testing::TempDir() + "/grimp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, data).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->header, data.header);
+  EXPECT_EQ(back->rows, data.rows);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto r = ReadCsvFile("/nonexistent/definitely_missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "table/stats.h"
+
+namespace grimp {
+namespace {
+
+TEST(DatasetRegistryTest, AllTenDatasetsExist) {
+  const auto names = AllDatasetNames();
+  EXPECT_EQ(names.size(), 10u);
+  for (const auto& name : names) {
+    auto spec = GetDatasetSpec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_FALSE(spec->abbreviation.empty());
+  }
+  EXPECT_FALSE(GetDatasetSpec("nope").ok());
+}
+
+class DatasetGenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetGenTest, MatchesSpecShape) {
+  auto spec = GetDatasetSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  auto table = GenerateDataset(*spec, 11, /*rows_override=*/200);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 200);
+  EXPECT_EQ(table->num_cols(),
+            static_cast<int>(spec->categorical.size() +
+                             spec->numerical.size()));
+  EXPECT_EQ(table->schema().NumCategorical(),
+            static_cast<int>(spec->categorical.size()));
+  EXPECT_EQ(table->schema().NumNumerical(),
+            static_cast<int>(spec->numerical.size()));
+  EXPECT_DOUBLE_EQ(table->MissingFraction(), 0.0);  // clean by contract
+}
+
+TEST_P(DatasetGenTest, DeterministicForSeed) {
+  auto a = GenerateDatasetByName(GetParam(), 5, 50);
+  auto b = GenerateDatasetByName(GetParam(), 5, 50);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int c = 0; c < a->num_cols(); ++c) {
+    for (int64_t r = 0; r < a->num_rows(); ++r) {
+      ASSERT_EQ(a->column(c).StringAt(r), b->column(c).StringAt(r))
+          << GetParam() << " col " << c << " row " << r;
+    }
+  }
+}
+
+TEST_P(DatasetGenTest, DeclaredFdsHoldExactly) {
+  auto spec = GetDatasetSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  auto table = GenerateDataset(*spec, 23, 300);
+  ASSERT_TRUE(table.ok());
+  auto fds = ResolveFds(*spec, table->schema());
+  ASSERT_TRUE(fds.ok());
+  for (const FunctionalDependency& fd : *fds) {
+    EXPECT_DOUBLE_EQ(FdViolationRate(*table, fd), 0.0)
+        << fd.ToString(table->schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGenTest,
+                         ::testing::ValuesIn(AllDatasetNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(DatasetGenTest, FullSizesMatchPaperRowCounts) {
+  // Table 1 row counts (generated at native size).
+  const std::vector<std::pair<std::string, int64_t>> expected{
+      {"adult", 3016},     {"australian", 690}, {"contraceptive", 1473},
+      {"credit", 653},     {"flare", 1066},     {"imdb", 4529},
+      {"mammogram", 830},  {"tax", 5000},       {"thoracic", 470},
+      {"tictactoe", 958}};
+  for (const auto& [name, rows] : expected) {
+    auto spec = GetDatasetSpec(name);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec->rows, rows) << name;
+  }
+}
+
+TEST(DatasetGenTest, ColumnMixesMatchPaperTable1) {
+  // |C| and |N| per dataset from Table 1.
+  struct Mix {
+    const char* name;
+    int cat;
+    int num;
+  };
+  for (const Mix& mix : std::initializer_list<Mix>{{"adult", 9, 5},
+                                                   {"australian", 9, 6},
+                                                   {"contraceptive", 8, 2},
+                                                   {"credit", 10, 6},
+                                                   {"flare", 10, 3},
+                                                   {"imdb", 9, 2},
+                                                   {"mammogram", 5, 1},
+                                                   {"tax", 5, 7},
+                                                   {"thoracic", 14, 3},
+                                                   {"tictactoe", 9, 0}}) {
+    auto spec = GetDatasetSpec(mix.name);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(static_cast<int>(spec->categorical.size()), mix.cat)
+        << mix.name;
+    EXPECT_EQ(static_cast<int>(spec->numerical.size()), mix.num) << mix.name;
+  }
+}
+
+TEST(DatasetGenTest, SkewRegimesMatchPaperDirections) {
+  // Thoracic/Flare: high F+ with few frequent values; Tic-Tac-Toe:
+  // near-uniform (low skew); IMDB: many distinct values.
+  auto thoracic = GenerateDatasetByName("thoracic", 3, 470);
+  auto ttt = GenerateDatasetByName("tictactoe", 3, 958);
+  auto imdb = GenerateDatasetByName("imdb", 3, 1000);
+  ASSERT_TRUE(thoracic.ok());
+  ASSERT_TRUE(ttt.ok());
+  ASSERT_TRUE(imdb.ok());
+  const TableStats th = ComputeTableStats(*thoracic);
+  const TableStats tt = ComputeTableStats(*ttt);
+  const TableStats im = ComputeTableStats(*imdb);
+  EXPECT_GT(th.frequent_frac_avg, tt.frequent_frac_avg * 0.9);
+  EXPECT_GT(th.frequent_frac_avg, 0.5);
+  EXPECT_LT(tt.skew_avg, 1.0);  // near-uniform columns
+  // IMDB's distinct count dwarfs the others (title/director/actor).
+  EXPECT_GT(im.num_distinct, th.num_distinct * 5);
+  EXPECT_GT(im.num_frequent_avg, th.num_frequent_avg);
+}
+
+TEST(DatasetGenTest, ClustersMakeAttributesMutuallyPredictive) {
+  // The generative model must produce learnable structure: knowing one
+  // column should reduce uncertainty about another. Check via simple
+  // co-occurrence: the modal "b"-value given the most frequent "a"-value
+  // is more likely than b's global mode frequency would suggest... use
+  // mutual-information-like check on contraceptive (mid skew).
+  auto table = GenerateDatasetByName("contraceptive", 9, 1000);
+  ASSERT_TRUE(table.ok());
+  const Column& a = table->column(0);
+  const Column& b = table->column(1);
+  // P(b | a = mode(a)) concentration vs P(b) concentration.
+  const int32_t a_mode = a.dict().MostFrequent();
+  std::vector<int64_t> cond(static_cast<size_t>(b.dict().size()), 0);
+  std::vector<int64_t> marg(static_cast<size_t>(b.dict().size()), 0);
+  int64_t n_cond = 0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    ++marg[static_cast<size_t>(b.CodeAt(r))];
+    if (a.CodeAt(r) == a_mode) {
+      ++cond[static_cast<size_t>(b.CodeAt(r))];
+      ++n_cond;
+    }
+  }
+  const double cond_max =
+      *std::max_element(cond.begin(), cond.end()) / static_cast<double>(n_cond);
+  const double marg_max = *std::max_element(marg.begin(), marg.end()) /
+                          static_cast<double>(table->num_rows());
+  EXPECT_GT(cond_max, marg_max);
+}
+
+TEST(DatasetGenTest, RejectsBadInputs) {
+  auto spec = GetDatasetSpec("adult");
+  ASSERT_TRUE(spec.ok());
+  DatasetSpec bad_rows = *spec;
+  bad_rows.rows = 0;
+  EXPECT_FALSE(GenerateDataset(bad_rows, 1).ok());
+  DatasetSpec bad_clusters = *spec;
+  bad_clusters.num_clusters = 0;
+  EXPECT_FALSE(GenerateDataset(bad_clusters, 1, 10).ok());
+}
+
+}  // namespace
+}  // namespace grimp

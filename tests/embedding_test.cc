@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embedding/embdi.h"
+#include "embedding/ngram_init.h"
+#include "embedding/random_init.h"
+#include "embedding/skipgram.h"
+#include "embedding/walks.h"
+#include "graph/builder.h"
+
+namespace grimp {
+namespace {
+
+Table SmallTable() {
+  Schema schema({{"color", AttrType::kCategorical},
+                 {"size", AttrType::kCategorical},
+                 {"price", AttrType::kNumerical}});
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({"red", "small", "1.0"}).ok());
+  EXPECT_TRUE(t.AppendRow({"red", "small", "1.1"}).ok());
+  EXPECT_TRUE(t.AppendRow({"blue", "large", "9.0"}).ok());
+  EXPECT_TRUE(t.AppendRow({"blue", "", "8.5"}).ok());
+  return t;
+}
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0 || nb == 0) return 0.0f;
+  return static_cast<float>(dot / std::sqrt(na * nb));
+}
+
+class FeatureInitShapeTest
+    : public ::testing::TestWithParam<FeatureInitKind> {};
+
+TEST_P(FeatureInitShapeTest, ProducesCorrectShapes) {
+  Table t = SmallTable();
+  TableGraph tg = BuildTableGraph(t);
+  auto init = MakeFeatureInitializer(GetParam());
+  ASSERT_NE(init, nullptr);
+  auto features = init->Init(t, tg, 16, 42);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->node_features.rows(), tg.graph.num_nodes());
+  EXPECT_EQ(features->node_features.cols(), 16);
+  EXPECT_EQ(features->column_features.rows(), t.num_cols());
+  EXPECT_EQ(features->column_features.cols(), 16);
+  EXPECT_GT(features->node_features.SumAbs(), 0.0f);
+  EXPECT_GT(features->column_features.SumAbs(), 0.0f);
+}
+
+TEST_P(FeatureInitShapeTest, DeterministicForSeed) {
+  Table t = SmallTable();
+  TableGraph tg = BuildTableGraph(t);
+  auto init = MakeFeatureInitializer(GetParam());
+  auto a = init->Init(t, tg, 8, 7);
+  auto b = init->Init(t, tg, 8, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AllClose(a->node_features, b->node_features));
+}
+
+TEST_P(FeatureInitShapeTest, RejectsBadDim) {
+  Table t = SmallTable();
+  TableGraph tg = BuildTableGraph(t);
+  auto init = MakeFeatureInitializer(GetParam());
+  EXPECT_FALSE(init->Init(t, tg, 0, 1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FeatureInitShapeTest,
+                         ::testing::Values(FeatureInitKind::kRandom,
+                                           FeatureInitKind::kNgram,
+                                           FeatureInitKind::kEmbdi),
+                         [](const auto& info) {
+                           return FeatureInitKindName(info.param);
+                         });
+
+TEST(NgramInitTest, TypoStaysCloserThanUnrelatedString) {
+  NgramFeatureInit init;
+  const auto base = init.EmbedString("california", 32, 1);
+  const auto typo = init.EmbedString("califxornia", 32, 1);
+  const auto other = init.EmbedString("zqwkjv", 32, 1);
+  EXPECT_GT(Cosine(base, typo), Cosine(base, other));
+  EXPECT_GT(Cosine(base, typo), 0.5f);
+}
+
+TEST(NgramInitTest, EmptyStringIsZeroVector) {
+  NgramFeatureInit init;
+  const auto v = init.EmbedString("", 8, 1);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(NgramInitTest, VectorsAreUnitNorm) {
+  NgramFeatureInit init;
+  const auto v = init.EmbedString("hello", 16, 3);
+  double norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(WalkGraphTest, SampleNeighborRespectsWeights) {
+  WalkGraph g(3);
+  g.AddEdge(0, 1, 9.0);
+  g.AddEdge(0, 2, 1.0);
+  g.Finalize();
+  Rng rng(5);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) ones += g.SampleNeighbor(0, &rng) == 1;
+  EXPECT_NEAR(ones / 2000.0, 0.9, 0.03);
+}
+
+TEST(WalkGraphTest, IsolatedNodeReturnsMinusOne) {
+  WalkGraph g(2);
+  g.Finalize();
+  Rng rng(1);
+  EXPECT_EQ(g.SampleNeighbor(0, &rng), -1);
+}
+
+TEST(WalkGraphTest, GenerateWalksShapesAndValidity) {
+  WalkGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  g.Finalize();
+  Rng rng(3);
+  const auto walks = GenerateWalks(g, 2, 5, &rng);
+  EXPECT_EQ(walks.size(), 8u);
+  for (const auto& walk : walks) {
+    ASSERT_FALSE(walk.empty());
+    EXPECT_LE(walk.size(), 5u);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      // Consecutive tokens must be neighbors (chain graph: differ by 1).
+      EXPECT_EQ(std::abs(walk[i] - walk[i - 1]), 1);
+    }
+  }
+}
+
+TEST(SkipGramTest, CooccurringTokensEndUpCloser) {
+  // Two "topics": tokens 0-3 co-occur, tokens 4-7 co-occur.
+  std::vector<std::vector<int32_t>> corpus;
+  Rng rng(11);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<int32_t> sent;
+    const int32_t base = (s % 2 == 0) ? 0 : 4;
+    for (int i = 0; i < 8; ++i) {
+      sent.push_back(base + static_cast<int32_t>(rng.Uniform(4)));
+    }
+    corpus.push_back(std::move(sent));
+  }
+  SkipGramOptions opt;
+  opt.dim = 16;
+  opt.epochs = 5;
+  SkipGramModel model(8, opt, 17);
+  model.Train(corpus);
+  const Tensor& emb = model.embeddings();
+  auto cosine_rows = [&](int64_t a, int64_t b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t k = 0; k < emb.cols(); ++k) {
+      dot += emb.at(a, k) * emb.at(b, k);
+      na += emb.at(a, k) * emb.at(a, k);
+      nb += emb.at(b, k) * emb.at(b, k);
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  // Within-topic similarity must exceed cross-topic similarity.
+  const double within = (cosine_rows(0, 1) + cosine_rows(4, 5)) / 2.0;
+  const double across = (cosine_rows(0, 4) + cosine_rows(1, 5)) / 2.0;
+  EXPECT_GT(within, across);
+}
+
+TEST(EmbdiInitTest, SameValueTuplesGetSimilarRidEmbeddings) {
+  Table t = SmallTable();
+  TableGraph tg = BuildTableGraph(t);
+  EmbdiFeatureInit init;
+  auto features = init.Init(t, tg, 16, 9);
+  ASSERT_TRUE(features.ok());
+  const Tensor& f = features->node_features;
+  auto cos = [&](int64_t a, int64_t b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t k = 0; k < f.cols(); ++k) {
+      dot += f.at(a, k) * f.at(b, k);
+      na += f.at(a, k) * f.at(a, k);
+      nb += f.at(b, k) * f.at(b, k);
+    }
+    return dot / (std::sqrt(na * nb) + 1e-12);
+  };
+  // Rows 0 and 1 share color+size; rows 0 and 2 share nothing.
+  EXPECT_GT(cos(tg.rid_nodes[0], tg.rid_nodes[1]),
+            cos(tg.rid_nodes[0], tg.rid_nodes[2]));
+}
+
+}  // namespace
+}  // namespace grimp

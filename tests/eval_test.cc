@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/mean_mode.h"
+#include "eval/error_analysis.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace grimp {
+namespace {
+
+Table EvalTable() {
+  Schema schema({{"cat", AttrType::kCategorical},
+                 {"num", AttrType::kNumerical}});
+  Table t(schema);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(
+        t.AppendRow({i < 6 ? "common" : "rare", std::to_string(i)}).ok());
+  }
+  return t;
+}
+
+TEST(MetricsTest, PerfectImputationScoresOne) {
+  Table clean = EvalTable();
+  CorruptedTable corrupted = InjectMcar(clean, 0.3, 1);
+  ASSERT_FALSE(corrupted.missing_cells.empty());
+  // "Impute" with the ground truth itself.
+  const ImputationScore score = ScoreImputation(clean, corrupted, clean);
+  EXPECT_EQ(score.categorical_correct, score.categorical_cells);
+  EXPECT_DOUBLE_EQ(score.Rmse(), 0.0);
+  EXPECT_DOUBLE_EQ(score.NormalizedRmse(), 0.0);
+  EXPECT_EQ(score.cells_left_missing, 0);
+}
+
+TEST(MetricsTest, WrongImputationCounted) {
+  Schema schema({{"c", AttrType::kCategorical}});
+  Table clean(schema);
+  ASSERT_TRUE(clean.AppendRow({"a"}).ok());
+  ASSERT_TRUE(clean.AppendRow({"b"}).ok());
+  CorruptedTable corrupted;
+  corrupted.dirty = clean;
+  corrupted.dirty.mutable_column(0).SetMissing(0);
+  corrupted.missing_cells = {CellRef{0, 0}};
+  corrupted.original_codes = {clean.column(0).CodeAt(0)};
+  corrupted.original_nums = {std::nan("")};
+  Table imputed = corrupted.dirty;
+  imputed.mutable_column(0).SetCategorical(0, "b");  // wrong
+  const ImputationScore score = ScoreImputation(imputed, corrupted, clean);
+  EXPECT_EQ(score.categorical_cells, 1);
+  EXPECT_EQ(score.categorical_correct, 0);
+}
+
+TEST(MetricsTest, NumericalRmse) {
+  Schema schema({{"n", AttrType::kNumerical}});
+  Table clean(schema);
+  ASSERT_TRUE(clean.AppendRow({"10"}).ok());
+  ASSERT_TRUE(clean.AppendRow({"20"}).ok());
+  CorruptedTable corrupted;
+  corrupted.dirty = clean;
+  corrupted.dirty.mutable_column(0).SetMissing(0);
+  corrupted.dirty.mutable_column(0).SetMissing(1);
+  corrupted.missing_cells = {CellRef{0, 0}, CellRef{1, 0}};
+  Table imputed = corrupted.dirty;
+  imputed.mutable_column(0).SetNumerical(0, 13.0);  // err 3
+  imputed.mutable_column(0).SetNumerical(1, 16.0);  // err 4
+  const ImputationScore score = ScoreImputation(imputed, corrupted, clean);
+  EXPECT_EQ(score.numerical_cells, 2);
+  EXPECT_NEAR(score.Rmse(), std::sqrt((9.0 + 16.0) / 2.0), 1e-9);
+}
+
+TEST(MetricsTest, CellsLeftMissingPenalized) {
+  Table clean = EvalTable();
+  CorruptedTable corrupted = InjectMcar(clean, 0.4, 2);
+  // No imputation at all: categorical all wrong, numeric scored at mean.
+  const ImputationScore score =
+      ScoreImputation(corrupted.dirty, corrupted, clean);
+  EXPECT_EQ(score.cells_left_missing,
+            static_cast<int64_t>(corrupted.missing_cells.size()));
+  EXPECT_EQ(score.categorical_correct, 0);
+}
+
+TEST(ErrorAnalysisTest, RowsSortedByFrequencyWithExpectedError) {
+  Table clean = EvalTable();
+  CorruptedTable corrupted = InjectMcar(clean, 0.5, 3);
+  MeanModeImputer mode;
+  Table imputed;
+  RunResult rr = RunAlgorithm(clean, corrupted, &mode, &imputed);
+  ASSERT_TRUE(rr.status.ok());
+  const auto rows = AnalyzeValueErrors(clean, corrupted, imputed, 0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].value, "common");
+  EXPECT_EQ(rows[1].value, "rare");
+  EXPECT_NEAR(rows[0].expected_error, 1.0 - 6.0 / 8.0, 1e-12);
+  // Mode imputation: every missing "common" correct, every "rare" wrong.
+  EXPECT_EQ(rows[0].wrong, 0);
+  EXPECT_EQ(rows[1].wrong, rows[1].test_cells);
+  int64_t total_tests = rows[0].test_cells + rows[1].test_cells;
+  int64_t missing_cat = 0;
+  for (const CellRef& cell : corrupted.missing_cells) {
+    missing_cat += cell.col == 0;
+  }
+  EXPECT_EQ(total_tests, missing_cat);
+}
+
+TEST(RunnerTest, ScoresAndTimesAlgorithm) {
+  Table clean = EvalTable();
+  CorruptedTable corrupted = InjectMcar(clean, 0.3, 4);
+  MeanModeImputer mode;
+  const RunResult rr = RunAlgorithm(clean, corrupted, &mode);
+  EXPECT_TRUE(rr.status.ok());
+  EXPECT_EQ(rr.algorithm, "MEAN-MODE");
+  EXPECT_GE(rr.seconds, 0.0);
+  EXPECT_GT(rr.score.categorical_cells + rr.score.numerical_cells, 0);
+}
+
+TEST(ReportTest, TextTableAlignsAndCsvMatches) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", TextTable::Num(1.2345, 2)});
+  table.AddRow({"b", "xyz"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.23\nb,xyz\n");
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/corruption.h"
+#include "table/fd.h"
+
+namespace grimp {
+namespace {
+
+Table MakeFdTable() {
+  // zip -> city holds; city -> zip does not.
+  Schema schema({{"zip", AttrType::kCategorical},
+                 {"city", AttrType::kCategorical},
+                 {"pop", AttrType::kNumerical}});
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({"75001", "paris", "100"}).ok());
+  EXPECT_TRUE(t.AppendRow({"75002", "paris", "120"}).ok());
+  EXPECT_TRUE(t.AppendRow({"00100", "rome", "90"}).ok());
+  EXPECT_TRUE(t.AppendRow({"75001", "paris", "100"}).ok());
+  EXPECT_TRUE(t.AppendRow({"00100", "rome", "95"}).ok());
+  return t;
+}
+
+TEST(FdTest, ParseFdResolvesNames) {
+  Table t = MakeFdTable();
+  auto fd = ParseFd("zip->city", t.schema());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs, std::vector<int>{0});
+  EXPECT_EQ(fd->rhs, 1);
+  EXPECT_EQ(fd->ToString(t.schema()), "zip->city");
+  auto multi = ParseFd("zip, city -> pop", t.schema());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->lhs, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(ParseFd("zip->nope", t.schema()).ok());
+  EXPECT_FALSE(ParseFd("no_arrow", t.schema()).ok());
+  EXPECT_FALSE(ParseFd("->city", t.schema()).ok());
+}
+
+TEST(FdTest, ViolationRateZeroForHoldingFd) {
+  Table t = MakeFdTable();
+  FunctionalDependency fd{{0}, 1};
+  EXPECT_DOUBLE_EQ(FdViolationRate(t, fd), 0.0);
+}
+
+TEST(FdTest, ViolationRatePositiveForBrokenFd) {
+  Table t = MakeFdTable();
+  // city -> zip: paris maps to {75001 x2, 75002} -> 1 violation out of 3;
+  // rome maps to {00100 x2} -> 0 out of 2. Total 1/5.
+  FunctionalDependency fd{{1}, 0};
+  EXPECT_NEAR(FdViolationRate(t, fd), 0.2, 1e-12);
+}
+
+TEST(FdTest, ViolationSkipsMissing) {
+  Table t = MakeFdTable();
+  t.mutable_column(1).SetMissing(1);
+  FunctionalDependency fd{{0}, 1};
+  EXPECT_DOUBLE_EQ(FdViolationRate(t, fd), 0.0);
+}
+
+TEST(FdTest, DiscoverUnaryFdsFindsZipCity) {
+  Table t = MakeFdTable();
+  const auto fds = DiscoverUnaryFds(t);
+  bool found_zip_city = false;
+  bool found_city_zip = false;
+  for (const auto& fd : fds) {
+    if (fd.lhs == std::vector<int>{0} && fd.rhs == 1) found_zip_city = true;
+    if (fd.lhs == std::vector<int>{1} && fd.rhs == 0) found_city_zip = true;
+  }
+  EXPECT_TRUE(found_zip_city);
+  EXPECT_FALSE(found_city_zip);
+}
+
+TEST(FdTest, FdAttributeSet) {
+  std::vector<FunctionalDependency> fds{{{0}, 1}, {{2}, 1}};
+  EXPECT_EQ(FdAttributeSet(fds, 4), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(FdAttributeSet({}, 4).empty());
+}
+
+// --- Corruption --------------------------------------------------------------
+
+TEST(CorruptionTest, McarFractionApproximatesTarget) {
+  Schema schema({{"a", AttrType::kCategorical}});
+  Table t(schema);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(t.AppendRow({"v" + std::to_string(i % 7)}).ok());
+  }
+  const CorruptedTable corrupted = InjectMcar(t, 0.2, 99);
+  EXPECT_NEAR(corrupted.dirty.MissingFraction(), 0.2, 0.02);
+  EXPECT_EQ(static_cast<int64_t>(corrupted.missing_cells.size()),
+            corrupted.dirty.num_rows() - corrupted.dirty.column(0).NumPresent());
+}
+
+TEST(CorruptionTest, GroundTruthMatchesCleanTable) {
+  Table t = MakeFdTable();
+  const CorruptedTable corrupted = InjectMcar(t, 0.5, 7);
+  ASSERT_FALSE(corrupted.missing_cells.empty());
+  for (size_t i = 0; i < corrupted.missing_cells.size(); ++i) {
+    const CellRef cell = corrupted.missing_cells[i];
+    EXPECT_TRUE(corrupted.dirty.IsMissing(cell.row, cell.col));
+    EXPECT_FALSE(t.IsMissing(cell.row, cell.col));
+    EXPECT_EQ(corrupted.original_codes[i], t.column(cell.col).CodeAt(cell.row));
+    if (!t.column(cell.col).is_categorical()) {
+      EXPECT_DOUBLE_EQ(corrupted.original_nums[i],
+                       t.column(cell.col).NumAt(cell.row));
+    } else {
+      EXPECT_TRUE(std::isnan(corrupted.original_nums[i]));
+    }
+  }
+}
+
+TEST(CorruptionTest, DeterministicForSeed) {
+  Table t = MakeFdTable();
+  const CorruptedTable a = InjectMcar(t, 0.4, 5);
+  const CorruptedTable b = InjectMcar(t, 0.4, 5);
+  ASSERT_EQ(a.missing_cells.size(), b.missing_cells.size());
+  for (size_t i = 0; i < a.missing_cells.size(); ++i) {
+    EXPECT_TRUE(a.missing_cells[i] == b.missing_cells[i]);
+  }
+  const CorruptedTable c = InjectMcar(t, 0.4, 6);
+  // Different seed should (almost surely) pick different cells.
+  bool identical = a.missing_cells.size() == c.missing_cells.size();
+  if (identical) {
+    for (size_t i = 0; i < a.missing_cells.size(); ++i) {
+      identical &= a.missing_cells[i] == c.missing_cells[i];
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(CorruptionTest, ZeroFractionIsNoOp) {
+  Table t = MakeFdTable();
+  const CorruptedTable corrupted = InjectMcar(t, 0.0, 1);
+  EXPECT_TRUE(corrupted.missing_cells.empty());
+  EXPECT_DOUBLE_EQ(corrupted.dirty.MissingFraction(), 0.0);
+}
+
+TEST(CorruptionTest, AlreadyMissingCellsAreNotCounted) {
+  Table t = MakeFdTable();
+  t.mutable_column(0).SetMissing(0);
+  const CorruptedTable corrupted = InjectMcar(t, 0.99, 3);
+  for (const CellRef& cell : corrupted.missing_cells) {
+    EXPECT_FALSE(cell.row == 0 && cell.col == 0);
+  }
+}
+
+TEST(CorruptionTest, TyposOnlyTouchCategoricalCells) {
+  Table t = MakeFdTable();
+  const Table noisy = InjectTypos(t, 1.0, 11);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    // Every categorical value mutated (longer string), numeric untouched.
+    EXPECT_NE(noisy.column(0).StringAt(r), t.column(0).StringAt(r));
+    EXPECT_GT(noisy.column(0).StringAt(r).size(),
+              t.column(0).StringAt(r).size());
+    EXPECT_DOUBLE_EQ(noisy.column(2).NumAt(r), t.column(2).NumAt(r));
+  }
+  const Table clean_copy = InjectTypos(t, 0.0, 11);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(clean_copy.column(0).StringAt(r), t.column(0).StringAt(r));
+  }
+}
+
+}  // namespace
+}  // namespace grimp

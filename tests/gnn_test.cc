@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "gnn/hetero_sage.h"
+#include "gradcheck.h"
+#include "graph/builder.h"
+#include "tensor/optimizer.h"
+
+namespace grimp {
+namespace {
+
+Table TinyTable() {
+  Schema schema({{"a", AttrType::kCategorical},
+                 {"b", AttrType::kCategorical}});
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({"x", "p"}).ok());
+  EXPECT_TRUE(t.AppendRow({"x", "q"}).ok());
+  EXPECT_TRUE(t.AppendRow({"y", ""}).ok());
+  return t;
+}
+
+TEST(SageSubmoduleTest, OutputShapeAndNeighborMixing) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(1);
+  SageSubmodule sub("s", 4, 3, &rng);
+  Tape tape;
+  Rng frng(2);
+  auto h = tape.Constant(Tensor::GlorotUniform(tg.graph.num_nodes(), 4,
+                                               &frng));
+  auto out = sub.Forward(&tape, h, tg.graph.adjacency(0));
+  EXPECT_EQ(tape.value(out).rows(), tg.graph.num_nodes());
+  EXPECT_EQ(tape.value(out).cols(), 3);
+}
+
+TEST(HeteroSageLayerTest, MasksNodesUntouchedByType) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(3);
+  HeteroSageLayer layer("l", tg.graph.num_edge_types(), 4, 4, &rng);
+  Tape tape;
+  Rng frng(4);
+  auto h = tape.Constant(Tensor::GlorotUniform(tg.graph.num_nodes(), 4,
+                                               &frng));
+  auto out = layer.Forward(&tape, h, tg.graph);
+  const Tensor& v = tape.value(out);
+  // Row 2's "b" cell is missing, so its RID node only participates in edge
+  // type 0; output must still be finite and generally nonzero.
+  EXPECT_GT(v.SumAbs(), 0.0f);
+  // A cell node of column "b" is untouched by type 0 but touched by
+  // type 1: its row must be nonzero (type-1 submodule contributes).
+  const int32_t q_code = t.column(1).dict().Find("q");
+  const int64_t q_node = tg.CellNode(1, q_code);
+  float row_abs = 0.0f;
+  for (int64_t c = 0; c < v.cols(); ++c) row_abs += std::fabs(v.at(q_node, c));
+  EXPECT_GT(row_abs, 0.0f);
+}
+
+TEST(HeteroGnnTest, StackShapesAndParameterCount) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(5);
+  HeteroGnn gnn(tg.graph.num_edge_types(), 6, 8, 4, 2, &rng);
+  EXPECT_EQ(gnn.num_layers(), 2);
+  // Layer 1: per type (2 types): (2*6)*8 + 8; layer 2: (2*8)*4 + 4.
+  const int64_t expected =
+      2 * ((2 * 6) * 8 + 8) + 2 * ((2 * 8) * 4 + 4);
+  EXPECT_EQ(gnn.NumParameters(), expected);
+  std::vector<Parameter*> params;
+  gnn.CollectParameters(&params);
+  EXPECT_EQ(params.size(), 8u);  // 2 layers x 2 types x (W, b)
+
+  Tape tape;
+  Rng frng(6);
+  auto h = tape.Constant(Tensor::GlorotUniform(tg.graph.num_nodes(), 6,
+                                               &frng));
+  auto out = gnn.Forward(&tape, h, tg.graph);
+  EXPECT_EQ(tape.value(out).rows(), tg.graph.num_nodes());
+  EXPECT_EQ(tape.value(out).cols(), 4);
+}
+
+TEST(HeteroGnnTest, GradientsFlowToAllParameters) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(7);
+  HeteroGnn gnn(tg.graph.num_edge_types(), 3, 4, 2, 2, &rng);
+  std::vector<Parameter*> params;
+  gnn.CollectParameters(&params);
+  Rng frng(8);
+  const Tensor features =
+      Tensor::GlorotUniform(tg.graph.num_nodes(), 3, &frng);
+  Tape tape;
+  auto out = gnn.Forward(&tape, tape.Constant(features), tg.graph);
+  auto loss = tape.SumAll(tape.Mul(out, out));
+  tape.Backward(loss);
+  // Every weight matrix must receive some gradient (biases of masked
+  // submodules can be partially zero, weights should not be all-zero).
+  for (Parameter* p : params) {
+    if (p->value.rows() > 1) {  // weight matrices
+      EXPECT_GT(p->grad.SumAbs(), 0.0f) << p->name;
+    }
+  }
+}
+
+TEST(HeteroGnnTest, GradCheckThroughMessagePassing) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(9);
+  HeteroGnn gnn(tg.graph.num_edge_types(), 2, 3, 2, 2, &rng);
+  std::vector<Parameter*> params;
+  gnn.CollectParameters(&params);
+  Rng frng(10);
+  const Tensor features =
+      Tensor::GlorotUniform(tg.graph.num_nodes(), 2, &frng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto out = gnn.Forward(&tape, tape.Constant(features), tg.graph);
+    auto l = tape.SumAll(tape.Mul(out, out));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  // Check the first layer's first weight matrix end-to-end.
+  EXPECT_LT(testing::MaxGradError(params[0], loss, 1e-2f), 5e-2f);
+}
+
+TEST(HeteroGnnTest, TrainingReducesReconstructionLoss) {
+  Table t = TinyTable();
+  TableGraph tg = BuildTableGraph(t);
+  Rng rng(11);
+  HeteroGnn gnn(tg.graph.num_edge_types(), 4, 4, 4, 2, &rng);
+  std::vector<Parameter*> params;
+  gnn.CollectParameters(&params);
+  Adam opt(params, 0.01f);
+  Rng frng(12);
+  const Tensor features =
+      Tensor::GlorotUniform(tg.graph.num_nodes(), 4, &frng);
+  std::vector<float> targets(static_cast<size_t>(tg.graph.num_nodes()), 1.0f);
+  float first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    Tape tape;
+    auto out = gnn.Forward(&tape, tape.Constant(features), tg.graph);
+    // Predict 1.0 from the first output column of every node.
+    auto col = tape.GatherRows(
+        tape.Reshape(out, tg.graph.num_nodes() * 4, 1), [&] {
+          std::vector<int32_t> idx;
+          for (int64_t i = 0; i < tg.graph.num_nodes(); ++i) {
+            idx.push_back(static_cast<int32_t>(i * 4));
+          }
+          return idx;
+        }());
+    auto loss = tape.MseLoss(col, targets);
+    if (step == 0) first = tape.value(loss).scalar();
+    last = tape.value(loss).scalar();
+    tape.Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+}  // namespace
+}  // namespace grimp

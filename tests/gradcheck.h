@@ -1,0 +1,43 @@
+#ifndef GRIMP_TESTS_GRADCHECK_H_
+#define GRIMP_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/tape.h"
+
+namespace grimp {
+namespace testing {
+
+// Compares the analytic gradient of `loss_fn` w.r.t. `param` against
+// central finite differences. `loss_fn` must build a fresh tape each call
+// and return the scalar loss value for the current parameter contents.
+// Returns the max absolute deviation across parameter entries.
+inline float MaxGradError(
+    Parameter* param,
+    const std::function<float(bool compute_grad)>& loss_fn,
+    float epsilon = 1e-3f) {
+  param->ZeroGrad();
+  loss_fn(/*compute_grad=*/true);
+  // Snapshot: the finite-difference evaluations below may run Backward too
+  // and keep accumulating into param->grad.
+  const Tensor analytic = param->grad;
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < param->value.size(); ++i) {
+    const float saved = param->value[i];
+    param->value[i] = saved + epsilon;
+    const float up = loss_fn(false);
+    param->value[i] = saved - epsilon;
+    const float down = loss_fn(false);
+    param->value[i] = saved;
+    const float numeric = (up - down) / (2.0f * epsilon);
+    max_err = std::max(max_err, std::fabs(numeric - analytic[i]));
+  }
+  param->ZeroGrad();
+  return max_err;
+}
+
+}  // namespace testing
+}  // namespace grimp
+
+#endif  // GRIMP_TESTS_GRADCHECK_H_

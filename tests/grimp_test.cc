@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mean_mode.h"
+#include "core/grimp.h"
+#include "data/datasets.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace grimp {
+namespace {
+
+// Structured table: b and num are functions of a.
+Table StructuredTable(int64_t rows) {
+  Schema schema({{"a", AttrType::kCategorical},
+                 {"b", AttrType::kCategorical},
+                 {"num", AttrType::kNumerical}});
+  Table t(schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int a = static_cast<int>(i % 4);
+    EXPECT_TRUE(t.AppendRow({"a" + std::to_string(a),
+                             "b" + std::to_string(a % 2),
+                             std::to_string(10 * a)})
+                    .ok());
+  }
+  return t;
+}
+
+GrimpOptions FastOptions() {
+  GrimpOptions options;
+  options.dim = 16;
+  options.shared_hidden = 32;
+  options.max_epochs = 50;
+  options.seed = 21;
+  return options;
+}
+
+TEST(GrimpTest, FillsEveryMissingCell) {
+  Table clean = StructuredTable(80);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.3, 1);
+  GrimpImputer grimp(FastOptions());
+  auto imputed = grimp.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+  EXPECT_GT(grimp.report().epochs_run, 0);
+  EXPECT_GT(grimp.report().num_parameters, 0);
+  EXPECT_GT(grimp.report().num_train_samples, 0);
+  EXPECT_GT(grimp.report().num_val_samples, 0);
+}
+
+TEST(GrimpTest, RecoversDeterministicStructure) {
+  Table clean = StructuredTable(120);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.2, 2);
+  GrimpImputer grimp(FastOptions());
+  const RunResult rr = RunAlgorithm(clean, corrupted, &grimp);
+  ASSERT_TRUE(rr.status.ok());
+  EXPECT_GT(rr.score.Accuracy(), 0.8);
+}
+
+TEST(GrimpTest, BeatsModeImputationOnClusteredData) {
+  auto clean_or = GenerateDatasetByName("contraceptive", 5, 250);
+  ASSERT_TRUE(clean_or.ok());
+  const CorruptedTable corrupted = InjectMcar(*clean_or, 0.2, 3);
+  GrimpImputer grimp(FastOptions());
+  MeanModeImputer mode;
+  const RunResult g = RunAlgorithm(*clean_or, corrupted, &grimp);
+  const RunResult m = RunAlgorithm(*clean_or, corrupted, &mode);
+  ASSERT_TRUE(g.status.ok());
+  EXPECT_GT(g.score.Accuracy(), m.score.Accuracy());
+}
+
+TEST(GrimpTest, DeterministicForSeed) {
+  Table clean = StructuredTable(60);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 4);
+  GrimpOptions options = FastOptions();
+  options.max_epochs = 15;
+  GrimpImputer a(options), b(options);
+  auto ia = a.Impute(corrupted.dirty);
+  auto ib = b.Impute(corrupted.dirty);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  for (const CellRef& cell : corrupted.missing_cells) {
+    EXPECT_EQ(ia->column(cell.col).StringAt(cell.row),
+              ib->column(cell.col).StringAt(cell.row));
+  }
+}
+
+TEST(GrimpTest, NamesReflectConfiguration) {
+  GrimpOptions options;
+  EXPECT_EQ(GrimpImputer(options).name(), "GRIMP-FT");
+  options.features = FeatureInitKind::kEmbdi;
+  EXPECT_EQ(GrimpImputer(options).name(), "GRIMP-E");
+  options.features = FeatureInitKind::kRandom;
+  EXPECT_EQ(GrimpImputer(options).name(), "GRIMP-R");
+  options.features = FeatureInitKind::kEmbdi;
+  options.task_kind = TaskKind::kLinear;
+  EXPECT_EQ(GrimpImputer(options).name(), "GRIMP-E-Lin");
+  options.task_kind = TaskKind::kAttention;
+  options.multi_task = false;
+  EXPECT_EQ(GrimpImputer(options).name(), "GNN-MC");
+  options.use_gnn = false;
+  EXPECT_EQ(GrimpImputer(options).name(), "EmbDI-MC");
+}
+
+TEST(GrimpTest, RejectsEmptyTable) {
+  Table empty;
+  GrimpImputer grimp(FastOptions());
+  EXPECT_FALSE(grimp.Impute(empty).ok());
+}
+
+class GrimpConfigTest : public ::testing::TestWithParam<int> {};
+
+// Every ablation / head / feature configuration must run end-to-end and
+// fill all cells.
+TEST_P(GrimpConfigTest, RunsEndToEnd) {
+  GrimpOptions options = FastOptions();
+  options.max_epochs = 10;
+  switch (GetParam()) {
+    case 0:
+      options.task_kind = TaskKind::kLinear;
+      break;
+    case 1:
+      options.use_gnn = false;
+      break;
+    case 2:
+      options.multi_task = false;
+      break;
+    case 3:
+      options.use_gnn = false;
+      options.multi_task = false;
+      break;
+    case 4:
+      options.features = FeatureInitKind::kEmbdi;
+      break;
+    case 5:
+      options.features = FeatureInitKind::kRandom;
+      break;
+    case 6:
+      options.k_strategy = KStrategy::kDiagonal;
+      break;
+    case 7:
+      options.k_strategy = KStrategy::kTargetColumn;
+      break;
+    case 8:
+      options.focal_gamma = 2.0f;
+      break;
+    default:
+      break;
+  }
+  Table clean = StructuredTable(50);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.3, 5);
+  GrimpImputer grimp(options);
+  auto imputed = grimp.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, GrimpConfigTest, ::testing::Range(0, 9));
+
+TEST(GrimpTest, FdStrategyConsumesFds) {
+  Table clean = StructuredTable(100);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 6);
+  GrimpOptions options = FastOptions();
+  options.k_strategy = KStrategy::kWeakDiagonalFd;
+  options.fds = {{{0}, 1}};
+  GrimpImputer grimp(options);
+  EXPECT_EQ(grimp.name(), "GRIMP-FT-A(FD)");
+  const RunResult rr = RunAlgorithm(clean, corrupted, &grimp);
+  ASSERT_TRUE(rr.status.ok());
+  EXPECT_GT(rr.score.Accuracy(), 0.7);
+}
+
+TEST(GrimpTest, HighMissingnessStillFillsEverything) {
+  Table clean = StructuredTable(100);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.5, 7);
+  GrimpImputer grimp(FastOptions());
+  auto imputed = grimp.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+}
+
+TEST(GrimpTest, RobustToTypos) {
+  // §4.2 noise experiment shape: accuracy drops only mildly with typos.
+  Table clean = StructuredTable(120);
+  const Table noisy = InjectTypos(clean, 0.1, 8);
+  const CorruptedTable corrupted = InjectMcar(noisy, 0.1, 9);
+  GrimpImputer grimp(FastOptions());
+  const RunResult rr = RunAlgorithm(noisy, corrupted, &grimp);
+  ASSERT_TRUE(rr.status.ok());
+  EXPECT_GT(rr.score.Accuracy(), 0.6);
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,174 @@
+// Cross-cutting invariants of every imputer: filled values must come from
+// the attribute's live domain, numeric outputs must be finite, present
+// cells must never change, and re-running with the same seed must be
+// byte-identical. Run as parameterized sweeps over algorithms x datasets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/knn.h"
+#include "baselines/mean_mode.h"
+#include "baselines/missforest.h"
+#include "baselines/turl_proxy.h"
+#include "baselines/zoo.h"
+#include "core/grimp.h"
+#include "data/datasets.h"
+
+namespace grimp {
+namespace {
+
+enum class Algo { kGrimp, kMissForest, kKnn, kMeanMode, kTurl };
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kGrimp:
+      return "grimp";
+    case Algo::kMissForest:
+      return "missforest";
+    case Algo::kKnn:
+      return "knn";
+    case Algo::kMeanMode:
+      return "meanmode";
+    case Algo::kTurl:
+      return "turl";
+  }
+  return "?";
+}
+
+std::unique_ptr<ImputationAlgorithm> Make(Algo algo) {
+  switch (algo) {
+    case Algo::kGrimp: {
+      GrimpOptions go;
+      go.dim = 8;
+      go.max_epochs = 6;
+      return std::make_unique<GrimpImputer>(go);
+    }
+    case Algo::kMissForest: {
+      MissForestOptions mo;
+      mo.forest.num_trees = 4;
+      mo.max_iterations = 2;
+      return std::make_unique<MissForestImputer>(mo);
+    }
+    case Algo::kKnn:
+      return std::make_unique<KnnImputer>(3);
+    case Algo::kMeanMode:
+      return std::make_unique<MeanModeImputer>();
+    case Algo::kTurl:
+      return std::make_unique<TurlProxyImputer>();
+  }
+  return nullptr;
+}
+
+struct Case {
+  Algo algo;
+  std::string dataset;
+};
+
+class ImputerInvariantTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ImputerInvariantTest, DomainFinitenessAndStability) {
+  const Case& c = GetParam();
+  auto clean_or = GenerateDatasetByName(c.dataset, 3, 80);
+  ASSERT_TRUE(clean_or.ok());
+  const CorruptedTable corrupted = InjectMcar(*clean_or, 0.25, 7);
+  const Table& dirty = corrupted.dirty;
+
+  auto algo = Make(c.algo);
+  auto imputed_or = algo->Impute(dirty);
+  ASSERT_TRUE(imputed_or.ok()) << imputed_or.status().ToString();
+  const Table& imputed = *imputed_or;
+
+  for (int col = 0; col < dirty.num_cols(); ++col) {
+    const Column& dirty_col = dirty.column(col);
+    const Column& imp_col = imputed.column(col);
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      if (!dirty_col.IsMissing(r)) {
+        // Present cells never change.
+        ASSERT_EQ(imp_col.StringAt(r), dirty_col.StringAt(r))
+            << c.dataset << " col " << col << " row " << r;
+        continue;
+      }
+      if (imp_col.IsMissing(r)) continue;  // FD-repair-style partial fill OK
+      if (dirty_col.is_categorical()) {
+        // Filled categorical cells come from the dirty table's live domain.
+        const int32_t code = dirty_col.dict().Find(imp_col.StringAt(r));
+        ASSERT_GE(code, 0) << "value '" << imp_col.StringAt(r)
+                           << "' not in live domain";
+        ASSERT_GT(dirty_col.dict().CountOf(code), 0);
+      } else {
+        ASSERT_TRUE(std::isfinite(imp_col.NumAt(r)));
+      }
+    }
+  }
+
+  // Rerun: identical output (all imputers are seed-deterministic).
+  auto algo2 = Make(c.algo);
+  auto imputed2 = algo2->Impute(dirty);
+  ASSERT_TRUE(imputed2.ok());
+  for (int col = 0; col < dirty.num_cols(); ++col) {
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      ASSERT_EQ(imputed.column(col).StringAt(r),
+                imputed2->column(col).StringAt(r));
+    }
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (Algo algo : {Algo::kGrimp, Algo::kMissForest, Algo::kKnn,
+                    Algo::kMeanMode, Algo::kTurl}) {
+    for (const char* ds : {"mammogram", "tictactoe", "australian"}) {
+      cases.push_back(Case{algo, ds});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ImputerInvariantTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) {
+                           return std::string(AlgoName(info.param.algo)) +
+                                  "_" + info.param.dataset;
+                         });
+
+// GRIMP-specific: imputing an already-complete table is a no-op.
+TEST(ImputerInvariantTest, CompleteTableIsNoOp) {
+  auto clean_or = GenerateDatasetByName("mammogram", 3, 60);
+  ASSERT_TRUE(clean_or.ok());
+  GrimpOptions go;
+  go.dim = 8;
+  go.max_epochs = 3;
+  GrimpImputer grimp(go);
+  auto imputed = grimp.Impute(*clean_or);
+  ASSERT_TRUE(imputed.ok());
+  for (int col = 0; col < clean_or->num_cols(); ++col) {
+    for (int64_t r = 0; r < clean_or->num_rows(); ++r) {
+      EXPECT_EQ(imputed->column(col).StringAt(r),
+                clean_or->column(col).StringAt(r));
+    }
+  }
+}
+
+// Missingness monotonicity: an imputed table has no missing cells left
+// (for the total-coverage imputers), at any corruption level.
+class CoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageTest, EveryCellFilledAtAnyRate) {
+  auto clean_or = GenerateDatasetByName("credit", 5, 80);
+  ASSERT_TRUE(clean_or.ok());
+  const CorruptedTable corrupted = InjectMcar(*clean_or, GetParam(), 11);
+  for (Algo algo : {Algo::kGrimp, Algo::kMissForest, Algo::kKnn,
+                    Algo::kMeanMode}) {
+    auto imputed = Make(algo)->Impute(corrupted.dirty);
+    ASSERT_TRUE(imputed.ok()) << AlgoName(algo);
+    EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0)
+        << AlgoName(algo) << " at rate " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CoverageTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.7));
+
+}  // namespace
+}  // namespace grimp

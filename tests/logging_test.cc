@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace grimp {
+namespace {
+
+TEST(LoggingTest, LevelThresholdRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These must be cheap no-ops below the threshold.
+  for (int i = 0; i < 100; ++i) {
+    GRIMP_LOG(Debug) << "suppressed " << i;
+    GRIMP_LOG(Info) << "also suppressed" << 3.14;
+  }
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckMacrosPassOnTrueConditions) {
+  GRIMP_CHECK(true) << "never shown";
+  GRIMP_CHECK_EQ(2 + 2, 4);
+  GRIMP_CHECK_NE(1, 2);
+  GRIMP_CHECK_LT(1, 2);
+  GRIMP_CHECK_LE(2, 2);
+  GRIMP_CHECK_GT(3, 2);
+  GRIMP_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ GRIMP_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ GRIMP_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(LoggingTest, DcheckCompilesInBothModes) {
+  // In release builds GRIMP_DCHECK is a no-op; in debug it must pass here.
+  GRIMP_DCHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/nn.h"
+#include "tensor/optimizer.h"
+
+namespace grimp {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin("l", 3, 2, &rng);
+  EXPECT_EQ(lin.in_dim(), 3);
+  EXPECT_EQ(lin.out_dim(), 2);
+  EXPECT_EQ(lin.NumParameters(), 3 * 2 + 2);
+  Tape tape;
+  auto x = tape.Constant(Tensor::Zeros(4, 3));
+  auto y = lin.Forward(&tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 4);
+  EXPECT_EQ(tape.value(y).cols(), 2);
+  // Zero input -> output equals bias (initialized to zero).
+  EXPECT_EQ(tape.value(y).SumAbs(), 0.0f);
+}
+
+TEST(MlpTest, HiddenReluAndParameterCollection) {
+  Rng rng(2);
+  Mlp mlp("m", {4, 8, 3}, &rng);
+  EXPECT_EQ(mlp.NumParameters(), (4 * 8 + 8) + (8 * 3 + 3));
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(&params);
+  EXPECT_EQ(params.size(), 4u);  // two layers x (W, b)
+  Tape tape;
+  Rng data_rng(3);
+  auto x = tape.Constant(Tensor::GlorotUniform(5, 4, &data_rng));
+  auto y = mlp.Forward(&tape, x);
+  EXPECT_EQ(tape.value(y).cols(), 3);
+}
+
+// Fits y = X w* with gradient descent; both optimizers must converge.
+template <typename OptimizerT, typename... Args>
+double FitLeastSquares(Args... args) {
+  Rng rng(4);
+  const Tensor x = Tensor::GlorotUniform(64, 3, &rng);
+  const Tensor w_true = Tensor::FromVector(3, 1, {1.0f, -2.0f, 0.5f});
+  const Tensor y = MatMul(x, w_true);
+  std::vector<float> targets(64);
+  for (int64_t i = 0; i < 64; ++i) targets[static_cast<size_t>(i)] = y[i];
+
+  Parameter w("w", Tensor::Zeros(3, 1));
+  OptimizerT opt({&w}, args...);
+  double loss_value = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    auto pred = tape.MatMul(tape.Constant(x), tape.Leaf(&w));
+    auto loss = tape.MseLoss(pred, targets);
+    loss_value = tape.value(loss).scalar();
+    tape.Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  return loss_value;
+}
+
+TEST(OptimizerTest, SgdConvergesOnLeastSquares) {
+  EXPECT_LT((FitLeastSquares<Sgd, float>(0.5f)), 1e-4);
+}
+
+TEST(OptimizerTest, SgdWithMomentumConverges) {
+  EXPECT_LT((FitLeastSquares<Sgd, float, float>(0.1f, 0.9f)), 1e-4);
+}
+
+TEST(OptimizerTest, AdamConvergesOnLeastSquares) {
+  EXPECT_LT((FitLeastSquares<Adam, float>(0.05f)), 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Parameter p("p", Tensor::Zeros(1, 4));
+  p.grad = Tensor::FromVector(1, 4, {3.0f, 0.0f, 4.0f, 0.0f});  // norm 5
+  Sgd opt({&p}, 1.0f);
+  opt.ClipGradNorm(1.0f);
+  double norm_sq = 0;
+  for (int64_t i = 0; i < 4; ++i) norm_sq += p.grad[i] * p.grad[i];
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-5);
+  // Direction preserved.
+  EXPECT_NEAR(p.grad[0] / p.grad[2], 0.75, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  Parameter p("p", Tensor::Zeros(1, 2));
+  p.grad = Tensor::FromVector(1, 2, {0.1f, 0.1f});
+  Adam opt({&p}, 0.1f);
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.1f);
+}
+
+TEST(OptimizerTest, AdamWeightDecayShrinksWeights) {
+  Parameter p("p", Tensor::Full(1, 1, 10.0f));
+  Adam opt({&p}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  for (int i = 0; i < 50; ++i) {
+    // Zero data gradient: only decay acts.
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_LT(std::fabs(p.value[0]), 10.0f);
+}
+
+}  // namespace
+}  // namespace grimp

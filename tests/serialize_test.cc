@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "core/engine.h"
+#include "data/datasets.h"
+#include "eval/metrics.h"
+
+namespace grimp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- Binary I/O primitives ---------------------------------------------------
+
+TEST(BinaryIoTest, PodRoundTrip) {
+  const std::string path = TempPath("grimp_pod.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU32(7u);
+    writer.WriteI32(-3);
+    writer.WriteI64(int64_t{1} << 40);
+    writer.WriteU64(0xdeadbeefcafef00dULL);
+    writer.WriteF32(1.5f);
+    writer.WriteF64(-2.25);
+    writer.WriteBool(true);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(*reader.ReadU32(), 7u);
+  EXPECT_EQ(*reader.ReadI32(), -3);
+  EXPECT_EQ(*reader.ReadI64(), int64_t{1} << 40);
+  EXPECT_EQ(*reader.ReadU64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(*reader.ReadF32(), 1.5f);
+  EXPECT_EQ(*reader.ReadF64(), -2.25);
+  EXPECT_TRUE(*reader.ReadBool());
+}
+
+TEST(BinaryIoTest, StringAndVectorRoundTrip) {
+  const std::string path = TempPath("grimp_vec.bin");
+  const std::vector<float> floats{1.0f, -2.0f, 0.5f};
+  const std::vector<double> doubles{3.14, -1e10};
+  const std::vector<int64_t> ints{1, -2, 3};
+  const std::vector<std::string> strings{"", "abc", "with \n newline"};
+  {
+    BinaryWriter writer(path);
+    writer.WriteString("hello");
+    writer.WriteF32Vector(floats);
+    writer.WriteF64Vector(doubles);
+    writer.WriteI64Vector(ints);
+    writer.WriteStringVector(strings);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(*reader.ReadF32Vector(), floats);
+  EXPECT_EQ(*reader.ReadF64Vector(), doubles);
+  EXPECT_EQ(*reader.ReadI64Vector(), ints);
+  EXPECT_EQ(*reader.ReadStringVector(), strings);
+}
+
+TEST(BinaryIoTest, TruncatedFileFailsGracefully) {
+  const std::string path = TempPath("grimp_trunc.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(1000);  // promises 1000 bytes of string
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  BinaryReader reader("/nonexistent/grimp.bin");
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_FALSE(reader.ReadU32().ok());
+}
+
+TEST(BinaryIoTest, CorruptLengthRejected) {
+  const std::string path = TempPath("grimp_huge.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(uint64_t{1} << 60);  // absurd element count
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  EXPECT_FALSE(reader.ReadF32Vector().ok());
+}
+
+// --- Model persistence ---------------------------------------------------------
+
+TEST(ModelPersistenceTest, SaveLoadTransformIsIdentical) {
+  auto clean = GenerateDatasetByName("mammogram", 5, 120);
+  ASSERT_TRUE(clean.ok());
+  const CorruptedTable corrupted = InjectMcar(*clean, 0.25, 3);
+
+  GrimpOptions options;
+  options.dim = 16;
+  options.max_epochs = 30;
+  GrimpEngine engine(options);
+  ASSERT_TRUE(engine.Fit(corrupted.dirty).ok());
+  auto direct = engine.Transform(corrupted.dirty);
+  ASSERT_TRUE(direct.ok());
+
+  const std::string path = TempPath("grimp_model.bin");
+  ASSERT_TRUE(engine.Save(path).ok());
+
+  auto loaded_or = GrimpEngine::Load(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  GrimpEngine& loaded = **loaded_or;
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.options().dim, 16);
+
+  auto from_disk = loaded.Transform(corrupted.dirty);
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status().ToString();
+  for (int c = 0; c < direct->num_cols(); ++c) {
+    for (int64_t r = 0; r < direct->num_rows(); ++r) {
+      ASSERT_EQ(direct->column(c).StringAt(r),
+                from_disk->column(c).StringAt(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(ModelPersistenceTest, SaveRequiresFittedEngine) {
+  GrimpEngine engine{GrimpOptions{}};
+  EXPECT_FALSE(engine.Save(TempPath("grimp_unfitted.bin")).ok());
+}
+
+TEST(ModelPersistenceTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("grimp_garbage.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(0x1234567812345678ULL);  // wrong magic
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = GrimpEngine::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_FALSE(GrimpEngine::Load("/nonexistent/model.bin").ok());
+}
+
+TEST(ModelPersistenceTest, LoadedModelTransformsUnseenTable) {
+  // Fit + save on one slice; load and impute a disjoint slice.
+  auto all = GenerateDatasetByName("contraceptive", 9, 240);
+  ASSERT_TRUE(all.ok());
+  const CsvData csv = all->ToCsv();
+  Table source(all->schema());
+  Table target(all->schema());
+  for (int64_t r = 0; r < all->num_rows(); ++r) {
+    ASSERT_TRUE((r < 160 ? source : target)
+                    .AppendRow(csv.rows[static_cast<size_t>(r)])
+                    .ok());
+  }
+  GrimpOptions options;
+  options.dim = 16;
+  options.max_epochs = 40;
+  GrimpEngine engine(options);
+  ASSERT_TRUE(engine.Fit(source).ok());
+  const std::string path = TempPath("grimp_transfer_model.bin");
+  ASSERT_TRUE(engine.Save(path).ok());
+
+  const CorruptedTable corrupted = InjectMcar(target, 0.25, 7);
+  auto loaded = GrimpEngine::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  auto imputed = (*loaded)->Transform(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  const ImputationScore score = ScoreImputation(*imputed, corrupted, target);
+  // Better than uniform guessing over 2-4-value domains.
+  EXPECT_GT(score.Accuracy(), 0.45);
+}
+
+}  // namespace
+}  // namespace grimp

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "tensor/tape.h"
+
+namespace grimp {
+namespace {
+
+using testing::MaxGradError;
+
+constexpr float kTol = 2e-2f;  // finite differences in float
+
+Parameter MakeParam(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  // Offset away from zero to stay clear of ReLU/equality kinks.
+  Tensor t = Tensor::GlorotUniform(rows, cols, &rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] += t[i] >= 0 ? 0.3f : -0.3f;
+  }
+  return Parameter("p", std::move(t));
+}
+
+TEST(TapeTest, ForwardValuesBasicOps) {
+  Tape tape;
+  auto a = tape.Constant(Tensor::FromVector(1, 2, {1, 2}));
+  auto b = tape.Constant(Tensor::FromVector(1, 2, {3, 4}));
+  EXPECT_EQ(tape.value(tape.Add(a, b)).at(0, 1), 6.0f);
+  EXPECT_EQ(tape.value(tape.Mul(a, b)).at(0, 0), 3.0f);
+  EXPECT_EQ(tape.value(tape.Scale(a, 2.0f)).at(0, 1), 4.0f);
+  EXPECT_EQ(tape.value(tape.SumAll(b)).scalar(), 7.0f);
+}
+
+TEST(TapeTest, ReluTanhSigmoidForward) {
+  Tape tape;
+  auto x = tape.Constant(Tensor::FromVector(1, 3, {-1.0f, 0.0f, 2.0f}));
+  const Tensor& r = tape.value(tape.Relu(x));
+  EXPECT_EQ(r.at(0, 0), 0.0f);
+  EXPECT_EQ(r.at(0, 2), 2.0f);
+  const Tensor& s = tape.value(tape.Sigmoid(x));
+  EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6f);
+  const Tensor& t = tape.value(tape.Tanh(x));
+  EXPECT_NEAR(t.at(0, 2), std::tanh(2.0f), 1e-6f);
+}
+
+TEST(TapeTest, RowSoftmaxRowsSumToOne) {
+  Tape tape;
+  auto x = tape.Constant(Tensor::FromVector(2, 3, {1, 2, 3, -1, 0, 1}));
+  const Tensor& y = tape.value(tape.RowSoftmax(x));
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 3; ++c) sum += y.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  EXPECT_GT(y.at(0, 2), y.at(0, 0));
+}
+
+TEST(TapeTest, GatherRowsHandlesMissingSentinel) {
+  Tape tape;
+  auto t = tape.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  auto g = tape.GatherRows(t, {1, -1, 0});
+  const Tensor& v = tape.value(g);
+  EXPECT_EQ(v.at(0, 0), 3.0f);
+  EXPECT_EQ(v.at(1, 0), 0.0f);  // sentinel -> zero row
+  EXPECT_EQ(v.at(2, 1), 2.0f);
+}
+
+TEST(TapeTest, SegmentMeanComputesMeansAndEmptySegments) {
+  Tape tape;
+  auto x = tape.Constant(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  // Segment 0: rows {0, 2}; segment 1: empty; segment 2: row {1}.
+  auto s = tape.SegmentMean(x, {0, 2, 2, 3}, {0, 2, 1});
+  const Tensor& v = tape.value(s);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.at(0, 0), 3.0f);
+  EXPECT_EQ(v.at(0, 1), 4.0f);
+  EXPECT_EQ(v.at(1, 0), 0.0f);
+  EXPECT_EQ(v.at(2, 1), 4.0f);
+}
+
+// --- Gradient checks, one per op ------------------------------------------
+
+TEST(TapeGradTest, MatMul) {
+  Parameter p = MakeParam(3, 4, 1);
+  Rng rng(2);
+  const Tensor other = Tensor::GlorotUniform(4, 2, &rng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto w = tape.Leaf(&p);
+    auto out = tape.MatMul(w, tape.Constant(other));
+    auto l = tape.MseLoss(tape.Reshape(out, 6, 1),
+                          {1, 0, -1, 2, 0.5f, -0.5f});
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, AddBias) {
+  Parameter p = MakeParam(1, 3, 3);
+  Rng rng(4);
+  const Tensor x = Tensor::GlorotUniform(4, 3, &rng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto out = tape.AddBias(tape.Constant(x), tape.Leaf(&p));
+    auto sq = tape.Mul(out, out);
+    auto l = tape.SumAll(sq);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, MulAndScale) {
+  Parameter p = MakeParam(2, 3, 5);
+  Rng rng(6);
+  const Tensor other = Tensor::GlorotUniform(2, 3, &rng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto w = tape.Leaf(&p);
+    auto out = tape.Scale(tape.Mul(w, tape.Constant(other)), 1.5f);
+    auto l = tape.SumAll(tape.Mul(out, out));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, RowScale) {
+  Parameter p = MakeParam(3, 2, 7);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto out = tape.RowScale(tape.Leaf(&p), {0.0f, 1.0f, 2.5f});
+    auto l = tape.SumAll(tape.Mul(out, out));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, Activations) {
+  for (int which = 0; which < 3; ++which) {
+    Parameter p = MakeParam(2, 4, 8 + static_cast<uint64_t>(which));
+    auto loss = [&](bool) {
+      Tape tape;
+      auto x = tape.Leaf(&p);
+      Tape::VarId act;
+      if (which == 0) act = tape.Relu(x);
+      else if (which == 1) act = tape.Tanh(x);
+      else act = tape.Sigmoid(x);
+      auto l = tape.SumAll(tape.Mul(act, act));
+      tape.Backward(l);
+      return tape.value(l).scalar();
+    };
+    EXPECT_LT(MaxGradError(&p, loss), kTol) << "activation " << which;
+  }
+}
+
+TEST(TapeGradTest, ConcatColsAndReshape) {
+  Parameter p = MakeParam(2, 3, 11);
+  Rng rng(12);
+  const Tensor other = Tensor::GlorotUniform(2, 2, &rng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto w = tape.Leaf(&p);
+    auto cat = tape.ConcatCols({w, tape.Constant(other), w});
+    auto flat = tape.Reshape(cat, 16, 1);
+    std::vector<float> targets(16, 0.25f);
+    auto l = tape.MseLoss(flat, targets);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, GatherRowsScatterAddsGradient) {
+  Parameter p = MakeParam(4, 2, 13);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto t = tape.Leaf(&p);
+    // Row 1 gathered twice: gradient must accumulate.
+    auto g = tape.GatherRows(t, {1, -1, 1, 3});
+    auto l = tape.SumAll(tape.Mul(g, g));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, SegmentMean) {
+  Parameter p = MakeParam(4, 3, 14);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto x = tape.Leaf(&p);
+    auto s = tape.SegmentMean(x, {0, 2, 2, 4}, {0, 3, 1, 2});
+    auto l = tape.SumAll(tape.Mul(s, s));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, RowSoftmax) {
+  Parameter p = MakeParam(3, 4, 15);
+  Rng rng(16);
+  const Tensor weights = Tensor::GlorotUniform(3, 4, &rng);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto y = tape.RowSoftmax(tape.Leaf(&p));
+    auto l = tape.SumAll(tape.Mul(y, tape.Constant(weights)));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, ColBlockDotWrtBoth) {
+  const int64_t blocks = 3, d = 2, n = 4;
+  Parameter v = MakeParam(n, blocks * d, 17);
+  Parameter a = MakeParam(1, d, 18);
+  Rng rng(19);
+  const Tensor weights = Tensor::GlorotUniform(n, blocks, &rng);
+  auto build = [&](Tape* tape) {
+    auto s = tape->ColBlockDot(tape->Leaf(&v), tape->Leaf(&a), blocks);
+    auto l = tape->SumAll(tape->Mul(s, tape->Constant(weights)));
+    tape->Backward(l);
+    return tape->value(l).scalar();
+  };
+  auto loss = [&](bool) {
+    Tape tape;
+    return build(&tape);
+  };
+  EXPECT_LT(MaxGradError(&v, loss), kTol);
+  EXPECT_LT(MaxGradError(&a, loss), kTol);
+}
+
+TEST(TapeGradTest, ColBlockWeightedSumWrtBoth) {
+  const int64_t blocks = 3, d = 2, n = 4;
+  Parameter v = MakeParam(n, blocks * d, 20);
+  Parameter alpha = MakeParam(n, blocks, 21);
+  auto loss = [&](bool) {
+    Tape tape;
+    auto ctx = tape.ColBlockWeightedSum(tape.Leaf(&v), tape.Leaf(&alpha),
+                                        blocks);
+    auto l = tape.SumAll(tape.Mul(ctx, ctx));
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&v, loss), kTol);
+  EXPECT_LT(MaxGradError(&alpha, loss), kTol);
+}
+
+TEST(TapeGradTest, SoftmaxCrossEntropy) {
+  Parameter p = MakeParam(4, 3, 22);
+  const std::vector<int32_t> labels{0, 2, -1, 1};  // one ignored row
+  auto loss = [&](bool) {
+    Tape tape;
+    auto l = tape.SoftmaxCrossEntropy(tape.Leaf(&p), labels);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, SoftmaxCrossEntropyWithClassWeights) {
+  Parameter p = MakeParam(3, 3, 23);
+  const std::vector<int32_t> labels{0, 1, 2};
+  const std::vector<float> weights{2.0f, 1.0f, 0.5f};
+  auto loss = [&](bool) {
+    Tape tape;
+    auto l = tape.SoftmaxCrossEntropy(tape.Leaf(&p), labels, weights);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, FocalLoss) {
+  Parameter p = MakeParam(4, 3, 24);
+  const std::vector<int32_t> labels{2, 0, 1, -1};
+  auto loss = [&](bool) {
+    Tape tape;
+    auto l = tape.FocalLoss(tape.Leaf(&p), labels, 2.0f);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, MseLossWithMask) {
+  Parameter p = MakeParam(4, 1, 25);
+  const std::vector<float> targets{1.0f, -1.0f, 0.5f, 3.0f};
+  const std::vector<float> mask{1.0f, 0.0f, 1.0f, 1.0f};
+  auto loss = [&](bool) {
+    Tape tape;
+    auto l = tape.MseLoss(tape.Leaf(&p), targets, mask);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&p, loss), kTol);
+}
+
+TEST(TapeGradTest, CompositeTwoLayerNetwork) {
+  // End-to-end composite: gather -> concat -> matmul -> relu -> CE.
+  Parameter table = MakeParam(5, 3, 26);
+  Parameter w = MakeParam(6, 4, 27);
+  const std::vector<int32_t> labels{1, 3, 0};
+  auto loss = [&](bool) {
+    Tape tape;
+    auto t = tape.Leaf(&table);
+    auto g1 = tape.GatherRows(t, {0, 2, 4});
+    auto g2 = tape.GatherRows(t, {1, -1, 3});
+    auto x = tape.ConcatCols({g1, g2});
+    auto h = tape.Relu(tape.MatMul(x, tape.Leaf(&w)));
+    auto l = tape.SoftmaxCrossEntropy(h, labels);
+    tape.Backward(l);
+    return tape.value(l).scalar();
+  };
+  EXPECT_LT(MaxGradError(&table, loss), kTol);
+  EXPECT_LT(MaxGradError(&w, loss), kTol);
+}
+
+TEST(TapeTest, CrossEntropyIgnoresAllRowsGracefully) {
+  Tape tape;
+  auto x = tape.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  auto l = tape.SoftmaxCrossEntropy(x, {-1, -1});
+  EXPECT_EQ(tape.value(l).scalar(), 0.0f);
+  tape.Backward(l);  // must not crash
+}
+
+TEST(TapeTest, LeafAccumulatesIntoParameterGrad) {
+  Parameter p("p", Tensor::FromVector(1, 2, {1.0f, 2.0f}));
+  {
+    Tape tape;
+    auto l = tape.SumAll(tape.Leaf(&p));
+    tape.Backward(l);
+  }
+  EXPECT_EQ(p.grad.at(0, 0), 1.0f);
+  EXPECT_EQ(p.grad.at(0, 1), 1.0f);
+  {
+    Tape tape;
+    auto l = tape.SumAll(tape.Leaf(&p));
+    tape.Backward(l);
+  }
+  // Accumulates across tapes until ZeroGrad.
+  EXPECT_EQ(p.grad.at(0, 0), 2.0f);
+  p.ZeroGrad();
+  EXPECT_EQ(p.grad.at(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace grimp

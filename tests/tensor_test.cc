@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace grimp {
+namespace {
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+  t.Fill(2.5f);
+  EXPECT_EQ(t.at(1, 2), 2.5f);
+  t.Zero();
+  EXPECT_EQ(t.SumAbs(), 0.0f);
+}
+
+TEST(TensorTest, ScalarAndFull) {
+  Tensor s = Tensor::Scalar(4.0f);
+  EXPECT_EQ(s.scalar(), 4.0f);
+  Tensor f = Tensor::Full(2, 2, -1.0f);
+  EXPECT_EQ(f.Sum(), -4.0f);
+  EXPECT_EQ(f.MaxAbs(), 1.0f);
+}
+
+TEST(TensorTest, FromVectorLayoutIsRowMajor) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(TensorTest, AxpyAccumulates) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = Tensor::Full(2, 2, 3.0f);
+  a.Axpy(2.0f, b);
+  EXPECT_EQ(a.at(0, 0), 7.0f);
+}
+
+TEST(TensorTest, GlorotUniformIsBounded) {
+  Rng rng(3);
+  Tensor t = Tensor::GlorotUniform(10, 20, &rng);
+  const float limit = std::sqrt(6.0f / 30.0f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), limit);
+  }
+  // Not all zero.
+  EXPECT_GT(t.SumAbs(), 0.0f);
+}
+
+TEST(TensorTest, MatMulMatchesHandComputed) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, TransposedMatMulsAgreeWithExplicitTranspose) {
+  Rng rng(5);
+  Tensor a = Tensor::GlorotUniform(4, 3, &rng);
+  Tensor b = Tensor::GlorotUniform(4, 5, &rng);
+  // a^T * b via MatMulTransA.
+  Tensor at(3, 4);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b), MatMul(at, b)));
+
+  Tensor x = Tensor::GlorotUniform(2, 3, &rng);
+  Tensor y = Tensor::GlorotUniform(5, 3, &rng);
+  Tensor yt(3, 5);
+  for (int64_t r = 0; r < 5; ++r) {
+    for (int64_t c = 0; c < 3; ++c) yt.at(c, r) = y.at(r, c);
+  }
+  EXPECT_TRUE(AllClose(MatMulTransB(x, y), MatMul(x, yt)));
+}
+
+TEST(TensorTest, AllCloseDetectsShapeAndValueMismatch) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = Tensor::Full(2, 2, 1.0f);
+  EXPECT_TRUE(AllClose(a, b));
+  b.at(1, 1) += 1e-3f;
+  EXPECT_FALSE(AllClose(a, b, 1e-5f));
+  EXPECT_FALSE(AllClose(a, Tensor::Full(2, 3, 1.0f)));
+}
+
+}  // namespace
+}  // namespace grimp
