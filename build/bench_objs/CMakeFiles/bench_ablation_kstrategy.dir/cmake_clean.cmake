@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_kstrategy"
+  "../bench/bench_ablation_kstrategy.pdb"
+  "CMakeFiles/bench_ablation_kstrategy.dir/bench_ablation_kstrategy.cpp.o"
+  "CMakeFiles/bench_ablation_kstrategy.dir/bench_ablation_kstrategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kstrategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

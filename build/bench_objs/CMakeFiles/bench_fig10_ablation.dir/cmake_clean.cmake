@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_ablation"
+  "../bench/bench_fig10_ablation.pdb"
+  "CMakeFiles/bench_fig10_ablation.dir/bench_fig10_ablation.cpp.o"
+  "CMakeFiles/bench_fig10_ablation.dir/bench_fig10_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_error_dist_thoracic"
+  "../bench/bench_fig11_error_dist_thoracic.pdb"
+  "CMakeFiles/bench_fig11_error_dist_thoracic.dir/bench_fig11_error_dist_thoracic.cpp.o"
+  "CMakeFiles/bench_fig11_error_dist_thoracic.dir/bench_fig11_error_dist_thoracic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_error_dist_thoracic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_error_dist_contraceptive.cpp" "bench_objs/CMakeFiles/bench_fig12_error_dist_contraceptive.dir/bench_fig12_error_dist_contraceptive.cpp.o" "gcc" "bench_objs/CMakeFiles/bench_fig12_error_dist_contraceptive.dir/bench_fig12_error_dist_contraceptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_objs/CMakeFiles/grimp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/grimp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grimp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/grimp_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/grimp_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grimp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/grimp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/grimp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/grimp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/grimp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

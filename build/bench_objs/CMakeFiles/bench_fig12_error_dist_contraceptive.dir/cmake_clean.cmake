@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_error_dist_contraceptive"
+  "../bench/bench_fig12_error_dist_contraceptive.pdb"
+  "CMakeFiles/bench_fig12_error_dist_contraceptive.dir/bench_fig12_error_dist_contraceptive.cpp.o"
+  "CMakeFiles/bench_fig12_error_dist_contraceptive.dir/bench_fig12_error_dist_contraceptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_error_dist_contraceptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_substrates"
+  "../bench/bench_micro_substrates.pdb"
+  "CMakeFiles/bench_micro_substrates.dir/bench_micro_substrates.cpp.o"
+  "CMakeFiles/bench_micro_substrates.dir/bench_micro_substrates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

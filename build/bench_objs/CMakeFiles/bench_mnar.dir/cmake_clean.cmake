@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mnar"
+  "../bench/bench_mnar.pdb"
+  "CMakeFiles/bench_mnar.dir/bench_mnar.cpp.o"
+  "CMakeFiles/bench_mnar.dir/bench_mnar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

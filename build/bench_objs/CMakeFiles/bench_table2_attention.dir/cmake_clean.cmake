@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_attention"
+  "../bench/bench_table2_attention.pdb"
+  "CMakeFiles/bench_table2_attention.dir/bench_table2_attention.cpp.o"
+  "CMakeFiles/bench_table2_attention.dir/bench_table2_attention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_fds"
+  "../bench/bench_table3_fds.pdb"
+  "CMakeFiles/bench_table3_fds.dir/bench_table3_fds.cpp.o"
+  "CMakeFiles/bench_table3_fds.dir/bench_table3_fds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_matrix"
+  "../bench/bench_table5_matrix.pdb"
+  "CMakeFiles/bench_table5_matrix.dir/bench_table5_matrix.cpp.o"
+  "CMakeFiles/bench_table5_matrix.dir/bench_table5_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

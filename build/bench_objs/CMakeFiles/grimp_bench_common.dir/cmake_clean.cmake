@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/grimp_bench_common.dir/bench_common.cc.o.d"
+  "libgrimp_bench_common.a"
+  "libgrimp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/csv_imputation"
+  "../examples/csv_imputation.pdb"
+  "CMakeFiles/csv_imputation.dir/csv_imputation.cpp.o"
+  "CMakeFiles/csv_imputation.dir/csv_imputation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/error_analysis"
+  "../examples/error_analysis.pdb"
+  "CMakeFiles/error_analysis.dir/error_analysis.cpp.o"
+  "CMakeFiles/error_analysis.dir/error_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

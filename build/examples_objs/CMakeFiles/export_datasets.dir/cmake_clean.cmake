@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/export_datasets"
+  "../examples/export_datasets.pdb"
+  "CMakeFiles/export_datasets.dir/export_datasets.cpp.o"
+  "CMakeFiles/export_datasets.dir/export_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/fd_imputation"
+  "../examples/fd_imputation.pdb"
+  "CMakeFiles/fd_imputation.dir/fd_imputation.cpp.o"
+  "CMakeFiles/fd_imputation.dir/fd_imputation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

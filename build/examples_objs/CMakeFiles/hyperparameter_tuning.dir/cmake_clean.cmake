@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hyperparameter_tuning"
+  "../examples/hyperparameter_tuning.pdb"
+  "CMakeFiles/hyperparameter_tuning.dir/hyperparameter_tuning.cpp.o"
+  "CMakeFiles/hyperparameter_tuning.dir/hyperparameter_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparameter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/transfer_imputation"
+  "../examples/transfer_imputation.pdb"
+  "CMakeFiles/transfer_imputation.dir/transfer_imputation.cpp.o"
+  "CMakeFiles/transfer_imputation.dir/transfer_imputation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

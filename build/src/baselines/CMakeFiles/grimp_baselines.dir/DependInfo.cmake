@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aimnet.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/aimnet.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/aimnet.cc.o.d"
+  "/root/repo/src/baselines/datawig.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/datawig.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/datawig.cc.o.d"
+  "/root/repo/src/baselines/decision_tree.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/decision_tree.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/decision_tree.cc.o.d"
+  "/root/repo/src/baselines/fd_repair.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/fd_repair.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/fd_repair.cc.o.d"
+  "/root/repo/src/baselines/featurize.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/featurize.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/featurize.cc.o.d"
+  "/root/repo/src/baselines/knn.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/knn.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/knn.cc.o.d"
+  "/root/repo/src/baselines/mean_mode.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/mean_mode.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/mean_mode.cc.o.d"
+  "/root/repo/src/baselines/mice.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/mice.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/mice.cc.o.d"
+  "/root/repo/src/baselines/mida.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/mida.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/mida.cc.o.d"
+  "/root/repo/src/baselines/missforest.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/missforest.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/missforest.cc.o.d"
+  "/root/repo/src/baselines/random_forest.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/random_forest.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/random_forest.cc.o.d"
+  "/root/repo/src/baselines/turl_proxy.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/turl_proxy.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/turl_proxy.cc.o.d"
+  "/root/repo/src/baselines/zoo.cc" "src/baselines/CMakeFiles/grimp_baselines.dir/zoo.cc.o" "gcc" "src/baselines/CMakeFiles/grimp_baselines.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/grimp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/grimp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/grimp_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/grimp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grimp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/grimp_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grimp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

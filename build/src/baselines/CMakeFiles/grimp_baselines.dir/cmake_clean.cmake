@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_baselines.dir/aimnet.cc.o"
+  "CMakeFiles/grimp_baselines.dir/aimnet.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/datawig.cc.o"
+  "CMakeFiles/grimp_baselines.dir/datawig.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/decision_tree.cc.o"
+  "CMakeFiles/grimp_baselines.dir/decision_tree.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/fd_repair.cc.o"
+  "CMakeFiles/grimp_baselines.dir/fd_repair.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/featurize.cc.o"
+  "CMakeFiles/grimp_baselines.dir/featurize.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/knn.cc.o"
+  "CMakeFiles/grimp_baselines.dir/knn.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/mean_mode.cc.o"
+  "CMakeFiles/grimp_baselines.dir/mean_mode.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/mice.cc.o"
+  "CMakeFiles/grimp_baselines.dir/mice.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/mida.cc.o"
+  "CMakeFiles/grimp_baselines.dir/mida.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/missforest.cc.o"
+  "CMakeFiles/grimp_baselines.dir/missforest.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/random_forest.cc.o"
+  "CMakeFiles/grimp_baselines.dir/random_forest.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/turl_proxy.cc.o"
+  "CMakeFiles/grimp_baselines.dir/turl_proxy.cc.o.d"
+  "CMakeFiles/grimp_baselines.dir/zoo.cc.o"
+  "CMakeFiles/grimp_baselines.dir/zoo.cc.o.d"
+  "libgrimp_baselines.a"
+  "libgrimp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_common.dir/binary_io.cc.o"
+  "CMakeFiles/grimp_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/grimp_common.dir/csv.cc.o"
+  "CMakeFiles/grimp_common.dir/csv.cc.o.d"
+  "CMakeFiles/grimp_common.dir/logging.cc.o"
+  "CMakeFiles/grimp_common.dir/logging.cc.o.d"
+  "CMakeFiles/grimp_common.dir/rng.cc.o"
+  "CMakeFiles/grimp_common.dir/rng.cc.o.d"
+  "CMakeFiles/grimp_common.dir/status.cc.o"
+  "CMakeFiles/grimp_common.dir/status.cc.o.d"
+  "CMakeFiles/grimp_common.dir/string_util.cc.o"
+  "CMakeFiles/grimp_common.dir/string_util.cc.o.d"
+  "libgrimp_common.a"
+  "libgrimp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_core.dir/corpus.cc.o"
+  "CMakeFiles/grimp_core.dir/corpus.cc.o.d"
+  "CMakeFiles/grimp_core.dir/engine.cc.o"
+  "CMakeFiles/grimp_core.dir/engine.cc.o.d"
+  "CMakeFiles/grimp_core.dir/grimp.cc.o"
+  "CMakeFiles/grimp_core.dir/grimp.cc.o.d"
+  "CMakeFiles/grimp_core.dir/tasks.cc.o"
+  "CMakeFiles/grimp_core.dir/tasks.cc.o.d"
+  "CMakeFiles/grimp_core.dir/tuner.cc.o"
+  "CMakeFiles/grimp_core.dir/tuner.cc.o.d"
+  "libgrimp_core.a"
+  "libgrimp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_data.dir/datasets.cc.o"
+  "CMakeFiles/grimp_data.dir/datasets.cc.o.d"
+  "libgrimp_data.a"
+  "libgrimp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embdi.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/embdi.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/embdi.cc.o.d"
+  "/root/repo/src/embedding/feature_init.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/feature_init.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/feature_init.cc.o.d"
+  "/root/repo/src/embedding/ngram_init.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/ngram_init.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/ngram_init.cc.o.d"
+  "/root/repo/src/embedding/random_init.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/random_init.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/random_init.cc.o.d"
+  "/root/repo/src/embedding/skipgram.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/skipgram.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/skipgram.cc.o.d"
+  "/root/repo/src/embedding/walks.cc" "src/embedding/CMakeFiles/grimp_embedding.dir/walks.cc.o" "gcc" "src/embedding/CMakeFiles/grimp_embedding.dir/walks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/grimp_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grimp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/grimp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

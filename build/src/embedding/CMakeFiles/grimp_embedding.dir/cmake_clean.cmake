@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_embedding.dir/embdi.cc.o"
+  "CMakeFiles/grimp_embedding.dir/embdi.cc.o.d"
+  "CMakeFiles/grimp_embedding.dir/feature_init.cc.o"
+  "CMakeFiles/grimp_embedding.dir/feature_init.cc.o.d"
+  "CMakeFiles/grimp_embedding.dir/ngram_init.cc.o"
+  "CMakeFiles/grimp_embedding.dir/ngram_init.cc.o.d"
+  "CMakeFiles/grimp_embedding.dir/random_init.cc.o"
+  "CMakeFiles/grimp_embedding.dir/random_init.cc.o.d"
+  "CMakeFiles/grimp_embedding.dir/skipgram.cc.o"
+  "CMakeFiles/grimp_embedding.dir/skipgram.cc.o.d"
+  "CMakeFiles/grimp_embedding.dir/walks.cc.o"
+  "CMakeFiles/grimp_embedding.dir/walks.cc.o.d"
+  "libgrimp_embedding.a"
+  "libgrimp_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

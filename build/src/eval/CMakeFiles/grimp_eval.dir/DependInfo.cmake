@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/error_analysis.cc" "src/eval/CMakeFiles/grimp_eval.dir/error_analysis.cc.o" "gcc" "src/eval/CMakeFiles/grimp_eval.dir/error_analysis.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/grimp_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/grimp_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/grimp_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/grimp_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/eval/CMakeFiles/grimp_eval.dir/runner.cc.o" "gcc" "src/eval/CMakeFiles/grimp_eval.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/grimp_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_eval.dir/error_analysis.cc.o"
+  "CMakeFiles/grimp_eval.dir/error_analysis.cc.o.d"
+  "CMakeFiles/grimp_eval.dir/metrics.cc.o"
+  "CMakeFiles/grimp_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/grimp_eval.dir/report.cc.o"
+  "CMakeFiles/grimp_eval.dir/report.cc.o.d"
+  "CMakeFiles/grimp_eval.dir/runner.cc.o"
+  "CMakeFiles/grimp_eval.dir/runner.cc.o.d"
+  "libgrimp_eval.a"
+  "libgrimp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

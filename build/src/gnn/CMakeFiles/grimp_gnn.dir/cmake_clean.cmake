@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_gnn.dir/hetero_sage.cc.o"
+  "CMakeFiles/grimp_gnn.dir/hetero_sage.cc.o.d"
+  "libgrimp_gnn.a"
+  "libgrimp_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

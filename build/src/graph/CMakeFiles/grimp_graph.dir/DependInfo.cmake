@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/grimp_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/grimp_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "src/graph/CMakeFiles/grimp_graph.dir/hetero_graph.cc.o" "gcc" "src/graph/CMakeFiles/grimp_graph.dir/hetero_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/grimp_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_graph.dir/builder.cc.o"
+  "CMakeFiles/grimp_graph.dir/builder.cc.o.d"
+  "CMakeFiles/grimp_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/grimp_graph.dir/hetero_graph.cc.o.d"
+  "libgrimp_graph.a"
+  "libgrimp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

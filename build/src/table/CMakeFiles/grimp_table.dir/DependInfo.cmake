@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/table/CMakeFiles/grimp_table.dir/column.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/column.cc.o.d"
+  "/root/repo/src/table/corruption.cc" "src/table/CMakeFiles/grimp_table.dir/corruption.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/corruption.cc.o.d"
+  "/root/repo/src/table/dictionary.cc" "src/table/CMakeFiles/grimp_table.dir/dictionary.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/dictionary.cc.o.d"
+  "/root/repo/src/table/fd.cc" "src/table/CMakeFiles/grimp_table.dir/fd.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/fd.cc.o.d"
+  "/root/repo/src/table/normalizer.cc" "src/table/CMakeFiles/grimp_table.dir/normalizer.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/normalizer.cc.o.d"
+  "/root/repo/src/table/stats.cc" "src/table/CMakeFiles/grimp_table.dir/stats.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/stats.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/grimp_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/grimp_table.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grimp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_table.dir/column.cc.o"
+  "CMakeFiles/grimp_table.dir/column.cc.o.d"
+  "CMakeFiles/grimp_table.dir/corruption.cc.o"
+  "CMakeFiles/grimp_table.dir/corruption.cc.o.d"
+  "CMakeFiles/grimp_table.dir/dictionary.cc.o"
+  "CMakeFiles/grimp_table.dir/dictionary.cc.o.d"
+  "CMakeFiles/grimp_table.dir/fd.cc.o"
+  "CMakeFiles/grimp_table.dir/fd.cc.o.d"
+  "CMakeFiles/grimp_table.dir/normalizer.cc.o"
+  "CMakeFiles/grimp_table.dir/normalizer.cc.o.d"
+  "CMakeFiles/grimp_table.dir/stats.cc.o"
+  "CMakeFiles/grimp_table.dir/stats.cc.o.d"
+  "CMakeFiles/grimp_table.dir/table.cc.o"
+  "CMakeFiles/grimp_table.dir/table.cc.o.d"
+  "libgrimp_table.a"
+  "libgrimp_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

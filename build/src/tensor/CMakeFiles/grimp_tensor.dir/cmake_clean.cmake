@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_tensor.dir/nn.cc.o"
+  "CMakeFiles/grimp_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/grimp_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/grimp_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/grimp_tensor.dir/tape.cc.o"
+  "CMakeFiles/grimp_tensor.dir/tape.cc.o.d"
+  "CMakeFiles/grimp_tensor.dir/tensor.cc.o"
+  "CMakeFiles/grimp_tensor.dir/tensor.cc.o.d"
+  "libgrimp_tensor.a"
+  "libgrimp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

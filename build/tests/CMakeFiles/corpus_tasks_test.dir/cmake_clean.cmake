@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_tasks_test.dir/corpus_tasks_test.cc.o"
+  "CMakeFiles/corpus_tasks_test.dir/corpus_tasks_test.cc.o.d"
+  "corpus_tasks_test"
+  "corpus_tasks_test.pdb"
+  "corpus_tasks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_corruption_test.dir/fd_corruption_test.cc.o"
+  "CMakeFiles/fd_corruption_test.dir/fd_corruption_test.cc.o.d"
+  "fd_corruption_test"
+  "fd_corruption_test.pdb"
+  "fd_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grimp_test.dir/grimp_test.cc.o"
+  "CMakeFiles/grimp_test.dir/grimp_test.cc.o.d"
+  "grimp_test"
+  "grimp_test.pdb"
+  "grimp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grimp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
