@@ -1,0 +1,147 @@
+// GEMM kernel benchmark: naive single-threaded reference vs the blocked
+// multi-threaded kernels in src/tensor/tensor.cc, over shapes representative
+// of GRIMP training (node-count x hidden-dim panels), at 1/2/4/N threads.
+//
+// Prints a GFLOP/s table and writes machine-readable results to
+// BENCH_gemm.json (cwd) so future PRs can track the perf trajectory.
+// Exits non-zero if any blocked kernel disagrees with the naive reference
+// beyond rtol 1e-4.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using grimp::Tensor;
+
+double BestSeconds(const std::function<Tensor()>& fn, int reps,
+                   Tensor* out = nullptr) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Tensor result = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    if (out != nullptr && r == 0) *out = std::move(result);
+  }
+  return best;
+}
+
+struct Shape {
+  int64_t m, k, n;
+  const char* why;
+};
+
+}  // namespace
+
+int main() {
+  // Shapes: (nodes x dim) * (dim x hidden) panels from the engine forward,
+  // plus ragged sizes that exercise the edge tiles.
+  const std::vector<Shape> shapes = {
+      {1024, 256, 256, "acceptance shape (ISSUE 1)"},
+      {4096, 32, 64, "GNN layer: nodes x dim -> hidden"},
+      {2048, 64, 64, "shared merge layer"},
+      {512, 128, 512, "task head logits"},
+      {1000, 50, 17, "ragged edge tiles"},
+  };
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts{1, 2, 4, static_cast<int>(hw)};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  grimp::Rng rng(7);
+  const int reps = 5;
+  bool all_ok = true;
+  std::string json = "{\n  \"hardware_concurrency\": " +
+                     std::to_string(hw) + ",\n  \"shapes\": [\n";
+
+  std::printf("%-22s %-10s %9s %9s | per-thread-count blocked GFLOP/s (speedup vs naive)\n",
+              "shape (MxKxN)", "kernel", "naive ms", "GFLOP/s");
+  for (size_t si = 0; si < shapes.size(); ++si) {
+    const Shape& s = shapes[si];
+    const Tensor a = Tensor::RandomNormal(s.m, s.k, 1.0f, &rng);
+    const Tensor b = Tensor::RandomNormal(s.k, s.n, 1.0f, &rng);
+    const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+
+    Tensor ref;
+    const double naive_s =
+        BestSeconds([&]() { return grimp::MatMulNaive(a, b); }, reps, &ref);
+    const double naive_gflops = flops / naive_s * 1e-9;
+    std::printf("%6lld x%5lld x%5lld   %-10s %9.3f %9.2f | ",
+                static_cast<long long>(s.m), static_cast<long long>(s.k),
+                static_cast<long long>(s.n), "naive", naive_s * 1e3,
+                naive_gflops);
+
+    json += "    {\"m\": " + std::to_string(s.m) +
+            ", \"k\": " + std::to_string(s.k) +
+            ", \"n\": " + std::to_string(s.n) + ", \"why\": \"" + s.why +
+            "\",\n     \"naive_seconds\": " + std::to_string(naive_s) +
+            ", \"naive_gflops\": " + std::to_string(naive_gflops) +
+            ",\n     \"blocked\": [";
+
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const int t = thread_counts[ti];
+      grimp::ThreadPool::SetGlobalThreads(t);
+      Tensor blocked;
+      const double bs =
+          BestSeconds([&]() { return grimp::MatMul(a, b); }, reps, &blocked);
+      const bool ok = grimp::AllClose(blocked, ref, 1e-5f, 1e-4f);
+      all_ok = all_ok && ok;
+      const double gf = flops / bs * 1e-9;
+      const double speedup = naive_s / bs;
+      std::printf("t=%d: %.2f (%.2fx)%s  ", t, gf, speedup,
+                  ok ? "" : " MISMATCH");
+      json += std::string(ti == 0 ? "" : ", ") + "{\"threads\": " +
+              std::to_string(t) + ", \"seconds\": " + std::to_string(bs) +
+              ", \"gflops\": " + std::to_string(gf) +
+              ", \"speedup_vs_naive\": " + std::to_string(speedup) +
+              ", \"matches_naive\": " + (ok ? "true" : "false") + "}";
+    }
+    std::printf("\n");
+    json += "]}";
+    json += (si + 1 < shapes.size()) ? ",\n" : "\n";
+
+    // Also sanity-check the transpose variants on this shape at max threads.
+    Tensor at(s.k, s.m);
+    for (int64_t r = 0; r < s.m; ++r) {
+      for (int64_t c = 0; c < s.k; ++c) at.at(c, r) = a.at(r, c);
+    }
+    Tensor bt(s.n, s.k);
+    for (int64_t r = 0; r < s.k; ++r) {
+      for (int64_t c = 0; c < s.n; ++c) bt.at(c, r) = b.at(r, c);
+    }
+    if (!grimp::AllClose(grimp::MatMulTransA(at, b), ref, 1e-5f, 1e-4f) ||
+        !grimp::AllClose(grimp::MatMulTransB(a, bt), ref, 1e-5f, 1e-4f)) {
+      std::printf("  TRANSPOSE-VARIANT MISMATCH at %lldx%lldx%lld\n",
+                  static_cast<long long>(s.m), static_cast<long long>(s.k),
+                  static_cast<long long>(s.n));
+      all_ok = false;
+    }
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_gemm.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_gemm.json\n");
+  } else {
+    std::printf("\nWARNING: could not write BENCH_gemm.json\n");
+  }
+  if (!all_ok) {
+    std::printf("FAIL: blocked kernels disagree with naive reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#ifndef GRIMP_COMMON_THREAD_POOL_H_
+#define GRIMP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grimp {
+
+// Fixed-size worker pool with a deterministic chunked parallel-for.
+//
+// Determinism contract: ParallelFor splits [begin, end) into chunks whose
+// boundaries depend only on (begin, end, grain) — never on the number of
+// threads or on scheduling order. Chunks write to disjoint index ranges, so
+// any kernel whose chunk bodies touch only their own indices produces
+// bit-identical results at every thread count (1 worker and N workers run
+// the exact same chunk list, just interleaved differently in time).
+// Reductions use ParallelReduce, which accumulates one partial per chunk
+// and combines the partials in ascending chunk order on the calling thread,
+// so reduction results are also independent of thread count.
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers. num_threads <= 1 means "no workers":
+  // all work runs inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(chunk_begin, chunk_end) over static chunks of [begin, end).
+  // `grain` is the target chunk length (clamped to >= 1). Blocks until all
+  // chunks are done. Safe to call from inside a worker (nested calls run
+  // inline on the caller to avoid deadlock); concurrent calls from
+  // different external threads serialize on an internal mutex.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Deterministic chunked reduction: partial = fn(chunk_begin, chunk_end)
+  // per chunk, combined in ascending chunk order by `combine` on the
+  // calling thread.
+  double ParallelReduce(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<double(int64_t, int64_t)>& fn,
+                        const std::function<double(double, double)>& combine);
+
+  // The process-wide pool. Sized on first use from GRIMP_NUM_THREADS (env)
+  // or std::thread::hardware_concurrency(). SetGlobalThreads() resizes it
+  // (call before/between parallel regions, not during one).
+  static ThreadPool& Global();
+  static void SetGlobalThreads(int num_threads);
+  // Thread count the global pool would use if created now (env var /
+  // explicit override / hardware default), without forcing creation.
+  static int GlobalThreads();
+
+ private:
+  struct ForLoop {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int64_t> next_chunk{0};
+    int64_t num_chunks = 0;
+  };
+
+  void WorkerMain();
+  static void RunChunks(ForLoop* loop);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                 // guards loop_ hand-off + stop_
+  std::condition_variable cv_;    // workers wait for a new loop
+  std::condition_variable done_cv_;
+  ForLoop* loop_ = nullptr;       // current loop, null when idle
+  uint64_t epoch_ = 0;            // bumped per ParallelFor so workers wake once
+  int active_workers_ = 0;        // workers currently holding loop_
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serializes external ParallelFor callers
+};
+
+// Convenience wrappers over ThreadPool::Global(). Work smaller than
+// `min_size` (total indices) runs inline without touching the pool.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// True when [0, n) is worth parallelizing (pool has >1 thread and n is at
+// least kParallelThreshold).
+bool ShouldParallelize(int64_t n);
+
+// Elementwise loops below this many indices run serially: pool dispatch
+// costs ~a few microseconds, which swamps small kernels.
+inline constexpr int64_t kParallelThreshold = 4096;
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_THREAD_POOL_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/binary_io.h"
+#include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
 #include "tensor/optimizer.h"
@@ -52,7 +53,11 @@ std::vector<float> LogPriorBias(const Dictionary& dict) {
 }  // namespace
 
 GrimpEngine::GrimpEngine(GrimpOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.num_threads > 0) {
+    ThreadPool::SetGlobalThreads(options_.num_threads);
+  }
+}
 
 Status GrimpEngine::CheckSchema(const Table& table) const {
   if (table.num_cols() != schema_.num_fields()) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/corpus.h"
 #include "core/tasks.h"
 #include "gnn/hetero_sage.h"
@@ -91,7 +92,11 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 GrimpImputer::GrimpImputer(GrimpOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.num_threads > 0) {
+    ThreadPool::SetGlobalThreads(options_.num_threads);
+  }
+}
 
 std::string GrimpImputer::name() const {
   std::string n = "GRIMP";

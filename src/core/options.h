@@ -72,6 +72,12 @@ struct GrimpOptions {
   // Input FDs consumed by the kWeakDiagonalFd strategy (§4.3).
   std::vector<FunctionalDependency> fds;
 
+  // Worker threads for the shared compute pool (GEMM + autograd kernels).
+  // 0 = auto: GRIMP_NUM_THREADS env var, else hardware_concurrency. Results
+  // are identical at every thread count (fixed chunking; see
+  // common/thread_pool.h).
+  int num_threads = 0;
+
   uint64_t seed = 42;
   bool verbose = false;
 };

@@ -2,20 +2,57 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace grimp {
+
+namespace {
+
+// Flat elementwise loop over [0, n), chunked onto the global pool above the
+// dispatch-worthiness threshold. Chunks are index-disjoint, so results are
+// identical at every thread count.
+template <typename Fn>
+void ForEachIndex(int64_t n, Fn&& fn) {
+  if (ShouldParallelize(n)) {
+    ParallelFor(0, n, kParallelThreshold, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) fn(i);
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 void Optimizer::ClipGradNorm(float max_norm) {
   double sq = 0.0;
   for (Parameter* p : params_) {
-    for (int64_t i = 0; i < p->grad.size(); ++i) {
-      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    const int64_t n = p->grad.size();
+    if (ShouldParallelize(n)) {
+      // Per-chunk partials combined in ascending chunk order: deterministic
+      // for any thread count (boundaries depend only on n and the grain).
+      sq += ThreadPool::Global().ParallelReduce(
+          0, n, kParallelThreshold,
+          [&](int64_t b, int64_t e) {
+            double acc = 0.0;
+            for (int64_t i = b; i < e; ++i) {
+              acc += static_cast<double>(p->grad[i]) * p->grad[i];
+            }
+            return acc;
+          },
+          [](double a, double b) { return a + b; });
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      }
     }
   }
   const double norm = std::sqrt(sq);
   if (norm <= max_norm || norm == 0.0) return;
   const float scale = static_cast<float>(max_norm / norm);
   for (Parameter* p : params_) {
-    for (int64_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+    Tensor& grad = p->grad;
+    ForEachIndex(grad.size(), [&](int64_t i) { grad[i] *= scale; });
   }
 }
 
@@ -34,10 +71,10 @@ void Sgd::Step() {
     Parameter* p = params_[k];
     if (momentum_ != 0.0f) {
       Tensor& vel = velocity_[k];
-      for (int64_t i = 0; i < p->value.size(); ++i) {
+      ForEachIndex(p->value.size(), [&](int64_t i) {
         vel[i] = momentum_ * vel[i] + p->grad[i];
         p->value[i] -= lr_ * vel[i];
-      }
+      });
     } else {
       p->value.Axpy(-lr_, p->grad);
     }
@@ -64,7 +101,7 @@ void Adam::Step() {
     Parameter* p = params_[k];
     Tensor& m = m_[k];
     Tensor& v = v_[k];
-    for (int64_t i = 0; i < p->value.size(); ++i) {
+    ForEachIndex(p->value.size(), [&](int64_t i) {
       float g = p->grad[i];
       if (weight_decay_ != 0.0f) g += weight_decay_ * p->value[i];
       m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
@@ -72,7 +109,7 @@ void Adam::Step() {
       const float mhat = m[i] / bc1;
       const float vhat = v[i] / bc2;
       p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    });
   }
 }
 

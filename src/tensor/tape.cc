@@ -1,9 +1,43 @@
 #include "tensor/tape.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace grimp {
+
+namespace {
+
+// Runs fn(begin, end) over [0, n), chunked onto the global pool when the
+// loop is big enough to amortize dispatch; serially (zero overhead, no
+// std::function allocation) otherwise. Chunk boundaries depend only on n,
+// so any fn touching only its own indices is deterministic at every thread
+// count.
+template <typename Fn>
+void ParallelRange(int64_t n, Fn&& fn) {
+  if (ShouldParallelize(n)) {
+    ParallelFor(0, n, kParallelThreshold, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+// Row-chunked variant: parallel when the total element count (rows * width)
+// is worth it. fn gets a [row_begin, row_end) range.
+template <typename Fn>
+void ParallelRows(int64_t rows, int64_t width, Fn&& fn) {
+  if (width > 0 && ShouldParallelize(rows * width)) {
+    const int64_t grain =
+        std::max<int64_t>(1, kParallelThreshold / width);
+    ParallelFor(0, rows, grain, fn);
+  } else {
+    fn(0, rows);
+  }
+}
+
+}  // namespace
 
 Tape::VarId Tape::PushNode(Tensor value, std::function<void()> backward) {
   Node node;
@@ -48,17 +82,23 @@ Tape::VarId Tape::AddBias(VarId x, VarId bias) {
   Tensor out = xv;
   const int64_t n = xv.rows();
   const int64_t d = xv.cols();
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t c = 0; c < d; ++c) out.at(r, c) += bv.at(0, c);
-  }
+  ParallelRows(n, d, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < d; ++c) out.at(r, c) += bv.at(0, c);
+    }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, bias]() {
     const Tensor& g = nodes_[id].grad;
     nodes_[x].grad.Axpy(1.0f, g);
     Tensor& bg = nodes_[bias].grad;
-    for (int64_t r = 0; r < g.rows(); ++r) {
-      for (int64_t c = 0; c < g.cols(); ++c) bg.at(0, c) += g.at(r, c);
-    }
+    // Column-chunked so chunks write disjoint bias entries; each column
+    // still sums rows in ascending order (deterministic).
+    ParallelRows(g.cols(), g.rows(), [&](int64_t c0, int64_t c1) {
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        for (int64_t c = c0; c < c1; ++c) bg.at(0, c) += g.at(r, c);
+      }
+    });
   };
   return id;
 }
@@ -82,7 +122,9 @@ Tape::VarId Tape::Mul(VarId a, VarId b) {
   const Tensor& bv = nodes_[b].value;
   GRIMP_CHECK(av.SameShape(bv));
   Tensor out = av;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] *= bv[i];
+  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] *= bv[i];
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, a, b]() {
     const Tensor& g = nodes_[id].grad;
@@ -90,17 +132,21 @@ Tape::VarId Tape::Mul(VarId a, VarId b) {
     Tensor& bg = nodes_[b].grad;
     const Tensor& av = nodes_[a].value;
     const Tensor& bv = nodes_[b].value;
-    for (int64_t i = 0; i < g.size(); ++i) {
-      ag[i] += g[i] * bv[i];
-      bg[i] += g[i] * av[i];
-    }
+    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        ag[i] += g[i] * bv[i];
+        bg[i] += g[i] * av[i];
+      }
+    });
   };
   return id;
 }
 
 Tape::VarId Tape::Scale(VarId x, float alpha) {
   Tensor out = nodes_[x].value;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] *= alpha;
+  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] *= alpha;
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, alpha]() {
     nodes_[x].grad.Axpy(alpha, nodes_[id].grad);
@@ -112,59 +158,81 @@ Tape::VarId Tape::RowScale(VarId x, std::vector<float> s) {
   const Tensor& xv = nodes_[x].value;
   GRIMP_CHECK_EQ(static_cast<int64_t>(s.size()), xv.rows());
   Tensor out = xv;
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    for (int64_t c = 0; c < out.cols(); ++c) out.at(r, c) *= s[r];
-  }
+  ParallelRows(out.rows(), out.cols(), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < out.cols(); ++c) out.at(r, c) *= s[r];
+    }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, s = std::move(s)]() {
     const Tensor& g = nodes_[id].grad;
     Tensor& xg = nodes_[x].grad;
-    for (int64_t r = 0; r < g.rows(); ++r) {
-      for (int64_t c = 0; c < g.cols(); ++c) xg.at(r, c) += g.at(r, c) * s[r];
-    }
+    ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < g.cols(); ++c) {
+          xg.at(r, c) += g.at(r, c) * s[r];
+        }
+      }
+    });
   };
   return id;
 }
 
 Tape::VarId Tape::Relu(VarId x) {
   Tensor out = nodes_[x].value;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = out[i] > 0 ? out[i] : 0;
+  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = out[i] > 0 ? out[i] : 0;
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
     Tensor& xg = nodes_[x].grad;
-    for (int64_t i = 0; i < g.size(); ++i) {
-      if (v[i] > 0) xg[i] += g[i];
-    }
+    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        if (v[i] > 0) xg[i] += g[i];
+      }
+    });
   };
   return id;
 }
 
 Tape::VarId Tape::Tanh(VarId x) {
   Tensor out = nodes_[x].value;
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = std::tanh(out[i]);
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
     Tensor& xg = nodes_[x].grad;
-    for (int64_t i = 0; i < g.size(); ++i) xg[i] += g[i] * (1.0f - v[i] * v[i]);
+    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        xg[i] += g[i] * (1.0f - v[i] * v[i]);
+      }
+    });
   };
   return id;
 }
 
 Tape::VarId Tape::Sigmoid(VarId x) {
   Tensor out = nodes_[x].value;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  }
+  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+    }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
     Tensor& xg = nodes_[x].grad;
-    for (int64_t i = 0; i < g.size(); ++i) xg[i] += g[i] * v[i] * (1.0f - v[i]);
+    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        xg[i] += g[i] * v[i] * (1.0f - v[i]);
+      }
+    });
   };
   return id;
 }
@@ -178,29 +246,33 @@ Tape::VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
     total_cols += nodes_[x].value.cols();
   }
   Tensor out(n, total_cols);
-  int64_t col_off = 0;
-  for (VarId x : xs) {
-    const Tensor& v = nodes_[x].value;
-    for (int64_t r = 0; r < n; ++r) {
-      for (int64_t c = 0; c < v.cols(); ++c) {
-        out.at(r, col_off + c) = v.at(r, c);
+  ParallelRows(n, total_cols, [&](int64_t r0, int64_t r1) {
+    int64_t col_off = 0;
+    for (VarId x : xs) {
+      const Tensor& v = nodes_[x].value;
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < v.cols(); ++c) {
+          out.at(r, col_off + c) = v.at(r, c);
+        }
       }
+      col_off += v.cols();
     }
-    col_off += v.cols();
-  }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, xs]() {
     const Tensor& g = nodes_[id].grad;
-    int64_t off = 0;
-    for (VarId x : xs) {
-      Tensor& xg = nodes_[x].grad;
-      for (int64_t r = 0; r < g.rows(); ++r) {
-        for (int64_t c = 0; c < xg.cols(); ++c) {
-          xg.at(r, c) += g.at(r, off + c);
+    ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
+      int64_t off = 0;
+      for (VarId x : xs) {
+        Tensor& xg = nodes_[x].grad;
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = 0; c < xg.cols(); ++c) {
+            xg.at(r, c) += g.at(r, off + c);
+          }
         }
+        off += xg.cols();
       }
-      off += xg.cols();
-    }
+    });
   };
   return id;
 }
@@ -209,14 +281,17 @@ Tape::VarId Tape::GatherRows(VarId table, std::vector<int32_t> rows) {
   const Tensor& tv = nodes_[table].value;
   const int64_t d = tv.cols();
   Tensor out(static_cast<int64_t>(rows.size()), d);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    int32_t r = rows[i];
-    if (r < 0) continue;  // missing-value sentinel -> zero row
-    GRIMP_DCHECK(r < tv.rows());
-    for (int64_t c = 0; c < d; ++c) {
-      out.at(static_cast<int64_t>(i), c) = tv.at(r, c);
+  // Forward gather is row-disjoint; the backward scatter-add stays serial
+  // because duplicate indices in `rows` would race.
+  ParallelRows(static_cast<int64_t>(rows.size()), d,
+               [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int32_t r = rows[static_cast<size_t>(i)];
+      if (r < 0) continue;  // missing-value sentinel -> zero row
+      GRIMP_DCHECK(r < tv.rows());
+      for (int64_t c = 0; c < d; ++c) out.at(i, c) = tv.at(r, c);
     }
-  }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, table, rows = std::move(rows)]() {
     const Tensor& g = nodes_[id].grad;
@@ -239,18 +314,22 @@ Tape::VarId Tape::SegmentMean(VarId x, std::vector<int32_t> offsets,
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   const int64_t d = xv.cols();
   Tensor out(num_segments, d);
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const int32_t begin = offsets[s];
-    const int32_t end = offsets[s + 1];
-    GRIMP_DCHECK(begin <= end);
-    if (begin == end) continue;
-    const float inv = 1.0f / static_cast<float>(end - begin);
-    for (int32_t e = begin; e < end; ++e) {
-      const int32_t j = indices[e];
-      GRIMP_DCHECK(j >= 0 && j < xv.rows());
-      for (int64_t c = 0; c < d; ++c) out.at(s, c) += xv.at(j, c) * inv;
+  // Segments own disjoint output rows; the backward scatter-add stays
+  // serial because segments share input rows.
+  ParallelRows(num_segments, d, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      const int32_t begin = offsets[static_cast<size_t>(s)];
+      const int32_t end = offsets[static_cast<size_t>(s + 1)];
+      GRIMP_DCHECK(begin <= end);
+      if (begin == end) continue;
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      for (int32_t e = begin; e < end; ++e) {
+        const int32_t j = indices[static_cast<size_t>(e)];
+        GRIMP_DCHECK(j >= 0 && j < xv.rows());
+        for (int64_t c = 0; c < d; ++c) out.at(s, c) += xv.at(j, c) * inv;
+      }
     }
-  }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, offsets = std::move(offsets),
                          indices = std::move(indices)]() {
@@ -292,18 +371,20 @@ Tape::VarId Tape::Reshape(VarId x, int64_t rows, int64_t cols) {
 namespace {
 // Writes row-wise softmax of `in` into `out` (may alias).
 void RowSoftmaxInto(const Tensor& in, Tensor* out) {
-  for (int64_t r = 0; r < in.rows(); ++r) {
-    float mx = in.at(r, 0);
-    for (int64_t c = 1; c < in.cols(); ++c) mx = std::max(mx, in.at(r, c));
-    float sum = 0.0f;
-    for (int64_t c = 0; c < in.cols(); ++c) {
-      float e = std::exp(in.at(r, c) - mx);
-      out->at(r, c) = e;
-      sum += e;
+  ParallelRows(in.rows(), in.cols(), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      float mx = in.at(r, 0);
+      for (int64_t c = 1; c < in.cols(); ++c) mx = std::max(mx, in.at(r, c));
+      float sum = 0.0f;
+      for (int64_t c = 0; c < in.cols(); ++c) {
+        float e = std::exp(in.at(r, c) - mx);
+        out->at(r, c) = e;
+        sum += e;
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t c = 0; c < in.cols(); ++c) out->at(r, c) *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (int64_t c = 0; c < in.cols(); ++c) out->at(r, c) *= inv;
-  }
+  });
 }
 }  // namespace
 
@@ -316,13 +397,15 @@ Tape::VarId Tape::RowSoftmax(VarId x) {
     const Tensor& g = nodes_[id].grad;
     const Tensor& y = nodes_[id].value;
     Tensor& xg = nodes_[x].grad;
-    for (int64_t r = 0; r < g.rows(); ++r) {
-      float dot = 0.0f;
-      for (int64_t c = 0; c < g.cols(); ++c) dot += g.at(r, c) * y.at(r, c);
-      for (int64_t c = 0; c < g.cols(); ++c) {
-        xg.at(r, c) += y.at(r, c) * (g.at(r, c) - dot);
+    ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        float dot = 0.0f;
+        for (int64_t c = 0; c < g.cols(); ++c) dot += g.at(r, c) * y.at(r, c);
+        for (int64_t c = 0; c < g.cols(); ++c) {
+          xg.at(r, c) += y.at(r, c) * (g.at(r, c) - dot);
+        }
       }
-    }
+    });
   };
   return id;
 }
@@ -337,13 +420,17 @@ Tape::VarId Tape::ColBlockDot(VarId v, VarId a, int64_t num_blocks) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const int64_t n = vv.rows();
   Tensor out(n, num_blocks);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t b = 0; b < num_blocks; ++b) {
-      float acc = 0.0f;
-      for (int64_t c = 0; c < d; ++c) acc += vv.at(r, b * d + c) * av.at(0, c);
-      out.at(r, b) = acc * scale;
+  ParallelRows(n, vv.cols(), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        float acc = 0.0f;
+        for (int64_t c = 0; c < d; ++c) {
+          acc += vv.at(r, b * d + c) * av.at(0, c);
+        }
+        out.at(r, b) = acc * scale;
+      }
     }
-  }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, v, a, num_blocks, d, scale]() {
     const Tensor& g = nodes_[id].grad;
@@ -375,13 +462,17 @@ Tape::VarId Tape::ColBlockWeightedSum(VarId v, VarId alpha,
   GRIMP_CHECK_EQ(aw.cols(), num_blocks);
   const int64_t n = vv.rows();
   Tensor out(n, d);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t b = 0; b < num_blocks; ++b) {
-      const float w = aw.at(r, b);
-      if (w == 0.0f) continue;
-      for (int64_t c = 0; c < d; ++c) out.at(r, c) += w * vv.at(r, b * d + c);
+  ParallelRows(n, vv.cols(), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        const float w = aw.at(r, b);
+        if (w == 0.0f) continue;
+        for (int64_t c = 0; c < d; ++c) {
+          out.at(r, c) += w * vv.at(r, b * d + c);
+        }
+      }
     }
-  }
+  });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, v, alpha, num_blocks, d]() {
     const Tensor& g = nodes_[id].grad;
@@ -389,17 +480,20 @@ Tape::VarId Tape::ColBlockWeightedSum(VarId v, VarId alpha,
     const Tensor& aw = nodes_[alpha].value;
     Tensor& vg = nodes_[v].grad;
     Tensor& ag = nodes_[alpha].grad;
-    for (int64_t r = 0; r < g.rows(); ++r) {
-      for (int64_t b = 0; b < num_blocks; ++b) {
-        float dot = 0.0f;
-        const float w = aw.at(r, b);
-        for (int64_t c = 0; c < d; ++c) {
-          dot += g.at(r, c) * vv.at(r, b * d + c);
-          vg.at(r, b * d + c) += w * g.at(r, c);
+    // Both vg and ag are indexed by r only -> row chunks stay disjoint.
+    ParallelRows(g.rows(), vv.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t b = 0; b < num_blocks; ++b) {
+          float dot = 0.0f;
+          const float w = aw.at(r, b);
+          for (int64_t c = 0; c < d; ++c) {
+            dot += g.at(r, c) * vv.at(r, b * d + c);
+            vg.at(r, b * d + c) += w * g.at(r, c);
+          }
+          ag.at(r, b) += dot;
         }
-        ag.at(r, b) += dot;
       }
-    }
+    });
   };
   return id;
 }
@@ -409,7 +503,9 @@ Tape::VarId Tape::SumAll(VarId x) {
   nodes_[id].backward = [this, id, x]() {
     const float g = nodes_[id].grad.scalar();
     Tensor& xg = nodes_[x].grad;
-    for (int64_t i = 0; i < xg.size(); ++i) xg[i] += g;
+    ParallelRange(xg.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) xg[i] += g;
+    });
   };
   return id;
 }
@@ -439,16 +535,19 @@ Tape::VarId Tape::SoftmaxCrossEntropy(VarId logits,
                          probs = std::move(probs), inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
     Tensor& lg = nodes_[logits].grad;
-    for (int64_t r = 0; r < lg.rows(); ++r) {
-      const int32_t y = labels[r];
-      if (y < 0) continue;
-      const float w =
-          class_weights.empty() ? 1.0f : class_weights[static_cast<size_t>(y)];
-      for (int64_t c = 0; c < lg.cols(); ++c) {
-        const float p = probs.at(r, c);
-        lg.at(r, c) += g * w * (p - (c == y ? 1.0f : 0.0f));
+    ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int32_t y = labels[static_cast<size_t>(r)];
+        if (y < 0) continue;
+        const float w = class_weights.empty()
+                            ? 1.0f
+                            : class_weights[static_cast<size_t>(y)];
+        for (int64_t c = 0; c < lg.cols(); ++c) {
+          const float p = probs.at(r, c);
+          lg.at(r, c) += g * w * (p - (c == y ? 1.0f : 0.0f));
+        }
       }
-    }
+    });
   };
   return id;
 }
@@ -474,21 +573,23 @@ Tape::VarId Tape::FocalLoss(VarId logits, std::vector<int32_t> labels,
                          probs = std::move(probs), inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
     Tensor& lg = nodes_[logits].grad;
-    for (int64_t r = 0; r < lg.rows(); ++r) {
-      const int32_t y = labels[r];
-      if (y < 0) continue;
-      const float pt = std::max(probs.at(r, y), 1e-12f);
-      const float one_m = 1.0f - pt;
-      // dL/dp_t for L = -(1-p)^g log p.
-      const float dl_dpt =
-          gamma * std::pow(one_m, gamma - 1.0f) * std::log(pt) -
-          std::pow(one_m, gamma) / pt;
-      for (int64_t c = 0; c < lg.cols(); ++c) {
-        const float dpt_dz =
-            probs.at(r, y) * ((c == y ? 1.0f : 0.0f) - probs.at(r, c));
-        lg.at(r, c) += g * dl_dpt * dpt_dz;
+    ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const int32_t y = labels[static_cast<size_t>(r)];
+        if (y < 0) continue;
+        const float pt = std::max(probs.at(r, y), 1e-12f);
+        const float one_m = 1.0f - pt;
+        // dL/dp_t for L = -(1-p)^g log p.
+        const float dl_dpt =
+            gamma * std::pow(one_m, gamma - 1.0f) * std::log(pt) -
+            std::pow(one_m, gamma) / pt;
+        for (int64_t c = 0; c < lg.cols(); ++c) {
+          const float dpt_dz =
+              probs.at(r, y) * ((c == y ? 1.0f : 0.0f) - probs.at(r, c));
+          lg.at(r, c) += g * dl_dpt * dpt_dz;
+        }
       }
-    }
+    });
   };
   return id;
 }

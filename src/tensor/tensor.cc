@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace grimp {
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
@@ -55,7 +57,13 @@ void Tensor::Axpy(float alpha, const Tensor& x) {
   const float* xs = x.data();
   float* ys = data();
   const int64_t n = size();
-  for (int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+  if (ShouldParallelize(n)) {
+    ParallelFor(0, n, kParallelThreshold, [=](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ys[i] += alpha * xs[i];
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+  }
 }
 
 float Tensor::SumAbs() const {
@@ -94,7 +102,134 @@ std::string Tensor::ToString(int max_rows, int max_cols) const {
   return os.str();
 }
 
+namespace {
+
+// Blocked GEMM micro-kernel geometry. kMR x kNR output tiles are
+// accumulated in registers across the whole K extent, so the inner loop
+// does kMR*kNR FMAs per B-panel load and touches C only once per tile
+// (the naive ikj kernel re-loads and re-stores each C row for every p).
+// kMR*kNR must stay small enough that the accumulator tile fits the
+// register file even at baseline SSE2 (4x8 floats = 8 xmm registers).
+constexpr int64_t kMR = 4;
+constexpr int64_t kNR = 8;
+// Rows per parallel work chunk. Independent of thread count, so chunk
+// boundaries (and therefore results) never depend on the pool size.
+constexpr int64_t kGemmRowGrain = 64;
+// Below this many multiply-adds, pool dispatch costs more than it saves.
+constexpr int64_t kGemmParallelFlops = 1 << 16;
+
+// Computes out rows [i_begin, i_end) of C = A * B, where B is row-major
+// K x N with leading dimension ldb, and A is addressed generically as
+// a[i * as_i + p * as_p] — (as_i = lda, as_p = 1) walks A's rows,
+// (as_i = 1, as_p = lda) walks A's columns (i.e. multiplies by A^T).
+// Accumulation over p is in ascending order for every tile shape, so the
+// result is bitwise independent of both the tiling and the thread count.
+void GemmRowRange(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  int64_t ldb, float* c, int64_t ldc, int64_t i_begin,
+                  int64_t i_end, int64_t k, int64_t n) {
+  for (int64_t i0 = i_begin; i0 < i_end; i0 += kMR) {
+    const int64_t mr = std::min(kMR, i_end - i0);
+    const float* atile = a + i0 * as_i;
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min(kNR, n - j0);
+      if (mr == kMR && nr == kNR) {
+        // Full tile: constant trip counts so the compiler keeps the
+        // accumulators in registers and vectorizes the jj loop.
+        float acc[kMR][kNR] = {};
+        const float* bptr = b + j0;
+        for (int64_t p = 0; p < k; ++p) {
+          const float* brow = bptr + p * ldb;
+          for (int64_t ii = 0; ii < kMR; ++ii) {
+            const float av = atile[ii * as_i + p * as_p];
+            for (int64_t jj = 0; jj < kNR; ++jj) {
+              acc[ii][jj] += av * brow[jj];
+            }
+          }
+        }
+        for (int64_t ii = 0; ii < kMR; ++ii) {
+          float* crow = c + (i0 + ii) * ldc + j0;
+          for (int64_t jj = 0; jj < kNR; ++jj) crow[jj] = acc[ii][jj];
+        }
+      } else {
+        // Ragged edge tile (m % kMR / n % kNR remainders, 1xK vectors...).
+        float acc[kMR][kNR] = {};
+        const float* bptr = b + j0;
+        for (int64_t p = 0; p < k; ++p) {
+          const float* brow = bptr + p * ldb;
+          for (int64_t ii = 0; ii < mr; ++ii) {
+            const float av = atile[ii * as_i + p * as_p];
+            for (int64_t jj = 0; jj < nr; ++jj) {
+              acc[ii][jj] += av * brow[jj];
+            }
+          }
+        }
+        for (int64_t ii = 0; ii < mr; ++ii) {
+          float* crow = c + (i0 + ii) * ldc + j0;
+          for (int64_t jj = 0; jj < nr; ++jj) crow[jj] = acc[ii][jj];
+        }
+      }
+    }
+  }
+}
+
+// Dispatches GemmRowRange over row panels, in parallel when the problem is
+// big enough to amortize the pool.
+void GemmDispatch(const float* a, int64_t as_i, int64_t as_p, const float* b,
+                  int64_t ldb, float* c, int64_t ldc, int64_t m, int64_t k,
+                  int64_t n) {
+  if (m * k * n < kGemmParallelFlops || ThreadPool::GlobalThreads() <= 1) {
+    GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, 0, m, k, n);
+    return;
+  }
+  ParallelFor(0, m, kGemmRowGrain, [&](int64_t row_begin, int64_t row_end) {
+    GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, row_begin, row_end, k, n);
+  });
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  Tensor out(m, n);
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), n, out.data(), n,
+               m, k, n);
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.rows(), b.rows());
+  const int64_t k = a.rows();
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  Tensor out(m, n);
+  // Walk A's columns: out rows index A columns (stride 1), p strides a row.
+  GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), n, out.data(), n,
+               m, k, n);
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  GRIMP_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  Tensor out(m, n);
+  // Pack B^T once (K x N, contiguous rows) so the panel kernel streams it
+  // exactly like plain MatMul; O(k*n) pack vs O(m*k*n) math.
+  std::vector<float> bt(static_cast<size_t>(k * n));
+  const float* bd = b.data();
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t p = 0; p < k; ++p) bt[p * n + j] = bd[j * k + p];
+  }
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, bt.data(), n, out.data(), n,
+               m, k, n);
+  return out;
+}
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
   GRIMP_CHECK_EQ(a.cols(), b.rows());
   const int64_t m = a.rows();
   const int64_t k = a.cols();
@@ -107,7 +242,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t p = 0; p < k; ++p) {
       const float av = ad[i * k + p];
-      if (av == 0.0f) continue;
       const float* brow = bd + p * n;
       float* orow = od + i * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
@@ -116,7 +250,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b) {
   GRIMP_CHECK_EQ(a.rows(), b.rows());
   const int64_t k = a.rows();
   const int64_t m = a.cols();
@@ -130,7 +264,6 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
     const float* brow = bd + p * n;
     for (int64_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* orow = od + i * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
@@ -138,7 +271,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b) {
   GRIMP_CHECK_EQ(a.cols(), b.cols());
   const int64_t m = a.rows();
   const int64_t k = a.cols();
@@ -160,10 +293,11 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
   if (!a.SameShape(b)) return false;
   for (int64_t i = 0; i < a.size(); ++i) {
-    if (std::fabs(a[i] - b[i]) > atol) return false;
+    const float diff = std::fabs(a[i] - b[i]);
+    if (!(diff <= atol + rtol * std::fabs(b[i]))) return false;
   }
   return true;
 }

@@ -90,13 +90,24 @@ class Tensor {
 };
 
 // result = a * b (matrix product). Shapes: (M x K) * (K x N) -> (M x N).
+// Cache-blocked and multi-threaded (see common/thread_pool.h); accumulation
+// order over K is fixed, so results are identical at every thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // result = a^T * b. Shapes: (K x M)^T * (K x N) -> (M x N).
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 // result = a * b^T. Shapes: (M x K) * (N x K)^T -> (M x N).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
 
-bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+// Single-threaded triple-loop reference kernels. Retained as the ground
+// truth the blocked kernels are tested/benchmarked against.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransANaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransBNaive(const Tensor& a, const Tensor& b);
+
+// |a - b| <= atol + rtol * |b| elementwise (numpy-style mixed tolerance;
+// rtol keeps large-magnitude comparisons meaningful).
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 0.0f);
 
 }  // namespace grimp
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace grimp {
@@ -90,6 +92,88 @@ TEST(TensorTest, AllCloseDetectsShapeAndValueMismatch) {
   b.at(1, 1) += 1e-3f;
   EXPECT_FALSE(AllClose(a, b, 1e-5f));
   EXPECT_FALSE(AllClose(a, Tensor::Full(2, 3, 1.0f)));
+}
+
+TEST(TensorTest, AllCloseRelativeToleranceScalesWithMagnitude) {
+  // 1e6 vs 1e6 + 60: fails any reasonable atol, passes rtol 1e-4.
+  Tensor a = Tensor::Full(2, 2, 1.0e6f);
+  Tensor b = Tensor::Full(2, 2, 1.0e6f + 60.0f);
+  EXPECT_FALSE(AllClose(a, b, 1e-5f));
+  EXPECT_TRUE(AllClose(a, b, 1e-5f, 1e-4f));
+  // rtol alone must not mask absolute errors near zero.
+  Tensor c = Tensor::Full(2, 2, 0.0f);
+  Tensor d = Tensor::Full(2, 2, 0.01f);
+  EXPECT_FALSE(AllClose(c, d, 1e-5f, 1e-4f));
+}
+
+// The blocked parallel GEMMs must agree with the retained naive reference
+// over odd/degenerate shapes (vectors, non-multiple-of-tile sizes) at
+// 1 thread and N threads.
+TEST(TensorTest, BlockedGemmMatchesNaiveAcrossShapesAndThreadCounts) {
+  Rng rng(11);
+  const struct { int64_t m, k, n; } shapes[] = {
+      {1, 1, 1},   {1, 17, 1},  {17, 1, 5},  {1, 5, 33},   {3, 3, 3},
+      {4, 8, 8},   {5, 9, 11},  {64, 64, 64}, {65, 33, 17}, {128, 7, 130},
+      {33, 128, 9}, {100, 31, 8},
+  };
+  for (int threads : {1, 4}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (const auto& s : shapes) {
+      Tensor a = Tensor::RandomNormal(s.m, s.k, 1.0f, &rng);
+      Tensor b = Tensor::RandomNormal(s.k, s.n, 1.0f, &rng);
+      EXPECT_TRUE(AllClose(MatMul(a, b), MatMulNaive(a, b), 1e-5f, 1e-4f))
+          << "MatMul " << s.m << "x" << s.k << "x" << s.n
+          << " threads=" << threads;
+
+      Tensor at = Tensor::RandomNormal(s.k, s.m, 1.0f, &rng);
+      EXPECT_TRUE(AllClose(MatMulTransA(at, b), MatMulTransANaive(at, b),
+                           1e-5f, 1e-4f))
+          << "MatMulTransA " << s.m << "x" << s.k << "x" << s.n
+          << " threads=" << threads;
+
+      Tensor bt = Tensor::RandomNormal(s.n, s.k, 1.0f, &rng);
+      EXPECT_TRUE(AllClose(MatMulTransB(a, bt), MatMulTransBNaive(a, bt),
+                           1e-5f, 1e-4f))
+          << "MatMulTransB " << s.m << "x" << s.k << "x" << s.n
+          << " threads=" << threads;
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// Fixed chunk boundaries mean the parallel kernel is bit-identical across
+// thread counts, not merely close.
+TEST(TensorTest, BlockedGemmIsBitIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  Tensor a = Tensor::RandomNormal(257, 96, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(96, 70, 1.0f, &rng);
+  ThreadPool::SetGlobalThreads(1);
+  Tensor c1 = MatMul(a, b);
+  for (int threads : {2, 5, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    Tensor cn = MatMul(a, b);
+    ASSERT_TRUE(cn.SameShape(c1));
+    for (int64_t i = 0; i < cn.size(); ++i) {
+      ASSERT_EQ(cn[i], c1[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(TensorTest, ParallelAxpyMatchesSerial) {
+  Rng rng(17);
+  // Above kParallelThreshold so the parallel path actually engages.
+  Tensor x = Tensor::RandomNormal(130, 64, 1.0f, &rng);
+  Tensor serial = Tensor::Full(130, 64, 0.5f);
+  Tensor parallel = serial;
+  ThreadPool::SetGlobalThreads(1);
+  serial.Axpy(2.0f, x);
+  ThreadPool::SetGlobalThreads(4);
+  parallel.Axpy(2.0f, x);
+  ThreadPool::SetGlobalThreads(1);
+  for (int64_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]);
+  }
 }
 
 }  // namespace
