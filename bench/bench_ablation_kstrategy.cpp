@@ -16,8 +16,13 @@ int main(int argc, char** argv) {
   bench::PrintRunHeader(
       "Ablation: attention K-matrix strategies (paper Fig. 7)", config);
 
-  TextTable table({"dataset", "diagonal", "target_column", "weak_diagonal",
-                   "weak_diag+FD"});
+  std::vector<std::string> header{"dataset"};
+  for (KStrategy strategy :
+       {KStrategy::kDiagonal, KStrategy::kTargetColumn,
+        KStrategy::kWeakDiagonal, KStrategy::kWeakDiagonalFd}) {
+    header.emplace_back(KStrategyName(strategy));
+  }
+  TextTable table(header);
   for (const std::string& name : config.datasets) {
     auto spec_or = GetDatasetSpec(name);
     if (!spec_or.ok()) continue;

@@ -50,9 +50,25 @@ BenchConfig ParseBenchArgs(int argc, char** argv,
       for (const std::string& r : Split(value_of("--rates="), ',')) {
         config.error_rates.push_back(std::stod(r));
       }
+    } else if (arg.rfind("--task-kind=", 0) == 0) {
+      auto kind = ParseTaskKind(value_of("--task-kind="));
+      if (!kind.ok()) {
+        std::cerr << kind.status().ToString() << "\n";
+        std::exit(2);
+      }
+      config.zoo.grimp_task_kind = *kind;
+    } else if (arg.rfind("--k-strategy=", 0) == 0) {
+      auto strategy = ParseKStrategy(value_of("--k-strategy="));
+      if (!strategy.ok()) {
+        std::cerr << strategy.status().ToString() << "\n";
+        std::exit(2);
+      }
+      config.zoo.grimp_k_strategy = *strategy;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --full --csv --rows=N --epochs=N --seed=N "
-                   "--datasets=a,b,c --rates=0.05,0.2,0.5\n";
+                   "--datasets=a,b,c --rates=0.05,0.2,0.5 "
+                   "--task-kind=linear|attention --k-strategy=diagonal|"
+                   "target_column|weak_diagonal|weak_diagonal_fd\n";
       std::exit(0);
     } else {
       GRIMP_LOG(Warning) << "ignoring unknown flag " << arg;

@@ -18,7 +18,8 @@ namespace bench {
 // dataset sizes and training budgets (slow).
 //
 // Flags: --full --rows=N --epochs=N --seed=N --datasets=a,b,c
-//        --rates=0.05,0.2,0.5 --csv
+//        --rates=0.05,0.2,0.5 --csv --task-kind=linear|attention
+//        --k-strategy=diagonal|target_column|weak_diagonal|weak_diagonal_fd
 struct BenchConfig {
   std::vector<std::string> datasets;
   std::vector<double> error_rates{0.05, 0.2, 0.5};

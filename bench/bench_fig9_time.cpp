@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "eval/report.h"
 
 int main(int argc, char** argv) {
@@ -51,6 +52,28 @@ int main(int argc, char** argv) {
       table.Print(std::cout);
     }
   }
+  // Where the time goes, from the process-wide metrics registry (summed
+  // over every run of the grid above).
+  std::cout << "\n--- GRIMP phase breakdown (metrics registry spans) ---\n";
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  TextTable phases({"span", "count", "total_s", "mean_ms"});
+  for (const char* span :
+       {"corpus_build", "graph_build", "feature_init", "grimp.task_build",
+        "grimp.train", "grimp.decode", "gnn.forward", "grimp.impute",
+        "eval.impute"}) {
+    const SpanStats stats = registry.GetSpanStats(span);
+    if (stats.count == 0) continue;
+    phases.AddRow({span, std::to_string(stats.count),
+                   TextTable::Num(stats.total_seconds, 2),
+                   TextTable::Num(stats.total_seconds /
+                                      static_cast<double>(stats.count) * 1e3,
+                                  2)});
+  }
+  phases.Print(std::cout);
+  std::cout << "gemm.calls: " << registry.GetCounter("gemm.calls").value()
+            << "  threadpool.parallel_for: "
+            << registry.GetCounter("threadpool.parallel_for").value() << "\n";
+
   std::cout << "\nExpected shape (paper §4.2): GRIMP attention among the "
                "slowest; MISF fast; GRIMP time decreases with higher "
                "missingness (fewer training samples), tree/per-column "

@@ -8,32 +8,35 @@
 // beyond rtol 1e-4.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "tensor/tensor.h"
 
 namespace {
 
 using grimp::Tensor;
 
-double BestSeconds(const std::function<Tensor()>& fn, int reps,
+// Times each rep as a trace span; the metrics registry keeps the per-name
+// min, so the best-of-reps number comes straight out of SpanStats (and
+// lands in the GRIMP_METRICS_JSON dump alongside the gemm.* counters).
+double BestSeconds(const std::string& span_name,
+                   const std::function<Tensor()>& fn, int reps,
                    Tensor* out = nullptr) {
-  double best = 1e100;
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+    grimp::TraceSpan span(span_name);
     Tensor result = fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    span.Stop();
     if (out != nullptr && r == 0) *out = std::move(result);
   }
-  return best;
+  return grimp::MetricsRegistry::Global().GetSpanStats(span_name).min_seconds;
 }
 
 struct Shape {
@@ -75,8 +78,9 @@ int main() {
     const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
 
     Tensor ref;
-    const double naive_s =
-        BestSeconds([&]() { return grimp::MatMulNaive(a, b); }, reps, &ref);
+    const double naive_s = BestSeconds(
+        "bench.naive." + std::to_string(si),
+        [&]() { return grimp::MatMulNaive(a, b); }, reps, &ref);
     const double naive_gflops = flops / naive_s * 1e-9;
     std::printf("%6lld x%5lld x%5lld   %-10s %9.3f %9.2f | ",
                 static_cast<long long>(s.m), static_cast<long long>(s.k),
@@ -94,8 +98,9 @@ int main() {
       const int t = thread_counts[ti];
       grimp::ThreadPool::SetGlobalThreads(t);
       Tensor blocked;
-      const double bs =
-          BestSeconds([&]() { return grimp::MatMul(a, b); }, reps, &blocked);
+      const double bs = BestSeconds(
+          "bench.blocked." + std::to_string(si) + ".t" + std::to_string(t),
+          [&]() { return grimp::MatMul(a, b); }, reps, &blocked);
       const bool ok = grimp::AllClose(blocked, ref, 1e-5f, 1e-4f);
       all_ok = all_ok && ok;
       const double gf = flops / bs * 1e-9;
@@ -129,7 +134,16 @@ int main() {
       all_ok = false;
     }
   }
-  json += "  ]\n}\n";
+  grimp::MetricsRegistry& registry = grimp::MetricsRegistry::Global();
+  const int64_t gemm_calls = registry.GetCounter("gemm.calls").value();
+  const int64_t gemm_parallel =
+      registry.GetCounter("gemm.parallel_calls").value();
+  std::printf("\ngemm.calls: %lld  gemm.parallel_calls: %lld\n",
+              static_cast<long long>(gemm_calls),
+              static_cast<long long>(gemm_parallel));
+  json += "  ],\n  \"gemm_calls\": " + std::to_string(gemm_calls) +
+          ",\n  \"gemm_parallel_calls\": " + std::to_string(gemm_parallel) +
+          "\n}\n";
 
   std::FILE* f = std::fopen("BENCH_gemm.json", "w");
   if (f != nullptr) {

@@ -1,0 +1,73 @@
+# CTest helper: run the quickstart example with GRIMP_METRICS_JSON set and
+# assert the dumped registry parses as JSON and contains the observability
+# keys the pipeline must always emit. Invoked as
+#   cmake -DQUICKSTART=<exe> -DOUT=<json path> -P check_metrics_json.cmake
+# string(JSON ...) (CMake >= 3.19) aborts with FATAL_ERROR on malformed
+# JSON or missing keys, which is exactly the check we want.
+
+if(NOT DEFINED QUICKSTART OR NOT DEFINED OUT)
+  message(FATAL_ERROR "usage: cmake -DQUICKSTART=<exe> -DOUT=<json> -P ...")
+endif()
+
+file(REMOVE "${OUT}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GRIMP_METRICS_JSON=${OUT}"
+          "${QUICKSTART}" 120
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_errors)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart failed (${run_result}):\n${run_errors}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "GRIMP_METRICS_JSON sink ${OUT} was not written")
+endif()
+file(READ "${OUT}" metrics_json)
+
+# Per-phase trace spans must cover the whole pipeline.
+foreach(span feature_init graph_build corpus_build grimp.task_build
+        grimp.train grimp.decode grimp.impute gnn.forward)
+  string(JSON span_count GET "${metrics_json}" spans "${span}" count)
+  if(span_count LESS 1)
+    message(FATAL_ERROR "span ${span} has count ${span_count}")
+  endif()
+  string(JSON span_total GET "${metrics_json}" spans "${span}" total_seconds)
+  if(span_total LESS 0)
+    message(FATAL_ERROR "span ${span} has negative total ${span_total}")
+  endif()
+endforeach()
+
+# Per-epoch training loss series with at least one entry.
+string(JSON first_train_loss GET "${metrics_json}" series
+       grimp.epoch.train_loss 0)
+string(JSON num_epochs LENGTH "${metrics_json}" series
+       grimp.epoch.train_loss)
+if(num_epochs LESS 1)
+  message(FATAL_ERROR "empty grimp.epoch.train_loss series")
+endif()
+
+# GEMM kernel counters and thread-pool stats.
+string(JSON gemm_calls GET "${metrics_json}" counters gemm.calls)
+if(gemm_calls LESS 1)
+  message(FATAL_ERROR "gemm.calls is ${gemm_calls}")
+endif()
+string(JSON gemm_hist_count GET "${metrics_json}" histograms gemm.flops
+       count)
+if(NOT gemm_hist_count EQUAL gemm_calls)
+  message(FATAL_ERROR
+          "gemm.flops count ${gemm_hist_count} != gemm.calls ${gemm_calls}")
+endif()
+string(JSON pool_threads GET "${metrics_json}" gauges threadpool.threads)
+if(pool_threads LESS 1)
+  message(FATAL_ERROR "threadpool.threads gauge is ${pool_threads}")
+endif()
+string(JSON pool_dispatch GET "${metrics_json}" counters
+       threadpool.parallel_for)
+string(JSON pool_inline GET "${metrics_json}" counters
+       threadpool.inline_for)
+
+message(STATUS "metrics JSON ok: ${num_epochs} epochs, "
+        "gemm.calls=${gemm_calls}, threads=${pool_threads}, "
+        "parallel_for=${pool_dispatch}, inline_for=${pool_inline}, "
+        "first train_loss=${first_train_loss}")

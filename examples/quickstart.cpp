@@ -34,10 +34,21 @@ int main(int argc, char** argv) {
             << 100.0 * corrupted.dirty.MissingFraction() << "% of table)\n";
 
   // 3. Impute with GRIMP (default config: n-gram features, attention
-  //    tasks, weak-diagonal K).
+  //    tasks, weak-diagonal K). The epoch callback streams training
+  //    telemetry as it happens; run with GRIMP_METRICS_JSON=out.json to
+  //    also get the full metrics registry (phase spans, per-epoch loss
+  //    series, GEMM/thread-pool counters) dumped at exit.
   grimp::GrimpOptions options;
   options.max_epochs = 60;
   options.verbose = true;
+  options.callbacks.on_epoch_end = [](const grimp::EpochStats& stats) {
+    if (stats.epoch % 20 == 0 || stats.improved) {
+      std::cout << "epoch " << stats.epoch << ": train_loss "
+                << stats.train_loss << " val_loss " << stats.val_loss
+                << (stats.improved ? " (best so far)" : "") << "\n";
+    }
+    return true;  // false would stop training here
+  };
   grimp::GrimpImputer imputer(options);
   auto imputed_or = imputer.Impute(corrupted.dirty);
   if (!imputed_or.ok()) {

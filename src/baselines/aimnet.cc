@@ -1,5 +1,7 @@
 #include "baselines/aimnet.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -26,6 +28,7 @@ struct TargetModel {
 }  // namespace
 
 Result<Table> AimNetImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   const int64_t n = dirty.num_rows();
   const int m = dirty.num_cols();
   if (n == 0 || m == 0) return Status::InvalidArgument("empty table");

@@ -1,11 +1,14 @@
 #include "baselines/fd_repair.h"
 
+#include "common/trace.h"
+
 #include <string>
 #include <unordered_map>
 
 namespace grimp {
 
 Result<Table> FdRepairImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   Table imputed = dirty;
   for (const FunctionalDependency& fd : fds_) {
     if (fd.rhs < 0 || fd.rhs >= dirty.num_cols()) {

@@ -1,5 +1,7 @@
 #include "baselines/knn.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -9,6 +11,7 @@
 namespace grimp {
 
 Result<Table> KnnImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   if (k_ <= 0) return Status::InvalidArgument("k must be positive");
   const int64_t n = dirty.num_rows();
   const int m = dirty.num_cols();

@@ -1,8 +1,11 @@
 #include "baselines/mean_mode.h"
 
+#include "common/trace.h"
+
 namespace grimp {
 
 Result<Table> MeanModeImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   Table imputed = dirty;
   for (int c = 0; c < dirty.num_cols(); ++c) {
     Column& col = imputed.mutable_column(c);

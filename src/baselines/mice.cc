@@ -1,5 +1,7 @@
 #include "baselines/mice.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <numeric>
 #include <vector>
@@ -13,6 +15,7 @@ namespace grimp {
 
 
 Result<Table> MiceImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   const int64_t n = dirty.num_rows();
   const int m = dirty.num_cols();
   if (n == 0 || m == 0) return Status::InvalidArgument("empty table");

@@ -1,5 +1,7 @@
 #include "baselines/missforest.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -36,6 +38,7 @@ void InitialFill(const Table& dirty, FeatureMatrix* x) {
 }  // namespace
 
 Result<Table> MissForestImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   const int64_t n = dirty.num_rows();
   const int m = dirty.num_cols();
   if (n == 0 || m == 0) return Status::InvalidArgument("empty table");

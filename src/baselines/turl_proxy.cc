@@ -1,5 +1,7 @@
 #include "baselines/turl_proxy.h"
 
+#include "common/trace.h"
+
 #include <algorithm>
 #include <vector>
 
@@ -8,6 +10,7 @@
 namespace grimp {
 
 Result<Table> TurlProxyImputer::Impute(const Table& dirty) {
+  GRIMP_TRACE_SPAN("impute." + name());
   const int64_t n = dirty.num_rows();
   const int m = dirty.num_cols();
   if (n == 0 || m == 0) return Status::InvalidArgument("empty table");

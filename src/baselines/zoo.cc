@@ -12,6 +12,8 @@ std::unique_ptr<GrimpImputer> MakeGrimp(FeatureInitKind features,
   GrimpOptions go;
   go.features = features;
   go.dim = options.grimp_dim;
+  go.task_kind = options.grimp_task_kind;
+  go.k_strategy = options.grimp_k_strategy;
   go.max_epochs = options.grimp_epochs;
   go.seed = options.seed;
   return std::make_unique<GrimpImputer>(go);

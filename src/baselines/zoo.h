@@ -14,6 +14,10 @@ namespace grimp {
 struct ZooOptions {
   int grimp_epochs = 150;
   int grimp_dim = 32;
+  // Head flavor / attention-K strategy for every GRIMP configuration in the
+  // suite (parse CLI strings with ParseTaskKind / ParseKStrategy).
+  TaskKind grimp_task_kind = TaskKind::kAttention;
+  KStrategy grimp_k_strategy = KStrategy::kWeakDiagonal;
   int aimnet_epochs = 60;
   int datawig_epochs = 40;
   int forest_trees = 10;

@@ -1,12 +1,33 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 
 namespace grimp {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// kLevelUnset until the first read resolves GRIMP_LOG_LEVEL (or the kInfo
+// default); SetLogLevel writes a concrete level directly.
+constexpr int kLevelUnset = -1;
+std::atomic<int> g_log_level{kLevelUnset};
+
+int EffectiveLogLevel() {
+  int level = g_log_level.load(std::memory_order_relaxed);
+  if (level != kLevelUnset) return level;
+  int resolved = static_cast<int>(LogLevel::kInfo);
+  if (const char* env = std::getenv("GRIMP_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) resolved = static_cast<int>(parsed);
+  }
+  // Racing first readers resolve the same value; SetLogLevel wins if it
+  // already ran.
+  g_log_level.compare_exchange_strong(level, resolved,
+                                      std::memory_order_relaxed);
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,17 +54,44 @@ void SetLogLevel(LogLevel level) {
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(EffectiveLogLevel());
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double MonotonicSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)) {
+    : enabled_(static_cast<int>(level) >= EffectiveLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "+%.3fs", MonotonicSeconds());
+    stream_ << "[" << LevelName(level) << " " << stamp << " "
+            << Basename(file) << ":" << line << "] ";
   }
 }
 

@@ -5,14 +5,26 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace grimp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Global log threshold; messages below it are dropped. Default: kInfo.
+// Global log threshold; messages below it are dropped. Defaults to the
+// GRIMP_LOG_LEVEL environment variable ("debug", "info", "warning",
+// "error"; read once, on first use), else kInfo. SetLogLevel overrides.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name as accepted by GRIMP_LOG_LEVEL (case-insensitive;
+// "warn" == "warning"). Returns false and leaves *out untouched on unknown
+// names.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+// Seconds since the first logging-clock use in this process (monotonic;
+// the value stamped into every log line as "+12.345s").
+double MonotonicSeconds();
 
 namespace internal {
 

@@ -1,0 +1,289 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+
+namespace grimp {
+
+namespace {
+
+// Lock-free running min/max over doubles (first Record initializes).
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, bucket);  // 2^bucket: bucket 0 -> < 1, 1 -> < 2 ...
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const int idx = 1 + std::ilogb(value);
+  return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Series::Append(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(value);
+}
+
+std::vector<double> Series::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+int64_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(values_.size());
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric references handed out to static call-site
+  // caches and the atexit JSON writer must outlive every other static.
+  static MetricsRegistry* registry = []() {
+    auto* r = new MetricsRegistry();
+    if (const char* path = std::getenv("GRIMP_METRICS_JSON");
+        path != nullptr && path[0] != '\0') {
+      static std::string sink_path = path;
+      std::atexit([]() {
+        (void)MetricsRegistry::Global().WriteJson(sink_path);
+      });
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+void MetricsRegistry::RecordSpan(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& stats = spans_[name];
+  if (stats.count == 0 || seconds < stats.min_seconds) {
+    stats.min_seconds = seconds;
+  }
+  if (stats.count == 0 || seconds > stats.max_seconds) {
+    stats.max_seconds = seconds;
+  }
+  ++stats.count;
+  stats.total_seconds += seconds;
+}
+
+SpanStats MetricsRegistry::GetSpanStats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + JsonNumber(gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": {\"count\": " + std::to_string(hist->count()) +
+           ", \"sum\": " + JsonNumber(hist->sum()) +
+           ", \"min\": " + JsonNumber(hist->min()) +
+           ", \"max\": " + JsonNumber(hist->max()) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t c = hist->bucket_count(b);
+      if (c == 0) continue;  // sparse: only occupied buckets are emitted
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      const double le = Histogram::BucketUpperBound(b);
+      out += "{\"le\": " +
+             (std::isfinite(le) ? JsonNumber(le) : std::string("\"inf\"")) +
+             ", \"count\": " + std::to_string(c) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"series\": {";
+  first = true;
+  for (const auto& [name, series] : series_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": [";
+    const std::vector<double> values = series->Snapshot();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(values[i]);
+    }
+    out += "]";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, stats] : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": {\"count\": " + std::to_string(stats.count) +
+           ", \"total_seconds\": " + JsonNumber(stats.total_seconds) +
+           ", \"min_seconds\": " + JsonNumber(stats.min_seconds) +
+           ", \"max_seconds\": " + JsonNumber(stats.max_seconds) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open metrics sink " + path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, series] : series_) series->Reset();
+  spans_.clear();
+}
+
+}  // namespace grimp

@@ -5,9 +5,28 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace grimp {
 
 namespace {
+
+// Dispatch counters, resolved once (registry lookup takes a mutex).
+struct PoolMetrics {
+  Counter& parallel_for;
+  Counter& inline_for;
+  Counter& chunks;
+  Gauge& threads;
+};
+
+PoolMetrics& PoolCounters() {
+  static PoolMetrics metrics{
+      MetricsRegistry::Global().GetCounter("threadpool.parallel_for"),
+      MetricsRegistry::Global().GetCounter("threadpool.inline_for"),
+      MetricsRegistry::Global().GetCounter("threadpool.chunks"),
+      MetricsRegistry::Global().GetGauge("threadpool.threads")};
+  return metrics;
+}
 
 // Set while a thread (worker OR submitting caller) is executing chunk
 // bodies; nested ParallelFor calls from inside a chunk body run inline
@@ -97,7 +116,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Inline paths: trivial loop, no workers, or nested call from a chunk
   // body (re-entering the pool would deadlock). Chunk boundaries are
   // identical to the parallel path, so results match.
+  PoolMetrics& metrics = PoolCounters();
+  metrics.chunks.Increment(chunks);
   if (chunks == 1 || num_threads_ == 1 || g_in_parallel_region) {
+    metrics.inline_for.Increment();
     ForLoop loop;
     loop.begin = begin;
     loop.end = end;
@@ -108,6 +130,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     return;
   }
 
+  metrics.parallel_for.Increment();
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
   ForLoop loop;
   loop.begin = begin;
@@ -188,6 +211,11 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 
 bool ShouldParallelize(int64_t n) {
   return n >= kParallelThreshold && ThreadPool::GlobalThreads() > 1;
+}
+
+void RecordThreadPoolMetrics() {
+  PoolCounters().threads.Set(
+      static_cast<double>(ThreadPool::GlobalThreads()));
 }
 
 }  // namespace grimp

@@ -94,6 +94,16 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 // least kParallelThreshold).
 bool ShouldParallelize(int64_t n);
 
+// Publishes the pool's configuration and dispatch counters into the metrics
+// registry: gauge "threadpool.threads" plus counters
+// "threadpool.parallel_for" (loops fanned out to workers),
+// "threadpool.inline_for" (loops run on the calling thread) and
+// "threadpool.chunks" (total chunks executed). The counters update on every
+// ParallelFor; calling this just makes sure the keys exist and refreshes
+// the thread-count gauge, so metric consumers see them even when no loop
+// was big enough to dispatch.
+void RecordThreadPoolMetrics();
+
 // Elementwise loops below this many indices run serially: pool dispatch
 // costs ~a few microseconds, which swamps small kernels.
 inline constexpr int64_t kParallelThreshold = 4096;

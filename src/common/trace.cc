@@ -1,0 +1,16 @@
+#include "common/trace.h"
+
+#include "common/metrics.h"
+
+namespace grimp {
+
+double TraceSpan::Stop() {
+  if (armed_) {
+    armed_ = false;
+    recorded_seconds_ = elapsed_seconds();
+    MetricsRegistry::Global().RecordSpan(name_, recorded_seconds_);
+  }
+  return recorded_seconds_;
+}
+
+}  // namespace grimp

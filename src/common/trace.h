@@ -1,0 +1,60 @@
+#ifndef GRIMP_COMMON_TRACE_H_
+#define GRIMP_COMMON_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace grimp {
+
+// RAII wall-clock span: measures steady_clock time from construction to
+// Stop() (or destruction) and folds it into the process-wide
+// MetricsRegistry under `name` (see SpanStats / "spans" in the JSON
+// report). Spans may nest freely — each name aggregates independently —
+// and recording never branches on the measured time, so instrumented code
+// stays deterministic.
+//
+// Usage:
+//   { GRIMP_TRACE_SPAN("graph_build"); ... }     // record on scope exit
+//
+//   TraceSpan span("grimp.train");
+//   ...
+//   const double seconds = span.Stop();          // record now, read elapsed
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  ~TraceSpan() {
+    if (armed_) Stop();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Records the span once and returns the elapsed seconds; subsequent
+  // Stop() calls (and the destructor) are no-ops returning the same value.
+  double Stop();
+
+  // Seconds since construction, without recording.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double recorded_seconds_ = 0.0;
+  bool armed_ = true;
+};
+
+#define GRIMP_TRACE_CONCAT_INNER_(a, b) a##b
+#define GRIMP_TRACE_CONCAT_(a, b) GRIMP_TRACE_CONCAT_INNER_(a, b)
+#define GRIMP_TRACE_SPAN(name) \
+  ::grimp::TraceSpan GRIMP_TRACE_CONCAT_(_grimp_trace_span_, __LINE__)(name)
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_TRACE_H_

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace grimp {
 
 TrainingCorpus BuildTrainingCorpus(const Table& dirty,
                                    double validation_fraction, Rng* rng) {
   GRIMP_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0);
+  GRIMP_TRACE_SPAN("corpus_build");
   std::vector<TrainingSample> samples;
   for (int64_t r = 0; r < dirty.num_rows(); ++r) {
     for (int c = 0; c < dirty.num_cols(); ++c) {

@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "common/binary_io.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
 #include "tensor/optimizer.h"
@@ -121,6 +123,7 @@ void GrimpEngine::CollectParams(std::vector<Parameter*>* out) {
 }
 
 Status GrimpEngine::Fit(const Table& source) {
+  GRIMP_RETURN_IF_ERROR(options_.Validate());
   if (source.num_rows() == 0 || source.num_cols() == 0) {
     return Status::InvalidArgument("empty table");
   }
@@ -133,6 +136,8 @@ Status GrimpEngine::Fit(const Table& source) {
     return Status::FailedPrecondition(
         "GrimpEngine supports multi-task mode only");
   }
+  RecordThreadPoolMetrics();
+  GRIMP_TRACE_SPAN("grimp.fit");
   const auto t0 = std::chrono::steady_clock::now();
   const int num_cols = source.num_cols();
   const int dim = options_.dim;
@@ -201,7 +206,14 @@ Status GrimpEngine::Fit(const Table& source) {
   std::vector<Tensor> best_params;
   int epochs_since_best = 0;
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
+  Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
+  Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
+
+  TraceSpan train_span("grimp.train");
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     Tape tape;
     Tape::VarId feats = tape.Constant(features.node_features);
     Tape::VarId h =
@@ -250,17 +262,40 @@ Status GrimpEngine::Fit(const Table& source) {
     opt.ZeroGrad();
     report_.epochs_run = epoch + 1;
 
+    bool improved = false;
+    bool stop_early = false;
     if (has_val) {
       if (val_loss_sum < best_val - 1e-6) {
+        improved = true;
         best_val = val_loss_sum;
         epochs_since_best = 0;
         best_params.clear();
         for (Parameter* p : params) best_params.push_back(p->value);
       } else if (++epochs_since_best >= options_.patience) {
-        break;
+        stop_early = true;
       }
     }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = report_.final_train_loss;
+    stats.val_loss = val_loss_sum;
+    stats.has_val = has_val;
+    stats.improved = improved;
+    stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    train_loss_series.Append(stats.train_loss);
+    if (has_val) val_loss_series.Append(stats.val_loss);
+    epoch_seconds_series.Append(stats.seconds);
+    bool keep_going = true;
+    if (options_.callbacks.on_epoch_end) {
+      keep_going = options_.callbacks.on_epoch_end(stats);
+    }
+    if (stop_early || !keep_going) break;
   }
+  train_span.Stop();
   if (!best_params.empty()) {
     for (size_t i = 0; i < params.size(); ++i) {
       params[i]->value = best_params[i];
@@ -500,6 +535,7 @@ Result<std::unique_ptr<GrimpEngine>> GrimpEngine::Load(
 Result<Table> GrimpEngine::Transform(const Table& table) const {
   if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
   GRIMP_RETURN_IF_ERROR(CheckSchema(table));
+  GRIMP_TRACE_SPAN("grimp.transform");
   const int num_cols = table.num_cols();
   const int dim = options_.dim;
 

@@ -7,7 +7,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/corpus.h"
 #include "core/tasks.h"
 #include "gnn/hetero_sage.h"
@@ -120,9 +122,12 @@ std::string GrimpImputer::name() const {
 }
 
 Result<Table> GrimpImputer::Impute(const Table& dirty) {
+  GRIMP_RETURN_IF_ERROR(options_.Validate());
   if (dirty.num_rows() == 0 || dirty.num_cols() == 0) {
     return Status::InvalidArgument("empty table");
   }
+  RecordThreadPoolMetrics();
+  TraceSpan impute_span("grimp.impute");
   const auto t0 = Now();
   const int num_cols = dirty.num_cols();
   const int dim = options_.dim;
@@ -200,6 +205,7 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   }
 
   // 3. Precompute gather indices / labels / targets per task.
+  TraceSpan task_build_span("grimp.task_build");
   auto add_sample = [&](const TrainingSample& s, bool is_val) {
     TaskData& task =
         options_.multi_task ? tasks[static_cast<size_t>(s.target_col)]
@@ -250,6 +256,7 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
       task.impute_cells.push_back(CellRef{r, c});
     }
   }
+  task_build_span.Stop();
 
   // 4. Training loop (paper Alg. 1). Train and validation losses share one
   //    tape per epoch; Backward runs only from the training loss.
@@ -266,8 +273,15 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   std::vector<Tensor> best_params;
   int epochs_since_best = 0;
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
+  Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
+  Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
+
+  TraceSpan train_span("grimp.train");
   const int num_blocks_gathered = num_cols;
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    const auto epoch_start = Now();
     Tape tape;
     Tape::VarId feats = tape.Constant(features.node_features);
     Tape::VarId h =
@@ -322,18 +336,38 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
                       << val_loss_sum;
     }
     // Early stopping on the summed validation loss.
+    bool improved = false;
+    bool stop_early = false;
     if (has_val) {
       if (val_loss_sum < best_val - 1e-6) {
+        improved = true;
         best_val = val_loss_sum;
         epochs_since_best = 0;
         best_params.clear();
         best_params.reserve(params.size());
         for (Parameter* p : params) best_params.push_back(p->value);
       } else if (++epochs_since_best >= options_.patience) {
-        break;
+        stop_early = true;
       }
     }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = report_.final_train_loss;
+    stats.val_loss = val_loss_sum;
+    stats.has_val = has_val;
+    stats.improved = improved;
+    stats.seconds = SecondsSince(epoch_start);
+    train_loss_series.Append(stats.train_loss);
+    if (has_val) val_loss_series.Append(stats.val_loss);
+    epoch_seconds_series.Append(stats.seconds);
+    bool keep_going = true;
+    if (options_.callbacks.on_epoch_end) {
+      keep_going = options_.callbacks.on_epoch_end(stats);
+    }
+    if (stop_early || !keep_going) break;
   }
+  train_span.Stop();
   if (!best_params.empty()) {
     for (size_t i = 0; i < params.size(); ++i) {
       params[i]->value = best_params[i];
@@ -345,6 +379,7 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   //    fill every missing cell from its task's prediction.
   Table imputed = dirty;
   {
+    GRIMP_TRACE_SPAN("grimp.decode");
     Tape tape;
     Tape::VarId feats = tape.Constant(features.node_features);
     Tape::VarId h =

@@ -37,7 +37,9 @@ class GrimpImputer : public ImputationAlgorithm {
   Result<Table> Impute(const Table& dirty) override;
 
   const GrimpOptions& options() const { return options_; }
-  // Valid after a successful Impute().
+  // Deprecated: summary snapshot of the last successful Impute(). Prefer
+  // GrimpOptions::callbacks (per-epoch EpochStats while training runs) or
+  // the MetricsRegistry series / spans for new code.
   const TrainReport& report() const { return report_; }
 
  private:

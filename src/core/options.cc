@@ -1,0 +1,115 @@
+#include "core/options.h"
+
+#include <string>
+
+namespace grimp {
+
+std::string_view TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kLinear ? "linear" : "attention";
+}
+
+std::string_view KStrategyName(KStrategy strategy) {
+  switch (strategy) {
+    case KStrategy::kDiagonal:
+      return "diagonal";
+    case KStrategy::kTargetColumn:
+      return "target_column";
+    case KStrategy::kWeakDiagonal:
+      return "weak_diagonal";
+    case KStrategy::kWeakDiagonalFd:
+      return "weak_diagonal_fd";
+  }
+  return "?";
+}
+
+Result<TaskKind> ParseTaskKind(std::string_view name) {
+  if (name == "linear") return TaskKind::kLinear;
+  if (name == "attention") return TaskKind::kAttention;
+  return Status::InvalidArgument("unknown task kind '" + std::string(name) +
+                                 "' (expected linear|attention)");
+}
+
+Result<KStrategy> ParseKStrategy(std::string_view name) {
+  if (name == "diagonal") return KStrategy::kDiagonal;
+  if (name == "target_column") return KStrategy::kTargetColumn;
+  if (name == "weak_diagonal") return KStrategy::kWeakDiagonal;
+  if (name == "weak_diagonal_fd") return KStrategy::kWeakDiagonalFd;
+  return Status::InvalidArgument(
+      "unknown K strategy '" + std::string(name) +
+      "' (expected diagonal|target_column|weak_diagonal|weak_diagonal_fd)");
+}
+
+Status GrimpOptions::Validate() const {
+  if (dim <= 0) {
+    return Status::InvalidArgument("GrimpOptions.dim must be > 0, got " +
+                                   std::to_string(dim));
+  }
+  if (shared_hidden <= 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.shared_hidden must be > 0, got " +
+        std::to_string(shared_hidden));
+  }
+  if (task_hidden <= 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.task_hidden must be > 0, got " +
+        std::to_string(task_hidden));
+  }
+  if (gnn_layers <= 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.gnn_layers must be > 0, got " +
+        std::to_string(gnn_layers));
+  }
+  if (max_epochs <= 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.max_epochs must be > 0, got " +
+        std::to_string(max_epochs));
+  }
+  if (patience < 0) {
+    return Status::InvalidArgument("GrimpOptions.patience must be >= 0, got " +
+                                   std::to_string(patience));
+  }
+  // 0 disables validation (used for tiny tables); 1.0 would leave no
+  // training split.
+  if (validation_fraction < 0.0 || validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.validation_fraction must be in [0, 1), got " +
+        std::to_string(validation_fraction));
+  }
+  if (!(learning_rate > 0.0f)) {  // rejects NaN too
+    return Status::InvalidArgument(
+        "GrimpOptions.learning_rate must be > 0, got " +
+        std::to_string(learning_rate));
+  }
+  if (grad_clip < 0.0f) {
+    return Status::InvalidArgument(
+        "GrimpOptions.grad_clip must be >= 0, got " +
+        std::to_string(grad_clip));
+  }
+  if (focal_gamma < 0.0f) {
+    return Status::InvalidArgument(
+        "GrimpOptions.focal_gamma must be >= 0, got " +
+        std::to_string(focal_gamma));
+  }
+  if (neighbor_cap < 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.neighbor_cap must be >= 0, got " +
+        std::to_string(neighbor_cap));
+  }
+  if (max_samples_per_task < 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.max_samples_per_task must be >= 0, got " +
+        std::to_string(max_samples_per_task));
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.num_threads must be >= 0, got " +
+        std::to_string(num_threads));
+  }
+  if (k_strategy == KStrategy::kWeakDiagonalFd && fds.empty()) {
+    return Status::InvalidArgument(
+        "GrimpOptions.k_strategy=weak_diagonal_fd requires non-empty fds");
+  }
+  return Status::OK();
+}
+
+}  // namespace grimp

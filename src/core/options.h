@@ -2,8 +2,11 @@
 #define GRIMP_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "embedding/feature_init.h"
 #include "table/fd.h"
 
@@ -20,8 +23,32 @@ enum class KStrategy {
   kWeakDiagonalFd,  // weak diagonal + boost for FD-related columns
 };
 
-const char* TaskKindName(TaskKind kind);
-const char* KStrategyName(KStrategy strategy);
+// Canonical lowercase names ("linear", "weak_diagonal_fd", ...).
+std::string_view TaskKindName(TaskKind kind);
+std::string_view KStrategyName(KStrategy strategy);
+// Inverse of the name functions; InvalidArgument on unknown names.
+Result<TaskKind> ParseTaskKind(std::string_view name);
+Result<KStrategy> ParseKStrategy(std::string_view name);
+
+// Per-epoch training telemetry handed to TrainCallbacks::on_epoch_end and
+// mirrored into the metrics registry as the series "grimp.epoch.train_loss",
+// "grimp.epoch.val_loss" (when validation is enabled) and
+// "grimp.epoch.seconds".
+struct EpochStats {
+  int epoch = 0;            // 0-based index of the epoch that just finished
+  double train_loss = 0.0;  // summed task training loss for this epoch
+  double val_loss = 0.0;    // summed validation loss (0 when has_val=false)
+  bool has_val = false;     // whether val_loss is meaningful
+  bool improved = false;    // val_loss improved on the best seen so far
+  double seconds = 0.0;     // wall time of this epoch
+};
+
+// Observer hooks for a training run. on_epoch_end fires exactly once per
+// executed epoch; returning false stops training after that epoch (early
+// stopping and max_epochs still apply independently).
+struct TrainCallbacks {
+  std::function<bool(const EpochStats&)> on_epoch_end;
+};
 
 // Configuration of a GRIMP run. Defaults follow the paper's fixed setting
 // (§4.1): attention tasks with weak-diagonal K, 300 epochs with early
@@ -80,6 +107,16 @@ struct GrimpOptions {
 
   uint64_t seed = 42;
   bool verbose = false;
+
+  // Training observer; optional. Not serialized by GrimpEngine::Save.
+  TrainCallbacks callbacks;
+
+  // Checks every field for internal consistency (positive dimensions,
+  // validation_fraction in [0, 1) where 0 disables validation, fds present
+  // when k_strategy needs them, ...). Called by GrimpImputer::Impute and
+  // GrimpEngine::Fit before any work happens; returns InvalidArgument with
+  // the offending field named.
+  Status Validate() const;
 };
 
 }  // namespace grimp

@@ -2,24 +2,6 @@
 
 namespace grimp {
 
-const char* TaskKindName(TaskKind kind) {
-  return kind == TaskKind::kLinear ? "linear" : "attention";
-}
-
-const char* KStrategyName(KStrategy strategy) {
-  switch (strategy) {
-    case KStrategy::kDiagonal:
-      return "diagonal";
-    case KStrategy::kTargetColumn:
-      return "target_column";
-    case KStrategy::kWeakDiagonal:
-      return "weak_diagonal";
-    case KStrategy::kWeakDiagonalFd:
-      return "weak_diagonal_fd";
-  }
-  return "?";
-}
-
 LinearTaskHead::LinearTaskHead(std::string name, int num_cols, int dim,
                                int hidden, int out_dim, Rng* rng)
     : mlp_(std::move(name),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/trace.h"
 #include "embedding/random_init.h"
 #include "embedding/walks.h"
 
@@ -13,6 +14,7 @@ Result<PretrainedFeatures> EmbdiFeatureInit::Init(const Table& table,
                                                   int dim,
                                                   uint64_t seed) const {
   if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  GRIMP_TRACE_SPAN("feature_init");
   Rng rng(seed);
   WalkGraph wg(tg.graph.num_nodes());
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "embedding/random_init.h"
 
 namespace grimp {
@@ -66,6 +67,7 @@ Result<PretrainedFeatures> NgramFeatureInit::Init(const Table& table,
                                                   int dim,
                                                   uint64_t seed) const {
   if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  GRIMP_TRACE_SPAN("feature_init");
   PretrainedFeatures out;
   out.node_features = Tensor::Zeros(tg.graph.num_nodes(), dim);
   // Cell nodes: embed the value string.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/trace.h"
+
 namespace grimp {
 
 void FillColumnFeaturesFromCells(const Table& table, const TableGraph& tg,
@@ -38,6 +40,7 @@ Result<PretrainedFeatures> RandomFeatureInit::Init(const Table& table,
                                                    int dim,
                                                    uint64_t seed) const {
   if (dim <= 0) return Status::InvalidArgument("dim must be positive");
+  GRIMP_TRACE_SPAN("feature_init");
   Rng rng(seed);
   PretrainedFeatures out;
   const float stddev = 1.0f / std::sqrt(static_cast<float>(dim));

@@ -1,6 +1,6 @@
 #include "eval/runner.h"
 
-#include <chrono>
+#include "common/trace.h"
 
 namespace grimp {
 
@@ -8,11 +8,9 @@ RunResult RunAlgorithm(const Table& clean, const CorruptedTable& corrupted,
                        ImputationAlgorithm* algorithm, Table* imputed_out) {
   RunResult result;
   result.algorithm = algorithm->name();
-  const auto t0 = std::chrono::steady_clock::now();
+  TraceSpan span("eval.impute");
   Result<Table> imputed = algorithm->Impute(corrupted.dirty);
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.seconds = span.Stop();
   if (!imputed.ok()) {
     result.status = imputed.status();
     return result;

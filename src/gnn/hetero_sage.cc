@@ -1,5 +1,7 @@
 #include "gnn/hetero_sage.h"
 
+#include "common/trace.h"
+
 namespace grimp {
 
 SageSubmodule::SageSubmodule(std::string name, int64_t in_dim,
@@ -92,6 +94,7 @@ HeteroGnn::HeteroGnn(int num_edge_types, int64_t in_dim, int64_t hidden_dim,
 
 Tape::VarId HeteroGnn::Forward(Tape* tape, Tape::VarId features,
                                const HeteroGraph& graph) const {
+  GRIMP_TRACE_SPAN("gnn.forward");
   Tape::VarId h = features;
   for (size_t l = 0; l < layers_.size(); ++l) {
     h = layers_[l].Forward(tape, h, graph);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace grimp {
 
@@ -38,6 +39,7 @@ CsrAdjacency CapNeighbors(const CsrAdjacency& adj, int cap, Rng* rng) {
 TableGraph BuildTableGraph(const Table& table,
                            const std::vector<CellRef>& excluded_cells,
                            const GraphBuildOptions& options) {
+  GRIMP_TRACE_SPAN("graph_build");
   TableGraph tg;
   const int64_t n = table.num_rows();
   const int m = table.num_cols();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace grimp {
@@ -177,10 +178,20 @@ void GemmRowRange(const float* a, int64_t as_i, int64_t as_p, const float* b,
 void GemmDispatch(const float* a, int64_t as_i, int64_t as_p, const float* b,
                   int64_t ldb, float* c, int64_t ldc, int64_t m, int64_t k,
                   int64_t n) {
-  if (m * k * n < kGemmParallelFlops || ThreadPool::GlobalThreads() <= 1) {
+  static Counter& calls =
+      MetricsRegistry::Global().GetCounter("gemm.calls");
+  static Counter& parallel_calls =
+      MetricsRegistry::Global().GetCounter("gemm.parallel_calls");
+  static Histogram& flops_hist =
+      MetricsRegistry::Global().GetHistogram("gemm.flops");
+  const int64_t flops = m * k * n;
+  calls.Increment();
+  flops_hist.Record(static_cast<double>(flops));
+  if (flops < kGemmParallelFlops || ThreadPool::GlobalThreads() <= 1) {
     GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, 0, m, k, n);
     return;
   }
+  parallel_calls.Increment();
   ParallelFor(0, m, kGemmRowGrain, [&](int64_t row_begin, int64_t row_end) {
     GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, row_begin, row_end, k, n);
   });

@@ -107,6 +107,123 @@ TEST(GrimpTest, RejectsEmptyTable) {
   EXPECT_FALSE(grimp.Impute(empty).ok());
 }
 
+TEST(GrimpOptionsTest, ValidateAcceptsDefaultsAndZeroValidation) {
+  EXPECT_TRUE(GrimpOptions{}.Validate().ok());
+  GrimpOptions options = FastOptions();
+  options.validation_fraction = 0.0;  // "no validation" must stay legal
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(GrimpOptionsTest, ValidateRejectsEachBadField) {
+  const auto rejects = [](void (*corrupt)(GrimpOptions*)) {
+    GrimpOptions options;
+    corrupt(&options);
+    const Status status = options.Validate();
+    EXPECT_FALSE(status.ok());
+    return !status.ok();
+  };
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->dim = 0; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->dim = -4; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->shared_hidden = 0; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->task_hidden = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->gnn_layers = 0; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->max_epochs = 0; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->patience = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->validation_fraction = -0.1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->validation_fraction = 1.0; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->learning_rate = 0.0f; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->learning_rate = -1e-3f; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->grad_clip = -1.0f; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->focal_gamma = -0.5f; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->neighbor_cap = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->max_samples_per_task = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->num_threads = -2; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->k_strategy = KStrategy::kWeakDiagonalFd;  // with empty fds
+  }));
+}
+
+TEST(GrimpOptionsTest, ImputeReturnsInvalidArgumentForBadOptions) {
+  GrimpOptions options = FastOptions();
+  options.dim = -1;
+  GrimpImputer grimp(options);
+  Table clean = StructuredTable(30);
+  const auto result = grimp.Impute(clean);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GrimpOptionsTest, EnumNamesRoundTripThroughParse) {
+  for (TaskKind kind : {TaskKind::kLinear, TaskKind::kAttention}) {
+    auto parsed = ParseTaskKind(TaskKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (KStrategy strategy :
+       {KStrategy::kDiagonal, KStrategy::kTargetColumn,
+        KStrategy::kWeakDiagonal, KStrategy::kWeakDiagonalFd}) {
+    auto parsed = ParseKStrategy(KStrategyName(strategy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, strategy);
+  }
+  EXPECT_FALSE(ParseTaskKind("mlp").ok());
+  EXPECT_FALSE(ParseKStrategy("dense").ok());
+}
+
+TEST(GrimpTest, CallbacksFireOncePerEpoch) {
+  Table clean = StructuredTable(60);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 11);
+  GrimpOptions options = FastOptions();
+  options.max_epochs = 8;
+  std::vector<EpochStats> seen;
+  options.callbacks.on_epoch_end = [&seen](const EpochStats& stats) {
+    seen.push_back(stats);
+    return true;
+  };
+  GrimpImputer grimp(options);
+  ASSERT_TRUE(grimp.Impute(corrupted.dirty).ok());
+  ASSERT_EQ(static_cast<int>(seen.size()), grimp.report().epochs_run);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].epoch, static_cast<int>(i));
+    EXPECT_TRUE(seen[i].has_val);
+    EXPECT_GT(seen[i].train_loss, 0.0);
+    EXPECT_GE(seen[i].seconds, 0.0);
+  }
+}
+
+TEST(GrimpTest, CallbackCanStopTraining) {
+  Table clean = StructuredTable(60);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 12);
+  GrimpOptions options = FastOptions();
+  options.max_epochs = 40;
+  options.callbacks.on_epoch_end = [](const EpochStats& stats) {
+    return stats.epoch < 2;  // run epochs 0, 1, 2 then stop
+  };
+  GrimpImputer grimp(options);
+  auto imputed = grimp.Impute(corrupted.dirty);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_EQ(grimp.report().epochs_run, 3);
+  EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
+}
+
+TEST(GrimpTest, CallbacksDoNotPerturbResults) {
+  Table clean = StructuredTable(60);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 13);
+  GrimpOptions options = FastOptions();
+  options.max_epochs = 15;
+  GrimpImputer plain(options);
+  options.callbacks.on_epoch_end = [](const EpochStats&) { return true; };
+  GrimpImputer observed(options);
+  auto ia = plain.Impute(corrupted.dirty);
+  auto ib = observed.Impute(corrupted.dirty);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  for (const CellRef& cell : corrupted.missing_cells) {
+    EXPECT_EQ(ia->column(cell.col).StringAt(cell.row),
+              ib->column(cell.col).StringAt(cell.row));
+  }
+}
+
 class GrimpConfigTest : public ::testing::TestWithParam<int> {};
 
 // Every ablation / head / feature configuration must run end-to-end and

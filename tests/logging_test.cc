@@ -40,6 +40,34 @@ TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH({ GRIMP_CHECK_EQ(1, 2); }, "Check failed");
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNamesUntouched) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(LoggingTest, MonotonicSecondsIsNonDecreasing) {
+  const double a = MonotonicSeconds();
+  const double b = MonotonicSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
 TEST(LoggingTest, DcheckCompilesInBothModes) {
   // In release builds GRIMP_DCHECK is a no-op; in debug it must pass here.
   GRIMP_DCHECK(1 + 1 == 2);

@@ -128,6 +128,17 @@ TEST(ModelPersistenceTest, SaveRequiresFittedEngine) {
   EXPECT_FALSE(engine.Save(TempPath("grimp_unfitted.bin")).ok());
 }
 
+TEST(ModelPersistenceTest, FitValidatesOptions) {
+  auto clean = GenerateDatasetByName("mammogram", 5, 60);
+  ASSERT_TRUE(clean.ok());
+  GrimpOptions options;
+  options.max_epochs = -3;
+  GrimpEngine engine(options);
+  const Status status = engine.Fit(*clean);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
 TEST(ModelPersistenceTest, LoadRejectsGarbage) {
   const std::string path = TempPath("grimp_garbage.bin");
   {
