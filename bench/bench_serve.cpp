@@ -1,0 +1,234 @@
+// Serving-layer benchmark: 8 concurrent loopback clients hammer one model
+// through the RequestScheduler, once with micro-batching disabled
+// (max_batch=1) and once with batching + a short linger window. Batched
+// throughput must beat batch-1 throughput or the run exits non-zero; both
+// configs also verify a served row against a direct offline Transform.
+//
+// Prints a throughput/latency table (p50/p99 end-to-end from the
+// serve.e2e_micros histogram, batch sizes from serve.batch_size) and writes
+// machine-readable results to BENCH_serve.json (cwd).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/engine.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+namespace {
+
+using grimp::AttrType;
+using grimp::GrimpEngine;
+using grimp::GrimpOptions;
+using grimp::ImputeRequest;
+using grimp::MetricsRegistry;
+using grimp::ModelRegistry;
+using grimp::RequestScheduler;
+using grimp::Schema;
+using grimp::SchedulerOptions;
+using grimp::Table;
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 30;
+
+Table TrainingTable() {
+  Schema schema({{"brand", AttrType::kCategorical},
+                 {"model", AttrType::kCategorical},
+                 {"tier", AttrType::kCategorical},
+                 {"price", AttrType::kNumerical}});
+  Table t(schema);
+  const char* rows[][4] = {{"acer", "swift", "mid", "4"},
+                           {"dell", "xps", "high", "7"},
+                           {"apple", "mac", "high", "12"},
+                           {"lenovo", "yoga", "mid", "6"},
+                           {"asus", "zen", "low", "3"}};
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const auto& row : rows) {
+      if (!t.AppendRow({row[0], row[1], row[2], row[3]}).ok()) std::abort();
+    }
+  }
+  return t;
+}
+
+Table DirtyRow(int which) {
+  Table t(TrainingTable().schema());
+  const char* rows[][4] = {{"acer", "", "mid", "4"},
+                           {"", "xps", "high", "7"},
+                           {"apple", "mac", "", "12"},
+                           {"lenovo", "yoga", "mid", ""}};
+  const auto& row = rows[which % 4];
+  if (!t.AppendRow({row[0], row[1], row[2], row[3]}).ok()) std::abort();
+  return t;
+}
+
+std::string CellsOf(const Table& table) {
+  std::string out;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    out += table.column(c).StringAt(0);
+    out += '|';
+  }
+  return out;
+}
+
+struct ConfigResult {
+  std::string name;
+  double seconds = 0.0;
+  double throughput = 0.0;  // requests/second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  double max_batch = 0.0;
+  int64_t batches = 0;
+};
+
+ConfigResult RunConfig(const std::string& name, ModelRegistry& registry,
+                       const GrimpEngine& engine,
+                       const SchedulerOptions& options) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.Reset();  // per-config serve.* numbers, registrations survive
+
+  RequestScheduler scheduler(options);
+  std::vector<std::thread> clients;
+  std::vector<int> errors(kClients, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int which = (c + i) % 4;
+        auto handle = registry.Acquire("laptops");
+        if (!handle.ok()) {
+          errors[c]++;
+          continue;
+        }
+        ImputeRequest request;
+        request.model = std::move(*handle);
+        request.table = DirtyRow(which);
+        auto served = scheduler.Impute(std::move(request));
+        if (!served.ok()) {
+          errors[c]++;
+          continue;
+        }
+        // Bit-identity spot check against the offline path.
+        auto direct = engine.Transform(DirtyRow(which));
+        if (!direct.ok() || CellsOf(*served) != CellsOf(*direct)) errors[c]++;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  scheduler.Shutdown();
+
+  for (int c = 0; c < kClients; ++c) {
+    if (errors[c] != 0) {
+      std::fprintf(stderr, "config %s: client %d had %d errors/mismatches\n",
+                   name.c_str(), c, errors[c]);
+      std::exit(1);
+    }
+  }
+
+  const grimp::Histogram& e2e = metrics.GetHistogram("serve.e2e_micros");
+  const grimp::Histogram& batch = metrics.GetHistogram("serve.batch_size");
+  ConfigResult result;
+  result.name = name;
+  result.seconds = seconds;
+  result.throughput = kClients * kRequestsPerClient / seconds;
+  result.p50_ms = e2e.ValueAtPercentile(50.0) / 1e3;
+  result.p99_ms = e2e.ValueAtPercentile(99.0) / 1e3;
+  result.batches = batch.count();
+  result.mean_batch =
+      batch.count() > 0 ? batch.sum() / static_cast<double>(batch.count())
+                        : 0.0;
+  result.max_batch = batch.max();
+  return result;
+}
+
+std::string ToJson(const ConfigResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"config\": \"%s\", \"requests\": %d, "
+                "\"seconds\": %.4f, \"throughput_rps\": %.1f, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"batches\": %lld, \"mean_batch\": %.2f, "
+                "\"max_batch\": %.0f}",
+                r.name.c_str(), kClients * kRequestsPerClient, r.seconds,
+                r.throughput, r.p50_ms, r.p99_ms,
+                static_cast<long long>(r.batches), r.mean_batch,
+                r.max_batch);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  GrimpOptions options;
+  options.dim = 16;
+  options.max_epochs = 20;
+  options.validation_fraction = 0.0;
+  options.seed = 11;
+  auto engine = std::make_unique<GrimpEngine>(options);
+  if (!engine->Fit(TrainingTable()).ok()) {
+    std::fprintf(stderr, "fit failed\n");
+    return 1;
+  }
+  const GrimpEngine& engine_ref = *engine;
+
+  ModelRegistry registry;
+  if (!registry.Add("laptops", "1", std::move(engine)).ok()) {
+    std::fprintf(stderr, "registry add failed\n");
+    return 1;
+  }
+
+  SchedulerOptions solo;
+  solo.max_batch = 1;
+  solo.batch_linger_seconds = 0.0;
+
+  SchedulerOptions batched;
+  batched.max_batch = kClients;  // one linger window can fill a full batch
+  batched.batch_linger_seconds = 0.005;
+
+  std::printf("serving benchmark: %d clients x %d requests each\n\n", kClients,
+              kRequestsPerClient);
+  const ConfigResult a = RunConfig("batch1", registry, engine_ref, solo);
+  const ConfigResult b = RunConfig("batch8_linger5ms", registry, engine_ref,
+                                   batched);
+
+  std::printf("%-18s %10s %9s %9s %9s %8s %9s\n", "config", "req/s", "p50 ms",
+              "p99 ms", "batches", "mean", "max");
+  for (const ConfigResult* r : {&a, &b}) {
+    std::printf("%-18s %10.1f %9.3f %9.3f %9lld %8.2f %9.0f\n",
+                r->name.c_str(), r->throughput, r->p50_ms, r->p99_ms,
+                static_cast<long long>(r->batches), r->mean_batch,
+                r->max_batch);
+  }
+  std::printf("\nbatched speedup: %.2fx\n", b.throughput / a.throughput);
+
+  std::string json = "{\n  \"clients\": " + std::to_string(kClients) +
+                     ",\n  \"requests_per_client\": " +
+                     std::to_string(kRequestsPerClient) +
+                     ",\n  \"configs\": [\n" + ToJson(a) + ",\n" + ToJson(b) +
+                     "\n  ]\n}\n";
+  if (FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_serve.json\n");
+    return 1;
+  }
+
+  if (b.throughput <= a.throughput) {
+    std::fprintf(stderr,
+                 "FAIL: batched throughput %.1f req/s did not beat "
+                 "batch-1 %.1f req/s\n",
+                 b.throughput, a.throughput);
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/metrics.h"
 #include "core/grimp.h"
 #include "table/table.h"
 
@@ -67,6 +68,13 @@ int main(int argc, char** argv) {
   options.max_epochs = epochs;
   // Tiny inputs need every sample for training.
   if (dirty.num_rows() < 50) options.validation_fraction = 0.0;
+  options.callbacks.on_epoch_end = [](const EpochStats& stats) {
+    if (stats.epoch % 20 == 0) {
+      std::cout << "  epoch " << stats.epoch << ": train_loss "
+                << stats.train_loss << "\n";
+    }
+    return true;
+  };
   GrimpImputer imputer(options);
   auto imputed_or = imputer.Impute(dirty);
   if (!imputed_or.ok()) {
@@ -82,7 +90,9 @@ int main(int argc, char** argv) {
   std::cout << "imputed " << static_cast<int64_t>(
                    dirty.MissingFraction() * dirty.num_rows() *
                    dirty.num_cols())
-            << " cells in " << imputer.report().train_seconds
+            << " cells in "
+            << MetricsRegistry::Global().GetSpanStats("grimp.train")
+                   .total_seconds
             << "s; wrote " << out_path << "\n";
   // Show the filled cells.
   for (int64_t r = 0; r < dirty.num_rows(); ++r) {

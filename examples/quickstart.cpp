@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/metrics.h"
 #include "core/grimp.h"
 #include "data/datasets.h"
 #include "eval/metrics.h"
@@ -41,7 +42,10 @@ int main(int argc, char** argv) {
   grimp::GrimpOptions options;
   options.max_epochs = 60;
   options.verbose = true;
-  options.callbacks.on_epoch_end = [](const grimp::EpochStats& stats) {
+  int epochs_run = 0;
+  options.callbacks.on_epoch_end = [&epochs_run](
+                                       const grimp::EpochStats& stats) {
+    epochs_run = stats.epoch + 1;
     if (stats.epoch % 20 == 0 || stats.improved) {
       std::cout << "epoch " << stats.epoch << ": train_loss "
                 << stats.train_loss << " val_loss " << stats.val_loss
@@ -56,18 +60,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 4. Score against the ground truth.
+  // 4. Score against the ground truth. Training totals come from the live
+  //    telemetry (the epoch callback and the metrics registry) rather than
+  //    the deprecated report() snapshot.
   const grimp::ImputationScore score =
       grimp::ScoreImputation(*imputed_or, corrupted, clean);
+  grimp::MetricsRegistry& metrics = grimp::MetricsRegistry::Global();
   std::cout << "\n--- " << imputer.name() << " ---\n"
             << "categorical accuracy: " << score.Accuracy() << " ("
             << score.categorical_correct << "/" << score.categorical_cells
             << ")\n"
             << "numerical RMSE:       " << score.Rmse() << "\n"
-            << "epochs run:           " << imputer.report().epochs_run << "\n"
-            << "parameters:           " << imputer.report().num_parameters
+            << "epochs run:           " << epochs_run << "\n"
+            << "parameters:           "
+            << static_cast<int64_t>(
+                   metrics.GetGauge("grimp.num_parameters").value())
             << "\n"
-            << "train time:           " << imputer.report().train_seconds
-            << "s\n";
+            << "train time:           "
+            << metrics.GetSpanStats("grimp.train").total_seconds << "s\n";
   return 0;
 }

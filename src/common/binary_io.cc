@@ -1,5 +1,7 @@
 #include "common/binary_io.h"
 
+#include <algorithm>
+
 namespace grimp {
 
 BinaryWriter::BinaryWriter(const std::string& path)
@@ -10,6 +12,11 @@ Status BinaryWriter::status() const {
 }
 
 void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash_ ^= static_cast<uint64_t>(p[i]);
+    hash_ *= kFnvPrime;
+  }
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
 }
@@ -123,6 +130,42 @@ Result<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
   std::vector<int64_t> v(static_cast<size_t>(len));
   GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(int64_t)));
   return v;
+}
+
+Status VerifyTrailingChecksum(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < static_cast<std::streamoff>(sizeof(uint64_t))) {
+    return Status::IoError("file too short for checksum footer: " + path);
+  }
+  const std::streamoff payload = size - sizeof(uint64_t);
+  in.seekg(0, std::ios::beg);
+  uint64_t hash = BinaryWriter::kFnvOffsetBasis;
+  char buf[1 << 16];
+  std::streamoff left = payload;
+  while (left > 0) {
+    const std::streamsize chunk = static_cast<std::streamsize>(
+        std::min<std::streamoff>(left, sizeof(buf)));
+    in.read(buf, chunk);
+    if (in.gcount() != chunk) return Status::IoError("read failed: " + path);
+    for (std::streamsize i = 0; i < chunk; ++i) {
+      hash ^= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]));
+      hash *= BinaryWriter::kFnvPrime;
+    }
+    left -= chunk;
+  }
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in.gcount() != sizeof(stored)) {
+    return Status::IoError("read failed: " + path);
+  }
+  if (stored != hash) {
+    return Status::InvalidArgument(
+        "checksum mismatch in " + path + ": file is truncated or corrupt");
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> BinaryReader::ReadStringVector() {

@@ -39,10 +39,27 @@ class BinaryWriter {
   // Flushes and reports the final status.
   Status Close();
 
+  // FNV-1a hash of every byte written so far. Writing the hash itself as
+  // the file's final u64 (WriteU64(hash())) produces the trailing-checksum
+  // footer that VerifyTrailingChecksum() validates.
+  uint64_t hash() const { return hash_; }
+
  private:
   void WriteRaw(const void* data, size_t bytes);
   std::ofstream out_;
+  uint64_t hash_ = kFnvOffsetBasis;
+
+ public:
+  static constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
 };
+
+// Validates a file whose last 8 bytes are the little-endian FNV-1a hash of
+// everything before them (the footer written via BinaryWriter::hash()).
+// Returns IoError when the file cannot be read or is shorter than the
+// footer, and InvalidArgument naming `path` on checksum mismatch —
+// catching truncation and bit corruption anywhere in the payload.
+Status VerifyTrailingChecksum(const std::string& path);
 
 class BinaryReader {
  public:

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,37 @@ int Histogram::BucketIndex(double value) {
   if (!(value >= 1.0)) return 0;  // also catches NaN
   const int idx = 1 + std::ilogb(value);
   return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+}
+
+double Histogram::ValueAtPercentile(double percentile) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  const double p = std::min(100.0, std::max(0.0, percentile));
+  // Rank of the requested observation (1-based, nearest-rank method).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t in_bucket = bucket_count(b);
+    if (in_bucket <= 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Interpolate linearly inside the bucket [lower, upper); clamp the
+    // open-ended first and last buckets to the observed min/max.
+    double lower = b == 0 ? std::min(this->min(), 1.0)
+                          : BucketUpperBound(b - 1);
+    double upper = BucketUpperBound(b);
+    if (!std::isfinite(upper)) upper = std::max(this->max(), lower);
+    lower = std::max(lower, this->min());
+    upper = std::min(upper, this->max());
+    if (upper < lower) upper = lower;
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return this->max();
 }
 
 void Histogram::Reset() {

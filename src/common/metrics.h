@@ -77,6 +77,12 @@ class Histogram {
   static double BucketUpperBound(int bucket);
   // Bucket index a value falls into.
   static int BucketIndex(double value);
+  // Approximate percentile (0..100) by nearest rank over the log2 buckets,
+  // linearly interpolated inside the winning bucket and clamped to the
+  // exact observed min/max. Resolution is the bucket width (a factor of
+  // two), so record in fine-grained units (e.g. microseconds, not
+  // seconds) when tail latencies matter. Returns 0 when empty.
+  double ValueAtPercentile(double percentile) const;
 
   void Reset();
 

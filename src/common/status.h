@@ -20,6 +20,12 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  // Serving-path rejections (see src/serve/): the request was well-formed
+  // but the system refused it. kUnavailable = transient overload or
+  // shutdown (retry later, possibly elsewhere); kDeadlineExceeded = the
+  // caller's deadline passed before the work finished.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name ("OK", "Invalid argument", ...).
@@ -62,6 +68,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -74,6 +86,9 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
@@ -83,6 +98,10 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
  private:
   struct State {

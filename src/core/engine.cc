@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/binary_io.h"
 #include "common/metrics.h"
@@ -19,8 +20,10 @@ namespace {
 
 // Gather indices of one tuple's training/imputation vector: cell nodes of
 // the row with `masked_col` (and missing cells) mapped to -1.
+// `node_offset` shifts node ids into a batched union graph (0 solo).
 void AppendRowIndices(const Table& table, const TableGraph& tg, int64_t row,
-                      int masked_col, std::vector<int32_t>* idx) {
+                      int masked_col, int64_t node_offset,
+                      std::vector<int32_t>* idx) {
   for (int c = 0; c < table.num_cols(); ++c) {
     if (c == masked_col) {
       idx->push_back(-1);
@@ -28,7 +31,8 @@ void AppendRowIndices(const Table& table, const TableGraph& tg, int64_t row,
     }
     const int32_t code = table.column(c).CodeAt(row);
     const int64_t node = code < 0 ? -1 : tg.CellNode(c, code);
-    idx->push_back(node < 0 ? -1 : static_cast<int32_t>(node));
+    idx->push_back(node < 0 ? -1
+                            : static_cast<int32_t>(node + node_offset));
   }
 }
 
@@ -180,7 +184,7 @@ Status GrimpEngine::Fit(const Table& source) {
                                                 batch.train_targets.size());
       if (kept >= options_.max_samples_per_task) return;
     }
-    AppendRowIndices(source, tg, s.row, s.target_col,
+    AppendRowIndices(source, tg, s.row, s.target_col, /*node_offset=*/0,
                      is_val ? &batch.val_idx : &batch.train_idx);
     const Column& col = source.column(s.target_col);
     if (col.is_categorical()) {
@@ -207,6 +211,8 @@ Status GrimpEngine::Fit(const Table& source) {
   int epochs_since_best = 0;
 
   MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("grimp.num_parameters")
+      .Set(static_cast<double>(report_.num_parameters));
   Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
   Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
   Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
@@ -312,7 +318,8 @@ Status GrimpEngine::Fit(const Table& source) {
 
 namespace {
 constexpr uint64_t kModelMagic = 0x4752494d504d444cULL;  // "GRIMPMDL"
-constexpr uint32_t kModelVersion = 1;
+// v2: trailing FNV-1a checksum footer over the whole payload.
+constexpr uint32_t kModelVersion = 2;
 }  // namespace
 
 
@@ -350,14 +357,15 @@ Result<Tensor> GrimpEngine::AttentionSummary(const Table& table) const {
     int64_t n = 0;
     for (int64_t r = 0; r < table.num_rows(); ++r) {
       if (!table.IsMissing(r, task.col)) continue;
-      AppendRowIndices(table, tg, r, task.col, &idx);
+      AppendRowIndices(table, tg, r, task.col, /*node_offset=*/0, &idx);
       ++n;
     }
     if (n == 0) continue;
     Tape::VarId flat = tape.GatherRows(h_shared, idx);
-    (void)task.head->Forward(
-        &tape, tape.Reshape(flat, n, static_cast<int64_t>(num_cols) * dim));
-    const Tensor& att = attention_head->last_attention();
+    Tensor att;
+    (void)attention_head->ForwardWithAttention(
+        &tape, tape.Reshape(flat, n, static_cast<int64_t>(num_cols) * dim),
+        &att);
     for (int64_t r = 0; r < att.rows(); ++r) {
       for (int c = 0; c < num_cols; ++c) {
         summary.at(task.col, c) +=
@@ -418,6 +426,10 @@ Status GrimpEngine::Save(const std::string& path) {
                             p->value.data() + p->value.size());
     writer.WriteF32Vector(data);
   }
+  // Footer: FNV-1a over every payload byte above, so Load can reject
+  // truncated or bit-flipped artifacts before deserializing them.
+  const uint64_t checksum = writer.hash();
+  writer.WriteU64(checksum);
   return writer.Close();
 }
 
@@ -431,9 +443,13 @@ Result<std::unique_ptr<GrimpEngine>> GrimpEngine::Load(
   }
   GRIMP_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
   if (version != kModelVersion) {
-    return Status::InvalidArgument("unsupported model version " +
-                                   std::to_string(version));
+    return Status::InvalidArgument(
+        "unsupported model version in " + path + ": expected " +
+        std::to_string(kModelVersion) + ", found " + std::to_string(version));
   }
+  // The sequential reader below never consumes the 8-byte footer, so the
+  // whole-file pass here is the only integrity check.
+  GRIMP_RETURN_IF_ERROR(VerifyTrailingChecksum(path));
 
   GrimpOptions options;
   GRIMP_ASSIGN_OR_RETURN(int32_t features, reader.ReadI32());
@@ -532,41 +548,112 @@ Result<std::unique_ptr<GrimpEngine>> GrimpEngine::Load(
   return engine;
 }
 
-Result<Table> GrimpEngine::Transform(const Table& table) const {
+Status GrimpEngine::CheckCompatible(const Table& table) const {
   if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
-  GRIMP_RETURN_IF_ERROR(CheckSchema(table));
+  return CheckSchema(table);
+}
+
+Result<Table> GrimpEngine::Transform(const Table& table) const {
   GRIMP_TRACE_SPAN("grimp.transform");
-  const int num_cols = table.num_cols();
+  GRIMP_ASSIGN_OR_RETURN(std::vector<Table> out, TransformBatch({&table}));
+  return std::move(out[0]);
+}
+
+Result<std::vector<Table>> GrimpEngine::TransformBatch(
+    const std::vector<const Table*>& tables) const {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  if (tables.empty()) return std::vector<Table>{};
+  for (const Table* t : tables) {
+    if (t == nullptr) return Status::InvalidArgument("null table in batch");
+    GRIMP_RETURN_IF_ERROR(CheckSchema(*t));
+  }
+  GRIMP_TRACE_SPAN("grimp.transform_batch");
+  const int num_cols = schema_.num_fields();
   const int dim = options_.dim;
 
-  // Fresh graph and deterministic n-gram features for the target table;
-  // the trained weights run message passing over them unchanged.
+  // Each request gets the graph and deterministic n-gram features a solo
+  // Transform() would build — same options, same seed derivation (the
+  // n-gram seed must match Fit's: second draw of Rng(options.seed) after
+  // the corpus fork). Batching then stitches the per-request graphs into a
+  // block-diagonal disjoint union: message passing cannot cross request
+  // boundaries, and every kernel downstream is row-independent, so each
+  // result is bit-identical to its solo Transform().
+  struct RequestCtx {
+    TableGraph tg;
+    PretrainedFeatures features;
+    int64_t offset = 0;  // this request's first node id in the union
+  };
   GraphBuildOptions graph_options;
   graph_options.max_neighbors_per_node = options_.neighbor_cap;
   graph_options.seed = options_.seed;
-  const TableGraph tg = BuildTableGraph(table, {}, graph_options);
   auto initializer = MakeFeatureInitializer(options_.features);
-  // The n-gram seed must match Fit's: GrimpImputer/Fit derive it as the
-  // second draw of Rng(options.seed) after the corpus fork.
-  Rng rng(options_.seed);
-  rng.Fork();
-  GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
-                         initializer->Init(table, tg, dim, rng.Next()));
+  std::vector<RequestCtx> ctxs(tables.size());
+  int64_t total_nodes = 0;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    RequestCtx& ctx = ctxs[i];
+    ctx.tg = BuildTableGraph(*tables[i], {}, graph_options);
+    Rng rng(options_.seed);
+    rng.Fork();
+    GRIMP_ASSIGN_OR_RETURN(
+        ctx.features, initializer->Init(*tables[i], ctx.tg, dim, rng.Next()));
+    ctx.offset = total_nodes;
+    total_nodes += ctx.tg.graph.num_nodes();
+  }
+  GRIMP_CHECK(total_nodes < std::numeric_limits<int32_t>::max());
+
+  // Union node table + features, then one stitched CSR per edge type.
+  // FromParts adopts each neighbor list verbatim (only shifted), so
+  // SegmentMean aggregates in exactly the per-request order.
+  HeteroGraph union_graph;
+  Tensor union_feats(total_nodes, dim);
+  for (const RequestCtx& ctx : ctxs) {
+    for (const NodeInfo& info : ctx.tg.graph.nodes()) {
+      union_graph.AddNode(info);
+    }
+    const Tensor& f = ctx.features.node_features;
+    std::copy(f.data(), f.data() + f.size(),
+              union_feats.data() + ctx.offset * dim);
+  }
+  std::vector<CsrAdjacency> union_adj;
+  for (int t = 0; t < num_cols; ++t) {
+    std::vector<int32_t> offsets{0};
+    std::vector<int32_t> indices;
+    for (const RequestCtx& ctx : ctxs) {
+      const CsrAdjacency& adj = ctx.tg.graph.adjacency(t);
+      const int32_t edge_base = static_cast<int32_t>(indices.size());
+      for (size_t k = 1; k < adj.offsets().size(); ++k) {
+        offsets.push_back(adj.offsets()[k] + edge_base);
+      }
+      for (int32_t dst : adj.indices()) {
+        indices.push_back(dst + static_cast<int32_t>(ctx.offset));
+      }
+    }
+    union_adj.push_back(
+        CsrAdjacency::FromParts(std::move(offsets), std::move(indices)));
+  }
+  union_graph.SetAdjacency(std::move(union_adj));
 
   Tape tape;
-  Tape::VarId feats = tape.Constant(features.node_features);
+  Tape::VarId feats = tape.Constant(union_feats);
   Tape::VarId h =
-      options_.use_gnn ? gnn_.Forward(&tape, feats, tg.graph) : feats;
+      options_.use_gnn ? gnn_.Forward(&tape, feats, union_graph) : feats;
   Tape::VarId h_shared = shared_.Forward(&tape, h);
 
-  Table imputed = table;
+  std::vector<Table> imputed;
+  imputed.reserve(tables.size());
+  for (const Table* t : tables) imputed.push_back(*t);
+
   for (const TaskState& task : tasks_) {
     std::vector<int32_t> idx;
-    std::vector<int64_t> rows;
-    for (int64_t r = 0; r < table.num_rows(); ++r) {
-      if (!table.IsMissing(r, task.col)) continue;
-      AppendRowIndices(table, tg, r, task.col, &idx);
-      rows.push_back(r);
+    std::vector<std::pair<size_t, int64_t>> rows;  // (request, row)
+    for (size_t i = 0; i < tables.size(); ++i) {
+      const Table& table = *tables[i];
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        if (!table.IsMissing(r, task.col)) continue;
+        AppendRowIndices(table, ctxs[i].tg, r, task.col, ctxs[i].offset,
+                         &idx);
+        rows.emplace_back(i, r);
+      }
     }
     if (rows.empty()) continue;
     Tape::VarId flat = tape.GatherRows(h_shared, idx);
@@ -575,8 +662,9 @@ Result<Table> GrimpEngine::Transform(const Table& table) const {
                             static_cast<int64_t>(num_cols) * dim));
     const Tensor& scores = tape.value(out);
     const Dictionary& dict = source_dicts_[static_cast<size_t>(task.col)];
-    Column& dst = imputed.mutable_column(task.col);
     for (size_t i = 0; i < rows.size(); ++i) {
+      Column& dst = imputed[rows[i].first].mutable_column(task.col);
+      const int64_t row = rows[i].second;
       if (task.categorical) {
         // Argmax over the *source* domain; decode to the value string.
         int32_t best = -1;
@@ -589,9 +677,9 @@ Result<Table> GrimpEngine::Transform(const Table& table) const {
             best_score = s;
           }
         }
-        if (best >= 0) dst.SetCategorical(rows[i], dict.ValueOf(best));
+        if (best >= 0) dst.SetCategorical(row, dict.ValueOf(best));
       } else {
-        dst.SetNumerical(rows[i],
+        dst.SetNumerical(row,
                          normalizer_.Denormalize(
                              task.col, scores.at(static_cast<int64_t>(i), 0)));
       }

@@ -44,7 +44,28 @@ class GrimpEngine {
 
   // Imputes every missing cell of `table` using the fitted model. `table`
   // must have the source's schema (column names and types, in order).
+  //
+  // Thread safety: Transform/TransformBatch only read model state (the
+  // tape, graph and features are per-call), so any number of calls may run
+  // concurrently on one fitted engine and each produces bit-identical
+  // results to a serial run. Fit/Save/Load must not run concurrently with
+  // them.
   Result<Table> Transform(const Table& table) const;
+
+  // Batched inference for the serving layer: imputes every table in one
+  // tape/GNN/task forward by stitching the per-table graphs into a
+  // block-diagonal disjoint union. Message passing never crosses table
+  // boundaries and every kernel in the inference path is row-independent,
+  // so result i is bit-identical to Transform(*tables[i]) — micro-batching
+  // amortizes cost without changing any answer. Fails if any table's
+  // schema mismatches (use CheckCompatible to reject individual requests
+  // up front).
+  Result<std::vector<Table>> TransformBatch(
+      const std::vector<const Table*>& tables) const;
+
+  // Admission check for serving: OK iff the engine is fitted and `table`
+  // matches the fitted schema. Never touches mutable state.
+  Status CheckCompatible(const Table& table) const;
 
   // Model persistence: writes the fitted model (configuration, source
   // schema/domains/normalizer, and every trained weight) to a binary
@@ -62,6 +83,9 @@ class GrimpEngine {
   bool fitted() const { return fitted_; }
   const TrainReport& report() const { return report_; }
   const GrimpOptions& options() const { return options_; }
+  // Source schema captured at Fit time (empty before Fit/Load). The
+  // serving layer uses it to build request rows by column name.
+  const Schema& schema() const { return schema_; }
 
  private:
   struct TaskState {

@@ -274,6 +274,8 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   int epochs_since_best = 0;
 
   MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("grimp.num_parameters")
+      .Set(static_cast<double>(report_.num_parameters));
   Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
   Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
   Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");

@@ -75,12 +75,17 @@ AttentionTaskHead::AttentionTaskHead(std::string name,
 }
 
 Tape::VarId AttentionTaskHead::Forward(Tape* tape, Tape::VarId v) const {
+  return ForwardWithAttention(tape, v, nullptr);
+}
+
+Tape::VarId AttentionTaskHead::ForwardWithAttention(
+    Tape* tape, Tape::VarId v, Tensor* attention_out) const {
   Tape::VarId q = tape->Leaf(&q_);
   Tape::VarId kq = tape->MatMul(tape->Constant(k_), q);     // C x D
   Tape::VarId a = tape->MatMul(tape->Constant(m_), kq);     // 1 x D
   Tape::VarId scores = tape->ColBlockDot(v, a, num_cols_);  // N x C
   Tape::VarId alpha = tape->RowSoftmax(scores);
-  last_attention_ = tape->value(alpha);
+  if (attention_out != nullptr) *attention_out = tape->value(alpha);
   Tape::VarId ctx = tape->ColBlockWeightedSum(v, alpha, num_cols_);  // N x D
   return head_.Forward(tape, ctx);
 }

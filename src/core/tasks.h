@@ -69,14 +69,18 @@ class AttentionTaskHead : public TaskHead {
                     Rng* rng, int head_hidden = 64);
 
   Tape::VarId Forward(Tape* tape, Tape::VarId v) const override;
+  // Forward that also copies the attention weights (N x C) into
+  // *attention_out (used by GrimpEngine::AttentionSummary and tests).
+  // Plain Forward records nothing: a head holds no per-call state, so
+  // concurrent Forward calls on one fitted model are race-free — the
+  // invariant the serving layer's batched Transform relies on.
+  Tape::VarId ForwardWithAttention(Tape* tape, Tape::VarId v,
+                                   Tensor* attention_out) const;
   void CollectParameters(std::vector<Parameter*>* out) override;
   int64_t NumParameters() const override;
   void SetOutputBias(const std::vector<float>& bias) override {
     head_.SetOutputBias(bias);
   }
-
-  // Attention weights of the most recent Forward (N x C), for diagnostics.
-  const Tensor& last_attention() const { return last_attention_; }
 
  private:
   int num_cols_;
@@ -85,7 +89,6 @@ class AttentionTaskHead : public TaskHead {
   Tensor k_;             // C x C fixed diagonal selection matrix
   Tensor m_;             // 1 x C ones
   Mlp head_;             // D -> (hidden) -> out_dim
-  mutable Tensor last_attention_;
 };
 
 }  // namespace grimp

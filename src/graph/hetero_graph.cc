@@ -30,4 +30,14 @@ CsrAdjacency CsrAdjacency::FromEdges(
   return adj;
 }
 
+CsrAdjacency CsrAdjacency::FromParts(std::vector<int32_t> offsets,
+                                     std::vector<int32_t> indices) {
+  GRIMP_CHECK(!offsets.empty());
+  GRIMP_CHECK_EQ(static_cast<size_t>(offsets.back()), indices.size());
+  CsrAdjacency adj;
+  adj.offsets_ = std::move(offsets);
+  adj.indices_ = std::move(indices);
+  return adj;
+}
+
 }  // namespace grimp

@@ -30,6 +30,13 @@ class CsrAdjacency {
   static CsrAdjacency FromEdges(
       int64_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges);
 
+  // Adopts prebuilt CSR arrays verbatim (offsets.size() == num_nodes + 1,
+  // offsets.back() == indices.size()). Used to stitch block-diagonal union
+  // graphs out of per-request adjacencies without re-deriving (and thereby
+  // possibly re-ordering) any neighbor list.
+  static CsrAdjacency FromParts(std::vector<int32_t> offsets,
+                                std::vector<int32_t> indices);
+
   int64_t num_nodes() const {
     return static_cast<int64_t>(offsets_.size()) - 1;
   }

@@ -1,0 +1,202 @@
+// grimp_serve: train/save GRIMP models and serve online imputation over a
+// line protocol (NDJSON or CSV) on stdin/stdout.
+//
+//   grimp_serve fit --csv data.csv --out model.bin [--epochs N] [--dim N]
+//                   [--seed N] [--linear] [--quiet]
+//   grimp_serve serve --model name[@version]=model.bin [--model ...]
+//                     [--default name[@version]] [--format ndjson|csv]
+//                     [--max-queue N] [--max-batch N] [--linger-ms F]
+//                     [--workers N] [--deadline-ms F]
+//
+// serve reads one request per stdin line and writes one response per
+// stdout line until EOF (pipe-friendly: every response is flushed). Set
+// GRIMP_METRICS_JSON=<path> to dump the serve.* metrics at exit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/server.h"
+
+namespace {
+
+using grimp::GrimpEngine;
+using grimp::GrimpOptions;
+using grimp::ImputationServer;
+using grimp::ModelRegistry;
+using grimp::ServerOptions;
+using grimp::Status;
+using grimp::Table;
+using grimp::WireFormat;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  grimp_serve fit --csv <data.csv> --out <model.bin> [--epochs N]\n"
+      "             [--dim N] [--seed N] [--linear] [--quiet]\n"
+      "  grimp_serve serve --model name[@version]=<model.bin> [--model ...]\n"
+      "             [--default name[@version]] [--format ndjson|csv]\n"
+      "             [--max-queue N] [--max-batch N] [--linger-ms F]\n"
+      "             [--workers N] [--deadline-ms F]\n");
+  return 2;
+}
+
+bool NextArg(int argc, char** argv, int* i, std::string* value) {
+  if (*i + 1 >= argc) return false;
+  *value = argv[++*i];
+  return true;
+}
+
+int RunFit(int argc, char** argv) {
+  std::string csv_path, out_path;
+  GrimpOptions options;
+  options.max_epochs = 60;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--csv" && NextArg(argc, argv, &i, &value)) {
+      csv_path = value;
+    } else if (arg == "--out" && NextArg(argc, argv, &i, &value)) {
+      out_path = value;
+    } else if (arg == "--epochs" && NextArg(argc, argv, &i, &value)) {
+      options.max_epochs = std::atoi(value.c_str());
+    } else if (arg == "--dim" && NextArg(argc, argv, &i, &value)) {
+      options.dim = std::atoi(value.c_str());
+    } else if (arg == "--seed" && NextArg(argc, argv, &i, &value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (arg == "--linear") {
+      options.task_kind = grimp::TaskKind::kLinear;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "grimp_serve fit: unknown argument %s\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+  if (csv_path.empty() || out_path.empty()) return Usage();
+
+  auto table = Table::FromCsvFile(csv_path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "grimp_serve fit: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    options.callbacks.on_epoch_end = [](const grimp::EpochStats& stats) {
+      std::fprintf(stderr, "epoch %d: train_loss=%.4f%s\n", stats.epoch,
+                   stats.train_loss,
+                   stats.has_val
+                       ? (" val_loss=" + std::to_string(stats.val_loss))
+                             .c_str()
+                       : "");
+      return true;
+    };
+  }
+  GrimpEngine engine(options);
+  if (Status status = engine.Fit(*table); !status.ok()) {
+    std::fprintf(stderr, "grimp_serve fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = engine.Save(out_path); !status.ok()) {
+    std::fprintf(stderr, "grimp_serve fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "grimp_serve fit: trained %d epochs on %lld rows, saved %s\n",
+               engine.report().epochs_run,
+               static_cast<long long>(table->num_rows()), out_path.c_str());
+  return 0;
+}
+
+int RunServe(int argc, char** argv) {
+  ModelRegistry registry;
+  ServerOptions options;
+  std::vector<std::string> model_specs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--model" && NextArg(argc, argv, &i, &value)) {
+      model_specs.push_back(value);
+    } else if (arg == "--default" && NextArg(argc, argv, &i, &value)) {
+      options.default_model = value;
+    } else if (arg == "--format" && NextArg(argc, argv, &i, &value)) {
+      if (value == "ndjson") {
+        options.format = WireFormat::kNdjson;
+      } else if (value == "csv") {
+        options.format = WireFormat::kCsv;
+      } else {
+        std::fprintf(stderr, "grimp_serve: unknown format %s\n",
+                     value.c_str());
+        return Usage();
+      }
+    } else if (arg == "--max-queue" && NextArg(argc, argv, &i, &value)) {
+      options.scheduler.max_queue = std::atoi(value.c_str());
+    } else if (arg == "--max-batch" && NextArg(argc, argv, &i, &value)) {
+      options.scheduler.max_batch = std::atoi(value.c_str());
+    } else if (arg == "--linger-ms" && NextArg(argc, argv, &i, &value)) {
+      options.scheduler.batch_linger_seconds = std::atof(value.c_str()) / 1e3;
+    } else if (arg == "--workers" && NextArg(argc, argv, &i, &value)) {
+      options.scheduler.num_workers = std::atoi(value.c_str());
+    } else if (arg == "--deadline-ms" && NextArg(argc, argv, &i, &value)) {
+      options.default_deadline_seconds = std::atof(value.c_str()) / 1e3;
+    } else {
+      std::fprintf(stderr, "grimp_serve serve: unknown argument %s\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+  if (model_specs.empty()) return Usage();
+
+  for (const std::string& spec : model_specs) {
+    // name[@version]=path
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "grimp_serve serve: --model wants name[@version]=path, "
+                   "got %s\n",
+                   spec.c_str());
+      return Usage();
+    }
+    std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    std::string version = "1";
+    if (const size_t at = name.find('@'); at != std::string::npos) {
+      version = name.substr(at + 1);
+      name = name.substr(0, at);
+    }
+    if (Status status = registry.Load(name, version, path); !status.ok()) {
+      std::fprintf(stderr, "grimp_serve serve: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "grimp_serve: loaded %s@%s from %s\n", name.c_str(),
+                 version.c_str(), path.c_str());
+  }
+
+  ImputationServer server(&registry, options);
+  std::fprintf(stderr, "grimp_serve: ready (%lld model(s), %s on stdin)\n",
+               static_cast<long long>(registry.size()),
+               options.format == WireFormat::kNdjson ? "ndjson" : "csv");
+  const int64_t handled = server.ServeStream(std::cin, std::cout);
+  server.scheduler().Shutdown();
+  std::fprintf(stderr, "grimp_serve: done, handled %lld request(s)\n",
+               static_cast<long long>(handled));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "fit") return RunFit(argc, argv);
+  if (command == "serve") return RunServe(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,180 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace grimp {
+
+ModelHandle::ModelHandle(ModelRegistry* registry,
+                         std::shared_ptr<LoadedModel> model)
+    : registry_(registry), model_(std::move(model)) {
+  model_->live_handles.fetch_add(1, std::memory_order_relaxed);
+}
+
+ModelHandle::ModelHandle(ModelHandle&& other) noexcept
+    : registry_(other.registry_), model_(std::move(other.model_)) {
+  other.registry_ = nullptr;
+}
+
+ModelHandle& ModelHandle::operator=(ModelHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    model_ = std::move(other.model_);
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+void ModelHandle::Release() {
+  if (model_ == nullptr) return;
+  model_->live_handles.fetch_sub(1, std::memory_order_acq_rel);
+  ModelRegistry* registry = registry_;
+  registry_ = nullptr;
+  model_.reset();
+  if (registry != nullptr) registry->NotifyHandleReleased();
+}
+
+Status ModelRegistry::Load(const std::string& name,
+                           const std::string& version,
+                           const std::string& path) {
+  GRIMP_TRACE_SPAN("serve.model_load");
+  GRIMP_ASSIGN_OR_RETURN(std::unique_ptr<GrimpEngine> engine,
+                         GrimpEngine::Load(path));
+  auto model = std::make_shared<LoadedModel>();
+  model->name = name;
+  model->version = version;
+  model->path = path;
+  model->engine = std::move(engine);
+  return Insert(std::move(model));
+}
+
+Status ModelRegistry::Add(const std::string& name, const std::string& version,
+                          std::unique_ptr<GrimpEngine> engine) {
+  if (engine == nullptr || !engine->fitted()) {
+    return Status::FailedPrecondition("model " + name + "@" + version +
+                                      " is not fitted");
+  }
+  auto model = std::make_shared<LoadedModel>();
+  model->name = name;
+  model->version = version;
+  model->engine = std::move(engine);
+  return Insert(std::move(model));
+}
+
+Status ModelRegistry::Insert(std::shared_ptr<LoadedModel> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<LoadedModel>>& versions = models_[model->name];
+  for (const auto& existing : versions) {
+    if (existing->version == model->version) {
+      return Status::AlreadyExists("model " + model->name + "@" +
+                                   model->version + " is already registered");
+    }
+  }
+  versions.push_back(std::move(model));
+  int64_t total = 0;
+  for (const auto& [_, v] : models_) total += static_cast<int64_t>(v.size());
+  MetricsRegistry::Global().GetCounter("serve.model_loads").Increment();
+  MetricsRegistry::Global()
+      .GetGauge("serve.models_loaded")
+      .Set(static_cast<double>(total));
+  return Status::OK();
+}
+
+Result<ModelHandle> ModelRegistry::Acquire(const std::string& spec) {
+  std::string name = spec;
+  std::string version;
+  if (const size_t at = spec.find('@'); at != std::string::npos) {
+    name = spec.substr(0, at);
+    version = spec.substr(at + 1);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("model " + name + " is not registered");
+  }
+  if (version.empty()) {
+    return ModelHandle(this, it->second.back());
+  }
+  for (const auto& model : it->second) {
+    if (model->version == version) return ModelHandle(this, model);
+  }
+  return Status::NotFound("model " + name + " has no version " + version);
+}
+
+Status ModelRegistry::Unload(const std::string& name,
+                             const std::string& version,
+                             double drain_timeout_seconds) {
+  std::shared_ptr<LoadedModel> removed;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it != models_.end()) {
+    auto& versions = it->second;
+    for (auto v = versions.begin(); v != versions.end(); ++v) {
+      if ((*v)->version == version) {
+        removed = *v;
+        versions.erase(v);
+        break;
+      }
+    }
+    if (versions.empty()) models_.erase(it);
+  }
+  if (removed == nullptr) {
+    return Status::NotFound("model " + name + "@" + version +
+                            " is not registered");
+  }
+  // Drain: `removed` is now invisible to Acquire, so live_handles only
+  // decreases. The local shared_ptr keeps the weights alive for straggler
+  // handles even when the wait times out.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, drain_timeout_seconds)));
+  const bool drained = drain_cv_.wait_until(lock, deadline, [&] {
+    return removed->live_handles.load(std::memory_order_acquire) == 0;
+  });
+  if (!drained) {
+    return Status::DeadlineExceeded(
+        "unload of " + name + "@" + version + " timed out with " +
+        std::to_string(
+            removed->live_handles.load(std::memory_order_acquire)) +
+        " live handles");
+  }
+  return Status::OK();
+}
+
+void ModelRegistry::NotifyHandleReleased() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_cv_.notify_all();
+}
+
+std::vector<ModelRegistry::Entry> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  for (const auto& [name, versions] : models_) {
+    for (size_t i = 0; i < versions.size(); ++i) {
+      Entry entry;
+      entry.name = name;
+      entry.version = versions[i]->version;
+      entry.path = versions[i]->path;
+      entry.live_handles =
+          versions[i]->live_handles.load(std::memory_order_relaxed);
+      entry.serving = i + 1 == versions.size();
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+int64_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [_, v] : models_) total += static_cast<int64_t>(v.size());
+  return total;
+}
+
+}  // namespace grimp

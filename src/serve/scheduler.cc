@@ -1,0 +1,233 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace grimp {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(SchedulerOptions options)
+    : options_(options) {
+  options_.max_queue = std::max(1, options_.max_queue);
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.num_workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+RequestScheduler::~RequestScheduler() { Shutdown(); }
+
+std::future<Result<Table>> RequestScheduler::Submit(ImputeRequest request) {
+  GRIMP_TRACE_SPAN("serve.enqueue");
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::promise<Result<Table>> rejected;
+  std::future<Result<Table>> rejected_future = rejected.get_future();
+  if (!request.model) {
+    rejected.set_value(Status::InvalidArgument("request has no model"));
+    return rejected_future;
+  }
+  registry.GetCounter("serve.requests." + request.model.name()).Increment();
+  // Admission checks run before enqueue, so a bad request can never poison
+  // the micro-batch it would have joined.
+  if (Status compat = request.model.engine().CheckCompatible(request.table);
+      !compat.ok()) {
+    registry.GetCounter("serve.rejected.schema").Increment();
+    rejected.set_value(std::move(compat));
+    return rejected_future;
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued_at = std::chrono::steady_clock::now();
+  pending->deadline =
+      pending->request.deadline_seconds > 0.0
+          ? pending->enqueued_at +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        pending->request.deadline_seconds))
+          : std::chrono::steady_clock::time_point::max();
+  std::future<Result<Table>> future = pending->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      registry.GetCounter("serve.rejected.shutdown").Increment();
+      pending->promise.set_value(
+          Status::Unavailable("scheduler is shut down"));
+      return future;
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      registry.GetCounter("serve.rejected.queue_full").Increment();
+      pending->promise.set_value(Status::Unavailable(
+          "serve queue is full (" + std::to_string(queue_.size()) +
+          " requests pending, limit " + std::to_string(options_.max_queue) +
+          ")"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    registry.GetGauge("serve.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result<Table> RequestScheduler::Impute(ImputeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void RequestScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int64_t RequestScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+std::vector<std::unique_ptr<RequestScheduler::Pending>>
+RequestScheduler::PopBatchLocked() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  if (queue_.empty()) return batch;
+  const void* model_id = queue_.front()->request.model.id();
+  for (auto it = queue_.begin();
+       it != queue_.end() &&
+       static_cast<int>(batch.size()) < options_.max_batch;) {
+    if ((*it)->request.model.id() == model_id) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  MetricsRegistry::Global()
+      .GetGauge("serve.queue_depth")
+      .Set(static_cast<double>(queue_.size()));
+  return batch;
+}
+
+void RequestScheduler::WorkerMain() {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      if (options_.batch_linger_seconds > 0.0 &&
+          static_cast<int>(queue_.size()) < options_.max_batch &&
+          !shutdown_) {
+        // Give concurrent clients one linger window to fill the batch;
+        // stop early only once it is full (or on shutdown), so the window
+        // is a predictable upper bound on added latency.
+        const auto linger_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    options_.batch_linger_seconds));
+        cv_.wait_until(lock, linger_until, [this] {
+          return shutdown_ ||
+                 static_cast<int>(queue_.size()) >= options_.max_batch;
+        });
+      }
+      batch = PopBatchLocked();
+    }
+    if (!batch.empty()) ExecuteBatch(std::move(batch));
+  }
+}
+
+void RequestScheduler::ExecuteBatch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const auto now = std::chrono::steady_clock::now();
+
+  // Requests that expired while queued are rejected, not executed.
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (std::unique_ptr<Pending>& pending : batch) {
+    if (now > pending->deadline) {
+      registry.GetCounter("serve.rejected.deadline").Increment();
+      const double waited = SecondsSince(pending->enqueued_at, now);
+      pending->promise.set_value(Status::DeadlineExceeded(
+          "deadline expired after " +
+          std::to_string(static_cast<int64_t>(waited * 1e3)) +
+          " ms in queue (limit " +
+          std::to_string(static_cast<int64_t>(
+              pending->request.deadline_seconds * 1e3)) +
+          " ms)"));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  registry.GetHistogram("serve.batch_size")
+      .Record(static_cast<double>(live.size()));
+  registry.GetCounter("serve.batches").Increment();
+
+  const GrimpEngine& engine = live.front()->request.model.engine();
+  std::vector<const Table*> tables;
+  tables.reserve(live.size());
+  for (const auto& pending : live) tables.push_back(&pending->request.table);
+
+  Result<std::vector<Table>> results = engine.TransformBatch(tables);
+  if (results.ok()) {
+    std::vector<Table>& imputed = *results;
+    for (size_t i = 0; i < live.size(); ++i) {
+      Complete(live[i].get(), std::move(imputed[i]));
+    }
+    return;
+  }
+  if (live.size() == 1) {
+    Complete(live[0].get(), results.status());
+    return;
+  }
+  // Defensive fallback: admission should make whole-batch failures
+  // impossible, but if one occurs, retry solo so a single bad request
+  // cannot take down its batch-mates.
+  registry.GetCounter("serve.batch_fallbacks").Increment();
+  for (std::unique_ptr<Pending>& pending : live) {
+    Complete(pending.get(),
+             pending->request.model.engine().Transform(
+                 pending->request.table));
+  }
+}
+
+void RequestScheduler::Complete(Pending* pending, Result<Table> result) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const double e2e = SecondsSince(pending->enqueued_at,
+                                  std::chrono::steady_clock::now());
+  registry.RecordSpan("serve.e2e_seconds", e2e);
+  // Log2 histogram buckets collapse sub-second values, so percentiles are
+  // tracked in microseconds (see Histogram::ValueAtPercentile).
+  registry.GetHistogram("serve.e2e_micros").Record(e2e * 1e6);
+  registry.GetCounter(result.ok() ? "serve.completed" : "serve.errors")
+      .Increment();
+  pending->promise.set_value(std::move(result));
+}
+
+}  // namespace grimp

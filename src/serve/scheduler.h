@@ -1,0 +1,108 @@
+#ifndef GRIMP_SERVE_SCHEDULER_H_
+#define GRIMP_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/model_registry.h"
+#include "table/table.h"
+
+namespace grimp {
+
+struct SchedulerOptions {
+  // Admission bound: Submit rejects with kUnavailable once this many
+  // requests are queued (the caller should shed load or retry later).
+  int max_queue = 256;
+  // Most requests fused into one GrimpEngine::TransformBatch call. 1
+  // disables micro-batching (each request runs its own forward pass).
+  int max_batch = 8;
+  // After popping a request, a worker lingers up to this long for more
+  // same-model requests to fill the batch. 0 batches opportunistically:
+  // only what is already queued rides along (requests pile up naturally
+  // while a batch executes, so 0 is usually right).
+  double batch_linger_seconds = 0.0;
+  // Batch-executing worker threads. The heavy math inside TransformBatch
+  // fans out onto the global compute ThreadPool regardless, so more
+  // workers mainly help when graph building dominates.
+  int num_workers = 1;
+};
+
+// One imputation request: a pinned model version plus a schema-compatible
+// table (typically a single tuple). `deadline_seconds` is relative to
+// Submit(); a request still queued when it expires is rejected with
+// kDeadlineExceeded instead of executed. <= 0 means no deadline.
+struct ImputeRequest {
+  ModelHandle model;
+  Table table;
+  double deadline_seconds = 0.0;
+};
+
+// Micro-batching request scheduler (the serving tentpole): admission
+// control at Submit (bounded queue, schema check, typed Status
+// rejections), then worker threads that pop compatible requests — same
+// pinned model version — and fuse them into one TransformBatch call.
+// Batching never changes results: TransformBatch is bit-identical per
+// request to a solo Transform (see core/engine.h).
+//
+// Emitted metrics: span "serve.enqueue", histogram "serve.batch_size",
+// span "serve.e2e_seconds" + histogram "serve.e2e_micros" (per-request
+// end-to-end latency), gauge "serve.queue_depth", counters
+// "serve.requests.<model>", "serve.completed", "serve.batches" and
+// "serve.rejected.{queue_full,schema,deadline,shutdown}".
+class RequestScheduler {
+ public:
+  explicit RequestScheduler(SchedulerOptions options);
+  ~RequestScheduler();  // implies Shutdown()
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // Enqueues a request. Rejections (queue full -> kUnavailable, schema
+  // mismatch -> kFailedPrecondition, shut down -> kUnavailable) and
+  // results both arrive through the returned future; Submit itself never
+  // blocks on model execution.
+  std::future<Result<Table>> Submit(ImputeRequest request);
+
+  // Blocking convenience wrapper around Submit.
+  Result<Table> Impute(ImputeRequest request);
+
+  // Stops admission, drains every queued request through the workers, and
+  // joins them. Idempotent; called by the destructor.
+  void Shutdown();
+
+  int64_t queue_depth() const;
+
+ private:
+  struct Pending {
+    ImputeRequest request;
+    std::promise<Result<Table>> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+    // time_point::max() when the request has no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void WorkerMain();
+  // Pops up to max_batch requests pinning the same model version as the
+  // queue head. Caller holds mu_.
+  std::vector<std::unique_ptr<Pending>> PopBatchLocked();
+  void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+  void Complete(Pending* pending, Result<Table> result);
+
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_SERVE_SCHEDULER_H_

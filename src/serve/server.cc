@@ -1,0 +1,153 @@
+#include "serve/server.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/metrics.h"
+
+namespace grimp {
+
+namespace {
+
+std::string ErrorResponse(const Status& status) {
+  return std::string("{\"ok\":false,\"code\":\"") +
+         std::string(StatusCodeToString(status.code())) + "\",\"error\":\"" +
+         EscapeJson(status.message()) + "\"}";
+}
+
+}  // namespace
+
+ImputationServer::ImputationServer(ModelRegistry* registry,
+                                   ServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      scheduler_(options_.scheduler) {}
+
+Result<std::string> ImputationServer::HandleNdjson(const std::string& line) {
+  GRIMP_ASSIGN_OR_RETURN(auto fields, ParseFlatJson(line));
+
+  std::string model_spec = options_.default_model;
+  if (auto it = fields.find("model"); it != fields.end()) {
+    model_spec = it->second;
+    fields.erase(it);
+  }
+  if (model_spec.empty()) {
+    const auto entries = registry_->List();
+    if (entries.size() == 1) {
+      model_spec = entries[0].name;
+    } else {
+      return Status::InvalidArgument(
+          "request has no \"model\" key and no default model is configured");
+    }
+  }
+
+  double deadline_seconds = options_.default_deadline_seconds;
+  if (auto it = fields.find("deadline_ms"); it != fields.end()) {
+    try {
+      deadline_seconds = std::stod(it->second) / 1e3;
+    } catch (...) {
+      return Status::InvalidArgument("bad deadline_ms value '" + it->second +
+                                     "'");
+    }
+    fields.erase(it);
+  }
+
+  GRIMP_ASSIGN_OR_RETURN(ModelHandle model, registry_->Acquire(model_spec));
+  const std::string model_id = model.name() + "@" + model.version();
+  GRIMP_ASSIGN_OR_RETURN(Table row,
+                         JsonFieldsToRow(model.engine().schema(), fields));
+  ImputeRequest request;
+  request.model = std::move(model);
+  request.table = std::move(row);
+  request.deadline_seconds = deadline_seconds;
+  GRIMP_ASSIGN_OR_RETURN(Table imputed, scheduler_.Impute(std::move(request)));
+  return std::string("{\"ok\":true,\"model\":\"") + EscapeJson(model_id) +
+         "\",\"row\":" + RowToJson(imputed, 0) + "}";
+}
+
+std::string ImputationServer::HandleRequestLine(const std::string& line) {
+  Result<std::string> response = HandleNdjson(line);
+  if (response.ok()) return *std::move(response);
+  return ErrorResponse(response.status());
+}
+
+int64_t ImputationServer::ServeStream(std::istream& in, std::ostream& out) {
+  int64_t handled = 0;
+  if (options_.format == WireFormat::kNdjson) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      out << HandleRequestLine(line) << "\n" << std::flush;
+      ++handled;
+    }
+    return handled;
+  }
+
+  // CSV: first line is the header; every later line is one tuple for the
+  // default model. Errors come back as "#error <code>: <message>" lines so
+  // the row stream stays aligned with the request stream.
+  auto respond_error = [&](const Status& status) {
+    out << "#error " << StatusCodeToString(status.code()) << ": "
+        << status.message() << "\n"
+        << std::flush;
+  };
+  std::string header_line;
+  if (!std::getline(in, header_line)) return handled;
+  auto header = ParseCsvLine(header_line);
+  if (!header.ok()) {
+    respond_error(header.status());
+    return handled;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++handled;
+    auto cells = ParseCsvLine(line);
+    if (!cells.ok()) {
+      respond_error(cells.status());
+      continue;
+    }
+    if (cells->size() != header->size()) {
+      respond_error(Status::InvalidArgument(
+          "row has " + std::to_string(cells->size()) + " fields, header has " +
+          std::to_string(header->size())));
+      continue;
+    }
+    std::string model_spec = options_.default_model;
+    if (model_spec.empty()) {
+      const auto entries = registry_->List();
+      if (entries.size() == 1) model_spec = entries[0].name;
+    }
+    auto model = registry_->Acquire(model_spec);
+    if (!model.ok()) {
+      respond_error(model.status());
+      continue;
+    }
+    // Columns are matched by header name, so the request may present them
+    // in any order the model's schema knows about.
+    std::map<std::string, std::string> fields;
+    for (size_t i = 0; i < header->size(); ++i) {
+      fields[(*header)[i]] = (*cells)[i];
+    }
+    auto table = JsonFieldsToRow(model->engine().schema(), fields);
+    if (!table.ok()) {
+      respond_error(table.status());
+      continue;
+    }
+    ImputeRequest request;
+    request.model = std::move(*model);
+    request.table = std::move(*table);
+    request.deadline_seconds = options_.default_deadline_seconds;
+    auto imputed = scheduler_.Impute(std::move(request));
+    if (!imputed.ok()) {
+      respond_error(imputed.status());
+      continue;
+    }
+    out << RowToCsvLine(*imputed, 0) << "\n" << std::flush;
+  }
+  return handled;
+}
+
+}  // namespace grimp

@@ -1,0 +1,84 @@
+#ifndef GRIMP_SERVE_SERVER_H_
+#define GRIMP_SERVE_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+#include "serve/wire.h"
+
+namespace grimp {
+
+enum class WireFormat { kNdjson, kCsv };
+
+struct ServerOptions {
+  SchedulerOptions scheduler;
+  // Model spec ("name" or "name@version") used when a request carries no
+  // "model" key. Empty: resolved to the registry's only model if exactly
+  // one is loaded, otherwise such requests are rejected.
+  std::string default_model;
+  WireFormat format = WireFormat::kNdjson;
+  // Applied to requests that set no "deadline_ms"; <= 0 means none.
+  double default_deadline_seconds = 0.0;
+};
+
+// Front-end tying registry + scheduler to a line protocol. One request per
+// line, one response per line; NDJSON requests may carry two reserved keys
+// next to the cell values:
+//   "model":       "name" or "name@version" (else the default model)
+//   "deadline_ms": per-request deadline in milliseconds
+// Responses: {"ok":true,"model":"m@v","row":{...}} or
+//            {"ok":false,"code":"Unavailable","error":"..."}.
+//
+// HandleRequestLine is thread-safe (concurrent callers just become
+// concurrent scheduler clients), which is what LoopbackClient exploits.
+class ImputationServer {
+ public:
+  ImputationServer(ModelRegistry* registry, ServerOptions options);
+
+  ImputationServer(const ImputationServer&) = delete;
+  ImputationServer& operator=(const ImputationServer&) = delete;
+
+  // NDJSON request line -> NDJSON response line. Blocks until the request
+  // completes (rejections included).
+  std::string HandleRequestLine(const std::string& line);
+
+  // Serves `in` until EOF, writing one response line per request line to
+  // `out` (flushed per line so pipes see responses promptly). CSV format
+  // reads the header from the first line. Returns the number of requests
+  // handled. Drains the scheduler before returning.
+  int64_t ServeStream(std::istream& in, std::ostream& out);
+
+  RequestScheduler& scheduler() { return scheduler_; }
+  ModelRegistry& registry() { return *registry_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  Result<std::string> HandleNdjson(const std::string& line);
+
+  ModelRegistry* registry_;
+  ServerOptions options_;
+  RequestScheduler scheduler_;
+};
+
+// In-process client used by tests and bench_serve: drives the server
+// exactly like an external connection (same codec, same scheduler path)
+// without a real socket. Safe to share one server across many client
+// threads.
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(ImputationServer* server) : server_(server) {}
+
+  // Sends one NDJSON request line, blocks for the response line.
+  std::string Call(const std::string& request_line) {
+    return server_->HandleRequestLine(request_line);
+  }
+
+ private:
+  ImputationServer* server_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_SERVE_SERVER_H_

@@ -1,0 +1,236 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace grimp {
+
+namespace {
+
+// Cursor over one JSON line; all helpers report errors with byte offsets.
+struct JsonCursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("bad JSON at byte " + std::to_string(pos) +
+                                   ": " + what);
+  }
+};
+
+Status Expect(JsonCursor* c, char ch) {
+  c->SkipSpace();
+  if (c->pos >= c->text.size() || c->text[c->pos] != ch) {
+    return c->Error(std::string("expected '") + ch + "'");
+  }
+  ++c->pos;
+  return Status::OK();
+}
+
+Result<std::string> ParseJsonString(JsonCursor* c) {
+  GRIMP_RETURN_IF_ERROR(Expect(c, '"'));
+  std::string out;
+  while (c->pos < c->text.size()) {
+    const char ch = c->text[c->pos++];
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      out.push_back(ch);
+      continue;
+    }
+    if (c->pos >= c->text.size()) break;
+    const char esc = c->text[c->pos++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (c->pos + 4 > c->text.size()) return c->Error("truncated \\u");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c->text[c->pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return c->Error("bad \\u digit");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+        // relational cell values never need them in practice).
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return c->Error(std::string("unknown escape \\") + esc);
+    }
+  }
+  return c->Error("unterminated string");
+}
+
+// Scalar value -> its string form ("" for null, literal spelling for
+// numbers and booleans).
+Result<std::string> ParseJsonScalar(JsonCursor* c) {
+  c->SkipSpace();
+  if (c->pos >= c->text.size()) return c->Error("expected a value");
+  const char ch = c->text[c->pos];
+  if (ch == '"') return ParseJsonString(c);
+  if (ch == '{' || ch == '[') {
+    return c->Error("nested objects/arrays are not supported");
+  }
+  const size_t start = c->pos;
+  while (c->pos < c->text.size() && c->text[c->pos] != ',' &&
+         c->text[c->pos] != '}' &&
+         !std::isspace(static_cast<unsigned char>(c->text[c->pos]))) {
+    ++c->pos;
+  }
+  const std::string token = c->text.substr(start, c->pos - start);
+  if (token == "null") return std::string();
+  if (token == "true" || token == "false") return token;
+  if (token.empty()) return c->Error("expected a value");
+  // Validate as a JSON number so garbage fails loudly.
+  size_t i = 0;
+  if (token[i] == '-') ++i;
+  bool digits = false;
+  for (; i < token.size(); ++i) {
+    const char d = token[i];
+    if (std::isdigit(static_cast<unsigned char>(d))) {
+      digits = true;
+    } else if (d != '.' && d != 'e' && d != 'E' && d != '+' && d != '-') {
+      return c->Error("unquoted value '" + token + "' is not a number");
+    }
+  }
+  if (!digits) return c->Error("unquoted value '" + token + "' is not a number");
+  return token;
+}
+
+}  // namespace
+
+Result<std::map<std::string, std::string>> ParseFlatJson(
+    const std::string& line) {
+  JsonCursor c{line};
+  GRIMP_RETURN_IF_ERROR(Expect(&c, '{'));
+  std::map<std::string, std::string> fields;
+  c.SkipSpace();
+  if (c.pos < line.size() && line[c.pos] == '}') {
+    ++c.pos;
+  } else {
+    for (;;) {
+      GRIMP_ASSIGN_OR_RETURN(std::string key, ParseJsonString(&c));
+      GRIMP_RETURN_IF_ERROR(Expect(&c, ':'));
+      GRIMP_ASSIGN_OR_RETURN(std::string value, ParseJsonScalar(&c));
+      if (!fields.emplace(std::move(key), std::move(value)).second) {
+        return Status::InvalidArgument("duplicate JSON key");
+      }
+      c.SkipSpace();
+      if (c.pos < line.size() && line[c.pos] == ',') {
+        ++c.pos;
+        continue;
+      }
+      GRIMP_RETURN_IF_ERROR(Expect(&c, '}'));
+      break;
+    }
+  }
+  if (!c.AtEnd()) return c.Error("trailing characters after object");
+  return fields;
+}
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (const char ch : value) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(ch >> 4) & 0xF]);
+          out.push_back(hex[ch & 0xF]);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+Result<Table> JsonFieldsToRow(
+    const Schema& schema,
+    const std::map<std::string, std::string>& fields) {
+  std::vector<std::string> cells(static_cast<size_t>(schema.num_fields()));
+  std::map<std::string, int> col_of;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    col_of[schema.field(c).name] = c;
+  }
+  for (const auto& [key, value] : fields) {
+    auto it = col_of.find(key);
+    if (it == col_of.end()) {
+      return Status::InvalidArgument("unknown column '" + key +
+                                     "' in request");
+    }
+    cells[static_cast<size_t>(it->second)] = value;
+  }
+  Table table(schema);
+  GRIMP_RETURN_IF_ERROR(table.AppendRow(cells));
+  return table;
+}
+
+std::string RowToJson(const Table& table, int64_t row) {
+  std::string out = "{";
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += ",";
+    out += "\"" + EscapeJson(table.schema().field(c).name) + "\":";
+    if (table.IsMissing(row, c)) {
+      out += "null";
+    } else {
+      out += "\"" + EscapeJson(table.column(c).StringAt(row)) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string RowToCsvLine(const Table& table, int64_t row) {
+  std::string out;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out += ",";
+    if (!table.IsMissing(row, c)) {
+      out += EscapeCsvField(table.column(c).StringAt(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace grimp

@@ -1,0 +1,44 @@
+#ifndef GRIMP_SERVE_WIRE_H_
+#define GRIMP_SERVE_WIRE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Serving wire formats (one request/response per line):
+//   NDJSON: {"model":"m","a":"x","b":null,"c":3.5}  -> imputed row object
+//   CSV:    header line once, then raw rows         -> imputed CSV rows
+// The JSON dialect is deliberately flat — one object, scalar values only
+// (string / number / true / false / null) — so a dependency-free parser
+// covers it. null and "" both mean "missing, please impute".
+
+// Parses one flat JSON object into key -> string value (numbers and bools
+// keep their literal spelling; null becomes ""). Rejects nested objects,
+// arrays, duplicate keys and trailing garbage with errors naming the
+// offending key or byte offset.
+Result<std::map<std::string, std::string>> ParseFlatJson(
+    const std::string& line);
+
+// JSON string escaping for response serialization.
+std::string EscapeJson(const std::string& value);
+
+// Builds a single-row Table with `schema` from a parsed field map. Absent
+// or empty fields become missing cells; fields naming no schema column are
+// an error (catches typos instead of silently dropping user data).
+Result<Table> JsonFieldsToRow(const Schema& schema,
+                              const std::map<std::string, std::string>& fields);
+
+// Serializes row `row` of `table` as a flat JSON object in schema order
+// (missing cells as null).
+std::string RowToJson(const Table& table, int64_t row);
+
+// Serializes row `row` of `table` as one CSV line.
+std::string RowToCsvLine(const Table& table, int64_t row);
+
+}  // namespace grimp
+
+#endif  // GRIMP_SERVE_WIRE_H_

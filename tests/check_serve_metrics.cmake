@@ -1,0 +1,102 @@
+# CTest helper: exercise grimp_serve end to end (fit a model on a toy CSV,
+# serve NDJSON requests over stdin) with GRIMP_METRICS_JSON set, then assert
+# the dumped registry contains the serve.* observability keys every request
+# must touch. Invoked as
+#   cmake -DSERVE_BIN=<exe> -DWORK_DIR=<dir> -P check_serve_metrics.cmake
+
+if(NOT DEFINED SERVE_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSERVE_BIN=<exe> -DWORK_DIR=<dir> -P ...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(csv "${WORK_DIR}/serve_smoke.csv")
+set(model "${WORK_DIR}/serve_smoke_model.bin")
+set(requests "${WORK_DIR}/serve_smoke_requests.ndjson")
+set(metrics "${WORK_DIR}/serve_smoke_metrics.json")
+file(REMOVE "${metrics}")
+
+# Tiny perfectly-correlated table: color determines size and price.
+file(WRITE "${csv}" "color,size,price\n")
+foreach(i RANGE 5)
+  file(APPEND "${csv}" "red,small,1\nblue,large,9\n")
+endforeach()
+
+execute_process(
+  COMMAND "${SERVE_BIN}" fit --csv "${csv}" --out "${model}"
+          --epochs 10 --dim 8 --quiet
+  RESULT_VARIABLE fit_result
+  ERROR_VARIABLE fit_errors)
+if(NOT fit_result EQUAL 0)
+  message(FATAL_ERROR "grimp_serve fit failed (${fit_result}):\n${fit_errors}")
+endif()
+
+file(WRITE "${requests}"
+  "{\"model\":\"demo\",\"color\":\"red\",\"size\":null,\"price\":\"1\"}\n"
+  "{\"color\":\"blue\",\"size\":null,\"price\":\"9\"}\n"
+  "{\"color\":null,\"size\":\"small\",\"price\":\"1\"}\n"
+  "{\"bogus\":\"x\"}\n")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GRIMP_METRICS_JSON=${metrics}"
+          "${SERVE_BIN}" serve --model "demo=${model}" --max-batch 4
+  INPUT_FILE "${requests}"
+  RESULT_VARIABLE serve_result
+  OUTPUT_VARIABLE serve_output
+  ERROR_VARIABLE serve_errors)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR
+          "grimp_serve serve failed (${serve_result}):\n${serve_errors}")
+endif()
+
+# Three imputations and one typed rejection, one response line each.
+string(REGEX MATCHALL "\"ok\":true" ok_lines "${serve_output}")
+list(LENGTH ok_lines num_ok)
+if(NOT num_ok EQUAL 3)
+  message(FATAL_ERROR "expected 3 ok responses, got ${num_ok}:\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "\"ok\":false")
+  message(FATAL_ERROR "bad request was not rejected:\n${serve_output}")
+endif()
+if(NOT serve_output MATCHES "unknown column 'bogus'")
+  message(FATAL_ERROR "rejection lost its message:\n${serve_output}")
+endif()
+
+if(NOT EXISTS "${metrics}")
+  message(FATAL_ERROR "GRIMP_METRICS_JSON sink ${metrics} was not written")
+endif()
+file(READ "${metrics}" metrics_json)
+
+# Every serving stage must have reported: admission span, model-load span,
+# end-to-end latency span, batch-size histogram, per-model + outcome
+# counters, and the queue-depth gauge.
+foreach(span serve.enqueue serve.e2e_seconds serve.model_load)
+  string(JSON span_count GET "${metrics_json}" spans "${span}" count)
+  if(span_count LESS 1)
+    message(FATAL_ERROR "span ${span} has count ${span_count}")
+  endif()
+endforeach()
+
+string(JSON batch_count GET "${metrics_json}" histograms serve.batch_size
+       count)
+string(JSON completed GET "${metrics_json}" counters serve.completed)
+string(JSON demo_requests GET "${metrics_json}" counters serve.requests.demo)
+if(NOT completed EQUAL 3)
+  message(FATAL_ERROR "serve.completed is ${completed}, expected 3")
+endif()
+if(demo_requests LESS 3)
+  message(FATAL_ERROR "serve.requests.demo is ${demo_requests}")
+endif()
+if(batch_count LESS 1)
+  message(FATAL_ERROR "serve.batch_size histogram is empty")
+endif()
+string(JSON queue_depth GET "${metrics_json}" gauges serve.queue_depth)
+if(queue_depth LESS 0)
+  message(FATAL_ERROR "serve.queue_depth gauge is ${queue_depth}")
+endif()
+string(JSON models_loaded GET "${metrics_json}" gauges serve.models_loaded)
+if(NOT models_loaded EQUAL 1)
+  message(FATAL_ERROR "serve.models_loaded gauge is ${models_loaded}")
+endif()
+
+message(STATUS "serve metrics ok: completed=${completed}, "
+        "batches(hist count)=${batch_count}, requests.demo=${demo_requests}")

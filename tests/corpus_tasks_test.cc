@@ -125,10 +125,10 @@ TEST(AttentionTaskHeadTest, ForwardShapesAndAttentionNormalized) {
                          D, 6, &rng);
   Tape tape;
   auto v = tape.Constant(Tensor::GlorotUniform(5, C * D, &frng));
-  auto out = head.Forward(&tape, v);
+  Tensor att;
+  auto out = head.ForwardWithAttention(&tape, v, &att);
   EXPECT_EQ(tape.value(out).rows(), 5);
   EXPECT_EQ(tape.value(out).cols(), 6);
-  const Tensor& att = head.last_attention();
   ASSERT_EQ(att.rows(), 5);
   ASSERT_EQ(att.cols(), C);
   for (int64_t r = 0; r < att.rows(); ++r) {

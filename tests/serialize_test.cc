@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+
 #include "common/binary_io.h"
 #include "core/engine.h"
 #include "data/datasets.h"
@@ -150,6 +153,82 @@ TEST(ModelPersistenceTest, LoadRejectsGarbage) {
   EXPECT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsInvalidArgument());
   EXPECT_FALSE(GrimpEngine::Load("/nonexistent/model.bin").ok());
+}
+
+// Saves a quickly-fitted model and returns its path.
+std::string SaveTinyModel(const std::string& name) {
+  auto clean = GenerateDatasetByName("mammogram", 5, 60);
+  EXPECT_TRUE(clean.ok());
+  GrimpOptions options;
+  options.dim = 8;
+  options.max_epochs = 8;
+  GrimpEngine engine(options);
+  EXPECT_TRUE(engine.Fit(*clean).ok());
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(engine.Save(path).ok());
+  return path;
+}
+
+TEST(ModelPersistenceTest, CorruptPayloadByteFailsChecksum) {
+  const std::string path = SaveTinyModel("grimp_corrupt.bin");
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(file.tellg());
+    ASSERT_GT(size, 32);
+    file.seekp(size / 2);  // past the header, before the footer
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+  auto loaded = GrimpEngine::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch in"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+}
+
+TEST(ModelPersistenceTest, TruncatedModelFileFails) {
+  const std::string path = SaveTinyModel("grimp_truncated_model.bin");
+  std::string payload;
+  {
+    std::ifstream file(path, std::ios::binary);
+    payload.assign(std::istreambuf_iterator<char>(file),
+                   std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(payload.size(), 64u);
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(payload.data(), static_cast<int64_t>(payload.size() / 2));
+  }
+  auto loaded = GrimpEngine::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ModelPersistenceTest, WrongVersionNamesExpectedAndFound) {
+  const std::string path = TempPath("grimp_future_version.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(0x4752494d504d444cULL);  // "GRIMPMDL", matches Save()
+    writer.WriteU32(99);                     // from a future format
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = GrimpEngine::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  const Status status = loaded.status();  // status() returns by value
+  const std::string& message = status.message();
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("expected 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("found 99"), std::string::npos) << message;
 }
 
 TEST(ModelPersistenceTest, LoadedModelTransformsUnseenTable) {
