@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/names.h"
 #include "eval/report.h"
 
 int main(int argc, char** argv) {

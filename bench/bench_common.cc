@@ -8,6 +8,7 @@
 #include "baselines/missforest.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/names.h"
 #include "eval/error_analysis.h"
 #include "eval/report.h"
 

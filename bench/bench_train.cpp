@@ -1,0 +1,205 @@
+// Training-mode benchmark: full-graph vs neighbor-sampled minibatch epochs
+// on the quickstart dataset (synthetic "adult" replica). Both configs train
+// the same model on the same corrupted table with the same capped sample
+// budget; only TrainConfig differs. Prints a per-mode table and writes
+// machine-readable results (per-epoch seconds, accuracy, speedup) to
+// BENCH_train.json (cwd).
+//
+// Sampled mode pays per step only for the minibatch receptive field, while
+// full mode pays one whole-graph forward/backward per epoch no matter how
+// few training samples there are — so the per-epoch gap widens with table
+// size (and shrinks with fanout: the receptive field of a batch covers
+// roughly batch * (1 + num_cols) * (1 + fanout * num_cols) nodes, so on
+// small tables it saturates the graph and sampling only adds overhead).
+// At the default 20000 rows the run fails (exit 1) unless sampled epochs
+// are faster; at smoke sizes (--rows below 10000) the gate is off.
+//
+//   bench_train [--rows=N] [--epochs=N] [--seed=N] [--samples=N]
+//               [--batch=N] [--fanout=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/grimp.h"
+#include "core/names.h"
+#include "data/datasets.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "table/corruption.h"
+
+namespace {
+
+using grimp::CorruptedTable;
+using grimp::GrimpImputer;
+using grimp::GrimpOptions;
+using grimp::RunAlgorithm;
+using grimp::RunResult;
+using grimp::Table;
+using grimp::TrainMode;
+using grimp::TrainModeName;
+
+struct ModeResult {
+  std::string mode;
+  int epochs = 0;
+  int64_t steps = 0;
+  double mean_epoch_seconds = 0.0;
+  double train_seconds = 0.0;
+  double accuracy = 0.0;
+  double rmse = 0.0;
+};
+
+ModeResult RunMode(const Table& clean, const CorruptedTable& corrupted,
+                   GrimpOptions options) {
+  std::vector<double> epoch_seconds;
+  options.callbacks.on_epoch_end = [&epoch_seconds](
+                                       const grimp::EpochStats& stats) {
+    epoch_seconds.push_back(stats.seconds);
+    return true;
+  };
+  GrimpImputer imputer(options);
+  const RunResult rr = RunAlgorithm(clean, corrupted, &imputer);
+  if (!rr.status.ok()) {
+    std::fprintf(stderr, "bench_train: %s run failed: %s\n",
+                 std::string(TrainModeName(options.train.mode)).c_str(),
+                 rr.status.ToString().c_str());
+    std::exit(1);
+  }
+  ModeResult result;
+  result.mode = std::string(TrainModeName(options.train.mode));
+  result.epochs = static_cast<int>(epoch_seconds.size());
+  result.steps = imputer.summary().steps_run;
+  result.train_seconds = imputer.summary().train_seconds;
+  // Skip the first epoch: it absorbs one-time allocation/cache warmup.
+  const size_t skip = epoch_seconds.size() > 1 ? 1 : 0;
+  const double sum = std::accumulate(epoch_seconds.begin() + skip,
+                                     epoch_seconds.end(), 0.0);
+  result.mean_epoch_seconds =
+      sum / static_cast<double>(epoch_seconds.size() - skip);
+  result.accuracy = rr.score.Accuracy();
+  result.rmse = rr.score.Rmse();
+  return result;
+}
+
+std::string ToJson(const ModeResult& r) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"mode\": \"%s\", \"epochs\": %d, \"steps\": %lld, "
+                "\"mean_epoch_seconds\": %.6f, \"train_seconds\": %.4f, "
+                "\"accuracy\": %.4f, \"rmse\": %.4f}",
+                r.mode.c_str(), r.epochs, static_cast<long long>(r.steps),
+                r.mean_epoch_seconds, r.train_seconds, r.accuracy, r.rmse);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = 20000;
+  int epochs = 5;
+  uint64_t seed = 21;
+  int64_t samples = 64;
+  int batch = 64;
+  int fanout = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = std::atoll(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--samples=", 10) == 0) {
+      samples = std::atoll(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--fanout=", 9) == 0) {
+      fanout = std::atoi(argv[i] + 9);
+    } else {
+      std::fprintf(stderr, "usage: bench_train [--rows=N] [--epochs=N] "
+                           "[--seed=N] [--samples=N] [--batch=N] "
+                           "[--fanout=N]\n");
+      return 2;
+    }
+  }
+
+  auto clean_or = grimp::GenerateDatasetByName("adult", /*seed=*/7, rows);
+  if (!clean_or.ok()) {
+    std::fprintf(stderr, "bench_train: %s\n",
+                 clean_or.status().ToString().c_str());
+    return 1;
+  }
+  const Table& clean = *clean_or;
+  const CorruptedTable corrupted = grimp::InjectMcar(clean, 0.2, 13);
+
+  GrimpOptions options;
+  options.dim = 16;
+  options.shared_hidden = 32;
+  options.max_epochs = epochs;
+  options.seed = seed;
+  // A fixed small sample budget per column: this is the regime sampling is
+  // for (few labels, big graph). No validation split so both modes run
+  // exactly `epochs` epochs and sampled epochs never touch the full graph.
+  options.max_samples_per_task = samples;
+  options.validation_fraction = 0.0;
+
+  GrimpOptions full = options;
+  full.train.mode = TrainMode::kFull;
+
+  GrimpOptions sampled = options;
+  sampled.train.mode = TrainMode::kSampled;
+  sampled.train.batch_size = batch;
+  sampled.train.fanouts = {fanout, fanout};
+
+  std::printf("training benchmark: adult-replica, %lld rows, %d epochs, "
+              "%lld samples/task\n\n",
+              static_cast<long long>(clean.num_rows()), epochs,
+              static_cast<long long>(options.max_samples_per_task));
+
+  const ModeResult f = RunMode(clean, corrupted, full);
+  const ModeResult s = RunMode(clean, corrupted, sampled);
+  const double speedup = f.mean_epoch_seconds / s.mean_epoch_seconds;
+
+  std::printf("%-8s %7s %7s %14s %11s %9s %8s\n", "mode", "epochs", "steps",
+              "epoch s", "train s", "acc", "rmse");
+  for (const ModeResult* r : {&f, &s}) {
+    std::printf("%-8s %7d %7lld %14.6f %11.4f %9.4f %8.4f\n", r->mode.c_str(),
+                r->epochs, static_cast<long long>(r->steps),
+                r->mean_epoch_seconds, r->train_seconds, r->accuracy,
+                r->rmse);
+  }
+  std::printf("\nper-epoch speedup (full / sampled): %.2fx\n", speedup);
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"dataset\": \"adult\",\n  \"rows\": %lld,\n"
+                "  \"epochs\": %d,\n  \"max_samples_per_task\": %lld,\n"
+                "  \"batch_size\": %d,\n  \"fanout\": %d,\n"
+                "  \"configs\": [\n",
+                static_cast<long long>(clean.num_rows()), epochs,
+                static_cast<long long>(samples), batch, fanout);
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "\n  ],\n  \"epoch_speedup\": %.4f\n}\n", speedup);
+  const std::string json = head + ToJson(f) + ",\n" + ToJson(s) + tail;
+  if (FILE* out = std::fopen("BENCH_train.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_train.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_train.json\n");
+    return 1;
+  }
+
+  if (rows >= 10000 && speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: sampled epochs (%.6fs) did not beat full-graph "
+                 "epochs (%.6fs) at %lld rows\n",
+                 s.mean_epoch_seconds, f.mean_epoch_seconds,
+                 static_cast<long long>(rows));
+    return 1;
+  }
+  return 0;
+}

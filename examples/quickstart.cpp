@@ -61,8 +61,8 @@ int main(int argc, char** argv) {
   }
 
   // 4. Score against the ground truth. Training totals come from the live
-  //    telemetry (the epoch callback and the metrics registry) rather than
-  //    the deprecated report() snapshot.
+  //    telemetry (the epoch callback and the metrics registry); structured
+  //    run totals are also available as imputer.summary().
   const grimp::ImputationScore score =
       grimp::ScoreImputation(*imputed_or, corrupted, clean);
   grimp::MetricsRegistry& metrics = grimp::MetricsRegistry::Global();

@@ -1,18 +1,15 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "common/binary_io.h"
-#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
-#include "tensor/optimizer.h"
 
 namespace grimp {
 
@@ -142,11 +139,10 @@ Status GrimpEngine::Fit(const Table& source) {
   }
   RecordThreadPoolMetrics();
   GRIMP_TRACE_SPAN("grimp.fit");
-  const auto t0 = std::chrono::steady_clock::now();
   const int num_cols = source.num_cols();
   const int dim = options_.dim;
   Rng rng(options_.seed);
-  report_ = TrainReport{};
+  summary_ = TrainSummary{};
 
   schema_ = source.schema();
   source_dicts_.clear();
@@ -170,28 +166,25 @@ Status GrimpEngine::Fit(const Table& source) {
   Rng model_rng = rng.Fork();
   ConstructModel(features.column_features, &model_rng);
 
-  struct TaskBatch {
-    std::vector<int32_t> train_idx, val_idx;
-    std::vector<int32_t> train_labels, val_labels;
-    std::vector<float> train_targets, val_targets;
-  };
-  std::vector<TaskBatch> batches(static_cast<size_t>(num_cols));
+  std::vector<TrainTask> train_tasks(static_cast<size_t>(num_cols));
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    train_tasks[t].categorical = tasks_[t].categorical;
+    train_tasks[t].head = tasks_[t].head.get();
+  }
 
   auto add_sample = [&](const TrainingSample& s, bool is_val) {
-    TaskBatch& batch = batches[static_cast<size_t>(s.target_col)];
+    TrainTask& task = train_tasks[static_cast<size_t>(s.target_col)];
     if (!is_val && options_.max_samples_per_task > 0) {
-      const int64_t kept = static_cast<int64_t>(batch.train_labels.size() +
-                                                batch.train_targets.size());
-      if (kept >= options_.max_samples_per_task) return;
+      if (task.NumTrain() >= options_.max_samples_per_task) return;
     }
     AppendRowIndices(source, tg, s.row, s.target_col, /*node_offset=*/0,
-                     is_val ? &batch.val_idx : &batch.train_idx);
+                     is_val ? &task.val_idx : &task.train_idx);
     const Column& col = source.column(s.target_col);
     if (col.is_categorical()) {
-      (is_val ? batch.val_labels : batch.train_labels)
+      (is_val ? task.val_labels : task.train_labels)
           .push_back(col.CodeAt(s.row));
     } else {
-      (is_val ? batch.val_targets : batch.train_targets)
+      (is_val ? task.val_targets : task.train_targets)
           .push_back(static_cast<float>(
               normalizer_.Normalize(s.target_col, col.NumAt(s.row))));
     }
@@ -199,122 +192,13 @@ Status GrimpEngine::Fit(const Table& source) {
   for (const TrainingSample& s : corpus.train) add_sample(s, false);
   for (const TrainingSample& s : corpus.validation) add_sample(s, true);
 
-  std::vector<Parameter*> params;
-  CollectParams(&params);
-  for (Parameter* p : params) report_.num_parameters += p->value.size();
-  report_.num_train_samples = static_cast<int64_t>(corpus.train.size());
-  report_.num_val_samples = static_cast<int64_t>(corpus.validation.size());
-
-  Adam opt(params, options_.learning_rate);
-  double best_val = std::numeric_limits<double>::infinity();
-  std::vector<Tensor> best_params;
-  int epochs_since_best = 0;
-
-  MetricsRegistry& registry = MetricsRegistry::Global();
-  registry.GetGauge("grimp.num_parameters")
-      .Set(static_cast<double>(report_.num_parameters));
-  Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
-  Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
-  Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
-
-  TraceSpan train_span("grimp.train");
-  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
-    const auto epoch_start = std::chrono::steady_clock::now();
-    Tape tape;
-    Tape::VarId feats = tape.Constant(features.node_features);
-    Tape::VarId h =
-        options_.use_gnn ? gnn_.Forward(&tape, feats, tg.graph) : feats;
-    Tape::VarId h_shared = shared_.Forward(&tape, h);
-
-    Tape::VarId total_loss = -1;
-    double val_loss_sum = 0.0;
-    bool has_val = false;
-    for (size_t t = 0; t < tasks_.size(); ++t) {
-      const TaskState& task = tasks_[t];
-      TaskBatch& batch = batches[t];
-      auto forward = [&](const std::vector<int32_t>& idx) {
-        const int64_t n = static_cast<int64_t>(idx.size()) / num_cols;
-        Tape::VarId flat = tape.GatherRows(h_shared, idx);
-        return task.head->Forward(
-            &tape,
-            tape.Reshape(flat, n, static_cast<int64_t>(num_cols) * dim));
-      };
-      auto loss_of = [&](Tape::VarId out, const std::vector<int32_t>& labels,
-                         const std::vector<float>& targets) {
-        if (task.categorical) {
-          return options_.focal_gamma > 0.0f
-                     ? tape.FocalLoss(out, labels, options_.focal_gamma)
-                     : tape.SoftmaxCrossEntropy(out, labels);
-        }
-        return tape.MseLoss(out, targets);
-      };
-      if (!batch.train_idx.empty()) {
-        Tape::VarId loss = loss_of(forward(batch.train_idx),
-                                   batch.train_labels, batch.train_targets);
-        total_loss = total_loss < 0 ? loss : tape.Add(total_loss, loss);
-      }
-      if (!batch.val_idx.empty()) {
-        Tape::VarId loss = loss_of(forward(batch.val_idx), batch.val_labels,
-                                   batch.val_targets);
-        val_loss_sum += tape.value(loss).scalar();
-        has_val = true;
-      }
-    }
-    if (total_loss < 0) break;
-    report_.final_train_loss = tape.value(total_loss).scalar();
-    tape.Backward(total_loss);
-    opt.ClipGradNorm(options_.grad_clip);
-    opt.Step();
-    opt.ZeroGrad();
-    report_.epochs_run = epoch + 1;
-
-    bool improved = false;
-    bool stop_early = false;
-    if (has_val) {
-      if (val_loss_sum < best_val - 1e-6) {
-        improved = true;
-        best_val = val_loss_sum;
-        epochs_since_best = 0;
-        best_params.clear();
-        for (Parameter* p : params) best_params.push_back(p->value);
-      } else if (++epochs_since_best >= options_.patience) {
-        stop_early = true;
-      }
-    }
-
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.train_loss = report_.final_train_loss;
-    stats.val_loss = val_loss_sum;
-    stats.has_val = has_val;
-    stats.improved = improved;
-    stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      epoch_start)
-            .count();
-    train_loss_series.Append(stats.train_loss);
-    if (has_val) val_loss_series.Append(stats.val_loss);
-    epoch_seconds_series.Append(stats.seconds);
-    bool keep_going = true;
-    if (options_.callbacks.on_epoch_end) {
-      keep_going = options_.callbacks.on_epoch_end(stats);
-    }
-    if (stop_early || !keep_going) break;
-  }
-  train_span.Stop();
-  if (!best_params.empty()) {
-    for (size_t i = 0; i < params.size(); ++i) {
-      params[i]->value = best_params[i];
-    }
-    report_.best_val_loss = best_val;
-  }
-  report_.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  Trainer trainer(options_, &tg.graph, &features.node_features,
+                  options_.use_gnn ? &gnn_ : nullptr, &shared_,
+                  std::move(train_tasks), num_cols);
+  GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(options_.callbacks));
   fitted_ = true;
   return Status::OK();
 }
-
 
 namespace {
 constexpr uint64_t kModelMagic = 0x4752494d504d444cULL;  // "GRIMPMDL"

@@ -6,6 +6,7 @@
 
 #include "core/grimp.h"
 #include "core/tasks.h"
+#include "core/trainer.h"
 #include "gnn/hetero_sage.h"
 #include "table/dictionary.h"
 #include "table/normalizer.h"
@@ -81,7 +82,10 @@ class GrimpEngine {
   Result<Tensor> AttentionSummary(const Table& table) const;
 
   bool fitted() const { return fitted_; }
-  const TrainReport& report() const { return report_; }
+  // Training summary of the last successful Fit() (see trainer.h); a
+  // default-constructed summary before Fit (and after Load, which skips
+  // training).
+  const TrainSummary& summary() const { return summary_; }
   const GrimpOptions& options() const { return options_; }
   // Source schema captured at Fit time (empty before Fit/Load). The
   // serving layer uses it to build request rows by column name.
@@ -102,7 +106,7 @@ class GrimpEngine {
   void CollectParams(std::vector<Parameter*>* out);
 
   GrimpOptions options_;
-  TrainReport report_;
+  TrainSummary summary_;
   bool fitted_ = false;
 
   // Source-table context captured at Fit time.

@@ -1,50 +1,36 @@
 #include "core/grimp.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <vector>
 
-#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "core/tasks.h"
+#include "core/trainer.h"
 #include "gnn/hetero_sage.h"
 #include "graph/builder.h"
 #include "table/normalizer.h"
-#include "tensor/optimizer.h"
 
 namespace grimp {
 
 namespace {
 
-// Everything one imputation task needs, precomputed once before training:
-// gather indices into the shared representation, labels/targets, and the
-// indices of the cells to impute at the end.
+// Everything one imputation task needs besides its training samples (which
+// live in the task's TrainTask): the head and the indices of the cells to
+// impute at the end.
 struct TaskData {
   int col = -1;
   bool categorical = true;
   int out_dim = 0;
 
-  std::vector<int32_t> train_idx;    // |train| * C node ids (-1 == masked)
-  std::vector<int32_t> train_labels;
-  std::vector<float> train_targets;  // normalized, numerical tasks
-  std::vector<int32_t> val_idx;
-  std::vector<int32_t> val_labels;
-  std::vector<float> val_targets;
   std::vector<int32_t> impute_idx;
   std::vector<CellRef> impute_cells;
 
   std::unique_ptr<TaskHead> head;
-
-  int64_t NumTrain() const {
-    return train_idx.empty() ? 0
-                             : static_cast<int64_t>(train_labels.size() +
-                                                    train_targets.size());
-  }
 };
 
 // Gather indices of one training vector: the tuple's cell nodes with the
@@ -81,14 +67,6 @@ std::vector<float> LogPriorBias(const Dictionary& dict) {
     bias[static_cast<size_t>(code)] = static_cast<float>(std::log(p));
   }
   return bias;
-}
-
-std::chrono::steady_clock::time_point Now() {
-  return std::chrono::steady_clock::now();
-}
-
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(Now() - t0).count();
 }
 
 }  // namespace
@@ -128,11 +106,10 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   }
   RecordThreadPoolMetrics();
   TraceSpan impute_span("grimp.impute");
-  const auto t0 = Now();
   const int num_cols = dirty.num_cols();
   const int dim = options_.dim;
   Rng rng(options_.seed);
-  report_ = TrainReport{};
+  summary_ = TrainSummary{};
 
   // 1. Preprocessing: normalization, corpus, graph (validation target
   //    edges removed), pre-trained features (paper Alg. 1 first phase).
@@ -206,16 +183,19 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
 
   // 3. Precompute gather indices / labels / targets per task.
   TraceSpan task_build_span("grimp.task_build");
+  std::vector<TrainTask> train_tasks(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    train_tasks[t].categorical = tasks[t].categorical;
+    train_tasks[t].head = tasks[t].head.get();
+  }
   auto add_sample = [&](const TrainingSample& s, bool is_val) {
-    TaskData& task =
-        options_.multi_task ? tasks[static_cast<size_t>(s.target_col)]
-                            : tasks[0];
+    const size_t t =
+        options_.multi_task ? static_cast<size_t>(s.target_col) : 0;
+    TrainTask& task = train_tasks[t];
     if (!is_val && options_.max_samples_per_task > 0) {
       // Training-data reduction (§7): corpus order is random, so the cap
       // keeps a uniform subsample per task.
-      const int64_t kept = static_cast<int64_t>(task.train_labels.size() +
-                                                task.train_targets.size());
-      if (kept >= options_.max_samples_per_task) return;
+      if (task.NumTrain() >= options_.max_samples_per_task) return;
     }
     auto& idx = is_val ? task.val_idx : task.train_idx;
     AppendSampleIndices(dirty, tg, s.row, s.target_col, &idx);
@@ -226,12 +206,6 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
       int32_t label = code;
       if (!options_.multi_task) {
         label += mc_offsets[static_cast<size_t>(s.target_col)];
-      } else if (!col.is_categorical()) {
-        // Numerical column in multi-task mode trains a regressor.
-        auto& targets = is_val ? task.val_targets : task.train_targets;
-        targets.push_back(static_cast<float>(
-            normalizer.Normalize(s.target_col, col.NumAt(s.row))));
-        return;
       }
       auto& labels = is_val ? task.val_labels : task.train_labels;
       labels.push_back(label);
@@ -258,124 +232,14 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   }
   task_build_span.Stop();
 
-  // 4. Training loop (paper Alg. 1). Train and validation losses share one
-  //    tape per epoch; Backward runs only from the training loss.
-  std::vector<Parameter*> params;
-  if (options_.use_gnn) gnn.CollectParameters(&params);
-  shared.CollectParameters(&params);
-  for (TaskData& task : tasks) task.head->CollectParameters(&params);
-  for (Parameter* p : params) report_.num_parameters += p->value.size();
-  report_.num_train_samples = static_cast<int64_t>(corpus.train.size());
-  report_.num_val_samples = static_cast<int64_t>(corpus.validation.size());
-
-  Adam opt(params, options_.learning_rate);
-  double best_val = std::numeric_limits<double>::infinity();
-  std::vector<Tensor> best_params;
-  int epochs_since_best = 0;
-
-  MetricsRegistry& registry = MetricsRegistry::Global();
-  registry.GetGauge("grimp.num_parameters")
-      .Set(static_cast<double>(report_.num_parameters));
-  Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
-  Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
-  Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
-
-  TraceSpan train_span("grimp.train");
+  // 4. Training (paper Alg. 1) via the shared Trainer: full-graph epochs
+  //    by default, neighbor-sampled minibatches when options_.train.mode
+  //    is TrainMode::kSampled (see trainer.h).
+  Trainer trainer(options_, &tg.graph, &features.node_features,
+                  options_.use_gnn ? &gnn : nullptr, &shared,
+                  std::move(train_tasks), num_cols);
+  GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(options_.callbacks));
   const int num_blocks_gathered = num_cols;
-  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
-    const auto epoch_start = Now();
-    Tape tape;
-    Tape::VarId feats = tape.Constant(features.node_features);
-    Tape::VarId h =
-        options_.use_gnn ? gnn.Forward(&tape, feats, tg.graph) : feats;
-    Tape::VarId h_shared = shared.Forward(&tape, h);
-
-    Tape::VarId total_loss = -1;
-    double val_loss_sum = 0.0;
-    bool has_val = false;
-    for (TaskData& task : tasks) {
-      auto task_forward = [&](const std::vector<int32_t>& idx) {
-        const int64_t n =
-            static_cast<int64_t>(idx.size()) / num_blocks_gathered;
-        Tape::VarId flat = tape.GatherRows(h_shared, idx);
-        Tape::VarId vecs = tape.Reshape(
-            flat, n, static_cast<int64_t>(num_blocks_gathered) * dim);
-        return task.head->Forward(&tape, vecs);
-      };
-      auto task_loss = [&](Tape::VarId out, const std::vector<int32_t>& labels,
-                           const std::vector<float>& targets) {
-        if (task.categorical) {
-          return options_.focal_gamma > 0.0f
-                     ? tape.FocalLoss(out, labels, options_.focal_gamma)
-                     : tape.SoftmaxCrossEntropy(out, labels);
-        }
-        return tape.MseLoss(out, targets);
-      };
-      if (!task.train_idx.empty()) {
-        Tape::VarId out = task_forward(task.train_idx);
-        Tape::VarId loss = task_loss(out, task.train_labels,
-                                     task.train_targets);
-        total_loss = total_loss < 0 ? loss : tape.Add(total_loss, loss);
-      }
-      if (!task.val_idx.empty()) {
-        Tape::VarId out = task_forward(task.val_idx);
-        Tape::VarId loss = task_loss(out, task.val_labels, task.val_targets);
-        val_loss_sum += tape.value(loss).scalar();
-        has_val = true;
-      }
-    }
-    if (total_loss < 0) break;  // nothing to train on
-    report_.final_train_loss = tape.value(total_loss).scalar();
-    tape.Backward(total_loss);
-    opt.ClipGradNorm(options_.grad_clip);
-    opt.Step();
-    opt.ZeroGrad();
-    report_.epochs_run = epoch + 1;
-
-    if (options_.verbose && epoch % 10 == 0) {
-      GRIMP_LOG(Info) << name() << " epoch " << epoch << " train_loss "
-                      << report_.final_train_loss << " val_loss "
-                      << val_loss_sum;
-    }
-    // Early stopping on the summed validation loss.
-    bool improved = false;
-    bool stop_early = false;
-    if (has_val) {
-      if (val_loss_sum < best_val - 1e-6) {
-        improved = true;
-        best_val = val_loss_sum;
-        epochs_since_best = 0;
-        best_params.clear();
-        best_params.reserve(params.size());
-        for (Parameter* p : params) best_params.push_back(p->value);
-      } else if (++epochs_since_best >= options_.patience) {
-        stop_early = true;
-      }
-    }
-
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.train_loss = report_.final_train_loss;
-    stats.val_loss = val_loss_sum;
-    stats.has_val = has_val;
-    stats.improved = improved;
-    stats.seconds = SecondsSince(epoch_start);
-    train_loss_series.Append(stats.train_loss);
-    if (has_val) val_loss_series.Append(stats.val_loss);
-    epoch_seconds_series.Append(stats.seconds);
-    bool keep_going = true;
-    if (options_.callbacks.on_epoch_end) {
-      keep_going = options_.callbacks.on_epoch_end(stats);
-    }
-    if (stop_early || !keep_going) break;
-  }
-  train_span.Stop();
-  if (!best_params.empty()) {
-    for (size_t i = 0; i < params.size(); ++i) {
-      params[i]->value = best_params[i];
-    }
-    report_.best_val_loss = best_val;
-  }
 
   // 5. Imputation (paper §3.7): forward once with the best weights, then
   //    fill every missing cell from its task's prediction.
@@ -429,7 +293,6 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
       }
     }
   }
-  report_.train_seconds = SecondsSince(t0);
   return imputed;
 }
 

@@ -4,20 +4,10 @@
 #include <string>
 
 #include "core/options.h"
+#include "core/trainer.h"
 #include "eval/imputer.h"
 
 namespace grimp {
-
-// Summary of one GRIMP training run (reported by the benchmarks).
-struct TrainReport {
-  int epochs_run = 0;
-  double best_val_loss = 0.0;
-  double final_train_loss = 0.0;
-  double train_seconds = 0.0;
-  int64_t num_parameters = 0;
-  int64_t num_train_samples = 0;
-  int64_t num_val_samples = 0;
-};
 
 // The GRIMP imputation system (paper §3): heterogeneous table graph +
 // GraphSAGE-based heterogeneous GNN + self-supervised multi-task heads.
@@ -37,14 +27,14 @@ class GrimpImputer : public ImputationAlgorithm {
   Result<Table> Impute(const Table& dirty) override;
 
   const GrimpOptions& options() const { return options_; }
-  // Deprecated: summary snapshot of the last successful Impute(). Prefer
-  // GrimpOptions::callbacks (per-epoch EpochStats while training runs) or
-  // the MetricsRegistry series / spans for new code.
-  const TrainReport& report() const { return report_; }
+  // Training summary of the last successful Impute() (see trainer.h). For
+  // per-epoch telemetry while training runs, use GrimpOptions::callbacks
+  // or the MetricsRegistry series / spans.
+  const TrainSummary& summary() const { return summary_; }
 
  private:
   GrimpOptions options_;
-  TrainReport report_;
+  TrainSummary summary_;
 };
 
 }  // namespace grimp

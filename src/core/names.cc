@@ -1,0 +1,53 @@
+#include "core/names.h"
+
+#include <string>
+
+namespace grimp {
+
+std::string_view TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kLinear ? "linear" : "attention";
+}
+
+std::string_view KStrategyName(KStrategy strategy) {
+  switch (strategy) {
+    case KStrategy::kDiagonal:
+      return "diagonal";
+    case KStrategy::kTargetColumn:
+      return "target_column";
+    case KStrategy::kWeakDiagonal:
+      return "weak_diagonal";
+    case KStrategy::kWeakDiagonalFd:
+      return "weak_diagonal_fd";
+  }
+  return "?";
+}
+
+std::string_view TrainModeName(TrainMode mode) {
+  return mode == TrainMode::kSampled ? "sampled" : "full";
+}
+
+Result<TaskKind> ParseTaskKind(std::string_view name) {
+  if (name == "linear") return TaskKind::kLinear;
+  if (name == "attention") return TaskKind::kAttention;
+  return Status::InvalidArgument("unknown task kind '" + std::string(name) +
+                                 "' (expected linear|attention)");
+}
+
+Result<KStrategy> ParseKStrategy(std::string_view name) {
+  if (name == "diagonal") return KStrategy::kDiagonal;
+  if (name == "target_column") return KStrategy::kTargetColumn;
+  if (name == "weak_diagonal") return KStrategy::kWeakDiagonal;
+  if (name == "weak_diagonal_fd") return KStrategy::kWeakDiagonalFd;
+  return Status::InvalidArgument(
+      "unknown K strategy '" + std::string(name) +
+      "' (expected diagonal|target_column|weak_diagonal|weak_diagonal_fd)");
+}
+
+Result<TrainMode> ParseTrainMode(std::string_view name) {
+  if (name == "full") return TrainMode::kFull;
+  if (name == "sampled") return TrainMode::kSampled;
+  return Status::InvalidArgument("unknown train mode '" + std::string(name) +
+                                 "' (expected full|sampled)");
+}
+
+}  // namespace grimp

@@ -1,0 +1,27 @@
+#ifndef GRIMP_CORE_NAMES_H_
+#define GRIMP_CORE_NAMES_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/options.h"
+
+namespace grimp {
+
+// Canonical lowercase names for the core enums, and their inverses. All
+// name/parse helpers for core-level enums live here (bench flags, the
+// serve CLI and the tuner's config descriptions consume them); the enums
+// themselves stay next to the options that use them. Every name round-trips
+// through its parser; parsers return InvalidArgument on unknown names.
+
+std::string_view TaskKindName(TaskKind kind);
+std::string_view KStrategyName(KStrategy strategy);
+std::string_view TrainModeName(TrainMode mode);
+
+Result<TaskKind> ParseTaskKind(std::string_view name);
+Result<KStrategy> ParseKStrategy(std::string_view name);
+Result<TrainMode> ParseTrainMode(std::string_view name);
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_NAMES_H_

@@ -4,41 +4,6 @@
 
 namespace grimp {
 
-std::string_view TaskKindName(TaskKind kind) {
-  return kind == TaskKind::kLinear ? "linear" : "attention";
-}
-
-std::string_view KStrategyName(KStrategy strategy) {
-  switch (strategy) {
-    case KStrategy::kDiagonal:
-      return "diagonal";
-    case KStrategy::kTargetColumn:
-      return "target_column";
-    case KStrategy::kWeakDiagonal:
-      return "weak_diagonal";
-    case KStrategy::kWeakDiagonalFd:
-      return "weak_diagonal_fd";
-  }
-  return "?";
-}
-
-Result<TaskKind> ParseTaskKind(std::string_view name) {
-  if (name == "linear") return TaskKind::kLinear;
-  if (name == "attention") return TaskKind::kAttention;
-  return Status::InvalidArgument("unknown task kind '" + std::string(name) +
-                                 "' (expected linear|attention)");
-}
-
-Result<KStrategy> ParseKStrategy(std::string_view name) {
-  if (name == "diagonal") return KStrategy::kDiagonal;
-  if (name == "target_column") return KStrategy::kTargetColumn;
-  if (name == "weak_diagonal") return KStrategy::kWeakDiagonal;
-  if (name == "weak_diagonal_fd") return KStrategy::kWeakDiagonalFd;
-  return Status::InvalidArgument(
-      "unknown K strategy '" + std::string(name) +
-      "' (expected diagonal|target_column|weak_diagonal|weak_diagonal_fd)");
-}
-
 Status GrimpOptions::Validate() const {
   if (dim <= 0) {
     return Status::InvalidArgument("GrimpOptions.dim must be > 0, got " +
@@ -108,6 +73,40 @@ Status GrimpOptions::Validate() const {
   if (k_strategy == KStrategy::kWeakDiagonalFd && fds.empty()) {
     return Status::InvalidArgument(
         "GrimpOptions.k_strategy=weak_diagonal_fd requires non-empty fds");
+  }
+  if (train.batch_size < 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.train.batch_size must be >= 0, got " +
+        std::to_string(train.batch_size));
+  }
+  if (!train.fanouts.empty() &&
+      static_cast<int>(train.fanouts.size()) != gnn_layers) {
+    return Status::InvalidArgument(
+        "GrimpOptions.train.fanouts must be empty or have one entry per "
+        "GNN layer (" +
+        std::to_string(gnn_layers) + "), got " +
+        std::to_string(train.fanouts.size()));
+  }
+  if (train.mode == TrainMode::kSampled) {
+    if (!use_gnn) {
+      return Status::InvalidArgument(
+          "GrimpOptions.train.mode=sampled contradicts use_gnn=false: "
+          "neighbor sampling only shapes message passing");
+    }
+    if (train.batch_size <= 0) {
+      return Status::InvalidArgument(
+          "GrimpOptions.train.mode=sampled requires train.batch_size > 0, "
+          "got " +
+          std::to_string(train.batch_size));
+    }
+    for (int fanout : train.fanouts) {
+      if (fanout <= 0) {
+        return Status::InvalidArgument(
+            "GrimpOptions.train.mode=sampled contradicts a fanout of " +
+            std::to_string(fanout) +
+            ": every layer must sample at least one neighbor");
+      }
+    }
   }
   return Status::OK();
 }

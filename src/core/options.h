@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -23,12 +22,28 @@ enum class KStrategy {
   kWeakDiagonalFd,  // weak diagonal + boost for FD-related columns
 };
 
-// Canonical lowercase names ("linear", "weak_diagonal_fd", ...).
-std::string_view TaskKindName(TaskKind kind);
-std::string_view KStrategyName(KStrategy strategy);
-// Inverse of the name functions; InvalidArgument on unknown names.
-Result<TaskKind> ParseTaskKind(std::string_view name);
-Result<KStrategy> ParseKStrategy(std::string_view name);
+// How the Trainer walks the graph each epoch. Full mode runs one
+// whole-graph forward per epoch (every training sample shares the node
+// embeddings). Sampled mode iterates seeded minibatches of task samples
+// and runs the GNN only over each batch's sampled receptive field
+// (GraphSAGE-style layer-wise neighbor fanouts), bounding per-step cost by
+// the batch instead of the graph.
+enum class TrainMode { kFull, kSampled };
+
+// Minibatch / neighbor-sampling configuration for the Trainer. Ignored in
+// full mode (the default, which reproduces the paper's training exactly).
+struct TrainConfig {
+  TrainMode mode = TrainMode::kFull;
+  // Task samples per optimizer step in sampled mode (must be > 0 there).
+  int batch_size = 256;
+  // Per-GNN-layer neighbor fanouts for sampled mode, fanouts[l] applying
+  // to layer l. Empty selects the default of 10 per layer; otherwise the
+  // size must equal gnn_layers and every entry must be > 0 (a fanout of 0
+  // would silence message passing and is rejected by Validate()).
+  std::vector<int> fanouts;
+};
+
+// (All name/parse helpers for the enums above live in core/names.h.)
 
 // Per-epoch training telemetry handed to TrainCallbacks::on_epoch_end and
 // mirrored into the metrics registry as the series "grimp.epoch.train_loss",
@@ -88,13 +103,21 @@ struct GrimpOptions {
   bool use_gnn = true;
   bool multi_task = true;
 
-  // Efficiency knobs (paper §7 future work): graph pruning via
-  // GraphSAGE-style neighbor subsampling (0 == off), and a cap on the
-  // number of self-supervised training samples each task keeps
-  // (0 == keep all; the corpus is shuffled, so the cap keeps a random
-  // subset).
+  // Efficiency knobs (paper §7 future work). `neighbor_cap` is *static*
+  // graph pruning: the built graph keeps at most this many random
+  // neighbors per node per edge type, once, before training (0 == off).
+  // Contrast with TrainConfig::fanouts, which resamples a fresh
+  // neighborhood per minibatch *step* in sampled mode and leaves the full
+  // graph (and therefore full-graph inference) intact; the two compose —
+  // the sampler draws from whatever graph was built.
+  // `max_samples_per_task` caps the self-supervised training samples each
+  // task keeps (0 == keep all; the corpus is shuffled, so the cap keeps a
+  // random subset).
   int neighbor_cap = 0;
   int64_t max_samples_per_task = 0;
+
+  // Minibatch neighbor-sampled training (see TrainMode above).
+  TrainConfig train;
 
   // Input FDs consumed by the kWeakDiagonalFd strategy (§4.3).
   std::vector<FunctionalDependency> fds;

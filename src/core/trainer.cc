@@ -1,0 +1,345 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "graph/sampler.h"
+#include "tensor/optimizer.h"
+
+namespace grimp {
+
+namespace {
+
+constexpr int kDefaultFanout = 10;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Seed for one minibatch's sampling stream. A pure function of (run seed,
+// epoch, stable batch id) — never of thread count or scheduling — so the
+// sampled blocks, and therefore the losses, are identical at every
+// GRIMP_NUM_THREADS.
+uint64_t MixSeed(uint64_t seed, uint64_t epoch, uint64_t batch) {
+  return SplitMix64(SplitMix64(SplitMix64(seed) ^ epoch) ^ batch);
+}
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(Now() - t0).count();
+}
+
+}  // namespace
+
+Trainer::Trainer(const GrimpOptions& options, const HeteroGraph* graph,
+                 const Tensor* node_features, HeteroGnn* gnn, Mlp* shared,
+                 std::vector<TrainTask> tasks, int num_cols)
+    : options_(options),
+      graph_(graph),
+      node_features_(node_features),
+      gnn_(gnn),
+      shared_(shared),
+      tasks_(std::move(tasks)),
+      num_cols_(num_cols) {
+  GRIMP_CHECK(graph_ != nullptr);
+  GRIMP_CHECK(node_features_ != nullptr);
+  GRIMP_CHECK(shared_ != nullptr);
+  GRIMP_CHECK(!options_.use_gnn || gnn_ != nullptr);
+  GRIMP_CHECK_GT(num_cols_, 0);
+}
+
+Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
+                                           bool* has_val) {
+  const int dim = options_.dim;
+  EpochResult result;
+  Tape tape;
+  Tape::VarId feats = tape.Constant(*node_features_);
+  Tape::VarId h =
+      options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
+  Tape::VarId h_shared = shared_->Forward(&tape, h);
+
+  Tape::VarId total_loss = -1;
+  for (TrainTask& task : tasks_) {
+    auto task_forward = [&](const std::vector<int32_t>& idx) {
+      const int64_t n = static_cast<int64_t>(idx.size()) / num_cols_;
+      Tape::VarId flat = tape.GatherRows(h_shared, idx);
+      Tape::VarId vecs =
+          tape.Reshape(flat, n, static_cast<int64_t>(num_cols_) * dim);
+      return task.head->Forward(&tape, vecs);
+    };
+    auto task_loss = [&](Tape::VarId out, const std::vector<int32_t>& labels,
+                         const std::vector<float>& targets) {
+      if (task.categorical) {
+        return options_.focal_gamma > 0.0f
+                   ? tape.FocalLoss(out, labels, options_.focal_gamma)
+                   : tape.SoftmaxCrossEntropy(out, labels);
+      }
+      return tape.MseLoss(out, targets);
+    };
+    if (!task.train_idx.empty()) {
+      Tape::VarId out = task_forward(task.train_idx);
+      Tape::VarId loss =
+          task_loss(out, task.train_labels, task.train_targets);
+      total_loss = total_loss < 0 ? loss : tape.Add(total_loss, loss);
+    }
+    if (!task.val_idx.empty()) {
+      Tape::VarId out = task_forward(task.val_idx);
+      Tape::VarId loss = task_loss(out, task.val_labels, task.val_targets);
+      *val_loss_sum += tape.value(loss).scalar();
+      *has_val = true;
+    }
+  }
+  if (total_loss < 0) return result;  // nothing to train on
+  result.train_loss = tape.value(total_loss).scalar();
+  tape.Backward(total_loss);
+  opt->ClipGradNorm(options_.grad_clip);
+  opt->Step();
+  opt->ZeroGrad();
+  ++summary_.steps_run;
+  result.trained = true;
+  return result;
+}
+
+Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
+  const int dim = options_.dim;
+  const int64_t batch_size = options_.train.batch_size;
+  std::vector<int> fanouts = options_.train.fanouts;
+  if (fanouts.empty()) {
+    fanouts.assign(static_cast<size_t>(gnn_->num_layers()), kDefaultFanout);
+  }
+  const NeighborSampler sampler(graph_, std::move(fanouts));
+  Series& batch_loss_series =
+      MetricsRegistry::Global().GetSeries("grimp.batch.train_loss");
+
+  EpochResult result;
+  // Batch ids are assigned in (task, offset) order — a pure function of
+  // the training data, so each batch's sampling stream is stable across
+  // runs and thread counts.
+  uint64_t batch_id = 0;
+  for (TrainTask& task : tasks_) {
+    const int64_t n = task.NumTrain();
+    if (n == 0) continue;
+    double task_loss_sum = 0.0;
+    for (int64_t start = 0; start < n; start += batch_size) {
+      const int64_t bn = std::min(batch_size, n - start);
+      Rng rng(MixSeed(options_.seed, static_cast<uint64_t>(epoch),
+                      batch_id++));
+
+      // Seeds: the distinct non-masked cell nodes this batch gathers, in
+      // first-seen order (the sampler requires distinct seeds; the order
+      // fixes the block's local ids).
+      const int32_t* idx =
+          task.train_idx.data() + start * static_cast<int64_t>(num_cols_);
+      const int64_t idx_len = bn * static_cast<int64_t>(num_cols_);
+      TraceSpan sample_span("train.sample");
+      std::vector<int32_t> seeds;
+      std::unordered_map<int32_t, int32_t> seed_pos;
+      seed_pos.reserve(static_cast<size_t>(idx_len) * 2);
+      for (int64_t i = 0; i < idx_len; ++i) {
+        const int32_t node = idx[i];
+        if (node < 0) continue;
+        const auto [it, inserted] =
+            seed_pos.emplace(node, static_cast<int32_t>(seeds.size()));
+        if (inserted) seeds.push_back(node);
+        (void)it;
+      }
+      // A batch of fully-masked vectors still trains its head (on zero
+      // vectors); feed the sampler a dummy seed so the forward type-checks.
+      if (seeds.empty()) seeds.push_back(0);
+      const SampledSubgraph sub = sampler.Sample(seeds, &rng);
+      sample_span.Stop();
+
+      // Gather the receptive field's input features into a compact matrix.
+      TraceSpan gather_span("train.gather");
+      Tensor batch_feats(static_cast<int64_t>(sub.input_nodes.size()), dim);
+      for (size_t i = 0; i < sub.input_nodes.size(); ++i) {
+        const float* src =
+            node_features_->data() +
+            static_cast<int64_t>(sub.input_nodes[i]) * dim;
+        std::copy(src, src + dim,
+                  batch_feats.data() + static_cast<int64_t>(i) * dim);
+      }
+      std::vector<int32_t> local_idx(static_cast<size_t>(idx_len));
+      for (int64_t i = 0; i < idx_len; ++i) {
+        local_idx[static_cast<size_t>(i)] =
+            idx[i] < 0 ? -1 : seed_pos.at(idx[i]);
+      }
+      gather_span.Stop();
+
+      Tape tape;
+      Tape::VarId feats = tape.Constant(std::move(batch_feats));
+      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub);
+      Tape::VarId h_shared = shared_->Forward(&tape, h);
+      Tape::VarId flat = tape.GatherRows(h_shared, std::move(local_idx));
+      Tape::VarId vecs =
+          tape.Reshape(flat, bn, static_cast<int64_t>(num_cols_) * dim);
+      Tape::VarId out = task.head->Forward(&tape, vecs);
+      Tape::VarId loss;
+      if (task.categorical) {
+        std::vector<int32_t> labels(
+            task.train_labels.begin() + start,
+            task.train_labels.begin() + start + bn);
+        loss = options_.focal_gamma > 0.0f
+                   ? tape.FocalLoss(out, std::move(labels),
+                                    options_.focal_gamma)
+                   : tape.SoftmaxCrossEntropy(out, std::move(labels));
+      } else {
+        std::vector<float> targets(
+            task.train_targets.begin() + start,
+            task.train_targets.begin() + start + bn);
+        loss = tape.MseLoss(out, std::move(targets));
+      }
+      const double loss_value = tape.value(loss).scalar();
+      tape.Backward(loss);
+      opt->ClipGradNorm(options_.grad_clip);
+      opt->Step();
+      opt->ZeroGrad();
+      ++summary_.steps_run;
+      result.trained = true;
+      batch_loss_series.Append(loss_value);
+      task_loss_sum += loss_value * static_cast<double>(bn);
+    }
+    // Sample-weighted mean over the task's batches == the task's mean
+    // loss, the same quantity full mode reports per task.
+    result.train_loss += task_loss_sum / static_cast<double>(n);
+  }
+  return result;
+}
+
+double Trainer::ValidationLoss(bool* has_val) const {
+  const int dim = options_.dim;
+  Tape tape;
+  Tape::VarId feats = tape.Constant(*node_features_);
+  Tape::VarId h =
+      options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
+  Tape::VarId h_shared = shared_->Forward(&tape, h);
+  double val_loss_sum = 0.0;
+  for (const TrainTask& task : tasks_) {
+    if (task.val_idx.empty()) continue;
+    const int64_t n =
+        static_cast<int64_t>(task.val_idx.size()) / num_cols_;
+    Tape::VarId flat = tape.GatherRows(h_shared, task.val_idx);
+    Tape::VarId vecs =
+        tape.Reshape(flat, n, static_cast<int64_t>(num_cols_) * dim);
+    Tape::VarId out = task.head->Forward(&tape, vecs);
+    Tape::VarId loss;
+    if (task.categorical) {
+      loss = options_.focal_gamma > 0.0f
+                 ? tape.FocalLoss(out, task.val_labels, options_.focal_gamma)
+                 : tape.SoftmaxCrossEntropy(out, task.val_labels);
+    } else {
+      loss = tape.MseLoss(out, task.val_targets);
+    }
+    val_loss_sum += tape.value(loss).scalar();
+    *has_val = true;
+  }
+  return val_loss_sum;
+}
+
+Result<TrainSummary> Trainer::Run(const TrainCallbacks& callbacks) {
+  const auto t0 = Now();
+  const bool sampled = options_.train.mode == TrainMode::kSampled;
+  summary_ = TrainSummary{};
+  summary_.mode = options_.train.mode;
+
+  params_.clear();
+  if (options_.use_gnn) gnn_->CollectParameters(&params_);
+  shared_->CollectParameters(&params_);
+  for (TrainTask& task : tasks_) task.head->CollectParameters(&params_);
+  for (const Parameter* p : params_) {
+    summary_.num_parameters += p->value.size();
+  }
+  for (const TrainTask& task : tasks_) {
+    summary_.num_train_samples += task.NumTrain();
+    summary_.num_val_samples += task.NumVal();
+  }
+
+  Adam opt(params_, options_.learning_rate);
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_params;
+  int epochs_since_best = 0;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("grimp.num_parameters")
+      .Set(static_cast<double>(summary_.num_parameters));
+  Series& train_loss_series = registry.GetSeries("grimp.epoch.train_loss");
+  Series& val_loss_series = registry.GetSeries("grimp.epoch.val_loss");
+  Series& epoch_seconds_series = registry.GetSeries("grimp.epoch.seconds");
+
+  TraceSpan train_span("grimp.train");
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    const auto epoch_start = Now();
+    double val_loss_sum = 0.0;
+    bool has_val = false;
+    EpochResult er;
+    if (sampled) {
+      er = RunSampledEpoch(epoch, &opt);
+      if (er.trained) val_loss_sum = ValidationLoss(&has_val);
+    } else {
+      er = RunFullEpoch(&opt, &val_loss_sum, &has_val);
+    }
+    if (!er.trained) break;  // nothing to train on
+    summary_.final_train_loss = er.train_loss;
+    summary_.epochs_run = epoch + 1;
+
+    if (options_.verbose && epoch % 10 == 0) {
+      GRIMP_LOG(Info) << "train epoch " << epoch << " train_loss "
+                      << summary_.final_train_loss << " val_loss "
+                      << val_loss_sum;
+    }
+    // Early stopping on the summed validation loss.
+    bool improved = false;
+    bool stop_early = false;
+    if (has_val) {
+      if (val_loss_sum < best_val - 1e-6) {
+        improved = true;
+        best_val = val_loss_sum;
+        epochs_since_best = 0;
+        best_params.clear();
+        best_params.reserve(params_.size());
+        for (Parameter* p : params_) best_params.push_back(p->value);
+      } else if (++epochs_since_best >= options_.patience) {
+        stop_early = true;
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = summary_.final_train_loss;
+    stats.val_loss = val_loss_sum;
+    stats.has_val = has_val;
+    stats.improved = improved;
+    stats.seconds = SecondsSince(epoch_start);
+    train_loss_series.Append(stats.train_loss);
+    if (has_val) val_loss_series.Append(stats.val_loss);
+    epoch_seconds_series.Append(stats.seconds);
+    bool keep_going = true;
+    if (callbacks.on_epoch_end) {
+      keep_going = callbacks.on_epoch_end(stats);
+    }
+    if (stop_early || !keep_going) break;
+  }
+  train_span.Stop();
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      params_[i]->value = best_params[i];
+    }
+    summary_.best_val_loss = best_val;
+  }
+  summary_.train_seconds = SecondsSince(t0);
+  return summary_;
+}
+
+}  // namespace grimp

@@ -1,0 +1,121 @@
+#ifndef GRIMP_CORE_TRAINER_H_
+#define GRIMP_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/tasks.h"
+#include "gnn/hetero_sage.h"
+#include "graph/hetero_graph.h"
+#include "tensor/nn.h"
+
+namespace grimp {
+
+class Adam;
+
+// One imputation task's training inputs, precomputed by the caller before
+// the epoch loop starts: gather indices into the shared representation
+// (|samples| * num_cols node ids, -1 == masked cell) plus, depending on
+// `categorical`, class labels or normalized regression targets. The head
+// is borrowed and must outlive the Trainer.
+struct TrainTask {
+  bool categorical = true;
+  TaskHead* head = nullptr;
+
+  std::vector<int32_t> train_idx;
+  std::vector<int32_t> train_labels;
+  std::vector<float> train_targets;
+  std::vector<int32_t> val_idx;
+  std::vector<int32_t> val_labels;
+  std::vector<float> val_targets;
+
+  int64_t NumTrain() const {
+    return static_cast<int64_t>(train_labels.size() + train_targets.size());
+  }
+  int64_t NumVal() const {
+    return static_cast<int64_t>(val_labels.size() + val_targets.size());
+  }
+};
+
+// Summary of one Trainer::Run. Replaces the retired TrainReport: sample
+// counts are the *actual* trained/validated counts (after
+// max_samples_per_task), train_seconds covers Run() only, and steps_run
+// counts optimizer steps (== epochs_run in full mode, #batches * epochs in
+// sampled mode).
+struct TrainSummary {
+  TrainMode mode = TrainMode::kFull;
+  int epochs_run = 0;
+  int64_t steps_run = 0;
+  double best_val_loss = 0.0;
+  double final_train_loss = 0.0;
+  double train_seconds = 0.0;
+  int64_t num_parameters = 0;
+  int64_t num_train_samples = 0;
+  int64_t num_val_samples = 0;
+};
+
+// The epoch machinery shared by GrimpImputer::Impute and GrimpEngine::Fit
+// (paper Alg. 1): Adam over the GNN + shared MLP + task heads, summed task
+// losses, early stopping on the summed validation loss, best-weights
+// restore, per-epoch metrics series and callbacks.
+//
+// Two modes (GrimpOptions::train):
+//  - kFull (default): one whole-graph forward per epoch; every training
+//    sample reads the same node embeddings. Bit-identical to the
+//    pre-Trainer loops.
+//  - kSampled: iterates per-task minibatches of `batch_size` samples; each
+//    step samples the batch's receptive field with NeighborSampler
+//    (TrainConfig::fanouts), runs the GNN only over those blocks, and takes
+//    one optimizer step. Validation (and early stopping) still runs one
+//    full-graph forward per epoch, so the two modes stay comparable.
+//    Sampling Rng streams derive from (seed, epoch, batch id) on the
+//    driver thread, so losses are identical at every GRIMP_NUM_THREADS.
+//
+// The Trainer borrows everything it is given; it owns only the optimizer
+// state for the duration of Run().
+class Trainer {
+ public:
+  // `gnn` may be null iff options.use_gnn is false. `node_features` is the
+  // num_nodes x dim pre-trained feature matrix; `num_cols` the number of
+  // gather blocks per training vector.
+  Trainer(const GrimpOptions& options, const HeteroGraph* graph,
+          const Tensor* node_features, HeteroGnn* gnn, Mlp* shared,
+          std::vector<TrainTask> tasks, int num_cols);
+
+  // Runs the epoch loop to completion (max_epochs, early stopping, or a
+  // callback returning false). Invokes callbacks.on_epoch_end once per
+  // executed epoch. Returns the run summary; a run with nothing to train
+  // on returns epochs_run == 0 without error.
+  Result<TrainSummary> Run(const TrainCallbacks& callbacks);
+
+  const std::vector<TrainTask>& tasks() const { return tasks_; }
+
+ private:
+  struct EpochResult {
+    double train_loss = 0.0;
+    bool trained = false;  // at least one optimizer step ran
+  };
+
+  // One full-graph training epoch (forward + backward + step). Also
+  // computes the validation loss on the same tape, matching the original
+  // loops op-for-op.
+  EpochResult RunFullEpoch(Adam* opt, double* val_loss_sum, bool* has_val);
+  // One sampled epoch: per-task minibatches, one optimizer step each.
+  EpochResult RunSampledEpoch(int epoch, Adam* opt);
+  // Full-graph validation forward (no backward); used by sampled mode.
+  double ValidationLoss(bool* has_val) const;
+
+  const GrimpOptions& options_;
+  const HeteroGraph* graph_;
+  const Tensor* node_features_;
+  HeteroGnn* gnn_;
+  Mlp* shared_;
+  std::vector<TrainTask> tasks_;
+  int num_cols_;
+  std::vector<Parameter*> params_;
+  TrainSummary summary_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_TRAINER_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/names.h"
 #include "table/corruption.h"
 
 namespace grimp {

@@ -10,9 +10,15 @@ SageSubmodule::SageSubmodule(std::string name, int64_t in_dim,
 
 Tape::VarId SageSubmodule::Forward(Tape* tape, Tape::VarId h,
                                    const CsrAdjacency& adj) const {
+  return ForwardBlock(tape, h, h, adj);
+}
+
+Tape::VarId SageSubmodule::ForwardBlock(Tape* tape, Tape::VarId h_dst,
+                                        Tape::VarId h_src,
+                                        const CsrAdjacency& adj) const {
   Tape::VarId neigh_mean =
-      tape->SegmentMean(h, adj.offsets(), adj.indices());
-  Tape::VarId concat = tape->ConcatCols({h, neigh_mean});
+      tape->SegmentMean(h_src, adj.offsets(), adj.indices());
+  Tape::VarId concat = tape->ConcatCols({h_dst, neigh_mean});
   return linear_.Forward(tape, concat);
 }
 
@@ -34,25 +40,51 @@ Tape::VarId HeteroSageLayer::Forward(Tape* tape, Tape::VarId h,
                                      const HeteroGraph& graph) const {
   GRIMP_CHECK_EQ(static_cast<size_t>(graph.num_edge_types()),
                  submodules_.size());
-  const int64_t n = graph.num_nodes();
+  std::vector<const CsrAdjacency*> adjacency;
+  adjacency.reserve(submodules_.size());
+  for (size_t t = 0; t < submodules_.size(); ++t) {
+    adjacency.push_back(&graph.adjacency(static_cast<int>(t)));
+  }
+  return ForwardImpl(tape, h, h, graph.num_nodes(), adjacency);
+}
+
+Tape::VarId HeteroSageLayer::ForwardBlock(Tape* tape, Tape::VarId h,
+                                          const GraphBlock& block) const {
+  GRIMP_CHECK_EQ(block.adjacency.size(), submodules_.size());
+  GRIMP_CHECK_EQ(tape->value(h).rows(), block.num_src);
+  // Self term: the block's destinations are the first num_dst input rows.
+  std::vector<int32_t> prefix(static_cast<size_t>(block.num_dst));
+  for (int64_t i = 0; i < block.num_dst; ++i) {
+    prefix[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  Tape::VarId h_dst = tape->GatherRows(h, std::move(prefix));
+  std::vector<const CsrAdjacency*> adjacency;
+  adjacency.reserve(submodules_.size());
+  for (const CsrAdjacency& adj : block.adjacency) adjacency.push_back(&adj);
+  return ForwardImpl(tape, h_dst, h, block.num_dst, adjacency);
+}
+
+Tape::VarId HeteroSageLayer::ForwardImpl(
+    Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
+    const std::vector<const CsrAdjacency*>& adjacency) const {
   // Per-type participation masks and the per-node 1/#incident-types
-  // normalizer, derived from the graph at hand (cheap relative to the
+  // normalizer, derived from the adjacency at hand (cheap relative to the
   // matmuls; recomputed so the layer stays graph-agnostic).
-  std::vector<int> counts(static_cast<size_t>(n), 0);
+  std::vector<int> counts(static_cast<size_t>(num_dst), 0);
   std::vector<std::vector<float>> masks(submodules_.size());
   for (size_t t = 0; t < submodules_.size(); ++t) {
     auto& mask = masks[t];
-    mask.assign(static_cast<size_t>(n), 0.0f);
-    const CsrAdjacency& adj = graph.adjacency(static_cast<int>(t));
-    for (int64_t v = 0; v < n; ++v) {
+    mask.assign(static_cast<size_t>(num_dst), 0.0f);
+    const CsrAdjacency& adj = *adjacency[t];
+    for (int64_t v = 0; v < num_dst; ++v) {
       if (adj.Degree(v) > 0) {
         mask[static_cast<size_t>(v)] = 1.0f;
         ++counts[static_cast<size_t>(v)];
       }
     }
   }
-  std::vector<float> inv_counts(static_cast<size_t>(n), 0.0f);
-  for (int64_t v = 0; v < n; ++v) {
+  std::vector<float> inv_counts(static_cast<size_t>(num_dst), 0.0f);
+  for (int64_t v = 0; v < num_dst; ++v) {
     if (counts[static_cast<size_t>(v)] > 0) {
       inv_counts[static_cast<size_t>(v)] =
           1.0f / static_cast<float>(counts[static_cast<size_t>(v)]);
@@ -61,8 +93,8 @@ Tape::VarId HeteroSageLayer::Forward(Tape* tape, Tape::VarId h,
 
   Tape::VarId acc = -1;
   for (size_t t = 0; t < submodules_.size(); ++t) {
-    Tape::VarId out = submodules_[t].Forward(
-        tape, h, graph.adjacency(static_cast<int>(t)));
+    Tape::VarId out =
+        submodules_[t].ForwardBlock(tape, h_dst, h_src, *adjacency[t]);
     Tape::VarId masked = tape->RowScale(out, std::move(masks[t]));
     acc = (acc < 0) ? masked : tape->Add(acc, masked);
   }
@@ -98,6 +130,18 @@ Tape::VarId HeteroGnn::Forward(Tape* tape, Tape::VarId features,
   Tape::VarId h = features;
   for (size_t l = 0; l < layers_.size(); ++l) {
     h = layers_[l].Forward(tape, h, graph);
+    if (l + 1 < layers_.size()) h = tape->Relu(h);
+  }
+  return h;
+}
+
+Tape::VarId HeteroGnn::ForwardBlocks(Tape* tape, Tape::VarId features,
+                                     const SampledSubgraph& subgraph) const {
+  GRIMP_TRACE_SPAN("gnn.forward");
+  GRIMP_CHECK_EQ(subgraph.blocks.size(), layers_.size());
+  Tape::VarId h = features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].ForwardBlock(tape, h, subgraph.blocks[l]);
     if (l + 1 < layers_.size()) h = tape->Relu(h);
   }
   return h;

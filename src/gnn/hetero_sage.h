@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/hetero_graph.h"
+#include "graph/sampler.h"
 #include "tensor/nn.h"
 #include "tensor/tape.h"
 
@@ -21,6 +22,13 @@ class SageSubmodule {
 
   Tape::VarId Forward(Tape* tape, Tape::VarId h,
                       const CsrAdjacency& adj) const;
+
+  // Generalized (bipartite) form used by sampled blocks: the self term
+  // `h_dst` (num_dst rows) and the neighbor source rows `h_src` (num_src
+  // rows) are separate vars; `adj` has num_dst segments indexing h_src
+  // rows. Forward(h, adj) is exactly ForwardBlock(h, h, adj).
+  Tape::VarId ForwardBlock(Tape* tape, Tape::VarId h_dst, Tape::VarId h_src,
+                           const CsrAdjacency& adj) const;
 
   void CollectParameters(std::vector<Parameter*>* out);
   int64_t NumParameters() const { return linear_.NumParameters(); }
@@ -49,10 +57,26 @@ class HeteroSageLayer {
   Tape::VarId Forward(Tape* tape, Tape::VarId h,
                       const HeteroGraph& graph) const;
 
+  // Sampled-minibatch forward: consumes the block's num_src input rows
+  // (`h`) and produces num_dst output rows. The self term is the dst
+  // prefix of `h` (see GraphBlock); masks and the 1/#incident-types
+  // normalizer come from the block's degrees, which agree with the full
+  // graph's participation pattern because the sampler keeps at least one
+  // neighbor wherever the full graph has one.
+  Tape::VarId ForwardBlock(Tape* tape, Tape::VarId h,
+                           const GraphBlock& block) const;
+
   void CollectParameters(std::vector<Parameter*>* out);
   int64_t NumParameters() const;
 
  private:
+  // Shared core of Forward/ForwardBlock: per-type convolution + masked
+  // mean over `num_dst` output rows, with one CSR per edge type (full
+  // graph or block).
+  Tape::VarId ForwardImpl(
+      Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
+      const std::vector<const CsrAdjacency*>& adjacency) const;
+
   std::vector<SageSubmodule> submodules_;
 };
 
@@ -67,6 +91,12 @@ class HeteroGnn {
   // `features` is a Constant/Leaf var of shape num_nodes x in_dim.
   Tape::VarId Forward(Tape* tape, Tape::VarId features,
                       const HeteroGraph& graph) const;
+
+  // Sampled-minibatch forward over a block sequence (blocks.size() must
+  // equal num_layers()): `features` holds the rows of
+  // subgraph.input_nodes; the result has one row per output node (seed).
+  Tape::VarId ForwardBlocks(Tape* tape, Tape::VarId features,
+                            const SampledSubgraph& subgraph) const;
 
   void CollectParameters(std::vector<Parameter*>* out);
   int64_t NumParameters() const;

@@ -1,0 +1,104 @@
+#include "graph/sampler.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace grimp {
+
+NeighborSampler::NeighborSampler(const HeteroGraph* graph,
+                                 std::vector<int> fanouts)
+    : graph_(graph), fanouts_(std::move(fanouts)) {
+  GRIMP_CHECK(graph_ != nullptr);
+  GRIMP_CHECK(!fanouts_.empty());
+  for (int fanout : fanouts_) GRIMP_CHECK_GT(fanout, 0);
+}
+
+SampledSubgraph NeighborSampler::Sample(const std::vector<int32_t>& seeds,
+                                        Rng* rng) const {
+  const int num_layers = static_cast<int>(fanouts_.size());
+  const int num_types = graph_->num_edge_types();
+
+  SampledSubgraph out;
+  out.output_nodes = seeds;
+
+  // Sample outermost layer first: its destinations are the seeds, and each
+  // pass's source set becomes the next (inner) pass's destination set.
+  std::vector<int32_t> cur = seeds;
+  std::vector<GraphBlock> reversed;
+  reversed.reserve(static_cast<size_t>(num_layers));
+  std::vector<int32_t> scratch;
+
+  for (int l = num_layers - 1; l >= 0; --l) {
+    const int fanout = fanouts_[static_cast<size_t>(l)];
+    GraphBlock block;
+    block.num_dst = static_cast<int64_t>(cur.size());
+    block.adjacency.reserve(static_cast<size_t>(num_types));
+
+    // Local ids: destinations first (in `cur` order), then neighbors in
+    // first-touch order. Insertion order — never hash order — decides ids,
+    // so blocks are deterministic.
+    std::vector<int32_t> src = cur;
+    std::unordered_map<int32_t, int32_t> local;
+    local.reserve(src.size() * 4);
+    for (size_t i = 0; i < cur.size(); ++i) {
+      const auto [it, inserted] =
+          local.emplace(cur[i], static_cast<int32_t>(i));
+      GRIMP_CHECK(inserted);  // seeds / frontier must be distinct
+      (void)it;
+    }
+
+    for (int t = 0; t < num_types; ++t) {
+      const CsrAdjacency& adj = graph_->adjacency(t);
+      std::vector<int32_t> offsets{0};
+      offsets.reserve(cur.size() + 1);
+      std::vector<int32_t> indices;
+      auto add_neighbor = [&](int32_t global) {
+        const auto [it, inserted] =
+            local.emplace(global, static_cast<int32_t>(src.size()));
+        if (inserted) src.push_back(global);
+        indices.push_back(it->second);
+      };
+      for (int32_t v : cur) {
+        const auto [begin, end] = adj.NeighborRange(v);
+        const int degree = end - begin;
+        if (degree <= fanout) {
+          for (int32_t k = begin; k < end; ++k) {
+            add_neighbor(adj.indices()[static_cast<size_t>(k)]);
+          }
+        } else {
+          // Partial Fisher-Yates: the first `fanout` entries of a
+          // uniformly shuffled copy, i.e. a uniform sample without
+          // replacement in O(degree + fanout).
+          scratch.assign(adj.indices().begin() + begin,
+                         adj.indices().begin() + end);
+          for (int k = 0; k < fanout; ++k) {
+            const size_t j =
+                static_cast<size_t>(k) +
+                static_cast<size_t>(rng->Uniform(
+                    static_cast<uint64_t>(degree - k)));
+            std::swap(scratch[static_cast<size_t>(k)], scratch[j]);
+            add_neighbor(scratch[static_cast<size_t>(k)]);
+          }
+        }
+        offsets.push_back(static_cast<int32_t>(indices.size()));
+      }
+      block.adjacency.push_back(
+          CsrAdjacency::FromParts(std::move(offsets), std::move(indices)));
+    }
+
+    block.num_src = static_cast<int64_t>(src.size());
+    reversed.push_back(std::move(block));
+    cur = std::move(src);
+  }
+
+  out.input_nodes = std::move(cur);
+  out.blocks.reserve(reversed.size());
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    out.blocks.push_back(std::move(*it));
+  }
+  return out;
+}
+
+}  // namespace grimp

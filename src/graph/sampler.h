@@ -1,0 +1,68 @@
+#ifndef GRIMP_GRAPH_SAMPLER_H_
+#define GRIMP_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace grimp {
+
+// One GNN layer's sampled message-passing structure (a "block", after the
+// DGL/GraphSAGE minibatch formulation): a compact bipartite subgraph from
+// `num_src` source rows to `num_dst` destination rows, with one CSR per
+// edge type. All ids are *local* row indices into the block; the
+// destination rows are, by construction, the first `num_dst` source rows
+// (so a layer can read its self term as a prefix gather of its input).
+struct GraphBlock {
+  int64_t num_src = 0;
+  int64_t num_dst = 0;
+  // Per edge type: num_dst segments whose indices lie in [0, num_src).
+  // Segment v holds the sampled neighbors of destination row v; a
+  // destination isolated under a type gets an empty segment, exactly like
+  // a zero-degree node in the full graph.
+  std::vector<CsrAdjacency> adjacency;
+};
+
+// The result of sampling one minibatch's receptive field: `blocks` in
+// input -> output order (blocks[l] feeds GNN layer l), the global node ids
+// whose features seed blocks.front() (`input_nodes`, one per source row),
+// and the global ids the final block's destination rows stand for
+// (`output_nodes` == the seeds, in the order they were given).
+struct SampledSubgraph {
+  std::vector<GraphBlock> blocks;
+  std::vector<int32_t> input_nodes;
+  std::vector<int32_t> output_nodes;
+
+  int num_layers() const { return static_cast<int>(blocks.size()); }
+};
+
+// Layer-wise neighbor sampler over a HeteroGraph (paper §7's graph-pruning
+// direction, realized per training step instead of statically — see
+// GrimpOptions::neighbor_cap for the static variant). For each layer l
+// (outermost first) every destination node keeps min(fanouts[l], degree)
+// neighbors per edge type, drawn without replacement from the *full*
+// neighbor list, so hub cell nodes no longer drag their whole row set into
+// every step. Sampling is a pure function of the graph, the seeds and the
+// Rng state: fixed seed -> identical blocks, regardless of thread count.
+class NeighborSampler {
+ public:
+  // `graph` must outlive the sampler. fanouts[l] > 0 applies to GNN layer
+  // l; fanouts.size() is the number of blocks Sample produces.
+  NeighborSampler(const HeteroGraph* graph, std::vector<int> fanouts);
+
+  // Seeds must be distinct, valid node ids (callers dedup while building
+  // the batch). Each call advances *rng deterministically.
+  SampledSubgraph Sample(const std::vector<int32_t>& seeds, Rng* rng) const;
+
+  const std::vector<int>& fanouts() const { return fanouts_; }
+
+ private:
+  const HeteroGraph* graph_;
+  std::vector<int> fanouts_;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_GRAPH_SAMPLER_H_

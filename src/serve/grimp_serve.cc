@@ -110,7 +110,7 @@ int RunFit(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "grimp_serve fit: trained %d epochs on %lld rows, saved %s\n",
-               engine.report().epochs_run,
+               engine.summary().epochs_run,
                static_cast<long long>(table->num_rows()), out_path.c_str());
   return 0;
 }

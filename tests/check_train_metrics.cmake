@@ -1,0 +1,92 @@
+# CTest helper: smoke-run sampled-mode training (bench_train at smoke size
+# runs one full-graph and one neighbor-sampled config back to back) with
+# GRIMP_METRICS_JSON set, then assert the dumped registry contains the
+# train.* observability keys the minibatch pipeline must touch. Invoked as
+#   cmake -DTRAIN_BIN=<exe> -DWORK_DIR=<dir> -P check_train_metrics.cmake
+
+if(NOT DEFINED TRAIN_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DTRAIN_BIN=<exe> -DWORK_DIR=<dir> -P ...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(metrics "${WORK_DIR}/train_smoke_metrics.json")
+file(REMOVE "${metrics}")
+
+# Smoke size: below the bench's own speedup gate, large enough for several
+# minibatches per task (200 rows * 0.8 non-missing > batch size 64).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GRIMP_METRICS_JSON=${metrics}"
+          "${TRAIN_BIN}" --rows=200 --epochs=3
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE train_result
+  OUTPUT_VARIABLE train_output
+  ERROR_VARIABLE train_errors)
+if(NOT train_result EQUAL 0)
+  message(FATAL_ERROR
+          "bench_train failed (${train_result}):\n${train_output}\n"
+          "${train_errors}")
+endif()
+
+if(NOT EXISTS "${metrics}")
+  message(FATAL_ERROR "GRIMP_METRICS_JSON sink ${metrics} was not written")
+endif()
+file(READ "${metrics}" metrics_json)
+
+# The sampled epochs must have traced per-batch sampling and feature
+# gathering, and both modes trace the umbrella training span plus the GNN
+# forward (full-graph in full mode, per-block in sampled mode).
+foreach(span train.sample train.gather gnn.forward grimp.train)
+  string(JSON span_count GET "${metrics_json}" spans "${span}" count)
+  if(span_count LESS 1)
+    message(FATAL_ERROR "span ${span} has count ${span_count}")
+  endif()
+endforeach()
+
+# grimp.train ran once per mode.
+string(JSON train_runs GET "${metrics_json}" spans grimp.train count)
+if(NOT train_runs EQUAL 2)
+  message(FATAL_ERROR "expected 2 grimp.train spans, got ${train_runs}")
+endif()
+
+# 3 epochs x 2 modes land in the shared epoch-loss series; only the sampled
+# mode appends per-step losses, at least one step per epoch.
+string(JSON epoch_losses LENGTH "${metrics_json}" series
+       grimp.epoch.train_loss)
+if(NOT epoch_losses EQUAL 6)
+  message(FATAL_ERROR
+          "grimp.epoch.train_loss has ${epoch_losses} entries, expected 6")
+endif()
+string(JSON batch_losses LENGTH "${metrics_json}" series
+       grimp.batch.train_loss)
+if(batch_losses LESS 3)
+  message(FATAL_ERROR
+          "grimp.batch.train_loss has ${batch_losses} entries, expected >= 3")
+endif()
+string(JSON epoch_seconds LENGTH "${metrics_json}" series grimp.epoch.seconds)
+if(NOT epoch_seconds EQUAL 6)
+  message(FATAL_ERROR
+          "grimp.epoch.seconds has ${epoch_seconds} entries, expected 6")
+endif()
+
+# Both runs published the parameter-count gauge.
+string(JSON num_params GET "${metrics_json}" gauges grimp.num_parameters)
+if(num_params LESS 1)
+  message(FATAL_ERROR "grimp.num_parameters gauge is ${num_params}")
+endif()
+
+# The bench's own artifact must be valid JSON with a measured speedup.
+if(NOT EXISTS "${WORK_DIR}/BENCH_train.json")
+  message(FATAL_ERROR "BENCH_train.json was not written")
+endif()
+file(READ "${WORK_DIR}/BENCH_train.json" bench_json)
+string(JSON bench_speedup GET "${bench_json}" epoch_speedup)
+string(JSON num_configs LENGTH "${bench_json}" configs)
+if(NOT num_configs EQUAL 2)
+  message(FATAL_ERROR "BENCH_train.json has ${num_configs} configs")
+endif()
+if(bench_speedup LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_train.json speedup is ${bench_speedup}")
+endif()
+
+message(STATUS "train metrics ok: grimp.train runs=${train_runs}, "
+        "batch losses=${batch_losses}, smoke speedup=${bench_speedup}")

@@ -2,6 +2,7 @@
 
 #include "baselines/mean_mode.h"
 #include "core/grimp.h"
+#include "core/names.h"
 #include "data/datasets.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -41,10 +42,11 @@ TEST(GrimpTest, FillsEveryMissingCell) {
   auto imputed = grimp.Impute(corrupted.dirty);
   ASSERT_TRUE(imputed.ok());
   EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
-  EXPECT_GT(grimp.report().epochs_run, 0);
-  EXPECT_GT(grimp.report().num_parameters, 0);
-  EXPECT_GT(grimp.report().num_train_samples, 0);
-  EXPECT_GT(grimp.report().num_val_samples, 0);
+  EXPECT_GT(grimp.summary().epochs_run, 0);
+  EXPECT_GE(grimp.summary().steps_run, grimp.summary().epochs_run);
+  EXPECT_GT(grimp.summary().num_parameters, 0);
+  EXPECT_GT(grimp.summary().num_train_samples, 0);
+  EXPECT_GT(grimp.summary().num_val_samples, 0);
 }
 
 TEST(GrimpTest, RecoversDeterministicStructure) {
@@ -141,6 +143,29 @@ TEST(GrimpOptionsTest, ValidateRejectsEachBadField) {
   EXPECT_TRUE(rejects([](GrimpOptions* o) {
     o->k_strategy = KStrategy::kWeakDiagonalFd;  // with empty fds
   }));
+  // Minibatch training combos.
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->train.batch_size = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->train.mode = TrainMode::kSampled;
+    o->train.batch_size = 0;
+  }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->train.mode = TrainMode::kSampled;
+    o->use_gnn = false;  // nothing to sample without message passing
+  }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->train.mode = TrainMode::kSampled;
+    o->train.fanouts = {8, 0};  // fanout 0 would silence a layer
+  }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->train.fanouts = {8};  // size must match gnn_layers (2)
+  }));
+  // Fanouts are legal in full mode (ignored) as long as they are shaped
+  // correctly, and legal in sampled mode when positive.
+  GrimpOptions sampled;
+  sampled.train.mode = TrainMode::kSampled;
+  sampled.train.fanouts = {8, 8};
+  EXPECT_TRUE(sampled.Validate().ok());
 }
 
 TEST(GrimpOptionsTest, ImputeReturnsInvalidArgumentForBadOptions) {
@@ -166,8 +191,14 @@ TEST(GrimpOptionsTest, EnumNamesRoundTripThroughParse) {
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, strategy);
   }
+  for (TrainMode mode : {TrainMode::kFull, TrainMode::kSampled}) {
+    auto parsed = ParseTrainMode(TrainModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
   EXPECT_FALSE(ParseTaskKind("mlp").ok());
   EXPECT_FALSE(ParseKStrategy("dense").ok());
+  EXPECT_FALSE(ParseTrainMode("minibatch").ok());
 }
 
 TEST(GrimpTest, CallbacksFireOncePerEpoch) {
@@ -182,7 +213,7 @@ TEST(GrimpTest, CallbacksFireOncePerEpoch) {
   };
   GrimpImputer grimp(options);
   ASSERT_TRUE(grimp.Impute(corrupted.dirty).ok());
-  ASSERT_EQ(static_cast<int>(seen.size()), grimp.report().epochs_run);
+  ASSERT_EQ(static_cast<int>(seen.size()), grimp.summary().epochs_run);
   for (size_t i = 0; i < seen.size(); ++i) {
     EXPECT_EQ(seen[i].epoch, static_cast<int>(i));
     EXPECT_TRUE(seen[i].has_val);
@@ -202,7 +233,7 @@ TEST(GrimpTest, CallbackCanStopTraining) {
   GrimpImputer grimp(options);
   auto imputed = grimp.Impute(corrupted.dirty);
   ASSERT_TRUE(imputed.ok());
-  EXPECT_EQ(grimp.report().epochs_run, 3);
+  EXPECT_EQ(grimp.summary().epochs_run, 3);
   EXPECT_DOUBLE_EQ(imputed->MissingFraction(), 0.0);
 }
 
