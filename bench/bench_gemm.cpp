@@ -1,6 +1,9 @@
 // GEMM kernel benchmark: naive single-threaded reference vs the blocked
 // multi-threaded kernels in src/tensor/tensor.cc, over shapes representative
 // of GRIMP training (node-count x hidden-dim panels), at 1/2/4/N threads.
+// N — and the cap on every measured thread count — is GRIMP_NUM_THREADS
+// when set (the same knob the runtime pool honors), else
+// hardware_concurrency, so the table never reports oversubscribed numbers.
 //
 // Prints a GFLOP/s table and writes machine-readable results to
 // BENCH_gemm.json (cwd) so future PRs can track the perf trajectory.
@@ -9,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -57,7 +61,16 @@ int main() {
       {1000, 50, 17, "ragged edge tiles"},
   };
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<int> thread_counts{1, 2, 4, static_cast<int>(hw)};
+  int max_threads = static_cast<int>(hw);
+  if (const char* env = std::getenv("GRIMP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) max_threads = n;
+  }
+  std::vector<int> thread_counts{1, 2, 4, max_threads};
+  thread_counts.erase(
+      std::remove_if(thread_counts.begin(), thread_counts.end(),
+                     [&](int t) { return t > max_threads; }),
+      thread_counts.end());
   std::sort(thread_counts.begin(), thread_counts.end());
   thread_counts.erase(
       std::unique(thread_counts.begin(), thread_counts.end()),
@@ -67,7 +80,9 @@ int main() {
   const int reps = 5;
   bool all_ok = true;
   std::string json = "{\n  \"hardware_concurrency\": " +
-                     std::to_string(hw) + ",\n  \"shapes\": [\n";
+                     std::to_string(hw) +
+                     ",\n  \"max_threads\": " + std::to_string(max_threads) +
+                     ",\n  \"shapes\": [\n";
 
   std::printf("%-22s %-10s %9s %9s | per-thread-count blocked GFLOP/s (speedup vs naive)\n",
               "shape (MxKxN)", "kernel", "naive ms", "GFLOP/s");

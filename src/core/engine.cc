@@ -7,6 +7,7 @@
 
 #include "common/binary_io.h"
 #include "common/thread_pool.h"
+#include "tensor/arena.h"
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
@@ -197,6 +198,7 @@ Status GrimpEngine::Fit(const Table& source) {
                   std::move(train_tasks), num_cols);
   GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(options_.callbacks));
   fitted_ = true;
+  TensorArena::Global().PublishMetrics();
   return Status::OK();
 }
 
@@ -569,6 +571,7 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
       }
     }
   }
+  TensorArena::Global().PublishMetrics();
   return imputed;
 }
 

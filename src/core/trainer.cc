@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "graph/sampler.h"
+#include "tensor/arena.h"
 #include "tensor/optimizer.h"
 
 namespace grimp {
@@ -64,7 +64,8 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
                                            bool* has_val) {
   const int dim = options_.dim;
   EpochResult result;
-  Tape tape;
+  tape_.Reset();  // reuse node slots from the previous epoch
+  Tape& tape = tape_;
   Tape::VarId feats = tape.Constant(*node_features_);
   Tape::VarId h =
       options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
@@ -72,9 +73,11 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
 
   Tape::VarId total_loss = -1;
   for (TrainTask& task : tasks_) {
+    // Borrowing overloads throughout: the task's index/label/target vectors
+    // are Trainer members, alive well past the tape's backward pass.
     auto task_forward = [&](const std::vector<int32_t>& idx) {
       const int64_t n = static_cast<int64_t>(idx.size()) / num_cols_;
-      Tape::VarId flat = tape.GatherRows(h_shared, idx);
+      Tape::VarId flat = tape.GatherRows(h_shared, &idx);
       Tape::VarId vecs =
           tape.Reshape(flat, n, static_cast<int64_t>(num_cols_) * dim);
       return task.head->Forward(&tape, vecs);
@@ -83,10 +86,10 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
                          const std::vector<float>& targets) {
       if (task.categorical) {
         return options_.focal_gamma > 0.0f
-                   ? tape.FocalLoss(out, labels, options_.focal_gamma)
-                   : tape.SoftmaxCrossEntropy(out, labels);
+                   ? tape.FocalLoss(out, &labels, options_.focal_gamma)
+                   : tape.SoftmaxCrossEntropy(out, &labels);
       }
-      return tape.MseLoss(out, targets);
+      return tape.MseLoss(out, &targets);
     };
     if (!task.train_idx.empty()) {
       Tape::VarId out = task_forward(task.train_idx);
@@ -115,11 +118,17 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
 Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
   const int dim = options_.dim;
   const int64_t batch_size = options_.train.batch_size;
-  std::vector<int> fanouts = options_.train.fanouts;
-  if (fanouts.empty()) {
-    fanouts.assign(static_cast<size_t>(gnn_->num_layers()), kDefaultFanout);
+  if (sampler_ == nullptr) {
+    std::vector<int> fanouts = options_.train.fanouts;
+    if (fanouts.empty()) {
+      fanouts.assign(static_cast<size_t>(gnn_->num_layers()),
+                     kDefaultFanout);
+    }
+    sampler_ = std::make_unique<NeighborSampler>(graph_, std::move(fanouts));
   }
-  const NeighborSampler sampler(graph_, std::move(fanouts));
+  if (static_cast<int64_t>(seed_local_.size()) < graph_->num_nodes()) {
+    seed_local_.assign(static_cast<size_t>(graph_->num_nodes()), -1);
+  }
   Series& batch_loss_series =
       MetricsRegistry::Global().GetSeries("grimp.batch.train_loss");
 
@@ -143,63 +152,70 @@ Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
       const int32_t* idx =
           task.train_idx.data() + start * static_cast<int64_t>(num_cols_);
       const int64_t idx_len = bn * static_cast<int64_t>(num_cols_);
+      // Reset before sampling: the previous batch's tape closures borrow
+      // sub_'s adjacency arrays, and Sample recycles that storage in place.
+      tape_.Reset();
       TraceSpan sample_span("train.sample");
-      std::vector<int32_t> seeds;
-      std::unordered_map<int32_t, int32_t> seed_pos;
-      seed_pos.reserve(static_cast<size_t>(idx_len) * 2);
+      seeds_.clear();
       for (int64_t i = 0; i < idx_len; ++i) {
         const int32_t node = idx[i];
         if (node < 0) continue;
-        const auto [it, inserted] =
-            seed_pos.emplace(node, static_cast<int32_t>(seeds.size()));
-        if (inserted) seeds.push_back(node);
-        (void)it;
+        int32_t& slot = seed_local_[static_cast<size_t>(node)];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(seeds_.size());
+          seeds_.push_back(node);
+        }
       }
       // A batch of fully-masked vectors still trains its head (on zero
       // vectors); feed the sampler a dummy seed so the forward type-checks.
-      if (seeds.empty()) seeds.push_back(0);
-      const SampledSubgraph sub = sampler.Sample(seeds, &rng);
+      if (seeds_.empty()) seeds_.push_back(0);
+      sampler_->Sample(seeds_, &rng, &sub_);
       sample_span.Stop();
 
       // Gather the receptive field's input features into a compact matrix.
       TraceSpan gather_span("train.gather");
-      Tensor batch_feats(static_cast<int64_t>(sub.input_nodes.size()), dim);
-      for (size_t i = 0; i < sub.input_nodes.size(); ++i) {
+      Tensor batch_feats = Tensor::Uninit(
+          static_cast<int64_t>(sub_.input_nodes.size()), dim);
+      for (size_t i = 0; i < sub_.input_nodes.size(); ++i) {
         const float* src =
             node_features_->data() +
-            static_cast<int64_t>(sub.input_nodes[i]) * dim;
+            static_cast<int64_t>(sub_.input_nodes[i]) * dim;
         std::copy(src, src + dim,
                   batch_feats.data() + static_cast<int64_t>(i) * dim);
       }
-      std::vector<int32_t> local_idx(static_cast<size_t>(idx_len));
+      local_idx_.resize(static_cast<size_t>(idx_len));
       for (int64_t i = 0; i < idx_len; ++i) {
-        local_idx[static_cast<size_t>(i)] =
-            idx[i] < 0 ? -1 : seed_pos.at(idx[i]);
+        local_idx_[static_cast<size_t>(i)] =
+            idx[i] < 0 ? -1 : seed_local_[static_cast<size_t>(idx[i])];
+      }
+      // Reset the dense seed remap for the next batch. (The dummy-seed case
+      // clears node 0's slot, which was already -1: harmless.)
+      for (const int32_t node : seeds_) {
+        seed_local_[static_cast<size_t>(node)] = -1;
       }
       gather_span.Stop();
 
-      Tape tape;
+      Tape& tape = tape_;
       Tape::VarId feats = tape.Constant(std::move(batch_feats));
-      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub);
+      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub_);
       Tape::VarId h_shared = shared_->Forward(&tape, h);
-      Tape::VarId flat = tape.GatherRows(h_shared, std::move(local_idx));
+      // Borrowing overloads: the index/label/target buffers are Trainer
+      // members, alive until the next batch's Reset — no per-step copies.
+      Tape::VarId flat = tape.GatherRows(h_shared, &local_idx_);
       Tape::VarId vecs =
           tape.Reshape(flat, bn, static_cast<int64_t>(num_cols_) * dim);
       Tape::VarId out = task.head->Forward(&tape, vecs);
       Tape::VarId loss;
       if (task.categorical) {
-        std::vector<int32_t> labels(
-            task.train_labels.begin() + start,
-            task.train_labels.begin() + start + bn);
+        labels_.assign(task.train_labels.begin() + start,
+                       task.train_labels.begin() + start + bn);
         loss = options_.focal_gamma > 0.0f
-                   ? tape.FocalLoss(out, std::move(labels),
-                                    options_.focal_gamma)
-                   : tape.SoftmaxCrossEntropy(out, std::move(labels));
+                   ? tape.FocalLoss(out, &labels_, options_.focal_gamma)
+                   : tape.SoftmaxCrossEntropy(out, &labels_);
       } else {
-        std::vector<float> targets(
-            task.train_targets.begin() + start,
-            task.train_targets.begin() + start + bn);
-        loss = tape.MseLoss(out, std::move(targets));
+        targets_.assign(task.train_targets.begin() + start,
+                        task.train_targets.begin() + start + bn);
+        loss = tape.MseLoss(out, &targets_);
       }
       const double loss_value = tape.value(loss).scalar();
       tape.Backward(loss);
@@ -218,9 +234,10 @@ Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
   return result;
 }
 
-double Trainer::ValidationLoss(bool* has_val) const {
+double Trainer::ValidationLoss(bool* has_val) {
   const int dim = options_.dim;
-  Tape tape;
+  tape_.Reset();
+  Tape& tape = tape_;
   Tape::VarId feats = tape.Constant(*node_features_);
   Tape::VarId h =
       options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
@@ -230,17 +247,18 @@ double Trainer::ValidationLoss(bool* has_val) const {
     if (task.val_idx.empty()) continue;
     const int64_t n =
         static_cast<int64_t>(task.val_idx.size()) / num_cols_;
-    Tape::VarId flat = tape.GatherRows(h_shared, task.val_idx);
+    Tape::VarId flat = tape.GatherRows(h_shared, &task.val_idx);
     Tape::VarId vecs =
         tape.Reshape(flat, n, static_cast<int64_t>(num_cols_) * dim);
     Tape::VarId out = task.head->Forward(&tape, vecs);
     Tape::VarId loss;
     if (task.categorical) {
       loss = options_.focal_gamma > 0.0f
-                 ? tape.FocalLoss(out, task.val_labels, options_.focal_gamma)
-                 : tape.SoftmaxCrossEntropy(out, task.val_labels);
+                 ? tape.FocalLoss(out, &task.val_labels,
+                                  options_.focal_gamma)
+                 : tape.SoftmaxCrossEntropy(out, &task.val_labels);
     } else {
-      loss = tape.MseLoss(out, task.val_targets);
+      loss = tape.MseLoss(out, &task.val_targets);
     }
     val_loss_sum += tape.value(loss).scalar();
     *has_val = true;
@@ -339,6 +357,7 @@ Result<TrainSummary> Trainer::Run(const TrainCallbacks& callbacks) {
     summary_.best_val_loss = best_val;
   }
   summary_.train_seconds = SecondsSince(t0);
+  TensorArena::Global().PublishMetrics();
   return summary_;
 }
 

@@ -1,12 +1,14 @@
 #ifndef GRIMP_CORE_TRAINER_H_
 #define GRIMP_CORE_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/options.h"
 #include "core/tasks.h"
 #include "gnn/hetero_sage.h"
 #include "graph/hetero_graph.h"
+#include "graph/sampler.h"
 #include "tensor/nn.h"
 
 namespace grimp {
@@ -103,7 +105,8 @@ class Trainer {
   // One sampled epoch: per-task minibatches, one optimizer step each.
   EpochResult RunSampledEpoch(int epoch, Adam* opt);
   // Full-graph validation forward (no backward); used by sampled mode.
-  double ValidationLoss(bool* has_val) const;
+  // Non-const: records onto the persistent tape_.
+  double ValidationLoss(bool* has_val);
 
   const GrimpOptions& options_;
   const HeteroGraph* graph_;
@@ -114,6 +117,21 @@ class Trainer {
   int num_cols_;
   std::vector<Parameter*> params_;
   TrainSummary summary_;
+  // Reused across every epoch / batch / validation pass (Tape::Reset keeps
+  // the node slots), so steady-state steps run without tape allocations.
+  Tape tape_;
+  // Sampled-mode scratch, all reused batch to batch so steady-state steps
+  // perform no heap allocations: the sampler (and its internal pools), the
+  // recycled subgraph, the batch seed list with its dense node->position
+  // remap, and the per-batch gather/label/target buffers handed to the
+  // tape's borrowing overloads.
+  std::unique_ptr<NeighborSampler> sampler_;
+  SampledSubgraph sub_;
+  std::vector<int32_t> seeds_;
+  std::vector<int32_t> seed_local_;
+  std::vector<int32_t> local_idx_;
+  std::vector<int32_t> labels_;
+  std::vector<float> targets_;
 };
 
 }  // namespace grimp

@@ -16,9 +16,12 @@ Tape::VarId SageSubmodule::Forward(Tape* tape, Tape::VarId h,
 Tape::VarId SageSubmodule::ForwardBlock(Tape* tape, Tape::VarId h_dst,
                                         Tape::VarId h_src,
                                         const CsrAdjacency& adj) const {
+  // Borrowing overload: the adjacency outlives the tape's backward pass
+  // (graphs and sampled blocks are alive until after the optimizer step),
+  // so neither index vector is copied per layer call.
   Tape::VarId neigh_mean =
-      tape->SegmentMean(h_src, adj.offsets(), adj.indices());
-  Tape::VarId concat = tape->ConcatCols({h_dst, neigh_mean});
+      tape->SegmentMean(h_src, &adj.offsets(), &adj.indices());
+  Tape::VarId concat = tape->ConcatCols(h_dst, neigh_mean);
   return linear_.Forward(tape, concat);
 }
 
@@ -45,61 +48,140 @@ Tape::VarId HeteroSageLayer::Forward(Tape* tape, Tape::VarId h,
   for (size_t t = 0; t < submodules_.size(); ++t) {
     adjacency.push_back(&graph.adjacency(static_cast<int>(t)));
   }
-  return ForwardImpl(tape, h, h, graph.num_nodes(), adjacency);
+  return ForwardImpl(tape, h, h, graph.num_nodes(), adjacency, graph.uid());
 }
 
 Tape::VarId HeteroSageLayer::ForwardBlock(Tape* tape, Tape::VarId h,
                                           const GraphBlock& block) const {
   GRIMP_CHECK_EQ(block.adjacency.size(), submodules_.size());
   GRIMP_CHECK_EQ(tape->value(h).rows(), block.num_src);
-  // Self term: the block's destinations are the first num_dst input rows.
-  std::vector<int32_t> prefix(static_cast<size_t>(block.num_dst));
-  for (int64_t i = 0; i < block.num_dst; ++i) {
-    prefix[static_cast<size_t>(i)] = static_cast<int32_t>(i);
-  }
-  Tape::VarId h_dst = tape->GatherRows(h, std::move(prefix));
-  std::vector<const CsrAdjacency*> adjacency;
+  // Self term: the block's destinations are the first num_dst input rows,
+  // so a prefix slice replaces the explicit [0..num_dst) gather.
+  Tape::VarId h_dst = tape->SliceRows(h, block.num_dst);
+  // The pointer list lives in the block scratch (driver-thread only, like
+  // the rest of the sampled path) so steady-state batches reuse it.
+  std::vector<const CsrAdjacency*>& adjacency = block_scratch_.adjacency;
+  adjacency.clear();
   adjacency.reserve(submodules_.size());
   for (const CsrAdjacency& adj : block.adjacency) adjacency.push_back(&adj);
-  return ForwardImpl(tape, h_dst, h, block.num_dst, adjacency);
+  // cache_uid 0: block adjacencies are rebuilt every batch, and their heap
+  // addresses can be reused across batches — never cache for them.
+  return ForwardImpl(tape, h_dst, h, block.num_dst, adjacency,
+                     /*cache_uid=*/0);
 }
+
+namespace {
+
+// Reuses *slot's buffer when this layer holds the only reference (the
+// previous step's tape closures have been Reset away); reallocates
+// otherwise. Returns the vector zero-filled to size n.
+std::vector<float>& ReusableScale(std::shared_ptr<std::vector<float>>* slot,
+                                  int64_t n) {
+  if (*slot == nullptr || slot->use_count() != 1) {
+    *slot = std::make_shared<std::vector<float>>();
+  }
+  (*slot)->assign(static_cast<size_t>(n), 0.0f);
+  return **slot;
+}
+
+}  // namespace
 
 Tape::VarId HeteroSageLayer::ForwardImpl(
     Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
-    const std::vector<const CsrAdjacency*>& adjacency) const {
+    const std::vector<const CsrAdjacency*>& adjacency,
+    uint64_t cache_uid) const {
   // Per-type participation masks and the per-node 1/#incident-types
-  // normalizer, derived from the adjacency at hand (cheap relative to the
-  // matmuls; recomputed so the layer stays graph-agnostic).
-  std::vector<int> counts(static_cast<size_t>(num_dst), 0);
-  std::vector<std::vector<float>> masks(submodules_.size());
+  // normalizer are pure functions of the adjacency, so for full-graph
+  // forwards (cache_uid != 0) they are computed once per graph and reused
+  // across epochs and serving requests.
+  if (cache_uid != 0 && cache_slot_ != nullptr) {
+    std::shared_ptr<const MaskCache> cache;
+    {
+      std::lock_guard<std::mutex> lock(cache_slot_->mu);
+      if (cache_slot_->cached != nullptr &&
+          cache_slot_->cached->graph_uid == cache_uid) {
+        cache = cache_slot_->cached;
+        GRIMP_DCHECK(cache->num_dst == num_dst);
+      }
+    }
+    if (cache == nullptr) {
+      auto fresh = std::make_shared<MaskCache>();
+      fresh->graph_uid = cache_uid;
+      fresh->num_dst = num_dst;
+      fresh->masks.reserve(submodules_.size());
+      std::vector<int> counts(static_cast<size_t>(num_dst), 0);
+      for (size_t t = 0; t < submodules_.size(); ++t) {
+        auto mask = std::make_shared<std::vector<float>>(
+            static_cast<size_t>(num_dst), 0.0f);
+        const CsrAdjacency& adj = *adjacency[t];
+        for (int64_t v = 0; v < num_dst; ++v) {
+          if (adj.Degree(v) > 0) {
+            (*mask)[static_cast<size_t>(v)] = 1.0f;
+            ++counts[static_cast<size_t>(v)];
+          }
+        }
+        fresh->masks.push_back(std::move(mask));
+      }
+      auto inv_counts = std::make_shared<std::vector<float>>(
+          static_cast<size_t>(num_dst), 0.0f);
+      for (int64_t v = 0; v < num_dst; ++v) {
+        if (counts[static_cast<size_t>(v)] > 0) {
+          (*inv_counts)[static_cast<size_t>(v)] =
+              1.0f / static_cast<float>(counts[static_cast<size_t>(v)]);
+        }
+      }
+      fresh->inv_counts = std::move(inv_counts);
+      {
+        std::lock_guard<std::mutex> lock(cache_slot_->mu);
+        cache_slot_->cached = fresh;
+      }
+      cache = std::move(fresh);
+    }
+    Tape::VarId acc = -1;
+    for (size_t t = 0; t < submodules_.size(); ++t) {
+      Tape::VarId out =
+          submodules_[t].ForwardBlock(tape, h_dst, h_src, *adjacency[t]);
+      Tape::VarId masked = tape->RowScale(out, cache->masks[t]);
+      acc = (acc < 0) ? masked : tape->Add(acc, masked);
+    }
+    GRIMP_CHECK_GE(acc, 0);
+    return tape->RowScale(acc, cache->inv_counts);
+  }
+
+  // Sampled-block path: masks change every batch, so instead of a cache the
+  // layer refills its BlockScratch — zero steady-state allocations once the
+  // buffers have grown to the largest batch seen (see hetero_sage.h).
+  BlockScratch& scratch = block_scratch_;
+  if (scratch.masks.size() != submodules_.size()) {
+    scratch.masks.resize(submodules_.size());
+  }
+  scratch.counts.assign(static_cast<size_t>(num_dst), 0);
   for (size_t t = 0; t < submodules_.size(); ++t) {
-    auto& mask = masks[t];
-    mask.assign(static_cast<size_t>(num_dst), 0.0f);
+    std::vector<float>& mask = ReusableScale(&scratch.masks[t], num_dst);
     const CsrAdjacency& adj = *adjacency[t];
     for (int64_t v = 0; v < num_dst; ++v) {
       if (adj.Degree(v) > 0) {
         mask[static_cast<size_t>(v)] = 1.0f;
-        ++counts[static_cast<size_t>(v)];
+        ++scratch.counts[static_cast<size_t>(v)];
       }
     }
   }
-  std::vector<float> inv_counts(static_cast<size_t>(num_dst), 0.0f);
+  std::vector<float>& inv = ReusableScale(&scratch.inv_counts, num_dst);
   for (int64_t v = 0; v < num_dst; ++v) {
-    if (counts[static_cast<size_t>(v)] > 0) {
-      inv_counts[static_cast<size_t>(v)] =
-          1.0f / static_cast<float>(counts[static_cast<size_t>(v)]);
+    if (scratch.counts[static_cast<size_t>(v)] > 0) {
+      inv[static_cast<size_t>(v)] =
+          1.0f / static_cast<float>(scratch.counts[static_cast<size_t>(v)]);
     }
   }
-
   Tape::VarId acc = -1;
   for (size_t t = 0; t < submodules_.size(); ++t) {
     Tape::VarId out =
         submodules_[t].ForwardBlock(tape, h_dst, h_src, *adjacency[t]);
-    Tape::VarId masked = tape->RowScale(out, std::move(masks[t]));
+    Tape::VarId masked = tape->RowScale(out, scratch.masks[t]);
     acc = (acc < 0) ? masked : tape->Add(acc, masked);
   }
   GRIMP_CHECK_GE(acc, 0);
-  return tape->RowScale(acc, std::move(inv_counts));
+  return tape->RowScale(acc, scratch.inv_counts);
 }
 
 void HeteroSageLayer::CollectParameters(std::vector<Parameter*>* out) {

@@ -1,6 +1,9 @@
 #ifndef GRIMP_GNN_HETERO_SAGE_H_
 #define GRIMP_GNN_HETERO_SAGE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,14 +73,51 @@ class HeteroSageLayer {
   int64_t NumParameters() const;
 
  private:
+  // Participation masks + 1/#incident-types normalizer derived from one
+  // graph's adjacency. Immutable once published; RowScale holds shared_ptr
+  // references so concurrent cache replacement can never free live data.
+  struct MaskCache {
+    uint64_t graph_uid = 0;
+    int64_t num_dst = 0;
+    std::vector<std::shared_ptr<const std::vector<float>>> masks;
+    std::shared_ptr<const std::vector<float>> inv_counts;
+  };
+  // Held behind a unique_ptr so the layer stays movable (std::mutex is
+  // not). Serving runs concurrent inference over one layer, so cache reads
+  // and swaps are mutex-guarded (same hazard PR 3 fixed in the attention
+  // head's capture cache).
+  struct CacheSlot {
+    std::mutex mu;
+    std::shared_ptr<const MaskCache> cached;
+  };
+  // Reusable mask storage for sampled blocks (cache_uid == 0): block masks
+  // are rebuilt every batch, but once the previous step's tape is Reset the
+  // RowScale closures drop their references and use_count() falls back to
+  // 1, so the same vectors are refilled instead of reallocated. Sampled
+  // forwards run only on the trainer's driver thread; the concurrent
+  // serving path is full-graph and never touches this scratch.
+  struct BlockScratch {
+    std::vector<std::shared_ptr<std::vector<float>>> masks;
+    std::shared_ptr<std::vector<float>> inv_counts;
+    std::vector<int> counts;
+    std::vector<const CsrAdjacency*> adjacency;
+  };
+
   // Shared core of Forward/ForwardBlock: per-type convolution + masked
   // mean over `num_dst` output rows, with one CSR per edge type (full
-  // graph or block).
+  // graph or block). `cache_uid` keys the mask cache: the owning graph's
+  // uid for full-graph forwards (reused across epochs/requests on an
+  // unchanged graph), 0 for sampled blocks (fresh adjacency every batch,
+  // so caching could only ever alias stale heap addresses).
   Tape::VarId ForwardImpl(
       Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
-      const std::vector<const CsrAdjacency*>& adjacency) const;
+      const std::vector<const CsrAdjacency*>& adjacency,
+      uint64_t cache_uid) const;
 
   std::vector<SageSubmodule> submodules_;
+  mutable std::unique_ptr<CacheSlot> cache_slot_ =
+      std::make_unique<CacheSlot>();
+  mutable BlockScratch block_scratch_;
 };
 
 // The paper's default GNN: a 2-layer heterogeneous GraphSAGE stack with

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -56,6 +57,17 @@ class CsrAdjacency {
   const std::vector<int32_t>& offsets() const { return offsets_; }
   const std::vector<int32_t>& indices() const { return indices_; }
 
+  // Moves the owned arrays out for storage recycling (the neighbor
+  // sampler's steady state re-fills them each batch); leaves the adjacency
+  // empty.
+  void ReleaseParts(std::vector<int32_t>* offsets,
+                    std::vector<int32_t>* indices) {
+    *offsets = std::move(offsets_);
+    *indices = std::move(indices_);
+    offsets_.clear();
+    indices_.clear();
+  }
+
  private:
   std::vector<int32_t> offsets_;  // size num_nodes + 1
   std::vector<int32_t> indices_;
@@ -68,6 +80,38 @@ class CsrAdjacency {
 // following GraphSAGE).
 class HeteroGraph {
  public:
+  HeteroGraph() : uid_(NextUid()) {}
+  // Copies get a fresh uid (conservative: a copy is a distinct cache key);
+  // moves keep the uid because the adjacency they identify moves along.
+  HeteroGraph(const HeteroGraph& other)
+      : uid_(NextUid()), nodes_(other.nodes_), adjacency_(other.adjacency_) {}
+  HeteroGraph& operator=(const HeteroGraph& other) {
+    if (this == &other) return *this;
+    uid_ = NextUid();
+    nodes_ = other.nodes_;
+    adjacency_ = other.adjacency_;
+    return *this;
+  }
+  HeteroGraph(HeteroGraph&& other) noexcept
+      : uid_(other.uid_), nodes_(std::move(other.nodes_)),
+        adjacency_(std::move(other.adjacency_)) {
+    other.uid_ = NextUid();
+  }
+  HeteroGraph& operator=(HeteroGraph&& other) noexcept {
+    if (this == &other) return *this;
+    uid_ = other.uid_;
+    nodes_ = std::move(other.nodes_);
+    adjacency_ = std::move(other.adjacency_);
+    other.uid_ = NextUid();
+    return *this;
+  }
+
+  // Process-unique id of this graph's current structure. Changes whenever
+  // the adjacency may have changed (SetAdjacency, copy-from), never reused
+  // by another graph — safe to key structure-derived caches on (see
+  // HeteroSageLayer's participation-mask cache).
+  uint64_t uid() const { return uid_; }
+
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
   int num_edge_types() const { return static_cast<int>(adjacency_.size()); }
 
@@ -96,9 +140,13 @@ class HeteroGraph {
   }
   void SetAdjacency(std::vector<CsrAdjacency> adjacency) {
     adjacency_ = std::move(adjacency);
+    uid_ = NextUid();  // structure changed; invalidate derived caches
   }
 
  private:
+  static uint64_t NextUid();
+
+  uint64_t uid_;
   std::vector<NodeInfo> nodes_;
   std::vector<CsrAdjacency> adjacency_;
 };

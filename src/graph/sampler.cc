@@ -1,6 +1,5 @@
 #include "graph/sampler.h"
 
-#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -15,50 +14,88 @@ NeighborSampler::NeighborSampler(const HeteroGraph* graph,
   for (int fanout : fanouts_) GRIMP_CHECK_GT(fanout, 0);
 }
 
+std::vector<int32_t> NeighborSampler::TakeVec() const {
+  if (pool_.empty()) return {};
+  std::vector<int32_t> v = std::move(pool_.back());
+  pool_.pop_back();
+  return v;
+}
+
+void NeighborSampler::Recycle(std::vector<int32_t> v) const {
+  v.clear();  // keeps capacity
+  pool_.push_back(std::move(v));
+}
+
 SampledSubgraph NeighborSampler::Sample(const std::vector<int32_t>& seeds,
                                         Rng* rng) const {
+  SampledSubgraph out;
+  Sample(seeds, rng, &out);
+  return out;
+}
+
+void NeighborSampler::Sample(const std::vector<int32_t>& seeds, Rng* rng,
+                             SampledSubgraph* out) const {
+  GRIMP_CHECK(out != nullptr);
   const int num_layers = static_cast<int>(fanouts_.size());
   const int num_types = graph_->num_edge_types();
+  const int64_t num_nodes = graph_->num_nodes();
+  if (static_cast<int64_t>(local_id_.size()) < num_nodes) {
+    local_id_.assign(static_cast<size_t>(num_nodes), -1);
+  }
 
-  SampledSubgraph out;
-  out.output_nodes = seeds;
+  // Scavenge the previous call's storage before overwriting anything: every
+  // index vector inside *out goes back to the pool with its capacity, and
+  // the GraphBlock slots themselves are reused in place.
+  for (GraphBlock& block : out->blocks) {
+    for (CsrAdjacency& adj : block.adjacency) {
+      std::vector<int32_t> offsets;
+      std::vector<int32_t> indices;
+      adj.ReleaseParts(&offsets, &indices);
+      Recycle(std::move(offsets));
+      Recycle(std::move(indices));
+    }
+    block.adjacency.clear();  // keeps capacity
+  }
+  if (static_cast<int>(out->blocks.size()) != num_layers) {
+    out->blocks.resize(static_cast<size_t>(num_layers));
+  }
+  Recycle(std::move(out->input_nodes));
+  out->output_nodes = seeds;  // copy-assign reuses capacity
 
   // Sample outermost layer first: its destinations are the seeds, and each
   // pass's source set becomes the next (inner) pass's destination set.
-  std::vector<int32_t> cur = seeds;
-  std::vector<GraphBlock> reversed;
-  reversed.reserve(static_cast<size_t>(num_layers));
-  std::vector<int32_t> scratch;
+  std::vector<int32_t> cur = TakeVec();
+  cur.assign(seeds.begin(), seeds.end());
 
   for (int l = num_layers - 1; l >= 0; --l) {
     const int fanout = fanouts_[static_cast<size_t>(l)];
-    GraphBlock block;
+    GraphBlock& block = out->blocks[static_cast<size_t>(l)];
     block.num_dst = static_cast<int64_t>(cur.size());
     block.adjacency.reserve(static_cast<size_t>(num_types));
 
     // Local ids: destinations first (in `cur` order), then neighbors in
-    // first-touch order. Insertion order — never hash order — decides ids,
-    // so blocks are deterministic.
-    std::vector<int32_t> src = cur;
-    std::unordered_map<int32_t, int32_t> local;
-    local.reserve(src.size() * 4);
+    // first-touch order. Touch order — never hash or memory order — decides
+    // ids, so blocks are deterministic.
+    std::vector<int32_t> src = TakeVec();
+    src.assign(cur.begin(), cur.end());
     for (size_t i = 0; i < cur.size(); ++i) {
-      const auto [it, inserted] =
-          local.emplace(cur[i], static_cast<int32_t>(i));
-      GRIMP_CHECK(inserted);  // seeds / frontier must be distinct
-      (void)it;
+      int32_t& slot = local_id_[static_cast<size_t>(cur[i])];
+      GRIMP_CHECK_EQ(slot, -1);  // seeds / frontier must be distinct
+      slot = static_cast<int32_t>(i);
     }
 
     for (int t = 0; t < num_types; ++t) {
       const CsrAdjacency& adj = graph_->adjacency(t);
-      std::vector<int32_t> offsets{0};
-      offsets.reserve(cur.size() + 1);
-      std::vector<int32_t> indices;
+      std::vector<int32_t> offsets = TakeVec();
+      offsets.push_back(0);
+      std::vector<int32_t> indices = TakeVec();
       auto add_neighbor = [&](int32_t global) {
-        const auto [it, inserted] =
-            local.emplace(global, static_cast<int32_t>(src.size()));
-        if (inserted) src.push_back(global);
-        indices.push_back(it->second);
+        int32_t& slot = local_id_[static_cast<size_t>(global)];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(src.size());
+          src.push_back(global);
+        }
+        indices.push_back(slot);
       };
       for (int32_t v : cur) {
         const auto [begin, end] = adj.NeighborRange(v);
@@ -71,15 +108,16 @@ SampledSubgraph NeighborSampler::Sample(const std::vector<int32_t>& seeds,
           // Partial Fisher-Yates: the first `fanout` entries of a
           // uniformly shuffled copy, i.e. a uniform sample without
           // replacement in O(degree + fanout).
-          scratch.assign(adj.indices().begin() + begin,
-                         adj.indices().begin() + end);
+          shuffle_scratch_.assign(adj.indices().begin() + begin,
+                                  adj.indices().begin() + end);
           for (int k = 0; k < fanout; ++k) {
             const size_t j =
                 static_cast<size_t>(k) +
                 static_cast<size_t>(rng->Uniform(
                     static_cast<uint64_t>(degree - k)));
-            std::swap(scratch[static_cast<size_t>(k)], scratch[j]);
-            add_neighbor(scratch[static_cast<size_t>(k)]);
+            std::swap(shuffle_scratch_[static_cast<size_t>(k)],
+                      shuffle_scratch_[j]);
+            add_neighbor(shuffle_scratch_[static_cast<size_t>(k)]);
           }
         }
         offsets.push_back(static_cast<int32_t>(indices.size()));
@@ -89,16 +127,14 @@ SampledSubgraph NeighborSampler::Sample(const std::vector<int32_t>& seeds,
     }
 
     block.num_src = static_cast<int64_t>(src.size());
-    reversed.push_back(std::move(block));
-    cur = std::move(src);
+    // Clear the remap for the next layer (which re-registers the new
+    // frontier) or for the next Sample call.
+    for (int32_t g : src) local_id_[static_cast<size_t>(g)] = -1;
+    std::swap(cur, src);
+    Recycle(std::move(src));  // the previous frontier's storage
   }
 
-  out.input_nodes = std::move(cur);
-  out.blocks.reserve(reversed.size());
-  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
-    out.blocks.push_back(std::move(*it));
-  }
-  return out;
+  out->input_nodes = std::move(cur);
 }
 
 }  // namespace grimp

@@ -46,6 +46,12 @@ struct SampledSubgraph {
 // neighbor list, so hub cell nodes no longer drag their whole row set into
 // every step. Sampling is a pure function of the graph, the seeds and the
 // Rng state: fixed seed -> identical blocks, regardless of thread count.
+//
+// The sampler keeps internal scratch (a dense node->local-id remap and a
+// pool of recycled index vectors) so that steady-state Sample calls into a
+// reused SampledSubgraph perform no heap allocations. Consequence: one
+// sampler instance must not run concurrent Sample calls (the trainer
+// samples on its driver thread, which also keeps the blocks deterministic).
 class NeighborSampler {
  public:
   // `graph` must outlive the sampler. fanouts[l] > 0 applies to GNN layer
@@ -56,11 +62,26 @@ class NeighborSampler {
   // the batch). Each call advances *rng deterministically.
   SampledSubgraph Sample(const std::vector<int32_t>& seeds, Rng* rng) const;
 
+  // Recycling overload: scavenges *out's existing storage (blocks,
+  // adjacency arrays, node lists) before refilling it, so a caller that
+  // reuses one SampledSubgraph across batches allocates nothing once
+  // capacities have grown to the largest batch seen.
+  void Sample(const std::vector<int32_t>& seeds, Rng* rng,
+              SampledSubgraph* out) const;
+
   const std::vector<int>& fanouts() const { return fanouts_; }
 
  private:
+  std::vector<int32_t> TakeVec() const;
+  void Recycle(std::vector<int32_t> v) const;
+
   const HeteroGraph* graph_;
   std::vector<int> fanouts_;
+  // Sample scratch (see class comment). local_id_[g] is g's local row id in
+  // the layer currently being built, -1 outside Sample and between layers.
+  mutable std::vector<int32_t> local_id_;
+  mutable std::vector<int32_t> shuffle_scratch_;
+  mutable std::vector<std::vector<int32_t>> pool_;
 };
 
 }  // namespace grimp

@@ -1,0 +1,151 @@
+#include "tensor/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace grimp {
+namespace {
+
+// Atomic max without a CAS loop hot-path cost when already at the max.
+void UpdateMax(std::atomic<int64_t>* target, int64_t value) {
+  int64_t current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+TensorArena::TensorArena() {
+  const char* env = std::getenv("GRIMP_ARENA");
+  if (env != nullptr && std::strcmp(env, "0") == 0) {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+TensorArena& TensorArena::Global() {
+  static TensorArena* arena = new TensorArena();  // leaked; see header
+  return *arena;
+}
+
+int TensorArena::BucketIndex(int64_t n) {
+  int bucket = 0;
+  int64_t cap = kMinBucketFloats;
+  while (cap < n) {
+    cap <<= 1;
+    ++bucket;
+  }
+  GRIMP_CHECK(bucket < kNumBuckets);
+  return bucket;
+}
+
+bool TensorArena::IsPoolCapacity(int64_t capacity) {
+  // Pool capacities are kMinBucketFloats << b, i.e. powers of two >= the
+  // minimum bucket.
+  return capacity >= kMinBucketFloats && (capacity & (capacity - 1)) == 0;
+}
+
+float* TensorArena::Acquire(int64_t n, int64_t* capacity) {
+  GRIMP_DCHECK(n > 0);
+  if (!enabled()) {
+    // Exact-size heap allocation: keeps ASan able to flag reads past size().
+    *capacity = n;
+    const int64_t bytes = n * static_cast<int64_t>(sizeof(float));
+    reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const int64_t in_use =
+        bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdateMax(&high_water_bytes_, in_use);
+    return new float[static_cast<size_t>(n)];
+  }
+  const int bucket = BucketIndex(n);
+  const int64_t cap = BucketFloats(bucket);
+  const int64_t bytes = cap * static_cast<int64_t>(sizeof(float));
+  *capacity = cap;
+  float* ptr = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<float*>& list = free_lists_[bucket];
+    if (!list.empty()) {
+      ptr = list.back();
+      list.pop_back();
+    }
+  }
+  if (ptr != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    pooled_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    ptr = new float[static_cast<size_t>(cap)];
+  }
+  const int64_t in_use =
+      bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdateMax(&high_water_bytes_, in_use);
+  return ptr;
+}
+
+void TensorArena::Release(float* ptr, int64_t capacity) {
+  if (ptr == nullptr) return;
+  const int64_t bytes = capacity * static_cast<int64_t>(sizeof(float));
+  bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (enabled() && IsPoolCapacity(capacity)) {
+    pooled_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    free_lists_[BucketIndex(capacity)].push_back(ptr);
+    return;
+  }
+  // Disabled, or a heap-exact buffer acquired while the pool was disabled.
+  // reserved_bytes tracks all live heap floats in both modes, so every
+  // free-to-heap path subtracts here.
+  reserved_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  delete[] ptr;
+}
+
+void TensorArena::Trim() {
+  std::vector<float*> to_free;
+  int64_t freed_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      freed_bytes += static_cast<int64_t>(free_lists_[b].size()) *
+                     BucketFloats(b) * static_cast<int64_t>(sizeof(float));
+      to_free.insert(to_free.end(), free_lists_[b].begin(),
+                     free_lists_[b].end());
+      free_lists_[b].clear();
+    }
+  }
+  pooled_bytes_.fetch_sub(freed_bytes, std::memory_order_relaxed);
+  reserved_bytes_.fetch_sub(freed_bytes, std::memory_order_relaxed);
+  for (float* ptr : to_free) delete[] ptr;
+}
+
+void TensorArena::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+  if (!enabled) Trim();
+}
+
+void TensorArena::PublishMetrics() const {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("tensor.arena.enabled").Set(enabled() ? 1.0 : 0.0);
+  registry.GetGauge("tensor.arena.bytes_in_use")
+      .Set(static_cast<double>(bytes_in_use()));
+  registry.GetGauge("tensor.arena.high_water_bytes")
+      .Set(static_cast<double>(high_water_bytes()));
+  registry.GetGauge("tensor.arena.reserved_bytes")
+      .Set(static_cast<double>(reserved_bytes()));
+  registry.GetGauge("tensor.arena.pooled_bytes")
+      .Set(static_cast<double>(pooled_bytes()));
+  registry.GetGauge("tensor.arena.pool_hits")
+      .Set(static_cast<double>(pool_hits()));
+  registry.GetGauge("tensor.arena.pool_misses")
+      .Set(static_cast<double>(pool_misses()));
+  const double lookups = static_cast<double>(pool_hits() + pool_misses());
+  registry.GetGauge("tensor.arena.pool_hit_rate")
+      .Set(lookups > 0.0 ? static_cast<double>(pool_hits()) / lookups : 0.0);
+}
+
+}  // namespace grimp

@@ -1,0 +1,97 @@
+#ifndef GRIMP_TENSOR_ARENA_H_
+#define GRIMP_TENSOR_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace grimp {
+
+// Process-wide recycling pool for Tensor float buffers. Requests round up to
+// a power-of-two bucket (minimum kMinBucketFloats); Release returns the buffer
+// to its bucket's free list instead of the heap, so steady-state training
+// steps — which allocate the same tensor shapes every step — hit the pool for
+// every buffer and perform zero heap allocations.
+//
+// The pool only recycles memory; it never changes which bytes a Tensor sees
+// or how kernels touch them, so results are bit-identical with the arena on
+// or off. Set GRIMP_ARENA=0 to bypass the pool (every Acquire goes to the
+// heap, every Release frees) when hunting memory bugs with ASan — pooled
+// reuse would otherwise mask use-after-free of tensor storage.
+//
+// Thread-safe: free lists are guarded by a mutex, stats are atomics. The
+// singleton is intentionally leaked (like MetricsRegistry) so buffers held
+// by statically-destroyed objects can still be released safely.
+class TensorArena {
+ public:
+  static constexpr int64_t kMinBucketFloats = 64;
+
+  static TensorArena& Global();
+
+  // Returns a buffer of at least `n` floats; *capacity receives the actual
+  // bucket size (pass it back to Release). Contents are unspecified.
+  float* Acquire(int64_t n, int64_t* capacity);
+  void Release(float* ptr, int64_t capacity);
+
+  // Pool toggle. Disabling flushes the free lists back to the heap; buffers
+  // already handed out are still released correctly either way (Release
+  // frees anything that is not a pool-shaped capacity while disabled).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled);
+
+  // Frees every pooled (idle) buffer. In-use buffers are unaffected.
+  void Trim();
+
+  // --- Stats (bytes of float storage) ------------------------------------
+  // Live buffers handed out and not yet released.
+  int64_t bytes_in_use() const {
+    return bytes_in_use_.load(std::memory_order_relaxed);
+  }
+  // Max bytes_in_use ever observed.
+  int64_t high_water_bytes() const {
+    return high_water_bytes_.load(std::memory_order_relaxed);
+  }
+  // Total bytes ever obtained from the heap and not yet freed back to it
+  // (in-use + pooled). Monotone while the arena is enabled and the workload
+  // is in steady state — the allocation-regression tests assert on this.
+  int64_t reserved_bytes() const {
+    return reserved_bytes_.load(std::memory_order_relaxed);
+  }
+  // Idle bytes sitting in free lists.
+  int64_t pooled_bytes() const {
+    return pooled_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t pool_hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t pool_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  // Copies the stats above into tensor.arena.* gauges on MetricsRegistry.
+  void PublishMetrics() const;
+
+ private:
+  TensorArena();
+  ~TensorArena() = delete;  // leaked singleton
+
+  static constexpr int kNumBuckets = 48;
+  static int BucketIndex(int64_t n);
+  static int64_t BucketFloats(int bucket) { return kMinBucketFloats << bucket; }
+  // True iff `capacity` is a size Acquire can have produced from the pool.
+  static bool IsPoolCapacity(int64_t capacity);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> bytes_in_use_{0};
+  std::atomic<int64_t> high_water_bytes_{0};
+  std::atomic<int64_t> reserved_bytes_{0};
+  std::atomic<int64_t> pooled_bytes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+
+  std::mutex mu_;
+  std::vector<float*> free_lists_[kNumBuckets];  // guarded by mu_
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_TENSOR_ARENA_H_

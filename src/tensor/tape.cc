@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -39,13 +40,21 @@ void ParallelRows(int64_t rows, int64_t width, Fn&& fn) {
 
 }  // namespace
 
-Tape::VarId Tape::PushNode(Tensor value, std::function<void()> backward) {
-  Node node;
-  node.grad = Tensor::Zeros(value.rows(), value.cols());
+Tape::VarId Tape::PushNode(Tensor value) {
+  if (static_cast<size_t>(size_) == nodes_.size()) nodes_.emplace_back();
+  Node& node = nodes_[size_];
   node.value = std::move(value);
-  node.backward = std::move(backward);
-  nodes_.push_back(std::move(node));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return size_++;
+}
+
+void Tape::Reset() {
+  for (VarId id = 0; id < size_; ++id) {
+    Node& node = nodes_[id];
+    node.value = Tensor();
+    node.grad = Tensor();
+    node.backward = nullptr;
+  }
+  size_ = 0;
 }
 
 Tape::VarId Tape::Constant(Tensor v) { return PushNode(std::move(v)); }
@@ -68,8 +77,8 @@ Tape::VarId Tape::MatMul(VarId a, VarId b) {
   nodes_[id].backward = [this, id, a, b]() {
     const Tensor& g = nodes_[id].grad;
     // dA = g * B^T ; dB = A^T * g.
-    nodes_[a].grad.Axpy(1.0f, MatMulTransB(g, nodes_[b].value));
-    nodes_[b].grad.Axpy(1.0f, MatMulTransA(nodes_[a].value, g));
+    GradRef(a).Axpy(1.0f, MatMulTransB(g, nodes_[b].value));
+    GradRef(b).Axpy(1.0f, MatMulTransA(nodes_[a].value, g));
   };
   return id;
 }
@@ -90,8 +99,8 @@ Tape::VarId Tape::AddBias(VarId x, VarId bias) {
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, bias]() {
     const Tensor& g = nodes_[id].grad;
-    nodes_[x].grad.Axpy(1.0f, g);
-    Tensor& bg = nodes_[bias].grad;
+    GradRef(x).Axpy(1.0f, g);
+    Tensor& bg = GradRef(bias);
     // Column-chunked so chunks write disjoint bias entries; each column
     // still sums rows in ascending order (deterministic).
     ParallelRows(g.cols(), g.rows(), [&](int64_t c0, int64_t c1) {
@@ -111,8 +120,8 @@ Tape::VarId Tape::Add(VarId a, VarId b) {
   out.Axpy(1.0f, bv);
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, a, b]() {
-    nodes_[a].grad.Axpy(1.0f, nodes_[id].grad);
-    nodes_[b].grad.Axpy(1.0f, nodes_[id].grad);
+    GradRef(a).Axpy(1.0f, nodes_[id].grad);
+    GradRef(b).Axpy(1.0f, nodes_[id].grad);
   };
   return id;
 }
@@ -128,8 +137,8 @@ Tape::VarId Tape::Mul(VarId a, VarId b) {
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, a, b]() {
     const Tensor& g = nodes_[id].grad;
-    Tensor& ag = nodes_[a].grad;
-    Tensor& bg = nodes_[b].grad;
+    Tensor& ag = GradRef(a);
+    Tensor& bg = GradRef(b);
     const Tensor& av = nodes_[a].value;
     const Tensor& bv = nodes_[b].value;
     ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
@@ -149,28 +158,38 @@ Tape::VarId Tape::Scale(VarId x, float alpha) {
   });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, alpha]() {
-    nodes_[x].grad.Axpy(alpha, nodes_[id].grad);
+    GradRef(x).Axpy(alpha, nodes_[id].grad);
   };
   return id;
 }
 
 Tape::VarId Tape::RowScale(VarId x, std::vector<float> s) {
+  // Wrap the per-call vector so both overloads share one closure shape.
+  return RowScale(
+      x, std::make_shared<const std::vector<float>>(std::move(s)));
+}
+
+Tape::VarId Tape::RowScale(VarId x,
+                           std::shared_ptr<const std::vector<float>> s) {
   const Tensor& xv = nodes_[x].value;
-  GRIMP_CHECK_EQ(static_cast<int64_t>(s.size()), xv.rows());
+  GRIMP_CHECK(s != nullptr);
+  GRIMP_CHECK_EQ(static_cast<int64_t>(s->size()), xv.rows());
+  const std::vector<float>& sv = *s;
   Tensor out = xv;
   ParallelRows(out.rows(), out.cols(), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      for (int64_t c = 0; c < out.cols(); ++c) out.at(r, c) *= s[r];
+      for (int64_t c = 0; c < out.cols(); ++c) out.at(r, c) *= sv[r];
     }
   });
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, s = std::move(s)]() {
     const Tensor& g = nodes_[id].grad;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
+    const std::vector<float>& sv = *s;
     ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         for (int64_t c = 0; c < g.cols(); ++c) {
-          xg.at(r, c) += g.at(r, c) * s[r];
+          xg.at(r, c) += g.at(r, c) * sv[r];
         }
       }
     });
@@ -187,7 +206,7 @@ Tape::VarId Tape::Relu(VarId x) {
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         if (v[i] > 0) xg[i] += g[i];
@@ -206,7 +225,7 @@ Tape::VarId Tape::Tanh(VarId x) {
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         xg[i] += g[i] * (1.0f - v[i] * v[i]);
@@ -227,7 +246,7 @@ Tape::VarId Tape::Sigmoid(VarId x) {
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         xg[i] += g[i] * v[i] * (1.0f - v[i]);
@@ -245,7 +264,8 @@ Tape::VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
     GRIMP_CHECK_EQ(nodes_[x].value.rows(), n);
     total_cols += nodes_[x].value.cols();
   }
-  Tensor out(n, total_cols);
+  // Every element is written below.
+  Tensor out = Tensor::Uninit(n, total_cols);
   ParallelRows(n, total_cols, [&](int64_t r0, int64_t r1) {
     int64_t col_off = 0;
     for (VarId x : xs) {
@@ -264,7 +284,7 @@ Tape::VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
     ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
       int64_t off = 0;
       for (VarId x : xs) {
-        Tensor& xg = nodes_[x].grad;
+        Tensor& xg = GradRef(x);
         for (int64_t r = r0; r < r1; ++r) {
           for (int64_t c = 0; c < xg.cols(); ++c) {
             xg.at(r, c) += g.at(r, off + c);
@@ -277,27 +297,73 @@ Tape::VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
   return id;
 }
 
+Tape::VarId Tape::ConcatCols(VarId a, VarId b) {
+  const Tensor& av = nodes_[a].value;
+  const Tensor& bv = nodes_[b].value;
+  GRIMP_CHECK_EQ(av.rows(), bv.rows());
+  const int64_t n = av.rows();
+  const int64_t ac = av.cols();
+  const int64_t bc = bv.cols();
+  // Every element is written below.
+  Tensor out = Tensor::Uninit(n, ac + bc);
+  ParallelRows(n, ac + bc, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < ac; ++c) out.at(r, c) = av.at(r, c);
+      for (int64_t c = 0; c < bc; ++c) out.at(r, ac + c) = bv.at(r, c);
+    }
+  });
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, a, b, ac, bc]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& ag = GradRef(a);
+    Tensor& bg = GradRef(b);
+    ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = 0; c < ac; ++c) ag.at(r, c) += g.at(r, c);
+        for (int64_t c = 0; c < bc; ++c) bg.at(r, c) += g.at(r, ac + c);
+      }
+    });
+  };
+  return id;
+}
+
 Tape::VarId Tape::GatherRows(VarId table, std::vector<int32_t> rows) {
+  auto owned = std::make_shared<const std::vector<int32_t>>(std::move(rows));
+  // Hoist the pointer: argument evaluation order is unspecified, so taking
+  // it inline with std::move(owned) could dereference an emptied pointer.
+  const std::vector<int32_t>* ptr = owned.get();
+  return GatherRowsImpl(table, ptr, std::move(owned));
+}
+
+Tape::VarId Tape::GatherRows(VarId table, const std::vector<int32_t>* rows) {
+  return GatherRowsImpl(table, rows, nullptr);
+}
+
+Tape::VarId Tape::GatherRowsImpl(VarId table,
+                                 const std::vector<int32_t>* rows,
+                                 std::shared_ptr<const void> owned) {
+  GRIMP_CHECK(rows != nullptr);
   const Tensor& tv = nodes_[table].value;
   const int64_t d = tv.cols();
-  Tensor out(static_cast<int64_t>(rows.size()), d);
+  Tensor out(static_cast<int64_t>(rows->size()), d);
   // Forward gather is row-disjoint; the backward scatter-add stays serial
   // because duplicate indices in `rows` would race.
-  ParallelRows(static_cast<int64_t>(rows.size()), d,
+  ParallelRows(static_cast<int64_t>(rows->size()), d,
                [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
-      int32_t r = rows[static_cast<size_t>(i)];
+      int32_t r = (*rows)[static_cast<size_t>(i)];
       if (r < 0) continue;  // missing-value sentinel -> zero row
       GRIMP_DCHECK(r < tv.rows());
       for (int64_t c = 0; c < d; ++c) out.at(i, c) = tv.at(r, c);
     }
   });
   VarId id = PushNode(std::move(out));
-  nodes_[id].backward = [this, id, table, rows = std::move(rows)]() {
+  nodes_[id].backward = [this, id, table, rows,
+                         owned = std::move(owned)]() {
     const Tensor& g = nodes_[id].grad;
-    Tensor& tg = nodes_[table].grad;
-    for (size_t i = 0; i < rows.size(); ++i) {
-      int32_t r = rows[i];
+    Tensor& tg = GradRef(table);
+    for (size_t i = 0; i < rows->size(); ++i) {
+      int32_t r = (*rows)[i];
       if (r < 0) continue;
       for (int64_t c = 0; c < g.cols(); ++c) {
         tg.at(r, c) += g.at(static_cast<int64_t>(i), c);
@@ -307,42 +373,86 @@ Tape::VarId Tape::GatherRows(VarId table, std::vector<int32_t> rows) {
   return id;
 }
 
+Tape::VarId Tape::SliceRows(VarId x, int64_t n) {
+  const Tensor& xv = nodes_[x].value;
+  GRIMP_CHECK(n >= 0 && n <= xv.rows());
+  const int64_t d = xv.cols();
+  Tensor out = Tensor::Uninit(n, d);
+  if (n * d > 0) {
+    std::memcpy(out.data(), xv.data(),
+                static_cast<size_t>(n * d) * sizeof(float));
+  }
+  VarId id = PushNode(std::move(out));
+  nodes_[id].backward = [this, id, x]() {
+    const Tensor& g = nodes_[id].grad;
+    Tensor& xg = GradRef(x);
+    float* dst = xg.data();
+    const float* src = g.data();
+    // The slice is a contiguous row-major prefix, so the scatter is a
+    // flat prefix add.
+    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) dst[i] += src[i];
+    });
+  };
+  return id;
+}
+
 Tape::VarId Tape::SegmentMean(VarId x, std::vector<int32_t> offsets,
                               std::vector<int32_t> indices) {
-  GRIMP_CHECK_GE(offsets.size(), 1u);
+  auto owned = std::make_shared<
+      std::pair<std::vector<int32_t>, std::vector<int32_t>>>(
+      std::move(offsets), std::move(indices));
+  // Take the pointers before moving `owned` (argument evaluation order is
+  // unspecified).
+  const std::vector<int32_t>* off = &owned->first;
+  const std::vector<int32_t>* idx = &owned->second;
+  return SegmentMeanImpl(x, off, idx, std::move(owned));
+}
+
+Tape::VarId Tape::SegmentMean(VarId x, const std::vector<int32_t>* offsets,
+                              const std::vector<int32_t>* indices) {
+  return SegmentMeanImpl(x, offsets, indices, nullptr);
+}
+
+Tape::VarId Tape::SegmentMeanImpl(VarId x,
+                                  const std::vector<int32_t>* offsets,
+                                  const std::vector<int32_t>* indices,
+                                  std::shared_ptr<const void> owned) {
+  GRIMP_CHECK(offsets != nullptr && indices != nullptr);
+  GRIMP_CHECK_GE(offsets->size(), 1u);
   const Tensor& xv = nodes_[x].value;
-  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t num_segments = static_cast<int64_t>(offsets->size()) - 1;
   const int64_t d = xv.cols();
   Tensor out(num_segments, d);
   // Segments own disjoint output rows; the backward scatter-add stays
   // serial because segments share input rows.
   ParallelRows(num_segments, d, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
-      const int32_t begin = offsets[static_cast<size_t>(s)];
-      const int32_t end = offsets[static_cast<size_t>(s + 1)];
+      const int32_t begin = (*offsets)[static_cast<size_t>(s)];
+      const int32_t end = (*offsets)[static_cast<size_t>(s + 1)];
       GRIMP_DCHECK(begin <= end);
       if (begin == end) continue;
       const float inv = 1.0f / static_cast<float>(end - begin);
       for (int32_t e = begin; e < end; ++e) {
-        const int32_t j = indices[static_cast<size_t>(e)];
+        const int32_t j = (*indices)[static_cast<size_t>(e)];
         GRIMP_DCHECK(j >= 0 && j < xv.rows());
         for (int64_t c = 0; c < d; ++c) out.at(s, c) += xv.at(j, c) * inv;
       }
     }
   });
   VarId id = PushNode(std::move(out));
-  nodes_[id].backward = [this, id, x, offsets = std::move(offsets),
-                         indices = std::move(indices)]() {
+  nodes_[id].backward = [this, id, x, offsets, indices,
+                         owned = std::move(owned)]() {
     const Tensor& g = nodes_[id].grad;
-    Tensor& xg = nodes_[x].grad;
-    const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+    Tensor& xg = GradRef(x);
+    const int64_t num_segments = static_cast<int64_t>(offsets->size()) - 1;
     for (int64_t s = 0; s < num_segments; ++s) {
-      const int32_t begin = offsets[s];
-      const int32_t end = offsets[s + 1];
+      const int32_t begin = (*offsets)[s];
+      const int32_t end = (*offsets)[s + 1];
       if (begin == end) continue;
       const float inv = 1.0f / static_cast<float>(end - begin);
       for (int32_t e = begin; e < end; ++e) {
-        const int32_t j = indices[e];
+        const int32_t j = (*indices)[e];
         for (int64_t c = 0; c < g.cols(); ++c) {
           xg.at(j, c) += g.at(s, c) * inv;
         }
@@ -355,12 +465,15 @@ Tape::VarId Tape::SegmentMean(VarId x, std::vector<int32_t> offsets,
 Tape::VarId Tape::Reshape(VarId x, int64_t rows, int64_t cols) {
   const Tensor& xv = nodes_[x].value;
   GRIMP_CHECK_EQ(xv.size(), rows * cols);
-  std::vector<float> data(xv.data(), xv.data() + xv.size());
-  Tensor out = Tensor::FromVector(rows, cols, std::move(data));
+  Tensor out = Tensor::Uninit(rows, cols);
+  if (xv.size() > 0) {
+    std::memcpy(out.data(), xv.data(),
+                static_cast<size_t>(xv.size()) * sizeof(float));
+  }
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     for (int64_t i = 0; i < g.size(); ++i) {
       xg[i] += g[i];  // identical row-major layout
     }
@@ -390,13 +503,14 @@ void RowSoftmaxInto(const Tensor& in, Tensor* out) {
 
 Tape::VarId Tape::RowSoftmax(VarId x) {
   const Tensor& xv = nodes_[x].value;
-  Tensor out(xv.rows(), xv.cols());
+  // RowSoftmaxInto writes every element.
+  Tensor out = Tensor::Uninit(xv.rows(), xv.cols());
   RowSoftmaxInto(xv, &out);
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& y = nodes_[id].value;
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     ParallelRows(g.rows(), g.cols(), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         float dot = 0.0f;
@@ -419,7 +533,8 @@ Tape::VarId Tape::ColBlockDot(VarId v, VarId a, int64_t num_blocks) {
   GRIMP_CHECK_EQ(av.cols(), d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const int64_t n = vv.rows();
-  Tensor out(n, num_blocks);
+  // Every out entry is written below.
+  Tensor out = Tensor::Uninit(n, num_blocks);
   ParallelRows(n, vv.cols(), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       for (int64_t b = 0; b < num_blocks; ++b) {
@@ -436,8 +551,8 @@ Tape::VarId Tape::ColBlockDot(VarId v, VarId a, int64_t num_blocks) {
     const Tensor& g = nodes_[id].grad;
     const Tensor& vv = nodes_[v].value;
     const Tensor& av = nodes_[a].value;
-    Tensor& vg = nodes_[v].grad;
-    Tensor& ag = nodes_[a].grad;
+    Tensor& vg = GradRef(v);
+    Tensor& ag = GradRef(a);
     for (int64_t r = 0; r < g.rows(); ++r) {
       for (int64_t b = 0; b < num_blocks; ++b) {
         const float gb = g.at(r, b) * scale;
@@ -478,8 +593,8 @@ Tape::VarId Tape::ColBlockWeightedSum(VarId v, VarId alpha,
     const Tensor& g = nodes_[id].grad;
     const Tensor& vv = nodes_[v].value;
     const Tensor& aw = nodes_[alpha].value;
-    Tensor& vg = nodes_[v].grad;
-    Tensor& ag = nodes_[alpha].grad;
+    Tensor& vg = GradRef(v);
+    Tensor& ag = GradRef(alpha);
     // Both vg and ag are indexed by r only -> row chunks stay disjoint.
     ParallelRows(g.rows(), vv.cols(), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
@@ -502,7 +617,7 @@ Tape::VarId Tape::SumAll(VarId x) {
   VarId id = PushNode(Tensor::Scalar(nodes_[x].value.Sum()));
   nodes_[id].backward = [this, id, x]() {
     const float g = nodes_[id].grad.scalar();
-    Tensor& xg = nodes_[x].grad;
+    Tensor& xg = GradRef(x);
     ParallelRange(xg.size(), [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) xg[i] += g;
     });
@@ -513,35 +628,58 @@ Tape::VarId Tape::SumAll(VarId x) {
 Tape::VarId Tape::SoftmaxCrossEntropy(VarId logits,
                                       std::vector<int32_t> labels,
                                       std::vector<float> class_weights) {
+  auto owned = std::make_shared<
+      const std::pair<std::vector<int32_t>, std::vector<float>>>(
+      std::move(labels), std::move(class_weights));
+  // Hoist the pointers before std::move(owned): evaluation order is
+  // unspecified.
+  const std::vector<int32_t>* lbl = &owned->first;
+  const std::vector<float>* cw =
+      owned->second.empty() ? nullptr : &owned->second;
+  return SoftmaxCrossEntropyImpl(logits, lbl, cw, std::move(owned));
+}
+
+Tape::VarId Tape::SoftmaxCrossEntropy(
+    VarId logits, const std::vector<int32_t>* labels,
+    const std::vector<float>* class_weights) {
+  return SoftmaxCrossEntropyImpl(logits, labels, class_weights, nullptr);
+}
+
+Tape::VarId Tape::SoftmaxCrossEntropyImpl(
+    VarId logits, const std::vector<int32_t>* labels,
+    const std::vector<float>* class_weights,
+    std::shared_ptr<const void> owned) {
+  GRIMP_CHECK(labels != nullptr);
   const Tensor& lv = nodes_[logits].value;
-  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels.size()));
-  Tensor probs(lv.rows(), lv.cols());
+  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels->size()));
+  Tensor probs = Tensor::Uninit(lv.rows(), lv.cols());
   RowSoftmaxInto(lv, &probs);
   int64_t n_valid = 0;
   double loss = 0.0;
   for (int64_t r = 0; r < lv.rows(); ++r) {
-    const int32_t y = labels[r];
+    const int32_t y = (*labels)[r];
     if (y < 0) continue;
     GRIMP_DCHECK(y < lv.cols());
-    const float w =
-        class_weights.empty() ? 1.0f : class_weights[static_cast<size_t>(y)];
+    const float w = class_weights == nullptr
+                        ? 1.0f
+                        : (*class_weights)[static_cast<size_t>(y)];
     loss -= w * std::log(std::max(probs.at(r, y), 1e-12f));
     ++n_valid;
   }
   const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
   VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
-  nodes_[id].backward = [this, id, logits, labels = std::move(labels),
-                         class_weights = std::move(class_weights),
-                         probs = std::move(probs), inv_n]() {
+  nodes_[id].backward = [this, id, logits, labels, class_weights,
+                         owned = std::move(owned), probs = std::move(probs),
+                         inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
-    Tensor& lg = nodes_[logits].grad;
+    Tensor& lg = GradRef(logits);
     ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const int32_t y = labels[static_cast<size_t>(r)];
+        const int32_t y = (*labels)[static_cast<size_t>(r)];
         if (y < 0) continue;
-        const float w = class_weights.empty()
+        const float w = class_weights == nullptr
                             ? 1.0f
-                            : class_weights[static_cast<size_t>(y)];
+                            : (*class_weights)[static_cast<size_t>(y)];
         for (int64_t c = 0; c < lg.cols(); ++c) {
           const float p = probs.at(r, c);
           lg.at(r, c) += g * w * (p - (c == y ? 1.0f : 0.0f));
@@ -554,14 +692,29 @@ Tape::VarId Tape::SoftmaxCrossEntropy(VarId logits,
 
 Tape::VarId Tape::FocalLoss(VarId logits, std::vector<int32_t> labels,
                             float gamma) {
+  auto owned = std::make_shared<const std::vector<int32_t>>(std::move(labels));
+  const std::vector<int32_t>* lbl = owned.get();
+  return FocalLossImpl(logits, lbl, gamma, std::move(owned));
+}
+
+Tape::VarId Tape::FocalLoss(VarId logits, const std::vector<int32_t>* labels,
+                            float gamma) {
+  return FocalLossImpl(logits, labels, gamma, nullptr);
+}
+
+Tape::VarId Tape::FocalLossImpl(VarId logits,
+                                const std::vector<int32_t>* labels,
+                                float gamma,
+                                std::shared_ptr<const void> owned) {
+  GRIMP_CHECK(labels != nullptr);
   const Tensor& lv = nodes_[logits].value;
-  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels.size()));
-  Tensor probs(lv.rows(), lv.cols());
+  GRIMP_CHECK_EQ(lv.rows(), static_cast<int64_t>(labels->size()));
+  Tensor probs = Tensor::Uninit(lv.rows(), lv.cols());
   RowSoftmaxInto(lv, &probs);
   int64_t n_valid = 0;
   double loss = 0.0;
   for (int64_t r = 0; r < lv.rows(); ++r) {
-    const int32_t y = labels[r];
+    const int32_t y = (*labels)[r];
     if (y < 0) continue;
     const float pt = std::max(probs.at(r, y), 1e-12f);
     loss -= std::pow(1.0f - pt, gamma) * std::log(pt);
@@ -569,13 +722,14 @@ Tape::VarId Tape::FocalLoss(VarId logits, std::vector<int32_t> labels,
   }
   const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
   VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
-  nodes_[id].backward = [this, id, logits, labels = std::move(labels), gamma,
-                         probs = std::move(probs), inv_n]() {
+  nodes_[id].backward = [this, id, logits, labels, gamma,
+                         owned = std::move(owned), probs = std::move(probs),
+                         inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
-    Tensor& lg = nodes_[logits].grad;
+    Tensor& lg = GradRef(logits);
     ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const int32_t y = labels[static_cast<size_t>(r)];
+        const int32_t y = (*labels)[static_cast<size_t>(r)];
         if (y < 0) continue;
         const float pt = std::max(probs.at(r, y), 1e-12f);
         const float one_m = 1.0f - pt;
@@ -596,40 +750,66 @@ Tape::VarId Tape::FocalLoss(VarId logits, std::vector<int32_t> labels,
 
 Tape::VarId Tape::MseLoss(VarId pred, std::vector<float> targets,
                           std::vector<float> mask) {
+  auto owned = std::make_shared<
+      const std::pair<std::vector<float>, std::vector<float>>>(
+      std::move(targets), std::move(mask));
+  const std::vector<float>* tgt = &owned->first;
+  const std::vector<float>* msk =
+      owned->second.empty() ? nullptr : &owned->second;
+  return MseLossImpl(pred, tgt, msk, std::move(owned));
+}
+
+Tape::VarId Tape::MseLoss(VarId pred, const std::vector<float>* targets,
+                          const std::vector<float>* mask) {
+  return MseLossImpl(pred, targets, mask, nullptr);
+}
+
+Tape::VarId Tape::MseLossImpl(VarId pred, const std::vector<float>* targets,
+                              const std::vector<float>* mask,
+                              std::shared_ptr<const void> owned) {
+  GRIMP_CHECK(targets != nullptr);
   const Tensor& pv = nodes_[pred].value;
   GRIMP_CHECK_EQ(pv.cols(), 1);
-  GRIMP_CHECK_EQ(pv.rows(), static_cast<int64_t>(targets.size()));
+  GRIMP_CHECK_EQ(pv.rows(), static_cast<int64_t>(targets->size()));
   int64_t n_valid = 0;
   double loss = 0.0;
   for (int64_t r = 0; r < pv.rows(); ++r) {
-    const float m = mask.empty() ? 1.0f : mask[static_cast<size_t>(r)];
+    const float m = mask == nullptr ? 1.0f : (*mask)[static_cast<size_t>(r)];
     if (m == 0.0f) continue;
-    const float d = pv.at(r, 0) - targets[static_cast<size_t>(r)];
+    const float d = pv.at(r, 0) - (*targets)[static_cast<size_t>(r)];
     loss += static_cast<double>(d) * d;
     ++n_valid;
   }
   const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
   VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
-  nodes_[id].backward = [this, id, pred, targets = std::move(targets),
-                         mask = std::move(mask), inv_n]() {
+  nodes_[id].backward = [this, id, pred, targets, mask,
+                         owned = std::move(owned), inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
     const Tensor& pv = nodes_[pred].value;
-    Tensor& pg = nodes_[pred].grad;
+    Tensor& pg = GradRef(pred);
     for (int64_t r = 0; r < pv.rows(); ++r) {
-      const float m = mask.empty() ? 1.0f : mask[static_cast<size_t>(r)];
+      const float m = mask == nullptr ? 1.0f : (*mask)[static_cast<size_t>(r)];
       if (m == 0.0f) continue;
-      pg.at(r, 0) += g * 2.0f * (pv.at(r, 0) - targets[static_cast<size_t>(r)]);
+      pg.at(r, 0) +=
+          g * 2.0f * (pv.at(r, 0) - (*targets)[static_cast<size_t>(r)]);
     }
   };
   return id;
 }
 
 void Tape::Backward(VarId root) {
-  GRIMP_CHECK(root >= 0 && root < static_cast<VarId>(nodes_.size()));
+  GRIMP_CHECK(root >= 0 && root < size_);
   GRIMP_CHECK_EQ(nodes_[root].value.size(), 1);
-  nodes_[root].grad[0] = 1.0f;
+  GradRef(root)[0] = 1.0f;
   for (VarId id = root; id >= 0; --id) {
-    if (nodes_[id].backward) nodes_[id].backward();
+    Node& node = nodes_[id];
+    if (!node.backward) continue;
+    // Lazy grads double as a reachability map: a node whose grad was never
+    // materialized received no contribution from any consumer, so its
+    // backward could only propagate zeros — skip it (and thereby its whole
+    // unreached subgraph).
+    if (!node.grad.SameShape(node.value)) continue;
+    node.backward();
   }
 }
 

@@ -1,9 +1,13 @@
 #ifndef GRIMP_TENSOR_TAPE_H_
 #define GRIMP_TENSOR_TAPE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -25,9 +29,102 @@ struct Parameter {
   void ZeroGrad() { grad.Zero(); }
 };
 
-// Reverse-mode autodiff over a linear tape. A fresh Tape is built for every
-// forward pass; Backward replays the recorded closures in reverse order and
-// accumulates leaf gradients into their Parameters.
+// Move-only callable holding a backward closure entirely in inline storage.
+// Tape ops record one closure per node per step; with std::function the
+// captures (this + a few ids, sometimes vectors) exceed its small-buffer
+// size and every op would heap-allocate its closure, defeating the arena's
+// zero-allocation steady state. kInlineBytes is sized for the largest
+// closure in tape.cc (the fused losses capture two vectors and a Tensor);
+// the constructor static_asserts so growth is a compile error, not a
+// silent regression.
+class BackwardFn {
+ public:
+  static constexpr size_t kInlineBytes = 136;
+
+  BackwardFn() noexcept = default;
+  BackwardFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BackwardFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  BackwardFn(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "closure too large; enlarge BackwardFn::kInlineBytes");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closure");
+    new (storage_) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::value;
+  }
+  BackwardFn(BackwardFn&& other) noexcept { MoveFrom(&other); }
+  BackwardFn& operator=(BackwardFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  BackwardFn& operator=(std::nullptr_t) noexcept {
+    Destroy();
+    return *this;
+  }
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  ~BackwardFn() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move_construct)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+  template <typename Fn>
+  struct OpsFor {
+    static constexpr Ops value = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+  };
+
+  void MoveFrom(BackwardFn* other) noexcept {
+    ops_ = other->ops_;
+    if (ops_ != nullptr) {
+      ops_->move_construct(storage_, other->storage_);
+      other->Destroy();
+    }
+  }
+  void Destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+// Reverse-mode autodiff over a linear tape. Backward replays the recorded
+// closures in reverse order and accumulates leaf gradients into their
+// Parameters.
+//
+// A Tape is reusable: Reset() rewinds it for the next step while keeping the
+// node slot storage, so a persistent tape (see core/trainer.cc) records every
+// steady-state step without growing the heap — node values come from the
+// TensorArena and backward closures live inline in their slots.
+//
+// Gradients are lazy: recording a node stores no grad tensor. Backward
+// materializes (zero-filled, arena-backed) grads only for nodes it actually
+// reaches from the root, and skips the backward closure of any node whose
+// grad was never touched — such a closure could only scatter zeros. An
+// inference-only tape that never calls Backward does no gradient work at
+// all. grad(id) on an unreached node still reads as zeros, exactly as if it
+// had been eagerly allocated.
 //
 // All ops GRIMP needs are first-class tape methods (no generic broadcasting
 // engine): matrix product, bias, activations, column concat, row gather
@@ -41,6 +138,11 @@ class Tape {
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
+  // Rewinds the tape for a new forward pass: releases node values, grads and
+  // closures (returning tensor buffers to the arena) but keeps the slot
+  // vector, so recording the same computation again allocates nothing.
+  void Reset();
+
   // --- Tape inputs -------------------------------------------------------
   // A value the tape does not differentiate.
   VarId Constant(Tensor v);
@@ -49,8 +151,11 @@ class Tape {
   VarId Leaf(Parameter* p);
 
   const Tensor& value(VarId id) const { return nodes_[id].value; }
-  const Tensor& grad(VarId id) const { return nodes_[id].grad; }
-  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  // Materializes (zeros) on first access of an unreached node's grad.
+  const Tensor& grad(VarId id) const {
+    return const_cast<Tape*>(this)->GradRef(id);
+  }
+  int64_t num_nodes() const { return size_; }
 
   // --- Differentiable ops ------------------------------------------------
   // (M x K) * (K x N) -> (M x N).
@@ -64,21 +169,37 @@ class Tape {
   // alpha * x.
   VarId Scale(VarId x, float alpha);
   // out[r, c] = x[r, c] * s[r]; `s` is a fixed per-row scale (masking /
-  // normalization by neighbor-type counts).
+  // normalization by neighbor-type counts). The shared_ptr overload lets
+  // callers reuse one scale vector across steps (see gnn/hetero_sage.cc)
+  // without copying it into the tape.
   VarId RowScale(VarId x, std::vector<float> s);
+  VarId RowScale(VarId x, std::shared_ptr<const std::vector<float>> s);
   VarId Relu(VarId x);
   VarId Tanh(VarId x);
   VarId Sigmoid(VarId x);
   // Horizontal concatenation; all inputs share the row count.
   VarId ConcatCols(const std::vector<VarId>& xs);
+  // Two-input fast path: no index vector on either side of the tape (the
+  // GNN concatenates self + neighbor terms once per edge type per step).
+  VarId ConcatCols(VarId a, VarId b);
   // out.row(i) = table.row(rows[i]). Gradient scatter-adds (embedding
   // lookup). Negative index -> zero row (the missing-value sentinel).
   VarId GatherRows(VarId table, std::vector<int32_t> rows);
+  // Borrowing overload: `rows` is not copied and must stay alive until the
+  // tape is Reset or destroyed (the trainer's index scratch outlives both).
+  VarId GatherRows(VarId table, const std::vector<int32_t>* rows);
+  // out = the first n rows of x (identity-prefix gather without the index
+  // vector; the gradient adds into the first n rows of x).
+  VarId SliceRows(VarId x, int64_t n);
   // CSR segment mean: out.row(i) = mean_{j in indices[offsets[i] ..
   // offsets[i+1])} x.row(j); empty segments produce zero rows.
   // offsets.size() == num_segments + 1.
   VarId SegmentMean(VarId x, std::vector<int32_t> offsets,
                     std::vector<int32_t> indices);
+  // Borrowing overload: offsets/indices are not copied and must stay alive
+  // until the tape is Reset or destroyed (graph adjacency outlives both).
+  VarId SegmentMean(VarId x, const std::vector<int32_t>* offsets,
+                    const std::vector<int32_t>* indices);
   // Reinterprets the (row-major) buffer with a new shape of equal size.
   VarId Reshape(VarId x, int64_t rows, int64_t cols);
   // Row-wise softmax.
@@ -104,6 +225,15 @@ class Tape {
   // entry of 0 drops that row from the mean.
   VarId MseLoss(VarId pred, std::vector<float> targets,
                 std::vector<float> mask = {});
+  // Borrowing loss overloads: label/target/weight vectors are not copied
+  // and must stay alive until the tape is Reset or destroyed. Null
+  // class_weights / mask means "none".
+  VarId SoftmaxCrossEntropy(VarId logits, const std::vector<int32_t>* labels,
+                            const std::vector<float>* class_weights = nullptr);
+  VarId FocalLoss(VarId logits, const std::vector<int32_t>* labels,
+                  float gamma);
+  VarId MseLoss(VarId pred, const std::vector<float>* targets,
+                const std::vector<float>* mask = nullptr);
 
   // Runs reverse-mode accumulation from `root` (must be scalar).
   void Backward(VarId root);
@@ -111,14 +241,38 @@ class Tape {
  private:
   struct Node {
     Tensor value;
-    Tensor grad;  // same shape as value; allocated eagerly
-    std::function<void()> backward;  // may be empty (constants)
+    Tensor grad;  // empty until materialized by Backward / grad()
+    BackwardFn backward;  // empty for constants
   };
 
-  VarId PushNode(Tensor value, std::function<void()> backward = nullptr);
-  Tensor& mutable_grad(VarId id) { return nodes_[id].grad; }
+  VarId PushNode(Tensor value);
+  // Returns the node's grad tensor, materializing it (zero-filled, same
+  // shape as the value) on first touch.
+  Tensor& GradRef(VarId id) {
+    Node& node = nodes_[id];
+    if (!node.grad.SameShape(node.value)) {
+      node.grad = Tensor::Zeros(node.value.rows(), node.value.cols());
+    }
+    return node.grad;
+  }
+
+  VarId SegmentMeanImpl(VarId x, const std::vector<int32_t>* offsets,
+                        const std::vector<int32_t>* indices,
+                        std::shared_ptr<const void> owned);
+  VarId GatherRowsImpl(VarId table, const std::vector<int32_t>* rows,
+                       std::shared_ptr<const void> owned);
+  VarId SoftmaxCrossEntropyImpl(VarId logits,
+                                const std::vector<int32_t>* labels,
+                                const std::vector<float>* class_weights,
+                                std::shared_ptr<const void> owned);
+  VarId FocalLossImpl(VarId logits, const std::vector<int32_t>* labels,
+                      float gamma, std::shared_ptr<const void> owned);
+  VarId MseLossImpl(VarId pred, const std::vector<float>* targets,
+                    const std::vector<float>* mask,
+                    std::shared_ptr<const void> owned);
 
   std::vector<Node> nodes_;
+  VarId size_ = 0;  // live prefix of nodes_; slots beyond are reusable
 };
 
 }  // namespace grimp

@@ -42,15 +42,15 @@ Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, float stddev,
 Tensor Tensor::FromVector(int64_t rows, int64_t cols,
                           std::vector<float> values) {
   GRIMP_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
-  Tensor t;
-  t.rows_ = rows;
-  t.cols_ = cols;
-  t.data_ = std::move(values);
+  Tensor t = Tensor::Uninit(rows, cols);
+  if (!values.empty()) {
+    std::memcpy(t.data_, values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  if (data_ != nullptr) std::fill(data_, data_ + size(), value);
 }
 
 void Tensor::Axpy(float alpha, const Tensor& x) {
@@ -69,19 +69,21 @@ void Tensor::Axpy(float alpha, const Tensor& x) {
 
 float Tensor::SumAbs() const {
   float acc = 0.0f;
-  for (float v : data_) acc += std::fabs(v);
+  for (int64_t i = 0; i < size(); ++i) acc += std::fabs(data_[i]);
   return acc;
 }
 
 float Tensor::Sum() const {
   float acc = 0.0f;
-  for (float v : data_) acc += v;
+  for (int64_t i = 0; i < size(); ++i) acc += data_[i];
   return acc;
 }
 
 float Tensor::MaxAbs() const {
   float acc = 0.0f;
-  for (float v : data_) acc = std::max(acc, std::fabs(v));
+  for (int64_t i = 0; i < size(); ++i) {
+    acc = std::max(acc, std::fabs(data_[i]));
+  }
   return acc;
 }
 
@@ -204,7 +206,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
-  Tensor out(m, n);
+  // The panel kernel writes every element of C, so the zero-fill is skipped.
+  Tensor out = Tensor::Uninit(m, n);
   GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), n, out.data(), n,
                m, k, n);
   return out;
@@ -215,7 +218,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t k = a.rows();
   const int64_t m = a.cols();
   const int64_t n = b.cols();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninit(m, n);
   // Walk A's columns: out rows index A columns (stride 1), p strides a row.
   GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), n, out.data(), n,
                m, k, n);
@@ -227,15 +230,17 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.rows();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninit(m, n);
   // Pack B^T once (K x N, contiguous rows) so the panel kernel streams it
-  // exactly like plain MatMul; O(k*n) pack vs O(m*k*n) math.
-  std::vector<float> bt(static_cast<size_t>(k * n));
+  // exactly like plain MatMul; O(k*n) pack vs O(m*k*n) math. The scratch
+  // comes from the arena, so repeated backward passes recycle one buffer.
+  Tensor bt = Tensor::Uninit(k, n);
   const float* bd = b.data();
+  float* btd = bt.data();
   for (int64_t j = 0; j < n; ++j) {
-    for (int64_t p = 0; p < k; ++p) bt[p * n + j] = bd[j * k + p];
+    for (int64_t p = 0; p < k; ++p) btd[p * n + j] = bd[j * k + p];
   }
-  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, bt.data(), n, out.data(), n,
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, btd, n, out.data(), n,
                m, k, n);
   return out;
 }

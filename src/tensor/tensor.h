@@ -1,28 +1,91 @@
 #ifndef GRIMP_TENSOR_TENSOR_H_
 #define GRIMP_TENSOR_TENSOR_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace grimp {
 
 // A dense, row-major, rank-2 float tensor (scalars are 1x1, vectors 1xN or
 // Nx1). Rank 2 covers everything GRIMP needs: batched training vectors are
 // laid out as N x (C*D) with explicit block ops (see tape.h).
+//
+// Storage comes from the process-wide TensorArena: construction acquires a
+// pooled buffer, destruction returns it. In steady-state training — where
+// every step allocates the same shapes — this makes tensor churn free of
+// heap traffic. GRIMP_ARENA=0 routes every buffer through the heap instead
+// (see arena.h); values are bit-identical either way.
 class Tensor {
  public:
-  Tensor() : rows_(0), cols_(0) {}
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
+  Tensor() = default;
+  Tensor(int64_t rows, int64_t cols) {
     GRIMP_CHECK(rows >= 0 && cols >= 0);
+    AcquireBuffer(rows, cols);
+    if (data_ != nullptr) std::fill(data_, data_ + size(), 0.0f);
+  }
+
+  ~Tensor() { ReleaseBuffer(); }
+
+  Tensor(const Tensor& other) {
+    AcquireBuffer(other.rows_, other.cols_);
+    if (data_ != nullptr) {
+      std::memcpy(data_, other.data_, static_cast<size_t>(size()) *
+                                          sizeof(float));
+    }
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    if (size() != other.size()) {
+      ReleaseBuffer();
+      AcquireBuffer(other.rows_, other.cols_);
+    } else {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+    }
+    if (data_ != nullptr) {
+      std::memcpy(data_, other.data_, static_cast<size_t>(size()) *
+                                          sizeof(float));
+    }
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_),
+        capacity_(other.capacity_) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    ReleaseBuffer();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+    return *this;
   }
 
   static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  // Skips the zero-fill; contents are unspecified. Only for outputs whose
+  // every element is written before being read (GEMM outputs, concat, ...).
+  static Tensor Uninit(int64_t rows, int64_t cols) {
+    GRIMP_CHECK(rows >= 0 && cols >= 0);
+    Tensor t;
+    t.AcquireBuffer(rows, cols);
+    return t;
+  }
   static Tensor Full(int64_t rows, int64_t cols, float value);
   static Tensor Scalar(float value);
   // Glorot/Xavier uniform initialization in [-limit, limit],
@@ -38,24 +101,24 @@ class Tensor {
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   float& at(int64_t r, int64_t c) {
     GRIMP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r * cols_ + c)];
+    return data_[r * cols_ + c];
   }
   float at(int64_t r, int64_t c) const {
     GRIMP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r * cols_ + c)];
+    return data_[r * cols_ + c];
   }
   float& operator[](int64_t i) {
     GRIMP_DCHECK(i >= 0 && i < size());
-    return data_[static_cast<size_t>(i)];
+    return data_[i];
   }
   float operator[](int64_t i) const {
     GRIMP_DCHECK(i >= 0 && i < size());
-    return data_[static_cast<size_t>(i)];
+    return data_[i];
   }
 
   // Scalar access; requires size() == 1.
@@ -84,9 +147,24 @@ class Tensor {
   std::string ToString(int max_rows = 8, int max_cols = 8) const;
 
  private:
-  int64_t rows_;
-  int64_t cols_;
-  std::vector<float> data_;
+  void AcquireBuffer(int64_t rows, int64_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    const int64_t n = rows * cols;
+    if (n > 0) data_ = TensorArena::Global().Acquire(n, &capacity_);
+  }
+  void ReleaseBuffer() {
+    if (data_ != nullptr) {
+      TensorArena::Global().Release(data_, capacity_);
+      data_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  float* data_ = nullptr;
+  int64_t capacity_ = 0;
 };
 
 // result = a * b (matrix product). Shapes: (M x K) * (K x N) -> (M x N).
