@@ -1,14 +1,20 @@
-// GEMM kernel benchmark: naive single-threaded reference vs the blocked
-// multi-threaded kernels in src/tensor/tensor.cc, over shapes representative
-// of GRIMP training (node-count x hidden-dim panels), at 1/2/4/N threads.
-// N — and the cap on every measured thread count — is GRIMP_NUM_THREADS
-// when set (the same knob the runtime pool honors), else
+// GEMM kernel benchmark: naive single-threaded reference vs the dispatched
+// SIMD kernels in src/tensor/ (AVX2 or scalar, see tensor/simd.h), over
+// shapes representative of GRIMP training (node-count x hidden-dim panels),
+// at 1/2/4/N threads. N — and the cap on every measured thread count — is
+// GRIMP_NUM_THREADS when set (the same knob the runtime pool honors), else
 // hardware_concurrency, so the table never reports oversubscribed numbers.
+// The detected/selected SIMD path is recorded in the output and the JSON;
+// GRIMP_SIMD=scalar re-measures the portable fallback.
+//
+// Each shape is also timed through the fused GEMM+bias+ReLU epilogue
+// (MatMulFused, the kernel behind Tape::LinearRelu) against the equivalent
+// unfused chain (plain GEMM + a separate bias/ReLU pass over the output).
 //
 // Prints a GFLOP/s table and writes machine-readable results to
 // BENCH_gemm.json (cwd) so future PRs can track the perf trajectory.
-// Exits non-zero if any blocked kernel disagrees with the naive reference
-// beyond rtol 1e-4.
+// Exits non-zero if any dispatched kernel disagrees with the naive
+// reference beyond rtol 1e-4.
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 
 namespace {
@@ -79,10 +86,18 @@ int main() {
   grimp::Rng rng(7);
   const int reps = 5;
   bool all_ok = true;
+  const char* simd_selected =
+      grimp::SimdLevelName(grimp::ActiveSimdLevel());
+  const bool avx2_supported = grimp::SimdAvx2Supported();
+  std::printf("SIMD: avx2 %s, dispatching %s kernels\n\n",
+              avx2_supported ? "supported" : "unsupported", simd_selected);
   std::string json = "{\n  \"hardware_concurrency\": " +
                      std::to_string(hw) +
                      ",\n  \"max_threads\": " + std::to_string(max_threads) +
-                     ",\n  \"shapes\": [\n";
+                     ",\n  \"simd\": {\"avx2_supported\": " +
+                     (avx2_supported ? "true" : "false") +
+                     ", \"selected\": \"" + simd_selected +
+                     "\"},\n  \"shapes\": [\n";
 
   std::printf("%-22s %-10s %9s %9s | per-thread-count blocked GFLOP/s (speedup vs naive)\n",
               "shape (MxKxN)", "kernel", "naive ms", "GFLOP/s");
@@ -127,6 +142,53 @@ int main() {
               ", \"gflops\": " + std::to_string(gf) +
               ", \"speedup_vs_naive\": " + std::to_string(speedup) +
               ", \"matches_naive\": " + (ok ? "true" : "false") + "}";
+    }
+    std::printf("\n");
+    json += "],\n     \"fused\": [";
+
+    // Fused GEMM+bias+ReLU epilogue (the Tape::LinearRelu kernel) against
+    // the unfused equivalent: plain GEMM followed by a separate bias/ReLU
+    // pass over the m x n output.
+    const Tensor bias = Tensor::RandomNormal(1, s.n, 1.0f, &rng);
+    Tensor fused_ref = ref;
+    for (int64_t r = 0; r < fused_ref.rows(); ++r) {
+      for (int64_t c = 0; c < fused_ref.cols(); ++c) {
+        fused_ref.at(r, c) =
+            std::max(0.0f, fused_ref.at(r, c) + bias[c]);
+      }
+    }
+    std::printf("%40s | ", "fused gemm+bias+relu");
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const int t = thread_counts[ti];
+      grimp::ThreadPool::SetGlobalThreads(t);
+      Tensor fused;
+      const double fs = BestSeconds(
+          "bench.fused." + std::to_string(si) + ".t" + std::to_string(t),
+          [&]() { return grimp::MatMulFused(a, b, bias, /*relu=*/true); },
+          reps, &fused);
+      const double cs = BestSeconds(
+          "bench.chain." + std::to_string(si) + ".t" + std::to_string(t),
+          [&]() {
+            Tensor c = grimp::MatMul(a, b);
+            for (int64_t r = 0; r < c.rows(); ++r) {
+              for (int64_t cc = 0; cc < c.cols(); ++cc) {
+                c.at(r, cc) = std::max(0.0f, c.at(r, cc) + bias[cc]);
+              }
+            }
+            return c;
+          },
+          reps);
+      const bool ok = grimp::AllClose(fused, fused_ref, 1e-5f, 1e-4f);
+      all_ok = all_ok && ok;
+      const double gf = flops / fs * 1e-9;
+      std::printf("t=%d: %.2f (%.2fx vs chain)%s  ", t, gf, cs / fs,
+                  ok ? "" : " MISMATCH");
+      json += std::string(ti == 0 ? "" : ", ") + "{\"threads\": " +
+              std::to_string(t) + ", \"seconds\": " + std::to_string(fs) +
+              ", \"gflops\": " + std::to_string(gf) +
+              ", \"chain_seconds\": " + std::to_string(cs) +
+              ", \"speedup_vs_chain\": " + std::to_string(cs / fs) +
+              ", \"matches_reference\": " + (ok ? "true" : "false") + "}";
     }
     std::printf("\n");
     json += "]}";

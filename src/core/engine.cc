@@ -8,6 +8,7 @@
 #include "common/binary_io.h"
 #include "common/thread_pool.h"
 #include "tensor/arena.h"
+#include "tensor/simd.h"
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
@@ -61,6 +62,7 @@ GrimpEngine::GrimpEngine(GrimpOptions options)
   if (options_.num_threads > 0) {
     ThreadPool::SetGlobalThreads(options_.num_threads);
   }
+  ApplySimdChoice(options_.simd);
 }
 
 Status GrimpEngine::CheckSchema(const Table& table) const {

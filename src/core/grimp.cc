@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "tensor/simd.h"
 #include "core/corpus.h"
 #include "core/tasks.h"
 #include "core/trainer.h"
@@ -76,6 +77,7 @@ GrimpImputer::GrimpImputer(GrimpOptions options)
   if (options_.num_threads > 0) {
     ThreadPool::SetGlobalThreads(options_.num_threads);
   }
+  ApplySimdChoice(options_.simd);
 }
 
 std::string GrimpImputer::name() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -127,6 +128,12 @@ struct GrimpOptions {
   // are identical at every thread count (fixed chunking; see
   // common/thread_pool.h).
   int num_threads = 0;
+
+  // SIMD tier of the tensor kernels: "auto" (CPUID-detected best,
+  // downgradeable via the GRIMP_SIMD env var), "avx2", or "scalar".
+  // Elementwise kernels are bit-identical across tiers; GEMM / softmax /
+  // reductions may differ within AllClose rtol (see tensor/simd.h).
+  std::string simd = "auto";
 
   uint64_t seed = 42;
   bool verbose = false;

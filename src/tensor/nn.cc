@@ -6,10 +6,10 @@ Linear::Linear(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng)
     : weight_(name + ".W", Tensor::GlorotUniform(in_dim, out_dim, rng)),
       bias_(name + ".b", Tensor::Zeros(1, out_dim)) {}
 
-Tape::VarId Linear::Forward(Tape* tape, Tape::VarId x) const {
+Tape::VarId Linear::Forward(Tape* tape, Tape::VarId x, bool fuse_relu) const {
   Tape::VarId w = tape->Leaf(&weight_);
   Tape::VarId b = tape->Leaf(&bias_);
-  return tape->AddBias(tape->MatMul(x, w), b);
+  return fuse_relu ? tape->LinearRelu(x, w, b) : tape->Linear(x, w, b);
 }
 
 void Linear::SetBias(const std::vector<float>& bias) {
@@ -35,8 +35,8 @@ Mlp::Mlp(std::string name, const std::vector<int64_t>& dims, Rng* rng) {
 Tape::VarId Mlp::Forward(Tape* tape, Tape::VarId x) const {
   Tape::VarId h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(tape, h);
-    if (i + 1 < layers_.size()) h = tape->Relu(h);
+    // Inter-layer ReLUs ride the GEMM epilogue (not after the last layer).
+    h = layers_[i].Forward(tape, h, /*fuse_relu=*/i + 1 < layers_.size());
   }
   return h;
 }

@@ -14,7 +14,9 @@ class Linear {
   Linear() = default;
   Linear(std::string name, int64_t in_dim, int64_t out_dim, Rng* rng);
 
-  Tape::VarId Forward(Tape* tape, Tape::VarId x) const;
+  // Records one fused Linear (or LinearRelu when fuse_relu) tape node: the
+  // bias add — and the activation, when fused — run in the GEMM epilogue.
+  Tape::VarId Forward(Tape* tape, Tape::VarId x, bool fuse_relu = false) const;
 
   // Overwrites the bias (e.g. log class priors for classifier heads).
   void SetBias(const std::vector<float>& bias);

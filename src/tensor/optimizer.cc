@@ -3,56 +3,52 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace grimp {
 
 namespace {
 
-// Flat elementwise loop over [0, n), chunked onto the global pool above the
-// dispatch-worthiness threshold. Chunks are index-disjoint, so results are
-// identical at every thread count.
+// Runs fn(begin, end) over [0, n) as contiguous ranges, chunked onto the
+// global pool above the dispatch-worthiness threshold. Chunk boundaries
+// depend only on n, so any fn touching only its own range is deterministic
+// at every thread count.
 template <typename Fn>
-void ForEachIndex(int64_t n, Fn&& fn) {
+void ForEachRange(int64_t n, Fn&& fn) {
   if (ShouldParallelize(n)) {
-    ParallelFor(0, n, kParallelThreshold, [&](int64_t b, int64_t e) {
-      for (int64_t i = b; i < e; ++i) fn(i);
-    });
+    ParallelFor(0, n, kParallelThreshold, fn);
   } else {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
   }
 }
 
 }  // namespace
 
 void Optimizer::ClipGradNorm(float max_norm) {
+  const simd::KernelTable& kt = simd::Kernels();
   double sq = 0.0;
   for (Parameter* p : params_) {
     const int64_t n = p->grad.size();
+    const float* gd = p->grad.data();
     if (ShouldParallelize(n)) {
       // Per-chunk partials combined in ascending chunk order: deterministic
       // for any thread count (boundaries depend only on n and the grain).
       sq += ThreadPool::Global().ParallelReduce(
           0, n, kParallelThreshold,
-          [&](int64_t b, int64_t e) {
-            double acc = 0.0;
-            for (int64_t i = b; i < e; ++i) {
-              acc += static_cast<double>(p->grad[i]) * p->grad[i];
-            }
-            return acc;
-          },
+          [&](int64_t b, int64_t e) { return kt.sum_squares(e - b, gd + b); },
           [](double a, double b) { return a + b; });
     } else {
-      for (int64_t i = 0; i < n; ++i) {
-        sq += static_cast<double>(p->grad[i]) * p->grad[i];
-      }
+      sq += kt.sum_squares(n, gd);
     }
   }
   const double norm = std::sqrt(sq);
   if (norm <= max_norm || norm == 0.0) return;
   const float scale = static_cast<float>(max_norm / norm);
   for (Parameter* p : params_) {
-    Tensor& grad = p->grad;
-    ForEachIndex(grad.size(), [&](int64_t i) { grad[i] *= scale; });
+    float* gd = p->grad.data();
+    ForEachRange(p->grad.size(), [=, &kt](int64_t b, int64_t e) {
+      kt.scale(e - b, scale, gd + b);
+    });
   }
 }
 
@@ -67,13 +63,15 @@ Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  const simd::KernelTable& kt = simd::Kernels();
   for (size_t k = 0; k < params_.size(); ++k) {
     Parameter* p = params_[k];
     if (momentum_ != 0.0f) {
-      Tensor& vel = velocity_[k];
-      ForEachIndex(p->value.size(), [&](int64_t i) {
-        vel[i] = momentum_ * vel[i] + p->grad[i];
-        p->value[i] -= lr_ * vel[i];
+      float* vel = velocity_[k].data();
+      float* w = p->value.data();
+      const float* g = p->grad.data();
+      ForEachRange(p->value.size(), [=, &kt](int64_t b, int64_t e) {
+        kt.sgd_momentum(e - b, lr_, momentum_, g + b, vel + b, w + b);
       });
     } else {
       p->value.Axpy(-lr_, p->grad);
@@ -97,18 +95,16 @@ void Adam::Step() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const simd::KernelTable& kt = simd::Kernels();
   for (size_t k = 0; k < params_.size(); ++k) {
     Parameter* p = params_[k];
-    Tensor& m = m_[k];
-    Tensor& v = v_[k];
-    ForEachIndex(p->value.size(), [&](int64_t i) {
-      float g = p->grad[i];
-      if (weight_decay_ != 0.0f) g += weight_decay_ * p->value[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-      const float mhat = m[i] / bc1;
-      const float vhat = v[i] / bc2;
-      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    ForEachRange(p->value.size(), [=, &kt](int64_t b, int64_t e) {
+      kt.adam_step(e - b, lr_, beta1_, beta2_, eps_, weight_decay_, bc1, bc2,
+                   g + b, m + b, v + b, w + b);
     });
   }
 }

@@ -1,0 +1,607 @@
+// AVX2 + FMA kernels. This translation unit is the only one compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt); nothing here runs unless
+// runtime dispatch (simd.cc) selected the table after a CPUID check, so the
+// rest of the binary stays runnable on baseline x86-64.
+//
+// Tail discipline: C tiles use masked loads/stores, packed operands are
+// zero-padded to the panel width, and elementwise kernels finish ragged
+// lanes with scalar loops — no kernel reads or writes past its operands
+// (verified under ASan+UBSan, see tests/CMakeLists.txt).
+
+#include "tensor/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace grimp {
+namespace simd {
+namespace {
+
+// Micro-tile geometry: 6 x 16 output tile = 12 ymm accumulators + 2 B
+// registers + 1 broadcast, fitting the 16-register AVX2 file.
+constexpr int64_t kMR = 6;
+constexpr int64_t kNR = 16;
+
+// Lane masks for ragged column tails: MaskFor(w) has the low w of 8 lanes
+// active.
+alignas(32) constexpr int32_t kMaskTable[16] = {
+    -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+
+inline __m256i MaskFor(int64_t w) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + 8 - w));
+}
+
+void PackB(const float* b, int64_t ldb, int64_t k, int64_t n, float* bp) {
+  for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+    const int64_t w = std::min(kNR, n - j0);
+    float* panel = bp + (j0 / kNR) * k * kNR;
+    if (w == kNR) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float* src = b + p * ldb + j0;
+        float* dst = panel + p * kNR;
+        _mm256_storeu_ps(dst, _mm256_loadu_ps(src));
+        _mm256_storeu_ps(dst + 8, _mm256_loadu_ps(src + 8));
+      }
+    } else {
+      for (int64_t p = 0; p < k; ++p) {
+        const float* src = b + p * ldb + j0;
+        float* dst = panel + p * kNR;
+        for (int64_t j = 0; j < w; ++j) dst[j] = src[j];
+        for (int64_t j = w; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+void PackBT(const float* b, int64_t ldb, int64_t k, int64_t n, float* bp) {
+  // b is (n x k) row-major; packed[p, j] = b[j, p]. The writes stride kNR,
+  // the reads stream one source row at a time.
+  for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+    const int64_t w = std::min(kNR, n - j0);
+    float* panel = bp + (j0 / kNR) * k * kNR;
+    for (int64_t j = 0; j < w; ++j) {
+      const float* src = b + (j0 + j) * ldb;
+      for (int64_t p = 0; p < k; ++p) panel[p * kNR + j] = src[p];
+    }
+    for (int64_t j = w; j < kNR; ++j) {
+      for (int64_t p = 0; p < k; ++p) panel[p * kNR + j] = 0.0f;
+    }
+  }
+}
+
+void Gemm(const float* a, int64_t as_i, int64_t as_p, const float* bp,
+          float* c, int64_t ldc, int64_t i_begin, int64_t i_end, int64_t k,
+          int64_t n, const GemmEpilogue& ep) {
+  // Per-thread A panel: kMR rows interleaved per-p (zero-padded below mr),
+  // so the kernel's broadcasts read contiguous memory for both the plain
+  // and the transposed A walk.
+  thread_local std::vector<float> apack;
+  if (static_cast<int64_t>(apack.size()) < kMR * k) {
+    apack.resize(static_cast<size_t>(kMR * k));
+  }
+  float* ap = apack.data();
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t i0 = i_begin; i0 < i_end; i0 += kMR) {
+    const int64_t mr = std::min(kMR, i_end - i0);
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t ii = 0; ii < mr; ++ii) {
+        ap[p * kMR + ii] = a[(i0 + ii) * as_i + p * as_p];
+      }
+      for (int64_t ii = mr; ii < kMR; ++ii) ap[p * kMR + ii] = 0.0f;
+    }
+    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+      const int64_t nr = std::min(kNR, n - j0);
+      const float* panel = bp + (j0 / kNR) * k * kNR;
+      __m256 acc[kMR][2];
+      for (int64_t ii = 0; ii < kMR; ++ii) {
+        acc[ii][0] = zero;
+        acc[ii][1] = zero;
+      }
+      for (int64_t p = 0; p < k; ++p) {
+        const __m256 b0 = _mm256_loadu_ps(panel + p * kNR);
+        const __m256 b1 = _mm256_loadu_ps(panel + p * kNR + 8);
+        const float* arow = ap + p * kMR;
+#pragma GCC unroll 6
+        for (int64_t ii = 0; ii < kMR; ++ii) {
+          const __m256 av = _mm256_broadcast_ss(arow + ii);
+          acc[ii][0] = _mm256_fmadd_ps(av, b0, acc[ii][0]);
+          acc[ii][1] = _mm256_fmadd_ps(av, b1, acc[ii][1]);
+        }
+      }
+      if (nr == kNR) {
+        __m256 bias0 = zero, bias1 = zero;
+        if (ep.bias != nullptr) {
+          bias0 = _mm256_loadu_ps(ep.bias + j0);
+          bias1 = _mm256_loadu_ps(ep.bias + j0 + 8);
+        }
+        for (int64_t ii = 0; ii < mr; ++ii) {
+          float* crow = c + (i0 + ii) * ldc + j0;
+          __m256 v0 = acc[ii][0];
+          __m256 v1 = acc[ii][1];
+          if (ep.accumulate) {
+            v0 = _mm256_add_ps(v0, _mm256_loadu_ps(crow));
+            v1 = _mm256_add_ps(v1, _mm256_loadu_ps(crow + 8));
+          }
+          if (ep.bias != nullptr) {
+            v0 = _mm256_add_ps(v0, bias0);
+            v1 = _mm256_add_ps(v1, bias1);
+          }
+          if (ep.relu) {
+            v0 = _mm256_max_ps(v0, zero);
+            v1 = _mm256_max_ps(v1, zero);
+          }
+          _mm256_storeu_ps(crow, v0);
+          _mm256_storeu_ps(crow + 8, v1);
+        }
+      } else {
+        const int64_t w0 = std::min<int64_t>(nr, 8);
+        const int64_t w1 = nr - w0;
+        const __m256i m0 = MaskFor(w0);
+        const __m256i m1 = MaskFor(w1);
+        __m256 bias0 = zero, bias1 = zero;
+        if (ep.bias != nullptr) {
+          bias0 = _mm256_maskload_ps(ep.bias + j0, m0);
+          bias1 = _mm256_maskload_ps(ep.bias + j0 + 8, m1);
+        }
+        for (int64_t ii = 0; ii < mr; ++ii) {
+          float* crow = c + (i0 + ii) * ldc + j0;
+          __m256 v0 = acc[ii][0];
+          __m256 v1 = acc[ii][1];
+          if (ep.accumulate) {
+            v0 = _mm256_add_ps(v0, _mm256_maskload_ps(crow, m0));
+            v1 = _mm256_add_ps(v1, _mm256_maskload_ps(crow + 8, m1));
+          }
+          if (ep.bias != nullptr) {
+            v0 = _mm256_add_ps(v0, bias0);
+            v1 = _mm256_add_ps(v1, bias1);
+          }
+          if (ep.relu) {
+            v0 = _mm256_max_ps(v0, zero);
+            v1 = _mm256_max_ps(v1, zero);
+          }
+          _mm256_maskstore_ps(crow, m0, v0);
+          if (w1 > 0) _mm256_maskstore_ps(crow + 8, m1, v1);
+        }
+      }
+    }
+  }
+}
+
+// --- Elementwise kernels ---------------------------------------------------
+// These mirror the scalar table's arithmetic exactly (separate mul + add,
+// IEEE sqrt/div, max against +0.0), so their results are bit-identical to
+// the scalar kernels; only the GEMM/segment-mean/softmax/reduction kernels
+// trade bit-identity for FMA/polynomial speed.
+
+void ReluFwd(int64_t n, const float* x, float* y) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void ReluBwd(int64_t n, const float* g, const float* y, float* xg) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(y + i), zero, _CMP_GT_OQ);
+    const __m256 add = _mm256_and_ps(mask, _mm256_loadu_ps(g + i));
+    _mm256_storeu_ps(xg + i, _mm256_add_ps(_mm256_loadu_ps(xg + i), add));
+  }
+  for (; i < n; ++i) xg[i] += y[i] > 0.0f ? g[i] : 0.0f;
+}
+
+void ReluMask(int64_t n, const float* g, const float* y, float* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(y + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(mask, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) out[i] = y[i] > 0.0f ? g[i] : 0.0f;
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(int64_t n, float alpha, float* x) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void ColSumAcc(int64_t rows, int64_t cols, const float* x, float* acc) {
+  // Column strips held in registers across the whole row walk; each
+  // accumulator starts from acc[c] so the add sequence per column equals
+  // the scalar row-ascending order exactly.
+  int64_t c = 0;
+  for (; c + 32 <= cols; c += 32) {
+    __m256 v0 = _mm256_loadu_ps(acc + c);
+    __m256 v1 = _mm256_loadu_ps(acc + c + 8);
+    __m256 v2 = _mm256_loadu_ps(acc + c + 16);
+    __m256 v3 = _mm256_loadu_ps(acc + c + 24);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = x + r * cols + c;
+      v0 = _mm256_add_ps(v0, _mm256_loadu_ps(row));
+      v1 = _mm256_add_ps(v1, _mm256_loadu_ps(row + 8));
+      v2 = _mm256_add_ps(v2, _mm256_loadu_ps(row + 16));
+      v3 = _mm256_add_ps(v3, _mm256_loadu_ps(row + 24));
+    }
+    _mm256_storeu_ps(acc + c, v0);
+    _mm256_storeu_ps(acc + c + 8, v1);
+    _mm256_storeu_ps(acc + c + 16, v2);
+    _mm256_storeu_ps(acc + c + 24, v3);
+  }
+  for (; c + 8 <= cols; c += 8) {
+    __m256 v = _mm256_loadu_ps(acc + c);
+    for (int64_t r = 0; r < rows; ++r) {
+      v = _mm256_add_ps(v, _mm256_loadu_ps(x + r * cols + c));
+    }
+    _mm256_storeu_ps(acc + c, v);
+  }
+  for (; c < cols; ++c) {
+    float v = acc[c];
+    for (int64_t r = 0; r < rows; ++r) v += x[r * cols + c];
+    acc[c] = v;
+  }
+}
+
+double SumSquares(int64_t n, const float* x) {
+  // Four double lanes, combined low-to-high at the end; deterministic for a
+  // given n but a different association than the scalar table (documented).
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc = _mm256_fmadd_pd(v, v, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < n; ++i) sum += static_cast<double>(x[i]) * x[i];
+  return sum;
+}
+
+void SegmentMeanFwd(const int32_t* offsets, const int32_t* indices,
+                    const float* x, int64_t d, int64_t s_begin, int64_t s_end,
+                    float* out) {
+  for (int64_t s = s_begin; s < s_end; ++s) {
+    float* orow = out + s * d;
+    const int32_t begin = offsets[s];
+    const int32_t end = offsets[s + 1];
+    if (begin == end) {
+      std::memset(orow, 0, static_cast<size_t>(d) * sizeof(float));
+      continue;
+    }
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    const __m256 vinv = _mm256_set1_ps(inv);
+    int64_t c = 0;
+    // 32-column strips: one pass over the neighbor list per strip, four
+    // accumulators live in registers.
+    for (; c + 32 <= d; c += 32) {
+      __m256 v0 = _mm256_setzero_ps();
+      __m256 v1 = _mm256_setzero_ps();
+      __m256 v2 = _mm256_setzero_ps();
+      __m256 v3 = _mm256_setzero_ps();
+      for (int32_t e = begin; e < end; ++e) {
+        const float* xrow = x + static_cast<int64_t>(indices[e]) * d + c;
+        v0 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow), vinv, v0);
+        v1 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + 8), vinv, v1);
+        v2 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + 16), vinv, v2);
+        v3 = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + 24), vinv, v3);
+      }
+      _mm256_storeu_ps(orow + c, v0);
+      _mm256_storeu_ps(orow + c + 8, v1);
+      _mm256_storeu_ps(orow + c + 16, v2);
+      _mm256_storeu_ps(orow + c + 24, v3);
+    }
+    for (; c + 8 <= d; c += 8) {
+      __m256 v = _mm256_setzero_ps();
+      for (int32_t e = begin; e < end; ++e) {
+        const float* xrow = x + static_cast<int64_t>(indices[e]) * d + c;
+        v = _mm256_fmadd_ps(_mm256_loadu_ps(xrow), vinv, v);
+      }
+      _mm256_storeu_ps(orow + c, v);
+    }
+    for (; c < d; ++c) {
+      float v = 0.0f;
+      for (int32_t e = begin; e < end; ++e) {
+        v += x[static_cast<int64_t>(indices[e]) * d + c] * inv;
+      }
+      orow[c] = v;
+    }
+  }
+}
+
+// --- Vectorized exp (Cephes-style polynomial, ~1 ulp relative) ------------
+
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;
+constexpr float kExpC2 = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline __m256 Exp256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  x = _mm256_min_ps(x, _mm256_set1_ps(kExpHi));
+  x = _mm256_max_ps(x, _mm256_set1_ps(kExpLo));
+  __m256 fx = _mm256_mul_ps(x, _mm256_set1_ps(kLog2e));
+  fx = _mm256_add_ps(fx, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kExpC1)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(kExpC2)));
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(kExpP0);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP1));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP2));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP3));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP4));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(kExpP5));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, one));
+  const __m256i n = _mm256_cvttps_epi32(fx);
+  const __m256i pow2n =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n));
+}
+
+// Scalar mirror of Exp256 for ragged tails (same constants, same op
+// sequence, fused polynomial), so a row's tail columns match its lanes.
+inline float ExpTail(float x) {
+  x = std::min(x, kExpHi);
+  x = std::max(x, kExpLo);
+  const float fx = std::floor(x * kLog2e + 0.5f);
+  x -= fx * kExpC1;
+  x -= fx * kExpC2;
+  const float z = x * x;
+  float y = kExpP0;
+  y = std::fmaf(y, x, kExpP1);
+  y = std::fmaf(y, x, kExpP2);
+  y = std::fmaf(y, x, kExpP3);
+  y = std::fmaf(y, x, kExpP4);
+  y = std::fmaf(y, x, kExpP5);
+  y = std::fmaf(y, z, x + 1.0f);
+  const int32_t n = static_cast<int32_t>(fx);
+  float pow2n;
+  const int32_t bits = (n + 127) << 23;
+  std::memcpy(&pow2n, &bits, sizeof(pow2n));
+  return y * pow2n;
+}
+
+inline float HorizontalMax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  lo = _mm_max_ps(lo, _mm256_extractf128_ps(v, 1));
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+inline float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  lo = _mm_add_ps(lo, _mm256_extractf128_ps(v, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+void RowSoftmax(int64_t rows, int64_t cols, const float* x, float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    float* out = y + r * cols;
+    float mx = row[0];
+    int64_t c = 0;
+    if (cols >= 8) {
+      __m256 vmax = _mm256_loadu_ps(row);
+      for (c = 8; c + 8 <= cols; c += 8) {
+        vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + c));
+      }
+      mx = HorizontalMax(vmax);
+    } else {
+      c = 1;
+    }
+    for (; c < cols; ++c) mx = std::max(mx, row[c]);
+
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    float sum = 0.0f;
+    for (c = 0; c + 8 <= cols; c += 8) {
+      const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + c), vmx));
+      _mm256_storeu_ps(out + c, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    sum = HorizontalSum(vsum);
+    for (; c < cols; ++c) {
+      const float e = ExpTail(row[c] - mx);
+      out[c] = e;
+      sum += e;
+    }
+
+    const float inv = 1.0f / sum;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (c = 0; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(out + c, _mm256_mul_ps(_mm256_loadu_ps(out + c), vinv));
+    }
+    for (; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+double MseSum(int64_t n, const float* pred, const float* tgt,
+              const float* mask, int64_t* n_valid) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t valid = 0;
+  int64_t i = 0;
+  if (mask == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      // Difference taken in float first so it matches the scalar kernel's
+      // float subtraction exactly before widening.
+      const __m256d d = _mm256_cvtps_pd(
+          _mm_sub_ps(_mm_loadu_ps(pred + i), _mm_loadu_ps(tgt + i)));
+      acc = _mm256_fmadd_pd(d, d, acc);
+    }
+    valid = i;
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < n; ++i) {
+    const float m = mask == nullptr ? 1.0f : mask[i];
+    if (m == 0.0f) continue;
+    const float d = pred[i] - tgt[i];
+    sum += static_cast<double>(d) * d;
+    ++valid;
+  }
+  *n_valid = valid;
+  return sum;
+}
+
+void MseBwd(int64_t n, float coeff, const float* pred, const float* tgt,
+            const float* mask, float* pg) {
+  const __m256 vc = _mm256_set1_ps(coeff);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(pred + i), _mm256_loadu_ps(tgt + i));
+    __m256 upd = _mm256_mul_ps(vc, d);
+    if (mask != nullptr) {
+      const __m256 keep =
+          _mm256_cmp_ps(_mm256_loadu_ps(mask + i), zero, _CMP_NEQ_OQ);
+      upd = _mm256_and_ps(keep, upd);
+    }
+    _mm256_storeu_ps(pg + i, _mm256_add_ps(_mm256_loadu_ps(pg + i), upd));
+  }
+  for (; i < n; ++i) {
+    const float m = mask == nullptr ? 1.0f : mask[i];
+    if (m == 0.0f) continue;
+    pg[i] += coeff * (pred[i] - tgt[i]);
+  }
+}
+
+void AdamStep(int64_t n, float lr, float beta1, float beta2, float eps,
+              float weight_decay, float bc1, float bc2, const float* g,
+              float* m, float* v, float* w) {
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb1c = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vb2c = _mm256_set1_ps(1.0f - beta2);
+  const __m256 vwd = _mm256_set1_ps(weight_decay);
+  const __m256 vbc1 = _mm256_set1_ps(bc1);
+  const __m256 vbc2 = _mm256_set1_ps(bc2);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 gi = _mm256_loadu_ps(g + i);
+    const __m256 wi = _mm256_loadu_ps(w + i);
+    if (weight_decay != 0.0f) {
+      gi = _mm256_add_ps(gi, _mm256_mul_ps(vwd, wi));
+    }
+    const __m256 mi = _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_loadu_ps(m + i)),
+                                    _mm256_mul_ps(vb1c, gi));
+    const __m256 vi =
+        _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(vb2c, _mm256_mul_ps(gi, gi)));
+    _mm256_storeu_ps(m + i, mi);
+    _mm256_storeu_ps(v + i, vi);
+    const __m256 mhat = _mm256_div_ps(mi, vbc1);
+    const __m256 vhat = _mm256_div_ps(vi, vbc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    const __m256 step = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(wi, step));
+  }
+  for (; i < n; ++i) {
+    float gi = g[i];
+    if (weight_decay != 0.0f) gi += weight_decay * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void SgdMomentum(int64_t n, float lr, float momentum, const float* g,
+                 float* vel, float* w) {
+  const __m256 vmom = _mm256_set1_ps(momentum);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vi = _mm256_add_ps(
+        _mm256_mul_ps(vmom, _mm256_loadu_ps(vel + i)), _mm256_loadu_ps(g + i));
+    _mm256_storeu_ps(vel + i, vi);
+    _mm256_storeu_ps(
+        w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), _mm256_mul_ps(vlr, vi)));
+  }
+  for (; i < n; ++i) {
+    vel[i] = momentum * vel[i] + g[i];
+    w[i] -= lr * vel[i];
+  }
+}
+
+const KernelTable kAvx2Table = {
+    /*name=*/"avx2",
+    /*gemm_nr=*/kNR,
+    /*gemm_pack_b=*/PackB,
+    /*gemm_pack_bt=*/PackBT,
+    /*gemm=*/Gemm,
+    /*relu_fwd=*/ReluFwd,
+    /*relu_bwd=*/ReluBwd,
+    /*relu_mask=*/ReluMask,
+    /*axpy=*/Axpy,
+    /*scale=*/Scale,
+    /*col_sum_acc=*/ColSumAcc,
+    /*sum_squares=*/SumSquares,
+    /*segment_mean_fwd=*/SegmentMeanFwd,
+    /*row_softmax=*/RowSoftmax,
+    /*mse_sum=*/MseSum,
+    /*mse_bwd=*/MseBwd,
+    /*adam_step=*/AdamStep,
+    /*sgd_momentum=*/SgdMomentum,
+};
+
+}  // namespace
+
+// Defined only in this AVX2 build of the TU; simd.cc gates on the CPU check
+// before ever dispatching into the table.
+const KernelTable* Avx2KernelsImpl() { return &kAvx2Table; }
+
+}  // namespace simd
+}  // namespace grimp
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace grimp {
+namespace simd {
+
+// Toolchain could not build AVX2 kernels; dispatch sees no table and stays
+// on the scalar one.
+const KernelTable* Avx2KernelsImpl() { return nullptr; }
+
+}  // namespace simd
+}  // namespace grimp
+
+#endif

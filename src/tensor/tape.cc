@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace grimp {
 
@@ -76,9 +77,51 @@ Tape::VarId Tape::MatMul(VarId a, VarId b) {
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, a, b]() {
     const Tensor& g = nodes_[id].grad;
-    // dA = g * B^T ; dB = A^T * g.
-    GradRef(a).Axpy(1.0f, MatMulTransB(g, nodes_[b].value));
-    GradRef(b).Axpy(1.0f, MatMulTransA(nodes_[a].value, g));
+    // dA += g * B^T ; dB += A^T * g, accumulated in the GEMM epilogue (no
+    // temporary + Axpy round-trip).
+    MatMulTransBAcc(g, nodes_[b].value, &GradRef(a));
+    MatMulTransAAcc(nodes_[a].value, g, &GradRef(b));
+  };
+  return id;
+}
+
+Tape::VarId Tape::Linear(VarId x, VarId w, VarId bias) {
+  return LinearImpl(x, w, bias, /*relu=*/false);
+}
+
+Tape::VarId Tape::LinearRelu(VarId x, VarId w, VarId bias) {
+  return LinearImpl(x, w, bias, /*relu=*/true);
+}
+
+Tape::VarId Tape::LinearImpl(VarId x, VarId w, VarId bias, bool relu) {
+  const Tensor& xv = nodes_[x].value;
+  const Tensor& wv = nodes_[w].value;
+  const Tensor& bv = nodes_[bias].value;
+  GRIMP_CHECK_EQ(bv.rows(), 1);
+  GRIMP_CHECK_EQ(bv.cols(), wv.cols());
+  VarId id = PushNode(MatMulFused(xv, wv, bv, relu));
+  nodes_[id].backward = [this, id, x, w, bias, relu]() {
+    const Tensor& g = nodes_[id].grad;
+    const Tensor& y = nodes_[id].value;
+    const simd::KernelTable& kt = simd::Kernels();
+    // With the fused ReLU, mask the upstream gradient through the stored
+    // activation once; all three gradient accumulations read the result.
+    Tensor masked;
+    const Tensor* gm = &g;
+    if (relu) {
+      masked = Tensor::Uninit(g.rows(), g.cols());
+      const float* gd = g.data();
+      const float* yd = y.data();
+      float* md = masked.data();
+      ParallelRange(g.size(), [=, &kt](int64_t i0, int64_t i1) {
+        kt.relu_mask(i1 - i0, gd + i0, yd + i0, md + i0);
+      });
+      gm = &masked;
+    }
+    MatMulTransBAcc(*gm, nodes_[w].value, &GradRef(x));
+    MatMulTransAAcc(nodes_[x].value, *gm, &GradRef(w));
+    Tensor& bg = GradRef(bias);
+    kt.col_sum_acc(gm->rows(), gm->cols(), gm->data(), bg.data());
   };
   return id;
 }
@@ -198,19 +241,28 @@ Tape::VarId Tape::RowScale(VarId x,
 }
 
 Tape::VarId Tape::Relu(VarId x) {
-  Tensor out = nodes_[x].value;
-  ParallelRange(out.size(), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) out[i] = out[i] > 0 ? out[i] : 0;
-  });
+  const Tensor& xv = nodes_[x].value;
+  Tensor out = Tensor::Uninit(xv.rows(), xv.cols());
+  {
+    const simd::KernelTable& kt = simd::Kernels();
+    const float* xd = xv.data();
+    float* od = out.data();
+    ParallelRange(out.size(), [=, &kt](int64_t i0, int64_t i1) {
+      kt.relu_fwd(i1 - i0, xd + i0, od + i0);
+    });
+  }
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x]() {
     const Tensor& g = nodes_[id].grad;
     const Tensor& v = nodes_[id].value;
     Tensor& xg = GradRef(x);
-    ParallelRange(g.size(), [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        if (v[i] > 0) xg[i] += g[i];
-      }
+    const simd::KernelTable& kt = simd::Kernels();
+    const float* gd = g.data();
+    const float* vd = v.data();
+    float* xgd = xg.data();
+    // Branchless select (no conditional store), vectorized per chunk.
+    ParallelRange(g.size(), [=, &kt](int64_t i0, int64_t i1) {
+      kt.relu_bwd(i1 - i0, gd + i0, vd + i0, xgd + i0);
     });
   };
   return id;
@@ -423,39 +475,38 @@ Tape::VarId Tape::SegmentMeanImpl(VarId x,
   const Tensor& xv = nodes_[x].value;
   const int64_t num_segments = static_cast<int64_t>(offsets->size()) - 1;
   const int64_t d = xv.cols();
-  Tensor out(num_segments, d);
-  // Segments own disjoint output rows; the backward scatter-add stays
-  // serial because segments share input rows.
-  ParallelRows(num_segments, d, [&](int64_t s0, int64_t s1) {
-    for (int64_t s = s0; s < s1; ++s) {
-      const int32_t begin = (*offsets)[static_cast<size_t>(s)];
-      const int32_t end = (*offsets)[static_cast<size_t>(s + 1)];
-      GRIMP_DCHECK(begin <= end);
-      if (begin == end) continue;
-      const float inv = 1.0f / static_cast<float>(end - begin);
-      for (int32_t e = begin; e < end; ++e) {
-        const int32_t j = (*indices)[static_cast<size_t>(e)];
-        GRIMP_DCHECK(j >= 0 && j < xv.rows());
-        for (int64_t c = 0; c < d; ++c) out.at(s, c) += xv.at(j, c) * inv;
-      }
-    }
-  });
+  // The kernel writes every covered output element (zero rows for empty
+  // segments), so the zero-fill is skipped. Segments own disjoint output
+  // rows; the backward scatter-add stays serial because segments share
+  // input rows.
+  Tensor out = Tensor::Uninit(num_segments, d);
+  {
+    const simd::KernelTable& kt = simd::Kernels();
+    const int32_t* off = offsets->data();
+    const int32_t* idx = indices->data();
+    const float* xd = xv.data();
+    float* od = out.data();
+    ParallelRows(num_segments, d, [=, &kt](int64_t s0, int64_t s1) {
+      kt.segment_mean_fwd(off, idx, xd, d, s0, s1, od);
+    });
+  }
   VarId id = PushNode(std::move(out));
   nodes_[id].backward = [this, id, x, offsets, indices,
                          owned = std::move(owned)]() {
     const Tensor& g = nodes_[id].grad;
     Tensor& xg = GradRef(x);
+    const simd::KernelTable& kt = simd::Kernels();
+    const int64_t d = g.cols();
     const int64_t num_segments = static_cast<int64_t>(offsets->size()) - 1;
     for (int64_t s = 0; s < num_segments; ++s) {
       const int32_t begin = (*offsets)[s];
       const int32_t end = (*offsets)[s + 1];
       if (begin == end) continue;
       const float inv = 1.0f / static_cast<float>(end - begin);
+      const float* grow = g.data() + s * d;
       for (int32_t e = begin; e < end; ++e) {
         const int32_t j = (*indices)[e];
-        for (int64_t c = 0; c < g.cols(); ++c) {
-          xg.at(j, c) += g.at(s, c) * inv;
-        }
+        kt.axpy(d, inv, grow, xg.data() + j * d);
       }
     }
   };
@@ -484,19 +535,12 @@ Tape::VarId Tape::Reshape(VarId x, int64_t rows, int64_t cols) {
 namespace {
 // Writes row-wise softmax of `in` into `out` (may alias).
 void RowSoftmaxInto(const Tensor& in, Tensor* out) {
-  ParallelRows(in.rows(), in.cols(), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      float mx = in.at(r, 0);
-      for (int64_t c = 1; c < in.cols(); ++c) mx = std::max(mx, in.at(r, c));
-      float sum = 0.0f;
-      for (int64_t c = 0; c < in.cols(); ++c) {
-        float e = std::exp(in.at(r, c) - mx);
-        out->at(r, c) = e;
-        sum += e;
-      }
-      const float inv = 1.0f / sum;
-      for (int64_t c = 0; c < in.cols(); ++c) out->at(r, c) *= inv;
-    }
+  const simd::KernelTable& kt = simd::Kernels();
+  const int64_t cols = in.cols();
+  const float* id = in.data();
+  float* od = out->data();
+  ParallelRows(in.rows(), cols, [=, &kt](int64_t r0, int64_t r1) {
+    kt.row_softmax(r1 - r0, cols, id + r0 * cols, od + r0 * cols);
   });
 }
 }  // namespace
@@ -673,17 +717,20 @@ Tape::VarId Tape::SoftmaxCrossEntropyImpl(
                          inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
     Tensor& lg = GradRef(logits);
-    ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
+    const simd::KernelTable& kt = simd::Kernels();
+    const int64_t d = lg.cols();
+    ParallelRows(lg.rows(), d, [&, d](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const int32_t y = (*labels)[static_cast<size_t>(r)];
         if (y < 0) continue;
         const float w = class_weights == nullptr
                             ? 1.0f
                             : (*class_weights)[static_cast<size_t>(y)];
-        for (int64_t c = 0; c < lg.cols(); ++c) {
-          const float p = probs.at(r, c);
-          lg.at(r, c) += g * w * (p - (c == y ? 1.0f : 0.0f));
-        }
+        // dL/dz = coeff * (p - onehot): one axpy of the probability row,
+        // then the onehot correction at the label column.
+        const float coeff = g * w;
+        kt.axpy(d, coeff, probs.data() + r * d, lg.data() + r * d);
+        lg.at(r, y) -= coeff;
       }
     });
   };
@@ -727,7 +774,9 @@ Tape::VarId Tape::FocalLossImpl(VarId logits,
                          inv_n]() {
     const float g = nodes_[id].grad.scalar() * inv_n;
     Tensor& lg = GradRef(logits);
-    ParallelRows(lg.rows(), lg.cols(), [&](int64_t r0, int64_t r1) {
+    const simd::KernelTable& kt = simd::Kernels();
+    const int64_t d = lg.cols();
+    ParallelRows(lg.rows(), d, [&, d](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const int32_t y = (*labels)[static_cast<size_t>(r)];
         if (y < 0) continue;
@@ -737,11 +786,11 @@ Tape::VarId Tape::FocalLossImpl(VarId logits,
         const float dl_dpt =
             gamma * std::pow(one_m, gamma - 1.0f) * std::log(pt) -
             std::pow(one_m, gamma) / pt;
-        for (int64_t c = 0; c < lg.cols(); ++c) {
-          const float dpt_dz =
-              probs.at(r, y) * ((c == y ? 1.0f : 0.0f) - probs.at(r, c));
-          lg.at(r, c) += g * dl_dpt * dpt_dz;
-        }
+        // dp_t/dz_c = p_y * (onehot - p_c): one axpy of -coeff * probs
+        // plus the onehot correction at the label column.
+        const float coeff = g * dl_dpt * probs.at(r, y);
+        kt.axpy(d, -coeff, probs.data() + r * d, lg.data() + r * d);
+        lg.at(r, y) += coeff;
       }
     });
   };
@@ -771,15 +820,11 @@ Tape::VarId Tape::MseLossImpl(VarId pred, const std::vector<float>* targets,
   const Tensor& pv = nodes_[pred].value;
   GRIMP_CHECK_EQ(pv.cols(), 1);
   GRIMP_CHECK_EQ(pv.rows(), static_cast<int64_t>(targets->size()));
+  const simd::KernelTable& kt = simd::Kernels();
   int64_t n_valid = 0;
-  double loss = 0.0;
-  for (int64_t r = 0; r < pv.rows(); ++r) {
-    const float m = mask == nullptr ? 1.0f : (*mask)[static_cast<size_t>(r)];
-    if (m == 0.0f) continue;
-    const float d = pv.at(r, 0) - (*targets)[static_cast<size_t>(r)];
-    loss += static_cast<double>(d) * d;
-    ++n_valid;
-  }
+  const double loss = kt.mse_sum(pv.rows(), pv.data(), targets->data(),
+                                 mask == nullptr ? nullptr : mask->data(),
+                                 &n_valid);
   const float inv_n = n_valid > 0 ? 1.0f / static_cast<float>(n_valid) : 0.0f;
   VarId id = PushNode(Tensor::Scalar(static_cast<float>(loss) * inv_n));
   nodes_[id].backward = [this, id, pred, targets, mask,
@@ -787,12 +832,9 @@ Tape::VarId Tape::MseLossImpl(VarId pred, const std::vector<float>* targets,
     const float g = nodes_[id].grad.scalar() * inv_n;
     const Tensor& pv = nodes_[pred].value;
     Tensor& pg = GradRef(pred);
-    for (int64_t r = 0; r < pv.rows(); ++r) {
-      const float m = mask == nullptr ? 1.0f : (*mask)[static_cast<size_t>(r)];
-      if (m == 0.0f) continue;
-      pg.at(r, 0) +=
-          g * 2.0f * (pv.at(r, 0) - (*targets)[static_cast<size_t>(r)]);
-    }
+    const simd::KernelTable& kt = simd::Kernels();
+    kt.mse_bwd(pv.rows(), g * 2.0f, pv.data(), targets->data(),
+               mask == nullptr ? nullptr : mask->data(), pg.data());
   };
   return id;
 }

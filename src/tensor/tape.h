@@ -160,6 +160,15 @@ class Tape {
   // --- Differentiable ops ------------------------------------------------
   // (M x K) * (K x N) -> (M x N).
   VarId MatMul(VarId a, VarId b);
+  // Fused x * w + bias (bias is 1 x N, row-broadcast): one tape node whose
+  // forward applies the bias in the GEMM epilogue and whose backward feeds
+  // all three gradients from one upstream read (accumulating GEMMs + column
+  // sum). Equivalent to AddBias(MatMul(x, w), bias) node-for-node.
+  VarId Linear(VarId x, VarId w, VarId bias);
+  // Fused relu(x * w + bias). The backward masks the upstream gradient
+  // through the stored activation (y > 0) before the three gradient
+  // accumulations. Equivalent to Relu(AddBias(MatMul(x, w), bias)).
+  VarId LinearRelu(VarId x, VarId w, VarId bias);
   // (N x D) + broadcast (1 x D).
   VarId AddBias(VarId x, VarId bias);
   // Same-shape elementwise sum.
@@ -256,6 +265,7 @@ class Tape {
     return node.grad;
   }
 
+  VarId LinearImpl(VarId x, VarId w, VarId bias, bool relu);
   VarId SegmentMeanImpl(VarId x, const std::vector<int32_t>* offsets,
                         const std::vector<int32_t>* indices,
                         std::shared_ptr<const void> owned);

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace grimp {
 
@@ -58,12 +59,13 @@ void Tensor::Axpy(float alpha, const Tensor& x) {
   const float* xs = x.data();
   float* ys = data();
   const int64_t n = size();
+  const simd::KernelTable& kt = simd::Kernels();
   if (ShouldParallelize(n)) {
-    ParallelFor(0, n, kParallelThreshold, [=](int64_t b, int64_t e) {
-      for (int64_t i = b; i < e; ++i) ys[i] += alpha * xs[i];
+    ParallelFor(0, n, kParallelThreshold, [=, &kt](int64_t b, int64_t e) {
+      kt.axpy(e - b, alpha, xs + b, ys + b);
     });
   } else {
-    for (int64_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+    kt.axpy(n, alpha, xs, ys);
   }
 }
 
@@ -107,95 +109,59 @@ std::string Tensor::ToString(int max_rows, int max_cols) const {
 
 namespace {
 
-// Blocked GEMM micro-kernel geometry. kMR x kNR output tiles are
-// accumulated in registers across the whole K extent, so the inner loop
-// does kMR*kNR FMAs per B-panel load and touches C only once per tile
-// (the naive ikj kernel re-loads and re-stores each C row for every p).
-// kMR*kNR must stay small enough that the accumulator tile fits the
-// register file even at baseline SSE2 (4x8 floats = 8 xmm registers).
-constexpr int64_t kMR = 4;
-constexpr int64_t kNR = 8;
 // Rows per parallel work chunk. Independent of thread count, so chunk
 // boundaries (and therefore results) never depend on the pool size.
 constexpr int64_t kGemmRowGrain = 64;
 // Below this many multiply-adds, pool dispatch costs more than it saves.
 constexpr int64_t kGemmParallelFlops = 1 << 16;
 
-// Computes out rows [i_begin, i_end) of C = A * B, where B is row-major
-// K x N with leading dimension ldb, and A is addressed generically as
+// Packs B into the active kernel table's panel layout and dispatches the
+// micro-kernel over row panels, in parallel when the problem is big enough
+// to amortize the pool. B is row-major K x N (leading dimension ldb) when
+// b_transposed is false, row-major N x K when true (packed as B^T without
+// materializing the transpose). A is addressed generically as
 // a[i * as_i + p * as_p] — (as_i = lda, as_p = 1) walks A's rows,
 // (as_i = 1, as_p = lda) walks A's columns (i.e. multiplies by A^T).
-// Accumulation over p is in ascending order for every tile shape, so the
-// result is bitwise independent of both the tiling and the thread count.
-void GemmRowRange(const float* a, int64_t as_i, int64_t as_p, const float* b,
-                  int64_t ldb, float* c, int64_t ldc, int64_t i_begin,
-                  int64_t i_end, int64_t k, int64_t n) {
-  for (int64_t i0 = i_begin; i0 < i_end; i0 += kMR) {
-    const int64_t mr = std::min(kMR, i_end - i0);
-    const float* atile = a + i0 * as_i;
-    for (int64_t j0 = 0; j0 < n; j0 += kNR) {
-      const int64_t nr = std::min(kNR, n - j0);
-      if (mr == kMR && nr == kNR) {
-        // Full tile: constant trip counts so the compiler keeps the
-        // accumulators in registers and vectorizes the jj loop.
-        float acc[kMR][kNR] = {};
-        const float* bptr = b + j0;
-        for (int64_t p = 0; p < k; ++p) {
-          const float* brow = bptr + p * ldb;
-          for (int64_t ii = 0; ii < kMR; ++ii) {
-            const float av = atile[ii * as_i + p * as_p];
-            for (int64_t jj = 0; jj < kNR; ++jj) {
-              acc[ii][jj] += av * brow[jj];
-            }
-          }
-        }
-        for (int64_t ii = 0; ii < kMR; ++ii) {
-          float* crow = c + (i0 + ii) * ldc + j0;
-          for (int64_t jj = 0; jj < kNR; ++jj) crow[jj] = acc[ii][jj];
-        }
-      } else {
-        // Ragged edge tile (m % kMR / n % kNR remainders, 1xK vectors...).
-        float acc[kMR][kNR] = {};
-        const float* bptr = b + j0;
-        for (int64_t p = 0; p < k; ++p) {
-          const float* brow = bptr + p * ldb;
-          for (int64_t ii = 0; ii < mr; ++ii) {
-            const float av = atile[ii * as_i + p * as_p];
-            for (int64_t jj = 0; jj < nr; ++jj) {
-              acc[ii][jj] += av * brow[jj];
-            }
-          }
-        }
-        for (int64_t ii = 0; ii < mr; ++ii) {
-          float* crow = c + (i0 + ii) * ldc + j0;
-          for (int64_t jj = 0; jj < nr; ++jj) crow[jj] = acc[ii][jj];
-        }
-      }
-    }
-  }
-}
-
-// Dispatches GemmRowRange over row panels, in parallel when the problem is
-// big enough to amortize the pool.
+// Each C element accumulates over p in ascending order whatever the tiling,
+// so the result is bitwise independent of the thread count.
 void GemmDispatch(const float* a, int64_t as_i, int64_t as_p, const float* b,
-                  int64_t ldb, float* c, int64_t ldc, int64_t m, int64_t k,
-                  int64_t n) {
+                  int64_t ldb, bool b_transposed, float* c, int64_t ldc,
+                  int64_t m, int64_t k, int64_t n,
+                  const simd::GemmEpilogue& ep = {}) {
   static Counter& calls =
       MetricsRegistry::Global().GetCounter("gemm.calls");
   static Counter& parallel_calls =
       MetricsRegistry::Global().GetCounter("gemm.parallel_calls");
+  static Counter& fused_calls =
+      MetricsRegistry::Global().GetCounter("tensor.simd.gemm_fused");
   static Histogram& flops_hist =
       MetricsRegistry::Global().GetHistogram("gemm.flops");
   const int64_t flops = m * k * n;
   calls.Increment();
   flops_hist.Record(static_cast<double>(flops));
+  if (ep.bias != nullptr || ep.relu) fused_calls.Increment();
+  if (m == 0 || n == 0) return;
+  const simd::KernelTable& kt = simd::Kernels();
+  // Pack B once into nr-wide zero-padded panels. The scratch comes from the
+  // arena, so steady-state training recycles one buffer per shape class.
+  const int64_t nr = kt.gemm_nr;
+  const int64_t panels = (n + nr - 1) / nr;
+  Tensor bpack = Tensor::Uninit(1, panels * nr * k);
+  if (k > 0) {
+    if (b_transposed) {
+      kt.gemm_pack_bt(b, ldb, k, n, bpack.data());
+    } else {
+      kt.gemm_pack_b(b, ldb, k, n, bpack.data());
+    }
+  }
+  const float* bp = bpack.data();
   if (flops < kGemmParallelFlops || ThreadPool::GlobalThreads() <= 1) {
-    GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, 0, m, k, n);
+    kt.gemm(a, as_i, as_p, bp, c, ldc, 0, m, k, n, ep);
     return;
   }
   parallel_calls.Increment();
   ParallelFor(0, m, kGemmRowGrain, [&](int64_t row_begin, int64_t row_end) {
-    GemmRowRange(a, as_i, as_p, b, ldb, c, ldc, row_begin, row_end, k, n);
+    kt.gemm(a, as_i, as_p, bp, c, ldc, row_begin, row_end, k, n, ep);
   });
 }
 
@@ -208,8 +174,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = b.cols();
   // The panel kernel writes every element of C, so the zero-fill is skipped.
   Tensor out = Tensor::Uninit(m, n);
-  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), n, out.data(), n,
-               m, k, n);
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), n,
+               /*b_transposed=*/false, out.data(), n, m, k, n);
+  return out;
+}
+
+Tensor MatMulFused(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   bool relu) {
+  GRIMP_CHECK_EQ(a.cols(), b.rows());
+  GRIMP_CHECK_EQ(bias.size(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  Tensor out = Tensor::Uninit(m, n);
+  simd::GemmEpilogue ep;
+  ep.bias = bias.data();
+  ep.relu = relu;
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), n,
+               /*b_transposed=*/false, out.data(), n, m, k, n, ep);
   return out;
 }
 
@@ -220,9 +202,21 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t n = b.cols();
   Tensor out = Tensor::Uninit(m, n);
   // Walk A's columns: out rows index A columns (stride 1), p strides a row.
-  GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), n, out.data(), n,
-               m, k, n);
+  GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), n,
+               /*b_transposed=*/false, out.data(), n, m, k, n);
   return out;
+}
+
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  GRIMP_CHECK_EQ(a.rows(), b.rows());
+  const int64_t k = a.rows();
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  GRIMP_CHECK(out->rows() == m && out->cols() == n);
+  simd::GemmEpilogue ep;
+  ep.accumulate = true;
+  GemmDispatch(a.data(), /*as_i=*/1, /*as_p=*/m, b.data(), n,
+               /*b_transposed=*/false, out->data(), n, m, k, n, ep);
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -231,18 +225,23 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t k = a.cols();
   const int64_t n = b.rows();
   Tensor out = Tensor::Uninit(m, n);
-  // Pack B^T once (K x N, contiguous rows) so the panel kernel streams it
-  // exactly like plain MatMul; O(k*n) pack vs O(m*k*n) math. The scratch
-  // comes from the arena, so repeated backward passes recycle one buffer.
-  Tensor bt = Tensor::Uninit(k, n);
-  const float* bd = b.data();
-  float* btd = bt.data();
-  for (int64_t j = 0; j < n; ++j) {
-    for (int64_t p = 0; p < k; ++p) btd[p * n + j] = bd[j * k + p];
-  }
-  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, btd, n, out.data(), n,
-               m, k, n);
+  // The pack_bt kernel builds the B^T panels straight from the N x K
+  // operand; O(k*n) pack vs O(m*k*n) math, no materialized transpose.
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), k,
+               /*b_transposed=*/true, out.data(), n, m, k, n);
   return out;
+}
+
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  GRIMP_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  GRIMP_CHECK(out->rows() == m && out->cols() == n);
+  simd::GemmEpilogue ep;
+  ep.accumulate = true;
+  GemmDispatch(a.data(), /*as_i=*/k, /*as_p=*/1, b.data(), k,
+               /*b_transposed=*/true, out->data(), n, m, k, n, ep);
 }
 
 Tensor MatMulNaive(const Tensor& a, const Tensor& b) {

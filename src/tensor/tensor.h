@@ -168,13 +168,25 @@ class Tensor {
 };
 
 // result = a * b (matrix product). Shapes: (M x K) * (K x N) -> (M x N).
-// Cache-blocked and multi-threaded (see common/thread_pool.h); accumulation
-// order over K is fixed, so results are identical at every thread count.
+// Runs on the dispatched SIMD kernel table (see tensor/simd.h): packed-B
+// panel micro-kernel, multi-threaded over row ranges (common/thread_pool.h);
+// accumulation order over K is fixed, so results are identical at every
+// thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// result = relu?(a * b + bias), with the bias row-broadcast add (and the
+// optional ReLU) fused into the GEMM epilogue while the C tile is still in
+// registers. bias must have b.cols() elements.
+Tensor MatMulFused(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   bool relu);
 // result = a^T * b. Shapes: (K x M)^T * (K x N) -> (M x N).
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// *out += a^T * b (accumulating epilogue; serves gradient accumulation
+// without a temporary + Axpy round-trip). out must already be M x N.
+void MatMulTransAAcc(const Tensor& a, const Tensor& b, Tensor* out);
 // result = a * b^T. Shapes: (M x K) * (N x K)^T -> (M x N).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+// *out += a * b^T.
+void MatMulTransBAcc(const Tensor& a, const Tensor& b, Tensor* out);
 
 // Single-threaded triple-loop reference kernels. Retained as the ground
 // truth the blocked kernels are tested/benchmarked against.
