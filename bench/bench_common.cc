@@ -1,7 +1,9 @@
 #include "bench_common.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <thread>
 
 #include "baselines/aimnet.h"
 #include "baselines/knn.h"
@@ -14,6 +16,17 @@
 
 namespace grimp {
 namespace bench {
+
+int ResolveMaxThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  int max_threads = static_cast<int>(hw);
+  if (const char* env = std::getenv("GRIMP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) max_threads = n;
+  }
+  return max_threads;
+}
 
 BenchConfig ParseBenchArgs(int argc, char** argv,
                            std::vector<std::string> default_datasets,

@@ -36,6 +36,12 @@ BenchConfig ParseBenchArgs(int argc, char** argv,
                            std::vector<std::string> default_datasets,
                            int64_t default_rows = 300);
 
+// Thread budget for this run: hardware concurrency, capped by
+// GRIMP_NUM_THREADS when set (the same knob the runtime pool honors).
+// Benchmarks record this next to their results so numbers from capped
+// runs are never mistaken for full-machine numbers.
+int ResolveMaxThreads();
+
 // Prints the run header: binary purpose, config, substitution note.
 void PrintRunHeader(const std::string& title, const BenchConfig& config);
 

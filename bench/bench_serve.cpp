@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/metrics.h"
 #include "core/engine.h"
 #include "serve/model_registry.h"
@@ -167,11 +168,13 @@ std::string ToJson(const ConfigResult& r) {
 }  // namespace
 
 int main() {
+  const int max_threads = grimp::bench::ResolveMaxThreads();
   GrimpOptions options;
   options.dim = 16;
   options.max_epochs = 20;
   options.validation_fraction = 0.0;
   options.seed = 11;
+  options.num_threads = max_threads;
   auto engine = std::make_unique<GrimpEngine>(options);
   if (!engine->Fit(TrainingTable()).ok()) {
     std::fprintf(stderr, "fit failed\n");
@@ -212,6 +215,7 @@ int main() {
   std::string json = "{\n  \"clients\": " + std::to_string(kClients) +
                      ",\n  \"requests_per_client\": " +
                      std::to_string(kRequestsPerClient) +
+                     ",\n  \"max_threads\": " + std::to_string(max_threads) +
                      ",\n  \"configs\": [\n" + ToJson(a) + ",\n" + ToJson(b) +
                      "\n  ]\n}\n";
   if (FILE* f = std::fopen("BENCH_serve.json", "w")) {

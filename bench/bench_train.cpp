@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/grimp.h"
 #include "core/names.h"
 #include "data/datasets.h"
@@ -134,11 +135,13 @@ int main(int argc, char** argv) {
   const Table& clean = *clean_or;
   const CorruptedTable corrupted = grimp::InjectMcar(clean, 0.2, 13);
 
+  const int max_threads = grimp::bench::ResolveMaxThreads();
   GrimpOptions options;
   options.dim = 16;
   options.shared_hidden = 32;
   options.max_epochs = epochs;
   options.seed = seed;
+  options.num_threads = max_threads;
   // A fixed small sample budget per column: this is the regime sampling is
   // for (few labels, big graph). No validation split so both modes run
   // exactly `epochs` epochs and sampled epochs never touch the full graph.
@@ -172,14 +175,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\nper-epoch speedup (full / sampled): %.2fx\n", speedup);
 
-  char head[256];
+  char head[320];
   std::snprintf(head, sizeof(head),
                 "{\n  \"dataset\": \"adult\",\n  \"rows\": %lld,\n"
                 "  \"epochs\": %d,\n  \"max_samples_per_task\": %lld,\n"
                 "  \"batch_size\": %d,\n  \"fanout\": %d,\n"
+                "  \"max_threads\": %d,\n"
                 "  \"configs\": [\n",
                 static_cast<long long>(clean.num_rows()), epochs,
-                static_cast<long long>(samples), batch, fanout);
+                static_cast<long long>(samples), batch, fanout, max_threads);
   char tail[96];
   std::snprintf(tail, sizeof(tail),
                 "\n  ],\n  \"epoch_speedup\": %.4f\n}\n", speedup);

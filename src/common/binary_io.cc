@@ -43,6 +43,11 @@ void BinaryWriter::WriteF64Vector(const std::vector<double>& v) {
   WriteRaw(v.data(), v.size() * sizeof(double));
 }
 
+void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(int32_t));
+}
+
 void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
   WriteU64(v.size());
   WriteRaw(v.data(), v.size() * sizeof(int64_t));
@@ -121,6 +126,14 @@ Result<std::vector<double>> BinaryReader::ReadF64Vector() {
   if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
   std::vector<double> v(static_cast<size_t>(len));
   GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(double)));
+  return v;
+}
+
+Result<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
+  GRIMP_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > kMaxLength) return Status::InvalidArgument("corrupt vector size");
+  std::vector<int32_t> v(static_cast<size_t>(len));
+  GRIMP_RETURN_IF_ERROR(ReadRaw(v.data(), v.size() * sizeof(int32_t)));
   return v;
 }
 

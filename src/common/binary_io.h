@@ -33,6 +33,7 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteF32Vector(const std::vector<float>& v);
   void WriteF64Vector(const std::vector<double>& v);
+  void WriteI32Vector(const std::vector<int32_t>& v);
   void WriteI64Vector(const std::vector<int64_t>& v);
   void WriteStringVector(const std::vector<std::string>& v);
 
@@ -81,6 +82,7 @@ class BinaryReader {
   Result<std::string> ReadString();
   Result<std::vector<float>> ReadF32Vector();
   Result<std::vector<double>> ReadF64Vector();
+  Result<std::vector<int32_t>> ReadI32Vector();
   Result<std::vector<int64_t>> ReadI64Vector();
   Result<std::vector<std::string>> ReadStringVector();
 

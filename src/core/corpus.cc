@@ -28,4 +28,45 @@ TrainingCorpus BuildTrainingCorpus(const Table& dirty,
   return corpus;
 }
 
+TrainingCorpus BuildCappedTrainingCorpus(const Table& dirty,
+                                         double validation_fraction,
+                                         int64_t max_samples_per_col,
+                                         Rng* rng) {
+  GRIMP_CHECK(validation_fraction >= 0.0 && validation_fraction < 1.0);
+  GRIMP_CHECK_GT(max_samples_per_col, 0);
+  GRIMP_TRACE_SPAN("corpus_build");
+  TrainingCorpus corpus;
+  std::vector<TrainingSample> reservoir;
+  reservoir.reserve(static_cast<size_t>(max_samples_per_col));
+  for (int c = 0; c < dirty.num_cols(); ++c) {
+    // Algorithm R over the column's present cells: a uniform sample of up
+    // to max_samples_per_col of them in one pass, no full enumeration.
+    reservoir.clear();
+    int64_t seen = 0;
+    for (int64_t r = 0; r < dirty.num_rows(); ++r) {
+      if (dirty.IsMissing(r, c)) continue;
+      ++seen;
+      if (static_cast<int64_t>(reservoir.size()) < max_samples_per_col) {
+        reservoir.push_back(TrainingSample{r, c});
+      } else {
+        const uint64_t j = rng->Uniform(static_cast<uint64_t>(seen));
+        if (j < static_cast<uint64_t>(max_samples_per_col)) {
+          reservoir[static_cast<size_t>(j)] = TrainingSample{r, c};
+        }
+      }
+    }
+    rng->Shuffle(&reservoir);
+    const size_t num_val =
+        static_cast<size_t>(validation_fraction *
+                            static_cast<double>(reservoir.size()));
+    corpus.validation.insert(
+        corpus.validation.end(), reservoir.begin(),
+        reservoir.begin() + static_cast<ptrdiff_t>(num_val));
+    corpus.train.insert(corpus.train.end(),
+                        reservoir.begin() + static_cast<ptrdiff_t>(num_val),
+                        reservoir.end());
+  }
+  return corpus;
+}
+
 }  // namespace grimp

@@ -45,6 +45,17 @@ struct TrainingCorpus {
 TrainingCorpus BuildTrainingCorpus(const Table& dirty,
                                    double validation_fraction, Rng* rng);
 
+// Bounded variant for tables too large to enumerate every present cell
+// (sharded out-of-core training): keeps at most `max_samples_per_col`
+// samples per column — a uniform reservoir over that column's present
+// cells — then splits each column's sample by `validation_fraction`.
+// Corpus memory is O(num_cols * max_samples_per_col) regardless of table
+// size. Deterministic for a given *rng state.
+TrainingCorpus BuildCappedTrainingCorpus(const Table& dirty,
+                                         double validation_fraction,
+                                         int64_t max_samples_per_col,
+                                         Rng* rng);
+
 }  // namespace grimp
 
 #endif  // GRIMP_CORE_CORPUS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "common/binary_io.h"
@@ -12,6 +13,7 @@
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
+#include "graph/store.h"
 
 namespace grimp {
 
@@ -35,6 +37,12 @@ void AppendRowIndices(const Table& table, const TableGraph& tg, int64_t row,
   }
 }
 
+
+// Sharded training must not enumerate every present cell up front (the
+// corpus alone would rival the graph in size), so when the caller has not
+// capped max_samples_per_task the engine imposes this per-column reservoir
+// bound itself.
+constexpr int64_t kDefaultShardedSamplesPerCol = 20000;
 
 // Log class priors for a categorical column's classifier head: rare values
 // start correctly downweighted, which matters most when noise fragments
@@ -140,6 +148,13 @@ Status GrimpEngine::Fit(const Table& source) {
     return Status::FailedPrecondition(
         "GrimpEngine supports multi-task mode only");
   }
+  if (options_.graph.shard_mode == ShardMode::kSharded &&
+      options_.train.mode != TrainMode::kSampled) {
+    return Status::InvalidArgument(
+        "GraphConfig.shard_mode=sharded requires TrainConfig.mode=sampled: "
+        "full-graph epochs would page the whole graph back in, defeating "
+        "the resident-memory bound");
+  }
   RecordThreadPoolMetrics();
   GRIMP_TRACE_SPAN("grimp.fit");
   const int num_cols = source.num_cols();
@@ -155,16 +170,33 @@ Status GrimpEngine::Fit(const Table& source) {
   normalizer_ = Normalizer::Fit(source);
 
   Rng corpus_rng = rng.Fork();
+  const bool sharded = options_.graph.shard_mode == ShardMode::kSharded;
   const TrainingCorpus corpus =
-      BuildTrainingCorpus(source, options_.validation_fraction, &corpus_rng);
+      sharded ? BuildCappedTrainingCorpus(
+                    source, options_.validation_fraction,
+                    options_.max_samples_per_task > 0
+                        ? options_.max_samples_per_task
+                        : kDefaultShardedSamplesPerCol,
+                    &corpus_rng)
+              : BuildTrainingCorpus(source, options_.validation_fraction,
+                                    &corpus_rng);
   GraphBuildOptions graph_options;
-  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.max_neighbors_per_node = options_.graph.neighbor_cap;
   graph_options.seed = options_.seed;
-  const TableGraph tg =
-      BuildTableGraph(source, corpus.ValidationCells(), graph_options);
+  GRIMP_ASSIGN_OR_RETURN(
+      TableGraph tg,
+      GraphBuilder(graph_options).Build(source, corpus.ValidationCells()));
   auto initializer = MakeFeatureInitializer(options_.features);
   GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
                          initializer->Init(source, tg, dim, rng.Next()));
+
+  // The store is the trainer's only view of the topology. In-memory mode
+  // borrows tg.graph (the degenerate single-shard case); sharded mode
+  // spills the CSRs to disk at Create, after which the in-core copy is
+  // dropped — from here on the full adjacency never lives in memory again.
+  GRIMP_ASSIGN_OR_RETURN(std::unique_ptr<GraphStore> store,
+                         MakeGraphStore(tg.graph, options_.graph));
+  if (sharded) tg.graph.SetAdjacency({});
 
   Rng model_rng = rng.Fork();
   ConstructModel(features.column_features, &model_rng);
@@ -195,7 +227,7 @@ Status GrimpEngine::Fit(const Table& source) {
   for (const TrainingSample& s : corpus.train) add_sample(s, false);
   for (const TrainingSample& s : corpus.validation) add_sample(s, true);
 
-  Trainer trainer(options_, &tg.graph, &features.node_features,
+  Trainer trainer(options_, store.get(), &features.node_features,
                   options_.use_gnn ? &gnn_ : nullptr, &shared_,
                   std::move(train_tasks), num_cols);
   GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(options_.callbacks));
@@ -221,9 +253,10 @@ Result<Tensor> GrimpEngine::AttentionSummary(const Table& table) const {
   const int dim = options_.dim;
 
   GraphBuildOptions graph_options;
-  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.max_neighbors_per_node = options_.graph.neighbor_cap;
   graph_options.seed = options_.seed;
-  const TableGraph tg = BuildTableGraph(table, {}, graph_options);
+  GRIMP_ASSIGN_OR_RETURN(const TableGraph tg,
+                         GraphBuilder(graph_options).Build(table));
   auto initializer = MakeFeatureInitializer(options_.features);
   Rng rng(options_.seed);
   rng.Fork();
@@ -280,7 +313,7 @@ Status GrimpEngine::Save(const std::string& path) {
   writer.WriteI32(options_.task_hidden);
   writer.WriteI32(options_.gnn_layers);
   writer.WriteBool(options_.use_gnn);
-  writer.WriteI32(options_.neighbor_cap);
+  writer.WriteI32(options_.graph.neighbor_cap);
   writer.WriteU64(options_.seed);
   writer.WriteU64(options_.fds.size());
   for (const FunctionalDependency& fd : options_.fds) {
@@ -351,7 +384,7 @@ Result<std::unique_ptr<GrimpEngine>> GrimpEngine::Load(
   GRIMP_ASSIGN_OR_RETURN(options.task_hidden, reader.ReadI32());
   GRIMP_ASSIGN_OR_RETURN(options.gnn_layers, reader.ReadI32());
   GRIMP_ASSIGN_OR_RETURN(options.use_gnn, reader.ReadBool());
-  GRIMP_ASSIGN_OR_RETURN(options.neighbor_cap, reader.ReadI32());
+  GRIMP_ASSIGN_OR_RETURN(options.graph.neighbor_cap, reader.ReadI32());
   GRIMP_ASSIGN_OR_RETURN(options.seed, reader.ReadU64());
   GRIMP_ASSIGN_OR_RETURN(uint64_t num_fds, reader.ReadU64());
   if (num_fds > BinaryReader::kMaxLength) {
@@ -472,14 +505,15 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
     int64_t offset = 0;  // this request's first node id in the union
   };
   GraphBuildOptions graph_options;
-  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.max_neighbors_per_node = options_.graph.neighbor_cap;
   graph_options.seed = options_.seed;
+  const GraphBuilder builder(graph_options);
   auto initializer = MakeFeatureInitializer(options_.features);
   std::vector<RequestCtx> ctxs(tables.size());
   int64_t total_nodes = 0;
   for (size_t i = 0; i < tables.size(); ++i) {
     RequestCtx& ctx = ctxs[i];
-    ctx.tg = BuildTableGraph(*tables[i], {}, graph_options);
+    GRIMP_ASSIGN_OR_RETURN(ctx.tg, builder.Build(*tables[i]));
     Rng rng(options_.seed);
     rng.Fork();
     GRIMP_ASSIGN_OR_RETURN(

@@ -106,6 +106,12 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   if (dirty.num_rows() == 0 || dirty.num_cols() == 0) {
     return Status::InvalidArgument("empty table");
   }
+  if (options_.graph.shard_mode == ShardMode::kSharded) {
+    return Status::FailedPrecondition(
+        "GrimpImputer does not support sharded graph storage: its decode "
+        "step runs one whole-graph forward (use GrimpEngine for "
+        "out-of-core training)");
+  }
   RecordThreadPoolMetrics();
   TraceSpan impute_span("grimp.impute");
   const int num_cols = dirty.num_cols();
@@ -120,10 +126,11 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   const TrainingCorpus corpus =
       BuildTrainingCorpus(dirty, options_.validation_fraction, &corpus_rng);
   GraphBuildOptions graph_options;
-  graph_options.max_neighbors_per_node = options_.neighbor_cap;
+  graph_options.max_neighbors_per_node = options_.graph.neighbor_cap;
   graph_options.seed = options_.seed;
-  const TableGraph tg =
-      BuildTableGraph(dirty, corpus.ValidationCells(), graph_options);
+  GRIMP_ASSIGN_OR_RETURN(
+      const TableGraph tg,
+      GraphBuilder(graph_options).Build(dirty, corpus.ValidationCells()));
   auto initializer = MakeFeatureInitializer(options_.features);
   GRIMP_ASSIGN_OR_RETURN(PretrainedFeatures features,
                          initializer->Init(dirty, tg, dim, rng.Next()));
@@ -237,7 +244,8 @@ Result<Table> GrimpImputer::Impute(const Table& dirty) {
   // 4. Training (paper Alg. 1) via the shared Trainer: full-graph epochs
   //    by default, neighbor-sampled minibatches when options_.train.mode
   //    is TrainMode::kSampled (see trainer.h).
-  Trainer trainer(options_, &tg.graph, &features.node_features,
+  const InMemoryGraphStore store(&tg.graph);
+  Trainer trainer(options_, &store, &features.node_features,
                   options_.use_gnn ? &gnn : nullptr, &shared,
                   std::move(train_tasks), num_cols);
   GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(options_.callbacks));

@@ -50,4 +50,15 @@ Result<TrainMode> ParseTrainMode(std::string_view name) {
                                  "' (expected full|sampled)");
 }
 
+std::string_view ShardModeName(ShardMode mode) {
+  return mode == ShardMode::kSharded ? "sharded" : "in_memory";
+}
+
+Result<ShardMode> ParseShardMode(std::string_view name) {
+  if (name == "in_memory") return ShardMode::kInMemory;
+  if (name == "sharded") return ShardMode::kSharded;
+  return Status::InvalidArgument("unknown shard mode '" + std::string(name) +
+                                 "' (expected in_memory|sharded)");
+}
+
 }  // namespace grimp

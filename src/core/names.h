@@ -17,10 +17,12 @@ namespace grimp {
 std::string_view TaskKindName(TaskKind kind);
 std::string_view KStrategyName(KStrategy strategy);
 std::string_view TrainModeName(TrainMode mode);
+std::string_view ShardModeName(ShardMode mode);
 
 Result<TaskKind> ParseTaskKind(std::string_view name);
 Result<KStrategy> ParseKStrategy(std::string_view name);
 Result<TrainMode> ParseTrainMode(std::string_view name);
+Result<ShardMode> ParseShardMode(std::string_view name);
 
 }  // namespace grimp
 

@@ -55,10 +55,12 @@ Status GrimpOptions::Validate() const {
         "GrimpOptions.focal_gamma must be >= 0, got " +
         std::to_string(focal_gamma));
   }
-  if (neighbor_cap < 0) {
+  GRIMP_RETURN_IF_ERROR(graph.Validate());
+  if (graph.shard_mode == ShardMode::kSharded &&
+      train.mode != TrainMode::kSampled) {
     return Status::InvalidArgument(
-        "GrimpOptions.neighbor_cap must be >= 0, got " +
-        std::to_string(neighbor_cap));
+        "GrimpOptions.graph.shard_mode=sharded requires train.mode=sampled: "
+        "full-mode training runs whole-graph forwards");
   }
   if (max_samples_per_task < 0) {
     return Status::InvalidArgument(

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "embedding/feature_init.h"
+#include "graph/store.h"
 #include "table/fd.h"
 
 namespace grimp {
@@ -104,18 +105,18 @@ struct GrimpOptions {
   bool use_gnn = true;
   bool multi_task = true;
 
-  // Efficiency knobs (paper §7 future work). `neighbor_cap` is *static*
-  // graph pruning: the built graph keeps at most this many random
-  // neighbors per node per edge type, once, before training (0 == off).
-  // Contrast with TrainConfig::fanouts, which resamples a fresh
-  // neighborhood per minibatch *step* in sampled mode and leaves the full
-  // graph (and therefore full-graph inference) intact; the two compose —
-  // the sampler draws from whatever graph was built.
-  // `max_samples_per_task` caps the self-supervised training samples each
-  // task keeps (0 == keep all; the corpus is shuffled, so the cap keeps a
-  // random subset).
-  int neighbor_cap = 0;
+  // Efficiency knob (paper §7 future work): `max_samples_per_task` caps
+  // the self-supervised training samples each task keeps (0 == keep all;
+  // the corpus is shuffled, so the cap keeps a random subset). The static
+  // graph-pruning knob lives in `graph.neighbor_cap` below.
   int64_t max_samples_per_task = 0;
+
+  // Graph storage & pruning (see graph/store.h GraphConfig): shard mode
+  // (in-memory vs out-of-core sharded), the sharded resident budget, and
+  // neighbor_cap static pruning. Sharded mode requires train.mode=sampled
+  // and the GrimpEngine Fit/Transform API (decode-side imputation needs a
+  // full-graph forward).
+  GraphConfig graph;
 
   // Minibatch neighbor-sampled training (see TrainMode above).
   TrainConfig train;

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "graph/sampler.h"
 #include "tensor/arena.h"
@@ -43,21 +44,25 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-Trainer::Trainer(const GrimpOptions& options, const HeteroGraph* graph,
+Trainer::Trainer(const GrimpOptions& options, const GraphStore* store,
                  const Tensor* node_features, HeteroGnn* gnn, Mlp* shared,
                  std::vector<TrainTask> tasks, int num_cols)
     : options_(options),
-      graph_(graph),
+      store_(store),
       node_features_(node_features),
       gnn_(gnn),
       shared_(shared),
       tasks_(std::move(tasks)),
       num_cols_(num_cols) {
-  GRIMP_CHECK(graph_ != nullptr);
+  GRIMP_CHECK(store_ != nullptr);
   GRIMP_CHECK(node_features_ != nullptr);
   GRIMP_CHECK(shared_ != nullptr);
   GRIMP_CHECK(!options_.use_gnn || gnn_ != nullptr);
   GRIMP_CHECK_GT(num_cols_, 0);
+  // Full mode (and full-graph validation) runs whole-graph forwards, which
+  // only an in-memory store can serve.
+  GRIMP_CHECK(options_.train.mode == TrainMode::kSampled ||
+              store_->full_graph() != nullptr);
 }
 
 Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
@@ -67,8 +72,9 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
   tape_.Reset();  // reuse node slots from the previous epoch
   Tape& tape = tape_;
   Tape::VarId feats = tape.Constant(*node_features_);
-  Tape::VarId h =
-      options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
+  Tape::VarId h = options_.use_gnn
+                      ? gnn_->Forward(&tape, feats, *store_->full_graph())
+                      : feats;
   Tape::VarId h_shared = shared_->Forward(&tape, h);
 
   Tape::VarId total_loss = -1;
@@ -115,20 +121,44 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
   return result;
 }
 
-Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
-  const int dim = options_.dim;
-  const int64_t batch_size = options_.train.batch_size;
+void Trainer::EnsureSampler() {
   if (sampler_ == nullptr) {
     std::vector<int> fanouts = options_.train.fanouts;
     if (fanouts.empty()) {
       fanouts.assign(static_cast<size_t>(gnn_->num_layers()),
                      kDefaultFanout);
     }
-    sampler_ = std::make_unique<NeighborSampler>(graph_, std::move(fanouts));
+    sampler_ = std::make_unique<NeighborSampler>(store_, std::move(fanouts));
   }
-  if (static_cast<int64_t>(seed_local_.size()) < graph_->num_nodes()) {
-    seed_local_.assign(static_cast<size_t>(graph_->num_nodes()), -1);
+  if (static_cast<int64_t>(seed_local_.size()) < store_->num_nodes()) {
+    seed_local_.assign(static_cast<size_t>(store_->num_nodes()), -1);
   }
+}
+
+Tensor Trainer::GatherBlockFeatures() const {
+  const int dim = options_.dim;
+  Tensor batch_feats =
+      Tensor::Uninit(static_cast<int64_t>(sub_.input_nodes.size()), dim);
+  // Rows are disjoint, so the chunked gather is bit-identical at every
+  // thread count (and runs inline below the pool's dispatch threshold).
+  ParallelFor(0, static_cast<int64_t>(sub_.input_nodes.size()), 512,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  const float* src =
+                      node_features_->data() +
+                      static_cast<int64_t>(
+                          sub_.input_nodes[static_cast<size_t>(i)]) *
+                          dim;
+                  std::copy(src, src + dim, batch_feats.data() + i * dim);
+                }
+              });
+  return batch_feats;
+}
+
+Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
+  const int dim = options_.dim;
+  const int64_t batch_size = options_.train.batch_size;
+  EnsureSampler();
   Series& batch_loss_series =
       MetricsRegistry::Global().GetSeries("grimp.batch.train_loss");
 
@@ -174,15 +204,7 @@ Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
 
       // Gather the receptive field's input features into a compact matrix.
       TraceSpan gather_span("train.gather");
-      Tensor batch_feats = Tensor::Uninit(
-          static_cast<int64_t>(sub_.input_nodes.size()), dim);
-      for (size_t i = 0; i < sub_.input_nodes.size(); ++i) {
-        const float* src =
-            node_features_->data() +
-            static_cast<int64_t>(sub_.input_nodes[i]) * dim;
-        std::copy(src, src + dim,
-                  batch_feats.data() + static_cast<int64_t>(i) * dim);
-      }
+      Tensor batch_feats = GatherBlockFeatures();
       local_idx_.resize(static_cast<size_t>(idx_len));
       for (int64_t i = 0; i < idx_len; ++i) {
         local_idx_[static_cast<size_t>(i)] =
@@ -239,8 +261,9 @@ double Trainer::ValidationLoss(bool* has_val) {
   tape_.Reset();
   Tape& tape = tape_;
   Tape::VarId feats = tape.Constant(*node_features_);
-  Tape::VarId h =
-      options_.use_gnn ? gnn_->Forward(&tape, feats, *graph_) : feats;
+  Tape::VarId h = options_.use_gnn
+                      ? gnn_->Forward(&tape, feats, *store_->full_graph())
+                      : feats;
   Tape::VarId h_shared = shared_->Forward(&tape, h);
   double val_loss_sum = 0.0;
   for (const TrainTask& task : tasks_) {
@@ -261,6 +284,83 @@ double Trainer::ValidationLoss(bool* has_val) {
       loss = tape.MseLoss(out, &task.val_targets);
     }
     val_loss_sum += tape.value(loss).scalar();
+    *has_val = true;
+  }
+  return val_loss_sum;
+}
+
+double Trainer::SampledValidationLoss(bool* has_val) {
+  const int dim = options_.dim;
+  const int64_t batch_size = options_.train.batch_size;
+  EnsureSampler();
+  // Salt separating validation streams from training streams.
+  constexpr uint64_t kValSalt = 0x76616c6964ULL;  // "valid"
+  double val_loss_sum = 0.0;
+  uint64_t task_index = 0;
+  for (const TrainTask& task : tasks_) {
+    const uint64_t task_id = task_index++;
+    const int64_t n = task.NumVal();
+    if (n == 0) continue;
+    double task_loss_sum = 0.0;
+    for (int64_t start = 0; start < n; start += batch_size) {
+      const int64_t bn = std::min(batch_size, n - start);
+      // Streams are a pure function of (seed, task, batch) — deliberately
+      // NOT of the epoch — so every epoch scores the same sampled
+      // receptive fields and the early-stopping comparison is stable.
+      Rng rng(MixSeed(options_.seed ^ kValSalt, task_id,
+                      static_cast<uint64_t>(start / batch_size)));
+      const int32_t* idx =
+          task.val_idx.data() + start * static_cast<int64_t>(num_cols_);
+      const int64_t idx_len = bn * static_cast<int64_t>(num_cols_);
+      tape_.Reset();
+      seeds_.clear();
+      for (int64_t i = 0; i < idx_len; ++i) {
+        const int32_t node = idx[i];
+        if (node < 0) continue;
+        int32_t& slot = seed_local_[static_cast<size_t>(node)];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(seeds_.size());
+          seeds_.push_back(node);
+        }
+      }
+      if (seeds_.empty()) seeds_.push_back(0);
+      sampler_->Sample(seeds_, &rng, &sub_);
+
+      Tensor batch_feats = GatherBlockFeatures();
+      local_idx_.resize(static_cast<size_t>(idx_len));
+      for (int64_t i = 0; i < idx_len; ++i) {
+        local_idx_[static_cast<size_t>(i)] =
+            idx[i] < 0 ? -1 : seed_local_[static_cast<size_t>(idx[i])];
+      }
+      for (const int32_t node : seeds_) {
+        seed_local_[static_cast<size_t>(node)] = -1;
+      }
+
+      Tape& tape = tape_;
+      Tape::VarId feats = tape.Constant(std::move(batch_feats));
+      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub_);
+      Tape::VarId h_shared = shared_->Forward(&tape, h);
+      Tape::VarId flat = tape.GatherRows(h_shared, &local_idx_);
+      Tape::VarId vecs =
+          tape.Reshape(flat, bn, static_cast<int64_t>(num_cols_) * dim);
+      Tape::VarId out = task.head->Forward(&tape, vecs);
+      Tape::VarId loss;
+      if (task.categorical) {
+        labels_.assign(task.val_labels.begin() + start,
+                       task.val_labels.begin() + start + bn);
+        loss = options_.focal_gamma > 0.0f
+                   ? tape.FocalLoss(out, &labels_, options_.focal_gamma)
+                   : tape.SoftmaxCrossEntropy(out, &labels_);
+      } else {
+        targets_.assign(task.val_targets.begin() + start,
+                        task.val_targets.begin() + start + bn);
+        loss = tape.MseLoss(out, &targets_);
+      }
+      task_loss_sum += tape.value(loss).scalar() * static_cast<double>(bn);
+    }
+    // Sample-weighted mean over the task's batches == the task's mean
+    // loss, the same quantity full-graph validation reports per task.
+    val_loss_sum += task_loss_sum / static_cast<double>(n);
     *has_val = true;
   }
   return val_loss_sum;
@@ -304,7 +404,15 @@ Result<TrainSummary> Trainer::Run(const TrainCallbacks& callbacks) {
     EpochResult er;
     if (sampled) {
       er = RunSampledEpoch(epoch, &opt);
-      if (er.trained) val_loss_sum = ValidationLoss(&has_val);
+      if (er.trained && summary_.num_val_samples > 0) {
+        // Whole-graph validation when the store can serve it (matches full
+        // mode exactly); minibatched sampled validation otherwise (sharded
+        // stores have no full graph by design). Skipped outright with no
+        // validation samples — the whole-graph forward is not free.
+        val_loss_sum = store_->full_graph() != nullptr
+                           ? ValidationLoss(&has_val)
+                           : SampledValidationLoss(&has_val);
+      }
     } else {
       er = RunFullEpoch(&opt, &val_loss_sum, &has_val);
     }

@@ -9,6 +9,7 @@
 #include "gnn/hetero_sage.h"
 #include "graph/hetero_graph.h"
 #include "graph/sampler.h"
+#include "graph/store.h"
 #include "tensor/nn.h"
 
 namespace grimp {
@@ -64,14 +65,23 @@ struct TrainSummary {
 // Two modes (GrimpOptions::train):
 //  - kFull (default): one whole-graph forward per epoch; every training
 //    sample reads the same node embeddings. Bit-identical to the
-//    pre-Trainer loops.
+//    pre-Trainer loops. Requires a store with a full graph (in-memory).
 //  - kSampled: iterates per-task minibatches of `batch_size` samples; each
 //    step samples the batch's receptive field with NeighborSampler
 //    (TrainConfig::fanouts), runs the GNN only over those blocks, and takes
-//    one optimizer step. Validation (and early stopping) still runs one
-//    full-graph forward per epoch, so the two modes stay comparable.
-//    Sampling Rng streams derive from (seed, epoch, batch id) on the
-//    driver thread, so losses are identical at every GRIMP_NUM_THREADS.
+//    one optimizer step. When the store exposes a full graph, validation
+//    (and early stopping) still runs one full-graph forward per epoch, so
+//    the two modes stay comparable; over a sharded store (no full graph)
+//    validation is itself minibatched through the sampler on fixed,
+//    epoch-independent streams, keeping per-step memory bounded by the
+//    shard budget. Sampling Rng streams derive from (seed, epoch, batch
+//    id) on the driver thread, so losses are identical at every
+//    GRIMP_NUM_THREADS.
+//
+// The Trainer reads the graph exclusively through a GraphStore: an
+// in-memory store reproduces the old behavior exactly, a ShardedGraphStore
+// streams shard files through an LRU-bounded resident set (the sampler
+// prefetches each layer's shard frontier on the thread pool).
 //
 // The Trainer borrows everything it is given; it owns only the optimizer
 // state for the duration of Run().
@@ -79,8 +89,9 @@ class Trainer {
  public:
   // `gnn` may be null iff options.use_gnn is false. `node_features` is the
   // num_nodes x dim pre-trained feature matrix; `num_cols` the number of
-  // gather blocks per training vector.
-  Trainer(const GrimpOptions& options, const HeteroGraph* graph,
+  // gather blocks per training vector. `store` must outlive the Trainer;
+  // full mode requires store->full_graph() != nullptr.
+  Trainer(const GrimpOptions& options, const GraphStore* store,
           const Tensor* node_features, HeteroGnn* gnn, Mlp* shared,
           std::vector<TrainTask> tasks, int num_cols);
 
@@ -104,12 +115,22 @@ class Trainer {
   EpochResult RunFullEpoch(Adam* opt, double* val_loss_sum, bool* has_val);
   // One sampled epoch: per-task minibatches, one optimizer step each.
   EpochResult RunSampledEpoch(int epoch, Adam* opt);
-  // Full-graph validation forward (no backward); used by sampled mode.
-  // Non-const: records onto the persistent tape_.
+  // Full-graph validation forward (no backward); used by sampled mode over
+  // stores that expose a full graph. Non-const: records onto the
+  // persistent tape_.
   double ValidationLoss(bool* has_val);
+  // Minibatched validation through the sampler (no full graph needed; used
+  // over sharded stores). Streams are fixed per (task, batch) — never per
+  // epoch — so successive epochs score the same sampled receptive fields
+  // and early stopping compares like with like.
+  double SampledValidationLoss(bool* has_val);
+  void EnsureSampler();
+  // Gathers the receptive field's input features into a compact matrix
+  // (rows of node_features_ at sub_.input_nodes, on the thread pool).
+  Tensor GatherBlockFeatures() const;
 
   const GrimpOptions& options_;
-  const HeteroGraph* graph_;
+  const GraphStore* store_;
   const Tensor* node_features_;
   HeteroGnn* gnn_;
   Mlp* shared_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -39,6 +40,22 @@ std::string RandomName(Rng* rng) {
     name += kCodas[rng->Uniform(9)];
   }
   return name;
+}
+
+// First index whose cumulative weight exceeds u * total (u in [0, 1)).
+size_t SearchCdf(const std::vector<double>& cdf, double u) {
+  const double target = u * cdf.back();
+  size_t lo = 0;
+  size_t hi = cdf.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf[mid] <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 }  // namespace
@@ -207,9 +224,147 @@ Result<Table> GenerateDataset(const DatasetSpec& spec, uint64_t seed,
   return table;
 }
 
+Result<Table> GenerateLargeDataset(const DatasetSpec& spec, uint64_t seed,
+                                   int64_t rows_override) {
+  const int64_t rows = rows_override > 0 ? rows_override : spec.rows;
+  if (rows <= 0) return Status::InvalidArgument("rows must be positive");
+  if (spec.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    const auto& cat = spec.categorical[j];
+    if (cat.high_cardinality_text) {
+      return Status::InvalidArgument(
+          "GenerateLargeDataset cannot pre-intern high-cardinality text "
+          "column: " +
+          cat.name);
+    }
+    if (cat.cardinality <= 0) {
+      return Status::InvalidArgument("non-positive cardinality: " + cat.name);
+    }
+    if (cat.fd_parent >= 0 && static_cast<size_t>(cat.fd_parent) >= j) {
+      return Status::InvalidArgument(
+          "FD parent must precede child column: " + cat.name);
+    }
+  }
+  Rng rng(seed ^ Fnv1a(spec.name));
+
+  std::vector<Field> fields;
+  for (const auto& cat : spec.categorical) {
+    fields.push_back(Field{cat.name, AttrType::kCategorical});
+  }
+  for (const auto& num : spec.numerical) {
+    fields.push_back(Field{num.name, AttrType::kNumerical});
+  }
+  Table table{Schema(std::move(fields))};
+  for (int c = 0; c < table.num_cols(); ++c) {
+    table.mutable_column(c).Reserve(rows);
+  }
+
+  // Cluster assignment per row, mildly skewed (as in GenerateDataset).
+  const std::vector<double> cluster_w = ZipfWeights(spec.num_clusters, 0.7);
+  std::vector<int32_t> cluster(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    cluster[static_cast<size_t>(r)] =
+        static_cast<int32_t>(rng.Categorical(cluster_w));
+  }
+
+  for (size_t j = 0; j < spec.categorical.size(); ++j) {
+    const auto& cat = spec.categorical[j];
+    Column& col = table.mutable_column(static_cast<int>(j));
+    // Intern the domain up front, in code order: generator codes and
+    // dictionary codes then coincide, so FD children can read their
+    // parent's codes straight back out of the table.
+    Rng name_rng(Fnv1a(cat.name, seed) ^ 0xabcdef1234567ULL);
+    for (int v = 0; v < cat.cardinality; ++v) {
+      const int32_t code =
+          col.InternValue(RandomName(&name_rng) + "_" + std::to_string(v));
+      GRIMP_CHECK_EQ(code, v);
+    }
+    if (cat.fd_parent >= 0) {
+      const Column& parent = table.column(cat.fd_parent);
+      for (int64_t r = 0; r < rows; ++r) {
+        col.AppendCode(parent.CodeAt(r) % cat.cardinality);
+      }
+      continue;
+    }
+    const std::vector<double> marginal =
+        ZipfWeights(cat.cardinality, cat.zipf_s);
+    std::vector<double> cdf(marginal.size());
+    double acc = 0.0;
+    for (size_t v = 0; v < marginal.size(); ++v) {
+      acc += marginal[v];
+      cdf[v] = acc;
+    }
+    // Per-cluster preferred values, seeded exactly like GenerateDataset.
+    const uint64_t col_seed = Fnv1a(cat.name, seed);
+    std::vector<int32_t> preferred(static_cast<size_t>(spec.num_clusters));
+    for (int k = 0; k < spec.num_clusters; ++k) {
+      Rng pref_rng(col_seed * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(k) + 1);
+      preferred[static_cast<size_t>(k)] =
+          static_cast<int32_t>(pref_rng.Categorical(marginal));
+    }
+    const double conc = cat.concentration;
+    for (int64_t r = 0; r < rows; ++r) {
+      // One uniform draw decides both the mixture branch and, rescaled,
+      // the marginal value — the delta mixture of GenerateDataset without
+      // materializing a per-cluster distribution.
+      const double u = rng.NextDouble();
+      int32_t code;
+      if (u < conc || conc >= 1.0) {
+        code = preferred[static_cast<size_t>(
+            cluster[static_cast<size_t>(r)])];
+      } else {
+        code = static_cast<int32_t>(
+            SearchCdf(cdf, (u - conc) / (1.0 - conc)));
+      }
+      col.AppendCode(code);
+    }
+  }
+
+  for (size_t j = 0; j < spec.numerical.size(); ++j) {
+    const auto& num = spec.numerical[j];
+    Column& col =
+        table.mutable_column(static_cast<int>(spec.categorical.size() + j));
+    std::vector<double> means(static_cast<size_t>(spec.num_clusters));
+    for (int k = 0; k < spec.num_clusters; ++k) {
+      means[static_cast<size_t>(k)] = rng.NextGaussian() * num.cluster_spread;
+    }
+    const double scale = std::pow(10.0, num.decimals);
+    // Rounding bounds the distinct values, so the canonical string is
+    // formatted once per distinct quantized value, not once per cell.
+    std::unordered_map<int64_t, int32_t> code_of;
+    for (int64_t r = 0; r < rows; ++r) {
+      const double value =
+          means[static_cast<size_t>(cluster[static_cast<size_t>(r)])] +
+          rng.NextGaussian() * num.noise;
+      const int64_t q = std::llround(value * scale);
+      const double rounded = static_cast<double>(q) / scale;
+      auto [it, inserted] = code_of.try_emplace(q, 0);
+      if (inserted) {
+        it->second = col.InternValue(Column::CanonicalNumeric(rounded));
+      }
+      col.AppendCode(it->second, rounded);
+    }
+  }
+  GRIMP_RETURN_IF_ERROR(table.CommitBulkRows());
+  return table;
+}
+
 Result<Table> GenerateDatasetByName(const std::string& name, uint64_t seed,
                                     int64_t rows_override) {
   GRIMP_ASSIGN_OR_RETURN(auto spec, GetDatasetSpec(name));
+  const int64_t rows = rows_override > 0 ? rows_override : spec.rows;
+  bool has_text = false;
+  for (const auto& cat : spec.categorical) {
+    has_text |= cat.high_cardinality_text;
+  }
+  // The row-wise generator hashes every cell's string; past a quarter
+  // million rows the columnar path wins by more than an order of magnitude.
+  if (rows >= (1 << 18) && !has_text) {
+    return GenerateLargeDataset(spec, seed, rows_override);
+  }
   return GenerateDataset(spec, seed, rows_override);
 }
 
@@ -399,6 +554,26 @@ Result<DatasetSpec> GetDatasetSpec(const std::string& name) {
       s.categorical.push_back(
           {"cell" + std::to_string(i), 3, 0.15, 0.7, -1, false});
     }
+  } else if (name == "scale") {
+    // Out-of-core scale instance (deliberately NOT in AllDatasetNames):
+    // 5M rows, 6 categorical + 2 numerical. Domains stay in the low
+    // thousands so the graph is RID-dominated — ~5M RID nodes and ~80M
+    // directed edges across 8 edge types, roughly half a gigabyte of CSR.
+    // That is the regime the sharded GraphStore exists for; generate it
+    // with GenerateLargeDataset (GenerateDatasetByName does).
+    s.abbreviation = "SC";
+    s.rows = 5000000;
+    s.num_clusters = 16;
+    s.categorical = {
+        {"merchant", 2000, 1.1, 0.8, -1, false},
+        {"category", 40, 0.9, 0.8, -1, false},
+        {"segment", 8, 0.0, 0.0, 1, false},  // FD: category->segment
+        {"region", 50, 1.4, 0.75, -1, false},
+        {"channel", 4, 0.8, 0.7, -1, false},
+        {"status", 6, 1.6, 0.7, -1, false},
+    };
+    s.numerical = {{"amount", 2.5, 1.0, 2}, {"quantity", 1.2, 0.5, 0}};
+    s.fd_specs = {"category->segment"};
   } else {
     return Status::NotFound("unknown dataset: " + name);
   }

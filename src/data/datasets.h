@@ -57,7 +57,10 @@ struct DatasetSpec {
   std::vector<std::string> fd_specs;
 };
 
-// The ten evaluation datasets (paper §4.1, Table 1).
+// The ten evaluation datasets (paper §4.1, Table 1). GetDatasetSpec also
+// resolves "scale", a 5M-row spec for the out-of-core sharding experiments
+// that is deliberately NOT in this list (every name here is swept by the
+// parameterized tests and accuracy benches, where 5M rows has no place).
 std::vector<std::string> AllDatasetNames();
 Result<DatasetSpec> GetDatasetSpec(const std::string& name);
 
@@ -68,6 +71,17 @@ Result<Table> GenerateDataset(const DatasetSpec& spec, uint64_t seed,
                               int64_t rows_override = -1);
 Result<Table> GenerateDatasetByName(const std::string& name, uint64_t seed,
                                     int64_t rows_override = -1);
+
+// Fast columnar generator for multi-million-row specs: same generative
+// model as GenerateDataset, but each column's value domain is interned
+// into its dictionary once and cells are appended as dense codes
+// (Column::AppendCode), skipping the per-cell string materialization that
+// dominates AppendRow at scale. High-cardinality text columns are
+// rejected (their domain is proportional to the row count, so there is
+// nothing to pre-intern). GenerateDatasetByName dispatches here
+// automatically for large eligible instances.
+Result<Table> GenerateLargeDataset(const DatasetSpec& spec, uint64_t seed,
+                                   int64_t rows_override = -1);
 
 // Resolves a spec's fd_specs against a generated table's schema.
 Result<std::vector<FunctionalDependency>> ResolveFds(const DatasetSpec& spec,

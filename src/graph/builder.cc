@@ -36,18 +36,36 @@ CsrAdjacency CapNeighbors(const CsrAdjacency& adj, int cap, Rng* rng) {
 }
 }  // namespace
 
-TableGraph BuildTableGraph(const Table& table,
-                           const std::vector<CellRef>& excluded_cells,
-                           const GraphBuildOptions& options) {
+Result<TableGraph> GraphBuilder::Build(
+    const Table& table, const std::vector<CellRef>& excluded_cells) const {
   GRIMP_TRACE_SPAN("graph_build");
-  TableGraph tg;
   const int64_t n = table.num_rows();
   const int m = table.num_cols();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "cannot build a graph over an empty table (0 rows)");
+  }
+  if (m == 0) {
+    return Status::InvalidArgument(
+        "cannot build a graph over a table with no columns");
+  }
+  if (options_.max_neighbors_per_node < 0) {
+    return Status::InvalidArgument(
+        "GraphBuildOptions.max_neighbors_per_node must be >= 0, got " +
+        std::to_string(options_.max_neighbors_per_node));
+  }
 
+  TableGraph tg;
   // Fast exclusion lookup keyed by row * m + col.
   std::unordered_set<int64_t> excluded;
   excluded.reserve(excluded_cells.size() * 2);
   for (const CellRef& cell : excluded_cells) {
+    if (cell.row < 0 || cell.row >= n || cell.col < 0 || cell.col >= m) {
+      return Status::OutOfRange(
+          "excluded cell (" + std::to_string(cell.row) + ", " +
+          std::to_string(cell.col) + ") outside a " + std::to_string(n) +
+          "x" + std::to_string(m) + " table");
+    }
     excluded.insert(cell.row * m + cell.col);
   }
 
@@ -93,14 +111,22 @@ TableGraph BuildTableGraph(const Table& table,
     }
     adjacency.push_back(CsrAdjacency::FromEdges(num_nodes, edges));
   }
-  if (options.max_neighbors_per_node > 0) {
-    Rng rng(options.seed ^ 0x5eedc0ffeeULL);
+  if (options_.max_neighbors_per_node > 0) {
+    Rng rng(options_.seed ^ 0x5eedc0ffeeULL);
     for (auto& adj : adjacency) {
-      adj = CapNeighbors(adj, options.max_neighbors_per_node, &rng);
+      adj = CapNeighbors(adj, options_.max_neighbors_per_node, &rng);
     }
   }
   tg.graph.SetAdjacency(std::move(adjacency));
   return tg;
+}
+
+TableGraph BuildTableGraph(const Table& table,
+                           const std::vector<CellRef>& excluded_cells,
+                           const GraphBuildOptions& options) {
+  Result<TableGraph> tg = GraphBuilder(options).Build(table, excluded_cells);
+  GRIMP_CHECK(tg.ok()) << tg.status().ToString();
+  return std::move(tg).ValueOrDie();
 }
 
 }  // namespace grimp

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/result.h"
 #include "graph/hetero_graph.h"
 #include "table/corruption.h"
 #include "table/table.h"
@@ -42,6 +43,28 @@ struct GraphBuildOptions {
 // Missing cells contribute no edges. Cells listed in `excluded_cells`
 // (e.g. validation targets, §3.6) contribute no edges either, though their
 // value node still exists if other rows share the value.
+//
+// Build reports malformed input as typed errors instead of aborting:
+// InvalidArgument for an empty table (no rows or no columns) or a negative
+// neighbor cap, OutOfRange for an excluded cell outside the table.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphBuildOptions options = {})
+      : options_(options) {}
+
+  Result<TableGraph> Build(
+      const Table& table,
+      const std::vector<CellRef>& excluded_cells = {}) const;
+
+  const GraphBuildOptions& options() const { return options_; }
+
+ private:
+  GraphBuildOptions options_;
+};
+
+// Convenience wrapper over GraphBuilder for callers that construct from
+// known-good tables (tests, benches): CHECK-fails on the errors Build
+// reports.
 TableGraph BuildTableGraph(const Table& table,
                            const std::vector<CellRef>& excluded_cells = {},
                            const GraphBuildOptions& options = {});

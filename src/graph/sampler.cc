@@ -1,17 +1,69 @@
 #include "graph/sampler.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace grimp {
 
-NeighborSampler::NeighborSampler(const HeteroGraph* graph,
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Seed of one destination node's draw stream for one layer and edge type.
+// A pure function of the per-Sample nonce and the (layer, type, node)
+// coordinates — never of the order nodes are visited in — so regrouping
+// the frontier by shard cannot change what gets drawn.
+uint64_t DrawSeed(uint64_t nonce, int layer, int type, int32_t node) {
+  return SplitMix64(
+      SplitMix64(SplitMix64(nonce ^ static_cast<uint64_t>(layer)) ^
+                 static_cast<uint64_t>(type)) ^
+      static_cast<uint64_t>(node));
+}
+
+std::unique_ptr<GraphStore> MakeDefaultStore(const HeteroGraph* graph) {
+  int shards = 0;
+  if (const char* env = std::getenv("GRIMP_SHARDS")) shards = std::atoi(env);
+  if (shards <= 0) return std::make_unique<InMemoryGraphStore>(graph);
+  ShardedGraphStore::Options options;
+  options.num_shards = shards;
+  // Effectively unbounded unless the test caps it: the env hook proves
+  // shard-count invariance; eviction behavior has its own direct tests.
+  options.max_resident_bytes = 1ll << 40;
+  if (const char* env = std::getenv("GRIMP_SHARD_BUDGET_MB")) {
+    const long mb = std::atol(env);
+    if (mb > 0) options.max_resident_bytes = static_cast<int64_t>(mb) << 20;
+  }
+  auto store = ShardedGraphStore::Create(*graph, options);
+  GRIMP_CHECK(store.ok()) << "GRIMP_SHARDS store creation failed: "
+                          << store.status().ToString();
+  return std::move(store).ValueOrDie();
+}
+
+}  // namespace
+
+NeighborSampler::NeighborSampler(const GraphStore* store,
                                  std::vector<int> fanouts)
-    : graph_(graph), fanouts_(std::move(fanouts)) {
-  GRIMP_CHECK(graph_ != nullptr);
+    : store_(store), fanouts_(std::move(fanouts)) {
+  GRIMP_CHECK(store_ != nullptr);
   GRIMP_CHECK(!fanouts_.empty());
   for (int fanout : fanouts_) GRIMP_CHECK_GT(fanout, 0);
+}
+
+NeighborSampler::NeighborSampler(const HeteroGraph* graph,
+                                 std::vector<int> fanouts)
+    : store_(nullptr), fanouts_(std::move(fanouts)) {
+  GRIMP_CHECK(graph != nullptr);
+  GRIMP_CHECK(!fanouts_.empty());
+  for (int fanout : fanouts_) GRIMP_CHECK_GT(fanout, 0);
+  owned_store_ = MakeDefaultStore(graph);
+  store_ = owned_store_.get();
 }
 
 std::vector<int32_t> NeighborSampler::TakeVec() const {
@@ -33,15 +85,54 @@ SampledSubgraph NeighborSampler::Sample(const std::vector<int32_t>& seeds,
   return out;
 }
 
+void NeighborSampler::SampleNode(const GraphShard& shard, int layer,
+                                 int64_t frontier_size, int64_t dst_index,
+                                 int32_t node, uint64_t nonce) const {
+  const int fanout = fanouts_[static_cast<size_t>(layer)];
+  const int num_types = shard.num_edge_types();
+  for (int t = 0; t < num_types; ++t) {
+    const auto [begin, end] = shard.Neighbors(t, node);
+    const int degree = static_cast<int>(end - begin);
+    int32_t* draws =
+        draw_scratch_.data() +
+        (static_cast<int64_t>(t) * frontier_size + dst_index) * fanout;
+    int32_t count;
+    if (degree <= fanout) {
+      for (int k = 0; k < degree; ++k) draws[k] = begin[k];
+      count = degree;
+    } else {
+      // Partial Fisher-Yates: the first `fanout` entries of a uniformly
+      // shuffled copy, i.e. a uniform sample without replacement in
+      // O(degree + fanout), drawn from this node's own stream.
+      Rng stream(DrawSeed(nonce, layer, t, node));
+      shuffle_scratch_.assign(begin, end);
+      for (int k = 0; k < fanout; ++k) {
+        const size_t j = static_cast<size_t>(k) +
+                         static_cast<size_t>(stream.Uniform(
+                             static_cast<uint64_t>(degree - k)));
+        std::swap(shuffle_scratch_[static_cast<size_t>(k)],
+                  shuffle_scratch_[j]);
+        draws[k] = shuffle_scratch_[static_cast<size_t>(k)];
+      }
+      count = fanout;
+    }
+    draw_count_[static_cast<size_t>(t * frontier_size + dst_index)] = count;
+  }
+}
+
 void NeighborSampler::Sample(const std::vector<int32_t>& seeds, Rng* rng,
                              SampledSubgraph* out) const {
   GRIMP_CHECK(out != nullptr);
   const int num_layers = static_cast<int>(fanouts_.size());
-  const int num_types = graph_->num_edge_types();
-  const int64_t num_nodes = graph_->num_nodes();
+  const int num_types = store_->num_edge_types();
+  const int num_shards = store_->num_shards();
+  const int64_t num_nodes = store_->num_nodes();
   if (static_cast<int64_t>(local_id_.size()) < num_nodes) {
     local_id_.assign(static_cast<size_t>(num_nodes), -1);
   }
+  // One nonce per call keeps successive Samples decorrelated while leaving
+  // every per-node stream independent of traversal order.
+  const uint64_t nonce = rng->Next();
 
   // Scavenge the previous call's storage before overwriting anything: every
   // index vector inside *out goes back to the pool with its capacity, and
@@ -67,15 +158,80 @@ void NeighborSampler::Sample(const std::vector<int32_t>& seeds, Rng* rng,
   std::vector<int32_t> cur = TakeVec();
   cur.assign(seeds.begin(), seeds.end());
 
+  // Per-shard frontier grouping scratch (recycled across layers).
+  std::vector<int32_t> shard_of = TakeVec();
+  std::vector<int32_t> shard_start = TakeVec();
+  std::vector<int32_t> order = TakeVec();
+
   for (int l = num_layers - 1; l >= 0; --l) {
     const int fanout = fanouts_[static_cast<size_t>(l)];
+    const int64_t frontier = static_cast<int64_t>(cur.size());
     GraphBlock& block = out->blocks[static_cast<size_t>(l)];
-    block.num_dst = static_cast<int64_t>(cur.size());
+    block.num_dst = frontier;
     block.adjacency.reserve(static_cast<size_t>(num_types));
+    draw_scratch_.resize(static_cast<size_t>(num_types) *
+                         static_cast<size_t>(frontier) *
+                         static_cast<size_t>(fanout));
+    draw_count_.resize(static_cast<size_t>(num_types) *
+                       static_cast<size_t>(frontier));
 
-    // Local ids: destinations first (in `cur` order), then neighbors in
-    // first-touch order. Touch order — never hash or memory order — decides
-    // ids, so blocks are deterministic.
+    // Pass 1: resolve every frontier node's draws, touching each shard
+    // exactly once. The single-shard store (the in-memory default) skips
+    // the grouping entirely.
+    if (num_shards == 1) {
+      ShardScope scope = store_->Acquire(0);
+      for (int64_t i = 0; i < frontier; ++i) {
+        SampleNode(*scope, l, frontier, i,
+                   cur[static_cast<size_t>(i)], nonce);
+      }
+    } else {
+      // Counting sort of the frontier by shard: shard_start becomes the
+      // prefix table, order the member positions grouped by shard.
+      shard_of.resize(static_cast<size_t>(frontier));
+      shard_start.assign(static_cast<size_t>(num_shards) + 1, 0);
+      for (int64_t i = 0; i < frontier; ++i) {
+        const int s = store_->ShardOf(cur[static_cast<size_t>(i)]);
+        shard_of[static_cast<size_t>(i)] = s;
+        ++shard_start[static_cast<size_t>(s) + 1];
+      }
+      for (int s = 0; s < num_shards; ++s) {
+        shard_start[static_cast<size_t>(s) + 1] +=
+            shard_start[static_cast<size_t>(s)];
+      }
+      order.resize(static_cast<size_t>(frontier));
+      {
+        std::vector<int32_t> cursor = TakeVec();
+        cursor.assign(shard_start.begin(), shard_start.end() - 1);
+        for (int64_t i = 0; i < frontier; ++i) {
+          const int s = shard_of[static_cast<size_t>(i)];
+          order[static_cast<size_t>(cursor[static_cast<size_t>(s)]++)] =
+              static_cast<int32_t>(i);
+        }
+        Recycle(std::move(cursor));
+      }
+      prefetch_scratch_.clear();
+      for (int s = 0; s < num_shards; ++s) {
+        if (shard_start[static_cast<size_t>(s) + 1] >
+            shard_start[static_cast<size_t>(s)]) {
+          prefetch_scratch_.push_back(s);
+        }
+      }
+      store_->Prefetch(prefetch_scratch_);
+      for (int s : prefetch_scratch_) {
+        ShardScope scope = store_->Acquire(s);
+        for (int32_t pos = shard_start[static_cast<size_t>(s)];
+             pos < shard_start[static_cast<size_t>(s) + 1]; ++pos) {
+          const int64_t i = order[static_cast<size_t>(pos)];
+          SampleNode(*scope, l, frontier, i,
+                     cur[static_cast<size_t>(i)], nonce);
+        }
+      }
+    }
+
+    // Pass 2: assemble the block in canonical (type, destination, draw)
+    // order. Local ids: destinations first (in `cur` order), then drawn
+    // neighbors in first-touch order — independent of how pass 1 grouped
+    // the work.
     std::vector<int32_t> src = TakeVec();
     src.assign(cur.begin(), cur.end());
     for (size_t i = 0; i < cur.size(); ++i) {
@@ -83,42 +239,24 @@ void NeighborSampler::Sample(const std::vector<int32_t>& seeds, Rng* rng,
       GRIMP_CHECK_EQ(slot, -1);  // seeds / frontier must be distinct
       slot = static_cast<int32_t>(i);
     }
-
     for (int t = 0; t < num_types; ++t) {
-      const CsrAdjacency& adj = graph_->adjacency(t);
       std::vector<int32_t> offsets = TakeVec();
       offsets.push_back(0);
       std::vector<int32_t> indices = TakeVec();
-      auto add_neighbor = [&](int32_t global) {
-        int32_t& slot = local_id_[static_cast<size_t>(global)];
-        if (slot < 0) {
-          slot = static_cast<int32_t>(src.size());
-          src.push_back(global);
-        }
-        indices.push_back(slot);
-      };
-      for (int32_t v : cur) {
-        const auto [begin, end] = adj.NeighborRange(v);
-        const int degree = end - begin;
-        if (degree <= fanout) {
-          for (int32_t k = begin; k < end; ++k) {
-            add_neighbor(adj.indices()[static_cast<size_t>(k)]);
+      const int32_t* draws =
+          draw_scratch_.data() + static_cast<int64_t>(t) * frontier * fanout;
+      const int32_t* counts = draw_count_.data() +
+                              static_cast<int64_t>(t) * frontier;
+      for (int64_t i = 0; i < frontier; ++i) {
+        const int32_t count = counts[i];
+        for (int32_t k = 0; k < count; ++k) {
+          const int32_t global = draws[i * fanout + k];
+          int32_t& slot = local_id_[static_cast<size_t>(global)];
+          if (slot < 0) {
+            slot = static_cast<int32_t>(src.size());
+            src.push_back(global);
           }
-        } else {
-          // Partial Fisher-Yates: the first `fanout` entries of a
-          // uniformly shuffled copy, i.e. a uniform sample without
-          // replacement in O(degree + fanout).
-          shuffle_scratch_.assign(adj.indices().begin() + begin,
-                                  adj.indices().begin() + end);
-          for (int k = 0; k < fanout; ++k) {
-            const size_t j =
-                static_cast<size_t>(k) +
-                static_cast<size_t>(rng->Uniform(
-                    static_cast<uint64_t>(degree - k)));
-            std::swap(shuffle_scratch_[static_cast<size_t>(k)],
-                      shuffle_scratch_[j]);
-            add_neighbor(shuffle_scratch_[static_cast<size_t>(k)]);
-          }
+          indices.push_back(slot);
         }
         offsets.push_back(static_cast<int32_t>(indices.size()));
       }
@@ -134,6 +272,9 @@ void NeighborSampler::Sample(const std::vector<int32_t>& seeds, Rng* rng,
     Recycle(std::move(src));  // the previous frontier's storage
   }
 
+  Recycle(std::move(shard_of));
+  Recycle(std::move(shard_start));
+  Recycle(std::move(order));
   out->input_nodes = std::move(cur);
 }
 

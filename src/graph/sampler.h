@@ -2,10 +2,12 @@
 #define GRIMP_GRAPH_SAMPLER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/hetero_graph.h"
+#include "graph/store.h"
 
 namespace grimp {
 
@@ -38,14 +40,23 @@ struct SampledSubgraph {
   int num_layers() const { return static_cast<int>(blocks.size()); }
 };
 
-// Layer-wise neighbor sampler over a HeteroGraph (paper §7's graph-pruning
+// Layer-wise neighbor sampler over a GraphStore (paper §7's graph-pruning
 // direction, realized per training step instead of statically — see
-// GrimpOptions::neighbor_cap for the static variant). For each layer l
+// GraphConfig::neighbor_cap for the static variant). For each layer l
 // (outermost first) every destination node keeps min(fanouts[l], degree)
 // neighbors per edge type, drawn without replacement from the *full*
 // neighbor list, so hub cell nodes no longer drag their whole row set into
-// every step. Sampling is a pure function of the graph, the seeds and the
-// Rng state: fixed seed -> identical blocks, regardless of thread count.
+// every step.
+//
+// Each layer is resolved in two passes: the frontier is grouped by shard,
+// the store prefetches the missing shards in parallel, and each shard is
+// acquired exactly once while its members' neighbor draws fill a flat
+// scratch buffer; the blocks are then assembled in canonical (type,
+// destination, draw) order. Every destination draws from its own RNG
+// stream keyed on (Sample-call nonce, layer, edge type, global node id),
+// never on traversal order — so the blocks are a pure function of the
+// graph, the seeds and the caller's Rng state, bit-identical across thread
+// counts, shard counts, and store implementations.
 //
 // The sampler keeps internal scratch (a dense node->local-id remap and a
 // pool of recycled index vectors) so that steady-state Sample calls into a
@@ -54,8 +65,17 @@ struct SampledSubgraph {
 // samples on its driver thread, which also keeps the blocks deterministic).
 class NeighborSampler {
  public:
-  // `graph` must outlive the sampler. fanouts[l] > 0 applies to GNN layer
+  // `store` must outlive the sampler. fanouts[l] > 0 applies to GNN layer
   // l; fanouts.size() is the number of blocks Sample produces.
+  NeighborSampler(const GraphStore* store, std::vector<int> fanouts);
+
+  // Convenience: samples `graph` through an internally owned store.
+  // Normally the in-memory single-shard store; when the GRIMP_SHARDS
+  // environment variable is a positive integer, the graph is instead
+  // spilled into that many shards and read back through a
+  // ShardedGraphStore — the test suites use this to prove shard-count
+  // invariance without touching call sites. `graph` must outlive the
+  // sampler.
   NeighborSampler(const HeteroGraph* graph, std::vector<int> fanouts);
 
   // Seeds must be distinct, valid node ids (callers dedup while building
@@ -70,17 +90,30 @@ class NeighborSampler {
               SampledSubgraph* out) const;
 
   const std::vector<int>& fanouts() const { return fanouts_; }
+  const GraphStore& store() const { return *store_; }
 
  private:
   std::vector<int32_t> TakeVec() const;
   void Recycle(std::vector<int32_t> v) const;
+  // Draws up to fanouts_[layer] neighbors of `node` per edge type out of
+  // `shard` into the per-layer flat scratch (`dst_index` = the node's
+  // position in the current frontier).
+  void SampleNode(const GraphShard& shard, int layer, int64_t frontier_size,
+                  int64_t dst_index, int32_t node, uint64_t nonce) const;
 
-  const HeteroGraph* graph_;
+  const GraphStore* store_;
+  std::unique_ptr<GraphStore> owned_store_;
   std::vector<int> fanouts_;
   // Sample scratch (see class comment). local_id_[g] is g's local row id in
   // the layer currently being built, -1 outside Sample and between layers.
   mutable std::vector<int32_t> local_id_;
   mutable std::vector<int32_t> shuffle_scratch_;
+  // Pass-1 output: draw_scratch_[(t * frontier + i) * fanout + k] is the
+  // k-th drawn global neighbor of frontier node i under type t, with
+  // draw_count_[t * frontier + i] valid entries.
+  mutable std::vector<int32_t> draw_scratch_;
+  mutable std::vector<int32_t> draw_count_;
+  mutable std::vector<int> prefetch_scratch_;
   mutable std::vector<std::vector<int32_t>> pool_;
 };
 

@@ -1,0 +1,367 @@
+#include "graph/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace grimp {
+
+namespace {
+
+Counter& FetchCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("graph.shard.fetches");
+  return c;
+}
+Counter& EvictCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("graph.shard.evictions");
+  return c;
+}
+Counter& HitCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter("graph.shard.hits");
+  return c;
+}
+
+}  // namespace
+
+Status GraphConfig::Validate() const {
+  if (neighbor_cap < 0) {
+    return Status::InvalidArgument(
+        "GraphConfig.neighbor_cap must be >= 0, got " +
+        std::to_string(neighbor_cap));
+  }
+  if (num_shards < 0) {
+    return Status::InvalidArgument(
+        "GraphConfig.num_shards must be >= 0, got " +
+        std::to_string(num_shards));
+  }
+  if (shard_mode == ShardMode::kSharded && max_resident_bytes <= 0) {
+    return Status::InvalidArgument(
+        "GraphConfig.shard_mode=sharded requires max_resident_bytes > 0, "
+        "got " +
+        std::to_string(max_resident_bytes));
+  }
+  return Status::OK();
+}
+
+ShardScope& ShardScope::operator=(ShardScope&& other) noexcept {
+  if (this != &other) {
+    Release();
+    store_ = other.store_;
+    index_ = other.index_;
+    shard_ = other.shard_;
+    other.store_ = nullptr;
+    other.index_ = -1;
+    other.shard_ = nullptr;
+  }
+  return *this;
+}
+
+void ShardScope::Release() {
+  if (store_ != nullptr) store_->Release(index_);
+  store_ = nullptr;
+  index_ = -1;
+  shard_ = nullptr;
+}
+
+void GraphStore::Prefetch(const std::vector<int>&) const {}
+void GraphStore::Release(int) const {}
+
+InMemoryGraphStore::InMemoryGraphStore(const HeteroGraph* graph)
+    : graph_(graph), shard_(GraphShard::View(*graph)) {}
+
+ShardScope InMemoryGraphStore::Acquire(int s) const {
+  GRIMP_CHECK_EQ(s, 0);
+  return ShardScope(this, 0, &shard_);
+}
+
+Result<std::unique_ptr<ShardedGraphStore>> ShardedGraphStore::Create(
+    const HeteroGraph& graph, const Options& options) {
+  if (graph.num_nodes() <= 0) {
+    return Status::InvalidArgument(
+        "ShardedGraphStore requires a non-empty graph");
+  }
+  if (options.max_resident_bytes <= 0) {
+    return Status::InvalidArgument(
+        "ShardedGraphStore.max_resident_bytes must be > 0, got " +
+        std::to_string(options.max_resident_bytes));
+  }
+  if (options.num_shards < 0) {
+    return Status::InvalidArgument(
+        "ShardedGraphStore.num_shards must be >= 0, got " +
+        std::to_string(options.num_shards));
+  }
+
+  const int64_t n = graph.num_nodes();
+  const int num_types = graph.num_edge_types();
+
+  // Per-node adjacency cost in bytes: one offset slot per type plus this
+  // node's neighbor entries across all types. The degree-balanced cut below
+  // equalizes the byte footprint of the shards, not their node counts —
+  // cell-value nodes are far sparser than RID nodes.
+  std::vector<const int32_t*> offsets(static_cast<size_t>(num_types));
+  int64_t total_cost = static_cast<int64_t>(num_types) * (n + 1) *
+                       static_cast<int64_t>(sizeof(int32_t));
+  for (int t = 0; t < num_types; ++t) {
+    const CsrAdjacency& adj = graph.adjacency(t);
+    GRIMP_CHECK_EQ(adj.num_nodes(), n);
+    offsets[static_cast<size_t>(t)] = adj.offsets().data();
+    total_cost += static_cast<int64_t>(adj.num_edges()) *
+                  static_cast<int64_t>(sizeof(int32_t));
+  }
+
+  int num_shards = options.num_shards;
+  if (num_shards == 0) {
+    // Auto: ~4 shards per budget's worth of adjacency, so the LRU can hold
+    // several shards at once and still have room to rotate.
+    num_shards = static_cast<int>(
+        (4 * total_cost + options.max_resident_bytes - 1) /
+        options.max_resident_bytes);
+  }
+  num_shards =
+      static_cast<int>(std::clamp<int64_t>(num_shards, 1, std::min<int64_t>(
+                                                              n, 1 << 20)));
+
+  auto store = std::unique_ptr<ShardedGraphStore>(new ShardedGraphStore());
+  store->num_nodes_ = n;
+  store->num_edge_types_ = num_types;
+  store->max_resident_bytes_ = options.max_resident_bytes;
+  store->spill_dir_ = options.spill_dir;
+  if (store->spill_dir_.empty()) {
+    std::string tmpl = "/tmp/grimp_shards_XXXXXX";
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      return Status::IoError("cannot create shard spill directory");
+    }
+    store->spill_dir_ = tmpl;
+    store->owns_spill_dir_ = true;
+  }
+
+  // Degree-balanced contiguous boundaries: cut shard k where the running
+  // byte cost crosses k/num_shards of the total.
+  std::vector<int64_t>& bounds = store->boundaries_;
+  bounds.assign(static_cast<size_t>(num_shards) + 1, n);
+  bounds[0] = 0;
+  int64_t acc = 0;
+  int next_cut = 1;
+  for (int64_t v = 0; v < n && next_cut < num_shards; ++v) {
+    int64_t cost = static_cast<int64_t>(num_types) * sizeof(int32_t);
+    for (int t = 0; t < num_types; ++t) {
+      const int32_t* off = offsets[static_cast<size_t>(t)];
+      cost += static_cast<int64_t>(off[v + 1] - off[v]) * sizeof(int32_t);
+    }
+    acc += cost;
+    while (next_cut < num_shards &&
+           acc * num_shards >= total_cost * next_cut) {
+      bounds[static_cast<size_t>(next_cut++)] = v + 1;
+    }
+  }
+
+  // Slice and spill every shard; shards are independent, so this fans out
+  // on the global pool (nested calls run inline, so Create is safe to call
+  // from a worker).
+  store->states_.resize(static_cast<size_t>(num_shards));
+  std::vector<Status> statuses(static_cast<size_t>(num_shards));
+  ThreadPool::Global().ParallelFor(
+      0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          ShardState& state = store->states_[static_cast<size_t>(s)];
+          state.path = store->spill_dir_ + "/shard_" + std::to_string(s) +
+                       ".bin";
+          GraphShard shard = GraphShard::Slice(
+              graph, bounds[static_cast<size_t>(s)],
+              bounds[static_cast<size_t>(s) + 1]);
+          state.size_bytes = shard.SizeBytes();
+          statuses[static_cast<size_t>(s)] = shard.WriteTo(state.path);
+        }
+      });
+  for (const Status& st : statuses) GRIMP_RETURN_IF_ERROR(st);
+
+  for (const ShardState& state : store->states_) {
+    store->total_bytes_ += state.size_bytes;
+  }
+  MetricsRegistry::Global().GetGauge("graph.shard.count")
+      .Set(static_cast<double>(num_shards));
+  MetricsRegistry::Global().GetGauge("graph.shard.total_bytes")
+      .Set(static_cast<double>(store->total_bytes_));
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    store->PublishGauges();
+  }
+  return store;
+}
+
+ShardedGraphStore::~ShardedGraphStore() {
+  for (const ShardState& state : states_) {
+    if (!state.path.empty()) std::remove(state.path.c_str());
+  }
+  if (owns_spill_dir_) rmdir(spill_dir_.c_str());
+}
+
+int ShardedGraphStore::ShardOf(int64_t node) const {
+  GRIMP_DCHECK(node >= 0 && node < num_nodes_);
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), node);
+  return static_cast<int>(it - boundaries_.begin()) - 1;
+}
+
+ShardScope ShardedGraphStore::Acquire(int s) const {
+  GRIMP_CHECK(s >= 0 && s < num_shards());
+  std::unique_lock<std::mutex> lock(mu_);
+  ShardState& state = states_[static_cast<size_t>(s)];
+  for (;;) {
+    if (state.state == State::kResident) {
+      HitCounter().Increment();
+      ++state.pins;
+      state.lru_tick = ++lru_clock_;
+      return ShardScope(this, s, &state.shard);
+    }
+    if (state.state == State::kLoading) {
+      load_cv_.wait(lock);
+      continue;
+    }
+    // Unloaded: reserve the bytes (so concurrent loads respect the budget),
+    // load outside the lock, publish. A lone shard larger than the budget
+    // still loads — the budget bounds the steady state, not a single shard.
+    EvictForLocked(state.size_bytes, s);
+    state.state = State::kLoading;
+    resident_bytes_ += state.size_bytes;
+    high_water_bytes_ = std::max(high_water_bytes_, resident_bytes_);
+    FetchCounter().Increment();
+    PublishGauges();
+    lock.unlock();
+    Result<GraphShard> loaded = GraphShard::ReadFrom(state.path);
+    GRIMP_CHECK(loaded.ok()) << "shard load failed: "
+                             << loaded.status().ToString();
+    lock.lock();
+    state.shard = std::move(loaded).ValueOrDie();
+    state.state = State::kResident;
+    ++state.pins;
+    state.lru_tick = ++lru_clock_;
+    PublishGauges();
+    lock.unlock();
+    load_cv_.notify_all();
+    return ShardScope(this, s, &state.shard);
+  }
+}
+
+void ShardedGraphStore::Prefetch(const std::vector<int>& shards) const {
+  std::vector<int> to_load;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int s : shards) {
+      if (s < 0 || s >= num_shards()) continue;
+      ShardState& state = states_[static_cast<size_t>(s)];
+      if (state.state != State::kUnloaded) continue;
+      EvictForLocked(state.size_bytes, s);
+      if (resident_bytes_ > 0 &&
+          resident_bytes_ + state.size_bytes > max_resident_bytes_) {
+        continue;  // best-effort: budget full, demand loading will handle it
+      }
+      state.state = State::kLoading;
+      resident_bytes_ += state.size_bytes;
+      high_water_bytes_ = std::max(high_water_bytes_, resident_bytes_);
+      FetchCounter().Increment();
+      to_load.push_back(s);
+    }
+    PublishGauges();
+  }
+  if (to_load.empty()) return;
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(to_load.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int s = to_load[static_cast<size_t>(i)];
+          ShardState& state = states_[static_cast<size_t>(s)];
+          Result<GraphShard> loaded = GraphShard::ReadFrom(state.path);
+          GRIMP_CHECK(loaded.ok()) << "shard load failed: "
+                                   << loaded.status().ToString();
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            state.shard = std::move(loaded).ValueOrDie();
+            state.state = State::kResident;
+            state.lru_tick = ++lru_clock_;
+            PublishGauges();
+          }
+          load_cv_.notify_all();
+        }
+      });
+}
+
+void ShardedGraphStore::Release(int s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& state = states_[static_cast<size_t>(s)];
+  GRIMP_DCHECK(state.pins > 0);
+  --state.pins;
+}
+
+void ShardedGraphStore::EvictForLocked(int64_t need, int except) const {
+  while (resident_bytes_ + need > max_resident_bytes_) {
+    int victim = -1;
+    uint64_t oldest = 0;
+    for (int s = 0; s < num_shards(); ++s) {
+      const ShardState& state = states_[static_cast<size_t>(s)];
+      if (s == except || state.state != State::kResident || state.pins > 0) {
+        continue;
+      }
+      if (victim < 0 || state.lru_tick < oldest) {
+        victim = s;
+        oldest = state.lru_tick;
+      }
+    }
+    if (victim < 0) return;  // everything resident is pinned or loading
+    ShardState& state = states_[static_cast<size_t>(victim)];
+    state.shard = GraphShard();
+    state.state = State::kUnloaded;
+    resident_bytes_ -= state.size_bytes;
+    EvictCounter().Increment();
+  }
+}
+
+void ShardedGraphStore::PublishGauges() const {
+  int resident = 0;
+  for (const ShardState& state : states_) {
+    if (state.state == State::kResident) ++resident;
+  }
+  static Gauge& resident_shards =
+      MetricsRegistry::Global().GetGauge("graph.shard.resident_shards");
+  static Gauge& resident_bytes =
+      MetricsRegistry::Global().GetGauge("graph.shard.resident_bytes");
+  static Gauge& high_water = MetricsRegistry::Global().GetGauge(
+      "graph.shard.resident_high_water_bytes");
+  resident_shards.Set(static_cast<double>(resident));
+  resident_bytes.Set(static_cast<double>(resident_bytes_));
+  high_water.Set(static_cast<double>(high_water_bytes_));
+}
+
+int64_t ShardedGraphStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+int64_t ShardedGraphStore::high_water_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_bytes_;
+}
+
+Result<std::unique_ptr<GraphStore>> MakeGraphStore(const HeteroGraph& graph,
+                                                   const GraphConfig& config) {
+  GRIMP_RETURN_IF_ERROR(config.Validate());
+  if (config.shard_mode == ShardMode::kInMemory) {
+    return std::unique_ptr<GraphStore>(new InMemoryGraphStore(&graph));
+  }
+  ShardedGraphStore::Options options;
+  options.num_shards = config.num_shards;
+  options.max_resident_bytes = config.max_resident_bytes;
+  options.spill_dir = config.spill_dir;
+  GRIMP_ASSIGN_OR_RETURN(auto store,
+                         ShardedGraphStore::Create(graph, options));
+  return std::unique_ptr<GraphStore>(std::move(store));
+}
+
+}  // namespace grimp

@@ -35,6 +35,27 @@ void Column::AppendNumerical(double value) {
   nums_.push_back(value);
 }
 
+void Column::AppendCode(int32_t code) {
+  GRIMP_CHECK(is_categorical());
+  GRIMP_DCHECK(code >= -1 && code < dict_.size());
+  if (code >= 0) dict_.AddOccurrence(code);
+  codes_.push_back(code);
+}
+
+void Column::AppendCode(int32_t code, double value) {
+  GRIMP_CHECK(!is_categorical());
+  GRIMP_DCHECK(code >= -1 && code < dict_.size());
+  if (code >= 0) dict_.AddOccurrence(code);
+  codes_.push_back(code);
+  nums_.push_back(code >= 0 ? value
+                            : std::numeric_limits<double>::quiet_NaN());
+}
+
+void Column::Reserve(int64_t rows) {
+  codes_.reserve(static_cast<size_t>(rows));
+  if (!is_categorical()) nums_.reserve(static_cast<size_t>(rows));
+}
+
 bool Column::AppendFromString(const std::string& value) {
   if (is_categorical()) {
     AppendCategorical(value);

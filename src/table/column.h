@@ -41,6 +41,22 @@ class Column {
   // Returns false if a numeric column receives an unparseable value.
   bool AppendFromString(const std::string& value);
 
+  // --- Bulk construction ---------------------------------------------------
+  // The append path above hashes every cell's string into the dictionary;
+  // at millions of rows that dominates generation. Bulk builders instead
+  // intern each distinct value once, then append dense codes.
+  //
+  // Interns `value` (without recording an occurrence) and returns its code.
+  int32_t InternValue(const std::string& value) {
+    return dict_.GetOrAdd(value);
+  }
+  // Appends a cell by pre-interned code; -1 == missing. Categorical only.
+  void AppendCode(int32_t code);
+  // Numerical variant: `value` is the cell's numeric value (it should
+  // round-trip with the interned canonical string, like AppendNumerical).
+  void AppendCode(int32_t code, double value);
+  void Reserve(int64_t rows);
+
   // --- Accessors ------------------------------------------------------------
   bool IsMissing(int64_t row) const { return codes_[Idx(row)] < 0; }
   // Dense code of the (possibly rounded) cell value; -1 when missing.

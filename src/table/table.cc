@@ -83,6 +83,21 @@ Status Table::AppendRow(const std::vector<std::string>& cells) {
   return Status::OK();
 }
 
+Status Table::CommitBulkRows() {
+  if (columns_.empty()) return Status::OK();
+  const int64_t rows = columns_[0].num_rows();
+  for (const Column& col : columns_) {
+    if (col.num_rows() != rows) {
+      return Status::InvalidArgument(
+          "bulk-appended columns disagree on row count: " + col.name() +
+          " has " + std::to_string(col.num_rows()) + ", " +
+          columns_[0].name() + " has " + std::to_string(rows));
+    }
+  }
+  num_rows_ = rows;
+  return Status::OK();
+}
+
 double Table::MissingFraction() const {
   if (num_rows_ == 0 || num_cols() == 0) return 0.0;
   int64_t missing = 0;

@@ -43,6 +43,11 @@ class Table {
   // parse their cells.
   Status AppendRow(const std::vector<std::string>& cells);
 
+  // Bulk construction: after cells have been written straight into the
+  // columns (Column::AppendCode), commits the new row count. Fails if the
+  // columns disagree on how many rows they now hold.
+  Status CommitBulkRows();
+
   bool IsMissing(int64_t row, int col) const {
     return column(col).IsMissing(row);
   }

@@ -165,5 +165,69 @@ TEST(DatasetGenTest, RejectsBadInputs) {
   EXPECT_FALSE(GenerateDataset(bad_clusters, 1, 10).ok());
 }
 
+// --- The "scale" spec and the large-dataset fast path ----------------------
+
+TEST(ScaleDatasetTest, SpecResolvesButStaysOutOfTheSweepList) {
+  auto spec = GetDatasetSpec("scale");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->rows, 5000000);
+  EXPECT_FALSE(spec->fd_specs.empty());
+  // Deliberately not swept by the parameterized suites/accuracy benches.
+  for (const std::string& name : AllDatasetNames()) {
+    EXPECT_NE(name, "scale");
+  }
+}
+
+TEST(ScaleDatasetTest, LargeGeneratorMatchesSpecShape) {
+  auto spec = GetDatasetSpec("scale");
+  ASSERT_TRUE(spec.ok());
+  auto table = GenerateLargeDataset(*spec, 11, /*rows_override=*/5000);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 5000);
+  EXPECT_EQ(table->num_cols(),
+            static_cast<int>(spec->categorical.size() +
+                             spec->numerical.size()));
+  EXPECT_DOUBLE_EQ(table->MissingFraction(), 0.0);
+  // Every categorical domain is bounded by its declared cardinality.
+  for (size_t c = 0; c < spec->categorical.size(); ++c) {
+    const Column& col = table->column(static_cast<int>(c));
+    ASSERT_TRUE(col.is_categorical());
+    EXPECT_LE(col.dict().size(), spec->categorical[c].cardinality);
+  }
+  // Declared FDs hold exactly, same contract as the row-wise generator.
+  auto fds = ResolveFds(*spec, table->schema());
+  ASSERT_TRUE(fds.ok());
+  for (const FunctionalDependency& fd : *fds) {
+    EXPECT_DOUBLE_EQ(FdViolationRate(*table, fd), 0.0)
+        << fd.ToString(table->schema());
+  }
+}
+
+TEST(ScaleDatasetTest, LargeGeneratorIsDeterministicForSeed) {
+  auto spec = GetDatasetSpec("scale");
+  ASSERT_TRUE(spec.ok());
+  auto a = GenerateLargeDataset(*spec, 9, 2000);
+  auto b = GenerateLargeDataset(*spec, 9, 2000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int c = 0; c < a->num_cols(); ++c) {
+    for (int64_t r = 0; r < a->num_rows(); ++r) {
+      ASSERT_EQ(a->column(c).StringAt(r), b->column(c).StringAt(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(ScaleDatasetTest, LargeGeneratorRejectsTextColumns) {
+  auto spec = GetDatasetSpec("scale");
+  ASSERT_TRUE(spec.ok());
+  DatasetSpec with_text = *spec;
+  CategoricalColumnSpec text;
+  text.name = "title";
+  text.high_cardinality_text = true;
+  with_text.categorical.push_back(text);
+  EXPECT_FALSE(GenerateLargeDataset(with_text, 1, 100).ok());
+}
+
 }  // namespace
 }  // namespace grimp

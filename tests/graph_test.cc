@@ -29,6 +29,73 @@ TEST(CsrAdjacencyTest, BuildsSortedNeighborLists) {
   EXPECT_EQ(adj.Degree(3), 0);
 }
 
+TEST(CsrAdjacencyTest, FromPartsRoundTripsThroughReleaseParts) {
+  CsrAdjacency built = CsrAdjacency::FromEdges(4, {{0, 2}, {0, 1}, {3, 1}});
+  const std::vector<int32_t> want_offsets = built.offsets();
+  const std::vector<int32_t> want_indices = built.indices();
+
+  std::vector<int32_t> offsets, indices;
+  built.ReleaseParts(&offsets, &indices);
+  // The source is drained, the moved-out arrays are intact.
+  EXPECT_EQ(built.offsets().size(), 0u);
+  EXPECT_EQ(built.indices().size(), 0u);
+  EXPECT_EQ(offsets, want_offsets);
+  EXPECT_EQ(indices, want_indices);
+
+  // FromParts adopts them verbatim — same neighbor lists, same order.
+  const CsrAdjacency rebuilt =
+      CsrAdjacency::FromParts(std::move(offsets), std::move(indices));
+  EXPECT_EQ(rebuilt.num_nodes(), 4);
+  EXPECT_EQ(rebuilt.num_edges(), 3);
+  EXPECT_EQ(rebuilt.offsets(), want_offsets);
+  EXPECT_EQ(rebuilt.indices(), want_indices);
+  EXPECT_EQ(rebuilt.Degree(0), 2);
+  EXPECT_EQ(rebuilt.Degree(3), 1);
+}
+
+TEST(HeteroGraphTest, UidTracksStructuralChanges) {
+  HeteroGraph g;
+  g.AddNode(NodeInfo{});
+  g.AddNode(NodeInfo{});
+  const uint64_t original = g.uid();
+
+  // SetAdjacency changes the structure: caches keyed on uid must miss.
+  std::vector<CsrAdjacency> adj;
+  adj.push_back(CsrAdjacency::FromEdges(2, {{0, 1}, {1, 0}}));
+  g.SetAdjacency(std::move(adj));
+  EXPECT_NE(g.uid(), original);
+  const uint64_t after_set = g.uid();
+
+  // A copy is a distinct cache key; a move carries the identity along and
+  // re-keys the hollowed-out source.
+  HeteroGraph copy(g);
+  EXPECT_NE(copy.uid(), after_set);
+  HeteroGraph moved(std::move(g));
+  EXPECT_EQ(moved.uid(), after_set);
+  EXPECT_NE(g.uid(), after_set);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(GraphBuilderTest, ReportsTypedErrorsInsteadOfAborting) {
+  const Table empty(Schema({{"a", AttrType::kCategorical}}));
+  auto no_rows = GraphBuilder().Build(empty);
+  ASSERT_FALSE(no_rows.ok());
+  EXPECT_EQ(no_rows.status().code(), StatusCode::kInvalidArgument);
+
+  Table t = MakeMovieTable();
+  GraphBuildOptions bad;
+  bad.max_neighbors_per_node = -1;
+  auto bad_cap = GraphBuilder(bad).Build(t);
+  ASSERT_FALSE(bad_cap.ok());
+  EXPECT_EQ(bad_cap.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_cell = GraphBuilder().Build(t, {CellRef{99, 0}});
+  ASSERT_FALSE(bad_cell.ok());
+  EXPECT_EQ(bad_cell.status().code(), StatusCode::kOutOfRange);
+
+  auto ok = GraphBuilder().Build(t);
+  EXPECT_TRUE(ok.ok());
+}
+
 TEST(GraphBuilderTest, NodeInventory) {
   Table t = MakeMovieTable();
   TableGraph tg = BuildTableGraph(t);

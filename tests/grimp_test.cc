@@ -137,7 +137,12 @@ TEST(GrimpOptionsTest, ValidateRejectsEachBadField) {
   EXPECT_TRUE(rejects([](GrimpOptions* o) { o->learning_rate = -1e-3f; }));
   EXPECT_TRUE(rejects([](GrimpOptions* o) { o->grad_clip = -1.0f; }));
   EXPECT_TRUE(rejects([](GrimpOptions* o) { o->focal_gamma = -0.5f; }));
-  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->neighbor_cap = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->graph.neighbor_cap = -1; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) { o->graph.num_shards = -3; }));
+  EXPECT_TRUE(rejects([](GrimpOptions* o) {
+    o->graph.shard_mode = ShardMode::kSharded;
+    o->graph.max_resident_bytes = 0;
+  }));
   EXPECT_TRUE(rejects([](GrimpOptions* o) { o->max_samples_per_task = -1; }));
   EXPECT_TRUE(rejects([](GrimpOptions* o) { o->num_threads = -2; }));
   EXPECT_TRUE(rejects([](GrimpOptions* o) {
@@ -166,6 +171,20 @@ TEST(GrimpOptionsTest, ValidateRejectsEachBadField) {
   sampled.train.mode = TrainMode::kSampled;
   sampled.train.fanouts = {8, 8};
   EXPECT_TRUE(sampled.Validate().ok());
+}
+
+TEST(GrimpOptionsTest, ImputerRejectsShardedStorage) {
+  // The one-shot imputer's decode step is a whole-graph forward, which a
+  // sharded store cannot serve by design; GrimpEngine owns that regime.
+  GrimpOptions options = FastOptions();
+  options.train.mode = TrainMode::kSampled;
+  options.train.fanouts = {2, 2};
+  options.graph.shard_mode = ShardMode::kSharded;
+  GrimpImputer grimp(options);
+  Table clean = StructuredTable(30);
+  const auto result = grimp.Impute(clean);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(GrimpOptionsTest, ImputeReturnsInvalidArgumentForBadOptions) {

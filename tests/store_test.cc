@@ -1,0 +1,400 @@
+// Tests for the out-of-core graph storage layer: GraphShard slicing and
+// its checksummed on-disk format, the InMemoryGraphStore /
+// ShardedGraphStore implementations behind the GraphStore API, the
+// MakeGraphStore factory, and shard-count invariance of the neighbor
+// sampler.
+
+#include "graph/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/names.h"
+#include "graph/sampler.h"
+
+namespace grimp {
+namespace {
+
+// A ring graph with `types` edge types: under type t, node i is connected
+// to (i + t + 1) mod n, both directions, so every node has degree 2 per
+// type and every shard slice has edges crossing its boundary.
+HeteroGraph RingGraph(int64_t n, int types) {
+  HeteroGraph g;
+  for (int64_t i = 0; i < n; ++i) g.AddNode(NodeInfo{});
+  std::vector<CsrAdjacency> adj;
+  for (int t = 0; t < types; ++t) {
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    for (int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<int32_t>(i);
+      const auto v = static_cast<int32_t>((i + t + 1) % n);
+      edges.emplace_back(u, v);
+      edges.emplace_back(v, u);
+    }
+    adj.push_back(CsrAdjacency::FromEdges(n, edges));
+  }
+  g.SetAdjacency(std::move(adj));
+  return g;
+}
+
+std::set<int32_t> ShardNeighbors(const GraphShard& shard, int t,
+                                 int64_t node) {
+  std::set<int32_t> out;
+  auto [b, e] = shard.Neighbors(t, node);
+  for (const int32_t* p = b; p < e; ++p) out.insert(*p);
+  return out;
+}
+
+std::set<int32_t> GraphNeighbors(const HeteroGraph& g, int t, int64_t node) {
+  std::set<int32_t> out;
+  const auto [b, e] = g.adjacency(t).NeighborRange(node);
+  for (int32_t k = b; k < e; ++k) {
+    out.insert(g.adjacency(t).indices()[static_cast<size_t>(k)]);
+  }
+  return out;
+}
+
+// --- GraphShard ------------------------------------------------------------
+
+TEST(GraphShardTest, SliceMatchesSourceGraph) {
+  const HeteroGraph g = RingGraph(20, 2);
+  const GraphShard shard = GraphShard::Slice(g, 5, 12);
+  EXPECT_EQ(shard.begin(), 5);
+  EXPECT_EQ(shard.end(), 12);
+  EXPECT_EQ(shard.num_local_nodes(), 7);
+  EXPECT_EQ(shard.num_edge_types(), 2);
+  EXPECT_FALSE(shard.Contains(4));
+  EXPECT_TRUE(shard.Contains(5));
+  for (int t = 0; t < 2; ++t) {
+    for (int64_t node = 5; node < 12; ++node) {
+      EXPECT_EQ(ShardNeighbors(shard, t, node), GraphNeighbors(g, t, node))
+          << "type " << t << " node " << node;
+    }
+  }
+}
+
+TEST(GraphShardTest, ViewCoversWholeGraphZeroCopy) {
+  const HeteroGraph g = RingGraph(16, 2);
+  const GraphShard view = GraphShard::View(g);
+  EXPECT_EQ(view.begin(), 0);
+  EXPECT_EQ(view.end(), g.num_nodes());
+  EXPECT_EQ(view.num_edges(), g.TotalEdges());
+  for (int t = 0; t < 2; ++t) {
+    for (int64_t node = 0; node < g.num_nodes(); ++node) {
+      EXPECT_EQ(ShardNeighbors(view, t, node), GraphNeighbors(g, t, node));
+    }
+  }
+}
+
+TEST(GraphShardTest, WriteReadRoundTrip) {
+  const HeteroGraph g = RingGraph(24, 3);
+  const GraphShard shard = GraphShard::Slice(g, 8, 17);
+  const std::string path = testing::TempDir() + "grimp_shard_roundtrip.bin";
+  ASSERT_TRUE(shard.WriteTo(path).ok());
+
+  auto loaded = GraphShard::ReadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->begin(), shard.begin());
+  EXPECT_EQ(loaded->end(), shard.end());
+  EXPECT_EQ(loaded->num_edge_types(), shard.num_edge_types());
+  EXPECT_EQ(loaded->num_edges(), shard.num_edges());
+  EXPECT_EQ(loaded->SizeBytes(), shard.SizeBytes());
+  for (int t = 0; t < 3; ++t) {
+    for (int64_t node = 8; node < 17; ++node) {
+      EXPECT_EQ(ShardNeighbors(*loaded, t, node),
+                ShardNeighbors(shard, t, node));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphShardTest, CorruptedFileIsRejected) {
+  const HeteroGraph g = RingGraph(24, 2);
+  const GraphShard shard = GraphShard::Slice(g, 0, 24);
+  const std::string path = testing::TempDir() + "grimp_shard_corrupt.bin";
+  ASSERT_TRUE(shard.WriteTo(path).ok());
+
+  // Flip one byte in the middle of the payload: the trailing checksum must
+  // catch it before any array is adopted.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(GraphShard::ReadFrom(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- InMemoryGraphStore ----------------------------------------------------
+
+TEST(InMemoryGraphStoreTest, SingleShardOverBorrowedGraph) {
+  const HeteroGraph g = RingGraph(10, 2);
+  const InMemoryGraphStore store(&g);
+  EXPECT_EQ(store.num_nodes(), 10);
+  EXPECT_EQ(store.num_edge_types(), 2);
+  EXPECT_EQ(store.num_shards(), 1);
+  EXPECT_EQ(store.ShardOf(0), 0);
+  EXPECT_EQ(store.ShardOf(9), 0);
+  EXPECT_EQ(store.full_graph(), &g);
+  EXPECT_GT(store.total_bytes(), 0);
+
+  const ShardScope scope = store.Acquire(0);
+  ASSERT_NE(scope.get(), nullptr);
+  EXPECT_EQ(scope->begin(), 0);
+  EXPECT_EQ(scope->end(), 10);
+  EXPECT_EQ(ShardNeighbors(*scope, 0, 3), GraphNeighbors(g, 0, 3));
+}
+
+// --- ShardedGraphStore -----------------------------------------------------
+
+ShardedGraphStore::Options StoreOptions(int shards, int64_t budget) {
+  ShardedGraphStore::Options o;
+  o.num_shards = shards;
+  o.max_resident_bytes = budget;
+  return o;
+}
+
+TEST(ShardedGraphStoreTest, BoundariesPartitionTheNodeRange) {
+  const HeteroGraph g = RingGraph(100, 2);
+  auto store = ShardedGraphStore::Create(g, StoreOptions(4, 1ll << 30));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_shards(), 4);
+  EXPECT_EQ((*store)->num_nodes(), 100);
+
+  int64_t covered = 0;
+  for (int s = 0; s < 4; ++s) {
+    const ShardScope scope = (*store)->Acquire(s);
+    ASSERT_NE(scope.get(), nullptr);
+    EXPECT_EQ(scope->begin(), covered) << "gap before shard " << s;
+    EXPECT_GT(scope->end(), scope->begin());
+    covered = scope->end();
+    for (int64_t node = scope->begin(); node < scope->end(); ++node) {
+      EXPECT_EQ((*store)->ShardOf(node), s);
+    }
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ShardedGraphStoreTest, ReloadedShardsMatchTheSourceGraph) {
+  const HeteroGraph g = RingGraph(60, 3);
+  auto store = ShardedGraphStore::Create(g, StoreOptions(5, 1ll << 30));
+  ASSERT_TRUE(store.ok());
+  for (int s = 0; s < (*store)->num_shards(); ++s) {
+    const ShardScope scope = (*store)->Acquire(s);
+    for (int64_t node = scope->begin(); node < scope->end(); ++node) {
+      for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(ShardNeighbors(*scope, t, node), GraphNeighbors(g, t, node))
+            << "shard " << s << " type " << t << " node " << node;
+      }
+    }
+  }
+}
+
+TEST(ShardedGraphStoreTest, BudgetBoundsTheResidentSet) {
+  const HeteroGraph g = RingGraph(400, 2);
+  // Budget for roughly a quarter of the graph across 8 shards: serial
+  // acquires must evict to stay under it.
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(8, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  const int64_t total = (*probe)->total_bytes();
+  const int64_t budget = total / 4;
+
+  auto store = ShardedGraphStore::Create(g, StoreOptions(8, budget));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->total_bytes(), total);
+  for (int round = 0; round < 2; ++round) {
+    for (int s = 0; s < 8; ++s) {
+      const ShardScope scope = (*store)->Acquire(s);
+      ASSERT_NE(scope.get(), nullptr);
+      EXPECT_LE((*store)->resident_bytes(), budget);
+    }
+  }
+  EXPECT_LE((*store)->high_water_bytes(), budget);
+  EXPECT_LT((*store)->high_water_bytes(), total);
+}
+
+TEST(ShardedGraphStoreTest, PinnedShardSurvivesEvictionChurn) {
+  const HeteroGraph g = RingGraph(240, 2);
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(6, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  const int64_t budget = (*probe)->total_bytes() / 3;
+
+  auto store = ShardedGraphStore::Create(g, StoreOptions(6, budget));
+  ASSERT_TRUE(store.ok());
+  const ShardScope pinned = (*store)->Acquire(0);
+  const std::set<int32_t> before = ShardNeighbors(*pinned, 0, 0);
+  // Churn through every other shard under a budget that forces evictions;
+  // the pin must keep shard 0's buffers untouched.
+  for (int round = 0; round < 2; ++round) {
+    for (int s = 1; s < 6; ++s) {
+      const ShardScope scope = (*store)->Acquire(s);
+      ASSERT_NE(scope.get(), nullptr);
+    }
+  }
+  EXPECT_EQ(ShardNeighbors(*pinned, 0, 0), before);
+  EXPECT_EQ(ShardNeighbors(*pinned, 0, 0), GraphNeighbors(g, 0, 0));
+}
+
+TEST(ShardedGraphStoreTest, LoneOversizedShardStillLoads) {
+  const HeteroGraph g = RingGraph(50, 2);
+  // A budget smaller than any single shard: the budget bounds the steady
+  // state, not one shard, so acquires must still succeed.
+  auto store = ShardedGraphStore::Create(g, StoreOptions(3, 1));
+  ASSERT_TRUE(store.ok());
+  for (int s = 0; s < 3; ++s) {
+    const ShardScope scope = (*store)->Acquire(s);
+    ASSERT_NE(scope.get(), nullptr);
+    EXPECT_GT(scope->num_local_nodes(), 0);
+  }
+}
+
+TEST(ShardedGraphStoreTest, PrefetchIsBestEffortAndKeepsParity) {
+  const HeteroGraph g = RingGraph(120, 2);
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(6, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  const int64_t budget = (*probe)->total_bytes() / 2;
+
+  auto store = ShardedGraphStore::Create(g, StoreOptions(6, budget));
+  ASSERT_TRUE(store.ok());
+  (*store)->Prefetch({0, 1, 2, 3, 4, 5});
+  EXPECT_LE((*store)->resident_bytes(), budget);
+  for (int s = 0; s < 6; ++s) {
+    const ShardScope scope = (*store)->Acquire(s);
+    for (int64_t node = scope->begin(); node < scope->end(); ++node) {
+      EXPECT_EQ(ShardNeighbors(*scope, 0, node), GraphNeighbors(g, 0, node));
+    }
+  }
+}
+
+TEST(ShardedGraphStoreTest, AutoShardCountScalesWithBudget) {
+  const HeteroGraph g = RingGraph(300, 2);
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(1, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  const int64_t total = (*probe)->total_bytes();
+
+  // num_shards = 0: auto-derived as ~4 shards per budget's worth, so the
+  // LRU always has room to rotate.
+  auto store = ShardedGraphStore::Create(g, StoreOptions(0, total / 2));
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE((*store)->num_shards(), 4);
+}
+
+// --- MakeGraphStore factory ------------------------------------------------
+
+TEST(MakeGraphStoreTest, InMemoryModeExposesTheFullGraph) {
+  const HeteroGraph g = RingGraph(30, 2);
+  GraphConfig config;  // defaults: kInMemory
+  auto store = MakeGraphStore(g, config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->full_graph(), &g);
+  EXPECT_EQ((*store)->num_shards(), 1);
+}
+
+TEST(MakeGraphStoreTest, ShardedModeHasNoFullGraph) {
+  const HeteroGraph g = RingGraph(30, 2);
+  GraphConfig config;
+  config.shard_mode = ShardMode::kSharded;
+  config.num_shards = 3;
+  auto store = MakeGraphStore(g, config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->full_graph(), nullptr);
+  EXPECT_EQ((*store)->num_shards(), 3);
+  EXPECT_EQ((*store)->num_nodes(), g.num_nodes());
+}
+
+TEST(GraphConfigTest, ValidateRejectsBadKnobs) {
+  GraphConfig config;
+  config.num_shards = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = GraphConfig{};
+  config.shard_mode = ShardMode::kSharded;
+  config.max_resident_bytes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = GraphConfig{};
+  config.neighbor_cap = -2;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(GraphConfig{}.Validate().ok());
+}
+
+TEST(ShardModeNamesTest, RoundTrip) {
+  for (ShardMode mode : {ShardMode::kInMemory, ShardMode::kSharded}) {
+    auto parsed = ParseShardMode(ShardModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseShardMode("mmap").ok());
+}
+
+// --- Sampler invariance across stores --------------------------------------
+
+void ExpectSameSubgraph(const SampledSubgraph& a, const SampledSubgraph& b) {
+  EXPECT_EQ(a.input_nodes, b.input_nodes);
+  EXPECT_EQ(a.output_nodes, b.output_nodes);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (size_t l = 0; l < a.blocks.size(); ++l) {
+    EXPECT_EQ(a.blocks[l].num_src, b.blocks[l].num_src);
+    EXPECT_EQ(a.blocks[l].num_dst, b.blocks[l].num_dst);
+    ASSERT_EQ(a.blocks[l].adjacency.size(), b.blocks[l].adjacency.size());
+    for (size_t t = 0; t < a.blocks[l].adjacency.size(); ++t) {
+      EXPECT_EQ(a.blocks[l].adjacency[t].offsets(),
+                b.blocks[l].adjacency[t].offsets());
+      EXPECT_EQ(a.blocks[l].adjacency[t].indices(),
+                b.blocks[l].adjacency[t].indices());
+    }
+  }
+}
+
+TEST(SamplerStoreParityTest, BitIdenticalAcrossShardCounts) {
+  const HeteroGraph g = RingGraph(80, 3);
+  const InMemoryGraphStore in_memory(&g);
+  const NeighborSampler reference(&in_memory, {2, 3});
+
+  const std::vector<int32_t> seeds{0, 17, 42, 79, 33};
+  Rng ref_rng(1234);
+  const SampledSubgraph expected = reference.Sample(seeds, &ref_rng);
+
+  for (int shards : {2, 5, 13}) {
+    auto store = ShardedGraphStore::Create(g, StoreOptions(shards, 1ll << 30));
+    ASSERT_TRUE(store.ok());
+    const NeighborSampler sampler(store->get(), {2, 3});
+    Rng rng(1234);
+    const SampledSubgraph got = sampler.Sample(seeds, &rng);
+    ExpectSameSubgraph(expected, got);
+  }
+}
+
+TEST(SamplerStoreParityTest, TightBudgetDoesNotChangeDraws) {
+  const HeteroGraph g = RingGraph(80, 2);
+  const InMemoryGraphStore in_memory(&g);
+  const NeighborSampler reference(&in_memory, {3});
+
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(8, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  auto store = ShardedGraphStore::Create(
+      g, StoreOptions(8, (*probe)->total_bytes() / 4));
+  ASSERT_TRUE(store.ok());
+  const NeighborSampler sampler(store->get(), {3});
+
+  const std::vector<int32_t> seeds{5, 25, 45, 65};
+  for (int batch = 0; batch < 4; ++batch) {
+    Rng ref_rng(777 + static_cast<uint64_t>(batch));
+    Rng rng(777 + static_cast<uint64_t>(batch));
+    ExpectSameSubgraph(reference.Sample(seeds, &ref_rng),
+                       sampler.Sample(seeds, &rng));
+  }
+}
+
+}  // namespace
+}  // namespace grimp
