@@ -1,0 +1,66 @@
+#ifndef GRIMP_BENCH_ZIPF_H_
+#define GRIMP_BENCH_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace grimp {
+
+// Zipfian key-index generator over [0, n) with skew `theta` (0 = uniform;
+// 0.99 is the YCSB-style "hot rows" default). Classic inverse-CDF sampler:
+// the normalized probability prefix sums are precomputed once and each
+// draw binary-searches them, so Next() is O(log n) with no allocation —
+// cheap enough to sit inside a benchmark's request loop. Rank r (1-based)
+// is drawn with probability (1/r^theta) / H_{n,theta}; rank 1 (index 0) is
+// the hottest key. Deterministic for a given (n, theta, seed).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double theta, uint64_t seed)
+      : rng_(seed), sum_probs_(static_cast<size_t>(n) + 1, 0.0) {
+    GRIMP_CHECK_GT(n, 0);
+    GRIMP_CHECK_GE(theta, 0.0);
+    double c = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      c += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    c = 1.0 / c;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum_probs_[static_cast<size_t>(i)] =
+          sum_probs_[static_cast<size_t>(i - 1)] +
+          c / std::pow(static_cast<double>(i), theta);
+    }
+  }
+
+  // Next sampled key index in [0, n).
+  int64_t Next() {
+    double z;
+    do {
+      z = rng_.NextDouble();
+    } while (z == 0.0);
+    size_t low = 1;
+    size_t high = sum_probs_.size() - 1;
+    while (low < high) {
+      const size_t mid = (low + high) / 2;
+      if (sum_probs_[mid] >= z) {
+        high = mid;
+      } else {
+        low = mid + 1;
+      }
+    }
+    return static_cast<int64_t>(low) - 1;
+  }
+
+  int64_t n() const { return static_cast<int64_t>(sum_probs_.size()) - 1; }
+
+ private:
+  Rng rng_;
+  std::vector<double> sum_probs_;  // sum_probs_[r]: P(rank <= r), 1-based
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_BENCH_ZIPF_H_

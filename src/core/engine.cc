@@ -488,9 +488,88 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
     if (t == nullptr) return Status::InvalidArgument("null table in batch");
     GRIMP_RETURN_IF_ERROR(CheckSchema(*t));
   }
+  std::vector<Table> imputed;
+  imputed.reserve(tables.size());
+  for (const Table* t : tables) imputed.push_back(*t);
+  std::vector<Table*> ptrs;
+  ptrs.reserve(imputed.size());
+  for (Table& t : imputed) ptrs.push_back(&t);
+  GRIMP_RETURN_IF_ERROR(TransformBatchInPlace(ptrs));
+  return imputed;
+}
+
+namespace {
+
+// Per-thread reusable state for TransformBatchInPlace. Every container
+// here is cleared — never shrunk — between requests, so once a serving
+// thread has seen its largest batch the whole inference pass stops
+// touching the allocator (the tensors themselves recycle through the
+// TensorArena). Only used when the arena is enabled; with it disabled the
+// scratch is a stack local so behavior matches the historical
+// allocate-per-call path.
+struct TransformScratch {
+  struct Request {
+    TableGraph tg;
+    PretrainedFeatures features;
+    int64_t offset = 0;  // this request's first node id in the union
+  };
+
+  Tape tape;
+  GraphBuilder::Scratch graph;
+  std::vector<Request> requests;
+  HeteroGraph union_graph;
+  std::vector<CsrAdjacency> union_adj;  // recycled outer vector
+  CsrAdjacency::Scratch union_csr;      // recycled offsets/indices storage
+  GnnScratch gnn;
+  // Per-task gather indices; the tape borrows these (see GatherRows), so
+  // each task needs its own vector that stays alive until the next Reset.
+  std::vector<std::vector<int32_t>> task_idx;
+  std::vector<std::pair<size_t, int64_t>> rows;  // (request, row)
+
+  // Deferred cell writes: every model read (CodeAt/IsMissing during index
+  // building) happens before any table is mutated, which keeps the
+  // in-place pass bit-identical to the copy path and leaves the inputs
+  // untouched if anything fails first.
+  struct Decision {
+    size_t request;
+    int64_t row;
+    int col;
+    bool categorical;
+    int32_t code;  // categorical: source-dictionary code to decode
+    double value;  // numerical: denormalized prediction
+  };
+  std::vector<Decision> decisions;
+};
+
+}  // namespace
+
+Status GrimpEngine::TransformBatchInPlace(
+    const std::vector<Table*>& tables) const {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  if (tables.empty()) return Status::OK();
+  for (const Table* t : tables) {
+    if (t == nullptr) return Status::InvalidArgument("null table in batch");
+    GRIMP_RETURN_IF_ERROR(CheckSchema(*t));
+  }
   GRIMP_TRACE_SPAN("grimp.transform_batch");
   const int num_cols = schema_.num_fields();
   const int dim = options_.dim;
+
+  const bool reuse = TensorArena::Global().enabled();
+  thread_local std::unique_ptr<TransformScratch> tls_scratch;
+  std::unique_ptr<TransformScratch> local_scratch;
+  if (reuse) {
+    if (tls_scratch == nullptr) {
+      tls_scratch = std::make_unique<TransformScratch>();
+    }
+  } else {
+    local_scratch = std::make_unique<TransformScratch>();
+  }
+  TransformScratch& s = reuse ? *tls_scratch : *local_scratch;
+  // Reset first: dropping the previous request's tape closures releases
+  // the GNN mask buffers back to use_count()==1 so the scratch path can
+  // refill them in place.
+  s.tape.Reset();
 
   // Each request gets the graph and deterministic n-gram features a solo
   // Transform() would build — same options, same seed derivation (the
@@ -499,21 +578,17 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
   // block-diagonal disjoint union: message passing cannot cross request
   // boundaries, and every kernel downstream is row-independent, so each
   // result is bit-identical to its solo Transform().
-  struct RequestCtx {
-    TableGraph tg;
-    PretrainedFeatures features;
-    int64_t offset = 0;  // this request's first node id in the union
-  };
   GraphBuildOptions graph_options;
   graph_options.max_neighbors_per_node = options_.graph.neighbor_cap;
   graph_options.seed = options_.seed;
   const GraphBuilder builder(graph_options);
   auto initializer = MakeFeatureInitializer(options_.features);
-  std::vector<RequestCtx> ctxs(tables.size());
+  if (s.requests.size() < tables.size()) s.requests.resize(tables.size());
   int64_t total_nodes = 0;
   for (size_t i = 0; i < tables.size(); ++i) {
-    RequestCtx& ctx = ctxs[i];
-    GRIMP_ASSIGN_OR_RETURN(ctx.tg, builder.Build(*tables[i]));
+    TransformScratch::Request& ctx = s.requests[i];
+    GRIMP_RETURN_IF_ERROR(
+        builder.BuildInto(*tables[i], {}, &ctx.tg, &s.graph));
     Rng rng(options_.seed);
     rng.Fork();
     GRIMP_ASSIGN_OR_RETURN(
@@ -526,66 +601,73 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
   // Union node table + features, then one stitched CSR per edge type.
   // FromParts adopts each neighbor list verbatim (only shifted), so
   // SegmentMean aggregates in exactly the per-request order.
-  HeteroGraph union_graph;
+  s.union_graph.Reset(&s.union_csr, &s.union_adj);
   Tensor union_feats(total_nodes, dim);
-  for (const RequestCtx& ctx : ctxs) {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const TransformScratch::Request& ctx = s.requests[i];
     for (const NodeInfo& info : ctx.tg.graph.nodes()) {
-      union_graph.AddNode(info);
+      s.union_graph.AddNode(info);
     }
     const Tensor& f = ctx.features.node_features;
     std::copy(f.data(), f.data() + f.size(),
               union_feats.data() + ctx.offset * dim);
   }
-  std::vector<CsrAdjacency> union_adj;
+  std::vector<CsrAdjacency>& union_adj = s.union_adj;
   for (int t = 0; t < num_cols; ++t) {
-    std::vector<int32_t> offsets{0};
-    std::vector<int32_t> indices;
-    for (const RequestCtx& ctx : ctxs) {
-      const CsrAdjacency& adj = ctx.tg.graph.adjacency(t);
+    std::vector<int32_t> offsets = s.union_csr.Take();
+    std::vector<int32_t> indices = s.union_csr.Take();
+    offsets.clear();
+    indices.clear();
+    offsets.push_back(0);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      const CsrAdjacency& adj = s.requests[i].tg.graph.adjacency(t);
       const int32_t edge_base = static_cast<int32_t>(indices.size());
       for (size_t k = 1; k < adj.offsets().size(); ++k) {
         offsets.push_back(adj.offsets()[k] + edge_base);
       }
       for (int32_t dst : adj.indices()) {
-        indices.push_back(dst + static_cast<int32_t>(ctx.offset));
+        indices.push_back(dst +
+                          static_cast<int32_t>(s.requests[i].offset));
       }
     }
     union_adj.push_back(
         CsrAdjacency::FromParts(std::move(offsets), std::move(indices)));
   }
-  union_graph.SetAdjacency(std::move(union_adj));
+  s.union_graph.SetAdjacency(std::move(union_adj));
 
-  Tape tape;
-  Tape::VarId feats = tape.Constant(union_feats);
-  Tape::VarId h =
-      options_.use_gnn ? gnn_.Forward(&tape, feats, union_graph) : feats;
+  Tape& tape = s.tape;
+  Tape::VarId feats = tape.Constant(std::move(union_feats));
+  Tape::VarId h = options_.use_gnn
+                      ? gnn_.Forward(&tape, feats, s.union_graph, &s.gnn)
+                      : feats;
   Tape::VarId h_shared = shared_.Forward(&tape, h);
 
-  std::vector<Table> imputed;
-  imputed.reserve(tables.size());
-  for (const Table* t : tables) imputed.push_back(*t);
-
+  if (s.task_idx.size() < tasks_.size()) s.task_idx.resize(tasks_.size());
+  s.decisions.clear();
+  size_t task_ordinal = 0;
   for (const TaskState& task : tasks_) {
-    std::vector<int32_t> idx;
-    std::vector<std::pair<size_t, int64_t>> rows;  // (request, row)
+    std::vector<int32_t>& idx = s.task_idx[task_ordinal++];
+    idx.clear();
+    std::vector<std::pair<size_t, int64_t>>& rows = s.rows;
+    rows.clear();
     for (size_t i = 0; i < tables.size(); ++i) {
       const Table& table = *tables[i];
       for (int64_t r = 0; r < table.num_rows(); ++r) {
         if (!table.IsMissing(r, task.col)) continue;
-        AppendRowIndices(table, ctxs[i].tg, r, task.col, ctxs[i].offset,
-                         &idx);
+        AppendRowIndices(table, s.requests[i].tg, r, task.col,
+                         s.requests[i].offset, &idx);
         rows.emplace_back(i, r);
       }
     }
     if (rows.empty()) continue;
-    Tape::VarId flat = tape.GatherRows(h_shared, idx);
+    Tape::VarId flat = tape.GatherRows(h_shared, &idx);
     Tape::VarId out = task.head->Forward(
         &tape, tape.Reshape(flat, static_cast<int64_t>(rows.size()),
                             static_cast<int64_t>(num_cols) * dim));
     const Tensor& scores = tape.value(out);
     const Dictionary& dict = source_dicts_[static_cast<size_t>(task.col)];
     for (size_t i = 0; i < rows.size(); ++i) {
-      Column& dst = imputed[rows[i].first].mutable_column(task.col);
+      const size_t req = rows[i].first;
       const int64_t row = rows[i].second;
       if (task.categorical) {
         // Argmax over the *source* domain; decode to the value string.
@@ -593,22 +675,36 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
         float best_score = 0.0f;
         for (int32_t code = 0; code < dict.size(); ++code) {
           if (dict.CountOf(code) <= 0) continue;
-          const float s = scores.at(static_cast<int64_t>(i), code);
-          if (best < 0 || s > best_score) {
+          const float sc = scores.at(static_cast<int64_t>(i), code);
+          if (best < 0 || sc > best_score) {
             best = code;
-            best_score = s;
+            best_score = sc;
           }
         }
-        if (best >= 0) dst.SetCategorical(row, dict.ValueOf(best));
+        if (best >= 0) {
+          s.decisions.push_back({req, row, task.col, true, best, 0.0});
+        }
       } else {
-        dst.SetNumerical(row,
-                         normalizer_.Denormalize(
-                             task.col, scores.at(static_cast<int64_t>(i), 0)));
+        s.decisions.push_back(
+            {req, row, task.col, false, -1,
+             normalizer_.Denormalize(task.col,
+                                     scores.at(static_cast<int64_t>(i), 0))});
       }
     }
   }
+
+  // All reads are done; apply the writes.
+  for (const TransformScratch::Decision& d : s.decisions) {
+    Column& dst = tables[d.request]->mutable_column(d.col);
+    if (d.categorical) {
+      const Dictionary& dict = source_dicts_[static_cast<size_t>(d.col)];
+      dst.SetCategorical(d.row, dict.ValueOf(d.code));
+    } else {
+      dst.SetNumerical(d.row, d.value);
+    }
+  }
   TensorArena::Global().PublishMetrics();
-  return imputed;
+  return Status::OK();
 }
 
 }  // namespace grimp

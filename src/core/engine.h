@@ -64,6 +64,17 @@ class GrimpEngine {
   Result<std::vector<Table>> TransformBatch(
       const std::vector<const Table*>& tables) const;
 
+  // In-place sibling of TransformBatch for the serving hot path: imputes
+  // every missing cell directly into the request tables (which the
+  // scheduler owns), skipping the per-request output copy. All model
+  // reads happen before any table is written, so results stay
+  // bit-identical to TransformBatch/Transform; on error no table is
+  // modified. With the TensorArena enabled, per-thread scratch (tape,
+  // graph storage, GNN masks, gather indices) is recycled across calls,
+  // making the steady state allocation-free outside the response itself.
+  // Tables must not alias each other. Thread-safe like TransformBatch.
+  Status TransformBatchInPlace(const std::vector<Table*>& tables) const;
+
   // Admission check for serving: OK iff the engine is fitted and `table`
   // matches the fitted schema. Never touches mutable state.
   Status CheckCompatible(const Table& table) const;

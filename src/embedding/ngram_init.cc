@@ -28,8 +28,21 @@ std::vector<float> NgramFeatureInit::EmbedString(const std::string& value,
                                                  int dim,
                                                  uint64_t seed) const {
   std::vector<float> vec(static_cast<size_t>(dim), 0.0f);
-  if (value.empty()) return vec;
-  const std::string padded = "<" + value + ">";
+  std::string padded;
+  EmbedInto(value, dim, seed, vec.data(), &padded);
+  return vec;
+}
+
+void NgramFeatureInit::EmbedInto(const std::string& value, int dim,
+                                 uint64_t seed, float* out,
+                                 std::string* padded_scratch) const {
+  for (int d = 0; d < dim; ++d) out[d] = 0.0f;
+  if (value.empty()) return;
+  std::string& padded = *padded_scratch;
+  padded.clear();
+  padded += '<';
+  padded += value;
+  padded += '>';
   int num_ngrams = 0;
   for (int n = min_n_; n <= max_n_; ++n) {
     if (static_cast<size_t>(n) > padded.size()) break;
@@ -39,7 +52,7 @@ std::vector<float> NgramFeatureInit::EmbedString(const std::string& value,
                 seed) %
           static_cast<uint64_t>(num_buckets_);
       for (int d = 0; d < dim; ++d) {
-        vec[static_cast<size_t>(d)] += BucketComponent(h, d, seed);
+        out[d] += BucketComponent(h, d, seed);
       }
       ++num_ngrams;
     }
@@ -49,17 +62,18 @@ std::vector<float> NgramFeatureInit::EmbedString(const std::string& value,
     const uint64_t h =
         Fnv1a(padded, seed) % static_cast<uint64_t>(num_buckets_);
     for (int d = 0; d < dim; ++d) {
-      vec[static_cast<size_t>(d)] = BucketComponent(h, d, seed);
+      out[d] = BucketComponent(h, d, seed);
     }
     num_ngrams = 1;
   }
   double norm_sq = 0.0;
-  for (float v : vec) norm_sq += static_cast<double>(v) * v;
+  for (int d = 0; d < dim; ++d) {
+    norm_sq += static_cast<double>(out[d]) * out[d];
+  }
   if (norm_sq > 0.0) {
     const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
-    for (float& v : vec) v *= inv;
+    for (int d = 0; d < dim; ++d) out[d] *= inv;
   }
-  return vec;
 }
 
 Result<PretrainedFeatures> NgramFeatureInit::Init(const Table& table,
@@ -70,17 +84,16 @@ Result<PretrainedFeatures> NgramFeatureInit::Init(const Table& table,
   GRIMP_TRACE_SPAN("feature_init");
   PretrainedFeatures out;
   out.node_features = Tensor::Zeros(tg.graph.num_nodes(), dim);
-  // Cell nodes: embed the value string.
+  // Cell nodes: embed the value string straight into the node's feature
+  // row (one shared padded-string scratch; no per-value heap traffic).
+  std::string padded_scratch;
   for (int c = 0; c < table.num_cols(); ++c) {
     const Dictionary& dict = table.column(c).dict();
     for (int32_t code = 0; code < dict.size(); ++code) {
       const int64_t node = tg.CellNode(c, code);
       if (node < 0) continue;
-      const std::vector<float> vec =
-          EmbedString(dict.ValueOf(code), dim, seed);
-      for (int d = 0; d < dim; ++d) {
-        out.node_features.at(node, d) = vec[static_cast<size_t>(d)];
-      }
+      EmbedInto(dict.ValueOf(code), dim, seed,
+                &out.node_features.at(node, 0), &padded_scratch);
     }
   }
   // RID nodes: mean of the tuple's present cell vectors.

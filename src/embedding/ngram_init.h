@@ -32,6 +32,13 @@ class NgramFeatureInit : public FeatureInitializer {
                                  uint64_t seed) const;
 
  private:
+  // Allocation-free core of EmbedString: writes the `dim` components to
+  // `out` and reuses `*padded` for the boundary-marked copy of `value`, so
+  // Init embeds a whole table without per-value heap traffic (the serving
+  // path re-featurizes every request).
+  void EmbedInto(const std::string& value, int dim, uint64_t seed,
+                 float* out, std::string* padded) const;
+
   int min_n_;
   int max_n_;
   int num_buckets_;

@@ -10,10 +10,11 @@ void FillColumnFeaturesFromCells(const Table& table, const TableGraph& tg,
                                  const Tensor& node_features,
                                  Tensor* column_features) {
   const int dim = static_cast<int>(node_features.cols());
+  std::vector<double> acc;
   for (int c = 0; c < table.num_cols(); ++c) {
     const Dictionary& dict = table.column(c).dict();
     double weight_total = 0.0;
-    std::vector<double> acc(static_cast<size_t>(dim), 0.0);
+    acc.assign(static_cast<size_t>(dim), 0.0);
     for (int32_t code = 0; code < dict.size(); ++code) {
       const int64_t count = dict.CountOf(code);
       if (count <= 0) continue;

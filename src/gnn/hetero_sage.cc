@@ -40,15 +40,20 @@ HeteroSageLayer::HeteroSageLayer(std::string name, int num_edge_types,
 }
 
 Tape::VarId HeteroSageLayer::Forward(Tape* tape, Tape::VarId h,
-                                     const HeteroGraph& graph) const {
+                                     const HeteroGraph& graph,
+                                     SageScratch* scratch) const {
   GRIMP_CHECK_EQ(static_cast<size_t>(graph.num_edge_types()),
                  submodules_.size());
-  std::vector<const CsrAdjacency*> adjacency;
+  std::vector<const CsrAdjacency*> local_adjacency;
+  std::vector<const CsrAdjacency*>& adjacency =
+      scratch != nullptr ? scratch->adjacency : local_adjacency;
+  adjacency.clear();
   adjacency.reserve(submodules_.size());
   for (size_t t = 0; t < submodules_.size(); ++t) {
     adjacency.push_back(&graph.adjacency(static_cast<int>(t)));
   }
-  return ForwardImpl(tape, h, h, graph.num_nodes(), adjacency, graph.uid());
+  return ForwardImpl(tape, h, h, graph.num_nodes(), adjacency,
+                     scratch != nullptr ? 0 : graph.uid(), scratch);
 }
 
 Tape::VarId HeteroSageLayer::ForwardBlock(Tape* tape, Tape::VarId h,
@@ -67,7 +72,7 @@ Tape::VarId HeteroSageLayer::ForwardBlock(Tape* tape, Tape::VarId h,
   // cache_uid 0: block adjacencies are rebuilt every batch, and their heap
   // addresses can be reused across batches — never cache for them.
   return ForwardImpl(tape, h_dst, h, block.num_dst, adjacency,
-                     /*cache_uid=*/0);
+                     /*cache_uid=*/0, /*scratch=*/nullptr);
 }
 
 namespace {
@@ -89,12 +94,12 @@ std::vector<float>& ReusableScale(std::shared_ptr<std::vector<float>>* slot,
 Tape::VarId HeteroSageLayer::ForwardImpl(
     Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
     const std::vector<const CsrAdjacency*>& adjacency,
-    uint64_t cache_uid) const {
+    uint64_t cache_uid, SageScratch* scratch) const {
   // Per-type participation masks and the per-node 1/#incident-types
   // normalizer are pure functions of the adjacency, so for full-graph
   // forwards (cache_uid != 0) they are computed once per graph and reused
-  // across epochs and serving requests.
-  if (cache_uid != 0 && cache_slot_ != nullptr) {
+  // across epochs.
+  if (scratch == nullptr && cache_uid != 0 && cache_slot_ != nullptr) {
     std::shared_ptr<const MaskCache> cache;
     {
       std::lock_guard<std::mutex> lock(cache_slot_->mu);
@@ -148,40 +153,41 @@ Tape::VarId HeteroSageLayer::ForwardImpl(
     return tape->RowScale(acc, cache->inv_counts);
   }
 
-  // Sampled-block path: masks change every batch, so instead of a cache the
-  // layer refills its BlockScratch — zero steady-state allocations once the
-  // buffers have grown to the largest batch seen (see hetero_sage.h).
-  BlockScratch& scratch = block_scratch_;
-  if (scratch.masks.size() != submodules_.size()) {
-    scratch.masks.resize(submodules_.size());
+  // Scratch path (sampled blocks, or serving's per-thread scratch): masks
+  // change with every graph, so instead of a cache the buffers are
+  // refilled in place — zero steady-state allocations once they have grown
+  // to the largest batch seen (see hetero_sage.h).
+  SageScratch& s = scratch != nullptr ? *scratch : block_scratch_;
+  if (s.masks.size() != submodules_.size()) {
+    s.masks.resize(submodules_.size());
   }
-  scratch.counts.assign(static_cast<size_t>(num_dst), 0);
+  s.counts.assign(static_cast<size_t>(num_dst), 0);
   for (size_t t = 0; t < submodules_.size(); ++t) {
-    std::vector<float>& mask = ReusableScale(&scratch.masks[t], num_dst);
+    std::vector<float>& mask = ReusableScale(&s.masks[t], num_dst);
     const CsrAdjacency& adj = *adjacency[t];
     for (int64_t v = 0; v < num_dst; ++v) {
       if (adj.Degree(v) > 0) {
         mask[static_cast<size_t>(v)] = 1.0f;
-        ++scratch.counts[static_cast<size_t>(v)];
+        ++s.counts[static_cast<size_t>(v)];
       }
     }
   }
-  std::vector<float>& inv = ReusableScale(&scratch.inv_counts, num_dst);
+  std::vector<float>& inv = ReusableScale(&s.inv_counts, num_dst);
   for (int64_t v = 0; v < num_dst; ++v) {
-    if (scratch.counts[static_cast<size_t>(v)] > 0) {
+    if (s.counts[static_cast<size_t>(v)] > 0) {
       inv[static_cast<size_t>(v)] =
-          1.0f / static_cast<float>(scratch.counts[static_cast<size_t>(v)]);
+          1.0f / static_cast<float>(s.counts[static_cast<size_t>(v)]);
     }
   }
   Tape::VarId acc = -1;
   for (size_t t = 0; t < submodules_.size(); ++t) {
     Tape::VarId out =
         submodules_[t].ForwardBlock(tape, h_dst, h_src, *adjacency[t]);
-    Tape::VarId masked = tape->RowScale(out, scratch.masks[t]);
+    Tape::VarId masked = tape->RowScale(out, s.masks[t]);
     acc = (acc < 0) ? masked : tape->Add(acc, masked);
   }
   GRIMP_CHECK_GE(acc, 0);
-  return tape->RowScale(acc, scratch.inv_counts);
+  return tape->RowScale(acc, s.inv_counts);
 }
 
 void HeteroSageLayer::CollectParameters(std::vector<Parameter*>* out) {
@@ -207,11 +213,17 @@ HeteroGnn::HeteroGnn(int num_edge_types, int64_t in_dim, int64_t hidden_dim,
 }
 
 Tape::VarId HeteroGnn::Forward(Tape* tape, Tape::VarId features,
-                               const HeteroGraph& graph) const {
+                               const HeteroGraph& graph,
+                               GnnScratch* scratch) const {
   GRIMP_TRACE_SPAN("gnn.forward");
+  if (scratch != nullptr && scratch->layers.size() != layers_.size()) {
+    scratch->layers.resize(layers_.size());
+  }
   Tape::VarId h = features;
   for (size_t l = 0; l < layers_.size(); ++l) {
-    h = layers_[l].Forward(tape, h, graph);
+    h = layers_[l].Forward(tape, h, graph,
+                           scratch != nullptr ? &scratch->layers[l]
+                                              : nullptr);
     if (l + 1 < layers_.size()) h = tape->Relu(h);
   }
   return h;

@@ -14,6 +14,24 @@
 
 namespace grimp {
 
+// Caller-owned reusable mask storage for one HeteroSageLayer forward.
+// Serving keeps one per worker thread: per-request union graphs get a
+// fresh uid every time, so the layer's uid-keyed mask cache can never hit
+// for them — passing a scratch instead refills these buffers in place
+// (zero steady-state allocations) without racing other threads the way
+// the layer's internal sampled-path scratch would.
+struct SageScratch {
+  std::vector<std::shared_ptr<std::vector<float>>> masks;
+  std::shared_ptr<std::vector<float>> inv_counts;
+  std::vector<int> counts;
+  std::vector<const CsrAdjacency*> adjacency;
+};
+
+// One SageScratch per layer of a HeteroGnn (sized lazily by Forward).
+struct GnnScratch {
+  std::vector<SageScratch> layers;
+};
+
 // One edge type's GraphSAGE-mean submodule (paper §3.5, Eq. 1):
 //   out_v = W_r * [ h_v || mean_{u in N_r(v)} h_u ]
 // The concatenated self term realizes the self-loop the paper adds to the
@@ -57,8 +75,12 @@ class HeteroSageLayer {
                   int64_t out_dim, Rng* rng);
 
   // `graph.num_edge_types()` must equal the layer's submodule count.
-  Tape::VarId Forward(Tape* tape, Tape::VarId h,
-                      const HeteroGraph& graph) const;
+  // `scratch` (optional) supplies caller-owned mask storage and bypasses
+  // the uid-keyed mask cache — the right trade for throwaway per-request
+  // graphs whose uid would never hit anyway. Results are bit-identical
+  // either way.
+  Tape::VarId Forward(Tape* tape, Tape::VarId h, const HeteroGraph& graph,
+                      SageScratch* scratch = nullptr) const;
 
   // Sampled-minibatch forward: consumes the block's num_src input rows
   // (`h`) and produces num_dst output rows. The self term is the dst
@@ -90,34 +112,30 @@ class HeteroSageLayer {
     std::mutex mu;
     std::shared_ptr<const MaskCache> cached;
   };
-  // Reusable mask storage for sampled blocks (cache_uid == 0): block masks
-  // are rebuilt every batch, but once the previous step's tape is Reset the
-  // RowScale closures drop their references and use_count() falls back to
-  // 1, so the same vectors are refilled instead of reallocated. Sampled
-  // forwards run only on the trainer's driver thread; the concurrent
-  // serving path is full-graph and never touches this scratch.
-  struct BlockScratch {
-    std::vector<std::shared_ptr<std::vector<float>>> masks;
-    std::shared_ptr<std::vector<float>> inv_counts;
-    std::vector<int> counts;
-    std::vector<const CsrAdjacency*> adjacency;
-  };
-
   // Shared core of Forward/ForwardBlock: per-type convolution + masked
   // mean over `num_dst` output rows, with one CSR per edge type (full
   // graph or block). `cache_uid` keys the mask cache: the owning graph's
-  // uid for full-graph forwards (reused across epochs/requests on an
-  // unchanged graph), 0 for sampled blocks (fresh adjacency every batch,
-  // so caching could only ever alias stale heap addresses).
+  // uid for full-graph forwards (reused across epochs on an unchanged
+  // graph), 0 for sampled blocks (fresh adjacency every batch, so caching
+  // could only ever alias stale heap addresses). A non-null `scratch`
+  // bypasses the cache and refills the caller's buffers instead (see
+  // SageScratch); with both null/0, the layer's internal block scratch is
+  // used (driver-thread only).
   Tape::VarId ForwardImpl(
       Tape* tape, Tape::VarId h_dst, Tape::VarId h_src, int64_t num_dst,
       const std::vector<const CsrAdjacency*>& adjacency,
-      uint64_t cache_uid) const;
+      uint64_t cache_uid, SageScratch* scratch) const;
 
   std::vector<SageSubmodule> submodules_;
   mutable std::unique_ptr<CacheSlot> cache_slot_ =
       std::make_unique<CacheSlot>();
-  mutable BlockScratch block_scratch_;
+  // Internal scratch for sampled blocks: block masks are rebuilt every
+  // batch, but once the previous step's tape is Reset the RowScale
+  // closures drop their references and use_count() falls back to 1, so the
+  // same vectors are refilled instead of reallocated. Sampled forwards run
+  // only on the trainer's driver thread; concurrent serving passes its own
+  // per-thread SageScratch and never touches this one.
+  mutable SageScratch block_scratch_;
 };
 
 // The paper's default GNN: a 2-layer heterogeneous GraphSAGE stack with
@@ -129,8 +147,12 @@ class HeteroGnn {
             int64_t out_dim, int num_layers, Rng* rng);
 
   // `features` is a Constant/Leaf var of shape num_nodes x in_dim.
+  // `scratch` (optional) forwards per-layer mask scratch to every layer —
+  // the serving path's alternative to the uid-keyed mask cache (see
+  // SageScratch); sized lazily to num_layers().
   Tape::VarId Forward(Tape* tape, Tape::VarId features,
-                      const HeteroGraph& graph) const;
+                      const HeteroGraph& graph,
+                      GnnScratch* scratch = nullptr) const;
 
   // Sampled-minibatch forward over a block sequence (blocks.size() must
   // equal num_layers()): `features` holds the rows of

@@ -38,6 +38,15 @@ CsrAdjacency CapNeighbors(const CsrAdjacency& adj, int cap, Rng* rng) {
 
 Result<TableGraph> GraphBuilder::Build(
     const Table& table, const std::vector<CellRef>& excluded_cells) const {
+  TableGraph tg;
+  GRIMP_RETURN_IF_ERROR(
+      BuildInto(table, excluded_cells, &tg, /*scratch=*/nullptr));
+  return tg;
+}
+
+Status GraphBuilder::BuildInto(const Table& table,
+                               const std::vector<CellRef>& excluded_cells,
+                               TableGraph* out, Scratch* scratch) const {
   GRIMP_TRACE_SPAN("graph_build");
   const int64_t n = table.num_rows();
   const int m = table.num_cols();
@@ -54,11 +63,6 @@ Result<TableGraph> GraphBuilder::Build(
         "GraphBuildOptions.max_neighbors_per_node must be >= 0, got " +
         std::to_string(options_.max_neighbors_per_node));
   }
-
-  TableGraph tg;
-  // Fast exclusion lookup keyed by row * m + col.
-  std::unordered_set<int64_t> excluded;
-  excluded.reserve(excluded_cells.size() * 2);
   for (const CellRef& cell : excluded_cells) {
     if (cell.row < 0 || cell.row >= n || cell.col < 0 || cell.col >= m) {
       return Status::OutOfRange(
@@ -66,50 +70,67 @@ Result<TableGraph> GraphBuilder::Build(
           std::to_string(cell.col) + ") outside a " + std::to_string(n) +
           "x" + std::to_string(m) + " table");
     }
+  }
+
+  // Recycle the previous build's storage (no-op on a fresh TableGraph).
+  CsrAdjacency::Scratch* csr = scratch != nullptr ? &scratch->csr : nullptr;
+  out->graph.Reset(csr, scratch != nullptr ? &scratch->adjacency : nullptr);
+
+  // Fast exclusion lookup keyed by row * m + col. Empty on the serving
+  // path, where this never allocates.
+  std::unordered_set<int64_t> excluded;
+  if (!excluded_cells.empty()) excluded.reserve(excluded_cells.size() * 2);
+  for (const CellRef& cell : excluded_cells) {
     excluded.insert(cell.row * m + cell.col);
   }
 
   // RID nodes first: node id == row index.
-  tg.rid_nodes.resize(static_cast<size_t>(n));
+  out->rid_nodes.resize(static_cast<size_t>(n));
   for (int64_t r = 0; r < n; ++r) {
-    tg.rid_nodes[static_cast<size_t>(r)] =
-        tg.graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
+    out->rid_nodes[static_cast<size_t>(r)] =
+        out->graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
   }
 
   // Cell nodes: one per (attribute, live dictionary code). Keying by
   // attribute disambiguates values shared across attributes (§3.2).
-  tg.cell_nodes.resize(static_cast<size_t>(m));
+  out->cell_nodes.resize(static_cast<size_t>(m));
   for (int c = 0; c < m; ++c) {
     const Dictionary& dict = table.column(c).dict();
-    auto& per_col = tg.cell_nodes[static_cast<size_t>(c)];
+    auto& per_col = out->cell_nodes[static_cast<size_t>(c)];
     per_col.assign(static_cast<size_t>(dict.size()), -1);
     for (int32_t code = 0; code < dict.size(); ++code) {
       if (dict.CountOf(code) <= 0) continue;
-      per_col[static_cast<size_t>(code)] = tg.graph.AddNode(
+      per_col[static_cast<size_t>(code)] = out->graph.AddNode(
           NodeInfo{NodeKind::kCell, code, static_cast<int32_t>(c)});
     }
   }
 
   // One undirected typed edge per present, non-excluded cell.
-  std::vector<CsrAdjacency> adjacency;
+  std::vector<CsrAdjacency> local_adjacency;
+  std::vector<CsrAdjacency>& adjacency =
+      scratch != nullptr ? scratch->adjacency : local_adjacency;
+  adjacency.clear();
   adjacency.reserve(static_cast<size_t>(m));
-  const int64_t num_nodes = tg.graph.num_nodes();
+  std::vector<std::pair<int32_t, int32_t>> local_edges;
+  std::vector<std::pair<int32_t, int32_t>>& edges =
+      scratch != nullptr ? scratch->edges : local_edges;
+  const int64_t num_nodes = out->graph.num_nodes();
   for (int c = 0; c < m; ++c) {
-    std::vector<std::pair<int32_t, int32_t>> edges;
+    edges.clear();
     const Column& col = table.column(c);
     for (int64_t r = 0; r < n; ++r) {
       const int32_t code = col.CodeAt(r);
       if (code < 0) continue;
-      if (excluded.count(r * m + c)) continue;
-      const int64_t cell_node = tg.CellNode(c, code);
+      if (!excluded.empty() && excluded.count(r * m + c) > 0) continue;
+      const int64_t cell_node = out->CellNode(c, code);
       GRIMP_CHECK_GE(cell_node, 0);
-      const int32_t rid = static_cast<int32_t>(tg.rid_nodes[
+      const int32_t rid = static_cast<int32_t>(out->rid_nodes[
           static_cast<size_t>(r)]);
       const int32_t cell = static_cast<int32_t>(cell_node);
       edges.emplace_back(rid, cell);
       edges.emplace_back(cell, rid);
     }
-    adjacency.push_back(CsrAdjacency::FromEdges(num_nodes, edges));
+    adjacency.push_back(CsrAdjacency::FromEdges(num_nodes, edges, csr));
   }
   if (options_.max_neighbors_per_node > 0) {
     Rng rng(options_.seed ^ 0x5eedc0ffeeULL);
@@ -117,8 +138,8 @@ Result<TableGraph> GraphBuilder::Build(
       adj = CapNeighbors(adj, options_.max_neighbors_per_node, &rng);
     }
   }
-  tg.graph.SetAdjacency(std::move(adjacency));
-  return tg;
+  out->graph.SetAdjacency(std::move(adjacency));
+  return Status::OK();
 }
 
 TableGraph BuildTableGraph(const Table& table,

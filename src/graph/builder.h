@@ -49,12 +49,30 @@ struct GraphBuildOptions {
 // neighbor cap, OutOfRange for an excluded cell outside the table.
 class GraphBuilder {
  public:
+  // Reusable storage for repeated builds (the serving hot path rebuilds a
+  // small graph per request): edge list, CSR arrays and the adjacency
+  // vector are recycled across BuildInto calls instead of reallocated.
+  struct Scratch {
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    CsrAdjacency::Scratch csr;
+    std::vector<CsrAdjacency> adjacency;
+  };
+
   explicit GraphBuilder(GraphBuildOptions options = {})
       : options_(options) {}
 
   Result<TableGraph> Build(
       const Table& table,
       const std::vector<CellRef>& excluded_cells = {}) const;
+
+  // In-place variant: rebuilds `*out` (which may hold a previous build,
+  // whose storage is recycled) for `table`. With a non-null `scratch` the
+  // steady state allocates nothing once buffers have grown to the largest
+  // request seen. Results are bit-identical to Build; on error `*out` is
+  // left empty, never partially built.
+  Status BuildInto(const Table& table,
+                   const std::vector<CellRef>& excluded_cells,
+                   TableGraph* out, Scratch* scratch) const;
 
   const GraphBuildOptions& options() const { return options_; }
 

@@ -11,8 +11,13 @@ uint64_t HeteroGraph::NextUid() {
 }
 
 CsrAdjacency CsrAdjacency::FromEdges(
-    int64_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges) {
+    int64_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges,
+    Scratch* scratch) {
   CsrAdjacency adj;
+  if (scratch != nullptr) {
+    adj.offsets_ = scratch->Take();
+    adj.indices_ = scratch->Take();
+  }
   adj.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
   for (const auto& [src, dst] : edges) {
     GRIMP_CHECK(src >= 0 && src < num_nodes);
@@ -23,7 +28,10 @@ CsrAdjacency CsrAdjacency::FromEdges(
     adj.offsets_[i] += adj.offsets_[i - 1];
   }
   adj.indices_.resize(edges.size());
-  std::vector<int32_t> cursor(adj.offsets_.begin(), adj.offsets_.end() - 1);
+  std::vector<int32_t> local_cursor;
+  std::vector<int32_t>& cursor =
+      scratch != nullptr ? scratch->cursor : local_cursor;
+  cursor.assign(adj.offsets_.begin(), adj.offsets_.end() - 1);
   for (const auto& [src, dst] : edges) {
     adj.indices_[static_cast<size_t>(cursor[static_cast<size_t>(src)]++)] =
         dst;

@@ -27,9 +27,29 @@ struct NodeInfo {
 // CSR adjacency for one edge type (one relation direction).
 class CsrAdjacency {
  public:
-  // Builds from an edge list over `num_nodes` source nodes.
+  // Recycled storage pool for repeated CSR construction (the serving hot
+  // path rebuilds per-request graphs at high rate): `spare` holds
+  // released offset/index arrays, `cursor` the counting-sort scratch.
+  struct Scratch {
+    std::vector<std::vector<int32_t>> spare;
+    std::vector<int32_t> cursor;
+
+    // Pops a spare array (empty vector when none) — capacity carries over.
+    std::vector<int32_t> Take() {
+      if (spare.empty()) return {};
+      std::vector<int32_t> v = std::move(spare.back());
+      spare.pop_back();
+      return v;
+    }
+    void Recycle(std::vector<int32_t> v) { spare.push_back(std::move(v)); }
+  };
+
+  // Builds from an edge list over `num_nodes` source nodes. `scratch`
+  // (optional) supplies recycled storage; the result is bit-identical with
+  // or without it.
   static CsrAdjacency FromEdges(
-      int64_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges);
+      int64_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges,
+      Scratch* scratch = nullptr);
 
   // Adopts prebuilt CSR arrays verbatim (offsets.size() == num_nodes + 1,
   // offsets.back() == indices.size()). Used to stitch block-diagonal union
@@ -141,6 +161,32 @@ class HeteroGraph {
   void SetAdjacency(std::vector<CsrAdjacency> adjacency) {
     adjacency_ = std::move(adjacency);
     uid_ = NextUid();  // structure changed; invalidate derived caches
+  }
+
+  // Rewinds to an empty graph for in-place rebuilding (per-request serving
+  // graphs), keeping the node vector's capacity. CSR arrays are released
+  // into `recycle` and the emptied adjacency vector moved into
+  // `adjacency_recycle` (both optional) so the next build can adopt the
+  // storage instead of reallocating. The graph gets a fresh uid: reusing
+  // storage must never revive a structure-derived cache entry.
+  void Reset(CsrAdjacency::Scratch* recycle,
+             std::vector<CsrAdjacency>* adjacency_recycle) {
+    nodes_.clear();
+    if (recycle != nullptr) {
+      for (CsrAdjacency& adj : adjacency_) {
+        std::vector<int32_t> offsets;
+        std::vector<int32_t> indices;
+        adj.ReleaseParts(&offsets, &indices);
+        recycle->Recycle(std::move(offsets));
+        recycle->Recycle(std::move(indices));
+      }
+    }
+    adjacency_.clear();
+    if (adjacency_recycle != nullptr) {
+      *adjacency_recycle = std::move(adjacency_);
+      adjacency_.clear();
+    }
+    uid_ = NextUid();
   }
 
  private:

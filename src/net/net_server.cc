@@ -1,0 +1,309 @@
+#include "net/net_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace grimp {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Counter& NetCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+struct NetServer::Connection {
+  Connection(uint64_t id_in, UniqueFd fd_in, ImputationServer* server)
+      : id(id_in), fd(std::move(fd_in)), session(server) {}
+
+  uint64_t id;
+  UniqueFd fd;
+  WireSession session;
+  std::string in_buf;   // bytes without a terminating '\n' yet
+  std::string out_buf;  // serialized responses awaiting send
+  uint64_t next_seq = 0;    // sequence assigned to the next request line
+  uint64_t next_flush = 0;  // sequence the next flushed response must have
+  std::map<uint64_t, std::string> ready;  // completed, waiting for order
+  int64_t in_flight = 0;
+  bool saw_eof = false;  // client half-closed; finish responses then close
+  bool closing = false;  // protocol error; close once out_buf drains
+};
+
+NetServer::NetServer(ImputationServer* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_) return Status::FailedPrecondition("already started");
+  GRIMP_ASSIGN_OR_RETURN(
+      listener_,
+      ListenTcp(options_.host, options_.port, options_.backlog, &port_));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    listener_.Close();
+    return Status::Unavailable(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = UniqueFd(pipe_fds[0]);
+  wake_write_ = UniqueFd(pipe_fds[1]);
+  for (int fd : pipe_fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  stop_ = false;
+  running_ = true;
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!running_) return;
+  stop_ = true;
+  {
+    // Lock pairs with the completion callbacks' locked wake write: after
+    // this, any callback that already decremented nothing still gets its
+    // completion drained by the loop before it exits.
+    std::lock_guard<std::mutex> lock(mu_);
+    const char byte = 0;
+    (void)!::write(wake_write_.get(), &byte, 1);
+  }
+  loop_.join();
+  running_ = false;
+  conns_.clear();
+  listener_.Close();
+  wake_read_.Close();
+  wake_write_.Close();
+}
+
+void NetServer::SubmitLine(Connection* conn, std::string line) {
+  const uint64_t conn_id = conn->id;
+  const uint64_t seq = conn->next_seq++;
+  conn->in_flight++;
+  in_flight_total_++;
+  NetCounter("serve.net.requests").Increment();
+  // The callback may run inline (parse error, cache hit, rejection) or on
+  // a scheduler worker; both paths go through the completion queue so the
+  // loop is the only thread that touches connection state.
+  conn->session.Submit(line, [this, conn_id, seq](std::string response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back({conn_id, seq, std::move(response)});
+    const char byte = 0;
+    // Non-blocking: a full pipe already guarantees a pending wake.
+    (void)!::write(wake_write_.get(), &byte, 1);
+  });
+}
+
+void NetServer::FlushReady(Connection* conn) {
+  auto it = conn->ready.find(conn->next_flush);
+  while (it != conn->ready.end()) {
+    if (!it->second.empty()) {
+      conn->out_buf += it->second;
+      conn->out_buf += '\n';
+      NetCounter("serve.net.responses").Increment();
+    }
+    conn->ready.erase(it);
+    conn->next_flush++;
+    it = conn->ready.find(conn->next_flush);
+  }
+}
+
+void NetServer::AcceptNew() {
+  for (;;) {
+    UniqueFd fd(::accept(listener_.get(), nullptr, nullptr));
+    if (!fd) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: retry on the next poll round
+    }
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      NetCounter("serve.net.rejected_conns").Increment();
+      continue;  // fd closes: client sees EOF/RST instead of silence
+    }
+    ::fcntl(fd.get(), F_SETFL, ::fcntl(fd.get(), F_GETFL, 0) | O_NONBLOCK);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    conns_.emplace(id,
+                   std::make_unique<Connection>(id, std::move(fd), server_));
+    NetCounter("serve.net.accepted").Increment();
+    MetricsRegistry::Global()
+        .GetGauge("serve.net.active_connections")
+        .Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void NetServer::ReadFrom(Connection* conn) {
+  char chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->saw_eof = true;  // connection error: stop reading, flush, close
+      break;
+    }
+    if (n == 0) {
+      conn->saw_eof = true;
+      break;
+    }
+    NetCounter("serve.net.bytes_in").Increment(n);
+    conn->in_buf.append(chunk, static_cast<size_t>(n));
+    if (static_cast<ssize_t>(sizeof(chunk)) > n) break;
+  }
+
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = conn->in_buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->in_buf.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    SubmitLine(conn, std::move(line));
+  }
+  if (start > 0) conn->in_buf.erase(0, start);
+
+  if (static_cast<int64_t>(conn->in_buf.size()) > options_.max_frame_bytes) {
+    // The partial frame can never complete; answer it and hang up. The
+    // error consumes a sequence number like any request so it flushes
+    // after every response already owed to this client.
+    NetCounter("serve.net.oversized").Increment();
+    const Status err = Status::InvalidArgument(
+        "frame exceeds max_frame_bytes=" +
+        std::to_string(options_.max_frame_bytes));
+    const uint64_t seq = conn->next_seq++;
+    conn->ready[seq] = server_->options().format == WireFormat::kCsv
+                           ? CsvErrorLine(err)
+                           : NdjsonErrorLine(err);
+    FlushReady(conn);
+    conn->in_buf.clear();
+    conn->closing = true;
+  }
+}
+
+bool NetServer::WriteTo(Connection* conn) {
+  while (!conn->out_buf.empty()) {
+    const ssize_t n = ::send(conn->fd.get(), conn->out_buf.data(),
+                             conn->out_buf.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // fatal (EPIPE/ECONNRESET): caller destroys
+    }
+    NetCounter("serve.net.bytes_out").Increment(n);
+    conn->out_buf.erase(0, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void NetServer::DestroyConnection(uint64_t conn_id) {
+  if (conns_.erase(conn_id) > 0) {
+    NetCounter("serve.net.closed").Increment();
+    MetricsRegistry::Global()
+        .GetGauge("serve.net.active_connections")
+        .Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void NetServer::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn id per pollfd (0: not a conn)
+  std::vector<Completion> drained;
+  for (;;) {
+    // 1. Drain completions into per-connection response order.
+    drained.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.swap(completions_);
+    }
+    for (Completion& c : drained) {
+      in_flight_total_--;
+      auto it = conns_.find(c.conn_id);
+      if (it == conns_.end()) continue;  // connection died mid-flight
+      Connection* conn = it->second.get();
+      conn->in_flight--;
+      conn->ready[c.seq] = std::move(c.line);
+      FlushReady(conn);
+    }
+
+    // 2. Opportunistic writes + deferred closes.
+    std::vector<uint64_t> to_close;
+    for (auto& [id, conn] : conns_) {
+      if (!conn->out_buf.empty() && !WriteTo(conn.get())) {
+        to_close.push_back(id);
+        continue;
+      }
+      const bool drained_conn = conn->in_flight == 0 &&
+                                conn->ready.empty() && conn->out_buf.empty();
+      if ((conn->saw_eof || conn->closing) && drained_conn) {
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) DestroyConnection(id);
+
+    // 3. Exit once stopped and every submitted request has come back
+    //    (responses got one best-effort flush above).
+    if (stop_ && in_flight_total_.load() == 0) {
+      std::lock_guard<std::mutex> lock(mu_);  // fence out in-progress wakes
+      return;
+    }
+
+    // 4. Build the poll set.
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    fd_conn.push_back(0);
+    if (!stop_ &&
+        static_cast<int>(conns_.size()) <= options_.max_connections) {
+      fds.push_back({listener_.get(), POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn->saw_eof && !conn->closing && !stop_) events |= POLLIN;
+      if (!conn->out_buf.empty()) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back({conn->fd.get(), events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (rc < 0 && errno != EINTR) continue;
+
+    // 5. Service readiness.
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_read_.get()) {
+        char buf[256];
+        while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fd_conn[i] == 0) {
+        AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadFrom(conn);
+      }
+      if (fds[i].revents & POLLOUT) {
+        if (!WriteTo(conn)) DestroyConnection(fd_conn[i]);
+      }
+    }
+  }
+}
+
+}  // namespace grimp

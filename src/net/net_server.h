@@ -1,0 +1,117 @@
+#ifndef GRIMP_NET_NET_SERVER_H_
+#define GRIMP_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "serve/server.h"
+
+namespace grimp {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0: bind an ephemeral port, read it back via port()
+  int backlog = 128;
+  // Connections past this are accepted and immediately closed (counted in
+  // serve.net.rejected_conns) so clients see a reset instead of hanging in
+  // the accept queue.
+  int max_connections = 256;
+  // A request line longer than this (no '\n' seen) gets a typed
+  // InvalidArgument response and the connection is closed.
+  int64_t max_frame_bytes = 1 << 20;
+};
+
+// Poll-driven TCP front end for an ImputationServer: one event-loop thread
+// owns the listener and every connection's buffers; request lines are fed
+// through a per-connection WireSession (so each socket carries its own
+// codec state), responses complete on scheduler workers and come back to
+// the loop through a self-pipe'd completion queue. Because the scheduler
+// reorders work across deadlines, priorities and models, each connection
+// numbers its requests and flushes responses strictly in request order —
+// pipelined clients can write N lines and read N lines.
+//
+// Overload behavior is the scheduler's: queue-full and unmeetable-deadline
+// rejections come back on the socket as typed NDJSON/CSV error lines, the
+// connection stays healthy. The listener itself sheds only on
+// max_connections.
+//
+// Half-close is supported: a client that shutdown(SHUT_WR)s after its last
+// request still receives every in-flight response before the server closes
+// the socket.
+//
+// Metrics: counters serve.net.{accepted,closed,rejected_conns,requests,
+// responses,bytes_in,bytes_out,oversized}, gauge
+// serve.net.active_connections.
+class NetServer {
+ public:
+  NetServer(ImputationServer* server, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens and spawns the event loop. Fails on bad host/port or
+  // if already started.
+  Status Start();
+
+  // Stops accepting, waits for every in-flight request to complete, makes
+  // a best-effort final flush and joins the loop. Idempotent.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  int port() const { return port_; }
+  bool running() const { return running_; }
+
+ private:
+  struct Connection;
+  struct Completion {
+    uint64_t conn_id;
+    uint64_t seq;
+    std::string line;
+  };
+
+  void EventLoop();
+  void AcceptNew();
+  // Reads whatever is available; parses and submits complete lines.
+  void ReadFrom(Connection* conn);
+  // Non-blocking write of conn->out_buf; returns false if the connection
+  // died (already destroyed).
+  bool WriteTo(Connection* conn);
+  // Moves consecutively-sequenced responses into out_buf.
+  void FlushReady(Connection* conn);
+  void SubmitLine(Connection* conn, std::string line);
+  void DestroyConnection(uint64_t conn_id);
+
+  ImputationServer* server_;
+  NetServerOptions options_;
+
+  UniqueFd listener_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  int port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+
+  // Event-loop-thread state (no lock: only loop_ touches it).
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Worker -> loop completion queue. The wake byte is written under the
+  // lock so the loop's final lock acquisition on exit fences out any
+  // callback still inside the critical section.
+  std::mutex mu_;
+  std::vector<Completion> completions_;
+  std::atomic<int64_t> in_flight_total_{0};
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_NET_NET_SERVER_H_

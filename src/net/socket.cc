@@ -1,0 +1,141 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace grimp {
+
+void UniqueFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port " + std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host '" + host + "'");
+  }
+  return addr;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<UniqueFd> ListenTcp(const std::string& host, int port, int backlog,
+                           int* bound_port) {
+  GRIMP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  GRIMP_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, int port) {
+  GRIMP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<TcpClient> TcpClient::Connect(const std::string& host, int port) {
+  GRIMP_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
+  return TcpClient(std::move(fd));
+}
+
+Status TcpClient::SendLine(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_.get(), framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpClient::RecvLine() {
+  for (;;) {
+    const size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpClient::ShutdownWrite() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace grimp

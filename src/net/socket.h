@@ -1,0 +1,76 @@
+#ifndef GRIMP_NET_SOCKET_H_
+#define GRIMP_NET_SOCKET_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace grimp {
+
+// Owning POSIX file descriptor (close-on-destroy, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { Close(); }
+
+  int get() const { return fd_; }
+  explicit operator bool() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a non-blocking listening TCP socket bound to host:port with
+// SO_REUSEADDR. `host` is an IPv4 dotted quad ("127.0.0.1", "0.0.0.0") or
+// "localhost". port 0 binds an ephemeral port; `*bound_port` (may be null)
+// receives the actual port either way.
+Result<UniqueFd> ListenTcp(const std::string& host, int port, int backlog,
+                           int* bound_port);
+
+// Blocking TCP connect to host:port (same host syntax as ListenTcp).
+Result<UniqueFd> ConnectTcp(const std::string& host, int port);
+
+// Minimal blocking line-protocol client over one TCP connection, used by
+// tests, bench_serve and the examples. Not thread-safe.
+class TcpClient {
+ public:
+  static Result<TcpClient> Connect(const std::string& host, int port);
+
+  // Sends `line` plus a trailing '\n'.
+  Status SendLine(const std::string& line);
+  // Blocks for the next '\n'-terminated line (returned without the
+  // terminator, trailing '\r' stripped). Unavailable on EOF.
+  Result<std::string> RecvLine();
+  // Half-close: signals EOF to the server while responses keep flowing.
+  void ShutdownWrite();
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit TcpClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  UniqueFd fd_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_NET_SOCKET_H_

@@ -1,0 +1,136 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace grimp {
+
+namespace {
+
+// Field/record separators below any value byte that matters, plus a
+// distinct marker for missing cells so "" (present empty string) and
+// missing cannot collide.
+constexpr char kFieldSep = '\x1f';
+constexpr char kMissing = '\x00';
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::string ResultCache::RowKey(const std::string& model_id,
+                                const Table& table, int64_t row) {
+  std::string key;
+  key.reserve(model_id.size() + 16 * static_cast<size_t>(table.num_cols()));
+  key += model_id;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    key += kFieldSep;
+    if (table.IsMissing(row, c)) {
+      key += kMissing;
+    } else {
+      key += table.column(c).StringAt(row);
+    }
+  }
+  return key;
+}
+
+uint64_t ResultCache::Fingerprint(const std::string& key) {
+  return Fnv1a(key);
+}
+
+std::shared_ptr<const Table> ResultCache::Lookup(const std::string& key) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t fp = Fingerprint(key);
+  std::shared_ptr<const Table> result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_fingerprint_.find(fp);
+    if (it != by_fingerprint_.end() && it->second->key == key) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      result = it->second->result;
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    PublishGaugesLocked();
+  }
+  metrics.GetCounter(result ? "serve.cache.hits" : "serve.cache.misses")
+      .Increment();
+  return result;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const Table> result) {
+  if (options_.capacity <= 0 || result == nullptr) return;
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t fp = Fingerprint(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_fingerprint_.find(fp);
+    if (it != by_fingerprint_.end()) {
+      // Refresh (or, on a fingerprint collision, replace the older row;
+      // Lookup's key compare keeps that correct).
+      it->second->key = key;
+      it->second->result = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{fp, key, std::move(result)});
+      by_fingerprint_[fp] = lru_.begin();
+      while (static_cast<int64_t>(lru_.size()) > options_.capacity) {
+        by_fingerprint_.erase(lru_.back().fingerprint);
+        lru_.pop_back();
+        ++evicted;
+        ++evictions_;
+      }
+    }
+    PublishGaugesLocked();
+  }
+  metrics.GetCounter("serve.cache.inserts").Increment();
+  if (evicted > 0) {
+    metrics.GetCounter("serve.cache.evictions").Increment(evicted);
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_fingerprint_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  PublishGaugesLocked();
+}
+
+int64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void ResultCache::PublishGaugesLocked() {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetGauge("serve.cache.size")
+      .Set(static_cast<double>(lru_.size()));
+  const int64_t lookups = hits_ + misses_;
+  metrics.GetGauge("serve.cache.hit_rate")
+      .Set(lookups > 0 ? static_cast<double>(hits_) /
+                             static_cast<double>(lookups)
+                       : 0.0);
+}
+
+}  // namespace grimp

@@ -1,0 +1,94 @@
+#ifndef GRIMP_SERVE_CACHE_H_
+#define GRIMP_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "table/table.h"
+
+namespace grimp {
+
+struct ResultCacheOptions {
+  // Maximum cached rows; <= 0 disables the cache entirely (every Lookup
+  // misses, Insert is a no-op).
+  int64_t capacity = 1024;
+};
+
+// Hot-row result cache for the serving layer: imputation is a pure
+// function of (model weights, input row), so a completed result can be
+// replayed verbatim for every later request presenting the same row to the
+// same model version. Keys are an FNV-1a fingerprint of the model's
+// "name@version" id plus the row's canonical cell strings; the full key
+// string is kept alongside each entry and compared on Lookup, so a
+// fingerprint collision degrades to a miss instead of serving a wrong row.
+//
+// Hot swap invalidation falls out of the key: a swapped model serves under
+// a new "name@version", so old entries can never be returned for it and
+// age out of the LRU under churn.
+//
+// Emitted metrics: counters "serve.cache.{hits,misses,evictions,inserts}",
+// gauges "serve.cache.size" and "serve.cache.hit_rate" (hits over lookups
+// since construction/Clear).
+//
+// Thread-safe; results are handed out as shared_ptr<const Table> so an
+// entry evicted mid-flight stays alive for the response that captured it.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Canonical cache key for row `row` of `table` served by `model_id`
+  // ("name@version"). Missing cells and field separators are encoded
+  // unambiguously, so distinct rows can never serialize to the same key.
+  static std::string RowKey(const std::string& model_id, const Table& table,
+                            int64_t row);
+  static uint64_t Fingerprint(const std::string& key);
+
+  // Returns the cached result for `key` (moving it to the LRU front), or
+  // nullptr on miss.
+  std::shared_ptr<const Table> Lookup(const std::string& key);
+
+  // Publishes a completed result. Inserting an existing key refreshes its
+  // value and recency. May evict the least recently used entries.
+  void Insert(const std::string& key, std::shared_ptr<const Table> result);
+
+  // Drops every entry (and resets the hit-rate gauge's window).
+  void Clear();
+
+  int64_t size() const;
+  int64_t capacity() const { return options_.capacity; }
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::string key;
+    std::shared_ptr<const Table> result;
+  };
+
+  void PublishGaugesLocked();
+
+  ResultCacheOptions options_;
+  mutable std::mutex mu_;
+  // LRU list, most recent first; the map indexes list nodes by fingerprint.
+  // Colliding fingerprints are rare enough that the map holds exactly one
+  // entry per fingerprint (a colliding Insert replaces the older row —
+  // correctness is preserved by the full-key compare on Lookup).
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_fingerprint_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_SERVE_CACHE_H_

@@ -9,17 +9,22 @@
 //                     [--workers N] [--deadline-ms F]
 //
 // serve reads one request per stdin line and writes one response per
-// stdout line until EOF (pipe-friendly: every response is flushed). Set
+// stdout line until EOF (pipe-friendly: every response is flushed). With
+// --port the server instead listens on TCP (port 0 picks an ephemeral
+// port, announced as "listening on host:port"), serving each connection
+// with the same line protocol until stdin reaches EOF. Set
 // GRIMP_METRICS_JSON=<path> to dump the serve.* metrics at exit.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "net/net_server.h"
 #include "serve/server.h"
 
 namespace {
@@ -28,6 +33,8 @@ using grimp::GrimpEngine;
 using grimp::GrimpOptions;
 using grimp::ImputationServer;
 using grimp::ModelRegistry;
+using grimp::NetServer;
+using grimp::NetServerOptions;
 using grimp::ServerOptions;
 using grimp::Status;
 using grimp::Table;
@@ -42,7 +49,9 @@ int Usage() {
       "  grimp_serve serve --model name[@version]=<model.bin> [--model ...]\n"
       "             [--default name[@version]] [--format ndjson|csv]\n"
       "             [--max-queue N] [--max-batch N] [--linger-ms F]\n"
-      "             [--workers N] [--deadline-ms F]\n");
+      "             [--workers N] [--deadline-ms F] [--no-shed]\n"
+      "             [--cache-capacity N] [--port N] [--host H]\n"
+      "             [--max-conns N]\n");
   return 2;
 }
 
@@ -118,6 +127,8 @@ int RunFit(int argc, char** argv) {
 int RunServe(int argc, char** argv) {
   ModelRegistry registry;
   ServerOptions options;
+  NetServerOptions net;
+  bool tcp = false;
   std::vector<std::string> model_specs;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,6 +157,17 @@ int RunServe(int argc, char** argv) {
       options.scheduler.num_workers = std::atoi(value.c_str());
     } else if (arg == "--deadline-ms" && NextArg(argc, argv, &i, &value)) {
       options.default_deadline_seconds = std::atof(value.c_str()) / 1e3;
+    } else if (arg == "--no-shed") {
+      options.scheduler.shed_unmeetable_deadlines = false;
+    } else if (arg == "--cache-capacity" && NextArg(argc, argv, &i, &value)) {
+      options.cache.capacity = std::atoll(value.c_str());
+    } else if (arg == "--port" && NextArg(argc, argv, &i, &value)) {
+      net.port = std::atoi(value.c_str());
+      tcp = true;
+    } else if (arg == "--host" && NextArg(argc, argv, &i, &value)) {
+      net.host = value;
+    } else if (arg == "--max-conns" && NextArg(argc, argv, &i, &value)) {
+      net.max_connections = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "grimp_serve serve: unknown argument %s\n",
                    arg.c_str());
@@ -181,6 +203,25 @@ int RunServe(int argc, char** argv) {
   }
 
   ImputationServer server(&registry, options);
+  if (tcp) {
+    NetServer net_server(&server, net);
+    if (Status status = net_server.Start(); !status.ok()) {
+      std::fprintf(stderr, "grimp_serve serve: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    // Announced on stdout so scripts can scrape the ephemeral port.
+    std::printf("listening on %s:%d\n", net.host.c_str(),
+                net_server.port());
+    std::fflush(stdout);
+    // Serve until stdin reaches EOF (Ctrl-D, or the harness closing the
+    // pipe); SIGINT falls through to process teardown as usual.
+    std::cin.ignore(std::numeric_limits<std::streamsize>::max());
+    net_server.Stop();
+    server.scheduler().Shutdown();
+    std::fprintf(stderr, "grimp_serve: done\n");
+    return 0;
+  }
   std::fprintf(stderr, "grimp_serve: ready (%lld model(s), %s on stdin)\n",
                static_cast<long long>(registry.size()),
                options.format == WireFormat::kNdjson ? "ndjson" : "csv");

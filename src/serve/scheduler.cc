@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/metrics.h"
@@ -14,6 +15,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
                     std::chrono::steady_clock::time_point now) {
   return std::chrono::duration<double>(now - start).count();
 }
+
+// Smoothing factor for the batch-execution-time EWMA driving load
+// shedding: heavy enough to track a shifting batch-size mix, light enough
+// that one outlier batch does not shed a burst of healthy requests.
+constexpr double kEwmaAlpha = 0.2;
 
 }  // namespace
 
@@ -30,14 +36,12 @@ RequestScheduler::RequestScheduler(SchedulerOptions options)
 
 RequestScheduler::~RequestScheduler() { Shutdown(); }
 
-std::future<Result<Table>> RequestScheduler::Submit(ImputeRequest request) {
+void RequestScheduler::SubmitWith(ImputeRequest request, DoneCallback done) {
   GRIMP_TRACE_SPAN("serve.enqueue");
   MetricsRegistry& registry = MetricsRegistry::Global();
-  std::promise<Result<Table>> rejected;
-  std::future<Result<Table>> rejected_future = rejected.get_future();
   if (!request.model) {
-    rejected.set_value(Status::InvalidArgument("request has no model"));
-    return rejected_future;
+    done(Status::InvalidArgument("request has no model"));
+    return;
   }
   registry.GetCounter("serve.requests." + request.model.name()).Increment();
   // Admission checks run before enqueue, so a bad request can never poison
@@ -45,12 +49,13 @@ std::future<Result<Table>> RequestScheduler::Submit(ImputeRequest request) {
   if (Status compat = request.model.engine().CheckCompatible(request.table);
       !compat.ok()) {
     registry.GetCounter("serve.rejected.schema").Increment();
-    rejected.set_value(std::move(compat));
-    return rejected_future;
+    done(std::move(compat));
+    return;
   }
 
   auto pending = std::make_unique<Pending>();
   pending->request = std::move(request);
+  pending->done = std::move(done);
   pending->enqueued_at = std::chrono::steady_clock::now();
   pending->deadline =
       pending->request.deadline_seconds > 0.0
@@ -60,29 +65,70 @@ std::future<Result<Table>> RequestScheduler::Submit(ImputeRequest request) {
                     std::chrono::duration<double>(
                         pending->request.deadline_seconds))
           : std::chrono::steady_clock::time_point::max();
-  std::future<Result<Table>> future = pending->promise.get_future();
 
+  const int lane = pending->request.high_priority ? kHighLane : kNormalLane;
+  registry.GetCounter(lane == kHighLane ? "serve.lane.high"
+                                        : "serve.lane.normal")
+      .Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       registry.GetCounter("serve.rejected.shutdown").Increment();
-      pending->promise.set_value(
-          Status::Unavailable("scheduler is shut down"));
-      return future;
+      pending->done(Status::Unavailable("scheduler is shut down"));
+      return;
     }
-    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+    if (DepthLocked() >= options_.max_queue) {
       registry.GetCounter("serve.rejected.queue_full").Increment();
-      pending->promise.set_value(Status::Unavailable(
-          "serve queue is full (" + std::to_string(queue_.size()) +
+      pending->done(Status::Unavailable(
+          "serve queue is full (" + std::to_string(DepthLocked()) +
           " requests pending, limit " + std::to_string(options_.max_queue) +
           ")"));
-      return future;
+      return;
     }
-    queue_.push_back(std::move(pending));
+    // Deadline-aware shedding: estimate this request's queueing delay from
+    // the traffic ahead of it (its own lane plus, for normal-lane
+    // requests, everything in the high lane) and the EWMA batch execution
+    // time. A request that would expire before a worker can reach it is
+    // rejected now — a typed, immediate "no" instead of a doomed wait that
+    // also delays everyone behind it.
+    const double ewma = ewma_batch_seconds_.load(std::memory_order_relaxed);
+    if (options_.shed_unmeetable_deadlines &&
+        pending->request.deadline_seconds > 0.0 && ewma > 0.0) {
+      const int64_t ahead =
+          static_cast<int64_t>(lanes_[kHighLane].size()) +
+          (lane == kNormalLane
+               ? static_cast<int64_t>(lanes_[kNormalLane].size())
+               : 0);
+      const double batches_ahead = std::ceil(
+          static_cast<double>(ahead + 1) /
+          static_cast<double>(options_.max_batch));
+      const double est_wait =
+          batches_ahead * ewma / static_cast<double>(options_.num_workers);
+      if (est_wait > pending->request.deadline_seconds) {
+        registry.GetCounter("serve.rejected.shed").Increment();
+        pending->done(Status::DeadlineExceeded(
+            "shed at admission: estimated wait " +
+            std::to_string(static_cast<int64_t>(est_wait * 1e3)) +
+            " ms exceeds deadline " +
+            std::to_string(static_cast<int64_t>(
+                pending->request.deadline_seconds * 1e3)) +
+            " ms (" + std::to_string(ahead) + " queued ahead)"));
+        return;
+      }
+    }
+    lanes_[lane].push_back(std::move(pending));
     registry.GetGauge("serve.queue_depth")
-        .Set(static_cast<double>(queue_.size()));
+        .Set(static_cast<double>(DepthLocked()));
   }
   cv_.notify_one();
+}
+
+std::future<Result<Table>> RequestScheduler::Submit(ImputeRequest request) {
+  auto promise = std::make_shared<std::promise<Result<Table>>>();
+  std::future<Result<Table>> future = promise->get_future();
+  SubmitWith(std::move(request), [promise](Result<Table> result) {
+    promise->set_value(std::move(result));
+  });
   return future;
 }
 
@@ -104,27 +150,35 @@ void RequestScheduler::Shutdown() {
 
 int64_t RequestScheduler::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(queue_.size());
+  return DepthLocked();
 }
 
 std::vector<std::unique_ptr<RequestScheduler::Pending>>
 RequestScheduler::PopBatchLocked() {
   std::vector<std::unique_ptr<Pending>> batch;
-  if (queue_.empty()) return batch;
-  const void* model_id = queue_.front()->request.model.id();
-  for (auto it = queue_.begin();
-       it != queue_.end() &&
-       static_cast<int>(batch.size()) < options_.max_batch;) {
-    if ((*it)->request.model.id() == model_id) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
-      ++it;
+  const int head_lane =
+      !lanes_[kHighLane].empty() ? kHighLane : kNormalLane;
+  if (lanes_[head_lane].empty()) return batch;
+  const void* model_id = lanes_[head_lane].front()->request.model.id();
+  // Same-model requests join the batch in lane order (high first), so a
+  // full batch always carries every compatible high-lane request before
+  // any normal-lane one.
+  for (int lane : {kHighLane, kNormalLane}) {
+    auto& queue = lanes_[lane];
+    for (auto it = queue.begin();
+         it != queue.end() &&
+         static_cast<int>(batch.size()) < options_.max_batch;) {
+      if ((*it)->request.model.id() == model_id) {
+        batch.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   MetricsRegistry::Global()
       .GetGauge("serve.queue_depth")
-      .Set(static_cast<double>(queue_.size()));
+      .Set(static_cast<double>(DepthLocked()));
   return batch;
 }
 
@@ -133,13 +187,13 @@ void RequestScheduler::WorkerMain() {
     std::vector<std::unique_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      cv_.wait(lock, [this] { return shutdown_ || DepthLocked() > 0; });
+      if (DepthLocked() == 0) {
         if (shutdown_) return;
         continue;
       }
       if (options_.batch_linger_seconds > 0.0 &&
-          static_cast<int>(queue_.size()) < options_.max_batch &&
+          DepthLocked() < static_cast<int64_t>(options_.max_batch) &&
           !shutdown_) {
         // Give concurrent clients one linger window to fill the batch;
         // stop early only once it is full (or on shutdown), so the window
@@ -151,7 +205,7 @@ void RequestScheduler::WorkerMain() {
                     options_.batch_linger_seconds));
         cv_.wait_until(lock, linger_until, [this] {
           return shutdown_ ||
-                 static_cast<int>(queue_.size()) >= options_.max_batch;
+                 DepthLocked() >= static_cast<int64_t>(options_.max_batch);
         });
       }
       batch = PopBatchLocked();
@@ -172,7 +226,9 @@ void RequestScheduler::ExecuteBatch(
     if (now > pending->deadline) {
       registry.GetCounter("serve.rejected.deadline").Increment();
       const double waited = SecondsSince(pending->enqueued_at, now);
-      pending->promise.set_value(Status::DeadlineExceeded(
+      // Rejections bypass Complete() so the e2e latency metrics track only
+      // requests that actually executed.
+      pending->done(Status::DeadlineExceeded(
           "deadline expired after " +
           std::to_string(static_cast<int64_t>(waited * 1e3)) +
           " ms in queue (limit " +
@@ -190,20 +246,33 @@ void RequestScheduler::ExecuteBatch(
   registry.GetCounter("serve.batches").Increment();
 
   const GrimpEngine& engine = live.front()->request.model.engine();
-  std::vector<const Table*> tables;
+  std::vector<Table*> tables;
   tables.reserve(live.size());
   for (const auto& pending : live) tables.push_back(&pending->request.table);
 
-  Result<std::vector<Table>> results = engine.TransformBatch(tables);
-  if (results.ok()) {
-    std::vector<Table>& imputed = *results;
-    for (size_t i = 0; i < live.size(); ++i) {
-      Complete(live[i].get(), std::move(imputed[i]));
+  const auto exec_start = std::chrono::steady_clock::now();
+  Status status = engine.TransformBatchInPlace(tables);
+  const double batch_seconds =
+      SecondsSince(exec_start, std::chrono::steady_clock::now());
+  const double prev = ewma_batch_seconds_.load(std::memory_order_relaxed);
+  const double ewma = prev == 0.0
+                          ? batch_seconds
+                          : (1.0 - kEwmaAlpha) * prev +
+                                kEwmaAlpha * batch_seconds;
+  ewma_batch_seconds_.store(ewma, std::memory_order_relaxed);
+  registry.GetGauge("serve.ewma_batch_seconds").Set(ewma);
+
+  if (status.ok()) {
+    for (std::unique_ptr<Pending>& pending : live) {
+      // The request table was imputed in place; hand it back without a
+      // copy (the serve path's steady state allocates nothing per request
+      // beyond the response itself).
+      Complete(pending.get(), std::move(pending->request.table));
     }
     return;
   }
   if (live.size() == 1) {
-    Complete(live[0].get(), results.status());
+    Complete(live[0].get(), std::move(status));
     return;
   }
   // Defensive fallback: admission should make whole-batch failures
@@ -227,7 +296,7 @@ void RequestScheduler::Complete(Pending* pending, Result<Table> result) {
   registry.GetHistogram("serve.e2e_micros").Record(e2e * 1e6);
   registry.GetCounter(result.ok() ? "serve.completed" : "serve.errors")
       .Increment();
-  pending->promise.set_value(std::move(result));
+  pending->done(std::move(result));
 }
 
 }  // namespace grimp

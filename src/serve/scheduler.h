@@ -1,9 +1,11 @@
 #ifndef GRIMP_SERVE_SCHEDULER_H_
 #define GRIMP_SERVE_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -32,42 +34,63 @@ struct SchedulerOptions {
   // fans out onto the global compute ThreadPool regardless, so more
   // workers mainly help when graph building dominates.
   int num_workers = 1;
+  // Deadline-aware load shedding at admission: a request whose deadline
+  // cannot be met at the current queue depth (estimated from an EWMA of
+  // recent batch execution times) is rejected immediately with
+  // kDeadlineExceeded instead of wasting queue space it is doomed to time
+  // out in. Requests without a deadline are never shed.
+  bool shed_unmeetable_deadlines = true;
 };
 
 // One imputation request: a pinned model version plus a schema-compatible
 // table (typically a single tuple). `deadline_seconds` is relative to
 // Submit(); a request still queued when it expires is rejected with
 // kDeadlineExceeded instead of executed. <= 0 means no deadline.
+// `high_priority` selects the high lane of the two-lane queue: workers
+// always drain high-lane requests first, and shedding estimates count only
+// the traffic ahead of the request's own lane.
 struct ImputeRequest {
   ModelHandle model;
   Table table;
   double deadline_seconds = 0.0;
+  bool high_priority = false;
 };
 
 // Micro-batching request scheduler (the serving tentpole): admission
-// control at Submit (bounded queue, schema check, typed Status
-// rejections), then worker threads that pop compatible requests — same
-// pinned model version — and fuse them into one TransformBatch call.
-// Batching never changes results: TransformBatch is bit-identical per
-// request to a solo Transform (see core/engine.h).
+// control at Submit (bounded two-lane queue, schema check, deadline
+// shedding, typed Status rejections), then worker threads that pop
+// compatible requests — same pinned model version, high lane first — and
+// fuse them into one TransformBatch call. Batching never changes results:
+// TransformBatch is bit-identical per request to a solo Transform (see
+// core/engine.h).
 //
 // Emitted metrics: span "serve.enqueue", histogram "serve.batch_size",
 // span "serve.e2e_seconds" + histogram "serve.e2e_micros" (per-request
-// end-to-end latency), gauge "serve.queue_depth", counters
-// "serve.requests.<model>", "serve.completed", "serve.batches" and
-// "serve.rejected.{queue_full,schema,deadline,shutdown}".
+// end-to-end latency), gauges "serve.queue_depth" and
+// "serve.ewma_batch_seconds", counters "serve.requests.<model>",
+// "serve.lane.{high,normal}", "serve.completed", "serve.batches" and
+// "serve.rejected.{queue_full,schema,deadline,shed,shutdown}".
 class RequestScheduler {
  public:
+  // Invoked exactly once per submitted request, with the imputed table or
+  // a typed rejection. Runs inline on the submitting thread for admission
+  // rejections and on a worker thread otherwise — implementations must be
+  // thread-safe against the caller and must not block on the scheduler.
+  using DoneCallback = std::function<void(Result<Table>)>;
+
   explicit RequestScheduler(SchedulerOptions options);
   ~RequestScheduler();  // implies Shutdown()
 
   RequestScheduler(const RequestScheduler&) = delete;
   RequestScheduler& operator=(const RequestScheduler&) = delete;
 
-  // Enqueues a request. Rejections (queue full -> kUnavailable, schema
-  // mismatch -> kFailedPrecondition, shut down -> kUnavailable) and
-  // results both arrive through the returned future; Submit itself never
-  // blocks on model execution.
+  // Enqueues a request; `done` receives the result or the typed rejection
+  // (queue full -> kUnavailable, schema mismatch -> kFailedPrecondition,
+  // unmeetable/expired deadline -> kDeadlineExceeded, shut down ->
+  // kUnavailable). Never blocks on model execution.
+  void SubmitWith(ImputeRequest request, DoneCallback done);
+
+  // Future-returning wrapper around SubmitWith.
   std::future<Result<Table>> Submit(ImputeRequest request);
 
   // Blocking convenience wrapper around Submit.
@@ -78,28 +101,39 @@ class RequestScheduler {
   void Shutdown();
 
   int64_t queue_depth() const;
+  // EWMA of recent batch execution times (0 until a batch completes).
+  double ewma_batch_seconds() const {
+    return ewma_batch_seconds_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
     ImputeRequest request;
-    std::promise<Result<Table>> promise;
+    DoneCallback done;
     std::chrono::steady_clock::time_point enqueued_at;
     // time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline;
   };
 
+  static constexpr int kHighLane = 0;
+  static constexpr int kNormalLane = 1;
+
   void WorkerMain();
   // Pops up to max_batch requests pinning the same model version as the
-  // queue head. Caller holds mu_.
+  // oldest high-lane (else normal-lane) head. Caller holds mu_.
   std::vector<std::unique_ptr<Pending>> PopBatchLocked();
   void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
   void Complete(Pending* pending, Result<Table> result);
+  int64_t DepthLocked() const {
+    return static_cast<int64_t>(lanes_[0].size() + lanes_[1].size());
+  }
 
   SchedulerOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
+  std::deque<std::unique_ptr<Pending>> lanes_[2];
   std::vector<std::thread> workers_;
+  std::atomic<double> ewma_batch_seconds_{0.0};
   bool shutdown_ = false;
 };
 

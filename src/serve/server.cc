@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
+#include <future>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <utility>
 
@@ -12,9 +14,18 @@ namespace grimp {
 namespace {
 
 std::string ErrorResponse(const Status& status) {
-  return std::string("{\"ok\":false,\"code\":\"") +
-         std::string(StatusCodeToString(status.code())) + "\",\"error\":\"" +
-         EscapeJson(status.message()) + "\"}";
+  return NdjsonErrorLine(status);
+}
+
+// CSV errors come back as "#error <code>: <message>" lines so the row
+// stream stays aligned with the request stream.
+std::string CsvErrorResponse(const Status& status) {
+  return CsvErrorLine(status);
+}
+
+std::string OkResponse(const std::string& model_id, const Table& imputed) {
+  return std::string("{\"ok\":true,\"model\":\"") + EscapeJson(model_id) +
+         "\",\"row\":" + RowToJson(imputed, 0) + "}";
 }
 
 }  // namespace
@@ -23,23 +34,75 @@ ImputationServer::ImputationServer(ModelRegistry* registry,
                                    ServerOptions options)
     : registry_(registry),
       options_(std::move(options)),
+      cache_(options_.cache),
       scheduler_(options_.scheduler) {}
 
-Result<std::string> ImputationServer::HandleNdjson(const std::string& line) {
-  GRIMP_ASSIGN_OR_RETURN(auto fields, ParseFlatJson(line));
+std::string ImputationServer::DefaultModelSpec() const {
+  if (!options_.default_model.empty()) return options_.default_model;
+  // Exactly one model *name* loaded: it is the unambiguous default, however
+  // many versions of it exist (a hot swap must not break model-less
+  // requests). Plain "name" resolves to the serving version.
+  const auto entries = registry_->List();
+  std::string name;
+  for (const auto& entry : entries) {
+    if (!name.empty() && entry.name != name) return "";
+    name = entry.name;
+  }
+  return name;
+}
 
-  std::string model_spec = options_.default_model;
+void ImputationServer::SubmitRow(ModelHandle model, Table row,
+                                 double deadline_seconds, bool high_priority,
+                                 bool csv,
+                                 std::function<void(std::string)> done) {
+  const std::string model_id = model.name() + "@" + model.version();
+  // The key pins the resolved version, so a hot swap naturally invalidates:
+  // the new version hashes elsewhere and old entries age out of the LRU.
+  std::string key = ResultCache::RowKey(model_id, row, 0);
+  if (std::shared_ptr<const Table> cached = cache_.Lookup(key)) {
+    done(csv ? RowToCsvLine(*cached, 0) : OkResponse(model_id, *cached));
+    return;
+  }
+  ImputeRequest request;
+  request.model = std::move(model);
+  request.table = std::move(row);
+  request.deadline_seconds = deadline_seconds;
+  request.high_priority = high_priority;
+  scheduler_.SubmitWith(
+      std::move(request),
+      [this, csv, model_id, key = std::move(key),
+       done = std::move(done)](Result<Table> result) mutable {
+        if (!result.ok()) {
+          done(csv ? CsvErrorResponse(result.status())
+                   : ErrorResponse(result.status()));
+          return;
+        }
+        auto imputed = std::make_shared<const Table>(*std::move(result));
+        cache_.Insert(std::move(key), imputed);
+        done(csv ? RowToCsvLine(*imputed, 0) : OkResponse(model_id, *imputed));
+      });
+}
+
+void ImputationServer::SubmitRequestLine(
+    const std::string& line, std::function<void(std::string)> done) {
+  auto fields_or = ParseFlatJson(line);
+  if (!fields_or.ok()) {
+    done(ErrorResponse(fields_or.status()));
+    return;
+  }
+  std::map<std::string, std::string> fields = *std::move(fields_or);
+
+  std::string model_spec;
   if (auto it = fields.find("model"); it != fields.end()) {
     model_spec = it->second;
     fields.erase(it);
-  }
-  if (model_spec.empty()) {
-    const auto entries = registry_->List();
-    if (entries.size() == 1) {
-      model_spec = entries[0].name;
-    } else {
-      return Status::InvalidArgument(
-          "request has no \"model\" key and no default model is configured");
+  } else {
+    model_spec = DefaultModelSpec();
+    if (model_spec.empty()) {
+      done(ErrorResponse(Status::InvalidArgument(
+          "request has no \"model\" key and no default model is "
+          "configured")));
+      return;
     }
   }
 
@@ -48,104 +111,124 @@ Result<std::string> ImputationServer::HandleNdjson(const std::string& line) {
     try {
       deadline_seconds = std::stod(it->second) / 1e3;
     } catch (...) {
-      return Status::InvalidArgument("bad deadline_ms value '" + it->second +
-                                     "'");
+      done(ErrorResponse(Status::InvalidArgument(
+          "bad deadline_ms value '" + it->second + "'")));
+      return;
     }
     fields.erase(it);
   }
 
-  GRIMP_ASSIGN_OR_RETURN(ModelHandle model, registry_->Acquire(model_spec));
-  const std::string model_id = model.name() + "@" + model.version();
-  GRIMP_ASSIGN_OR_RETURN(Table row,
-                         JsonFieldsToRow(model.engine().schema(), fields));
-  ImputeRequest request;
-  request.model = std::move(model);
-  request.table = std::move(row);
-  request.deadline_seconds = deadline_seconds;
-  GRIMP_ASSIGN_OR_RETURN(Table imputed, scheduler_.Impute(std::move(request)));
-  return std::string("{\"ok\":true,\"model\":\"") + EscapeJson(model_id) +
-         "\",\"row\":" + RowToJson(imputed, 0) + "}";
+  bool high_priority = false;
+  if (auto it = fields.find("priority"); it != fields.end()) {
+    if (it->second == "high") {
+      high_priority = true;
+    } else if (it->second != "normal") {
+      done(ErrorResponse(Status::InvalidArgument(
+          "bad priority value '" + it->second +
+          "' (expected \"high\" or \"normal\")")));
+      return;
+    }
+    fields.erase(it);
+  }
+
+  auto model_or = registry_->Acquire(model_spec);
+  if (!model_or.ok()) {
+    done(ErrorResponse(model_or.status()));
+    return;
+  }
+  auto row_or = JsonFieldsToRow(model_or->engine().schema(), fields);
+  if (!row_or.ok()) {
+    done(ErrorResponse(row_or.status()));
+    return;
+  }
+  SubmitRow(std::move(*model_or), std::move(*row_or), deadline_seconds,
+            high_priority, /*csv=*/false, std::move(done));
 }
 
 std::string ImputationServer::HandleRequestLine(const std::string& line) {
-  Result<std::string> response = HandleNdjson(line);
-  if (response.ok()) return *std::move(response);
-  return ErrorResponse(response.status());
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  SubmitRequestLine(
+      line, [&promise](std::string response) {
+        promise.set_value(std::move(response));
+      });
+  return future.get();
 }
 
-int64_t ImputationServer::ServeStream(std::istream& in, std::ostream& out) {
-  int64_t handled = 0;
-  if (options_.format == WireFormat::kNdjson) {
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      out << HandleRequestLine(line) << "\n" << std::flush;
-      ++handled;
-    }
-    return handled;
+void WireSession::Submit(const std::string& line,
+                         std::function<void(std::string)> done) {
+  if (line.empty()) {
+    done("");
+    return;
+  }
+  if (format_ == WireFormat::kNdjson) {
+    server_->SubmitRequestLine(line, std::move(done));
+    return;
   }
 
   // CSV: first line is the header; every later line is one tuple for the
-  // default model. Errors come back as "#error <code>: <message>" lines so
-  // the row stream stays aligned with the request stream.
-  auto respond_error = [&](const Status& status) {
-    out << "#error " << StatusCodeToString(status.code()) << ": "
-        << status.message() << "\n"
-        << std::flush;
-  };
-  std::string header_line;
-  if (!std::getline(in, header_line)) return handled;
-  auto header = ParseCsvLine(header_line);
-  if (!header.ok()) {
-    respond_error(header.status());
-    return handled;
+  // default model, columns matched by header name (so requests may present
+  // them in any order the model's schema knows about).
+  if (!have_header_) {
+    auto header = ParseCsvLine(line);
+    if (!header.ok()) {
+      done(CsvErrorResponse(header.status()));
+      return;
+    }
+    header_ = *std::move(header);
+    have_header_ = true;
+    done("");
+    return;
   }
+  auto cells = ParseCsvLine(line);
+  if (!cells.ok()) {
+    done(CsvErrorResponse(cells.status()));
+    return;
+  }
+  if (cells->size() != header_.size()) {
+    done(CsvErrorResponse(Status::InvalidArgument(
+        "row has " + std::to_string(cells->size()) + " fields, header has " +
+        std::to_string(header_.size()))));
+    return;
+  }
+  const std::string model_spec = server_->DefaultModelSpec();
+  auto model = server_->registry_->Acquire(model_spec);
+  if (!model.ok()) {
+    done(CsvErrorResponse(model.status()));
+    return;
+  }
+  std::map<std::string, std::string> fields;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    fields[header_[i]] = (*cells)[i];
+  }
+  auto table = JsonFieldsToRow(model->engine().schema(), fields);
+  if (!table.ok()) {
+    done(CsvErrorResponse(table.status()));
+    return;
+  }
+  server_->SubmitRow(std::move(*model), std::move(*table),
+                     server_->options_.default_deadline_seconds,
+                     /*high_priority=*/false, /*csv=*/true, std::move(done));
+}
+
+int64_t ImputationServer::ServeStream(std::istream& in, std::ostream& out) {
+  WireSession session(this);
+  const bool csv = options_.format == WireFormat::kCsv;
+  int64_t handled = 0;
+  bool seen_first = false;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    ++handled;
-    auto cells = ParseCsvLine(line);
-    if (!cells.ok()) {
-      respond_error(cells.status());
-      continue;
-    }
-    if (cells->size() != header->size()) {
-      respond_error(Status::InvalidArgument(
-          "row has " + std::to_string(cells->size()) + " fields, header has " +
-          std::to_string(header->size())));
-      continue;
-    }
-    std::string model_spec = options_.default_model;
-    if (model_spec.empty()) {
-      const auto entries = registry_->List();
-      if (entries.size() == 1) model_spec = entries[0].name;
-    }
-    auto model = registry_->Acquire(model_spec);
-    if (!model.ok()) {
-      respond_error(model.status());
-      continue;
-    }
-    // Columns are matched by header name, so the request may present them
-    // in any order the model's schema knows about.
-    std::map<std::string, std::string> fields;
-    for (size_t i = 0; i < header->size(); ++i) {
-      fields[(*header)[i]] = (*cells)[i];
-    }
-    auto table = JsonFieldsToRow(model->engine().schema(), fields);
-    if (!table.ok()) {
-      respond_error(table.status());
-      continue;
-    }
-    ImputeRequest request;
-    request.model = std::move(*model);
-    request.table = std::move(*table);
-    request.deadline_seconds = options_.default_deadline_seconds;
-    auto imputed = scheduler_.Impute(std::move(request));
-    if (!imputed.ok()) {
-      respond_error(imputed.status());
-      continue;
-    }
-    out << RowToCsvLine(*imputed, 0) << "\n" << std::flush;
+    const bool is_header = csv && !seen_first;
+    seen_first = true;
+    std::promise<std::string> promise;
+    std::future<std::string> future = promise.get_future();
+    session.Submit(line, [&promise](std::string response) {
+      promise.set_value(std::move(response));
+    });
+    const std::string response = future.get();
+    if (!response.empty()) out << response << "\n" << std::flush;
+    if (!is_header) ++handled;
   }
   return handled;
 }

@@ -1,9 +1,12 @@
 #ifndef GRIMP_SERVE_SERVER_H_
 #define GRIMP_SERVE_SERVER_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "serve/cache.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
 #include "serve/wire.h"
@@ -21,24 +24,43 @@ struct ServerOptions {
   WireFormat format = WireFormat::kNdjson;
   // Applied to requests that set no "deadline_ms"; <= 0 means none.
   double default_deadline_seconds = 0.0;
+  // Hot-row result cache (see cache.h). capacity <= 0 disables caching.
+  ResultCacheOptions cache;
 };
 
-// Front-end tying registry + scheduler to a line protocol. One request per
-// line, one response per line; NDJSON requests may carry two reserved keys
-// next to the cell values:
+// Front-end tying registry + scheduler + result cache to a line protocol.
+// One request per line, one response per line; NDJSON requests may carry
+// three reserved keys next to the cell values:
 //   "model":       "name" or "name@version" (else the default model)
 //   "deadline_ms": per-request deadline in milliseconds
+//   "priority":    "high" routes the request to the scheduler's high lane
 // Responses: {"ok":true,"model":"m@v","row":{...}} or
 //            {"ok":false,"code":"Unavailable","error":"..."}.
 //
-// HandleRequestLine is thread-safe (concurrent callers just become
-// concurrent scheduler clients), which is what LoopbackClient exploits.
+// Identical rows against the same pinned model version are answered from
+// the ResultCache without touching the scheduler (imputation is
+// deterministic, so a cached row is bit-identical to a recomputed one).
+// A hot swap changes the resolved version and therefore the cache key, so
+// stale entries can never be served — they just age out of the LRU.
+//
+// SubmitRequestLine/HandleRequestLine are thread-safe (concurrent callers
+// just become concurrent scheduler clients), which is what LoopbackClient
+// and the socket front end exploit.
 class ImputationServer {
  public:
   ImputationServer(ModelRegistry* registry, ServerOptions options);
 
   ImputationServer(const ImputationServer&) = delete;
   ImputationServer& operator=(const ImputationServer&) = delete;
+
+  // Async core used by the socket front end: parses one NDJSON request
+  // line, consults the result cache, and either answers inline (parse
+  // errors, rejections, cache hits) or submits to the scheduler. `done`
+  // is invoked exactly once with the response line — from the calling
+  // thread when inline, from a scheduler worker otherwise. `done` must
+  // not block.
+  void SubmitRequestLine(const std::string& line,
+                         std::function<void(std::string)> done);
 
   // NDJSON request line -> NDJSON response line. Blocks until the request
   // completes (rejections included).
@@ -52,14 +74,49 @@ class ImputationServer {
 
   RequestScheduler& scheduler() { return scheduler_; }
   ModelRegistry& registry() { return *registry_; }
+  ResultCache& cache() { return cache_; }
   const ServerOptions& options() const { return options_; }
 
  private:
-  Result<std::string> HandleNdjson(const std::string& line);
+  friend class WireSession;
+
+  // Resolves the model spec for a request that named none.
+  std::string DefaultModelSpec() const;
+
+  // Shared cache-then-schedule tail for both codecs. Takes ownership of
+  // the handle and row; `csv` picks the response dialect.
+  void SubmitRow(ModelHandle model, Table row, double deadline_seconds,
+                 bool high_priority, bool csv,
+                 std::function<void(std::string)> done);
 
   ModelRegistry* registry_;
   ServerOptions options_;
+  ResultCache cache_;
   RequestScheduler scheduler_;
+};
+
+// Per-connection codec state machine: feeds request lines to the server
+// in the connection's configured wire format and hands each response line
+// to a callback. For CSV the first non-empty line is the column header,
+// which produces no response; a WireSession is what gives each socket its
+// own header state. Not thread-safe — the net layer calls Submit for one
+// connection from its event loop only (responses may still complete on
+// scheduler workers).
+class WireSession {
+ public:
+  explicit WireSession(ImputationServer* server)
+      : server_(server), format_(server->options().format) {}
+
+  // Feeds one request line. `done` is invoked exactly once: with the
+  // response line, or with "" for lines that produce none (blank lines,
+  // the CSV header).
+  void Submit(const std::string& line, std::function<void(std::string)> done);
+
+ private:
+  ImputationServer* server_;
+  WireFormat format_;
+  bool have_header_ = false;
+  std::vector<std::string> header_;
 };
 
 // In-process client used by tests and bench_serve: drives the server

@@ -233,4 +233,16 @@ std::string RowToCsvLine(const Table& table, int64_t row) {
   return out;
 }
 
+std::string NdjsonErrorLine(const Status& status) {
+  return std::string("{\"ok\":false,\"code\":\"") +
+         std::string(StatusCodeToString(status.code())) +
+         "\",\"error\":\"" + EscapeJson(status.message()) + "\"}";
+}
+
+std::string CsvErrorLine(const Status& status) {
+  return std::string("#error ") +
+         std::string(StatusCodeToString(status.code())) + ": " +
+         status.message();
+}
+
 }  // namespace grimp

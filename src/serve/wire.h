@@ -39,6 +39,13 @@ std::string RowToJson(const Table& table, int64_t row);
 // Serializes row `row` of `table` as one CSV line.
 std::string RowToCsvLine(const Table& table, int64_t row);
 
+// Error response lines for the two wire dialects (shared by the in-process
+// server and the socket front end):
+//   NDJSON: {"ok":false,"code":"Invalid argument","error":"..."}
+//   CSV:    #error Invalid argument: ...
+std::string NdjsonErrorLine(const Status& status);
+std::string CsvErrorLine(const Status& status);
+
 }  // namespace grimp
 
 #endif  // GRIMP_SERVE_WIRE_H_

@@ -1,0 +1,76 @@
+# CTest helper: run the loopback-TCP socket smoke (tests/net_smoke.cc) with
+# GRIMP_METRICS_JSON set, then assert the dumped registry shows a healthy
+# socket front end: every connection accounted for, one response per
+# request, traffic counted in both directions, and the hot-row cache
+# actually absorbing the repeated rows. Invoked as
+#   cmake -DSMOKE_BIN=<exe> -DWORK_DIR=<dir> -P check_net_metrics.cmake
+
+if(NOT DEFINED SMOKE_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMOKE_BIN=<exe> -DWORK_DIR=<dir> -P ...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(metrics "${WORK_DIR}/net_smoke_metrics.json")
+file(REMOVE "${metrics}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "GRIMP_METRICS_JSON=${metrics}"
+          "${SMOKE_BIN}"
+  RESULT_VARIABLE smoke_result
+  OUTPUT_VARIABLE smoke_output
+  ERROR_VARIABLE smoke_errors)
+if(NOT smoke_result EQUAL 0)
+  message(FATAL_ERROR
+          "net_smoke failed (${smoke_result}):\n${smoke_output}\n${smoke_errors}")
+endif()
+
+if(NOT EXISTS "${metrics}")
+  message(FATAL_ERROR "GRIMP_METRICS_JSON sink ${metrics} was not written")
+endif()
+file(READ "${metrics}" metrics_json)
+
+# 8 clients x 8 rounds x 3 lines (hot row, cold row, malformed frame).
+math(EXPR want_requests "8 * 8 * 3")
+
+string(JSON accepted GET "${metrics_json}" counters serve.net.accepted)
+string(JSON closed GET "${metrics_json}" counters serve.net.closed)
+string(JSON requests GET "${metrics_json}" counters serve.net.requests)
+string(JSON responses GET "${metrics_json}" counters serve.net.responses)
+string(JSON bytes_in GET "${metrics_json}" counters serve.net.bytes_in)
+string(JSON bytes_out GET "${metrics_json}" counters serve.net.bytes_out)
+string(JSON cache_hits GET "${metrics_json}" counters serve.cache.hits)
+string(JSON cache_misses GET "${metrics_json}" counters serve.cache.misses)
+string(JSON active GET "${metrics_json}" gauges serve.net.active_connections)
+
+if(NOT accepted EQUAL 8)
+  message(FATAL_ERROR "serve.net.accepted is ${accepted}, expected 8")
+endif()
+if(NOT closed EQUAL accepted)
+  message(FATAL_ERROR
+          "serve.net.closed is ${closed}, accepted ${accepted}: leaked conns")
+endif()
+if(NOT active EQUAL 0)
+  message(FATAL_ERROR "serve.net.active_connections ended at ${active}")
+endif()
+if(NOT requests EQUAL want_requests)
+  message(FATAL_ERROR
+          "serve.net.requests is ${requests}, expected ${want_requests}")
+endif()
+if(NOT responses EQUAL requests)
+  message(FATAL_ERROR
+          "serve.net.responses is ${responses}, requests ${requests}")
+endif()
+if(bytes_in LESS 1 OR bytes_out LESS 1)
+  message(FATAL_ERROR "byte counters empty: in=${bytes_in} out=${bytes_out}")
+endif()
+# The shared hot row is requested 64 times; all but the first lookup (and
+# any racing first lookups at startup) must be absorbed by the cache.
+if(cache_hits LESS 50)
+  message(FATAL_ERROR "serve.cache.hits is ${cache_hits}, expected >= 50")
+endif()
+if(cache_misses LESS 1)
+  message(FATAL_ERROR "serve.cache.misses is ${cache_misses}")
+endif()
+
+message(STATUS "net metrics ok: accepted=${accepted} requests=${requests} "
+        "responses=${responses} cache_hits=${cache_hits}")

@@ -1,0 +1,142 @@
+// Socket-server smoke for ctest: fits a tiny model in-process, serves it
+// over real loopback TCP, and drives it with concurrent clients — repeated
+// hot rows (cache hits), distinct rows (misses), one malformed frame per
+// client (typed error). Exits non-zero if any client sees a wrong or
+// missing response. Run with GRIMP_METRICS_JSON set, the atexit dump gives
+// check_net_metrics.cmake the serve.net.* / serve.cache.* counters to
+// assert against.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/net_server.h"
+#include "net/socket.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using grimp::AttrType;
+using grimp::GrimpEngine;
+using grimp::GrimpOptions;
+using grimp::ImputationServer;
+using grimp::ModelRegistry;
+using grimp::NetServer;
+using grimp::NetServerOptions;
+using grimp::Schema;
+using grimp::ServerOptions;
+using grimp::Table;
+using grimp::TcpClient;
+
+constexpr int kClients = 8;
+constexpr int kRoundsPerClient = 8;
+
+Table TinyTable() {
+  Schema schema({{"color", AttrType::kCategorical},
+                 {"size", AttrType::kCategorical},
+                 {"price", AttrType::kNumerical}});
+  Table t(schema);
+  for (int i = 0; i < 6; ++i) {
+    if (!t.AppendRow({"red", "small", "1"}).ok()) std::abort();
+    if (!t.AppendRow({"blue", "large", "9"}).ok()) std::abort();
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  GrimpOptions options;
+  options.dim = 8;
+  options.shared_hidden = 16;
+  options.task_hidden = 16;
+  options.max_epochs = 8;
+  options.validation_fraction = 0.0;
+  options.seed = 42;
+  auto engine = std::make_unique<GrimpEngine>(options);
+  if (!engine->Fit(TinyTable()).ok()) {
+    std::fprintf(stderr, "net_smoke: fit failed\n");
+    return 1;
+  }
+  ModelRegistry registry;
+  if (!registry.Add("demo", "1", std::move(engine)).ok()) {
+    std::fprintf(stderr, "net_smoke: registry add failed\n");
+    return 1;
+  }
+
+  ServerOptions server_options;
+  server_options.cache.capacity = 64;
+  server_options.scheduler.max_batch = 4;
+  server_options.scheduler.num_workers = 2;
+  ImputationServer server(&registry, server_options);
+  NetServer net(&server, NetServerOptions{});
+  if (auto status = net.Start(); !status.ok()) {
+    std::fprintf(stderr, "net_smoke: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("net_smoke: listening on 127.0.0.1:%d\n", net.port());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = TcpClient::Connect("127.0.0.1", net.port());
+      if (!client.ok()) {
+        std::fprintf(stderr, "net_smoke: client %d connect: %s\n", c,
+                     client.status().ToString().c_str());
+        failures++;
+        return;
+      }
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        // One hot row shared by every client, one row unique to (c, round),
+        // one malformed frame.
+        const std::string hot = R"({"color":"red","size":null,"price":"1"})";
+        const std::string cold =
+            std::string(R"({"color":"blue","size":null,"price":")") +
+            std::to_string(100 + c * kRoundsPerClient + round) + "\"}";
+        const struct {
+          const std::string& line;
+          const char* want;
+        } calls[] = {{hot, "\"ok\":true"},
+                     {cold, "\"ok\":true"},
+                     {hot, "\"ok\":false"}};
+        for (int k = 0; k < 3; ++k) {
+          const std::string& line = k == 2 ? "not json" : calls[k].line;
+          if (!client->SendLine(line).ok()) {
+            failures++;
+            continue;
+          }
+          auto response = client->RecvLine();
+          if (!response.ok() ||
+              response->find(calls[k].want) == std::string::npos) {
+            std::fprintf(stderr, "net_smoke: client %d bad response: %s\n", c,
+                         response.ok() ? response->c_str()
+                                       : response.status().ToString().c_str());
+            failures++;
+          }
+        }
+      }
+      client->ShutdownWrite();
+      if (client->RecvLine().ok()) {  // server must close after the drain
+        std::fprintf(stderr, "net_smoke: client %d: no EOF after drain\n", c);
+        failures++;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  net.Stop();
+  server.scheduler().Shutdown();
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "net_smoke: %d failures\n", failures.load());
+    return 1;
+  }
+  std::printf("net_smoke: %d clients x %d rounds ok\n", kClients,
+              kRoundsPerClient);
+  return 0;
+}

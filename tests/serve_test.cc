@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "core/engine.h"
+#include "serve/cache.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
@@ -443,6 +445,241 @@ TEST(ServerTest, ErrorResponsesCarryTypedCodes) {
             std::string::npos);
   EXPECT_NE(client.Call(R"({"bogus":"x"})").find("unknown column"),
             std::string::npos);
+}
+
+// --- Result cache -----------------------------------------------------------
+
+std::shared_ptr<const Table> CachedRow(const std::string& color,
+                                       const std::string& price) {
+  return std::make_shared<const Table>(DirtyRow(color, price));
+}
+
+TEST(ResultCacheTest, RowKeyIsUnambiguousAcrossRowsAndModels) {
+  const Table red1 = DirtyRow("red", "1");
+  const Table red2 = DirtyRow("red", "2");
+  const Table blue1 = DirtyRow("blue", "1");
+  const std::string k = ResultCache::RowKey("demo@1", red1, 0);
+  EXPECT_EQ(k, ResultCache::RowKey("demo@1", DirtyRow("red", "1"), 0));
+  EXPECT_NE(k, ResultCache::RowKey("demo@2", red1, 0));  // version in key
+  EXPECT_NE(k, ResultCache::RowKey("demo@1", red2, 0));
+  EXPECT_NE(k, ResultCache::RowKey("demo@1", blue1, 0));
+}
+
+TEST(ResultCacheTest, HitAfterMissReturnsTheInsertedTable) {
+  ResultCache cache(ResultCacheOptions{/*capacity=*/8});
+  const std::string key = ResultCache::RowKey("demo@1", DirtyRow("red", "1"), 0);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+
+  auto value = CachedRow("red", "1");
+  cache.Insert(key, value);
+  std::shared_ptr<const Table> hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());  // same object, not a copy
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsedAndStaysBounded) {
+  ResultCache cache(ResultCacheOptions{/*capacity=*/3});
+  auto key_of = [](int i) {
+    return ResultCache::RowKey("demo@1", DirtyRow("red", std::to_string(i)), 0);
+  };
+  for (int i = 0; i < 3; ++i) cache.Insert(key_of(i), CachedRow("red", "1"));
+  // Touch key 0 so key 1 becomes the LRU entry, then overflow.
+  ASSERT_NE(cache.Lookup(key_of(0)), nullptr);
+  cache.Insert(key_of(3), CachedRow("red", "1"));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.Lookup(key_of(1)), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(key_of(0)), nullptr);  // refreshed, survived
+
+  // Churn far past capacity: the bound holds and old keys are gone.
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(key_of(10 + i), CachedRow("red", "1"));
+    EXPECT_LE(cache.size(), 3);
+  }
+  EXPECT_EQ(cache.Lookup(key_of(10)), nullptr);
+  EXPECT_NE(cache.Lookup(key_of(109)), nullptr);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(ResultCacheOptions{/*capacity=*/0});
+  const std::string key = ResultCache::RowKey("demo@1", DirtyRow("red", "1"), 0);
+  cache.Insert(key, CachedRow("red", "1"));
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+// --- Server + cache ---------------------------------------------------------
+
+TEST(ServerCacheTest, HitAfterMissIsBitIdentical) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine()).ok());
+  ServerOptions options;
+  options.cache.capacity = 16;
+  ImputationServer server(&registry, options);
+  LoopbackClient client(&server);
+
+  const std::string line = R"({"color":"red","size":null,"price":"1"})";
+  const std::string first = client.Call(line);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(server.cache().hits(), 0);
+  EXPECT_EQ(server.cache().misses(), 1);
+
+  const std::string second = client.Call(line);
+  EXPECT_EQ(second, first);  // bit-identical replay from the cache
+  EXPECT_EQ(server.cache().hits(), 1);
+  EXPECT_EQ(server.cache().misses(), 1);
+}
+
+TEST(ServerCacheTest, HotSwapInvalidatesThroughVersionedKeys) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine(/*seed=*/42)).ok());
+  ServerOptions options;
+  options.cache.capacity = 16;
+  ImputationServer server(&registry, options);
+  LoopbackClient client(&server);
+
+  const std::string line = R"({"color":"red","size":null,"price":"1"})";
+  const std::string v1 = client.Call(line);
+  EXPECT_NE(v1.find("\"model\":\"demo@1\""), std::string::npos);
+  ASSERT_NE(client.Call(line).find("\"model\":\"demo@1\""),
+            std::string::npos);  // cached under demo@1
+  EXPECT_EQ(server.cache().hits(), 1);
+
+  // Hot swap: version 2 becomes the serving version. The same request must
+  // miss (new key) and be answered by the new engine, never the stale entry.
+  ASSERT_TRUE(registry.Add("demo", "2", FitTinyEngine(/*seed=*/43)).ok());
+  const std::string v2 = client.Call(line);
+  EXPECT_NE(v2.find("\"model\":\"demo@2\""), std::string::npos);
+  EXPECT_EQ(server.cache().hits(), 1);
+  EXPECT_EQ(server.cache().misses(), 2);
+
+  // The swapped version now has its own hot entry.
+  EXPECT_EQ(client.Call(line), v2);
+  EXPECT_EQ(server.cache().hits(), 2);
+
+  // Pinned requests against the old version still work and still match.
+  const std::string pinned = client.Call(
+      R"({"model":"demo@1","color":"red","size":null,"price":"1"})");
+  EXPECT_EQ(pinned, v1);
+}
+
+TEST(ServerCacheTest, CacheBoundHoldsUnderRequestChurn) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine()).ok());
+  ServerOptions options;
+  options.cache.capacity = 2;
+  ImputationServer server(&registry, options);
+  LoopbackClient client(&server);
+  for (int i = 0; i < 20; ++i) {
+    const std::string line = std::string(R"({"color":"red","size":null,)") +
+                             "\"price\":\"" + std::to_string(i % 5) + "\"}";
+    EXPECT_NE(client.Call(line).find("\"ok\":true"), std::string::npos);
+    EXPECT_LE(server.cache().size(), 2);
+  }
+}
+
+// --- Wire robustness (fuzz-style) -------------------------------------------
+
+// Feeds one line through a WireSession and blocks for its response.
+std::string CallSession(WireSession& session, const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  session.Submit(line, [&promise](std::string response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+TEST(WireFuzzTest, MalformedNdjsonFramesGetTypedErrors) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine()).ok());
+  ImputationServer server(&registry, ServerOptions{});
+  LoopbackClient client(&server);
+
+  const char* kBad[] = {
+      "{",                                      // truncated frame
+      "}",                                      //
+      R"({"color":"red")",                      // truncated after value
+      R"({"color":)",                           // truncated mid-pair
+      R"({"color":"red",})",                    // trailing comma
+      R"({"color":"red"}})",                    // trailing garbage
+      R"("color")",                             // not an object
+      R"([{"color":"red"}])",                   // array frame
+      R"({"color":{"r":1}})",                   // nested object
+      R"({"color":"unterminated)",              // unterminated string
+      R"({"color":"red","color":"blue"})",      // duplicate key
+      R"({"bogus":"x"})",                       // unknown column
+      R"({"model":"ghost","color":"red"})",     // unknown model
+      R"({"deadline_ms":"soon","color":"red"})",  // bad deadline
+      R"({"priority":"urgent","color":"red"})",   // bad priority
+      "\x01\x02\xfe binary junk",               // raw bytes
+  };
+  for (const char* bad : kBad) {
+    const std::string response = client.Call(bad);
+    EXPECT_EQ(response.rfind("{\"ok\":false,\"code\":\"", 0), 0)
+        << "input: " << bad << " -> " << response;
+  }
+  // The session is not poisoned: a valid request still succeeds.
+  EXPECT_NE(client.Call(R"({"color":"red","size":null,"price":"1"})")
+                .find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(WireFuzzTest, RandomGarbageNeverCrashesAndAlwaysAnswers) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine()).ok());
+  ImputationServer server(&registry, ServerOptions{});
+  LoopbackClient client(&server);
+
+  // Deterministic garbage over a charset heavy in JSON structure, so the
+  // parser's state machine gets driven into its corners rather than
+  // rejecting everything at byte 0.
+  const std::string charset = "{}[]\":,\\nul0.9xe -\t";
+  Rng rng(2024);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string line;
+    const int len = 1 + static_cast<int>(rng.Uniform(48));
+    for (int i = 0; i < len; ++i) {
+      line += charset[rng.Uniform(static_cast<uint64_t>(charset.size()))];
+    }
+    const std::string response = client.Call(line);
+    // Every answer is a well-formed response line: either a typed error or
+    // (for the rare accidentally-valid frame) a served row.
+    EXPECT_EQ(response.rfind("{\"ok\":", 0), 0)
+        << "input: " << line << " -> " << response;
+  }
+}
+
+TEST(WireFuzzTest, MalformedCsvFramesGetTypedErrorLines) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("demo", "1", FitTinyEngine()).ok());
+  ServerOptions options;
+  options.format = WireFormat::kCsv;
+  ImputationServer server(&registry, options);
+
+  WireSession session(&server);
+  EXPECT_EQ(CallSession(session, "color,size,price"), "");  // header
+  // Truncated row (too few fields) and padded row (too many).
+  EXPECT_EQ(CallSession(session, "red,1").rfind("#error Invalid argument", 0),
+            0);
+  EXPECT_EQ(
+      CallSession(session, "red,,1,extra").rfind("#error Invalid argument", 0),
+      0);
+  // A valid row after the garbage still serves.
+  const std::string served = CallSession(session, "red,,1");
+  EXPECT_EQ(served.rfind("#error", 0), std::string::npos) << served;
+  EXPECT_NE(served.find("red"), std::string::npos);
+
+  // A header naming a column the schema does not have fails per-row with
+  // the offending name in the message.
+  WireSession bad_header(&server);
+  EXPECT_EQ(CallSession(bad_header, "colour,size,price"), "");
+  const std::string bad = CallSession(bad_header, "red,,1");
+  EXPECT_EQ(bad.rfind("#error", 0), 0) << bad;
+  EXPECT_NE(bad.find("colour"), std::string::npos);
 }
 
 }  // namespace
