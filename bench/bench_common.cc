@@ -8,6 +8,7 @@
 #include "baselines/aimnet.h"
 #include "baselines/knn.h"
 #include "baselines/missforest.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/names.h"
@@ -20,12 +21,7 @@ namespace bench {
 int ResolveMaxThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
-  int max_threads = static_cast<int>(hw);
-  if (const char* env = std::getenv("GRIMP_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) max_threads = n;
-  }
-  return max_threads;
+  return EnvOverrides::PositiveInt(kEnvNumThreads, static_cast<int>(hw));
 }
 
 BenchConfig ParseBenchArgs(int argc, char** argv,

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -68,11 +69,9 @@ int main() {
       {1000, 50, 17, "ragged edge tiles"},
   };
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  int max_threads = static_cast<int>(hw);
-  if (const char* env = std::getenv("GRIMP_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) max_threads = n;
-  }
+  const int max_threads =
+      grimp::EnvOverrides::PositiveInt(grimp::kEnvNumThreads,
+                                      static_cast<int>(hw));
   std::vector<int> thread_counts{1, 2, 4, max_threads};
   thread_counts.erase(
       std::remove_if(thread_counts.begin(), thread_counts.end(),

@@ -1,0 +1,45 @@
+#ifndef GRIMP_COMMON_ENV_H_
+#define GRIMP_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace grimp {
+
+// Canonical names of every GRIMP_* environment override. The semantics of
+// each knob are documented in one place — the "Environment overrides" table
+// in README.md; code reads them only through EnvOverrides below, never
+// through raw getenv, so the table and the behavior cannot drift apart.
+inline constexpr char kEnvNumThreads[] = "GRIMP_NUM_THREADS";
+inline constexpr char kEnvSimd[] = "GRIMP_SIMD";
+inline constexpr char kEnvArena[] = "GRIMP_ARENA";
+inline constexpr char kEnvShards[] = "GRIMP_SHARDS";
+inline constexpr char kEnvShardBudgetMb[] = "GRIMP_SHARD_BUDGET_MB";
+inline constexpr char kEnvMetricsJson[] = "GRIMP_METRICS_JSON";
+inline constexpr char kEnvLogLevel[] = "GRIMP_LOG_LEVEL";
+
+// Central parser for the GRIMP_* overrides. All accessors are tolerant:
+// an unset, empty or malformed variable falls back to the caller's
+// default instead of failing, because env overrides are operator
+// conveniences, not configuration of record.
+class EnvOverrides {
+ public:
+  // Raw value, or nullptr when unset.
+  static const char* Raw(const char* name);
+
+  // Parsed integer when the variable is set to a value > 0; `fallback`
+  // otherwise (unset, empty, non-numeric, zero or negative).
+  static int PositiveInt(const char* name, int fallback);
+  static int64_t PositiveInt64(const char* name, int64_t fallback);
+
+  // Non-empty string value, else `fallback`.
+  static std::string String(const char* name, const std::string& fallback);
+
+  // Opt-out flag semantics (GRIMP_ARENA): true unless the variable is set
+  // to exactly "0".
+  static bool EnabledFlag(const char* name);
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_COMMON_ENV_H_

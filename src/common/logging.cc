@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/env.h"
+
 namespace grimp {
 
 namespace {
@@ -18,7 +20,7 @@ int EffectiveLogLevel() {
   int level = g_log_level.load(std::memory_order_relaxed);
   if (level != kLevelUnset) return level;
   int resolved = static_cast<int>(LogLevel::kInfo);
-  if (const char* env = std::getenv("GRIMP_LOG_LEVEL")) {
+  if (const char* env = EnvOverrides::Raw(kEnvLogLevel)) {
     LogLevel parsed;
     if (ParseLogLevel(env, &parsed)) resolved = static_cast<int>(parsed);
   }

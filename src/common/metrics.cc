@@ -7,6 +7,8 @@
 #include <fstream>
 #include <limits>
 
+#include "common/env.h"
+
 namespace grimp {
 
 namespace {
@@ -162,8 +164,8 @@ MetricsRegistry& MetricsRegistry::Global() {
   // caches and the atexit JSON writer must outlive every other static.
   static MetricsRegistry* registry = []() {
     auto* r = new MetricsRegistry();
-    if (const char* path = std::getenv("GRIMP_METRICS_JSON");
-        path != nullptr && path[0] != '\0') {
+    const std::string path = EnvOverrides::String(kEnvMetricsJson, "");
+    if (!path.empty()) {
       static std::string sink_path = path;
       std::atexit([]() {
         (void)MetricsRegistry::Global().WriteJson(sink_path);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/metrics.h"
 
 namespace grimp {
@@ -39,12 +40,9 @@ std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;
 
 int DefaultThreads() {
-  if (const char* env = std::getenv("GRIMP_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  return EnvOverrides::PositiveInt(kEnvNumThreads, fallback);
 }
 
 int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {

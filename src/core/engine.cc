@@ -13,6 +13,7 @@
 #include "common/trace.h"
 #include "core/corpus.h"
 #include "graph/builder.h"
+#include "graph/sampler.h"
 #include "graph/store.h"
 
 namespace grimp {
@@ -37,6 +38,24 @@ void AppendRowIndices(const Table& table, const TableGraph& tg, int64_t row,
   }
 }
 
+
+// Sampling-stream seed for one streaming-inference task: a pure function
+// of (engine seed, task, caller nonce) — never of graph state or thread
+// count — so incremental and rebuilt live graphs impute identically.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+uint64_t StreamMixSeed(uint64_t seed, uint64_t task, uint64_t nonce) {
+  return SplitMix64(SplitMix64(SplitMix64(seed) ^ task) ^ nonce);
+}
+// Salt separating streaming-inference sampling streams from training's.
+constexpr uint64_t kStreamSalt = 0x73747265616dULL;  // "stream"
+// Salt for Resume's sample selection / fine-tune streams.
+constexpr uint64_t kResumeSalt = 0x726573756d65ULL;  // "resume"
+constexpr int kStreamDefaultFanout = 10;  // trainer's kDefaultFanout
 
 // Sharded training must not enumerate every present cell up front (the
 // corpus alone would rival the graph in size), so when the caller has not
@@ -234,6 +253,106 @@ Status GrimpEngine::Fit(const Table& source) {
   fitted_ = true;
   TensorArena::Global().PublishMetrics();
   return Status::OK();
+}
+
+Result<TrainSummary> GrimpEngine::Resume(const StreamContext& ctx,
+                                         const ResumeOptions& resume) {
+  if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  if (ctx.table == nullptr || ctx.tg == nullptr || ctx.store == nullptr ||
+      ctx.node_features == nullptr) {
+    return Status::InvalidArgument(
+        "StreamContext.table/tg/store/node_features must all be set");
+  }
+  if (!options_.use_gnn) {
+    return Status::FailedPrecondition(
+        "Resume fine-tunes with sampled minibatches and requires use_gnn");
+  }
+  GRIMP_RETURN_IF_ERROR(CheckSchema(*ctx.table));
+  const Table& live = *ctx.table;
+  if (ctx.node_features->rows() != ctx.tg->graph.num_nodes() ||
+      ctx.node_features->cols() != options_.dim) {
+    return Status::InvalidArgument(
+        "StreamContext.node_features shape does not match the live graph");
+  }
+
+  GrimpOptions local = options_;
+  local.train.mode = TrainMode::kSampled;
+  local.train.warm_start = true;
+  if (!ctx.fanouts.empty()) local.train.fanouts = ctx.fanouts;
+  if (resume.max_epochs > 0) local.max_epochs = resume.max_epochs;
+  if (resume.learning_rate > 0.0f) {
+    local.learning_rate = resume.learning_rate;
+  }
+  GRIMP_RETURN_IF_ERROR(local.Validate());
+  GRIMP_TRACE_SPAN("grimp.resume");
+  const int num_cols = schema_.num_fields();
+
+  const int64_t n = live.num_rows();
+  const int64_t window =
+      resume.window_rows > 0 ? std::min(resume.window_rows, n) : n;
+  const int64_t row_begin = n - window;
+
+  // Recency-weighted sample selection over the window's present cells.
+  // Cells outside the fitted source domain are skipped: the task heads
+  // were sized to the source dictionaries, so an unseen value has no
+  // class to train toward (its edges still inform its neighbors).
+  Rng rng(StreamMixSeed(options_.seed ^ kResumeSalt, 0, resume.nonce));
+  std::vector<TrainingSample> selected;
+  for (int64_t r = row_begin; r < n; ++r) {
+    double keep = 1.0;
+    if (resume.half_life_rows > 0.0) {
+      const double age = static_cast<double>(n - 1 - r);
+      keep = std::exp2(-age / resume.half_life_rows);
+    }
+    for (int c = 0; c < num_cols; ++c) {
+      const Column& col = live.column(c);
+      if (col.IsMissing(r)) continue;
+      if (col.is_categorical() &&
+          col.CodeAt(r) >=
+              source_dicts_[static_cast<size_t>(c)].size()) {
+        continue;
+      }
+      if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+      selected.push_back(TrainingSample{r, c});
+    }
+  }
+  if (selected.empty()) {
+    summary_ = TrainSummary{};
+    summary_.mode = TrainMode::kSampled;
+    return summary_;
+  }
+  rng.Shuffle(&selected);
+  const auto split = static_cast<size_t>(
+      static_cast<double>(selected.size()) *
+      (1.0 - local.validation_fraction));
+
+  std::vector<TrainTask> train_tasks(static_cast<size_t>(num_cols));
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    train_tasks[t].categorical = tasks_[t].categorical;
+    train_tasks[t].head = tasks_[t].head.get();
+  }
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const TrainingSample& s = selected[i];
+    const bool is_val = i >= split;
+    TrainTask& task = train_tasks[static_cast<size_t>(s.target_col)];
+    AppendRowIndices(live, *ctx.tg, s.row, s.target_col, /*node_offset=*/0,
+                     is_val ? &task.val_idx : &task.train_idx);
+    const Column& col = live.column(s.target_col);
+    if (col.is_categorical()) {
+      (is_val ? task.val_labels : task.train_labels)
+          .push_back(col.CodeAt(s.row));
+    } else {
+      (is_val ? task.val_targets : task.train_targets)
+          .push_back(static_cast<float>(
+              normalizer_.Normalize(s.target_col, col.NumAt(s.row))));
+    }
+  }
+
+  Trainer trainer(local, ctx.store, ctx.node_features, &gnn_, &shared_,
+                  std::move(train_tasks), num_cols);
+  GRIMP_ASSIGN_OR_RETURN(summary_, trainer.Run(local.callbacks));
+  TensorArena::Global().PublishMetrics();
+  return summary_;
 }
 
 namespace {
@@ -494,7 +613,8 @@ Result<std::vector<Table>> GrimpEngine::TransformBatch(
   std::vector<Table*> ptrs;
   ptrs.reserve(imputed.size());
   for (Table& t : imputed) ptrs.push_back(&t);
-  GRIMP_RETURN_IF_ERROR(TransformBatchInPlace(ptrs));
+  GRIMP_RETURN_IF_ERROR(
+      TransformMany(std::span<Table* const>(ptrs.data(), ptrs.size())));
   return imputed;
 }
 
@@ -543,9 +663,20 @@ struct TransformScratch {
 
 }  // namespace
 
-Status GrimpEngine::TransformBatchInPlace(
-    const std::vector<Table*>& tables) const {
+Status GrimpEngine::TransformMany(std::span<Table* const> tables,
+                                  const TransformOptions& options) const {
   if (!fitted_) return Status::FailedPrecondition("Fit() has not been run");
+  if (options.stream != nullptr) {
+    if (tables.size() != 1) {
+      return Status::InvalidArgument(
+          "streaming TransformMany takes exactly one window table, got " +
+          std::to_string(tables.size()));
+    }
+    if (tables[0] == nullptr) {
+      return Status::InvalidArgument("null table in batch");
+    }
+    return TransformStream(tables[0], *options.stream);
+  }
   if (tables.empty()) return Status::OK();
   for (const Table* t : tables) {
     if (t == nullptr) return Status::InvalidArgument("null table in batch");
@@ -696,6 +827,166 @@ Status GrimpEngine::TransformBatchInPlace(
   // All reads are done; apply the writes.
   for (const TransformScratch::Decision& d : s.decisions) {
     Column& dst = tables[d.request]->mutable_column(d.col);
+    if (d.categorical) {
+      const Dictionary& dict = source_dicts_[static_cast<size_t>(d.col)];
+      dst.SetCategorical(d.row, dict.ValueOf(d.code));
+    } else {
+      dst.SetNumerical(d.row, d.value);
+    }
+  }
+  TensorArena::Global().PublishMetrics();
+  return Status::OK();
+}
+
+Status GrimpEngine::TransformBatchInPlace(
+    const std::vector<Table*>& tables) const {
+  return TransformMany(std::span<Table* const>(tables.data(), tables.size()));
+}
+
+Status GrimpEngine::TransformStream(Table* window,
+                                    const StreamContext& ctx) const {
+  if (ctx.table == nullptr || ctx.tg == nullptr || ctx.store == nullptr ||
+      ctx.node_features == nullptr) {
+    return Status::InvalidArgument(
+        "StreamContext.table/tg/store/node_features must all be set");
+  }
+  if (!options_.use_gnn) {
+    return Status::FailedPrecondition(
+        "streaming inference runs sampled blocks and requires use_gnn");
+  }
+  GRIMP_RETURN_IF_ERROR(CheckSchema(*window));
+  GRIMP_RETURN_IF_ERROR(CheckSchema(*ctx.table));
+  const Table& live = *ctx.table;
+  const int64_t w = window->num_rows();
+  if (ctx.row_begin < 0 || ctx.row_begin + w > live.num_rows()) {
+    return Status::OutOfRange(
+        "stream window rows [" + std::to_string(ctx.row_begin) + ", " +
+        std::to_string(ctx.row_begin + w) + ") outside the live table (" +
+        std::to_string(live.num_rows()) + " rows)");
+  }
+  if (ctx.node_features->rows() != ctx.tg->graph.num_nodes() ||
+      ctx.node_features->cols() != options_.dim) {
+    return Status::InvalidArgument(
+        "StreamContext.node_features shape does not match the live graph");
+  }
+  GRIMP_TRACE_SPAN("grimp.transform_stream");
+  const int num_cols = schema_.num_fields();
+  const int dim = options_.dim;
+
+  std::vector<int> fanouts =
+      ctx.fanouts.empty() ? options_.train.fanouts : ctx.fanouts;
+  if (fanouts.empty()) {
+    fanouts.assign(static_cast<size_t>(gnn_.num_layers()),
+                   kStreamDefaultFanout);
+  }
+  const NeighborSampler sampler(ctx.store, std::move(fanouts));
+
+  // Dense node -> block-local-id remap (reset after each task's batch).
+  std::vector<int32_t> seed_local(
+      static_cast<size_t>(ctx.store->num_nodes()), -1);
+  std::vector<int32_t> seeds;
+  std::vector<int32_t> idx;
+  std::vector<int32_t> local_idx;
+  std::vector<int64_t> rows;  // window-local row of each gathered vector
+  SampledSubgraph sub;
+  Tape tape;
+
+  // Deferred writes, exactly like batch mode: every live-table read happens
+  // before the window is mutated.
+  struct Decision {
+    int64_t row;  // window-local
+    int col;
+    bool categorical;
+    int32_t code;
+    double value;
+  };
+  std::vector<Decision> decisions;
+
+  uint64_t task_id = 0;
+  for (const TaskState& task : tasks_) {
+    const uint64_t tid = task_id++;
+    // Reset first: the previous task's tape closures borrow sub's
+    // adjacency and the gather index vector, both about to be refilled.
+    tape.Reset();
+    idx.clear();
+    rows.clear();
+    for (int64_t r = 0; r < w; ++r) {
+      const int64_t live_row = ctx.row_begin + r;
+      if (!live.IsMissing(live_row, task.col)) continue;
+      AppendRowIndices(live, *ctx.tg, live_row, task.col, /*node_offset=*/0,
+                       &idx);
+      rows.push_back(r);
+    }
+    if (rows.empty()) continue;
+
+    // Seeds: the distinct gathered cell nodes, in first-seen order (fixes
+    // the block's local ids, like the trainer's sampled path).
+    seeds.clear();
+    for (const int32_t node : idx) {
+      if (node < 0) continue;
+      int32_t& slot = seed_local[static_cast<size_t>(node)];
+      if (slot < 0) {
+        slot = static_cast<int32_t>(seeds.size());
+        seeds.push_back(node);
+      }
+    }
+    if (seeds.empty()) seeds.push_back(0);  // fully-masked window rows
+    Rng rng(StreamMixSeed(options_.seed ^ kStreamSalt, tid, ctx.nonce));
+    sampler.Sample(seeds, &rng, &sub);
+
+    Tensor batch_feats = Tensor::Uninit(
+        static_cast<int64_t>(sub.input_nodes.size()), dim);
+    for (size_t i = 0; i < sub.input_nodes.size(); ++i) {
+      const float* src =
+          ctx.node_features->data() +
+          static_cast<int64_t>(sub.input_nodes[i]) * dim;
+      std::copy(src, src + dim,
+                batch_feats.data() + static_cast<int64_t>(i) * dim);
+    }
+    local_idx.resize(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      local_idx[i] =
+          idx[i] < 0 ? -1 : seed_local[static_cast<size_t>(idx[i])];
+    }
+    for (const int32_t node : seeds) {
+      seed_local[static_cast<size_t>(node)] = -1;
+    }
+
+    Tape::VarId feats = tape.Constant(std::move(batch_feats));
+    Tape::VarId h = gnn_.ForwardBlocks(&tape, feats, sub);
+    Tape::VarId h_shared = shared_.Forward(&tape, h);
+    Tape::VarId flat = tape.GatherRows(h_shared, &local_idx);
+    Tape::VarId out = task.head->Forward(
+        &tape, tape.Reshape(flat, static_cast<int64_t>(rows.size()),
+                            static_cast<int64_t>(num_cols) * dim));
+    const Tensor& scores = tape.value(out);
+    const Dictionary& dict = source_dicts_[static_cast<size_t>(task.col)];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (task.categorical) {
+        int32_t best = -1;
+        float best_score = 0.0f;
+        for (int32_t code = 0; code < dict.size(); ++code) {
+          if (dict.CountOf(code) <= 0) continue;
+          const float sc = scores.at(static_cast<int64_t>(i), code);
+          if (best < 0 || sc > best_score) {
+            best = code;
+            best_score = sc;
+          }
+        }
+        if (best >= 0) {
+          decisions.push_back({rows[i], task.col, true, best, 0.0});
+        }
+      } else {
+        decisions.push_back(
+            {rows[i], task.col, false, -1,
+             normalizer_.Denormalize(task.col,
+                                     scores.at(static_cast<int64_t>(i), 0))});
+      }
+    }
+  }
+
+  for (const Decision& d : decisions) {
+    Column& dst = window->mutable_column(d.col);
     if (d.categorical) {
       const Dictionary& dict = source_dicts_[static_cast<size_t>(d.col)];
       dst.SetCategorical(d.row, dict.ValueOf(d.code));

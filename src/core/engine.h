@@ -2,17 +2,69 @@
 #define GRIMP_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/grimp.h"
 #include "core/tasks.h"
 #include "core/trainer.h"
 #include "gnn/hetero_sage.h"
+#include "graph/builder.h"
+#include "graph/store.h"
 #include "table/dictionary.h"
 #include "table/normalizer.h"
 #include "tensor/nn.h"
 
 namespace grimp {
+
+// Inference over caller-maintained live state (streaming ingestion): the
+// StreamingEngine keeps a table, its segmented graph, a GraphStore over it
+// and the matching n-gram feature matrix incrementally up to date, and asks
+// the engine to impute a *window* of rows against that state with
+// sampled-block inference — cost scales with the window's receptive field,
+// not with the accumulated graph. All pointers are borrowed and must
+// outlive the call.
+struct StreamContext {
+  const Table* table = nullptr;           // live table (full history)
+  const TableGraph* tg = nullptr;         // segmented-layout graph over it
+  const GraphStore* store = nullptr;      // store over tg->graph
+  const Tensor* node_features = nullptr;  // features aligned with tg
+  // The window: live rows [row_begin, row_begin + window_rows) — the single
+  // table passed to TransformMany must hold copies of exactly those rows.
+  int64_t row_begin = 0;
+  // Per-layer sampling fanouts; empty = the engine's train.fanouts (or the
+  // trainer's default fanout per GNN layer).
+  std::vector<int> fanouts;
+  // Sampling-stream nonce. The drawn blocks are a pure function of
+  // (engine seed, nonce, task, graph, window) — never of how the graph was
+  // maintained — so incremental and rebuilt state impute identically.
+  uint64_t nonce = 0;
+};
+
+// Per-call knobs for GrimpEngine::TransformMany.
+struct TransformOptions {
+  // Null: batch mode (self-contained per-request graphs). Non-null:
+  // streaming mode over the context's live graph.
+  const StreamContext* stream = nullptr;
+};
+
+// Knobs for GrimpEngine::Resume (online fine-tuning over a live graph).
+struct ResumeOptions {
+  // Fine-tune on the last `window_rows` rows of the live table (0 = all).
+  int64_t window_rows = 0;
+  // Recency weighting: a present cell in a row `age` rows from the tail is
+  // kept with probability 2^(-age / half_life_rows) (0 = keep every cell).
+  double half_life_rows = 0.0;
+  // Epoch budget for the fine-tune run (<= 0 inherits the fitted options'
+  // max_epochs, which is usually far too many for an online step).
+  int max_epochs = 5;
+  // Learning rate override (<= 0 inherits the fitted options').
+  float learning_rate = 0.0f;
+  // Distinguishes successive fine-tune rounds: sample selection and
+  // sampling streams derive from (engine seed, nonce), so re-running a
+  // round is reproducible and distinct rounds see distinct subsets.
+  uint64_t nonce = 0;
+};
 
 // Inductive GRIMP (paper §3.4 "GNN based representations are inductive...
 // which allows them to be used for imputing tuples that were unseen during
@@ -43,36 +95,64 @@ class GrimpEngine {
   // missing values).
   Status Fit(const Table& source);
 
-  // Imputes every missing cell of `table` using the fitted model. `table`
-  // must have the source's schema (column names and types, in order).
+  // Online fine-tuning (streaming ingestion): resumes training from the
+  // current weights over a recency-weighted window of the live table,
+  // reading the graph through the context's store with sampled minibatches
+  // (train.mode is forced to kSampled, warm_start to true — by
+  // construction the run can only improve the validation loss, never
+  // regress it). Cells whose value was not in the fitted source domain are
+  // skipped (the task heads have no class for them). Unlike Fit, the
+  // window's validation cells keep their edges in the live graph (the
+  // graph is shared, maintained state — rebuilding it per round would
+  // defeat streaming), so the validation loss is comparative, not a clean
+  // holdout. Returns the fine-tune run's summary (also stored in
+  // summary()); a window with nothing to train on returns epochs_run == 0.
+  // Not thread-safe against Transform*/Save (like Fit).
+  Result<TrainSummary> Resume(const StreamContext& ctx,
+                              const ResumeOptions& resume);
+
+  // The one inference entry point: imputes every missing cell of every
+  // table in place. All other Transform* methods are thin wrappers over
+  // this.
   //
-  // Thread safety: Transform/TransformBatch only read model state (the
-  // tape, graph and features are per-call), so any number of calls may run
-  // concurrently on one fitted engine and each produces bit-identical
-  // results to a serial run. Fit/Save/Load must not run concurrently with
-  // them.
+  // Batch mode (options.stream == nullptr): each table gets the graph and
+  // deterministic n-gram features a solo run would build, the per-table
+  // graphs are stitched into a block-diagonal disjoint union, and one
+  // tape/GNN/task forward imputes them all. Message passing never crosses
+  // table boundaries and every kernel in the inference path is
+  // row-independent, so result i is bit-identical to a solo call on
+  // tables[i] — micro-batching amortizes cost without changing any answer.
+  // All model reads happen before any table is written; on error no table
+  // is modified. With the TensorArena enabled, per-thread scratch (tape,
+  // graph storage, GNN masks, gather indices) is recycled across calls,
+  // making the steady state allocation-free outside the response itself.
+  //
+  // Streaming mode (options.stream != nullptr): `tables` must hold exactly
+  // one table — a copy of the context's window rows — and inference runs
+  // with sampled blocks over the context's live graph (see StreamContext).
+  // Imputations are written into that window table only; the live state
+  // stays untouched (writing into the live table would perturb its
+  // dictionaries and therefore the graph).
+  //
+  // Tables must not alias each other; schema mismatches fail the whole
+  // call (use CheckCompatible to reject individual requests up front).
+  //
+  // Thread safety: only model state is shared (tape, graphs and features
+  // are per-call), so any number of calls may run concurrently on one
+  // fitted engine, each bit-identical to a serial run. Fit/Save/Load must
+  // not run concurrently with them.
+  Status TransformMany(std::span<Table* const> tables,
+                       const TransformOptions& options = {}) const;
+
+  // Copying wrapper over TransformMany: imputes a copy of `table`.
   Result<Table> Transform(const Table& table) const;
 
-  // Batched inference for the serving layer: imputes every table in one
-  // tape/GNN/task forward by stitching the per-table graphs into a
-  // block-diagonal disjoint union. Message passing never crosses table
-  // boundaries and every kernel in the inference path is row-independent,
-  // so result i is bit-identical to Transform(*tables[i]) — micro-batching
-  // amortizes cost without changing any answer. Fails if any table's
-  // schema mismatches (use CheckCompatible to reject individual requests
-  // up front).
+  // Copying wrapper over TransformMany: imputes a copy of every table.
   Result<std::vector<Table>> TransformBatch(
       const std::vector<const Table*>& tables) const;
 
-  // In-place sibling of TransformBatch for the serving hot path: imputes
-  // every missing cell directly into the request tables (which the
-  // scheduler owns), skipping the per-request output copy. All model
-  // reads happen before any table is written, so results stay
-  // bit-identical to TransformBatch/Transform; on error no table is
-  // modified. With the TensorArena enabled, per-thread scratch (tape,
-  // graph storage, GNN masks, gather indices) is recycled across calls,
-  // making the steady state allocation-free outside the response itself.
-  // Tables must not alias each other. Thread-safe like TransformBatch.
+  // Compatibility alias for TransformMany(tables, {}); prefer the spanned
+  // form in new code.
   Status TransformBatchInPlace(const std::vector<Table*>& tables) const;
 
   // Admission check for serving: OK iff the engine is fitted and `table`
@@ -110,6 +190,8 @@ class GrimpEngine {
   };
 
   Status CheckSchema(const Table& table) const;
+  // Streaming-mode body of TransformMany.
+  Status TransformStream(Table* window, const StreamContext& ctx) const;
   // Builds gnn_/shared_/tasks_ from schema_, source_dicts_ and options_.
   // `column_features` seeds the attention Q matrices (zeros when loading:
   // the stored weights overwrite them).

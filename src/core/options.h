@@ -43,6 +43,12 @@ struct TrainConfig {
   // size must equal gnn_layers and every entry must be > 0 (a fanout of 0
   // would silence message passing and is rejected by Validate()).
   std::vector<int> fanouts;
+  // Warm start (online fine-tuning): before the first epoch, score the
+  // current weights on the validation set and seed the early-stopping
+  // best-weights snapshot with them. A fine-tuning run can then never end
+  // with weights worse (by validation loss) than the ones it started from
+  // — if no epoch improves, the restore hands the originals back.
+  bool warm_start = false;
 };
 
 // (All name/parse helpers for the enums above live in core/names.h.)

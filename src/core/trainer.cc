@@ -389,6 +389,21 @@ Result<TrainSummary> Trainer::Run(const TrainCallbacks& callbacks) {
   std::vector<Tensor> best_params;
   int epochs_since_best = 0;
 
+  // Warm start: the incoming weights compete in the early-stopping
+  // comparison like an epoch-0 result, so fine-tuning can only improve the
+  // published model (by validation loss), never regress it.
+  if (options_.train.warm_start && summary_.num_val_samples > 0) {
+    bool has_val = false;
+    const double initial = store_->full_graph() != nullptr
+                               ? ValidationLoss(&has_val)
+                               : SampledValidationLoss(&has_val);
+    if (has_val) {
+      best_val = initial;
+      best_params.reserve(params_.size());
+      for (Parameter* p : params_) best_params.push_back(p->value);
+    }
+  }
+
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetGauge("grimp.num_parameters")
       .Set(static_cast<double>(summary_.num_parameters));

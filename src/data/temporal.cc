@@ -1,0 +1,125 @@
+#include "data/temporal.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace grimp {
+
+namespace {
+
+// Realistic-length tokens: feature construction hashes character n-grams,
+// so value length is part of the workload's cost model.
+std::string TickValue(int64_t tick) { return "tick_" + std::to_string(tick); }
+
+std::string CatValue(int col, int value) {
+  return "cat" + std::to_string(col) + "_value_" + std::to_string(value);
+}
+
+}  // namespace
+
+Result<TemporalStream> GenerateTemporalStream(const TemporalStreamSpec& spec,
+                                              uint64_t seed) {
+  if (spec.rows <= 0 || spec.num_clusters <= 0 || spec.cardinality < 2 ||
+      spec.tick_rows <= 0 || spec.drift_every_ticks <= 0) {
+    return Status::InvalidArgument("invalid TemporalStreamSpec");
+  }
+  if (spec.num_categorical < 1) {
+    return Status::InvalidArgument(
+        "temporal streams need at least one drifting categorical column");
+  }
+  if (spec.missing_fraction < 0.0 || spec.missing_fraction >= 1.0) {
+    return Status::InvalidArgument("missing_fraction must be in [0, 1)");
+  }
+
+  std::vector<Field> fields;
+  fields.push_back({"tick", AttrType::kCategorical});
+  for (int c = 0; c < spec.num_categorical; ++c) {
+    fields.push_back({"cat" + std::to_string(c), AttrType::kCategorical});
+  }
+  for (int c = 0; c < spec.num_numerical; ++c) {
+    fields.push_back({"num" + std::to_string(c), AttrType::kNumerical});
+  }
+  const Schema schema{std::move(fields)};
+
+  TemporalStream stream;
+  stream.truth = Table(schema);
+  stream.dirty = Table(schema);
+
+  Rng rng(seed);
+  Rng gap_rng = rng.Fork();
+
+  const int num_cols = schema.num_fields();
+  std::vector<std::string> truth_cells(static_cast<size_t>(num_cols));
+  std::vector<std::string> dirty_cells(static_cast<size_t>(num_cols));
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    const int64_t tick = r / spec.tick_rows;
+    const int64_t phase = tick / spec.drift_every_ticks;
+    const int z = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(spec.num_clusters)));
+
+    truth_cells[0] = TickValue(tick);
+    int f = 1;
+    for (int c = 0; c < spec.num_categorical; ++c, ++f) {
+      // The cluster's preferred value rotates with the drift phase, so a
+      // model trained on an early window mis-predicts later ones.
+      const int preferred = static_cast<int>(
+          (static_cast<int64_t>(z) * 7 + c * 3 + phase) %
+          spec.cardinality);
+      const int value =
+          rng.Bernoulli(spec.concentration)
+              ? preferred
+              : static_cast<int>(
+                    rng.Uniform(static_cast<uint64_t>(spec.cardinality)));
+      truth_cells[static_cast<size_t>(f)] = CatValue(c, value);
+    }
+    for (int c = 0; c < spec.num_numerical; ++c, ++f) {
+      const double mean =
+          static_cast<double>(z) * 2.0 +
+          static_cast<double>(phase) * 0.5 + static_cast<double>(c);
+      const double value = mean + 0.25 * rng.NextGaussian();
+      truth_cells[static_cast<size_t>(f)] =
+          Column::CanonicalNumeric(std::round(value * 100.0) / 100.0);
+    }
+    GRIMP_RETURN_IF_ERROR(stream.truth.AppendRow(truth_cells));
+
+    // Gap injection (tick column exempt: the timeline itself is never
+    // lost). MNAR scales the per-cell probability by the value identity.
+    dirty_cells = truth_cells;
+    for (int c = 1; c < num_cols; ++c) {
+      double p = spec.missing_fraction;
+      if (spec.mnar) {
+        const int32_t code =
+            stream.truth.column(c).CodeAt(r);  // just appended
+        double weight;
+        if (schema.field(c).type == AttrType::kCategorical) {
+          // Rank within the column's domain; higher values drop more.
+          weight = 0.5 + 1.0 * (static_cast<double>(code % spec.cardinality) /
+                                static_cast<double>(spec.cardinality - 1));
+        } else {
+          const double v = stream.truth.column(c).NumAt(r);
+          weight = v > static_cast<double>(spec.num_clusters) ? 1.5 : 0.5;
+        }
+        p = std::min(0.95, p * weight);
+      }
+      if (gap_rng.Bernoulli(p)) dirty_cells[static_cast<size_t>(c)].clear();
+    }
+    GRIMP_RETURN_IF_ERROR(stream.dirty.AppendRow(dirty_cells));
+  }
+  return stream;
+}
+
+std::vector<std::string> RowStrings(const Table& table, int64_t row) {
+  std::vector<std::string> cells(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    cells[static_cast<size_t>(c)] = table.column(c).StringAt(row);
+  }
+  return cells;
+}
+
+}  // namespace grimp

@@ -1,0 +1,68 @@
+#ifndef GRIMP_DATA_TEMPORAL_H_
+#define GRIMP_DATA_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace grimp {
+
+// Sliding-window temporal scenario for the streaming ingestion path: rows
+// arrive in sequence order, carry a coarse time bucket, and the generative
+// distribution drifts over time — the setting where online fine-tuning
+// pays off over a frozen batch model.
+//
+// Shape: one categorical "tick" column (the row's time bucket, never
+// gapped) plus `num_categorical` drifting categorical columns and
+// `num_numerical` drifting numerical columns. Rows within one tick share
+// the tick value, so time-adjacent rows are two hops apart through the
+// tick's cell node — temporal adjacency expressed in GRIMP's existing
+// quasi-bipartite graph, with edge-type count still equal to the column
+// count (no new edge type, no schema surgery in the GNN).
+//
+// Drift: every `drift_every_ticks` ticks the per-cluster preferred values
+// rotate by one, so the attribute correlations a model learned early in
+// the stream gradually go stale.
+struct TemporalStreamSpec {
+  int64_t rows = 2048;
+  int num_clusters = 4;
+  int num_categorical = 4;  // drifting columns, besides the tick column
+  int num_numerical = 1;
+  int cardinality = 12;     // per drifting categorical column
+  int64_t tick_rows = 64;   // rows per time bucket
+  int64_t drift_every_ticks = 4;
+  // Probability mass of the cluster-preferred value (vs. uniform noise);
+  // what makes the drifting columns mutually predictive.
+  double concentration = 0.85;
+
+  // Gap injection over the non-tick cells of the dirty copy.
+  double missing_fraction = 0.2;
+  // false: MCAR (uniform). true: MNAR — the gap probability scales with
+  // the cell value's identity (higher-coded categorical values and
+  // larger numeric values go missing more often), so missingness carries
+  // signal about the value, like sensor dropouts at range limits.
+  bool mnar = false;
+};
+
+// A generated stream: `truth` is the complete sequence-ordered table,
+// `dirty` the same rows with gaps injected. Feed `dirty`'s prefix as the
+// streaming seed and append the rest row by row; score imputations
+// against `truth`.
+struct TemporalStream {
+  Table truth;
+  Table dirty;
+};
+
+Result<TemporalStream> GenerateTemporalStream(const TemporalStreamSpec& spec,
+                                              uint64_t seed);
+
+// One row of `table` as the string cells AppendRow / StreamBatch consume
+// (empty string == missing).
+std::vector<std::string> RowStrings(const Table& table, int64_t row);
+
+}  // namespace grimp
+
+#endif  // GRIMP_DATA_TEMPORAL_H_

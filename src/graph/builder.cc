@@ -44,7 +44,23 @@ Result<TableGraph> GraphBuilder::Build(
   return tg;
 }
 
+Result<TableGraph> GraphBuilder::Build(
+    const Table& table, const std::vector<GraphSegment>& segments,
+    const std::vector<CellRef>& excluded_cells) const {
+  TableGraph tg;
+  GRIMP_RETURN_IF_ERROR(
+      BuildInto(table, segments, excluded_cells, &tg, /*scratch=*/nullptr));
+  return tg;
+}
+
 Status GraphBuilder::BuildInto(const Table& table,
+                               const std::vector<CellRef>& excluded_cells,
+                               TableGraph* out, Scratch* scratch) const {
+  return BuildInto(table, /*segments=*/{}, excluded_cells, out, scratch);
+}
+
+Status GraphBuilder::BuildInto(const Table& table,
+                               const std::vector<GraphSegment>& segments,
                                const std::vector<CellRef>& excluded_cells,
                                TableGraph* out, Scratch* scratch) const {
   GRIMP_TRACE_SPAN("graph_build");
@@ -71,6 +87,56 @@ Status GraphBuilder::BuildInto(const Table& table,
           "x" + std::to_string(m) + " table");
     }
   }
+  if (!segments.empty()) {
+    if (options_.max_neighbors_per_node > 0) {
+      return Status::InvalidArgument(
+          "segmented builds do not compose with max_neighbors_per_node: "
+          "the cap's random subsample is not a pure function of the edge "
+          "set, which segmented layouts exist to guarantee");
+    }
+    int64_t prev_row = 0;
+    std::vector<int32_t> prev_code(static_cast<size_t>(m), 0);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const GraphSegment& seg = segments[i];
+      if (seg.row_end < prev_row || seg.row_end > n) {
+        return Status::InvalidArgument(
+            "GraphSegment " + std::to_string(i) + " row_end " +
+            std::to_string(seg.row_end) + " not monotone within " +
+            std::to_string(n) + " rows");
+      }
+      if (static_cast<int>(seg.code_end.size()) != m) {
+        return Status::InvalidArgument(
+            "GraphSegment " + std::to_string(i) + " has " +
+            std::to_string(seg.code_end.size()) + " code watermarks for " +
+            std::to_string(m) + " columns");
+      }
+      for (int c = 0; c < m; ++c) {
+        const int32_t code_end = seg.code_end[static_cast<size_t>(c)];
+        if (code_end < prev_code[static_cast<size_t>(c)] ||
+            code_end > table.column(c).dict().size()) {
+          return Status::InvalidArgument(
+              "GraphSegment " + std::to_string(i) + " code_end[" +
+              std::to_string(c) + "] not monotone within the dictionary");
+        }
+      }
+      prev_row = seg.row_end;
+      prev_code = seg.code_end;
+    }
+    if (prev_row != n) {
+      return Status::InvalidArgument(
+          "segments cover rows up to " + std::to_string(prev_row) +
+          " of " + std::to_string(n));
+    }
+    for (int c = 0; c < m; ++c) {
+      if (prev_code[static_cast<size_t>(c)] != table.column(c).dict().size()) {
+        return Status::InvalidArgument(
+            "segments cover column " + std::to_string(c) +
+            "'s dictionary up to code " +
+            std::to_string(prev_code[static_cast<size_t>(c)]) + " of " +
+            std::to_string(table.column(c).dict().size()));
+      }
+    }
+  }
 
   // Recycle the previous build's storage (no-op on a fresh TableGraph).
   CsrAdjacency::Scratch* csr = scratch != nullptr ? &scratch->csr : nullptr;
@@ -84,24 +150,52 @@ Status GraphBuilder::BuildInto(const Table& table,
     excluded.insert(cell.row * m + cell.col);
   }
 
-  // RID nodes first: node id == row index.
   out->rid_nodes.resize(static_cast<size_t>(n));
-  for (int64_t r = 0; r < n; ++r) {
-    out->rid_nodes[static_cast<size_t>(r)] =
-        out->graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
-  }
-
-  // Cell nodes: one per (attribute, live dictionary code). Keying by
-  // attribute disambiguates values shared across attributes (§3.2).
   out->cell_nodes.resize(static_cast<size_t>(m));
-  for (int c = 0; c < m; ++c) {
-    const Dictionary& dict = table.column(c).dict();
-    auto& per_col = out->cell_nodes[static_cast<size_t>(c)];
-    per_col.assign(static_cast<size_t>(dict.size()), -1);
-    for (int32_t code = 0; code < dict.size(); ++code) {
-      if (dict.CountOf(code) <= 0) continue;
-      per_col[static_cast<size_t>(code)] = out->graph.AddNode(
-          NodeInfo{NodeKind::kCell, code, static_cast<int32_t>(c)});
+  if (segments.empty()) {
+    // Batch layout. RID nodes first: node id == row index.
+    for (int64_t r = 0; r < n; ++r) {
+      out->rid_nodes[static_cast<size_t>(r)] =
+          out->graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
+    }
+
+    // Cell nodes: one per (attribute, live dictionary code). Keying by
+    // attribute disambiguates values shared across attributes (§3.2).
+    for (int c = 0; c < m; ++c) {
+      const Dictionary& dict = table.column(c).dict();
+      auto& per_col = out->cell_nodes[static_cast<size_t>(c)];
+      per_col.assign(static_cast<size_t>(dict.size()), -1);
+      for (int32_t code = 0; code < dict.size(); ++code) {
+        if (dict.CountOf(code) <= 0) continue;
+        per_col[static_cast<size_t>(code)] = out->graph.AddNode(
+            NodeInfo{NodeKind::kCell, code, static_cast<int32_t>(c)});
+      }
+    }
+  } else {
+    // Append-epoch layout: per segment, its RID nodes then each column's
+    // new codes ascending — dead codes included, so the id assignment
+    // never depends on occurrence counts (see GraphSegment).
+    for (int c = 0; c < m; ++c) {
+      out->cell_nodes[static_cast<size_t>(c)].assign(
+          static_cast<size_t>(table.column(c).dict().size()), -1);
+    }
+    int64_t row_begin = 0;
+    std::vector<int32_t> code_begin(static_cast<size_t>(m), 0);
+    for (const GraphSegment& seg : segments) {
+      for (int64_t r = row_begin; r < seg.row_end; ++r) {
+        out->rid_nodes[static_cast<size_t>(r)] =
+            out->graph.AddNode(NodeInfo{NodeKind::kRid, r, -1});
+      }
+      for (int c = 0; c < m; ++c) {
+        auto& per_col = out->cell_nodes[static_cast<size_t>(c)];
+        for (int32_t code = code_begin[static_cast<size_t>(c)];
+             code < seg.code_end[static_cast<size_t>(c)]; ++code) {
+          per_col[static_cast<size_t>(code)] = out->graph.AddNode(
+              NodeInfo{NodeKind::kCell, code, static_cast<int32_t>(c)});
+        }
+      }
+      row_begin = seg.row_end;
+      code_begin = seg.code_end;
     }
   }
 

@@ -27,6 +27,24 @@ struct TableGraph {
   }
 };
 
+// One append epoch's node-layout watermark for segmented builds (the
+// streaming ingestion path). A segment covers rows [prev.row_end, row_end)
+// and, per column c, dictionary codes [prev.code_end[c], code_end[c]).
+// Node ids are assigned segment by segment: the segment's RID nodes in row
+// order, then each column's new codes ascending — *including* codes whose
+// occurrence count has dropped to zero (they become isolated nodes, so a
+// later revival of the value needs no new node and no relabeling). This
+// makes the node-id layout a pure function of the segment list, which is
+// what lets an incrementally maintained graph be compared bit-for-bit
+// against Build(live_table, segments).
+//
+// The last segment must cover the whole table: row_end == num_rows and
+// code_end[c] == column c's dictionary size.
+struct GraphSegment {
+  int64_t row_end = 0;
+  std::vector<int32_t> code_end;  // one watermark per column
+};
+
 // Graph construction knobs. `max_neighbors_per_node` > 0 implements the
 // paper's §7 graph-pruning direction (GraphSAGE-style neighborhood
 // sampling): any node whose per-type neighbor list exceeds the cap keeps a
@@ -65,12 +83,27 @@ class GraphBuilder {
       const Table& table,
       const std::vector<CellRef>& excluded_cells = {}) const;
 
+  // Segmented build: node ids follow the append-epoch layout described at
+  // GraphSegment instead of the batch layout (all RIDs, then live codes).
+  // An empty segment list is exactly the batch layout. Segments compose
+  // with excluded_cells but not with max_neighbors_per_node > 0 (the cap's
+  // RNG subsample is order-sensitive; InvalidArgument).
+  Result<TableGraph> Build(const Table& table,
+                           const std::vector<GraphSegment>& segments,
+                           const std::vector<CellRef>& excluded_cells) const;
+
   // In-place variant: rebuilds `*out` (which may hold a previous build,
   // whose storage is recycled) for `table`. With a non-null `scratch` the
   // steady state allocates nothing once buffers have grown to the largest
   // request seen. Results are bit-identical to Build; on error `*out` is
   // left empty, never partially built.
   Status BuildInto(const Table& table,
+                   const std::vector<CellRef>& excluded_cells,
+                   TableGraph* out, Scratch* scratch) const;
+
+  // Segmented in-place variant (see the segmented Build overload).
+  Status BuildInto(const Table& table,
+                   const std::vector<GraphSegment>& segments,
                    const std::vector<CellRef>& excluded_cells,
                    TableGraph* out, Scratch* scratch) const;
 

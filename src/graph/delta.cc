@@ -1,0 +1,76 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+
+namespace grimp {
+
+CsrAdjacency MergeAdjacencyDelta(
+    const CsrAdjacency& base, int64_t new_num_nodes,
+    const std::vector<std::pair<int32_t, int32_t>>& sorted_edges) {
+  const int64_t base_n = base.num_nodes();
+  GRIMP_CHECK_GE(new_num_nodes, base_n);
+
+  std::vector<int32_t> offsets;
+  offsets.reserve(static_cast<size_t>(new_num_nodes) + 1);
+  std::vector<int32_t> indices;
+  indices.reserve(base.indices().size() + sorted_edges.size());
+
+  const std::vector<int32_t>& base_off = base.offsets();
+  const std::vector<int32_t>& base_idx = base.indices();
+  size_t d = 0;  // cursor into sorted_edges
+  offsets.push_back(0);
+  for (int64_t v = 0; v < new_num_nodes; ++v) {
+    // Fast path: nodes up to the next delta source keep their base runs
+    // verbatim — bulk-copy them instead of merging element by element
+    // (deltas touch a small fraction of the nodes, so this is the common
+    // case on the streaming path).
+    if (d >= sorted_edges.size() || sorted_edges[d].first > v) {
+      const int64_t stop =
+          d < sorted_edges.size()
+              ? std::min<int64_t>(sorted_edges[d].first, new_num_nodes)
+              : new_num_nodes;
+      const int64_t base_stop = std::min(stop, base_n);
+      if (v < base_stop) {
+        const int32_t shift = static_cast<int32_t>(indices.size()) -
+                              base_off[static_cast<size_t>(v)];
+        indices.insert(indices.end(),
+                       base_idx.begin() + base_off[static_cast<size_t>(v)],
+                       base_idx.begin() +
+                           base_off[static_cast<size_t>(base_stop)]);
+        for (int64_t u = v; u < base_stop; ++u) {
+          offsets.push_back(base_off[static_cast<size_t>(u) + 1] + shift);
+        }
+        v = base_stop;
+      }
+      // Appended nodes with no delta edges are isolated.
+      for (; v < stop; ++v) {
+        offsets.push_back(static_cast<int32_t>(indices.size()));
+      }
+      --v;  // loop increment
+      continue;
+    }
+    const int32_t* b = nullptr;
+    const int32_t* e = nullptr;
+    if (v < base_n) {
+      b = base_idx.data() + base_off[static_cast<size_t>(v)];
+      e = base_idx.data() + base_off[static_cast<size_t>(v) + 1];
+    }
+    // Ascending merge of the base run with v's delta run.
+    while (b != e || (d < sorted_edges.size() && sorted_edges[d].first == v)) {
+      const bool delta_here =
+          d < sorted_edges.size() && sorted_edges[d].first == v;
+      if (b == e || (delta_here && sorted_edges[d].second < *b)) {
+        GRIMP_DCHECK(delta_here);
+        indices.push_back(sorted_edges[d++].second);
+      } else {
+        indices.push_back(*b++);
+      }
+    }
+    offsets.push_back(static_cast<int32_t>(indices.size()));
+  }
+  GRIMP_CHECK_EQ(static_cast<int64_t>(d),
+                 static_cast<int64_t>(sorted_edges.size()));
+  return CsrAdjacency::FromParts(std::move(offsets), std::move(indices));
+}
+
+}  // namespace grimp

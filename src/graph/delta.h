@@ -1,0 +1,51 @@
+#ifndef GRIMP_GRAPH_DELTA_H_
+#define GRIMP_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace grimp {
+
+// An incremental adjacency update for streaming ingestion: the node table
+// has grown append-only to `new_num_nodes` (ids of existing nodes never
+// change), and `edges[t]` lists edge type t's new (src, dst) pairs in the
+// final id space — both directions of every undirected edge, sorted by
+// (src, dst), no duplicates against the base or within the delta.
+//
+// Because CsrAdjacency::FromEdges sorts every neighbor list ascending, a
+// CSR is a pure function of its edge *set* — so merging a delta's sorted
+// per-node runs into the base CSR (MergeAdjacencyDelta below) yields the
+// bit-identical arrays a from-scratch FromEdges over base ∪ delta would
+// produce. That is the invariant the delta-vs-rebuild equality suite pins
+// down.
+struct GraphDelta {
+  // Node-table size after the delta (>= the base CSR's num_nodes).
+  int64_t new_num_nodes = 0;
+  // Per edge type; size must equal the store's num_edge_types().
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> edges;
+
+  int64_t NumEdges() const {
+    int64_t n = 0;
+    for (const auto& per_type : edges) {
+      n += static_cast<int64_t>(per_type.size());
+    }
+    return n;
+  }
+};
+
+// Merges one edge type's sorted delta run into its base CSR: node v's new
+// neighbor list is the ascending merge of its base list and its delta
+// edges; nodes in [base.num_nodes(), new_num_nodes) get their delta edges
+// only (or an empty list). Preconditions: base neighbor lists ascending
+// (FromEdges/MergeAdjacencyDelta output), `sorted_edges` sorted by
+// (src, dst) with src < new_num_nodes, no duplicate edges.
+CsrAdjacency MergeAdjacencyDelta(
+    const CsrAdjacency& base, int64_t new_num_nodes,
+    const std::vector<std::pair<int32_t, int32_t>>& sorted_edges);
+
+}  // namespace grimp
+
+#endif  // GRIMP_GRAPH_DELTA_H_

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace grimp {
@@ -28,17 +29,16 @@ uint64_t DrawSeed(uint64_t nonce, int layer, int type, int32_t node) {
 }
 
 std::unique_ptr<GraphStore> MakeDefaultStore(const HeteroGraph* graph) {
-  int shards = 0;
-  if (const char* env = std::getenv("GRIMP_SHARDS")) shards = std::atoi(env);
+  const int shards = EnvOverrides::PositiveInt(kEnvShards, 0);
   if (shards <= 0) return std::make_unique<InMemoryGraphStore>(graph);
   ShardedGraphStore::Options options;
   options.num_shards = shards;
   // Effectively unbounded unless the test caps it: the env hook proves
   // shard-count invariance; eviction behavior has its own direct tests.
   options.max_resident_bytes = 1ll << 40;
-  if (const char* env = std::getenv("GRIMP_SHARD_BUDGET_MB")) {
-    const long mb = std::atol(env);
-    if (mb > 0) options.max_resident_bytes = static_cast<int64_t>(mb) << 20;
+  if (const int64_t mb = EnvOverrides::PositiveInt64(kEnvShardBudgetMb, 0);
+      mb > 0) {
+    options.max_resident_bytes = mb << 20;
   }
   auto store = ShardedGraphStore::Create(*graph, options);
   GRIMP_CHECK(store.ok()) << "GRIMP_SHARDS store creation failed: "

@@ -41,6 +41,23 @@ class GraphShard {
   static GraphShard Slice(const HeteroGraph& graph, int64_t begin,
                           int64_t end);
 
+  // Owned shard over a brand-new node range [begin, end) built from
+  // per-type (src, dst) runs sorted by (src, dst) with src in the range.
+  // Used by ShardedGraphStore::Append for the appended node range of a
+  // GraphDelta.
+  static GraphShard FromSortedEdges(
+      int64_t begin, int64_t end, int num_types,
+      const std::vector<std::vector<std::pair<int32_t, int32_t>>>& edges);
+
+  // Owned shard merging `base` with additional per-type sorted (src, dst)
+  // runs (srcs within base's range): each node's neighbor list becomes the
+  // ascending merge of its base list and its extra edges — bit-identical
+  // to slicing a from-scratch rebuild that includes those edges. `extra`
+  // must have base.num_edge_types() entries (empty runs allowed).
+  static GraphShard Patched(
+      const GraphShard& base,
+      const std::vector<std::vector<std::pair<int32_t, int32_t>>>& extra);
+
   int64_t begin() const { return begin_; }
   int64_t end() const { return end_; }
   int64_t num_local_nodes() const { return end_ - begin_; }

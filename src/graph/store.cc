@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <utility>
 
 #include "common/metrics.h"
@@ -73,12 +74,50 @@ void ShardScope::Release() {
 void GraphStore::Prefetch(const std::vector<int>&) const {}
 void GraphStore::Release(int) const {}
 
+Status GraphStore::Append(const GraphDelta&) {
+  return Status::NotImplemented("this GraphStore is immutable");
+}
+
 InMemoryGraphStore::InMemoryGraphStore(const HeteroGraph* graph)
     : graph_(graph), shard_(GraphShard::View(*graph)) {}
+
+InMemoryGraphStore::InMemoryGraphStore(HeteroGraph* graph)
+    : graph_(graph), mutable_graph_(graph),
+      shard_(GraphShard::View(*graph)) {}
 
 ShardScope InMemoryGraphStore::Acquire(int s) const {
   GRIMP_CHECK_EQ(s, 0);
   return ShardScope(this, 0, &shard_);
+}
+
+Status InMemoryGraphStore::Append(const GraphDelta& delta) {
+  if (mutable_graph_ == nullptr) {
+    return Status::NotImplemented(
+        "InMemoryGraphStore over a const graph is immutable");
+  }
+  // The caller extends the graph's node table (AddNode) before Append; the
+  // delta's target size must agree with it.
+  if (delta.new_num_nodes != mutable_graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "GraphDelta.new_num_nodes (" + std::to_string(delta.new_num_nodes) +
+        ") != graph node table size (" +
+        std::to_string(mutable_graph_->num_nodes()) + ")");
+  }
+  if (static_cast<int>(delta.edges.size()) != num_edge_types()) {
+    return Status::InvalidArgument(
+        "GraphDelta has " + std::to_string(delta.edges.size()) +
+        " edge types, store has " + std::to_string(num_edge_types()));
+  }
+  std::vector<CsrAdjacency> merged;
+  merged.reserve(delta.edges.size());
+  for (int t = 0; t < num_edge_types(); ++t) {
+    merged.push_back(MergeAdjacencyDelta(mutable_graph_->adjacency(t),
+                                         delta.new_num_nodes,
+                                         delta.edges[static_cast<size_t>(t)]));
+  }
+  mutable_graph_->SetAdjacency(std::move(merged));  // fresh uid
+  shard_ = GraphShard::View(*mutable_graph_);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<ShardedGraphStore>> ShardedGraphStore::Create(
@@ -238,8 +277,16 @@ ShardScope ShardedGraphStore::Acquire(int s) const {
     Result<GraphShard> loaded = GraphShard::ReadFrom(state.path);
     GRIMP_CHECK(loaded.ok()) << "shard load failed: "
                              << loaded.status().ToString();
+    GraphShard shard = std::move(loaded).ValueOrDie();
+    // Appended edges live in the patch until the file is rewritten; merge
+    // them on every load. (Reading state.patch unlocked is safe: Append is
+    // serialized against loads by the streaming engine, and refuses to run
+    // while any shard is kLoading.)
+    if (!state.patch.empty()) {
+      shard = GraphShard::Patched(shard, state.patch);
+    }
     lock.lock();
-    state.shard = std::move(loaded).ValueOrDie();
+    state.shard = std::move(shard);
     state.state = State::kResident;
     ++state.pins;
     state.lru_tick = ++lru_clock_;
@@ -281,9 +328,13 @@ void ShardedGraphStore::Prefetch(const std::vector<int>& shards) const {
           Result<GraphShard> loaded = GraphShard::ReadFrom(state.path);
           GRIMP_CHECK(loaded.ok()) << "shard load failed: "
                                    << loaded.status().ToString();
+          GraphShard shard = std::move(loaded).ValueOrDie();
+          if (!state.patch.empty()) {
+            shard = GraphShard::Patched(shard, state.patch);
+          }
           {
             std::lock_guard<std::mutex> lock(mu_);
-            state.shard = std::move(loaded).ValueOrDie();
+            state.shard = std::move(shard);
             state.state = State::kResident;
             state.lru_tick = ++lru_clock_;
             PublishGauges();
@@ -291,6 +342,124 @@ void ShardedGraphStore::Prefetch(const std::vector<int>& shards) const {
           load_cv_.notify_all();
         }
       });
+}
+
+Status ShardedGraphStore::Append(const GraphDelta& delta) {
+  if (delta.new_num_nodes < num_nodes_) {
+    return Status::InvalidArgument(
+        "GraphDelta.new_num_nodes (" + std::to_string(delta.new_num_nodes) +
+        ") shrinks the store (" + std::to_string(num_nodes_) + " nodes)");
+  }
+  if (static_cast<int>(delta.edges.size()) != num_edge_types_) {
+    return Status::InvalidArgument(
+        "GraphDelta has " + std::to_string(delta.edges.size()) +
+        " edge types, store has " + std::to_string(num_edge_types_));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ShardState& state : states_) {
+    if (state.pins > 0) {
+      return Status::FailedPrecondition(
+          "cannot Append to a ShardedGraphStore while shards are pinned");
+    }
+    if (state.state == State::kLoading) {
+      return Status::FailedPrecondition(
+          "cannot Append to a ShardedGraphStore while a load is in flight");
+    }
+  }
+
+  const int64_t old_n = num_nodes_;
+  const int old_shards = num_shards();
+
+  // Split each type's sorted run at old_n: edges whose source is an
+  // existing node become per-shard patches, sources in the appended range
+  // feed the new shard. Both splits inherit the run's (src, dst) order.
+  std::vector<std::vector<std::vector<std::pair<int32_t, int32_t>>>>
+      patch_add(static_cast<size_t>(old_shards));
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> fresh(
+      static_cast<size_t>(num_edge_types_));
+  for (int t = 0; t < num_edge_types_; ++t) {
+    for (const auto& edge : delta.edges[static_cast<size_t>(t)]) {
+      if (edge.first < old_n) {
+        auto& per_shard = patch_add[static_cast<size_t>(ShardOf(edge.first))];
+        if (per_shard.empty()) {
+          per_shard.resize(static_cast<size_t>(num_edge_types_));
+        }
+        per_shard[static_cast<size_t>(t)].push_back(edge);
+      } else {
+        if (edge.first >= delta.new_num_nodes) {
+          return Status::InvalidArgument(
+              "GraphDelta edge source " + std::to_string(edge.first) +
+              " outside new node range");
+        }
+        fresh[static_cast<size_t>(t)].push_back(edge);
+      }
+    }
+  }
+
+  // Fold the additions into each touched shard's pending patch (sorted
+  // merge per type — cell updates splice new RIDs into the middle of
+  // existing neighbor runs) and drop any resident copy so the next load
+  // rebuilds from file + patch. Pins are zero, so dropping is safe.
+  for (int s = 0; s < old_shards; ++s) {
+    auto& add = patch_add[static_cast<size_t>(s)];
+    if (add.empty()) continue;
+    ShardState& state = states_[static_cast<size_t>(s)];
+    int64_t added = 0;
+    if (state.patch.empty()) {
+      for (const auto& run : add) added += static_cast<int64_t>(run.size());
+      state.patch = std::move(add);
+    } else {
+      for (int t = 0; t < num_edge_types_; ++t) {
+        auto& base_run = state.patch[static_cast<size_t>(t)];
+        auto& add_run = add[static_cast<size_t>(t)];
+        if (add_run.empty()) continue;
+        added += static_cast<int64_t>(add_run.size());
+        std::vector<std::pair<int32_t, int32_t>> merged;
+        merged.reserve(base_run.size() + add_run.size());
+        std::merge(base_run.begin(), base_run.end(), add_run.begin(),
+                   add_run.end(), std::back_inserter(merged));
+        base_run = std::move(merged);
+      }
+    }
+    if (state.state == State::kResident) {
+      resident_bytes_ -= state.size_bytes;
+      state.shard = GraphShard();
+      state.state = State::kUnloaded;
+      EvictCounter().Increment();
+    }
+    const int64_t patch_bytes =
+        added * static_cast<int64_t>(sizeof(int32_t));
+    state.size_bytes += patch_bytes;
+    total_bytes_ += patch_bytes;
+  }
+
+  // The appended node range becomes one new spilled shard (possibly
+  // edgeless — isolated nodes still need offsets rows).
+  if (delta.new_num_nodes > old_n) {
+    ShardState state;
+    state.path = spill_dir_ + "/shard_" + std::to_string(states_.size()) +
+                 ".bin";
+    GraphShard shard = GraphShard::FromSortedEdges(
+        old_n, delta.new_num_nodes, num_edge_types_, fresh);
+    state.size_bytes = shard.SizeBytes();
+    GRIMP_RETURN_IF_ERROR(shard.WriteTo(state.path));
+    total_bytes_ += state.size_bytes;
+    boundaries_.push_back(delta.new_num_nodes);
+    states_.push_back(std::move(state));
+    num_nodes_ = delta.new_num_nodes;
+  } else {
+    for (const auto& run : fresh) {
+      GRIMP_CHECK(run.empty());
+    }
+  }
+
+  MetricsRegistry::Global().GetGauge("graph.shard.count")
+      .Set(static_cast<double>(num_shards()));
+  MetricsRegistry::Global().GetGauge("graph.shard.total_bytes")
+      .Set(static_cast<double>(total_bytes_));
+  PublishGauges();
+  return Status::OK();
 }
 
 void ShardedGraphStore::Release(int s) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "graph/delta.h"
 #include "graph/hetero_graph.h"
 #include "graph/shard.h"
 
@@ -124,6 +125,20 @@ class GraphStore {
   // Total adjacency bytes across all shards (resident or not).
   virtual int64_t total_bytes() const = 0;
 
+  // --- Mutable extension (streaming ingestion) ---------------------------
+  // True when this store accepts incremental Append() deltas.
+  virtual bool SupportsAppend() const { return false; }
+
+  // Applies a GraphDelta (see graph/delta.h): the node range grows
+  // append-only to delta.new_num_nodes and each edge type's sorted delta
+  // run merges into the stored adjacency, without a full rebuild. The
+  // merged store is bit-identical to one built from scratch over the same
+  // edge set. NOT thread-safe against readers: callers (the
+  // StreamingEngine) must serialize Append against Acquire/Prefetch and
+  // other Appends; the sharded store additionally refuses to append while
+  // any shard is pinned. Default: NotImplemented (immutable store).
+  virtual Status Append(const GraphDelta& delta);
+
  protected:
   friend class ShardScope;
   // Drops one pin on shard `s` (paired with Acquire). Default no-op.
@@ -137,6 +152,12 @@ class InMemoryGraphStore final : public GraphStore {
  public:
   explicit InMemoryGraphStore(const HeteroGraph* graph);
 
+  // Mutable variant: Append() merges deltas straight into *graph (whose
+  // node table the caller has already extended to delta.new_num_nodes) and
+  // refreshes the store's view. The graph must not be mutated behind the
+  // store's back between Append calls.
+  explicit InMemoryGraphStore(HeteroGraph* graph);
+
   int64_t num_nodes() const override { return graph_->num_nodes(); }
   int num_edge_types() const override { return graph_->num_edge_types(); }
   int num_shards() const override { return 1; }
@@ -144,9 +165,12 @@ class InMemoryGraphStore final : public GraphStore {
   ShardScope Acquire(int s) const override;
   const HeteroGraph* full_graph() const override { return graph_; }
   int64_t total_bytes() const override { return shard_.SizeBytes(); }
+  bool SupportsAppend() const override { return mutable_graph_ != nullptr; }
+  Status Append(const GraphDelta& delta) override;
 
  private:
   const HeteroGraph* graph_;
+  HeteroGraph* mutable_graph_ = nullptr;  // null for the immutable view
   GraphShard shard_;
 };
 
@@ -186,6 +210,14 @@ class ShardedGraphStore final : public GraphStore {
   ShardScope Acquire(int s) const override;
   void Prefetch(const std::vector<int>& shards) const override;
   int64_t total_bytes() const override { return total_bytes_; }
+  bool SupportsAppend() const override { return true; }
+  // Sharded append: the delta's new node range becomes one additional
+  // spilled shard; edges landing in existing shards are retained as
+  // per-shard patches and merged lazily — a patched shard is rebuilt from
+  // its base file + patch on its next load (resident unpinned copies are
+  // dropped so no stale adjacency can be read). FailedPrecondition while
+  // any shard is pinned.
+  Status Append(const GraphDelta& delta) override;
 
   int64_t resident_bytes() const;
   int64_t high_water_bytes() const;
@@ -195,10 +227,13 @@ class ShardedGraphStore final : public GraphStore {
   struct ShardState {
     State state = State::kUnloaded;
     GraphShard shard;
-    int64_t size_bytes = 0;  // known from Create, valid in every state
+    int64_t size_bytes = 0;  // tracked across Create/Append, every state
     int pins = 0;
     uint64_t lru_tick = 0;
     std::string path;
+    // Appended edges not yet in the on-disk file, per edge type, sorted by
+    // (src, dst); applied on top of every load (GraphShard::Patched).
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> patch;
   };
 
   ShardedGraphStore() = default;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "common/metrics.h"
@@ -251,7 +252,8 @@ void RequestScheduler::ExecuteBatch(
   for (const auto& pending : live) tables.push_back(&pending->request.table);
 
   const auto exec_start = std::chrono::steady_clock::now();
-  Status status = engine.TransformBatchInPlace(tables);
+  Status status = engine.TransformMany(
+      std::span<Table* const>(tables.data(), tables.size()));
   const double batch_seconds =
       SecondsSince(exec_start, std::chrono::steady_clock::now());
   const double prev = ewma_batch_seconds_.load(std::memory_order_relaxed);

@@ -1,0 +1,271 @@
+#include "stream/streaming_engine.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace grimp {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StreamingEngine>> StreamingEngine::Create(
+    std::unique_ptr<GrimpEngine> engine, Table seed,
+    const StreamingOptions& options, ModelRegistry* registry) {
+  if (engine == nullptr || !engine->fitted()) {
+    return Status::FailedPrecondition(
+        "StreamingEngine requires a fitted engine");
+  }
+  if (options.window_rows <= 0) {
+    return Status::InvalidArgument("window_rows must be positive");
+  }
+  if (engine->options().graph.neighbor_cap != 0) {
+    return Status::InvalidArgument(
+        "streaming requires graph.neighbor_cap == 0 (incremental "
+        "maintenance cannot reproduce the cap's random subsample)");
+  }
+  GRIMP_RETURN_IF_ERROR(engine->CheckCompatible(seed));
+
+  auto streaming = std::unique_ptr<StreamingEngine>(new StreamingEngine());
+  streaming->options_ = options;
+  streaming->registry_ = registry;
+
+  LiveGraphOptions live_options;
+  live_options.graph = engine->options().graph;
+  live_options.dim = engine->options().dim;
+  live_options.seed = engine->options().seed;
+  GRIMP_ASSIGN_OR_RETURN(streaming->live_,
+                         LiveGraph::Create(std::move(seed), live_options));
+  streaming->engine_ = std::move(engine);
+
+  if (registry != nullptr) {
+    streaming->publish_dir_ = options.publish_dir;
+    if (streaming->publish_dir_.empty()) {
+      std::string tmpl = "/tmp/grimp_stream_XXXXXX";
+      if (mkdtemp(tmpl.data()) == nullptr) {
+        return Status::IoError("cannot create model publish directory");
+      }
+      streaming->publish_dir_ = tmpl;
+      streaming->owns_publish_dir_ = true;
+    }
+    std::lock_guard<std::mutex> lock(streaming->mu_);
+    GRIMP_RETURN_IF_ERROR(streaming->PublishLocked());
+  }
+  return streaming;
+}
+
+StreamingEngine::~StreamingEngine() {
+  if (!owns_publish_dir_) return;
+  // The registry deserializes artifacts at Load time, so the files are
+  // safe to drop with the engine that wrote them.
+  for (const std::string& path : published_paths_) {
+    std::remove(path.c_str());
+  }
+  rmdir(publish_dir_.c_str());
+}
+
+Result<IngestStats> StreamingEngine::IngestBatch(const StreamBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GRIMP_TRACE_SPAN("stream.ingest");
+  const double start = NowSeconds();
+  const Table& table = live_->table();
+  const int64_t base_rows = table.num_rows();
+  const int64_t rows_after =
+      base_rows + static_cast<int64_t>(batch.rows.size());
+
+  // Validate the whole batch up front: a rejected batch leaves the live
+  // state untouched.
+  for (const auto& row : batch.rows) {
+    GRIMP_RETURN_IF_ERROR(table.CheckRow(row));
+  }
+  for (const CellUpdate& cell : batch.cells) {
+    if (cell.row < 0 || cell.row >= rows_after || cell.col < 0 ||
+        cell.col >= table.num_cols()) {
+      return Status::OutOfRange("cell update outside the post-batch table");
+    }
+    if (cell.value.empty()) {
+      return Status::InvalidArgument(
+          "cell updates must carry a value (missing cells are created by "
+          "appending rows with empty cells)");
+    }
+    const Column& col = table.column(cell.col);
+    if (!col.is_categorical()) {
+      double v = 0.0;
+      if (!ParseDouble(cell.value, &v)) {
+        return Status::InvalidArgument("unparseable numeric cell '" +
+                                       cell.value + "' in column " +
+                                       col.name());
+      }
+    }
+    const bool in_batch_rows = cell.row >= base_rows;
+    const bool missing =
+        in_batch_rows
+            ? batch.rows[static_cast<size_t>(cell.row - base_rows)]
+                  [static_cast<size_t>(cell.col)]
+                      .empty()
+            : table.IsMissing(cell.row, cell.col);
+    if (!missing) {
+      return Status::FailedPrecondition(
+          "cell update targets a present cell: streaming updates may only "
+          "fill missing cells");
+    }
+  }
+  // Reject duplicate fills of one cell within a batch (the second would
+  // target a present cell mid-apply, violating all-or-nothing).
+  for (size_t i = 0; i < batch.cells.size(); ++i) {
+    for (size_t j = i + 1; j < batch.cells.size(); ++j) {
+      if (batch.cells[i].row == batch.cells[j].row &&
+          batch.cells[i].col == batch.cells[j].col) {
+        return Status::InvalidArgument(
+            "batch fills the same cell twice");
+      }
+    }
+  }
+
+  const int64_t nodes_before = live_->store()->num_nodes();
+  IngestStats stats;
+  for (const auto& row : batch.rows) {
+    GRIMP_RETURN_IF_ERROR(live_->AppendRow(row));
+    ++stats.rows_appended;
+  }
+  for (const CellUpdate& cell : batch.cells) {
+    GRIMP_RETURN_IF_ERROR(live_->FillCell(cell.row, cell.col, cell.value));
+    ++stats.cells_filled;
+  }
+  GRIMP_RETURN_IF_ERROR(live_->Flush());
+  stats.new_nodes = live_->store()->num_nodes() - nodes_before;
+  // Each present cell of the epoch contributes one undirected edge = two
+  // directed entries. Counting post-apply present cells of the appended
+  // rows covers fills that targeted this batch's own rows, so those are
+  // not double counted with cells_filled.
+  int64_t appended_present = 0;
+  int64_t fills_into_batch_rows = 0;
+  for (int64_t r = base_rows; r < rows_after; ++r) {
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (!table.IsMissing(r, c)) ++appended_present;
+    }
+  }
+  for (const CellUpdate& cell : batch.cells) {
+    if (cell.row >= base_rows) ++fills_into_batch_rows;
+  }
+  stats.new_edges = 2 * (appended_present + stats.cells_filled -
+                         fills_into_batch_rows);
+  stats.seconds = NowSeconds() - start;
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("stream.ingest.batches").Increment();
+  metrics.GetCounter("stream.ingest.rows").Increment(stats.rows_appended);
+  metrics.GetCounter("stream.ingest.cells").Increment(stats.cells_filled);
+  metrics.GetHistogram("stream.ingest.micros")
+      .Record(stats.seconds * 1e6);
+  return stats;
+}
+
+Result<Table> StreamingEngine::ImputeWindow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GRIMP_TRACE_SPAN("stream.impute_window");
+  GRIMP_RETURN_IF_ERROR(live_->Flush());
+  const Table& table = live_->table();
+  const int64_t n = table.num_rows();
+  const int64_t window = std::min<int64_t>(options_.window_rows, n);
+  const int64_t row_begin = n - window;
+
+  Table out(table.schema());
+  std::vector<std::string> cells(static_cast<size_t>(table.num_cols()));
+  for (int64_t r = row_begin; r < n; ++r) {
+    for (int c = 0; c < table.num_cols(); ++c) {
+      cells[static_cast<size_t>(c)] = table.column(c).StringAt(r);
+    }
+    GRIMP_RETURN_IF_ERROR(out.AppendRow(cells));
+  }
+
+  const StreamContext ctx =
+      live_->Context(row_begin, options_.fanouts, impute_nonce_++);
+  TransformOptions transform;
+  transform.stream = &ctx;
+  Table* out_ptr = &out;
+  GRIMP_RETURN_IF_ERROR(
+      engine_->TransformMany(std::span<Table* const>(&out_ptr, 1),
+                             transform));
+  MetricsRegistry::Global().GetCounter("stream.imputes").Increment();
+  return out;
+}
+
+Result<TrainSummary> StreamingEngine::FineTune() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GRIMP_TRACE_SPAN("stream.fine_tune");
+  GRIMP_RETURN_IF_ERROR(live_->Flush());
+
+  const StreamContext ctx =
+      live_->Context(/*row_begin=*/0, options_.fanouts, /*nonce=*/0);
+  ResumeOptions resume;
+  resume.window_rows = options_.window_rows;
+  resume.half_life_rows = options_.half_life_rows;
+  resume.max_epochs = options_.fine_tune_epochs;
+  resume.learning_rate = options_.fine_tune_learning_rate;
+  resume.nonce = ++fine_tune_nonce_;
+  GRIMP_ASSIGN_OR_RETURN(TrainSummary summary,
+                         engine_->Resume(ctx, resume));
+  MetricsRegistry::Global().GetCounter("stream.fine_tunes").Increment();
+
+  if (registry_ != nullptr) {
+    GRIMP_RETURN_IF_ERROR(PublishLocked());
+  }
+  return summary;
+}
+
+Status StreamingEngine::PublishLocked() {
+  const std::string version = "v" + std::to_string(publish_count_);
+  const std::string path = publish_dir_ + "/" + options_.model_name + "_" +
+                           version + ".bin";
+  GRIMP_RETURN_IF_ERROR(engine_->Save(path));
+  GRIMP_RETURN_IF_ERROR(registry_->Load(options_.model_name, version, path));
+  published_paths_.push_back(path);
+
+  // Retire the previous serving version. A drain timeout is not fatal:
+  // the version is already removed from the registry, and any straggler
+  // handle keeps its weights alive until released.
+  if (!serving_version_.empty()) {
+    const Status unload = registry_->Unload(
+        options_.model_name, serving_version_,
+        options_.drain_timeout_seconds);
+    if (!unload.ok() && unload.code() != StatusCode::kDeadlineExceeded) {
+      return unload;
+    }
+  }
+  serving_version_ = version;
+  ++publish_count_;
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("stream.publishes").Increment();
+  metrics.GetGauge("stream.serving_version")
+      .Set(static_cast<double>(publish_count_ - 1));
+  return Status::OK();
+}
+
+int64_t StreamingEngine::live_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_->table().num_rows();
+}
+
+std::string StreamingEngine::serving_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_version_;
+}
+
+}  // namespace grimp

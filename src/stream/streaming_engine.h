@@ -1,0 +1,153 @@
+#ifndef GRIMP_STREAM_STREAMING_ENGINE_H_
+#define GRIMP_STREAM_STREAMING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "serve/model_registry.h"
+#include "stream/live_graph.h"
+
+namespace grimp {
+
+// One streaming cell update: fill the missing cell (row, col) with `value`.
+struct CellUpdate {
+  int64_t row = 0;
+  int col = 0;
+  std::string value;
+};
+
+// One ingestion batch — the single mutation verb's payload. Rows append to
+// the live table (string cells, empty == missing); cells fill missing
+// cells of existing rows (see LiveGraph::FillCell for why present cells
+// cannot be overwritten).
+struct StreamBatch {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<CellUpdate> cells;
+};
+
+// What one IngestBatch call did to the live state.
+struct IngestStats {
+  int64_t rows_appended = 0;
+  int64_t cells_filled = 0;
+  int64_t new_nodes = 0;  // nodes appended to the graph by this batch
+  int64_t new_edges = 0;  // directed edge entries appended (2 per cell)
+  double seconds = 0.0;   // wall time including the CSR delta merge
+};
+
+// Knobs for StreamingEngine::Create.
+struct StreamingOptions {
+  // Rows imputed per ImputeWindow call and fine-tuned per FineTune call
+  // (the most recent `window_rows` of the live table).
+  int64_t window_rows = 256;
+  // Per-layer sampling fanouts for streaming inference and fine-tuning;
+  // empty = the engine's train.fanouts (or the trainer default).
+  std::vector<int> fanouts;
+
+  // Online fine-tuning (GrimpEngine::Resume).
+  int fine_tune_epochs = 3;
+  float fine_tune_learning_rate = 0.0f;  // <= 0: the fitted options'
+  double half_life_rows = 0.0;           // 0: no recency decay
+
+  // Model publication. With a registry, Create publishes the initial model
+  // as `model_name`@v0 and every successful FineTune publishes v1, v2, ...
+  // as the new serving version, then unloads the previous one (bounded by
+  // `drain_timeout_seconds`). Serving caches key on name@version, so a
+  // publish invalidates stale cached results by construction.
+  std::string model_name = "stream";
+  std::string publish_dir;  // empty = a temp directory owned by the engine
+  double drain_timeout_seconds = 5.0;
+};
+
+// The streaming ingestion front end (the tentpole API of this layer): owns
+// a fitted GrimpEngine and a LiveGraph, and exposes exactly three verbs —
+//
+//   IngestBatch  - the one mutation verb: appended rows + cell fills,
+//                  validated up front as a unit, applied, and flushed into
+//                  the graph as one CSR delta epoch.
+//   ImputeWindow - imputes the last window_rows of the live table with
+//                  sampled-block inference over the maintained graph (cost
+//                  scales with the window's receptive field, not the
+//                  accumulated history — this is the freshness win over a
+//                  batch rebuild).
+//   FineTune     - online fine-tuning over a recency-weighted window
+//                  (GrimpEngine::Resume), then publishes the refreshed
+//                  model into the ModelRegistry as the next serving
+//                  version.
+//
+// Thread safety: every verb takes an internal mutex, so callers may invoke
+// them from any thread; the live graph is never mutated while it is being
+// read (GraphStore::Append's serialization contract holds by
+// construction). TCP serving reads registry-loaded engine copies and never
+// touches the live state, so serving runs concurrently with ingestion.
+class StreamingEngine {
+ public:
+  // `engine` must be fitted (ngram features, use_gnn); `seed` must match
+  // the fitted schema and becomes the live table's initial snapshot. The
+  // engine's graph config must have neighbor_cap == 0. With a non-null
+  // `registry` (borrowed; must outlive the engine), the initial model is
+  // published as model_name@v0.
+  static Result<std::unique_ptr<StreamingEngine>> Create(
+      std::unique_ptr<GrimpEngine> engine, Table seed,
+      const StreamingOptions& options, ModelRegistry* registry = nullptr);
+
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  // The one mutation verb. The whole batch is validated before anything is
+  // applied (schema check per row, fill-missing-only per cell update —
+  // coordinates are interpreted against the table *after* the batch's rows
+  // have been appended, so a batch may fill cells of its own rows);
+  // validation failures reject the batch with the live state untouched.
+  // On success the epoch is flushed into the graph and the stats describe
+  // exactly what changed.
+  Result<IngestStats> IngestBatch(const StreamBatch& batch);
+
+  // Imputes a copy of the last window_rows live rows; returns the imputed
+  // window (the live table itself stays untouched — its dictionaries and
+  // graph must only change through IngestBatch).
+  Result<Table> ImputeWindow();
+
+  // Fine-tunes on the recent window and, with a registry, publishes the
+  // refreshed model as the next serving version.
+  Result<TrainSummary> FineTune();
+
+  // A copy of the live table's current window (for inspection/tests).
+  int64_t live_rows() const;
+  // Serving version most recently published ("" without a registry).
+  std::string serving_version() const;
+  const GrimpEngine& engine() const { return *engine_; }
+  // The live state; do not retain the reference across mutations.
+  const LiveGraph& live() const { return *live_; }
+
+ private:
+  StreamingEngine() = default;
+
+  // Publishes engine_ as model_name@v<publish_count_> (caller holds mu_).
+  Status PublishLocked();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<GrimpEngine> engine_;
+  std::unique_ptr<LiveGraph> live_;
+  StreamingOptions options_;
+  ModelRegistry* registry_ = nullptr;
+
+  std::string publish_dir_;
+  bool owns_publish_dir_ = false;
+  std::vector<std::string> published_paths_;
+  int64_t publish_count_ = 0;
+  std::string serving_version_;
+
+  uint64_t impute_nonce_ = 0;
+  uint64_t fine_tune_nonce_ = 0;
+};
+
+}  // namespace grimp
+
+#endif  // GRIMP_STREAM_STREAMING_ENGINE_H_

@@ -56,15 +56,18 @@ void Column::Reserve(int64_t rows) {
   if (!is_categorical()) nums_.reserve(static_cast<size_t>(rows));
 }
 
-bool Column::AppendFromString(const std::string& value) {
+Status Column::AppendFromString(const std::string& value) {
   if (is_categorical()) {
     AppendCategorical(value);
-    return true;
+    return Status::OK();
   }
   double v = 0.0;
-  if (!ParseDouble(value, &v)) return false;
+  if (!ParseDouble(value, &v)) {
+    return Status::InvalidArgument("unparseable numeric cell '" + value +
+                                   "' in column " + name());
+  }
   AppendNumerical(v);
-  return true;
+  return Status::OK();
 }
 
 double Column::NumAt(int64_t row) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "table/dictionary.h"
 #include "table/schema.h"
 
@@ -38,8 +39,9 @@ class Column {
   // Numerical columns only.
   void AppendNumerical(double value);
   // Type-dispatching append from a string cell (numeric columns parse).
-  // Returns false if a numeric column receives an unparseable value.
-  bool AppendFromString(const std::string& value);
+  // InvalidArgument if a numeric column receives an unparseable value, in
+  // which case nothing was appended.
+  Status AppendFromString(const std::string& value);
 
   // --- Bulk construction ---------------------------------------------------
   // The append path above hashes every cell's string into the dictionary;

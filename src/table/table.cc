@@ -48,9 +48,8 @@ Result<Table> Table::FromCsv(const CsvData& csv,
       const std::string& cell = row[static_cast<size_t>(c)];
       if (is_missing(cell)) {
         col.AppendMissing();
-      } else if (!col.AppendFromString(cell)) {
-        return Status::InvalidArgument("unparseable numeric cell '" + cell +
-                                       "' in column " + col.name());
+      } else {
+        GRIMP_RETURN_IF_ERROR(col.AppendFromString(cell));
       }
     }
     ++table.num_rows_;
@@ -64,22 +63,63 @@ Result<Table> Table::FromCsvFile(const std::string& path) {
 }
 
 Status Table::AppendRow(const std::vector<std::string>& cells) {
+  GRIMP_RETURN_IF_ERROR(CheckRow(cells));
+  for (int c = 0; c < num_cols(); ++c) {
+    Column& col = mutable_column(c);
+    const std::string& cell = cells[static_cast<size_t>(c)];
+    if (cell.empty()) {
+      col.AppendMissing();
+    } else {
+      // CheckRow parsed every numeric cell already, so this cannot fail
+      // and the append is all-or-nothing.
+      GRIMP_RETURN_IF_ERROR(col.AppendFromString(cell));
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::CheckRow(const std::vector<std::string>& cells) const {
   if (static_cast<int>(cells.size()) != num_cols()) {
     return Status::InvalidArgument(
         "row has " + std::to_string(cells.size()) + " cells, schema has " +
         std::to_string(num_cols()));
   }
   for (int c = 0; c < num_cols(); ++c) {
-    Column& col = mutable_column(c);
+    const Column& col = column(c);
     const std::string& cell = cells[static_cast<size_t>(c)];
-    if (cell.empty()) {
-      col.AppendMissing();
-    } else if (!col.AppendFromString(cell)) {
+    if (cell.empty() || col.is_categorical()) continue;
+    double v = 0.0;
+    if (!ParseDouble(cell, &v)) {
       return Status::InvalidArgument("unparseable numeric cell '" + cell +
                                      "' in column " + col.name());
     }
   }
-  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::UpdateCell(int64_t row, int col, const std::string& value) {
+  if (row < 0 || row >= num_rows_ || col < 0 || col >= num_cols()) {
+    return Status::OutOfRange("cell (" + std::to_string(row) + ", " +
+                              std::to_string(col) + ") outside a " +
+                              std::to_string(num_rows_) + "x" +
+                              std::to_string(num_cols()) + " table");
+  }
+  Column& target = mutable_column(col);
+  if (value.empty()) {
+    target.SetMissing(row);
+    return Status::OK();
+  }
+  if (target.is_categorical()) {
+    target.SetCategorical(row, value);
+    return Status::OK();
+  }
+  double v = 0.0;
+  if (!ParseDouble(value, &v)) {
+    return Status::InvalidArgument("unparseable numeric cell '" + value +
+                                   "' in column " + target.name());
+  }
+  target.SetNumerical(row, v);
   return Status::OK();
 }
 

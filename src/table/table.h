@@ -40,8 +40,20 @@ class Table {
   Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
 
   // Appends a row of string cells; empty string == missing. Numeric columns
-  // parse their cells.
+  // parse their cells. All-or-nothing: on error (cell-count mismatch,
+  // unparseable numeric cell) the table is unchanged.
   Status AppendRow(const std::vector<std::string>& cells);
+
+  // Validates a candidate row against the schema without mutating anything
+  // (what AppendRow checks before it writes). Lets batch ingest reject a
+  // whole batch up front instead of stopping halfway.
+  Status CheckRow(const std::vector<std::string>& cells) const;
+
+  // Overwrites one cell from its string form (empty string == set
+  // missing); numeric columns parse. Typed sibling of the raw Column
+  // mutators: OutOfRange for a bad coordinate, InvalidArgument for an
+  // unparseable numeric value; the table is unchanged on error.
+  Status UpdateCell(int64_t row, int col, const std::string& value);
 
   // Bulk construction: after cells have been written straight into the
   // columns (Column::AppendCode), commits the new row count. Fails if the

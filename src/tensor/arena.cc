@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -21,8 +22,7 @@ void UpdateMax(std::atomic<int64_t>* target, int64_t value) {
 }  // namespace
 
 TensorArena::TensorArena() {
-  const char* env = std::getenv("GRIMP_ARENA");
-  if (env != nullptr && std::strcmp(env, "0") == 0) {
+  if (!EnvOverrides::EnabledFlag(kEnvArena)) {
     enabled_.store(false, std::memory_order_relaxed);
   }
 }

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/metrics.h"
 
 namespace grimp {
@@ -52,7 +53,7 @@ const KernelTable* TableFor(SimdLevel level) {
 SimdLevel ResolveFromEnvironment() {
   SimdLevel best =
       SimdAvx2Supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
-  const char* env = std::getenv("GRIMP_SIMD");
+  const char* env = EnvOverrides::Raw(kEnvSimd);
   if (env == nullptr || env[0] == '\0') return best;
   SimdLevel requested;
   bool is_auto = false;
