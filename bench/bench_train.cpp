@@ -1,21 +1,40 @@
-// Training-mode benchmark: full-graph vs neighbor-sampled minibatch epochs
-// on the quickstart dataset (synthetic "adult" replica). Both configs train
-// the same model on the same corrupted table with the same capped sample
-// budget; only TrainConfig differs. Prints a per-mode table and writes
-// machine-readable results (per-epoch seconds, accuracy, speedup) to
-// BENCH_train.json (cwd).
+// Training-mode benchmark, two axes:
 //
-// Sampled mode pays per step only for the minibatch receptive field, while
-// full mode pays one whole-graph forward/backward per epoch no matter how
-// few training samples there are — so the per-epoch gap widens with table
-// size (and shrinks with fanout: the receptive field of a batch covers
-// roughly batch * (1 + num_cols) * (1 + fanout * num_cols) nodes, so on
-// small tables it saturates the graph and sampling only adds overhead).
-// At the default 20000 rows the run fails (exit 1) unless sampled epochs
-// are faster; at smoke sizes (--rows below 10000) the gate is off.
+//  1. full-graph vs neighbor-sampled minibatch epochs (the original
+//     comparison): both train the same model on the same corrupted table
+//     with the same capped sample budget; only TrainConfig differs.
+//  2. pipeline depth sweep: sampled training re-runs at each depth in
+//     --depths (default 0,2,4). Depth 0 is the serial baseline; deeper
+//     configs overlap sampling, shard I/O and feature gather with the
+//     forward/backward via the async batch-prep pipeline (GRIMP_PIPELINE,
+//     set per config). Batch contents are a pure function of
+//     (seed, epoch, batch), so every depth must train bit-identically —
+//     the bench checks exact per-epoch loss equality (and, in-memory,
+//     cell-identical imputations) and reports it as "bit_identical".
+//
+// Two dataset modes:
+//   --shards=0 (default): in-memory "adult" replica. Runs one full-graph
+//     config plus the sampled depth sweep; epoch_speedup = full / sampled
+//     depth 0. At >= 10000 rows the run fails unless sampled epochs beat
+//     full-graph epochs.
+//   --shards=N: out-of-core "scale" replica over a ShardedGraphStore with
+//     --budget-mb resident bytes. Sampled depth sweep only (full-graph
+//     training needs the whole graph resident); epoch prep now includes
+//     shard fetches, which is exactly what the pipeline hides. At
+//     >= 1000000 rows the run fails unless the best pipelined depth beats
+//     serial epochs by >= 1.25x — provided the machine has a second
+//     hardware thread to overlap with (on a single core, producer and
+//     consumer time-slice the same CPU, so overlap cannot pay; the sweep
+//     still runs and bit-identity is still enforced, but the speedup gate
+//     is reported as skipped).
+//
+// Prints a per-config table and writes machine-readable results
+// (per-epoch seconds, accuracy, speedups, pipeline counters, the
+// bit-identity flag) to BENCH_train.json (cwd).
 //
 //   bench_train [--rows=N] [--epochs=N] [--seed=N] [--samples=N]
-//               [--batch=N] [--fanout=N]
+//               [--batch=N] [--fanout=N] [--depths=0,2,4] [--shards=N]
+//               [--budget-mb=N]
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +44,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/metrics.h"
+#include "core/engine.h"
 #include "core/grimp.h"
-#include "core/names.h"
 #include "data/datasets.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -35,65 +55,199 @@
 namespace {
 
 using grimp::CorruptedTable;
+using grimp::GrimpEngine;
 using grimp::GrimpImputer;
 using grimp::GrimpOptions;
+using grimp::MetricsRegistry;
 using grimp::RunAlgorithm;
 using grimp::RunResult;
+using grimp::ShardMode;
 using grimp::Table;
 using grimp::TrainMode;
-using grimp::TrainModeName;
 
-struct ModeResult {
-  std::string mode;
+struct ConfigResult {
+  std::string name;
+  int depth = -1;  // -1 == full-graph config (pipeline not applicable)
   int epochs = 0;
   int64_t steps = 0;
   double mean_epoch_seconds = 0.0;
   double train_seconds = 0.0;
-  double accuracy = 0.0;
+  double accuracy = 0.0;  // 0 in sharded mode (Fit only, no scoring pass)
   double rmse = 0.0;
+  int64_t produced = 0;  // train.pipeline.* deltas for this config
+  int64_t consumed = 0;
+  int64_t stalls = 0;
+  std::vector<double> losses;  // per-epoch train loss, for bit-identity
+  Table imputed;               // in-memory mode only
 };
 
-ModeResult RunMode(const Table& clean, const CorruptedTable& corrupted,
-                   GrimpOptions options) {
-  std::vector<double> epoch_seconds;
-  options.callbacks.on_epoch_end = [&epoch_seconds](
-                                       const grimp::EpochStats& stats) {
-    epoch_seconds.push_back(stats.seconds);
-    return true;
-  };
-  GrimpImputer imputer(options);
-  const RunResult rr = RunAlgorithm(clean, corrupted, &imputer);
-  if (!rr.status.ok()) {
-    std::fprintf(stderr, "bench_train: %s run failed: %s\n",
-                 std::string(TrainModeName(options.train.mode)).c_str(),
-                 rr.status.ToString().c_str());
-    std::exit(1);
-  }
-  ModeResult result;
-  result.mode = std::string(TrainModeName(options.train.mode));
-  result.epochs = static_cast<int>(epoch_seconds.size());
-  result.steps = imputer.summary().steps_run;
-  result.train_seconds = imputer.summary().train_seconds;
+struct PipelineCounters {
+  double produced = 0.0;
+  double consumed = 0.0;
+  double stalls = 0.0;
+};
+
+PipelineCounters ReadPipelineCounters() {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  PipelineCounters c;
+  c.produced = m.GetCounter("train.pipeline.produced").value();
+  c.consumed = m.GetCounter("train.pipeline.consumed").value();
+  c.stalls = m.GetCounter("train.pipeline.stalls").value();
+  return c;
+}
+
+double MeanEpochSeconds(const std::vector<double>& epoch_seconds) {
   // Skip the first epoch: it absorbs one-time allocation/cache warmup.
   const size_t skip = epoch_seconds.size() > 1 ? 1 : 0;
   const double sum = std::accumulate(epoch_seconds.begin() + skip,
                                      epoch_seconds.end(), 0.0);
-  result.mean_epoch_seconds =
-      sum / static_cast<double>(epoch_seconds.size() - skip);
+  return sum / static_cast<double>(epoch_seconds.size() - skip);
+}
+
+// One in-memory config (adult replica): trains via GrimpImputer and scores
+// the imputed table against the clean truth. `depth < 0` selects full-graph
+// mode; otherwise sampled mode at that pipeline depth.
+ConfigResult RunInMemory(const Table& clean, const CorruptedTable& corrupted,
+                         const GrimpOptions& base, int depth, int batch,
+                         int fanout) {
+  GrimpOptions options = base;
+  if (depth < 0) {
+    options.train.mode = TrainMode::kFull;
+  } else {
+    options.train.mode = TrainMode::kSampled;
+    options.train.batch_size = batch;
+    options.train.fanouts = {fanout, fanout};
+  }
+  // Per config, so the depth sweep is immune to the caller's environment
+  // and exercises the same override path operators use.
+  setenv("GRIMP_PIPELINE", std::to_string(depth < 0 ? 0 : depth).c_str(), 1);
+
+  ConfigResult result;
+  result.name =
+      depth < 0 ? "full" : "sampled_d" + std::to_string(depth);
+  result.depth = depth;
+  std::vector<double> epoch_seconds;
+  options.callbacks.on_epoch_end =
+      [&epoch_seconds, &result](const grimp::EpochStats& stats) {
+        epoch_seconds.push_back(stats.seconds);
+        result.losses.push_back(stats.train_loss);
+        return true;
+      };
+
+  const PipelineCounters before = ReadPipelineCounters();
+  GrimpImputer imputer(options);
+  Table imputed;
+  const RunResult rr = RunAlgorithm(clean, corrupted, &imputer, &imputed);
+  if (!rr.status.ok()) {
+    std::fprintf(stderr, "bench_train: config %s failed: %s\n",
+                 result.name.c_str(), rr.status.ToString().c_str());
+    std::exit(1);
+  }
+  const PipelineCounters after = ReadPipelineCounters();
+
+  result.epochs = static_cast<int>(epoch_seconds.size());
+  result.steps = imputer.summary().steps_run;
+  result.train_seconds = imputer.summary().train_seconds;
+  result.mean_epoch_seconds = MeanEpochSeconds(epoch_seconds);
   result.accuracy = rr.score.Accuracy();
   result.rmse = rr.score.Rmse();
+  result.produced = static_cast<int64_t>(after.produced - before.produced);
+  result.consumed = static_cast<int64_t>(after.consumed - before.consumed);
+  result.stalls = static_cast<int64_t>(after.stalls - before.stalls);
+  result.imputed = std::move(imputed);
   return result;
 }
 
-std::string ToJson(const ModeResult& r) {
-  char buf[384];
-  std::snprintf(buf, sizeof(buf),
-                "    {\"mode\": \"%s\", \"epochs\": %d, \"steps\": %lld, "
-                "\"mean_epoch_seconds\": %.6f, \"train_seconds\": %.4f, "
-                "\"accuracy\": %.4f, \"rmse\": %.4f}",
-                r.mode.c_str(), r.epochs, static_cast<long long>(r.steps),
-                r.mean_epoch_seconds, r.train_seconds, r.accuracy, r.rmse);
+// One sharded config (scale replica): GrimpEngine::Fit over an out-of-core
+// ShardedGraphStore, so per-batch prep includes shard fetches. No scoring
+// pass — the sweep compares epoch time and loss trajectories.
+ConfigResult RunSharded(const Table& table, const GrimpOptions& base,
+                        int depth, int batch, int fanout, int shards,
+                        int64_t budget_bytes) {
+  GrimpOptions options = base;
+  options.train.mode = TrainMode::kSampled;
+  options.train.batch_size = batch;
+  options.train.fanouts = {fanout, fanout};
+  options.graph.shard_mode = ShardMode::kSharded;
+  options.graph.num_shards = shards;
+  options.graph.max_resident_bytes = budget_bytes;
+  setenv("GRIMP_PIPELINE", std::to_string(depth).c_str(), 1);
+
+  ConfigResult result;
+  result.name = "sharded_d" + std::to_string(depth);
+  result.depth = depth;
+  std::vector<double> epoch_seconds;
+  options.callbacks.on_epoch_end =
+      [&epoch_seconds, &result](const grimp::EpochStats& stats) {
+        epoch_seconds.push_back(stats.seconds);
+        result.losses.push_back(stats.train_loss);
+        return true;
+      };
+
+  const PipelineCounters before = ReadPipelineCounters();
+  GrimpEngine engine(options);
+  if (const auto status = engine.Fit(table); !status.ok()) {
+    std::fprintf(stderr, "bench_train: config %s fit failed: %s\n",
+                 result.name.c_str(), status.ToString().c_str());
+    std::exit(1);
+  }
+  const PipelineCounters after = ReadPipelineCounters();
+
+  result.epochs = static_cast<int>(epoch_seconds.size());
+  result.steps = engine.summary().steps_run;
+  result.train_seconds = engine.summary().train_seconds;
+  result.mean_epoch_seconds = MeanEpochSeconds(epoch_seconds);
+  result.produced = static_cast<int64_t>(after.produced - before.produced);
+  result.consumed = static_cast<int64_t>(after.consumed - before.consumed);
+  result.stalls = static_cast<int64_t>(after.stalls - before.stalls);
+  return result;
+}
+
+bool SameLosses(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // exact: bit-identical, not "close"
+  }
+  return true;
+}
+
+bool SameCells(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_cols() != b.num_cols()) {
+    return false;
+  }
+  for (int c = 0; c < a.num_cols(); ++c) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      if (a.column(c).StringAt(r) != b.column(c).StringAt(r)) return false;
+    }
+  }
+  return true;
+}
+
+std::string ToJson(const ConfigResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"config\": \"%s\", \"pipeline_depth\": %d, \"epochs\": %d, "
+      "\"steps\": %lld, \"mean_epoch_seconds\": %.6f, "
+      "\"train_seconds\": %.4f, \"accuracy\": %.4f, \"rmse\": %.4f, "
+      "\"produced\": %lld, \"consumed\": %lld, \"stalls\": %lld}",
+      r.name.c_str(), r.depth, r.epochs, static_cast<long long>(r.steps),
+      r.mean_epoch_seconds, r.train_seconds, r.accuracy, r.rmse,
+      static_cast<long long>(r.produced), static_cast<long long>(r.consumed),
+      static_cast<long long>(r.stalls));
   return buf;
+}
+
+std::vector<int> ParseDepths(const char* csv) {
+  std::vector<int> depths;
+  const char* p = csv;
+  while (*p != '\0') {
+    depths.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return depths;
 }
 
 }  // namespace
@@ -105,6 +259,9 @@ int main(int argc, char** argv) {
   int64_t samples = 64;
   int batch = 64;
   int fanout = 2;
+  int shards = 0;
+  int64_t budget_mb = 64;
+  std::vector<int> depths{0, 2, 4};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       rows = std::atoll(argv[i] + 7);
@@ -118,22 +275,36 @@ int main(int argc, char** argv) {
       batch = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--fanout=", 9) == 0) {
       fanout = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--depths=", 9) == 0) {
+      depths = ParseDepths(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--budget-mb=", 12) == 0) {
+      budget_mb = std::atoll(argv[i] + 12);
     } else {
       std::fprintf(stderr, "usage: bench_train [--rows=N] [--epochs=N] "
                            "[--seed=N] [--samples=N] [--batch=N] "
-                           "[--fanout=N]\n");
+                           "[--fanout=N] [--depths=0,2,4] [--shards=N] "
+                           "[--budget-mb=N]\n");
       return 2;
     }
   }
+  if (depths.empty() || depths.front() != 0) {
+    std::fprintf(stderr,
+                 "bench_train: --depths must start with the serial "
+                 "baseline 0\n");
+    return 2;
+  }
+  const bool sharded = shards > 0;
 
-  auto clean_or = grimp::GenerateDatasetByName("adult", /*seed=*/7, rows);
+  const char* dataset = sharded ? "scale" : "adult";
+  auto clean_or = grimp::GenerateDatasetByName(dataset, /*seed=*/7, rows);
   if (!clean_or.ok()) {
     std::fprintf(stderr, "bench_train: %s\n",
                  clean_or.status().ToString().c_str());
     return 1;
   }
   const Table& clean = *clean_or;
-  const CorruptedTable corrupted = grimp::InjectMcar(clean, 0.2, 13);
 
   const int max_threads = grimp::bench::ResolveMaxThreads();
   GrimpOptions options;
@@ -143,51 +314,116 @@ int main(int argc, char** argv) {
   options.seed = seed;
   options.num_threads = max_threads;
   // A fixed small sample budget per column: this is the regime sampling is
-  // for (few labels, big graph). No validation split so both modes run
+  // for (few labels, big graph). No validation split so every config runs
   // exactly `epochs` epochs and sampled epochs never touch the full graph.
   options.max_samples_per_task = samples;
   options.validation_fraction = 0.0;
 
-  GrimpOptions full = options;
-  full.train.mode = TrainMode::kFull;
+  std::printf("training benchmark: %s replica, %lld rows, %d epochs, "
+              "%lld samples/task, up to %d threads%s\n\n",
+              dataset, static_cast<long long>(clean.num_rows()), epochs,
+              static_cast<long long>(samples), max_threads,
+              sharded ? " (sharded)" : "");
 
-  GrimpOptions sampled = options;
-  sampled.train.mode = TrainMode::kSampled;
-  sampled.train.batch_size = batch;
-  sampled.train.fanouts = {fanout, fanout};
-
-  std::printf("training benchmark: adult-replica, %lld rows, %d epochs, "
-              "%lld samples/task\n\n",
-              static_cast<long long>(clean.num_rows()), epochs,
-              static_cast<long long>(options.max_samples_per_task));
-
-  const ModeResult f = RunMode(clean, corrupted, full);
-  const ModeResult s = RunMode(clean, corrupted, sampled);
-  const double speedup = f.mean_epoch_seconds / s.mean_epoch_seconds;
-
-  std::printf("%-8s %7s %7s %14s %11s %9s %8s\n", "mode", "epochs", "steps",
-              "epoch s", "train s", "acc", "rmse");
-  for (const ModeResult* r : {&f, &s}) {
-    std::printf("%-8s %7d %7lld %14.6f %11.4f %9.4f %8.4f\n", r->mode.c_str(),
-                r->epochs, static_cast<long long>(r->steps),
-                r->mean_epoch_seconds, r->train_seconds, r->accuracy,
-                r->rmse);
+  std::vector<ConfigResult> results;
+  if (sharded) {
+    for (const int depth : depths) {
+      results.push_back(RunSharded(clean, options, depth, batch, fanout,
+                                   shards, budget_mb << 20));
+    }
+  } else {
+    const CorruptedTable corrupted = grimp::InjectMcar(clean, 0.2, 13);
+    results.push_back(
+        RunInMemory(clean, corrupted, options, /*depth=*/-1, batch, fanout));
+    for (const int depth : depths) {
+      results.push_back(
+          RunInMemory(clean, corrupted, options, depth, batch, fanout));
+    }
   }
-  std::printf("\nper-epoch speedup (full / sampled): %.2fx\n", speedup);
 
-  char head[320];
+  // Bit-identity across the depth sweep: every pipelined config must match
+  // the serial (depth 0) config exactly — whole loss trajectory, and in
+  // in-memory mode every imputed cell.
+  const ConfigResult* serial = nullptr;
+  for (const ConfigResult& r : results) {
+    if (r.depth == 0) serial = &r;
+  }
+  bool bit_identical = true;
+  for (const ConfigResult& r : results) {
+    if (r.depth <= 0) continue;
+    if (!SameLosses(serial->losses, r.losses)) bit_identical = false;
+    if (!sharded && !SameCells(serial->imputed, r.imputed)) {
+      bit_identical = false;
+    }
+  }
+
+  // epoch_speedup: full-graph vs serial sampled (in-memory mode only).
+  // pipeline_speedup: serial sampled vs the best pipelined depth.
+  double epoch_speedup = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.depth < 0) {
+      epoch_speedup = r.mean_epoch_seconds / serial->mean_epoch_seconds;
+    }
+  }
+  double pipeline_speedup = 0.0;
+  int best_depth = 0;
+  for (const ConfigResult& r : results) {
+    if (r.depth <= 0) continue;
+    const double s = serial->mean_epoch_seconds / r.mean_epoch_seconds;
+    if (s > pipeline_speedup) {
+      pipeline_speedup = s;
+      best_depth = r.depth;
+    }
+  }
+
+  std::printf("%-12s %6s %7s %7s %14s %11s %9s %8s %9s\n", "config", "depth",
+              "epochs", "steps", "epoch s", "train s", "acc", "stalls",
+              "produced");
+  for (const ConfigResult& r : results) {
+    std::printf("%-12s %6d %7d %7lld %14.6f %11.4f %9.4f %8lld %9lld\n",
+                r.name.c_str(), r.depth, r.epochs,
+                static_cast<long long>(r.steps), r.mean_epoch_seconds,
+                r.train_seconds, r.accuracy,
+                static_cast<long long>(r.stalls),
+                static_cast<long long>(r.produced));
+  }
+  if (epoch_speedup > 0.0) {
+    std::printf("\nper-epoch speedup (full / sampled d0): %.2fx\n",
+                epoch_speedup);
+  }
+  if (pipeline_speedup > 0.0) {
+    std::printf("pipeline speedup (d0 / d%d): %.2fx\n", best_depth,
+                pipeline_speedup);
+  }
+  std::printf("bit-identical across depths: %s\n",
+              bit_identical ? "yes" : "NO");
+
+  char head[448];
   std::snprintf(head, sizeof(head),
-                "{\n  \"dataset\": \"adult\",\n  \"rows\": %lld,\n"
+                "{\n  \"dataset\": \"%s\",\n  \"rows\": %lld,\n"
                 "  \"epochs\": %d,\n  \"max_samples_per_task\": %lld,\n"
                 "  \"batch_size\": %d,\n  \"fanout\": %d,\n"
-                "  \"max_threads\": %d,\n"
+                "  \"sharded\": %s,\n  \"shards\": %d,\n"
+                "  \"budget_mb\": %lld,\n  \"max_threads\": %d,\n"
                 "  \"configs\": [\n",
-                static_cast<long long>(clean.num_rows()), epochs,
-                static_cast<long long>(samples), batch, fanout, max_threads);
-  char tail[96];
+                dataset, static_cast<long long>(clean.num_rows()), epochs,
+                static_cast<long long>(samples), batch, fanout,
+                sharded ? "true" : "false", shards,
+                static_cast<long long>(sharded ? budget_mb : 0), max_threads);
+  char tail[224];
   std::snprintf(tail, sizeof(tail),
-                "\n  ],\n  \"epoch_speedup\": %.4f\n}\n", speedup);
-  const std::string json = head + ToJson(f) + ",\n" + ToJson(s) + tail;
+                "\n  ],\n  \"epoch_speedup\": %.4f,\n"
+                "  \"pipeline_speedup\": %.4f,\n"
+                "  \"pipeline_best_depth\": %d,\n"
+                "  \"bit_identical\": %s\n}\n",
+                epoch_speedup, pipeline_speedup, best_depth,
+                bit_identical ? "true" : "false");
+  std::string json = head;
+  for (size_t i = 0; i < results.size(); ++i) {
+    json += ToJson(results[i]);
+    if (i + 1 < results.size()) json += ",\n";
+  }
+  json += tail;
   if (FILE* out = std::fopen("BENCH_train.json", "w")) {
     std::fputs(json.c_str(), out);
     std::fclose(out);
@@ -197,13 +433,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (rows >= 10000 && speedup <= 1.0) {
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined configs diverged from the serial "
+                 "baseline\n");
+    return 1;
+  }
+  if (!sharded && rows >= 10000 && epoch_speedup <= 1.0) {
     std::fprintf(stderr,
                  "FAIL: sampled epochs (%.6fs) did not beat full-graph "
-                 "epochs (%.6fs) at %lld rows\n",
-                 s.mean_epoch_seconds, f.mean_epoch_seconds,
-                 static_cast<long long>(rows));
+                 "epochs at %lld rows\n",
+                 serial->mean_epoch_seconds, static_cast<long long>(rows));
     return 1;
+  }
+  if (sharded && rows >= 1000000) {
+    if (max_threads < 2) {
+      std::printf("pipeline speedup gate skipped: 1 hardware thread, "
+                  "nothing to overlap with\n");
+    } else if (pipeline_speedup < 1.25) {
+      std::fprintf(stderr,
+                   "FAIL: best pipelined depth (d%d, %.2fx) below the 1.25x "
+                   "gate over serial sampled epochs at %lld rows\n",
+                   best_depth, pipeline_speedup,
+                   static_cast<long long>(rows));
+      return 1;
+    }
   }
   return 0;
 }

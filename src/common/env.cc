@@ -21,6 +21,15 @@ int64_t EnvOverrides::PositiveInt64(const char* name, int64_t fallback) {
   return static_cast<int64_t>(v);
 }
 
+int EnvOverrides::NonNegativeInt(const char* name, int fallback) {
+  const char* raw = Raw(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || v < 0) return fallback;
+  return static_cast<int>(v);
+}
+
 std::string EnvOverrides::String(const char* name,
                                  const std::string& fallback) {
   const char* raw = Raw(name);

@@ -196,6 +196,8 @@ void ThreadPool::SetGlobalThreads(int num_threads) {
   g_global_pool.reset();  // rebuilt lazily at the requested size
 }
 
+void ThreadPool::MarkCallerInlineOnly() { g_in_parallel_region = true; }
+
 int ThreadPool::GlobalThreads() {
   std::lock_guard<std::mutex> lock(g_global_mu);
   if (g_global_pool) return g_global_pool->num_threads();

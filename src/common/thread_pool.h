@@ -58,6 +58,15 @@ class ThreadPool {
   // explicit override / hardware default), without forcing creation.
   static int GlobalThreads();
 
+  // Permanently marks the calling thread as being inside a parallel
+  // region: every ParallelFor/ParallelReduce it issues from now on runs
+  // inline on the thread instead of dispatching to the pool. Chunk
+  // boundaries are unchanged, so results stay bit-identical. Pipeline
+  // producer threads (core/pipeline) call this once at startup so their
+  // shard loads and gathers never contend with the consumer's GEMMs for
+  // pool workers.
+  static void MarkCallerInlineOnly();
+
  private:
   struct ForLoop {
     int64_t begin = 0;

@@ -12,6 +12,7 @@
 #include "tensor/simd.h"
 #include "common/trace.h"
 #include "core/corpus.h"
+#include "core/pipeline.h"
 #include "graph/builder.h"
 #include "graph/sampler.h"
 #include "graph/store.h"
@@ -879,20 +880,66 @@ Status GrimpEngine::TransformStream(Table* window,
     fanouts.assign(static_cast<size_t>(gnn_.num_layers()),
                    kStreamDefaultFanout);
   }
-  const NeighborSampler sampler(ctx.store, std::move(fanouts));
 
-  // Dense node -> block-local-id remap (reset after each task's batch).
-  std::vector<int32_t> seed_local(
-      static_cast<size_t>(ctx.store->num_nodes()), -1);
-  std::vector<int32_t> seeds;
-  std::vector<int32_t> idx;
-  std::vector<int32_t> local_idx;
-  std::vector<int64_t> rows;  // window-local row of each gathered vector
-  SampledSubgraph sub;
+  // One pipeline batch per task, prepared (window scan, sampling — which
+  // prefetches/pins shards — and feature gather) up to `depth` tasks ahead
+  // of the forward the consumer is running. Batch ids are task positions,
+  // and each task's sampling stream is keyed on (seed, task, nonce), so
+  // imputations are bit-identical at every depth — and identical to the
+  // pre-pipeline serial loop. A window with nothing to impute for a task
+  // still occupies its pipeline position with bn == 0.
+  BatchPipeline pipeline(
+      BatchPipeline::ResolveDepth(options_.train.pipeline_depth), ctx.store,
+      std::move(fanouts));
+  const auto prepare = [&](int64_t b, PreparedBatch* out,
+                           const PipelineScratch& scratch) {
+    const TaskState& task = tasks_[static_cast<size_t>(b)];
+    out->bn = 0;
+    // local_idx first holds the *global* gather node ids (the serial
+    // loop's `idx`), remapped to block-local ids in place after sampling.
+    out->local_idx.clear();
+    out->rows.clear();
+    for (int64_t r = 0; r < w; ++r) {
+      const int64_t live_row = ctx.row_begin + r;
+      if (!live.IsMissing(live_row, task.col)) continue;
+      AppendRowIndices(live, *ctx.tg, live_row, task.col, /*node_offset=*/0,
+                       &out->local_idx);
+      out->rows.push_back(r);
+    }
+    if (out->rows.empty()) return;
+
+    // Seeds: the distinct gathered cell nodes, in first-seen order (fixes
+    // the block's local ids, like the trainer's sampled path).
+    std::vector<int32_t>& seed_local = *scratch.seed_local;
+    out->seeds.clear();
+    for (const int32_t node : out->local_idx) {
+      if (node < 0) continue;
+      int32_t& slot = seed_local[static_cast<size_t>(node)];
+      if (slot < 0) {
+        slot = static_cast<int32_t>(out->seeds.size());
+        out->seeds.push_back(node);
+      }
+    }
+    if (out->seeds.empty()) out->seeds.push_back(0);  // fully-masked rows
+    Rng rng(StreamMixSeed(options_.seed ^ kStreamSalt,
+                          static_cast<uint64_t>(b), ctx.nonce));
+    scratch.sampler->Sample(out->seeds, &rng, &out->sub);
+
+    out->feats = GatherFeatureRows(*ctx.node_features, out->sub.input_nodes);
+    for (int32_t& node : out->local_idx) {
+      node = node < 0 ? -1 : seed_local[static_cast<size_t>(node)];
+    }
+    for (const int32_t node : out->seeds) {
+      seed_local[static_cast<size_t>(node)] = -1;
+    }
+    out->bn = static_cast<int64_t>(out->rows.size());
+  };
+
   Tape tape;
 
   // Deferred writes, exactly like batch mode: every live-table read happens
-  // before the window is mutated.
+  // before the window is mutated (preparation reads the live table too, so
+  // the pipeline must fully drain before the writes below).
   struct Decision {
     int64_t row;  // window-local
     int col;
@@ -902,66 +949,25 @@ Status GrimpEngine::TransformStream(Table* window,
   };
   std::vector<Decision> decisions;
 
-  uint64_t task_id = 0;
+  pipeline.Begin(static_cast<int64_t>(tasks_.size()), prepare);
   for (const TaskState& task : tasks_) {
-    const uint64_t tid = task_id++;
-    // Reset first: the previous task's tape closures borrow sub's
-    // adjacency and the gather index vector, both about to be refilled.
+    // Reset first: the previous task's tape closures borrow the pipeline
+    // slot's adjacency and gather-index storage, and Next() releases that
+    // slot for recycling.
     tape.Reset();
-    idx.clear();
-    rows.clear();
-    for (int64_t r = 0; r < w; ++r) {
-      const int64_t live_row = ctx.row_begin + r;
-      if (!live.IsMissing(live_row, task.col)) continue;
-      AppendRowIndices(live, *ctx.tg, live_row, task.col, /*node_offset=*/0,
-                       &idx);
-      rows.push_back(r);
-    }
-    if (rows.empty()) continue;
+    PreparedBatch& batch = pipeline.Next();
+    if (batch.bn == 0) continue;
 
-    // Seeds: the distinct gathered cell nodes, in first-seen order (fixes
-    // the block's local ids, like the trainer's sampled path).
-    seeds.clear();
-    for (const int32_t node : idx) {
-      if (node < 0) continue;
-      int32_t& slot = seed_local[static_cast<size_t>(node)];
-      if (slot < 0) {
-        slot = static_cast<int32_t>(seeds.size());
-        seeds.push_back(node);
-      }
-    }
-    if (seeds.empty()) seeds.push_back(0);  // fully-masked window rows
-    Rng rng(StreamMixSeed(options_.seed ^ kStreamSalt, tid, ctx.nonce));
-    sampler.Sample(seeds, &rng, &sub);
-
-    Tensor batch_feats = Tensor::Uninit(
-        static_cast<int64_t>(sub.input_nodes.size()), dim);
-    for (size_t i = 0; i < sub.input_nodes.size(); ++i) {
-      const float* src =
-          ctx.node_features->data() +
-          static_cast<int64_t>(sub.input_nodes[i]) * dim;
-      std::copy(src, src + dim,
-                batch_feats.data() + static_cast<int64_t>(i) * dim);
-    }
-    local_idx.resize(idx.size());
-    for (size_t i = 0; i < idx.size(); ++i) {
-      local_idx[i] =
-          idx[i] < 0 ? -1 : seed_local[static_cast<size_t>(idx[i])];
-    }
-    for (const int32_t node : seeds) {
-      seed_local[static_cast<size_t>(node)] = -1;
-    }
-
-    Tape::VarId feats = tape.Constant(std::move(batch_feats));
-    Tape::VarId h = gnn_.ForwardBlocks(&tape, feats, sub);
+    Tape::VarId feats = tape.Constant(std::move(batch.feats));
+    Tape::VarId h = gnn_.ForwardBlocks(&tape, feats, batch.sub);
     Tape::VarId h_shared = shared_.Forward(&tape, h);
-    Tape::VarId flat = tape.GatherRows(h_shared, &local_idx);
+    Tape::VarId flat = tape.GatherRows(h_shared, &batch.local_idx);
     Tape::VarId out = task.head->Forward(
-        &tape, tape.Reshape(flat, static_cast<int64_t>(rows.size()),
+        &tape, tape.Reshape(flat, batch.bn,
                             static_cast<int64_t>(num_cols) * dim));
     const Tensor& scores = tape.value(out);
     const Dictionary& dict = source_dicts_[static_cast<size_t>(task.col)];
-    for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
       if (task.categorical) {
         int32_t best = -1;
         float best_score = 0.0f;
@@ -974,16 +980,17 @@ Status GrimpEngine::TransformStream(Table* window,
           }
         }
         if (best >= 0) {
-          decisions.push_back({rows[i], task.col, true, best, 0.0});
+          decisions.push_back({batch.rows[i], task.col, true, best, 0.0});
         }
       } else {
         decisions.push_back(
-            {rows[i], task.col, false, -1,
+            {batch.rows[i], task.col, false, -1,
              normalizer_.Denormalize(task.col,
                                      scores.at(static_cast<int64_t>(i), 0))});
       }
     }
   }
+  pipeline.End();
 
   for (const Decision& d : decisions) {
     Column& dst = window->mutable_column(d.col);

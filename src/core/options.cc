@@ -86,6 +86,11 @@ Status GrimpOptions::Validate() const {
         "GrimpOptions.train.batch_size must be >= 0, got " +
         std::to_string(train.batch_size));
   }
+  if (train.pipeline_depth < 0) {
+    return Status::InvalidArgument(
+        "GrimpOptions.train.pipeline_depth must be >= 0, got " +
+        std::to_string(train.pipeline_depth));
+  }
   if (!train.fanouts.empty() &&
       static_cast<int>(train.fanouts.size()) != gnn_layers) {
     return Status::InvalidArgument(

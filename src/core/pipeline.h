@@ -1,0 +1,187 @@
+#ifndef GRIMP_CORE_PIPELINE_H_
+#define GRIMP_CORE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/sampler.h"
+#include "graph/store.h"
+#include "tensor/tensor.h"
+
+namespace grimp {
+
+// One fully prepared minibatch: everything a training or inference step
+// needs short of running the tape. All members are recycled slot storage —
+// the vectors keep their capacity and the subgraph is refilled through
+// NeighborSampler's scavenging overload, so steady-state preparation
+// performs no heap allocations once capacities have grown to the largest
+// batch seen (feats comes from the pooled tensor arena).
+struct PreparedBatch {
+  // The batch's distinct seed nodes in first-seen order (block local ids).
+  std::vector<int32_t> seeds;
+  // Sampled receptive field over the seeds.
+  SampledSubgraph sub;
+  // Input features gathered for sub.input_nodes (|input_nodes| x dim).
+  Tensor feats;
+  // Per-sample-cell local gather index into the block output (-1 == masked
+  // cell), |batch| * num_cols entries.
+  std::vector<int32_t> local_idx;
+  // Task labels / regression targets for the batch's samples (one of the
+  // two is filled, matching the task's kind).
+  std::vector<int32_t> labels;
+  std::vector<float> targets;
+  // Streaming inference only: window-local row id per batch sample.
+  std::vector<int64_t> rows;
+  // Samples in this batch. 0 marks a batch the consumer should skip
+  // (streaming windows with nothing to impute still occupy a pipeline
+  // position so batch ids stay aligned with task order).
+  int64_t bn = 0;
+};
+
+// Per-producer scratch handed to every PrepareFn invocation. One instance
+// per pipeline thread (and one for the consumer at depth 0), because a
+// NeighborSampler must not run concurrent Sample calls — its dense remap
+// and vector pool are per-instance state. Sampler scratch never influences
+// sampled content (draws are keyed per (nonce, layer, type, node)), so
+// every producer yields bit-identical batches.
+struct PipelineScratch {
+  // Sampler over the pipeline's store, with the pipeline's fanouts.
+  NeighborSampler* sampler = nullptr;
+  // Dense node -> batch-local slot remap, sized >= store->num_nodes() and
+  // all -1 on entry; the PrepareFn must restore the -1s before returning.
+  std::vector<int32_t>* seed_local = nullptr;
+};
+
+// Bounded-depth asynchronous batch-preparation pipeline (the DGL-style
+// prefetching dataloader, specialized to GRIMP's deterministic batches).
+//
+// `depth` is the lookahead: producer threads run the caller's PrepareFn —
+// sampling (which prefetches and pins shards), feature gathering, label
+// slicing — for up to `depth` batches beyond the one the consumer is
+// processing, into depth+1 recycled slots. The consumer takes batches
+// strictly in order via Next(). Depth 0 is the degenerate serial case: no
+// threads are created and Next() prepares inline on the calling thread,
+// reproducing the pre-pipeline path op-for-op.
+//
+// Determinism: a batch's content is a pure function of (batch id, the
+// caller's per-batch seed derivation, the graph) — never of which producer
+// prepared it or when — so losses and imputations are bit-identical to the
+// serial path at any depth and thread count. See DESIGN.md §14 for the
+// full argument.
+//
+// Slot-recycling contract: the consumer may borrow freely from the
+// PreparedBatch returned by Next() (tape closures borrow its adjacency and
+// index vectors), but all such borrows must be dropped — in the trainer,
+// Tape::Reset — before the *next* Next() call. Next(k+1) is the signal
+// that releases batch k's slot for reuse by batch k+1+depth. Producers
+// therefore never write a slot the consumer can still read: claimable
+// batches are bounded by freed + depth + 1, and the batch being consumed
+// is by construction outside that window.
+//
+// Producer threads mark themselves ThreadPool::MarkCallerInlineOnly, so
+// nested ParallelFors (shard loads inside Prefetch, the feature gather)
+// run inline on the producer and never contend with the consumer's GEMMs
+// for pool workers.
+//
+// Metrics: train.pipeline.{produced,consumed,stalls} counters,
+// train.pipeline.queue_depth gauge, train.pipeline.wait_micros histogram
+// (consumer time blocked waiting for an unready batch), plus
+// "train.pipeline.prepare" / "train.pipeline.wait" trace spans.
+class BatchPipeline {
+ public:
+  // Prepares batch `batch` into *out using *scratch. Must derive all
+  // randomness from `batch` (and state fixed before Begin), never from
+  // shared mutable state — the function runs concurrently on multiple
+  // producer threads for different batch ids.
+  using PrepareFn =
+      std::function<void(int64_t batch, PreparedBatch* out,
+                         const PipelineScratch& scratch)>;
+
+  // `store` must outlive the pipeline; `fanouts` are the per-layer sampler
+  // fanouts (already defaulted by the caller). Producer threads (min(depth,
+  // 4)) start here and live until destruction, parked between runs.
+  BatchPipeline(int depth, const GraphStore* store, std::vector<int> fanouts);
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  int depth() const { return depth_; }
+
+  // Starts a run of `total_batches` batches. No other run may be active.
+  void Begin(int64_t total_batches, PrepareFn prepare);
+
+  // Returns the next batch in order, blocking until it is ready. The
+  // reference is valid until the following Next()/End() call (see the
+  // slot-recycling contract above). Must be called exactly once per batch,
+  // at most total_batches times, from one consumer thread.
+  PreparedBatch& Next();
+
+  // Ends the run: cancels unclaimed batches, waits for in-flight
+  // preparation to drain, and clears slot ready-marks so a subsequent
+  // Begin starts clean. Prepared-but-unconsumed batches are discarded.
+  void End();
+
+  // Effective depth for a run: GRIMP_PIPELINE when set (0 forces serial),
+  // else `config_depth` (TrainConfig::pipeline_depth), clamped to
+  // [0, kMaxDepth].
+  static int ResolveDepth(int config_depth);
+
+  // Lookahead ceiling; deeper pipelines only add slot memory without
+  // hiding more latency than the slowest stage allows.
+  static constexpr int kMaxDepth = 16;
+
+ private:
+  struct Slot {
+    PreparedBatch batch;
+    int64_t ready_batch = -1;  // batch id published in this slot
+  };
+  struct Producer {
+    std::unique_ptr<NeighborSampler> sampler;
+    std::vector<int32_t> seed_local;
+    std::thread thread;
+  };
+
+  void ProducerMain(Producer* self);
+  void EnsureScratch(NeighborSampler** sampler,
+                     std::vector<int32_t>** seed_local, Producer* self);
+
+  const int depth_;
+  const GraphStore* store_;
+  const std::vector<int> fanouts_;
+  std::vector<Slot> slots_;         // depth + 1 recycled slots
+  std::vector<Producer> producers_;
+  // Depth-0 (inline) scratch, created lazily on first Next().
+  std::unique_ptr<NeighborSampler> inline_sampler_;
+  std::vector<int32_t> inline_seed_local_;
+
+  std::mutex mu_;
+  std::condition_variable producer_cv_;  // producers wait for claimable work
+  std::condition_variable ready_cv_;     // consumer waits for its batch
+  std::condition_variable idle_cv_;      // End waits for in-flight prepares
+  PrepareFn prepare_;
+  int64_t total_ = 0;         // batches in the current run
+  int64_t next_claim_ = 0;    // next batch id a producer may claim
+  int64_t consume_next_ = 0;  // next batch id Next() returns
+  int64_t freed_ = 0;         // batches whose slots are fully released
+  int64_t produced_ = 0;      // batches published and not yet consumed + consumed
+  int active_ = 0;            // producers currently inside prepare_
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+// Gathers rows `nodes` of `features` into a fresh arena-backed
+// |nodes| x features.cols() matrix, chunked on the global pool (grain 512;
+// rows are disjoint, so results are bit-identical at every thread count —
+// and on pipeline producer threads the chunks run inline).
+Tensor GatherFeatureRows(const Tensor& features,
+                         const std::vector<int32_t>& nodes);
+
+}  // namespace grimp
+
+#endif  // GRIMP_CORE_PIPELINE_H_

@@ -7,7 +7,6 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
-#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "graph/sampler.h"
 #include "tensor/arena.h"
@@ -121,138 +120,168 @@ Trainer::EpochResult Trainer::RunFullEpoch(Adam* opt, double* val_loss_sum,
   return result;
 }
 
-void Trainer::EnsureSampler() {
-  if (sampler_ == nullptr) {
-    std::vector<int> fanouts = options_.train.fanouts;
-    if (fanouts.empty()) {
-      fanouts.assign(static_cast<size_t>(gnn_->num_layers()),
-                     kDefaultFanout);
-    }
-    sampler_ = std::make_unique<NeighborSampler>(store_, std::move(fanouts));
+void Trainer::EnsurePipeline() {
+  if (pipeline_ != nullptr) return;
+  std::vector<int> fanouts = options_.train.fanouts;
+  if (fanouts.empty()) {
+    fanouts.assign(static_cast<size_t>(gnn_->num_layers()), kDefaultFanout);
   }
-  if (static_cast<int64_t>(seed_local_.size()) < store_->num_nodes()) {
-    seed_local_.assign(static_cast<size_t>(store_->num_nodes()), -1);
-  }
+  pipeline_ = std::make_unique<BatchPipeline>(
+      BatchPipeline::ResolveDepth(options_.train.pipeline_depth), store_,
+      std::move(fanouts));
 }
 
-Tensor Trainer::GatherBlockFeatures() const {
-  const int dim = options_.dim;
-  Tensor batch_feats =
-      Tensor::Uninit(static_cast<int64_t>(sub_.input_nodes.size()), dim);
-  // Rows are disjoint, so the chunked gather is bit-identical at every
-  // thread count (and runs inline below the pool's dispatch threshold).
-  ParallelFor(0, static_cast<int64_t>(sub_.input_nodes.size()), 512,
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) {
-                  const float* src =
-                      node_features_->data() +
-                      static_cast<int64_t>(
-                          sub_.input_nodes[static_cast<size_t>(i)]) *
-                          dim;
-                  std::copy(src, src + dim, batch_feats.data() + i * dim);
-                }
-              });
-  return batch_feats;
+void Trainer::PrepareBatch(const BatchPlan& plan, bool validation,
+                           PreparedBatch* out,
+                           const PipelineScratch& scratch) const {
+  const TrainTask& task = tasks_[static_cast<size_t>(plan.task)];
+  const std::vector<int32_t>& task_idx =
+      validation ? task.val_idx : task.train_idx;
+  const int32_t* idx =
+      task_idx.data() + plan.start * static_cast<int64_t>(num_cols_);
+  const int64_t idx_len = plan.bn * static_cast<int64_t>(num_cols_);
+  Rng rng(plan.seed);
+  std::vector<int32_t>& seed_local = *scratch.seed_local;
+
+  // Seeds: the distinct non-masked cell nodes this batch gathers, in
+  // first-seen order (the sampler requires distinct seeds; the order
+  // fixes the block's local ids).
+  TraceSpan sample_span("train.sample");
+  out->seeds.clear();
+  for (int64_t i = 0; i < idx_len; ++i) {
+    const int32_t node = idx[i];
+    if (node < 0) continue;
+    int32_t& slot = seed_local[static_cast<size_t>(node)];
+    if (slot < 0) {
+      slot = static_cast<int32_t>(out->seeds.size());
+      out->seeds.push_back(node);
+    }
+  }
+  // A batch of fully-masked vectors still trains its head (on zero
+  // vectors); feed the sampler a dummy seed so the forward type-checks.
+  if (out->seeds.empty()) out->seeds.push_back(0);
+  scratch.sampler->Sample(out->seeds, &rng, &out->sub);
+  sample_span.Stop();
+
+  // Gather the receptive field's input features into a compact matrix.
+  TraceSpan gather_span("train.gather");
+  out->feats = GatherFeatureRows(*node_features_, out->sub.input_nodes);
+  out->local_idx.resize(static_cast<size_t>(idx_len));
+  for (int64_t i = 0; i < idx_len; ++i) {
+    out->local_idx[static_cast<size_t>(i)] =
+        idx[i] < 0 ? -1 : seed_local[static_cast<size_t>(idx[i])];
+  }
+  // Restore the dense seed remap for this scratch's next batch. (The
+  // dummy-seed case clears node 0's slot, which was already -1: harmless.)
+  for (const int32_t node : out->seeds) {
+    seed_local[static_cast<size_t>(node)] = -1;
+  }
+  gather_span.Stop();
+
+  out->bn = plan.bn;
+  if (task.categorical) {
+    const std::vector<int32_t>& labels =
+        validation ? task.val_labels : task.train_labels;
+    out->labels.assign(labels.begin() + plan.start,
+                       labels.begin() + plan.start + plan.bn);
+  } else {
+    const std::vector<float>& targets =
+        validation ? task.val_targets : task.train_targets;
+    out->targets.assign(targets.begin() + plan.start,
+                        targets.begin() + plan.start + plan.bn);
+  }
 }
 
 Trainer::EpochResult Trainer::RunSampledEpoch(int epoch, Adam* opt) {
   const int dim = options_.dim;
   const int64_t batch_size = options_.train.batch_size;
-  EnsureSampler();
+  EnsurePipeline();
   Series& batch_loss_series =
       MetricsRegistry::Global().GetSeries("grimp.batch.train_loss");
 
   EpochResult result;
   // Batch ids are assigned in (task, offset) order — a pure function of
   // the training data, so each batch's sampling stream is stable across
-  // runs and thread counts.
+  // runs, thread counts and pipeline depths. The plans are fixed before
+  // the pipeline starts; producers only ever read them.
+  plans_.clear();
   uint64_t batch_id = 0;
-  for (TrainTask& task : tasks_) {
-    const int64_t n = task.NumTrain();
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const int64_t n = tasks_[t].NumTrain();
     if (n == 0) continue;
-    double task_loss_sum = 0.0;
     for (int64_t start = 0; start < n; start += batch_size) {
-      const int64_t bn = std::min(batch_size, n - start);
-      Rng rng(MixSeed(options_.seed, static_cast<uint64_t>(epoch),
-                      batch_id++));
-
-      // Seeds: the distinct non-masked cell nodes this batch gathers, in
-      // first-seen order (the sampler requires distinct seeds; the order
-      // fixes the block's local ids).
-      const int32_t* idx =
-          task.train_idx.data() + start * static_cast<int64_t>(num_cols_);
-      const int64_t idx_len = bn * static_cast<int64_t>(num_cols_);
-      // Reset before sampling: the previous batch's tape closures borrow
-      // sub_'s adjacency arrays, and Sample recycles that storage in place.
-      tape_.Reset();
-      TraceSpan sample_span("train.sample");
-      seeds_.clear();
-      for (int64_t i = 0; i < idx_len; ++i) {
-        const int32_t node = idx[i];
-        if (node < 0) continue;
-        int32_t& slot = seed_local_[static_cast<size_t>(node)];
-        if (slot < 0) {
-          slot = static_cast<int32_t>(seeds_.size());
-          seeds_.push_back(node);
-        }
-      }
-      // A batch of fully-masked vectors still trains its head (on zero
-      // vectors); feed the sampler a dummy seed so the forward type-checks.
-      if (seeds_.empty()) seeds_.push_back(0);
-      sampler_->Sample(seeds_, &rng, &sub_);
-      sample_span.Stop();
-
-      // Gather the receptive field's input features into a compact matrix.
-      TraceSpan gather_span("train.gather");
-      Tensor batch_feats = GatherBlockFeatures();
-      local_idx_.resize(static_cast<size_t>(idx_len));
-      for (int64_t i = 0; i < idx_len; ++i) {
-        local_idx_[static_cast<size_t>(i)] =
-            idx[i] < 0 ? -1 : seed_local_[static_cast<size_t>(idx[i])];
-      }
-      // Reset the dense seed remap for the next batch. (The dummy-seed case
-      // clears node 0's slot, which was already -1: harmless.)
-      for (const int32_t node : seeds_) {
-        seed_local_[static_cast<size_t>(node)] = -1;
-      }
-      gather_span.Stop();
-
-      Tape& tape = tape_;
-      Tape::VarId feats = tape.Constant(std::move(batch_feats));
-      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub_);
-      Tape::VarId h_shared = shared_->Forward(&tape, h);
-      // Borrowing overloads: the index/label/target buffers are Trainer
-      // members, alive until the next batch's Reset — no per-step copies.
-      Tape::VarId flat = tape.GatherRows(h_shared, &local_idx_);
-      Tape::VarId vecs =
-          tape.Reshape(flat, bn, static_cast<int64_t>(num_cols_) * dim);
-      Tape::VarId out = task.head->Forward(&tape, vecs);
-      Tape::VarId loss;
-      if (task.categorical) {
-        labels_.assign(task.train_labels.begin() + start,
-                       task.train_labels.begin() + start + bn);
-        loss = options_.focal_gamma > 0.0f
-                   ? tape.FocalLoss(out, &labels_, options_.focal_gamma)
-                   : tape.SoftmaxCrossEntropy(out, &labels_);
-      } else {
-        targets_.assign(task.train_targets.begin() + start,
-                        task.train_targets.begin() + start + bn);
-        loss = tape.MseLoss(out, &targets_);
-      }
-      const double loss_value = tape.value(loss).scalar();
-      tape.Backward(loss);
-      opt->ClipGradNorm(options_.grad_clip);
-      opt->Step();
-      opt->ZeroGrad();
-      ++summary_.steps_run;
-      result.trained = true;
-      batch_loss_series.Append(loss_value);
-      task_loss_sum += loss_value * static_cast<double>(bn);
+      BatchPlan plan;
+      plan.task = static_cast<int>(t);
+      plan.start = start;
+      plan.bn = std::min(batch_size, n - start);
+      plan.seed = MixSeed(options_.seed, static_cast<uint64_t>(epoch),
+                          batch_id++);
+      plans_.push_back(plan);
     }
-    // Sample-weighted mean over the task's batches == the task's mean
-    // loss, the same quantity full mode reports per task.
-    result.train_loss += task_loss_sum / static_cast<double>(n);
   }
+  if (plans_.empty()) return result;
+
+  pipeline_->Begin(
+      static_cast<int64_t>(plans_.size()),
+      [this](int64_t b, PreparedBatch* out, const PipelineScratch& scratch) {
+        PrepareBatch(plans_[static_cast<size_t>(b)], /*validation=*/false,
+                     out, scratch);
+      });
+  int current_task = plans_.front().task;
+  double task_loss_sum = 0.0;
+  // Task-boundary flush: the sample-weighted mean over a task's batches ==
+  // the task's mean loss, the same quantity full mode reports per task,
+  // accumulated in task order exactly like the serial loop.
+  const auto flush_task = [&]() {
+    result.train_loss +=
+        task_loss_sum /
+        static_cast<double>(tasks_[static_cast<size_t>(current_task)]
+                                .NumTrain());
+  };
+  for (const BatchPlan& plan : plans_) {
+    if (plan.task != current_task) {
+      flush_task();
+      task_loss_sum = 0.0;
+      current_task = plan.task;
+    }
+    // Reset before taking the next batch: the previous batch's tape
+    // closures borrow the pipeline slot's adjacency/index storage, and
+    // Next() is what releases that slot for recycling.
+    tape_.Reset();
+    PreparedBatch& batch = pipeline_->Next();
+    TrainTask& task = tasks_[static_cast<size_t>(plan.task)];
+
+    Tape& tape = tape_;
+    Tape::VarId feats = tape.Constant(std::move(batch.feats));
+    Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, batch.sub);
+    Tape::VarId h_shared = shared_->Forward(&tape, h);
+    // Borrowing overloads: the index/label/target buffers live in the
+    // pipeline slot, alive until the next batch's Reset + Next() — no
+    // per-step copies.
+    Tape::VarId flat = tape.GatherRows(h_shared, &batch.local_idx);
+    Tape::VarId vecs =
+        tape.Reshape(flat, plan.bn, static_cast<int64_t>(num_cols_) * dim);
+    Tape::VarId out = task.head->Forward(&tape, vecs);
+    Tape::VarId loss;
+    if (task.categorical) {
+      loss = options_.focal_gamma > 0.0f
+                 ? tape.FocalLoss(out, &batch.labels, options_.focal_gamma)
+                 : tape.SoftmaxCrossEntropy(out, &batch.labels);
+    } else {
+      loss = tape.MseLoss(out, &batch.targets);
+    }
+    const double loss_value = tape.value(loss).scalar();
+    tape.Backward(loss);
+    opt->ClipGradNorm(options_.grad_clip);
+    opt->Step();
+    opt->ZeroGrad();
+    ++summary_.steps_run;
+    result.trained = true;
+    batch_loss_series.Append(loss_value);
+    task_loss_sum += loss_value * static_cast<double>(plan.bn);
+  }
+  flush_task();
+  pipeline_->End();
   return result;
 }
 
@@ -292,77 +321,76 @@ double Trainer::ValidationLoss(bool* has_val) {
 double Trainer::SampledValidationLoss(bool* has_val) {
   const int dim = options_.dim;
   const int64_t batch_size = options_.train.batch_size;
-  EnsureSampler();
+  EnsurePipeline();
   // Salt separating validation streams from training streams.
   constexpr uint64_t kValSalt = 0x76616c6964ULL;  // "valid"
-  double val_loss_sum = 0.0;
-  uint64_t task_index = 0;
-  for (const TrainTask& task : tasks_) {
-    const uint64_t task_id = task_index++;
-    const int64_t n = task.NumVal();
+  plans_.clear();
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const int64_t n = tasks_[t].NumVal();
     if (n == 0) continue;
-    double task_loss_sum = 0.0;
     for (int64_t start = 0; start < n; start += batch_size) {
-      const int64_t bn = std::min(batch_size, n - start);
+      BatchPlan plan;
+      plan.task = static_cast<int>(t);
+      plan.start = start;
+      plan.bn = std::min(batch_size, n - start);
       // Streams are a pure function of (seed, task, batch) — deliberately
       // NOT of the epoch — so every epoch scores the same sampled
       // receptive fields and the early-stopping comparison is stable.
-      Rng rng(MixSeed(options_.seed ^ kValSalt, task_id,
-                      static_cast<uint64_t>(start / batch_size)));
-      const int32_t* idx =
-          task.val_idx.data() + start * static_cast<int64_t>(num_cols_);
-      const int64_t idx_len = bn * static_cast<int64_t>(num_cols_);
-      tape_.Reset();
-      seeds_.clear();
-      for (int64_t i = 0; i < idx_len; ++i) {
-        const int32_t node = idx[i];
-        if (node < 0) continue;
-        int32_t& slot = seed_local_[static_cast<size_t>(node)];
-        if (slot < 0) {
-          slot = static_cast<int32_t>(seeds_.size());
-          seeds_.push_back(node);
-        }
-      }
-      if (seeds_.empty()) seeds_.push_back(0);
-      sampler_->Sample(seeds_, &rng, &sub_);
-
-      Tensor batch_feats = GatherBlockFeatures();
-      local_idx_.resize(static_cast<size_t>(idx_len));
-      for (int64_t i = 0; i < idx_len; ++i) {
-        local_idx_[static_cast<size_t>(i)] =
-            idx[i] < 0 ? -1 : seed_local_[static_cast<size_t>(idx[i])];
-      }
-      for (const int32_t node : seeds_) {
-        seed_local_[static_cast<size_t>(node)] = -1;
-      }
-
-      Tape& tape = tape_;
-      Tape::VarId feats = tape.Constant(std::move(batch_feats));
-      Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, sub_);
-      Tape::VarId h_shared = shared_->Forward(&tape, h);
-      Tape::VarId flat = tape.GatherRows(h_shared, &local_idx_);
-      Tape::VarId vecs =
-          tape.Reshape(flat, bn, static_cast<int64_t>(num_cols_) * dim);
-      Tape::VarId out = task.head->Forward(&tape, vecs);
-      Tape::VarId loss;
-      if (task.categorical) {
-        labels_.assign(task.val_labels.begin() + start,
-                       task.val_labels.begin() + start + bn);
-        loss = options_.focal_gamma > 0.0f
-                   ? tape.FocalLoss(out, &labels_, options_.focal_gamma)
-                   : tape.SoftmaxCrossEntropy(out, &labels_);
-      } else {
-        targets_.assign(task.val_targets.begin() + start,
-                        task.val_targets.begin() + start + bn);
-        loss = tape.MseLoss(out, &targets_);
-      }
-      task_loss_sum += tape.value(loss).scalar() * static_cast<double>(bn);
+      plan.seed = MixSeed(options_.seed ^ kValSalt, static_cast<uint64_t>(t),
+                          static_cast<uint64_t>(start / batch_size));
+      plans_.push_back(plan);
     }
-    // Sample-weighted mean over the task's batches == the task's mean
-    // loss, the same quantity full-graph validation reports per task.
-    val_loss_sum += task_loss_sum / static_cast<double>(n);
-    *has_val = true;
   }
+  if (plans_.empty()) return 0.0;
+
+  pipeline_->Begin(
+      static_cast<int64_t>(plans_.size()),
+      [this](int64_t b, PreparedBatch* out, const PipelineScratch& scratch) {
+        PrepareBatch(plans_[static_cast<size_t>(b)], /*validation=*/true,
+                     out, scratch);
+      });
+  double val_loss_sum = 0.0;
+  int current_task = plans_.front().task;
+  double task_loss_sum = 0.0;
+  // Sample-weighted mean over each task's batches == the task's mean
+  // loss, the same quantity full-graph validation reports per task.
+  const auto flush_task = [&]() {
+    val_loss_sum +=
+        task_loss_sum /
+        static_cast<double>(
+            tasks_[static_cast<size_t>(current_task)].NumVal());
+  };
+  for (const BatchPlan& plan : plans_) {
+    if (plan.task != current_task) {
+      flush_task();
+      task_loss_sum = 0.0;
+      current_task = plan.task;
+    }
+    tape_.Reset();
+    PreparedBatch& batch = pipeline_->Next();
+    const TrainTask& task = tasks_[static_cast<size_t>(plan.task)];
+
+    Tape& tape = tape_;
+    Tape::VarId feats = tape.Constant(std::move(batch.feats));
+    Tape::VarId h = gnn_->ForwardBlocks(&tape, feats, batch.sub);
+    Tape::VarId h_shared = shared_->Forward(&tape, h);
+    Tape::VarId flat = tape.GatherRows(h_shared, &batch.local_idx);
+    Tape::VarId vecs =
+        tape.Reshape(flat, plan.bn, static_cast<int64_t>(num_cols_) * dim);
+    Tape::VarId out = task.head->Forward(&tape, vecs);
+    Tape::VarId loss;
+    if (task.categorical) {
+      loss = options_.focal_gamma > 0.0f
+                 ? tape.FocalLoss(out, &batch.labels, options_.focal_gamma)
+                 : tape.SoftmaxCrossEntropy(out, &batch.labels);
+    } else {
+      loss = tape.MseLoss(out, &batch.targets);
+    }
+    task_loss_sum += tape.value(loss).scalar() * static_cast<double>(plan.bn);
+  }
+  flush_task();
+  pipeline_->End();
+  *has_val = true;
   return val_loss_sum;
 }
 

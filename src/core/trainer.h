@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "core/pipeline.h"
 #include "core/tasks.h"
 #include "gnn/hetero_sage.h"
 #include "graph/hetero_graph.h"
@@ -75,8 +76,12 @@ struct TrainSummary {
 //    validation is itself minibatched through the sampler on fixed,
 //    epoch-independent streams, keeping per-step memory bounded by the
 //    shard budget. Sampling Rng streams derive from (seed, epoch, batch
-//    id) on the driver thread, so losses are identical at every
-//    GRIMP_NUM_THREADS.
+//    id) — never from thread count or scheduling — so losses are identical
+//    at every GRIMP_NUM_THREADS and every pipeline depth. Batch
+//    preparation (sampling, shard prefetch, feature gather) runs through a
+//    BatchPipeline (TrainConfig::pipeline_depth / GRIMP_PIPELINE):
+//    depth 0 prepares inline, depth N overlaps up to N future batches
+//    with the current step's forward/backward.
 //
 // The Trainer reads the graph exclusively through a GraphStore: an
 // in-memory store reproduces the old behavior exactly, a ShardedGraphStore
@@ -124,10 +129,29 @@ class Trainer {
   // epoch — so successive epochs score the same sampled receptive fields
   // and early stopping compares like with like.
   double SampledValidationLoss(bool* has_val);
-  void EnsureSampler();
-  // Gathers the receptive field's input features into a compact matrix
-  // (rows of node_features_ at sub_.input_nodes, on the thread pool).
-  Tensor GatherBlockFeatures() const;
+
+  // One sampled batch's fixed recipe, laid out before the pipeline run
+  // starts so preparation is a pure function of the batch id on any
+  // producer thread: which task, which sample range, and the fully mixed
+  // RNG seed of the batch's sampling stream.
+  struct BatchPlan {
+    int task = 0;
+    int64_t start = 0;
+    int64_t bn = 0;
+    uint64_t seed = 0;
+  };
+
+  // Lazily builds the batch-preparation pipeline at
+  // BatchPipeline::ResolveDepth(options_.train.pipeline_depth) with the
+  // run's fanouts (depth 0 == the serial path, inline in Next()).
+  void EnsurePipeline();
+  // Prepares one batch per its plan: seed dedup in first-seen order,
+  // neighbor sampling (which prefetches/pins the touched shards), feature
+  // gather into arena scratch, gather-index remap, and label/target
+  // slicing. Runs on pipeline producer threads — must touch no Trainer
+  // state that mutates during an epoch.
+  void PrepareBatch(const BatchPlan& plan, bool validation,
+                    PreparedBatch* out, const PipelineScratch& scratch) const;
 
   const GrimpOptions& options_;
   const GraphStore* store_;
@@ -141,18 +165,15 @@ class Trainer {
   // Reused across every epoch / batch / validation pass (Tape::Reset keeps
   // the node slots), so steady-state steps run without tape allocations.
   Tape tape_;
-  // Sampled-mode scratch, all reused batch to batch so steady-state steps
-  // perform no heap allocations: the sampler (and its internal pools), the
-  // recycled subgraph, the batch seed list with its dense node->position
-  // remap, and the per-batch gather/label/target buffers handed to the
-  // tape's borrowing overloads.
-  std::unique_ptr<NeighborSampler> sampler_;
-  SampledSubgraph sub_;
-  std::vector<int32_t> seeds_;
-  std::vector<int32_t> seed_local_;
-  std::vector<int32_t> local_idx_;
-  std::vector<int32_t> labels_;
-  std::vector<float> targets_;
+  // Sampled-mode batch preparation (core/pipeline.h): the pipeline owns
+  // per-producer samplers and depth+1 recycled batch slots, so steady-state
+  // steps still perform no heap allocations; plans_ is rebuilt per epoch /
+  // validation pass and read-only while a run is active. The tape's
+  // borrowing overloads point into the pipeline's slot storage, released
+  // batch-by-batch via Tape::Reset before each Next() (the pipeline's
+  // slot-recycling contract).
+  std::unique_ptr<BatchPipeline> pipeline_;
+  std::vector<BatchPlan> plans_;
 };
 
 }  // namespace grimp

@@ -28,6 +28,11 @@ Counter& HitCounter() {
   static Counter& c = MetricsRegistry::Global().GetCounter("graph.shard.hits");
   return c;
 }
+Counter& PrefetchSkippedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("graph.shard.prefetch_skipped");
+  return c;
+}
 
 }  // namespace
 
@@ -305,6 +310,26 @@ void ShardedGraphStore::Prefetch(const std::vector<int>& shards) const {
       if (s < 0 || s >= num_shards()) continue;
       ShardState& state = states_[static_cast<size_t>(s)];
       if (state.state != State::kUnloaded) continue;
+      // Feasibility before eviction: sum what eviction could actually
+      // reclaim (resident, unpinned shards other than s). If the shard
+      // still wouldn't fit — pinned or in-flight shards hold the budget,
+      // as when a pipeline's lookahead exceeds it — decline without
+      // touching the LRU instead of evicting shards the consumer is about
+      // to reuse. Demand loading (Acquire) still serves the shard later.
+      int64_t evictable_bytes = 0;
+      for (size_t j = 0; j < states_.size(); ++j) {
+        const ShardState& other = states_[j];
+        if (static_cast<int>(j) == s) continue;
+        if (other.state == State::kResident && other.pins == 0) {
+          evictable_bytes += other.size_bytes;
+        }
+      }
+      if (resident_bytes_ > 0 &&
+          resident_bytes_ - evictable_bytes + state.size_bytes >
+              max_resident_bytes_) {
+        PrefetchSkippedCounter().Increment();
+        continue;
+      }
       EvictForLocked(state.size_bytes, s);
       if (resident_bytes_ > 0 &&
           resident_bytes_ + state.size_bytes > max_resident_bytes_) {

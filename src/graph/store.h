@@ -113,7 +113,11 @@ class GraphStore {
 
   // Hint that the given shards are about to be acquired. Best-effort: the
   // sharded store loads the missing ones in parallel on the global thread
-  // pool, stopping when the resident budget is reached. Default no-op.
+  // pool, stopping when the resident budget is reached. A prefetch that
+  // could only fit by evicting pinned (or still-loading) shards is
+  // declined outright — counted as graph.shard.prefetch_skipped — rather
+  // than thrashing the LRU; demand loading (Acquire) still serves the
+  // shard when it is actually needed. Default no-op.
   virtual void Prefetch(const std::vector<int>& shards) const;
 
   // The whole graph, for consumers that need a full-graph forward (full

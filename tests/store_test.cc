@@ -12,9 +12,11 @@
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/names.h"
 #include "graph/sampler.h"
@@ -278,6 +280,54 @@ TEST(ShardedGraphStoreTest, PrefetchIsBestEffortAndKeepsParity) {
   }
 }
 
+// When pins hold the whole budget, Prefetch must decline (counted as
+// graph.shard.prefetch_skipped) instead of evicting pinned shards or
+// thrashing the LRU; demand loads still serve the shard later.
+TEST(ShardedGraphStoreTest, PrefetchDeclinesWhenPinsHoldTheBudget) {
+  const HeteroGraph g = RingGraph(240, 2);
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(6, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  const int64_t budget = (*probe)->total_bytes() / 3;
+
+  auto store = ShardedGraphStore::Create(g, StoreOptions(6, budget));
+  ASSERT_TRUE(store.ok());
+  // Three pins exceed the ~2-shard budget (demand loads always succeed);
+  // nothing resident is evictable while they are held.
+  ShardScope pin0 = (*store)->Acquire(0);
+  ShardScope pin1 = (*store)->Acquire(1);
+  ShardScope pin2 = (*store)->Acquire(2);
+  const std::set<int32_t> before = ShardNeighbors(*pin0, 0, 0);
+  const int64_t resident_before = (*store)->resident_bytes();
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const double skipped_before =
+      registry.GetCounter("graph.shard.prefetch_skipped").value();
+  const double evictions_before =
+      registry.GetCounter("graph.shard.evictions").value();
+  (*store)->Prefetch({3, 4, 5});
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("graph.shard.prefetch_skipped").value(),
+      skipped_before + 3.0);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("graph.shard.evictions").value(),
+                   evictions_before);
+  // Declined means declined: the resident set did not move and the pinned
+  // adjacency is untouched.
+  EXPECT_EQ((*store)->resident_bytes(), resident_before);
+  EXPECT_EQ(ShardNeighbors(*pin0, 0, 0), before);
+
+  // The skipped shards still demand-load once the pins are gone.
+  pin0.Release();
+  pin1.Release();
+  pin2.Release();
+  for (int s = 3; s < 6; ++s) {
+    const ShardScope scope = (*store)->Acquire(s);
+    ASSERT_NE(scope.get(), nullptr);
+    for (int64_t node = scope->begin(); node < scope->end(); ++node) {
+      EXPECT_EQ(ShardNeighbors(*scope, 0, node), GraphNeighbors(g, 0, node));
+    }
+  }
+}
+
 TEST(ShardedGraphStoreTest, AutoShardCountScalesWithBudget) {
   const HeteroGraph g = RingGraph(300, 2);
   auto probe = ShardedGraphStore::Create(g, StoreOptions(1, 1ll << 30));
@@ -393,6 +443,70 @@ TEST(SamplerStoreParityTest, TightBudgetDoesNotChangeDraws) {
     Rng rng(777 + static_cast<uint64_t>(batch));
     ExpectSameSubgraph(reference.Sample(seeds, &ref_rng),
                        sampler.Sample(seeds, &rng));
+  }
+}
+
+// The batch-prep pipeline's concurrency shape: several producer slots, each
+// with its own NeighborSampler, sampling simultaneously against ONE
+// ShardedGraphStore whose budget holds only ~2 of 8 shards. Every slot also
+// holds a long-lived pin (as a slot does mid-prepare). Must not deadlock —
+// Acquire always loads, pins only block eviction — and every subgraph must
+// be bit-identical to a serial pass, since draws are keyed on the per-batch
+// Rng, never on interleaving. In the TSan build this doubles as a race
+// check on the store's Acquire/Release/Evict synchronization.
+TEST(SamplerStoreParityTest, ConcurrentSamplersShareATightStore) {
+  const HeteroGraph g = RingGraph(160, 2);
+  const std::vector<int> fanouts{3, 2};
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 16;
+
+  // Per-batch seed sets and Rng seeds, shared by both passes.
+  std::vector<std::vector<int32_t>> seeds(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < 5; ++i) {
+      seeds[b].push_back(static_cast<int32_t>((37 * b + 13 * i) % 160));
+    }
+  }
+  const auto rng_seed = [](int b) {
+    return 991u + static_cast<uint64_t>(b);
+  };
+
+  // Serial reference over the in-memory store.
+  const InMemoryGraphStore in_memory(&g);
+  const NeighborSampler reference(&in_memory, fanouts);
+  std::vector<SampledSubgraph> expected(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    Rng rng(rng_seed(b));
+    expected[b] = reference.Sample(seeds[b], &rng);
+  }
+
+  // One sharded store with a ~2-shard-resident budget.
+  auto probe = ShardedGraphStore::Create(g, StoreOptions(8, 1ll << 30));
+  ASSERT_TRUE(probe.ok());
+  auto store = ShardedGraphStore::Create(
+      g, StoreOptions(8, (*probe)->total_bytes() / 4));
+  ASSERT_TRUE(store.ok());
+
+  // Threads only write disjoint slots; all gtest assertions run on the
+  // main thread after the join.
+  std::vector<SampledSubgraph> got(kBatches);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // A slot-style pin held across the whole run: with four of these the
+      // pinned set alone exceeds the budget.
+      const ShardScope pin = (*store)->Acquire(t * 2);
+      const NeighborSampler sampler(store->get(), fanouts);
+      for (int b = t; b < kBatches; b += kThreads) {
+        Rng rng(rng_seed(b));
+        got[b] = sampler.Sample(seeds[b], &rng);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int b = 0; b < kBatches; ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    ExpectSameSubgraph(expected[b], got[b]);
   }
 }
 

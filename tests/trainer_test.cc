@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -122,6 +124,139 @@ TEST(TrainerTest, SampledLossesIndependentOfThreadCount) {
   ASSERT_EQ(single.size(), multi.size());
   for (size_t i = 0; i < single.size(); ++i) {
     EXPECT_DOUBLE_EQ(single[i], multi[i]) << "epoch " << i;
+  }
+}
+
+// Pins GRIMP_PIPELINE for one scope (and restores the suite variant's
+// value after), so these tests control the pipeline depth explicitly even
+// inside the GRIMP_PIPELINE=0/4 ctest variants.
+class ScopedPipelineEnv {
+ public:
+  // Pins GRIMP_PIPELINE=depth.
+  explicit ScopedPipelineEnv(int depth) : ScopedPipelineEnv() {
+    setenv("GRIMP_PIPELINE", std::to_string(depth).c_str(), 1);
+  }
+  // Unsets GRIMP_PIPELINE, letting TrainConfig::pipeline_depth decide.
+  ScopedPipelineEnv() {
+    const char* old = std::getenv("GRIMP_PIPELINE");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    unsetenv("GRIMP_PIPELINE");
+  }
+  ~ScopedPipelineEnv() {
+    if (had_old_) {
+      setenv("GRIMP_PIPELINE", old_.c_str(), 1);
+    } else {
+      unsetenv("GRIMP_PIPELINE");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// The tentpole determinism contract: batch contents are a pure function of
+// (seed, epoch, batch id), never of who prepared them, so the async
+// batch-prep pipeline must reproduce the serial path bit for bit — the
+// whole per-epoch loss trajectory AND every imputed cell — at any depth.
+TEST(TrainerTest, SampledBitIdenticalAcrossPipelineDepths) {
+  Table clean = StructuredTable(80);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 9);
+  struct RunOutput {
+    std::vector<double> losses;
+    std::vector<std::string> cells;
+  };
+  auto run = [&](int depth) {
+    ScopedPipelineEnv env(depth);
+    GrimpOptions options = SampledOptions();
+    options.max_epochs = 8;
+    RunOutput out;
+    options.callbacks.on_epoch_end = [&out](const EpochStats& stats) {
+      out.losses.push_back(stats.train_loss);
+      return true;
+    };
+    GrimpImputer grimp(options);
+    auto imputed = grimp.Impute(corrupted.dirty);
+    EXPECT_TRUE(imputed.ok());
+    for (const CellRef& cell : corrupted.missing_cells) {
+      out.cells.push_back(imputed->column(cell.col).StringAt(cell.row));
+    }
+    return out;
+  };
+  const RunOutput serial = run(0);
+  ASSERT_FALSE(serial.losses.empty());
+  for (const int depth : {2, 4}) {
+    const RunOutput piped = run(depth);
+    ASSERT_EQ(serial.losses.size(), piped.losses.size()) << "depth " << depth;
+    for (size_t i = 0; i < serial.losses.size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial.losses[i], piped.losses[i])
+          << "depth " << depth << " epoch " << i;
+    }
+    ASSERT_EQ(serial.cells, piped.cells) << "depth " << depth;
+  }
+  // The pipelined runs must actually have produced/consumed batches.
+  EXPECT_GE(
+      MetricsRegistry::Global().GetCounter("train.pipeline.produced").value(),
+      1.0);
+  EXPECT_GE(
+      MetricsRegistry::Global().GetCounter("train.pipeline.consumed").value(),
+      1.0);
+}
+
+// Same contract along the other axis: at a fixed pipeline depth the loss
+// trajectory is still invariant to GRIMP_NUM_THREADS (producers never
+// touch the per-batch Rng streams, and the gather chunking is fixed).
+TEST(TrainerTest, PipelinedLossesIndependentOfThreadCount) {
+  Table clean = StructuredTable(80);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 9);
+  ScopedPipelineEnv env(4);
+  auto run = [&](int num_threads) {
+    GrimpOptions options = SampledOptions();
+    options.max_epochs = 8;
+    options.num_threads = num_threads;
+    std::vector<double> losses;
+    options.callbacks.on_epoch_end = [&losses](const EpochStats& stats) {
+      losses.push_back(stats.train_loss);
+      return true;
+    };
+    GrimpImputer grimp(options);
+    auto imputed = grimp.Impute(corrupted.dirty);
+    EXPECT_TRUE(imputed.ok());
+    return losses;
+  };
+  const std::vector<double> single = run(1);
+  const std::vector<double> multi = run(4);
+  ASSERT_FALSE(single.empty());
+  ASSERT_EQ(single.size(), multi.size());
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_DOUBLE_EQ(single[i], multi[i]) << "epoch " << i;
+  }
+}
+
+// TrainConfig::pipeline_depth is the config-of-record path (the env var
+// only overrides it); a config-selected depth must train identically too.
+TEST(TrainerTest, PipelineDepthFromConfigMatchesSerial) {
+  Table clean = StructuredTable(60);
+  const CorruptedTable corrupted = InjectMcar(clean, 0.25, 4);
+  auto run = [&](int depth) {
+    GrimpOptions options = SampledOptions();
+    options.max_epochs = 10;
+    options.train.pipeline_depth = depth;
+    GrimpImputer grimp(options);
+    auto imputed = grimp.Impute(corrupted.dirty);
+    EXPECT_TRUE(imputed.ok());
+    return std::move(*imputed);
+  };
+  // Unset the env so the suite variants don't mask the config knob.
+  ScopedPipelineEnv env;
+  const Table serial = run(0);
+  const Table piped = run(3);
+  for (const CellRef& cell : corrupted.missing_cells) {
+    EXPECT_EQ(serial.column(cell.col).StringAt(cell.row),
+              piped.column(cell.col).StringAt(cell.row));
   }
 }
 
